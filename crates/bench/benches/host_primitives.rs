@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the host reference primitives — the
+//! arithmetic foundation every differential test and simulation leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ule_curves::params::CurveId;
+use ule_curves::scalar;
+use ule_curves::sha256::sha256;
+use ule_mpmath::f2m::BinaryField;
+use ule_mpmath::fp::PrimeField;
+use ule_mpmath::mont::Montgomery;
+use ule_mpmath::mp::Mp;
+use ule_mpmath::nist::{NistBinary, NistPrime};
+
+fn bench_fields(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field");
+    g.sample_size(20);
+    let f = PrimeField::nist(NistPrime::P256);
+    let a = f.from_mp(&f.modulus().sub(&Mp::from_u64(12345)));
+    let b = f.from_mp(&f.modulus().sub(&Mp::from_u64(98765)));
+    g.bench_function("p256_mul", |bench| {
+        bench.iter(|| f.mul(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("p256_inv_eea", |bench| bench.iter(|| f.inv(black_box(&a))));
+    let bf = BinaryField::nist(NistBinary::B283);
+    let x = bf.from_mp(&Mp::from_hex("deadbeefcafebabe0123456789abcdef").unwrap());
+    let y = bf.from_mp(&Mp::from_hex("fedcba9876543210aa55aa55aa55aa55").unwrap());
+    g.bench_function("b283_mul_clmul", |bench| {
+        bench.iter(|| bf.mul_clmul(black_box(&x), black_box(&y)))
+    });
+    g.bench_function("b283_mul_comb", |bench| {
+        bench.iter(|| bf.mul_comb(black_box(&x), black_box(&y)))
+    });
+    g.bench_function("b283_sqr", |bench| bench.iter(|| bf.sqr(black_box(&x))));
+    let mont = Montgomery::new(&NistPrime::P256.modulus());
+    let am = mont.to_mont(&a.limbs().to_vec());
+    let bm = mont.to_mont(&b.limbs().to_vec());
+    g.bench_function("p256_cios_montmul", |bench| {
+        bench.iter(|| mont.mul(black_box(&am), black_box(&bm)))
+    });
+    g.finish();
+}
+
+fn bench_curves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("curve");
+    g.sample_size(10);
+    let curve = CurveId::P256.curve();
+    let pc = curve.prime();
+    let gp = pc.generator();
+    let jac = pc.jac_from_affine(&gp);
+    g.bench_function("p256_jac_double", |bench| {
+        bench.iter(|| pc.jac_double(black_box(&jac)))
+    });
+    g.bench_function("p256_jac_add_affine", |bench| {
+        bench.iter(|| pc.jac_add_affine(black_box(&jac), black_box(&gp)))
+    });
+    let s = Mp::from_hex("123456789abcdef0fedcba9876543210deadbeef").unwrap();
+    g.bench_function("p256_scalar_mul_window", |bench| {
+        bench.iter(|| scalar::mul_window(pc, black_box(&s), &gp))
+    });
+    let kc = CurveId::K163.curve();
+    let bc = kc.binary();
+    let gb = bc.generator();
+    g.bench_function("k163_scalar_mul_window", |bench| {
+        bench.iter(|| scalar::mul_window(bc, black_box(&s), &gb))
+    });
+    g.finish();
+}
+
+fn bench_sha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    g.sample_size(30);
+    let data = vec![0xa5u8; 1024];
+    g.bench_function("1KiB", |bench| bench.iter(|| sha256(black_box(&data))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fields, bench_curves, bench_sha);
+criterion_main!(benches);

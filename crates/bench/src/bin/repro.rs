@@ -1,0 +1,27 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p ule-bench --release --bin repro -- all
+//! cargo run -p ule-bench --release --bin repro -- fig7_1 t7_4
+//! ```
+
+use ule_bench::{experiments, Runner};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment-id>... | all");
+        eprintln!("ids: fig7_1..fig7_15, t7_1..t7_5, s7_7, s7_8");
+        std::process::exit(2);
+    }
+    let mut runner = Runner::new();
+    for name in &args {
+        match experiments::by_name(name, &mut runner) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("unknown experiment {name:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

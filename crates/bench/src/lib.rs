@@ -1,0 +1,16 @@
+//! The benchmark harness: one reproduction per table and figure of the
+//! paper's evaluation chapter (see the per-experiment index in
+//! `DESIGN.md`).
+//!
+//! `cargo run -p ule-bench --release --bin repro -- all` regenerates
+//! everything; individual experiments run with their id (`fig7_1`,
+//! `t7_4`, `s7_7`, …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod prior;
+pub mod runner;
+
+pub use runner::Runner;

@@ -1,0 +1,60 @@
+//! Prior-work comparison series (external baselines quoted or modeled —
+//! they were external measurements in the paper too).
+
+use ule_billie::{Billie, BillieConfig};
+use ule_mpmath::nist::NistBinary;
+
+/// Modeled cycle count of a 163-bit **Montgomery-ladder** scalar
+/// multiplication on Billie with digit width `d` (Fig 7.14's second
+/// series). Per ladder bit the Lopez–Dahab x-only step costs 6 multiplies,
+/// 4 squarings, and 3 additions (§4.1's evaluated alternative), plus
+/// Pete-side issue overhead per operation and the final y-recovery
+/// (one Fermat inversion plus a handful of field operations).
+pub fn billie_ladder_cycles(d: usize) -> u64 {
+    let m = 163u64;
+    let b = Billie::with_config(NistBinary::B163, BillieConfig { digit: d });
+    let mul = b.mul_latency();
+    let issue_overhead = 4; // Pete issue + queue hand-off per operation
+    let per_bit = 6 * (mul + issue_overhead) + 4 * (1 + issue_overhead) + 3 * (1 + issue_overhead);
+    let fermat = (m - 2) * (mul + 1 + 2 * issue_overhead) + 200;
+    (m - 1) * per_bit + 2 * fermat + 40 * (mul + issue_overhead)
+}
+
+/// Modeled cycle count for the prior-work accelerator of Guo et al.
+/// (Fig 7.14's comparison points). Their design integrates an 8-bit
+/// microcontroller for control, which the paper identifies as the
+/// bottleneck Billie's coprocessor interface removes (§5.5.1, §7.6);
+/// we model it as the same ladder datapath with a 3× per-operation
+/// control overhead and half the register file (extra load/store
+/// traffic). Documented in `DESIGN.md` as a modeled series — the paper's
+/// own figure plots measured points we do not have numerically.
+pub fn guo_ladder_cycles(d: usize) -> u64 {
+    let m = 163u64;
+    let b = Billie::with_config(NistBinary::B163, BillieConfig { digit: d });
+    let mul = b.mul_latency();
+    let control = 14; // 8-bit MCU control overhead per operation
+    let spill = 2 * b.lsu_latency(); // reduced storage -> per-bit spills
+    let per_bit = 6 * (mul + control) + 4 * (1 + control) + 3 * (1 + control) + spill;
+    let fermat = (m - 2) * (mul + 1 + 2 * control) + 400;
+    (m - 1) * per_bit + 2 * fermat + 40 * (mul + control)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_models_are_monotone_in_digit_width() {
+        assert!(billie_ladder_cycles(1) > billie_ladder_cycles(4));
+        assert!(guo_ladder_cycles(1) > guo_ladder_cycles(4));
+    }
+
+    #[test]
+    fn billie_ladder_beats_prior_work() {
+        // §7.6: "In all cases, our Montgomery algorithm implementation
+        // outperforms prior work".
+        for d in 1..=8 {
+            assert!(billie_ladder_cycles(d) < guo_ladder_cycles(d), "D={d}");
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The design-space exploration API — the paper's primary contribution,
+//! as a library.
+//!
+//! A [`SystemConfig`] names one point in the hardware/software spectrum
+//! of Fig 1.1 (architecture × curve × instruction cache × accelerator
+//! knobs); [`System::run`] simulates an ECDSA workload on it and returns
+//! a [`RunReport`] with cycle counts, event counters, and the
+//! per-component energy breakdown — the quantities behind every table
+//! and figure of the paper's Chapter 7.
+//!
+//! ```no_run
+//! use ule_core::{SystemConfig, System, Workload};
+//! use ule_curves::params::CurveId;
+//! use ule_swlib::builder::Arch;
+//!
+//! let system = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline));
+//! let report = system.run(Workload::SignVerify);
+//! println!("{} cycles, {:.1} µJ", report.cycles, report.energy.total_uj());
+//! ```
+//!
+//! Every run is **checked**: the simulated outputs are compared against
+//! the `ule-curves` host reference before any number is reported (a run
+//! that computes the wrong signature panics rather than producing a
+//! plausible-looking energy figure).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ule_billie::{Billie, BillieConfig};
+use ule_curves::binary::AffinePoint2m;
+use ule_curves::ecdsa::{self, Keypair, PublicKey};
+use ule_curves::params::{Curve, CurveId, CurveKind};
+use ule_curves::prime::AffinePoint;
+use ule_curves::scalar;
+use ule_energy::report::Gating;
+use ule_energy::{Activity, CopActivity, CopKind, EnergyBreakdown, IcacheActivity};
+use ule_mpmath::mp::Mp;
+use ule_pete::cpu::{Counters, Machine, MachineConfig};
+use ule_pete::icache::CacheConfig;
+use ule_monte::{Monte, MonteConfig};
+use ule_swlib::builder::{build_suite, Arch, Suite};
+use ule_swlib::harness::{read_buf, run_entry, write_buf};
+
+/// §7.8 multiplier variants (identical timing, different power — the
+/// Karatsuba unit is the design point, §5.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultVariant {
+    /// The paper's multi-cycle Karatsuba unit.
+    Karatsuba,
+    /// A multi-cycle operand-scanning unit (+3.5 % core power, §7.8).
+    OperandScan,
+    /// A parallel pipelined multiplier (+13.4 % core power, §7.8).
+    Parallel,
+}
+
+impl MultVariant {
+    fn factor(self) -> f64 {
+        match self {
+            MultVariant::Karatsuba => 1.0,
+            MultVariant::OperandScan => ule_energy::constants::MULT_VARIANT_OPERAND_SCAN,
+            MultVariant::Parallel => ule_energy::constants::MULT_VARIANT_PARALLEL,
+        }
+    }
+}
+
+/// One point in the design space.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// The curve (key size + field type).
+    pub curve: CurveId,
+    /// The hardware/software configuration.
+    pub arch: Arch,
+    /// Optional instruction cache (§5.3).
+    pub icache: Option<CacheConfig>,
+    /// Monte front-end knobs (the §7.7 double-buffer ablation).
+    pub monte: MonteConfig,
+    /// Billie multiplier digit width (Fig 7.14 sweep).
+    pub billie_digit: usize,
+    /// Multiplier power variant (§7.8).
+    pub mult_variant: MultVariant,
+    /// Idle-accelerator gating (the paper's §8 future-work extension).
+    pub gating: Gating,
+    /// Model Billie's register file in SRAM instead of flip-flops (§8
+    /// future-work extension; no timing change).
+    pub billie_sram_rf: bool,
+}
+
+impl SystemConfig {
+    /// The standard configuration for an (arch, curve) pair.
+    pub fn new(curve: CurveId, arch: Arch) -> Self {
+        SystemConfig {
+            curve,
+            arch,
+            icache: None,
+            monte: MonteConfig::default(),
+            billie_digit: 3,
+            mult_variant: MultVariant::Karatsuba,
+            gating: Gating::None,
+            billie_sram_rf: false,
+        }
+    }
+
+    /// Adds an instruction cache.
+    pub fn with_icache(mut self, cache: CacheConfig) -> Self {
+        self.icache = Some(cache);
+        self
+    }
+}
+
+/// The simulated ECDSA workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// One signature (a single scalar multiplication + protocol math).
+    Sign,
+    /// One verification (a twin scalar multiplication + protocol math).
+    Verify,
+    /// Signature followed by verification — the paper's headline metric
+    /// ("closely models an SSL handshake on the client side", §7.6).
+    SignVerify,
+    /// One `k·G` scalar multiplication only.
+    ScalarMul,
+    /// One field multiplication (micro-benchmark).
+    FieldMul,
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Sign => "Sign",
+            Workload::Verify => "Verify",
+            Workload::SignVerify => "Sign+Verify",
+            Workload::ScalarMul => "kG",
+            Workload::FieldMul => "field mul",
+        }
+    }
+}
+
+/// The result of simulating one workload on one configuration.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Total cycles (summed over the workload's entry points).
+    pub cycles: u64,
+    /// Aggregated pipeline counters.
+    pub counters: Counters,
+    /// The activity record handed to the energy model.
+    pub activity: Activity,
+    /// Per-component energy.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunReport {
+    /// Wall-clock time at the 333 MHz system clock, milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.activity.time_s() * 1e3
+    }
+
+    /// Energy per operation, µJ.
+    pub fn energy_uj(&self) -> f64 {
+        self.energy.total_uj()
+    }
+}
+
+/// A built system: curve context + program image + configuration.
+pub struct System {
+    config: SystemConfig,
+    curve: Curve,
+    suite: Suite,
+}
+
+impl System {
+    /// Builds the system (curve construction + suite codegen + link).
+    pub fn new(config: SystemConfig) -> Self {
+        let curve = config.curve.curve();
+        let suite = build_suite(&curve, config.arch);
+        System {
+            config,
+            curve,
+            suite,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The curve context.
+    pub fn curve(&self) -> &Curve {
+        &self.curve
+    }
+
+    /// The built program image.
+    pub fn suite(&self) -> &Suite {
+        &self.suite
+    }
+
+    fn machine(&self) -> Machine {
+        let mut mc = match self.config.arch {
+            Arch::Baseline => MachineConfig::baseline(),
+            _ => MachineConfig::isa_ext(),
+        };
+        mc.icache = self.config.icache;
+        let mut m = Machine::new(&self.suite.program, mc);
+        match self.config.arch {
+            Arch::Monte => {
+                m.attach_coprocessor(Box::new(Monte::with_config(self.config.monte)));
+            }
+            Arch::Billie => {
+                m.attach_coprocessor(Box::new(Billie::with_config(
+                    self.config.curve.nist_binary(),
+                    BillieConfig {
+                        digit: self.config.billie_digit,
+                    },
+                )));
+            }
+            _ => {}
+        }
+        m
+    }
+
+    /// Deterministic workload inputs shared by every configuration (so
+    /// cross-architecture comparisons run the very same operation).
+    fn inputs(&self) -> WorkloadInputs {
+        let curve = &self.curve;
+        let keys = Keypair::derive(curve, b"design-space signer");
+        let e = ecdsa::hash_to_scalar(curve, b"the design space of ultra-low energy asymmetric cryptography");
+        let nonce = ecdsa::derive_scalar(curve, b"bench nonce", b"nonce");
+        let sig = ecdsa::sign_with_nonce(curve, keys.private(), &e, &nonce)
+            .expect("deterministic nonce is valid");
+        WorkloadInputs {
+            keys,
+            e,
+            nonce,
+            sig,
+        }
+    }
+
+    /// Runs one workload, verifying functional outputs against the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated outputs disagree with the host reference —
+    /// a wrong-but-fast simulation must never produce a data point.
+    pub fn run(&self, workload: Workload) -> RunReport {
+        let k = self.suite.k;
+        let inp = self.inputs();
+        let d_limbs = inp.keys.private().to_limbs(k);
+        let e_limbs = inp.e.to_limbs(k);
+        let k_limbs = inp.nonce.to_limbs(k);
+        let (qx, qy) = public_xy(&self.curve, &inp.keys.public(), k);
+        let mut total = RunAccum::default();
+        match workload {
+            Workload::Sign | Workload::SignVerify => {
+                let mut m = self.machine();
+                write_buf(&mut m, &self.suite.program, "arg_e", &e_limbs);
+                write_buf(&mut m, &self.suite.program, "arg_d", &d_limbs);
+                write_buf(&mut m, &self.suite.program, "arg_k", &k_limbs);
+                run_entry(&mut m, &self.suite.program, "main_sign", u64::MAX / 2);
+                let r = Mp::from_limbs(&read_buf(&m, &self.suite.program, "out_r", k));
+                let s = Mp::from_limbs(&read_buf(&m, &self.suite.program, "out_s", k));
+                assert_eq!(r, inp.sig.r, "simulated r mismatch");
+                assert_eq!(s, inp.sig.s, "simulated s mismatch");
+                total.add(&m, self);
+            }
+            _ => {}
+        }
+        match workload {
+            Workload::Verify | Workload::SignVerify => {
+                let mut m = self.machine();
+                write_buf(&mut m, &self.suite.program, "arg_e", &e_limbs);
+                write_buf(&mut m, &self.suite.program, "arg_r", &inp.sig.r.to_limbs(k));
+                write_buf(&mut m, &self.suite.program, "arg_s", &inp.sig.s.to_limbs(k));
+                write_buf(&mut m, &self.suite.program, "arg_qx", &qx);
+                write_buf(&mut m, &self.suite.program, "arg_qy", &qy);
+                run_entry(&mut m, &self.suite.program, "main_verify", u64::MAX / 2);
+                assert_eq!(
+                    read_buf(&m, &self.suite.program, "out_ok", 1),
+                    vec![1],
+                    "simulated verification rejected a valid signature"
+                );
+                total.add(&m, self);
+            }
+            _ => {}
+        }
+        if workload == Workload::ScalarMul {
+            let mut m = self.machine();
+            write_buf(&mut m, &self.suite.program, "arg_k", &k_limbs);
+            run_entry(&mut m, &self.suite.program, "main_scalar_mul", u64::MAX / 2);
+            let gx = read_buf(&m, &self.suite.program, "out_r", k);
+            let expect = host_mul_g(&self.curve, &inp.nonce, k);
+            assert_eq!(gx, expect.0, "simulated kG mismatch");
+            total.add(&m, self);
+        }
+        if workload == Workload::FieldMul {
+            let mut m = self.machine();
+            write_buf(&mut m, &self.suite.program, "arg_qx", &qx);
+            write_buf(&mut m, &self.suite.program, "arg_qy", &qy);
+            run_entry(&mut m, &self.suite.program, "main_fmul", u64::MAX / 2);
+            total.add(&m, self);
+        }
+        total.finish(self)
+    }
+}
+
+struct WorkloadInputs {
+    keys: Keypair,
+    e: Mp,
+    nonce: Mp,
+    sig: ecdsa::Signature,
+}
+
+fn public_xy(_curve: &Curve, public: &PublicKey, k: usize) -> (Vec<u32>, Vec<u32>) {
+    match public {
+        PublicKey::Prime(AffinePoint::Point { x, y }) => (x.limbs().to_vec(), y.limbs().to_vec()),
+        PublicKey::Binary(AffinePoint2m::Point { x, y }) => {
+            (x.limbs().to_vec(), y.limbs().to_vec())
+        }
+        _ => (vec![0; k], vec![0; k]),
+    }
+}
+
+fn host_mul_g(curve: &Curve, s: &Mp, k: usize) -> (Vec<u32>, Vec<u32>) {
+    match curve.kind() {
+        CurveKind::Prime(c) => match scalar::mul_window(c, s, &c.generator()) {
+            AffinePoint::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
+            AffinePoint::Infinity => (vec![0; k], vec![0; k]),
+        },
+        CurveKind::Binary(c) => match scalar::mul_window(c, s, &c.generator()) {
+            AffinePoint2m::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
+            AffinePoint2m::Infinity => (vec![0; k], vec![0; k]),
+        },
+    }
+}
+
+/// Accumulates counters/stats across the entry points of a workload.
+#[derive(Default)]
+struct RunAccum {
+    counters: Counters,
+    rom_reads: u64,
+    rom_lines: u64,
+    ram_reads: u64,
+    ram_writes: u64,
+    icache_accesses: u64,
+    icache_fills: u64,
+    cop_busy: u64,
+    cop_dma: u64,
+    cop_ucode: u64,
+}
+
+impl RunAccum {
+    fn add(&mut self, m: &Machine, _sys: &System) {
+        let c = m.counters();
+        self.counters.instructions += c.instructions;
+        self.counters.cycles += c.cycles;
+        self.counters.stall_cycles += c.stall_cycles;
+        self.counters.load_use_stalls += c.load_use_stalls;
+        self.counters.branches += c.branches;
+        self.counters.mispredicts += c.mispredicts;
+        self.counters.mult_active_cycles += c.mult_active_cycles;
+        self.counters.mult_stalls += c.mult_stalls;
+        self.counters.mult_ops += c.mult_ops;
+        self.counters.div_ops += c.div_ops;
+        self.counters.cop2_ops += c.cop2_ops;
+        self.counters.cop2_stalls += c.cop2_stalls;
+        self.counters.fetches += c.fetches;
+        let rom = m.rom_stats();
+        self.rom_reads += rom.reads;
+        self.rom_lines += rom.line_reads;
+        let ram = m.ram_stats();
+        self.ram_reads += ram.reads;
+        self.ram_writes += ram.writes;
+        if let Some(ic) = m.icache_stats() {
+            self.icache_accesses += ic.accesses;
+            self.icache_fills += ic.fills;
+        }
+        let cop = m.cop_stats();
+        self.cop_busy += cop.busy_cycles;
+        self.cop_dma += cop.dma_cycles;
+        self.cop_ucode += cop.ucode_reads;
+    }
+
+    fn finish(self, sys: &System) -> RunReport {
+        let cycles = self.counters.cycles;
+        let activity = Activity {
+            cycles,
+            busy_cycles: cycles.saturating_sub(self.counters.stall_cycles),
+            stall_cycles: self.counters.stall_cycles,
+            mult_active_cycles: self.counters.mult_active_cycles,
+            mult_variant_factor: sys.config.mult_variant.factor(),
+            rom_word_reads: self.rom_reads,
+            rom_line_reads: self.rom_lines,
+            ram_reads: self.ram_reads,
+            ram_writes: self.ram_writes,
+            icache: sys.config.icache.map(|c| IcacheActivity {
+                size_bytes: c.size_bytes,
+                accesses: self.icache_accesses,
+                fills: self.icache_fills,
+            }),
+            cop: match sys.config.arch {
+                Arch::Monte => Some(CopActivity {
+                    kind: CopKind::Monte,
+                    busy_cycles: self.cop_busy,
+                    dma_cycles: self.cop_dma,
+                    // 3 scratch accesses per busy cycle (2 reads + 1
+                    // write on average through the CIOS inner loops).
+                    scratch_accesses: 3 * self.cop_busy,
+                    gating: sys.config.gating,
+                    sram_register_file: false,
+                }),
+                Arch::Billie => Some(CopActivity {
+                    kind: CopKind::Billie {
+                        m: sys.config.curve.nist_binary().m(),
+                    },
+                    busy_cycles: self.cop_busy,
+                    dma_cycles: self.cop_dma,
+                    scratch_accesses: 0,
+                    gating: sys.config.gating,
+                    sram_register_file: sys.config.billie_sram_rf,
+                }),
+                _ => None,
+            },
+        };
+        let energy = ule_energy::report::energy(&activity);
+        RunReport {
+            cycles,
+            counters: self.counters,
+            activity,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_on_p192_baseline() {
+        let sys = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline));
+        let r = sys.run(Workload::SignVerify);
+        assert!(r.cycles > 100_000);
+        assert!(r.energy_uj() > 0.0);
+        assert!(r.time_ms() > 0.0);
+    }
+
+    #[test]
+    fn isa_ext_beats_baseline_on_p192() {
+        let base = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline))
+            .run(Workload::ScalarMul);
+        let ext =
+            System::new(SystemConfig::new(CurveId::P192, Arch::IsaExt)).run(Workload::ScalarMul);
+        assert!(
+            ext.cycles < base.cycles,
+            "ext {} !< base {}",
+            ext.cycles,
+            base.cycles
+        );
+        assert!(ext.energy_uj() < base.energy_uj());
+    }
+}

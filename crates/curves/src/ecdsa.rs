@@ -1,0 +1,323 @@
+//! ECDSA — the Elliptic Curve Digital Signature Algorithm, the benchmark
+//! workload of the entire study (§4.1).
+//!
+//! A **signature** costs one single scalar point multiplication
+//! (`X = kG`) plus protocol arithmetic modulo the group order; a
+//! **verification** costs one *twin* scalar multiplication
+//! (`X = u1·G + u2·Q`). The paper's headline metric is the energy of one
+//! *signature followed by one verification* ("closely models an SSL
+//! handshake on the client side", §7.6).
+//!
+//! Nonces and keys are derived deterministically from seeds via SHA-256 so
+//! that every experiment in the repository is reproducible; see
+//! `DESIGN.md` for why this substitution is sound (nonce generation is
+//! not part of the paper's measured energy).
+
+use crate::binary::AffinePoint2m;
+use crate::params::{Curve, CurveKind};
+use crate::prime::AffinePoint;
+use crate::scalar;
+use crate::sha256::Sha256;
+use ule_mpmath::fp::FpElement;
+use ule_mpmath::mp::Mp;
+
+/// A public key: a point on the curve, family-specific.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PublicKey {
+    /// Public point on a prime curve.
+    Prime(AffinePoint),
+    /// Public point on a binary curve.
+    Binary(AffinePoint2m),
+}
+
+/// A private/public key pair.
+#[derive(Clone, Debug)]
+pub struct Keypair {
+    d: Mp,
+    public: PublicKey,
+}
+
+impl Keypair {
+    /// Derives a key pair deterministically from a seed.
+    pub fn derive(curve: &Curve, seed: &[u8]) -> Keypair {
+        let d = derive_scalar(curve, seed, b"key");
+        Keypair::from_private(curve, d)
+    }
+
+    /// Builds the key pair for a given private scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero or `>= n`.
+    pub fn from_private(curve: &Curve, d: Mp) -> Keypair {
+        assert!(!d.is_zero() && &d < curve.n(), "private key out of range");
+        let public = match curve.kind() {
+            CurveKind::Prime(c) => PublicKey::Prime(scalar::mul_window(c, &d, &c.generator())),
+            CurveKind::Binary(c) => PublicKey::Binary(scalar::mul_window(c, &d, &c.generator())),
+        };
+        Keypair { d, public }
+    }
+
+    /// The private scalar.
+    pub fn private(&self) -> &Mp {
+        &self.d
+    }
+
+    /// The public point.
+    pub fn public(&self) -> PublicKey {
+        self.public.clone()
+    }
+}
+
+/// An ECDSA signature `(r, s)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// The `r` component (`x(kG) mod n`).
+    pub r: Mp,
+    /// The `s` component (`k^{-1}(e + r d) mod n`).
+    pub s: Mp,
+}
+
+/// Hashes a message and truncates it into a scalar, per the ECDSA
+/// convention (leftmost `bits(n)` bits of the digest, then reduced).
+pub fn hash_to_scalar(curve: &Curve, msg: &[u8]) -> Mp {
+    let digest = crate::sha256::sha256(msg);
+    digest_to_scalar(curve, &digest)
+}
+
+/// Truncates an externally computed digest into a scalar.
+pub fn digest_to_scalar(curve: &Curve, digest: &[u8]) -> Mp {
+    let mut limbs = Vec::with_capacity((digest.len() + 3) / 4);
+    // big-endian bytes -> little-endian limbs
+    for chunk in digest.rchunks(4) {
+        let mut w = 0u32;
+        for &b in chunk {
+            w = (w << 8) | b as u32;
+        }
+        limbs.push(w);
+    }
+    let mut e = Mp::from_limbs(&limbs);
+    let digest_bits = digest.len() * 8;
+    let n_bits = curve.n().bit_len();
+    if digest_bits > n_bits {
+        e = e.shr(digest_bits - n_bits);
+    }
+    e.rem(curve.n())
+}
+
+/// Derives a scalar in `[1, n-1]` from a seed by iterated hashing
+/// (deterministic; used for keys and nonces).
+pub fn derive_scalar(curve: &Curve, seed: &[u8], label: &[u8]) -> Mp {
+    let n = curve.n();
+    let mut counter = 0u32;
+    loop {
+        // Concatenate as many digests as needed to cover bits(n) + 64.
+        let mut material = Vec::new();
+        let blocks = (n.bit_len() + 64 + 255) / 256;
+        for i in 0..blocks {
+            let mut h = Sha256::new();
+            h.update(label);
+            h.update(seed);
+            h.update(&counter.to_be_bytes());
+            h.update(&(i as u32).to_be_bytes());
+            material.extend_from_slice(&h.finalize());
+        }
+        let mut limbs = Vec::new();
+        for chunk in material.rchunks(4) {
+            let mut w = 0u32;
+            for &b in chunk {
+                w = (w << 8) | b as u32;
+            }
+            limbs.push(w);
+        }
+        let k = Mp::from_limbs(&limbs).rem(n);
+        if !k.is_zero() {
+            return k;
+        }
+        counter += 1;
+    }
+}
+
+/// Signs a prehashed scalar `e` with an explicit nonce `k` — the exact
+/// computation the simulated software performs. Returns `None` if the
+/// nonce yields `r = 0` or `s = 0` (caller picks a new nonce).
+pub fn sign_with_nonce(curve: &Curve, d: &Mp, e: &Mp, k: &Mp) -> Option<Signature> {
+    assert!(!k.is_zero() && k < curve.n(), "nonce out of range");
+    let nf = curve.order_field();
+    let x_int = match curve.kind() {
+        CurveKind::Prime(c) => {
+            let p = scalar::mul_window(c, k, &c.generator());
+            c.x_as_integer(&p)?
+        }
+        CurveKind::Binary(c) => {
+            let p = scalar::mul_window(c, k, &c.generator());
+            c.x_as_integer(&p)?
+        }
+    };
+    let r = x_int.rem(curve.n());
+    if r.is_zero() {
+        return None;
+    }
+    // s = k^{-1} (e + r d) mod n
+    let e_el = nf.from_mp(e);
+    let r_el = nf.from_mp(&r);
+    let d_el = nf.from_mp(d);
+    let k_el = nf.from_mp(k);
+    let kinv = nf.inv(&k_el).expect("k nonzero mod prime n");
+    let s_el = nf.mul(&kinv, &nf.add(&e_el, &nf.mul(&r_el, &d_el)));
+    if s_el.is_zero() {
+        return None;
+    }
+    Some(Signature {
+        r,
+        s: s_el.to_mp(),
+    })
+}
+
+/// Signs a message with a deterministic nonce derived from `nonce_seed`.
+pub fn sign(curve: &Curve, keys: &Keypair, msg: &[u8], nonce_seed: &[u8]) -> Signature {
+    let e = hash_to_scalar(curve, msg);
+    let mut attempt = 0u32;
+    loop {
+        let mut seed = nonce_seed.to_vec();
+        seed.extend_from_slice(&attempt.to_be_bytes());
+        let k = derive_scalar(curve, &seed, b"nonce");
+        if let Some(sig) = sign_with_nonce(curve, keys.private(), &e, &k) {
+            return sig;
+        }
+        attempt += 1;
+    }
+}
+
+/// Verifies a signature over a prehashed scalar `e` — the exact
+/// computation the simulated software performs (twin scalar
+/// multiplication `u1·G + u2·Q`, §4.1).
+pub fn verify_prehashed(curve: &Curve, public: &PublicKey, e: &Mp, sig: &Signature) -> bool {
+    let n = curve.n();
+    if sig.r.is_zero() || &sig.r >= n || sig.s.is_zero() || &sig.s >= n {
+        return false;
+    }
+    let nf = curve.order_field();
+    let w = nf.inv(&nf.from_mp(&sig.s)).expect("s nonzero mod prime n");
+    let u1 = nf.mul(&nf.from_mp(e), &w).to_mp();
+    let u2 = nf.mul(&nf.from_mp(&sig.r), &w).to_mp();
+    let x_int = match (curve.kind(), public) {
+        (CurveKind::Prime(c), PublicKey::Prime(q)) => {
+            let x = scalar::twin_mul(c, &u1, &c.generator(), &u2, q);
+            match c.x_as_integer(&x) {
+                Some(v) => v,
+                None => return false,
+            }
+        }
+        (CurveKind::Binary(c), PublicKey::Binary(q)) => {
+            let x = scalar::twin_mul(c, &u1, &c.generator(), &u2, q);
+            match c.x_as_integer(&x) {
+                Some(v) => v,
+                None => return false,
+            }
+        }
+        _ => return false, // key from the wrong family
+    };
+    x_int.rem(n) == sig.r
+}
+
+/// Verifies a signature on a message.
+pub fn verify(curve: &Curve, public: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+    let e = hash_to_scalar(curve, msg);
+    verify_prehashed(curve, public, &e, sig)
+}
+
+/// Helper for simulated targets: the `r` component as a field element of
+/// the order field (used when cross-checking simulator RAM contents).
+pub fn r_as_order_element(curve: &Curve, sig: &Signature) -> FpElement {
+    curve.order_field().from_mp(&sig.r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CurveId;
+
+    #[test]
+    fn sign_verify_round_trip_p192() {
+        let curve = CurveId::P192.curve();
+        let keys = Keypair::derive(&curve, b"alice");
+        let msg = b"the medical telemetry payload";
+        let sig = sign(&curve, &keys, msg, b"session 1");
+        assert!(verify(&curve, &keys.public(), msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let curve = CurveId::P192.curve();
+        let keys = Keypair::derive(&curve, b"alice");
+        let sig = sign(&curve, &keys, b"original", b"session 2");
+        assert!(!verify(&curve, &keys.public(), b"orig1nal", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let curve = CurveId::P192.curve();
+        let keys = Keypair::derive(&curve, b"alice");
+        let mut sig = sign(&curve, &keys, b"msg", b"session 3");
+        sig.s = sig.s.add(&Mp::one());
+        assert!(!verify(&curve, &keys.public(), b"msg", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let curve = CurveId::P192.curve();
+        let alice = Keypair::derive(&curve, b"alice");
+        let eve = Keypair::derive(&curve, b"eve");
+        let sig = sign(&curve, &alice, b"msg", b"session 4");
+        assert!(!verify(&curve, &eve.public(), b"msg", &sig));
+    }
+
+    #[test]
+    fn sign_verify_binary_k163() {
+        let curve = CurveId::K163.curve();
+        let keys = Keypair::derive(&curve, b"bob");
+        let msg = b"sensor reading 42.0C";
+        let sig = sign(&curve, &keys, msg, b"wsn epoch 9");
+        assert!(verify(&curve, &keys.public(), msg, &sig));
+        assert!(!verify(&curve, &keys.public(), b"sensor reading 43.0C", &sig));
+    }
+
+    #[test]
+    fn signature_bounds_enforced() {
+        let curve = CurveId::P192.curve();
+        let keys = Keypair::derive(&curve, b"alice");
+        let e = hash_to_scalar(&curve, b"msg");
+        let zero_r = Signature {
+            r: Mp::zero(),
+            s: Mp::one(),
+        };
+        assert!(!verify_prehashed(&curve, &keys.public(), &e, &zero_r));
+        let big_s = Signature {
+            r: Mp::one(),
+            s: curve.n().clone(),
+        };
+        assert!(!verify_prehashed(&curve, &keys.public(), &e, &big_s));
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let curve = CurveId::P192.curve();
+        let keys = Keypair::derive(&curve, b"alice");
+        let s1 = sign(&curve, &keys, b"m", b"nonce");
+        let s2 = sign(&curve, &keys, b"m", b"nonce");
+        assert_eq!(s1, s2);
+        let s3 = sign(&curve, &keys, b"m", b"other nonce");
+        assert_ne!(s1, s3);
+        assert!(verify(&curve, &keys.public(), b"m", &s3));
+    }
+
+    #[test]
+    fn digest_truncation_widths() {
+        // 521-bit order: digest shorter than n -> no shift.
+        let curve = CurveId::P192.curve();
+        let e = hash_to_scalar(&curve, b"x");
+        assert!(e.bit_len() <= 192);
+        assert!(&e < curve.n());
+    }
+}

@@ -1,0 +1,490 @@
+//! Scalar point multiplication — the elliptic-curve one-way function
+//! (§2.1.5, §4.1).
+//!
+//! Three algorithms are implemented, generically over both curve families
+//! via the [`GroupOps`] trait:
+//!
+//! * [`mul_binary`] — right-to-left binary double-and-add (Algorithm 1 of
+//!   the paper), "shown purely for example sake" there and kept here as a
+//!   simple cross-check oracle;
+//! * [`mul_window`] — the left-to-right **sliding-window** method with
+//!   precomputed small odd multiples, the algorithm the paper uses for a
+//!   signature's single scalar multiplication (§4.1);
+//! * [`twin_mul`] — **twin (simultaneous) multiplication**
+//!   `u1*P + u2*Q` with precomputed `P+Q` and `P-Q`, the algorithm the
+//!   paper uses for verification, costing less than two single
+//!   multiplications (§4.1).
+//!
+//! The Lopez–Dahab **Montgomery ladder** for binary curves — evaluated by
+//! the paper for Billie and found *less* efficient than sliding windows
+//! (§4.1, Fig 7.14) — lives here too ([`montgomery_ladder_2m`]).
+//!
+//! Instrumented operation counts ([`OpCount`]) are exposed so the harness
+//! can translate algorithm behaviour into accelerator instruction streams.
+
+use crate::binary::{AffinePoint2m, BinaryCurve, LdPoint};
+use crate::prime::{AffinePoint, JacobianPoint, PrimeCurve};
+use ule_mpmath::mp::Mp;
+
+/// Field-operation census for one scalar multiplication; drives the
+/// accelerator performance models and the Fig 7.14 study.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCount {
+    /// Projective point doublings performed.
+    pub doubles: usize,
+    /// Projective point additions (or subtractions) performed.
+    pub adds: usize,
+    /// Field inversions performed (coordinate conversions).
+    pub inversions: usize,
+}
+
+/// Uniform interface over the two curve families' mixed-coordinate
+/// operations, so the scalar-multiplication algorithms are written once.
+pub trait GroupOps {
+    /// Projective (inner-loop) point representation.
+    type Proj: Clone;
+    /// Affine point representation (with an infinity encoding).
+    type Aff: Clone + PartialEq;
+
+    /// The projective identity.
+    fn identity(&self) -> Self::Proj;
+    /// True for the identity.
+    fn is_identity(&self, p: &Self::Proj) -> bool;
+    /// Inversion-free doubling.
+    fn double(&self, p: &Self::Proj) -> Self::Proj;
+    /// Mixed projective + affine addition.
+    fn add_affine(&self, p: &Self::Proj, q: &Self::Aff) -> Self::Proj;
+    /// Affine negation (cheap in both families).
+    fn neg_affine(&self, q: &Self::Aff) -> Self::Aff;
+    /// Convert to affine (costs one field inversion).
+    fn to_affine(&self, p: &Self::Proj) -> Self::Aff;
+    /// Lift an affine point.
+    fn from_affine(&self, q: &Self::Aff) -> Self::Proj;
+    /// The affine infinity encoding.
+    fn affine_infinity(&self) -> Self::Aff;
+}
+
+impl GroupOps for PrimeCurve {
+    type Proj = JacobianPoint;
+    type Aff = AffinePoint;
+
+    fn identity(&self) -> JacobianPoint {
+        self.jac_identity()
+    }
+    fn is_identity(&self, p: &JacobianPoint) -> bool {
+        self.jac_is_identity(p)
+    }
+    fn double(&self, p: &JacobianPoint) -> JacobianPoint {
+        self.jac_double(p)
+    }
+    fn add_affine(&self, p: &JacobianPoint, q: &AffinePoint) -> JacobianPoint {
+        self.jac_add_affine(p, q)
+    }
+    fn neg_affine(&self, q: &AffinePoint) -> AffinePoint {
+        self.neg(q)
+    }
+    fn to_affine(&self, p: &JacobianPoint) -> AffinePoint {
+        self.jac_to_affine(p)
+    }
+    fn from_affine(&self, q: &AffinePoint) -> JacobianPoint {
+        self.jac_from_affine(q)
+    }
+    fn affine_infinity(&self) -> AffinePoint {
+        AffinePoint::Infinity
+    }
+}
+
+impl GroupOps for BinaryCurve {
+    type Proj = LdPoint;
+    type Aff = AffinePoint2m;
+
+    fn identity(&self) -> LdPoint {
+        self.ld_identity()
+    }
+    fn is_identity(&self, p: &LdPoint) -> bool {
+        self.ld_is_identity(p)
+    }
+    fn double(&self, p: &LdPoint) -> LdPoint {
+        self.ld_double(p)
+    }
+    fn add_affine(&self, p: &LdPoint, q: &AffinePoint2m) -> LdPoint {
+        self.ld_add_affine(p, q)
+    }
+    fn neg_affine(&self, q: &AffinePoint2m) -> AffinePoint2m {
+        self.neg(q)
+    }
+    fn to_affine(&self, p: &LdPoint) -> AffinePoint2m {
+        self.ld_to_affine(p)
+    }
+    fn from_affine(&self, q: &AffinePoint2m) -> LdPoint {
+        self.ld_from_affine(q)
+    }
+    fn affine_infinity(&self) -> AffinePoint2m {
+        AffinePoint2m::Infinity
+    }
+}
+
+/// Right-to-left binary double-and-add — Algorithm 1 of the paper.
+///
+/// Kept as the simple oracle the optimized algorithms are tested against
+/// (the paper: "shown here purely for example sake. Due to its simplicity,
+/// it is relatively inefficient").
+pub fn mul_binary<C: GroupOps>(curve: &C, x: &Mp, p: &C::Aff) -> C::Aff {
+    let mut q = curve.identity();
+    let mut base = p.clone();
+    let bits = x.bit_len();
+    for i in 0..bits {
+        if x.bit(i) {
+            q = curve.add_affine(&q, &base);
+        }
+        if i + 1 < bits {
+            // base = 2*base, normalized back to affine so the mixed add
+            // stays applicable (oracle only; cost is irrelevant here).
+            let d = curve.double(&curve.from_affine(&base));
+            base = curve.to_affine(&d);
+        }
+    }
+    curve.to_affine(&q)
+}
+
+/// Sliding-window width used by the study's software suite. The paper
+/// precomputes `3P` and `5P` and exploits cheap subtraction; we use a
+/// plain width-3 sliding window over odd multiples `{P, 3P, 5P, 7P}`, the
+/// closest standard formulation (noted in `DESIGN.md`).
+pub const WINDOW_WIDTH: usize = 3;
+
+/// Precomputed odd multiples `[P, 3P, 5P, 7P]` for the sliding window.
+pub fn precompute_window<C: GroupOps>(curve: &C, p: &C::Aff) -> Vec<C::Aff> {
+    let two_p = curve.double(&curve.from_affine(p));
+    let two_p_aff = curve.to_affine(&two_p);
+    let mut table = Vec::with_capacity(1 << (WINDOW_WIDTH - 1));
+    let mut cur = p.clone();
+    table.push(cur.clone());
+    for _ in 1..(1 << (WINDOW_WIDTH - 1)) {
+        let next = curve.add_affine(&curve.from_affine(&cur), &two_p_aff);
+        cur = curve.to_affine(&next);
+        table.push(cur.clone());
+    }
+    table
+}
+
+/// Left-to-right sliding-window scalar multiplication (§4.1), returning
+/// the result and the operation census.
+pub fn mul_window_counted<C: GroupOps>(curve: &C, x: &Mp, p: &C::Aff) -> (C::Aff, OpCount) {
+    let mut count = OpCount::default();
+    if x.is_zero() {
+        return (curve.affine_infinity(), count);
+    }
+    let table = precompute_window(curve, p);
+    // Precomputation cost: 1 double + (2^(w-1) - 1) adds, plus the affine
+    // normalizations (1 inversion each).
+    count.doubles += 1;
+    count.adds += table.len() - 1;
+    count.inversions += table.len(); // normalizations of the 2P chain
+    let mut q = curve.identity();
+    let mut i = x.bit_len() as isize - 1;
+    while i >= 0 {
+        if !x.bit(i as usize) {
+            q = curve.double(&q);
+            count.doubles += 1;
+            i -= 1;
+        } else {
+            // Take the widest window [j..=i] with bit j set.
+            let mut j = (i - (WINDOW_WIDTH as isize - 1)).max(0);
+            while !x.bit(j as usize) {
+                j += 1;
+            }
+            let width = (i - j + 1) as usize;
+            let mut value = 0usize;
+            for b in (j..=i).rev() {
+                value = (value << 1) | x.bit(b as usize) as usize;
+            }
+            for _ in 0..width {
+                q = curve.double(&q);
+                count.doubles += 1;
+            }
+            debug_assert!(value % 2 == 1);
+            q = curve.add_affine(&q, &table[value / 2]);
+            count.adds += 1;
+            i = j - 1;
+        }
+    }
+    count.inversions += 1; // final conversion to affine
+    (curve.to_affine(&q), count)
+}
+
+/// Sliding-window scalar multiplication, result only.
+pub fn mul_window<C: GroupOps>(curve: &C, x: &Mp, p: &C::Aff) -> C::Aff {
+    mul_window_counted(curve, x, p).0
+}
+
+/// Twin scalar multiplication `u1*P + u2*Q` by simultaneous scanning with
+/// a precomputed joint point (§4.1). Both multipliers are scanned
+/// together one bit at a time; per bit-pair `(b1, b2)` the addend is
+/// `P`, `Q`, or `P+Q`. Returns the result and the operation census.
+///
+/// The paper's variant additionally precomputes `P-Q` and uses signed
+/// recoding; the plain Shamir trick here has the same structure and the
+/// same headline property (one twin multiplication is cheaper than two
+/// single ones). The `P-Q` precomputation is retained so the cost model
+/// charges for it, as the paper's implementation does.
+pub fn twin_mul_counted<C: GroupOps>(
+    curve: &C,
+    u1: &Mp,
+    p: &C::Aff,
+    u2: &Mp,
+    q: &C::Aff,
+) -> (C::Aff, OpCount) {
+    let mut count = OpCount::default();
+    let p_plus_q = {
+        let t = curve.add_affine(&curve.from_affine(p), q);
+        curve.to_affine(&t)
+    };
+    let p_minus_q = {
+        let t = curve.add_affine(&curve.from_affine(p), &curve.neg_affine(q));
+        curve.to_affine(&t)
+    };
+    let _ = &p_minus_q;
+    count.adds += 2;
+    count.inversions += 2;
+    let bits = u1.bit_len().max(u2.bit_len());
+    let mut r = curve.identity();
+    for i in (0..bits).rev() {
+        r = curve.double(&r);
+        count.doubles += 1;
+        match (u1.bit(i), u2.bit(i)) {
+            (false, false) => {}
+            (true, false) => {
+                r = curve.add_affine(&r, p);
+                count.adds += 1;
+            }
+            (false, true) => {
+                r = curve.add_affine(&r, q);
+                count.adds += 1;
+            }
+            (true, true) => {
+                r = curve.add_affine(&r, &p_plus_q);
+                count.adds += 1;
+            }
+        }
+    }
+    count.inversions += 1;
+    (curve.to_affine(&r), count)
+}
+
+/// Twin multiplication, result only.
+pub fn twin_mul<C: GroupOps>(curve: &C, u1: &Mp, p: &C::Aff, u2: &Mp, q: &C::Aff) -> C::Aff {
+    twin_mul_counted(curve, u1, p, u2, q).0
+}
+
+/// Lopez–Dahab **Montgomery ladder** (x-coordinate-only) scalar
+/// multiplication for binary curves — the algorithm the paper evaluated
+/// for Billie and found more costly than sliding windows (§4.1,
+/// Fig 7.14). Returns `k*P` in affine coordinates plus the census
+/// (each ladder step counts as 1 double + 1 add).
+///
+/// # Panics
+///
+/// Panics if `p` is the point at infinity.
+pub fn montgomery_ladder_2m(
+    curve: &BinaryCurve,
+    k: &Mp,
+    p: &AffinePoint2m,
+) -> (AffinePoint2m, OpCount) {
+    let f = curve.field();
+    let mut count = OpCount::default();
+    let px = match p {
+        AffinePoint2m::Infinity => panic!("ladder base point must be finite"),
+        AffinePoint2m::Point { x, .. } => x.clone(),
+    };
+    if k.is_zero() {
+        return (AffinePoint2m::Infinity, count);
+    }
+    if k.bit_len() == 1 {
+        return (p.clone(), count);
+    }
+    // (X1, Z1) = P ; (X2, Z2) = 2P
+    let mut x1 = px.clone();
+    let mut z1 = f.one();
+    let mut x2 = f.add(&f.sqr(&f.sqr(&px)), curve.b()); // x^4 + b
+    let mut z2 = f.sqr(&px);
+    for i in (0..k.bit_len() - 1).rev() {
+        let bit = k.bit(i);
+        if bit {
+            std::mem::swap(&mut x1, &mut x2);
+            std::mem::swap(&mut z1, &mut z2);
+        }
+        // Madd into (x2, z2): T = (X1 Z2 + X2 Z1)^2 ; X = x*T + X1Z2 * X2Z1
+        let a_t = f.mul(&x1, &z2);
+        let b_t = f.mul(&x2, &z1);
+        let t = f.sqr(&f.add(&a_t, &b_t));
+        x2 = f.add(&f.mul(&px, &t), &f.mul(&a_t, &b_t));
+        z2 = t;
+        // Mdouble (x1, z1): Z = X^2 Z^2, X = X^4 + b Z^4
+        let xx = f.sqr(&x1);
+        let zz = f.sqr(&z1);
+        z1 = f.mul(&xx, &zz);
+        x1 = f.add(&f.sqr(&xx), &f.mul(curve.b(), &f.sqr(&zz)));
+        if bit {
+            std::mem::swap(&mut x1, &mut x2);
+            std::mem::swap(&mut z1, &mut z2);
+        }
+        count.doubles += 1;
+        count.adds += 1;
+    }
+    // Recover the affine point. x(kP) = X1/Z1, x((k+1)P) = X2/Z2.
+    if z1.is_zero() {
+        return (AffinePoint2m::Infinity, count);
+    }
+    let xk = f.mul(&x1, &f.inv(&z1).expect("z1 != 0"));
+    count.inversions += 1;
+    if z2.is_zero() {
+        // kP = -P: same x as P, y = x + y.
+        return (curve.neg(p), count);
+    }
+    let xk1 = f.mul(&x2, &f.inv(&z2).expect("z2 != 0"));
+    count.inversions += 1;
+    // Two y candidates solve the curve equation at xk; pick the one for
+    // which (xk, y) + P lands on x((k+1)P).
+    for y in y_candidates(curve, &xk) {
+        let cand = AffinePoint2m::new(xk.clone(), y);
+        if !curve.is_on_curve(&cand) {
+            continue;
+        }
+        let sum = curve.affine_add(&cand, p);
+        if sum.x() == Some(&xk1) {
+            return (cand, count);
+        }
+    }
+    // Unreachable for valid inputs; fall back to the oracle.
+    (mul_binary(curve, k, p), count)
+}
+
+fn y_candidates(
+    curve: &BinaryCurve,
+    x: &ule_mpmath::f2m::F2mElement,
+) -> Vec<ule_mpmath::f2m::F2mElement> {
+    let f = curve.field();
+    if x.is_zero() {
+        return Vec::new();
+    }
+    let xinv2 = f.sqr(&f.inv(x).expect("x != 0"));
+    let c = f.add(&f.add(x, curve.a()), &f.mul(curve.b(), &xinv2));
+    match curve.solve_quadratic(&c) {
+        Some(z) => {
+            let y = f.mul(x, &z);
+            let y2 = f.add(&y, x);
+            vec![y, y2]
+        }
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_mpmath::f2m::BinaryField;
+    use ule_mpmath::fp::PrimeField;
+
+    fn tiny_prime() -> PrimeCurve {
+        let f = PrimeField::new("GF(97)", &Mp::from_u64(97));
+        let a = f.from_u64(2);
+        let b = f.from_u64(3);
+        let gx = f.from_u64(0);
+        let gy = f.from_u64(10);
+        PrimeCurve::new(f, a, b, gx, gy)
+    }
+
+    fn tiny_binary() -> BinaryCurve {
+        let f = BinaryField::new("GF(2^7)", 7, &[1, 0]);
+        let a = f.one();
+        let b = f.one();
+        let c = BinaryCurve::new(f.clone(), a.clone(), b.clone(), f.one(), f.one());
+        let g = c.find_point(1);
+        BinaryCurve::new(f, a, b, g.x().unwrap().clone(), g.y().unwrap().clone())
+    }
+
+    #[test]
+    fn window_matches_binary_prime() {
+        let c = tiny_prime();
+        let g = c.generator();
+        for k in [1u64, 2, 3, 7, 12, 31, 97, 1000, 65537, 0xdead_beef] {
+            let k = Mp::from_u64(k);
+            assert_eq!(mul_window(&c, &k, &g), mul_binary(&c, &k, &g), "k={k}");
+        }
+    }
+
+    #[test]
+    fn window_matches_binary_2m() {
+        let c = tiny_binary();
+        let g = c.generator();
+        for k in [1u64, 2, 3, 5, 19, 101, 4096, 999_983] {
+            let k = Mp::from_u64(k);
+            assert_eq!(mul_window(&c, &k, &g), mul_binary(&c, &k, &g), "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_scalar_gives_identity() {
+        let c = tiny_prime();
+        let g = c.generator();
+        assert!(mul_window(&c, &Mp::zero(), &g).is_infinity());
+        let cb = tiny_binary();
+        let gb = cb.generator();
+        assert!(mul_window(&cb, &Mp::zero(), &gb).is_infinity());
+    }
+
+    #[test]
+    fn twin_matches_separate() {
+        let c = tiny_prime();
+        let g = c.generator();
+        let q = mul_binary(&c, &Mp::from_u64(5), &g);
+        for (u1, u2) in [(3u64, 4u64), (1, 1), (100, 7), (0, 9), (9, 0), (255, 254)] {
+            let (u1, u2) = (Mp::from_u64(u1), Mp::from_u64(u2));
+            let lhs = twin_mul(&c, &u1, &g, &u2, &q);
+            let a = mul_binary(&c, &u1, &g);
+            let b = mul_binary(&c, &u2, &q);
+            let rhs = c.affine_add(&a, &b);
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn twin_matches_separate_2m() {
+        let c = tiny_binary();
+        let g = c.generator();
+        let q = mul_binary(&c, &Mp::from_u64(3), &g);
+        for (u1, u2) in [(3u64, 4u64), (17, 29), (64, 63)] {
+            let (u1, u2) = (Mp::from_u64(u1), Mp::from_u64(u2));
+            let lhs = twin_mul(&c, &u1, &g, &u2, &q);
+            let rhs = c.affine_add(&mul_binary(&c, &u1, &g), &mul_binary(&c, &u2, &q));
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn ladder_matches_window() {
+        let c = tiny_binary();
+        let g = c.generator();
+        for k in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 31, 63, 64, 100, 121] {
+            let k = Mp::from_u64(k);
+            let (ladder, _) = montgomery_ladder_2m(&c, &k, &g);
+            let window = mul_window(&c, &k, &g);
+            assert_eq!(ladder, window, "k={k}");
+        }
+    }
+
+    #[test]
+    fn op_counts_are_sane() {
+        let c = tiny_prime();
+        let g = c.generator();
+        let k = Mp::from_u64(0xffff_ffff); // 32 bits of ones
+        let (_, count) = mul_window_counted(&c, &k, &g);
+        // ~bits doubles, ~bits/(w+1) adds plus precomputation
+        assert!(count.doubles >= 32 && count.doubles <= 40, "{count:?}");
+        assert!(count.adds >= 8 && count.adds <= 16, "{count:?}");
+        let (_, twin) = twin_mul_counted(&c, &k, &g, &k, &g);
+        assert_eq!(twin.doubles, 32);
+        assert!(twin.adds <= 32 + 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Full self-validation of all ten curve parameter sets and end-to-end
+//! ECDSA on every one — the correctness bedrock under all energy numbers.
+
+use ule_curves::ecdsa::{sign, verify, Keypair};
+use ule_curves::params::CurveId;
+
+#[test]
+fn every_curve_validates() {
+    for id in CurveId::ALL {
+        let curve = id.curve();
+        curve
+            .validate()
+            .unwrap_or_else(|e| panic!("{} failed validation: {e}", id.name()));
+    }
+}
+
+#[test]
+fn ecdsa_round_trip_every_curve() {
+    for id in CurveId::ALL {
+        let curve = id.curve();
+        let keys = Keypair::derive(&curve, format!("signer for {}", id.name()).as_bytes());
+        let msg = b"design space of ultra-low energy asymmetric cryptography";
+        let sig = sign(&curve, &keys, msg, b"deterministic nonce seed");
+        assert!(
+            verify(&curve, &keys.public(), msg, &sig),
+            "{}: genuine signature rejected",
+            id.name()
+        );
+        assert!(
+            !verify(&curve, &keys.public(), b"a different message", &sig),
+            "{}: forged message accepted",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn group_orders_have_expected_bit_lengths() {
+    for id in CurveId::ALL {
+        let curve = id.curve();
+        let n_bits = curve.n().bit_len();
+        let q_bits = id.bits();
+        assert!(
+            n_bits <= q_bits + 1 && n_bits + 3 >= q_bits,
+            "{}: order has {} bits for a {}-bit field",
+            id.name(),
+            n_bits,
+            q_bits
+        );
+    }
+}

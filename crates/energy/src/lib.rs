@@ -1,0 +1,29 @@
+//! The 45 nm energy model (Ch. 6, §2.3).
+//!
+//! The paper computes `Energy = Power × Time` (eq. 2.7) with post-
+//! synthesis PrimeTime power for logic and Cacti for memories. This crate
+//! substitutes documented analytic models with the same *structure*:
+//!
+//! * [`mem`] — a Cacti-like SRAM model: per-access energy and leakage as
+//!   functions of capacity, with the paper's stated ROM assumption
+//!   ("ROM dynamic power ... equivalent to a comparably sized RAM, ROM
+//!   static power ... zero", Ch. 6);
+//! * [`logic`] — per-block activity-weighted dynamic power plus static
+//!   power for Pete, the uncore, Monte, and Billie, calibrated against
+//!   the ratios the paper reports (see [`constants`]);
+//! * [`ffau`] — the absolute FFAU numbers of Tables 7.3/7.4 (the §7.9
+//!   standalone study at 100 MHz / 0.9 V logic / 0.7 V memory);
+//! * [`report`] — turning a run's event counters ([`Activity`]) into an
+//!   energy breakdown by component, mirroring the stacked bars of
+//!   Figs 7.2/7.3/7.9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod ffau;
+pub mod logic;
+pub mod mem;
+pub mod report;
+
+pub use report::{Activity, Component, CopActivity, CopKind, EnergyBreakdown, IcacheActivity};

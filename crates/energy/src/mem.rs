@@ -1,0 +1,49 @@
+//! Cacti-like memory energy model (Ch. 6).
+
+use crate::constants::{
+    LINE_ACCESS_FACTOR, SRAM_ACCESS_BASE_PJ, SRAM_ACCESS_SQRT_PJ, SRAM_LEAK_UW_PER_KB,
+};
+
+/// Energy of one 32-bit access to an SRAM of the given capacity, pJ.
+pub fn sram_access_pj(capacity_bytes: u32) -> f64 {
+    SRAM_ACCESS_BASE_PJ + SRAM_ACCESS_SQRT_PJ * (capacity_bytes as f64).sqrt()
+}
+
+/// Energy of one 128-bit line access (cache fill / prefetch from the
+/// widened ROM port, §5.3.2), pJ.
+pub fn sram_line_access_pj(capacity_bytes: u32) -> f64 {
+    LINE_ACCESS_FACTOR * sram_access_pj(capacity_bytes)
+}
+
+/// SRAM leakage power, mW. Pass `is_rom = true` for the program ROM,
+/// whose static power the paper assumes to be zero (Ch. 6).
+pub fn leakage_mw(capacity_bytes: u32, is_rom: bool) -> f64 {
+    if is_rom {
+        0.0
+    } else {
+        SRAM_LEAK_UW_PER_KB * (capacity_bytes as f64 / 1024.0) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rom_reads_cost_much_more_than_small_ram_reads() {
+        // The §5.3 observation that motivates the instruction cache.
+        assert!(sram_access_pj(256 * 1024) > 3.0 * sram_access_pj(4 * 1024));
+    }
+
+    #[test]
+    fn rom_has_no_leakage() {
+        assert_eq!(leakage_mw(256 * 1024, true), 0.0);
+        assert!(leakage_mw(16 * 1024, false) > 0.0);
+    }
+
+    #[test]
+    fn line_access_cheaper_than_four_words() {
+        let c = 256 * 1024;
+        assert!(sram_line_access_pj(c) < 4.0 * sram_access_pj(c));
+    }
+}

@@ -1,0 +1,33 @@
+//! The instruction set architecture of "Pete", the study's embedded RISC
+//! processor.
+//!
+//! Pete executes a subset of the **MIPS-II** ISA (§5.1: no unaligned
+//! load/store, no floating point, no MMU), extended with:
+//!
+//! * the **prime-field ISA extensions** of Table 5.1 (`MADDU`, `M2ADDU`,
+//!   `ADDAU`, `SHA`) operating on the widened `(OvFlo, Hi, Lo)`
+//!   accumulator;
+//! * the **binary-field ISA extensions** of Table 5.2 (`MULGF2`,
+//!   `MADDGF2`), carry-less counterparts of `MULTU`/`MADDU`;
+//! * the **Coprocessor 2** instructions of Table 5.3 that command the
+//!   "Monte" prime-field accelerator;
+//! * the **Coprocessor 2** instructions of Table 5.6 that command the
+//!   "Billie" binary-field accelerator.
+//!
+//! The crate provides the instruction definitions ([`instr::Instr`]),
+//! binary encode/decode (extensions use the SPECIAL2 and COP2 opcode
+//! spaces, mirroring how the paper "modified the mips-opc.c source file
+//! ... and recompiled Binutils", §4.3), and a macro-assembler
+//! ([`asm::Asm`]) that the `ule-swlib` crate uses to build the ECDSA
+//! software suite into ROM images.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod instr;
+pub mod reg;
+
+pub use asm::{Asm, Program};
+pub use instr::Instr;
+pub use reg::Reg;

@@ -1,0 +1,119 @@
+//! General-purpose register names (MIPS o32 conventions).
+
+use std::fmt;
+
+/// One of Pete's 32 general-purpose registers.
+///
+/// Register `$0` reads as zero and ignores writes. The calling convention
+/// used by the software suite is o32-like: arguments in `a0..a3`, results
+/// in `v0/v1`, `t*` caller-saved, `s*` callee-saved, `sp` the stack
+/// pointer, `ra` the return address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// Return value 0.
+    pub const V0: Reg = Reg(2);
+    /// Return value 1.
+    pub const V1: Reg = Reg(3);
+    /// Argument 0.
+    pub const A0: Reg = Reg(4);
+    /// Argument 1.
+    pub const A1: Reg = Reg(5);
+    /// Argument 2.
+    pub const A2: Reg = Reg(6);
+    /// Argument 3.
+    pub const A3: Reg = Reg(7);
+    /// Temporary 0.
+    pub const T0: Reg = Reg(8);
+    /// Temporary 1.
+    pub const T1: Reg = Reg(9);
+    /// Temporary 2.
+    pub const T2: Reg = Reg(10);
+    /// Temporary 3.
+    pub const T3: Reg = Reg(11);
+    /// Temporary 4.
+    pub const T4: Reg = Reg(12);
+    /// Temporary 5.
+    pub const T5: Reg = Reg(13);
+    /// Temporary 6.
+    pub const T6: Reg = Reg(14);
+    /// Temporary 7.
+    pub const T7: Reg = Reg(15);
+    /// Saved 0.
+    pub const S0: Reg = Reg(16);
+    /// Saved 1.
+    pub const S1: Reg = Reg(17);
+    /// Saved 2.
+    pub const S2: Reg = Reg(18);
+    /// Saved 3.
+    pub const S3: Reg = Reg(19);
+    /// Saved 4.
+    pub const S4: Reg = Reg(20);
+    /// Saved 5.
+    pub const S5: Reg = Reg(21);
+    /// Saved 6.
+    pub const S6: Reg = Reg(22);
+    /// Saved 7.
+    pub const S7: Reg = Reg(23);
+    /// Temporary 8.
+    pub const T8: Reg = Reg(24);
+    /// Temporary 9.
+    pub const T9: Reg = Reg(25);
+    /// Kernel 0 (unused by the suite).
+    pub const K0: Reg = Reg(26);
+    /// Kernel 1 (unused by the suite).
+    pub const K1: Reg = Reg(27);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer / saved 8.
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    /// The register number (0..=31).
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The conventional assembly name.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3",
+            "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+        ];
+        NAMES[(self.0 & 31) as usize]
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_numbers() {
+        assert_eq!(Reg::ZERO.num(), 0);
+        assert_eq!(Reg::RA.num(), 31);
+        assert_eq!(Reg::SP.name(), "$sp");
+        assert_eq!(format!("{}", Reg::T3), "$t3");
+    }
+}

@@ -1,0 +1,95 @@
+//! Encode/decode round-trip property tests over the whole instruction set.
+
+use proptest::prelude::*;
+use ule_isa::instr::Instr;
+use ule_isa::reg::Reg;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn arb_breg() -> impl Strategy<Value = u8> {
+    0u8..16 // Billie has a 16-entry register file (§5.5.2)
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let r = arb_reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Addu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Subu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Xor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Nor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Sltu { rd, rs, rt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Instr::Sll { rd, rt, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Instr::Srl { rd, rt, shamt }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Instr::Addiu { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Instr::Ori { rt, rs, imm }),
+        (r(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm }),
+        (r(), r()).prop_map(|(rs, rt)| Instr::Multu { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Instr::Divu { rs, rt }),
+        r().prop_map(|rd| Instr::Mflo { rd }),
+        r().prop_map(|rd| Instr::Mfhi { rd }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Instr::Lw { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Instr::Sw { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Instr::Lbu { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Instr::Beq { rs, rt, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Instr::Bne { rs, rt, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Instr::Bltz { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Instr::Bgez { rs, offset }),
+        (0u32..(1 << 26)).prop_map(|target| Instr::J { target }),
+        (0u32..(1 << 26)).prop_map(|target| Instr::Jal { target }),
+        r().prop_map(|rs| Instr::Jr { rs }),
+        (r(), r()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
+        any::<u16>().prop_map(|code| Instr::Break { code }),
+        (r(), r()).prop_map(|(rs, rt)| Instr::Maddu { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Instr::M2addu { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Instr::Addau { rs, rt }),
+        Just(Instr::Sha),
+        (r(), r()).prop_map(|(rs, rt)| Instr::Mulgf2 { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Instr::Maddgf2 { rs, rt }),
+        (r(), 0u8..32).prop_map(|(rt, rd)| Instr::Ctc2 { rt, rd }),
+        Just(Instr::Cop2Sync),
+        r().prop_map(|rt| Instr::Cop2LdA { rt }),
+        r().prop_map(|rt| Instr::Cop2LdB { rt }),
+        r().prop_map(|rt| Instr::Cop2LdN { rt }),
+        Just(Instr::Cop2Mul),
+        Just(Instr::Cop2Add),
+        Just(Instr::Cop2Sub),
+        r().prop_map(|rt| Instr::Cop2St { rt }),
+        (r(), arb_breg()).prop_map(|(rt, fs)| Instr::BilLd { rt, fs }),
+        (r(), arb_breg()).prop_map(|(rt, fs)| Instr::BilSt { rt, fs }),
+        (arb_breg(), arb_breg(), arb_breg()).prop_map(|(fd, fs, ft)| Instr::BilMul { fd, fs, ft }),
+        (arb_breg(), arb_breg()).prop_map(|(fd, ft)| Instr::BilSqr { fd, ft }),
+        (arb_breg(), arb_breg(), arb_breg()).prop_map(|(fd, fs, ft)| Instr::BilAdd { fd, fs, ft }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trip(i in arb_instr()) {
+        let w = i.encode();
+        prop_assert_eq!(Instr::decode(w), Ok(i));
+    }
+
+    #[test]
+    fn display_never_panics(i in arb_instr()) {
+        let _ = i.to_string();
+    }
+
+    #[test]
+    fn decode_never_panics(w in any::<u32>()) {
+        let _ = Instr::decode(w);
+    }
+
+    #[test]
+    fn decode_encode_fixpoint(w in any::<u32>()) {
+        // Any word that decodes must re-encode to itself or to a word that
+        // decodes identically (field normalization).
+        if let Ok(i) = Instr::decode(w) {
+            let w2 = i.encode();
+            prop_assert_eq!(Instr::decode(w2), Ok(i));
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The Finite-Field Arithmetic Unit (§5.4.2).
+//!
+//! The FFAU is built around a 2-stage pipelined multiply-add core
+//! (throughput 1 op/cycle, latency `p = 3` including operand/result
+//! registering — Table 5.4), dual-port AB and T scratchpad memories
+//! organized so three operands are read and one result written every
+//! cycle, index-register address generation (Table 5.5), and a 64-entry
+//! microcode store with hardware loop support (Fig 5.10).
+//!
+//! The unit is **parameterizable in datapath width** (8/16/32/64 bits) —
+//! the §7.9 design-space study — and in the element width `k`, which is
+//! a *run-time* control value (that is what keeps Monte reconfigurable).
+//!
+//! Cycle cost of one CIOS Montgomery multiplication (eq. 5.2):
+//!
+//! ```text
+//! cc = 2k^2 + 6k + (k+1)p + 22
+//! ```
+//!
+//! decomposed as: two k-cycle inner loops per outer iteration, plus a
+//! p-cycle data-dependency stall per outer iteration (the `m = t[0]*n0'`
+//! computation must drain before the reduction row starts), plus 6 cycles
+//! of per-iteration loop/index overhead, plus `p + 22` of setup, final
+//! correction, and pipeline drain. The decomposition is asserted against
+//! the closed form in the tests.
+
+/// Activity counters for the FFAU, consumed by the energy model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FfauStats {
+    /// Cycles the arithmetic core was computing.
+    pub busy_cycles: u64,
+    /// Scratchpad (AB/T) word accesses (3 reads + 1 write per active
+    /// cycle of the inner loops).
+    pub scratch_accesses: u64,
+    /// Microcode store reads (one per sequenced cycle).
+    pub ucode_reads: u64,
+    /// Operations executed (multiplications + additions + subtractions).
+    pub operations: u64,
+}
+
+/// The FFAU model: functional CIOS/modular-add/sub over a configurable
+/// limb width, with the eq. 5.2 timing contract.
+#[derive(Clone, Debug)]
+pub struct Ffau {
+    /// Datapath width in bits (8, 16, 32, or 64).
+    width: usize,
+    /// Arithmetic-core latency `p` (pipeline depth + operand registering).
+    pipeline_latency: u64,
+    /// Operand buffer A (w-bit limbs, little-endian).
+    a: Vec<u64>,
+    /// Operand buffer B.
+    b: Vec<u64>,
+    /// Modulus buffer N.
+    n: Vec<u64>,
+    /// Result buffer.
+    result: Vec<u64>,
+    /// The CIOS quotient constant `n0' = -n^{-1} mod 2^w` (control reg).
+    n0_prime: u64,
+    stats: FfauStats,
+}
+
+impl Ffau {
+    /// Creates an FFAU with the given datapath width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is 8, 16, 32, or 64.
+    pub fn new(width: usize) -> Self {
+        assert!(
+            matches!(width, 8 | 16 | 32 | 64),
+            "unsupported datapath width {width}"
+        );
+        Ffau {
+            width,
+            pipeline_latency: 3,
+            a: Vec::new(),
+            b: Vec::new(),
+            n: Vec::new(),
+            result: Vec::new(),
+            n0_prime: 0,
+            stats: FfauStats::default(),
+        }
+    }
+
+    /// Datapath width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FfauStats {
+        self.stats
+    }
+
+    /// Sets the quotient constant (preloaded via `ctc2`, §5.4.2.1).
+    pub fn set_n0_prime(&mut self, n0: u64) {
+        self.n0_prime = n0 & self.mask();
+    }
+
+    /// Loads operand A (w-bit limbs).
+    pub fn load_a(&mut self, limbs: &[u64]) {
+        self.a = limbs.to_vec();
+    }
+
+    /// Loads operand B.
+    pub fn load_b(&mut self, limbs: &[u64]) {
+        self.b = limbs.to_vec();
+    }
+
+    /// Loads the modulus N.
+    pub fn load_n(&mut self, limbs: &[u64]) {
+        self.n = limbs.to_vec();
+    }
+
+    /// The result buffer after an operation.
+    pub fn result(&self) -> &[u64] {
+        &self.result
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Closed-form CIOS cycle count (eq. 5.2) for `k` limbs at pipeline
+    /// latency `p`.
+    pub fn montmul_cycles(k: u64, p: u64) -> u64 {
+        2 * k * k + 6 * k + (k + 1) * p + 22
+    }
+
+    /// Executes one CIOS Montgomery multiplication over the loaded
+    /// operands: `result = A * B * R^{-1} mod N`. Returns the cycle
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths disagree or `n0'` is inconsistent
+    /// with N (a programming error in the command stream).
+    pub fn montmul(&mut self) -> u64 {
+        let k = self.n.len();
+        assert!(k > 0, "modulus not loaded");
+        assert_eq!(self.a.len(), k, "operand A width mismatch");
+        assert_eq!(self.b.len(), k, "operand B width mismatch");
+        let w = self.width;
+        let mask = self.mask();
+        debug_assert_eq!(
+            self.n[0].wrapping_mul(self.n0_prime) & mask,
+            mask, // -1 mod 2^w
+            "n0' inconsistent with N"
+        );
+        // Functional CIOS on w-bit limbs (Algorithm 5).
+        let mut t = vec![0u128; k + 2];
+        for i in 0..k {
+            let bi = self.b[i] as u128;
+            let mut c: u128 = 0;
+            for j in 0..k {
+                let cs = t[j] + (self.a[j] as u128) * bi + c;
+                t[j] = cs & mask as u128;
+                c = cs >> w;
+            }
+            let cs = t[k] + c;
+            t[k] = cs & mask as u128;
+            t[k + 1] = cs >> w;
+            let m = (t[0] as u64).wrapping_mul(self.n0_prime) & mask;
+            let cs = t[0] + (m as u128) * (self.n[0] as u128);
+            let mut c = cs >> w;
+            for j in 1..k {
+                let cs = t[j] + (m as u128) * (self.n[j] as u128) + c;
+                t[j - 1] = cs & mask as u128;
+                c = cs >> w;
+            }
+            let cs = t[k] + c;
+            t[k - 1] = cs & mask as u128;
+            t[k] = (t[k + 1] + (cs >> w)) & mask as u128;
+            t[k + 1] = 0;
+        }
+        // Final correction.
+        let ge = t[k] != 0 || {
+            let mut ge = true; // equal counts as >=
+            for j in (0..k).rev() {
+                if t[j] > self.n[j] as u128 {
+                    break;
+                }
+                if t[j] < self.n[j] as u128 {
+                    ge = false;
+                    break;
+                }
+            }
+            ge
+        };
+        if ge {
+            let mut borrow: i128 = 0;
+            for j in 0..k {
+                let d = t[j] as i128 - self.n[j] as i128 - borrow;
+                t[j] = (d & mask as i128) as u128;
+                borrow = (d < 0) as i128;
+            }
+        }
+        self.result = t[..k].iter().map(|&x| x as u64).collect();
+        // Timing per eq. 5.2, decomposed per the module docs.
+        let kk = k as u64;
+        let p = self.pipeline_latency;
+        let per_outer = 2 * kk + p + 6;
+        let fixed = p + 22;
+        let cycles = kk * per_outer + fixed;
+        debug_assert_eq!(cycles, Self::montmul_cycles(kk, p));
+        self.stats.busy_cycles += cycles;
+        self.stats.ucode_reads += cycles;
+        // 3 operand reads + 1 result write per inner-loop cycle.
+        self.stats.scratch_accesses += 4 * (2 * kk * kk);
+        self.stats.operations += 1;
+        cycles
+    }
+
+    /// Modular addition `result = (A + B) mod N`; returns the cycle
+    /// count (single pipelined pass plus drain and conditional
+    /// subtraction).
+    pub fn modadd(&mut self) -> u64 {
+        self.modaddsub(false)
+    }
+
+    /// Modular subtraction `result = (A - B) mod N`.
+    pub fn modsub(&mut self) -> u64 {
+        self.modaddsub(true)
+    }
+
+    fn modaddsub(&mut self, sub: bool) -> u64 {
+        let k = self.n.len();
+        assert!(k > 0, "modulus not loaded");
+        assert_eq!(self.a.len(), k);
+        assert_eq!(self.b.len(), k);
+        let w = self.width;
+        let mask = self.mask() as u128;
+        // value = a +/- b, then conditional +/- n.
+        let mut out = vec![0u128; k];
+        if sub {
+            let mut borrow: i128 = 0;
+            for j in 0..k {
+                let d = self.a[j] as i128 - self.b[j] as i128 - borrow;
+                out[j] = (d & mask as i128) as u128;
+                borrow = (d < 0) as i128;
+            }
+            if borrow != 0 {
+                let mut carry: u128 = 0;
+                for j in 0..k {
+                    let s = out[j] + self.n[j] as u128 + carry;
+                    out[j] = s & mask;
+                    carry = s >> w;
+                }
+            }
+        } else {
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = self.a[j] as u128 + self.b[j] as u128 + carry;
+                out[j] = s & mask;
+                carry = s >> w;
+            }
+            let mut ge = carry != 0;
+            if !ge {
+                ge = true;
+                for j in (0..k).rev() {
+                    if out[j] > self.n[j] as u128 {
+                        break;
+                    }
+                    if out[j] < self.n[j] as u128 {
+                        ge = false;
+                        break;
+                    }
+                }
+            }
+            if ge {
+                let mut borrow: i128 = 0;
+                for j in 0..k {
+                    let d = out[j] as i128 - self.n[j] as i128 - borrow;
+                    out[j] = (d & mask as i128) as u128;
+                    borrow = (d < 0) as i128;
+                }
+            }
+        }
+        self.result = out.iter().map(|&x| x as u64).collect();
+        // Two pipelined passes (op, conditional correction) plus drain.
+        let cycles = 2 * k as u64 + self.pipeline_latency + 6;
+        self.stats.busy_cycles += cycles;
+        self.stats.ucode_reads += cycles;
+        self.stats.scratch_accesses += 4 * k as u64;
+        self.stats.operations += 1;
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_mpmath::mont::Montgomery;
+    use ule_mpmath::mp::Mp;
+    use ule_mpmath::nist::NistPrime;
+
+    /// Repack 32-bit limbs as w-bit FFAU limbs.
+    fn repack(limbs32: &[u32], bits: usize, w: usize) -> Vec<u64> {
+        let k = (bits + w - 1) / w;
+        let mut out = vec![0u64; k];
+        for (i, limb) in out.iter_mut().enumerate() {
+            let mut v = 0u64;
+            for b in 0..w {
+                let bit = i * w + b;
+                let word = bit / 32;
+                if word < limbs32.len() && (limbs32[word] >> (bit % 32)) & 1 == 1 {
+                    v |= 1 << b;
+                }
+            }
+            *limb = v;
+        }
+        out
+    }
+
+    fn n0_prime_w(n0: u64, w: usize) -> u64 {
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        inv.wrapping_neg() & mask
+    }
+
+    #[test]
+    fn eq_5_2_closed_form() {
+        assert_eq!(Ffau::montmul_cycles(6, 3), 2 * 36 + 36 + 7 * 3 + 22);
+        assert_eq!(Ffau::montmul_cycles(8, 3), 2 * 64 + 48 + 9 * 3 + 22);
+    }
+
+    #[test]
+    fn montmul_matches_host_at_every_width() {
+        let p = NistPrime::P192.modulus();
+        let host = Montgomery::new(&p);
+        let a = p.sub(&Mp::from_u64(123_456_789));
+        let b = p.sub(&Mp::from_u64(987));
+        // Host reference result in the Montgomery domain w.r.t. R32 = 2^(32*6).
+        // For other widths R differs, so verify algebraically instead:
+        // from_mont(result) must equal a*b*R^{-1}... simplest invariant:
+        // montmul(a, R^2 mod p) == a * R mod p for the width's own R.
+        for w in [8usize, 16, 32, 64] {
+            let k = (192 + w - 1) / w;
+            let r = Mp::one().shl(w * k);
+            let r2 = r.mul(&r).rem(&p);
+            let mut f = Ffau::new(w);
+            f.load_n(&repack(&p.to_limbs(6), 192, w));
+            f.set_n0_prime(n0_prime_w(repack(&p.to_limbs(6), 192, w)[0], w));
+            f.load_a(&repack(&a.to_limbs(6), 192, w));
+            f.load_b(&repack(&r2.to_limbs(6), 192, w));
+            let cycles = f.montmul();
+            assert_eq!(cycles, Ffau::montmul_cycles(k as u64, 3), "width {w}");
+            // result should be a * R mod p
+            let expect = a.mul(&r).rem(&p);
+            let expect_limbs = repack(&expect.to_limbs(12), w * k, w);
+            assert_eq!(f.result(), &expect_limbs[..], "width {w}");
+        }
+        let _ = host;
+    }
+
+    #[test]
+    fn modadd_modsub_match_host() {
+        let p = NistPrime::P256.modulus();
+        let a = p.sub(&Mp::from_u64(5));
+        let b = p.sub(&Mp::from_u64(12345));
+        let mut f = Ffau::new(32);
+        f.load_n(&repack(&p.to_limbs(8), 256, 32));
+        f.set_n0_prime(n0_prime_w(p.to_limbs(8)[0] as u64, 32));
+        f.load_a(&repack(&a.to_limbs(8), 256, 32));
+        f.load_b(&repack(&b.to_limbs(8), 256, 32));
+        f.modadd();
+        let expect = a.add(&b).rem(&p);
+        assert_eq!(f.result(), &repack(&expect.to_limbs(8), 256, 32)[..]);
+        f.modsub();
+        let expect = {
+            // a - b mod p (a < b here is possible; handle sign)
+            if a >= b {
+                a.sub(&b)
+            } else {
+                a.add(&p).sub(&b)
+            }
+        };
+        assert_eq!(f.result(), &repack(&expect.to_limbs(8), 256, 32)[..]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let p = NistPrime::P192.modulus();
+        let mut f = Ffau::new(32);
+        f.load_n(&repack(&p.to_limbs(6), 192, 32));
+        f.set_n0_prime(n0_prime_w(p.to_limbs(6)[0] as u64, 32));
+        f.load_a(&repack(&Mp::from_u64(7).to_limbs(6), 192, 32));
+        f.load_b(&repack(&Mp::from_u64(9).to_limbs(6), 192, 32));
+        let c1 = f.montmul();
+        let c2 = f.modadd();
+        let s = f.stats();
+        assert_eq!(s.busy_cycles, c1 + c2);
+        assert_eq!(s.operations, 2);
+        assert!(s.scratch_accesses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported datapath width")]
+    fn rejects_odd_width() {
+        let _ = Ffau::new(24);
+    }
+}

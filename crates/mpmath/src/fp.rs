@@ -1,0 +1,462 @@
+//! Prime-field GF(p) arithmetic (§2.1.3, §4.2.1).
+//!
+//! A [`PrimeField`] context fixes the modulus once and precomputes the
+//! folding constants used by fast reduction. Elements are fixed-width
+//! little-endian limb vectors of `k = ceil(bits/32)` limbs, exactly the
+//! in-memory representation of the simulated software suite.
+//!
+//! Multiplication is operand scanning (Algorithm 2) followed by fast
+//! reduction. Reduction exploits the *modular congruency* idea of §4.2.1:
+//! every power `2^(32*(k+j))` appearing in the double-width product is
+//! congruent to a precomputed k-limb constant, so the high half of the
+//! product can be folded back into the low half with `k` multiply-
+//! accumulate rows — for the sparse NIST primes these constants have very
+//! few non-zero limbs, which is what makes the technique "fast" in the
+//! paper. The result is verified against division-based reduction in the
+//! test suite.
+
+use crate::mp::{self, Limb, Mp};
+use crate::nist::NistPrime;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An element of a prime field: exactly `k` little-endian limbs, always
+/// fully reduced (`< p`).
+///
+/// Elements are produced by and consumed by a [`PrimeField`] context; using
+/// an element with a field of a different width is a logic error (checked
+/// with debug assertions).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct FpElement(Vec<Limb>);
+
+impl FpElement {
+    /// The little-endian limbs of the element.
+    pub fn limbs(&self) -> &[Limb] {
+        &self.0
+    }
+
+    /// Converts to an arbitrary-precision integer.
+    pub fn to_mp(&self) -> Mp {
+        Mp::from_limbs(&self.0)
+    }
+
+    /// Returns `true` if this is the zero element.
+    pub fn is_zero(&self) -> bool {
+        mp::is_zero(&self.0)
+    }
+
+    /// Returns bit `i` of the canonical representative.
+    pub fn bit(&self, i: usize) -> bool {
+        mp::bit(&self.0, i)
+    }
+}
+
+impl fmt::Debug for FpElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FpElement(0x{})", self.to_mp().to_hex())
+    }
+}
+
+/// A prime-field context: the modulus plus every precomputed constant
+/// needed for fast arithmetic.
+#[derive(Clone, Debug)]
+pub struct PrimeField {
+    name: String,
+    modulus: Vec<Limb>,
+    modulus_mp: Mp,
+    k: usize,
+    bits: usize,
+    /// `fold[j] = 2^(32*(k+j)) mod p` for `j in 0..=k+1`; the extra entries
+    /// let [`PrimeField::reduce_wide`] fold its own (k+2)-limb accumulator.
+    fold: Vec<Vec<Limb>>,
+    /// `2^bits mod p`, for the bit-granular reduction tail.
+    two_b: Mp,
+}
+
+impl PrimeField {
+    /// Creates a field for one of the NIST primes of the study.
+    pub fn nist(p: NistPrime) -> Self {
+        Self::new(p.name(), &p.modulus())
+    }
+
+    /// Creates a field for an arbitrary odd prime modulus.
+    ///
+    /// The primality of `modulus` is the caller's responsibility (the
+    /// ECDSA group orders, for instance, are validated once at curve
+    /// construction). Used for protocol arithmetic modulo the group order
+    /// `n` (§4.1), which is *not* a fast-reduction prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus < 3` or `modulus` is even.
+    pub fn new(name: &str, modulus: &Mp) -> Self {
+        assert!(modulus.bit_len() >= 2, "modulus too small");
+        assert!(modulus.bit(0), "modulus must be odd");
+        let bits = modulus.bit_len();
+        let k = (bits + 31) / 32;
+        let mut fold = Vec::with_capacity(k + 2);
+        for j in 0..k + 2 {
+            let c = Mp::one().shl(32 * (k + j)).rem(modulus);
+            fold.push(c.to_limbs(k));
+        }
+        let two_b = Mp::one().shl(bits).rem(modulus);
+        PrimeField {
+            name: name.to_owned(),
+            modulus: modulus.to_limbs(k),
+            modulus_mp: modulus.clone(),
+            k,
+            bits,
+            fold,
+            two_b,
+        }
+    }
+
+    /// The field's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Mp {
+        &self.modulus_mp
+    }
+
+    /// Modulus as `k` little-endian limbs.
+    pub fn modulus_limbs(&self) -> &[Limb] {
+        &self.modulus
+    }
+
+    /// Element width in limbs (`k = ceil(bits/32)`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Modulus bit length.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The zero element.
+    pub fn zero(&self) -> FpElement {
+        FpElement(vec![0; self.k])
+    }
+
+    /// The one element.
+    pub fn one(&self) -> FpElement {
+        self.from_u64(1)
+    }
+
+    /// Embeds a small integer.
+    pub fn from_u64(&self, v: u64) -> FpElement {
+        self.from_mp(&Mp::from_u64(v))
+    }
+
+    /// Reduces an arbitrary integer into the field.
+    pub fn from_mp(&self, v: &Mp) -> FpElement {
+        FpElement(v.rem(&self.modulus_mp).to_limbs(self.k))
+    }
+
+    /// Interprets exactly `k` limbs as an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs.len() != k` or the value is not fully reduced.
+    pub fn from_limbs(&self, limbs: &[Limb]) -> FpElement {
+        assert_eq!(limbs.len(), self.k, "element width mismatch");
+        assert!(
+            mp::cmp(limbs, &self.modulus) == Ordering::Less,
+            "element not reduced"
+        );
+        FpElement(limbs.to_vec())
+    }
+
+    /// `a + b mod p` — multi-precision add followed by a conditional
+    /// subtraction of the modulus (§4.2.4).
+    pub fn add(&self, a: &FpElement, b: &FpElement) -> FpElement {
+        self.check(a);
+        self.check(b);
+        let mut out = vec![0; self.k];
+        let carry = mp::add3(&mut out, &a.0, &b.0);
+        if carry || mp::cmp(&out, &self.modulus) != Ordering::Less {
+            mp::sub_into(&mut out, &self.modulus);
+        }
+        FpElement(out)
+    }
+
+    /// `a - b mod p` — subtraction with a conditional add-back of the
+    /// modulus (§4.2.4).
+    pub fn sub(&self, a: &FpElement, b: &FpElement) -> FpElement {
+        self.check(a);
+        self.check(b);
+        let mut out = vec![0; self.k];
+        let borrow = mp::sub3(&mut out, &a.0, &b.0);
+        if borrow {
+            mp::add_into(&mut out, &self.modulus);
+        }
+        FpElement(out)
+    }
+
+    /// `-a mod p`.
+    pub fn neg(&self, a: &FpElement) -> FpElement {
+        if a.is_zero() {
+            return self.zero();
+        }
+        let mut out = vec![0; self.k];
+        mp::sub3(&mut out, &self.modulus, &a.0);
+        FpElement(out)
+    }
+
+    /// `a * b mod p`: operand-scanning multiplication (Algorithm 2) plus
+    /// fast reduction.
+    pub fn mul(&self, a: &FpElement, b: &FpElement) -> FpElement {
+        self.check(a);
+        self.check(b);
+        let wide = mp::mul_operand_scanning(&a.0, &b.0);
+        self.reduce_wide(&wide)
+    }
+
+    /// `a^2 mod p`.
+    pub fn sqr(&self, a: &FpElement) -> FpElement {
+        self.mul(a, a)
+    }
+
+    /// Doubles an element (`2a mod p`).
+    pub fn dbl(&self, a: &FpElement) -> FpElement {
+        self.add(a, a)
+    }
+
+    /// Multiplies by a small scalar.
+    pub fn mul_u64(&self, a: &FpElement, s: u64) -> FpElement {
+        let mut acc = self.zero();
+        for i in (0..64 - s.leading_zeros() as usize).rev() {
+            acc = self.dbl(&acc);
+            if (s >> i) & 1 == 1 {
+                acc = self.add(&acc, a);
+            }
+        }
+        acc
+    }
+
+    /// Reduces a double-width (`2k`-limb) product into the field by
+    /// congruency folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wide.len() != 2k`.
+    pub fn reduce_wide(&self, wide: &[Limb]) -> FpElement {
+        assert_eq!(wide.len(), 2 * self.k, "wide operand width mismatch");
+        let k = self.k;
+        // Accumulator with two guard limbs: low half + sum of k folded rows.
+        let mut acc = vec![0 as Limb; k + 2];
+        acc[..k].copy_from_slice(&wide[..k]);
+        for j in 0..k {
+            let h = wide[k + j];
+            if h != 0 {
+                let carry = mp::mul_add_limb(&mut acc, &self.fold[j], h);
+                debug_assert_eq!(carry, 0, "guard limbs overflowed");
+            }
+        }
+        // Fold the guard limbs themselves, then finish at bit granularity.
+        loop {
+            let hi0 = acc[k];
+            let hi1 = acc[k + 1];
+            if hi0 == 0 && hi1 == 0 {
+                break;
+            }
+            acc[k] = 0;
+            acc[k + 1] = 0;
+            if hi0 != 0 {
+                mp::mul_add_limb(&mut acc, &self.fold[0], hi0);
+            }
+            if hi1 != 0 {
+                mp::mul_add_limb(&mut acc, &self.fold[1], hi1);
+            }
+        }
+        let mut v = Mp::from_limbs(&acc[..k]);
+        // v < 2^(32k); fold down to < 2^bits, then a final conditional
+        // subtraction (at most a few iterations since 2^bits < 2p).
+        while v.bit_len() > self.bits {
+            let hi = v.shr(self.bits);
+            let lo_limbs: Vec<Limb> = {
+                let mut t = v.to_limbs(k + 1);
+                // mask off bits >= self.bits
+                let top = self.bits / 32;
+                let rem = self.bits % 32;
+                for limb in t.iter_mut().skip(top + 1) {
+                    *limb = 0;
+                }
+                if rem != 0 {
+                    t[top] &= (1u32 << rem) - 1;
+                } else if top < t.len() {
+                    for limb in t.iter_mut().skip(top) {
+                        *limb = 0;
+                    }
+                }
+                t
+            };
+            v = Mp::from_limbs(&lo_limbs).add(&hi.mul(&self.two_b));
+        }
+        while v >= self.modulus_mp {
+            v = v.sub(&self.modulus_mp);
+        }
+        FpElement(v.to_limbs(k))
+    }
+
+    /// `a^e mod p` by left-to-right square-and-multiply.
+    pub fn pow(&self, a: &FpElement, e: &Mp) -> FpElement {
+        let mut result = self.one();
+        for i in (0..e.bit_len()).rev() {
+            result = self.sqr(&result);
+            if e.bit(i) {
+                result = self.mul(&result, a);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse by the **binary extended Euclidean algorithm**
+    /// (§4.2.4, used on Pete), or `None` for zero.
+    pub fn inv(&self, a: &FpElement) -> Option<FpElement> {
+        if a.is_zero() {
+            return None;
+        }
+        let p = &self.modulus_mp;
+        let mut u = a.to_mp();
+        let mut v = p.clone();
+        let mut x1 = Mp::one();
+        let mut x2 = Mp::zero();
+        let one = Mp::one();
+        while u != one && v != one {
+            while !u.bit(0) {
+                u = u.shr(1);
+                x1 = if x1.bit(0) { x1.add(p).shr(1) } else { x1.shr(1) };
+            }
+            while !v.bit(0) {
+                v = v.shr(1);
+                x2 = if x2.bit(0) { x2.add(p).shr(1) } else { x2.shr(1) };
+            }
+            if u >= v {
+                u = u.sub(&v);
+                x1 = if x1 >= x2 { x1.sub(&x2) } else { x1.add(p).sub(&x2) };
+            } else {
+                v = v.sub(&u);
+                x2 = if x2 >= x1 { x2.sub(&x1) } else { x2.add(p).sub(&x1) };
+            }
+        }
+        let r = if u == one { x1 } else { x2 };
+        Some(self.from_mp(&r))
+    }
+
+    /// Modular inverse by **Fermat's little theorem** (`a^(p-2)`), the
+    /// method the Monte and Billie accelerated configurations use
+    /// (§4.2.4).
+    pub fn inv_fermat(&self, a: &FpElement) -> Option<FpElement> {
+        if a.is_zero() {
+            return None;
+        }
+        let e = self.modulus_mp.sub(&Mp::from_u64(2));
+        Some(self.pow(a, &e))
+    }
+
+    fn check(&self, a: &FpElement) {
+        debug_assert_eq!(a.0.len(), self.k, "element belongs to another field");
+        debug_assert!(
+            mp::cmp(&a.0, &self.modulus) == Ordering::Less,
+            "element not reduced"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nist::NistPrime;
+
+    fn all_fields() -> Vec<PrimeField> {
+        NistPrime::ALL.iter().map(|&p| PrimeField::nist(p)).collect()
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        for f in all_fields() {
+            let a = f.from_u64(0xdead_beef_1234_5678);
+            let b = f.from_mp(&f.modulus().sub(&Mp::from_u64(5)));
+            let s = f.add(&a, &b);
+            assert_eq!(f.sub(&s, &b), a, "{}", f.name());
+            assert_eq!(f.add(&a, &f.neg(&a)), f.zero());
+        }
+    }
+
+    #[test]
+    fn mul_matches_division_reduction() {
+        for f in all_fields() {
+            // Deterministic pseudo-random operands near the modulus.
+            let a = f.from_mp(&f.modulus().sub(&Mp::from_u64(12345)));
+            let b = f.from_mp(&f.modulus().sub(&Mp::from_u64(987_654_321)));
+            let fast = f.mul(&a, &b);
+            let slow = a.to_mp().mul(&b.to_mp()).rem(f.modulus());
+            assert_eq!(fast.to_mp(), slow, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn inversion_both_methods() {
+        for f in all_fields() {
+            let a = f.from_u64(0x1234_5678_9abc_def1);
+            let i1 = f.inv(&a).unwrap();
+            let i2 = f.inv_fermat(&a).unwrap();
+            assert_eq!(i1, i2, "{}", f.name());
+            assert_eq!(f.mul(&a, &i1), f.one(), "{}", f.name());
+            assert!(f.inv(&f.zero()).is_none());
+        }
+    }
+
+    #[test]
+    fn reduce_wide_extremes() {
+        for f in all_fields() {
+            let k = f.k();
+            // All-ones double-width value.
+            let wide = vec![u32::MAX; 2 * k];
+            let got = f.reduce_wide(&wide);
+            let expect = Mp::from_limbs(&wide).rem(f.modulus());
+            assert_eq!(got.to_mp(), expect, "{}", f.name());
+            // Zero.
+            assert!(f.reduce_wide(&vec![0; 2 * k]).is_zero());
+        }
+    }
+
+    #[test]
+    fn generic_modulus_group_order_style() {
+        // An arbitrary odd prime (a 127-bit Mersenne), exercising the
+        // generic path used for mod-n protocol arithmetic.
+        let n = Mp::one().shl(127).sub(&Mp::one());
+        let f = PrimeField::new("M127", &n);
+        let a = f.from_u64(0xffff_ffff_ffff_fff1);
+        let inv = f.inv(&a).unwrap();
+        assert_eq!(f.mul(&a, &inv), f.one());
+        let b = f.from_u64(3);
+        assert_eq!(
+            f.mul(&a, &b).to_mp(),
+            a.to_mp().mul(&b.to_mp()).rem(&n)
+        );
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let f = PrimeField::nist(NistPrime::P192);
+        let a = f.from_u64(2);
+        assert_eq!(f.pow(&a, &Mp::from_u64(10)), f.from_u64(1024));
+        assert_eq!(f.pow(&a, &Mp::zero()), f.one());
+    }
+
+    #[test]
+    fn mul_u64_matches_repeated_add() {
+        let f = PrimeField::nist(NistPrime::P224);
+        let a = f.from_u64(0x1357_9bdf);
+        let mut acc = f.zero();
+        for _ in 0..29 {
+            acc = f.add(&acc, &a);
+        }
+        assert_eq!(f.mul_u64(&a, 29), acc);
+    }
+}

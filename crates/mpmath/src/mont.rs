@@ -1,0 +1,214 @@
+//! Montgomery multiplication — Algorithm 5 of the paper, the *Coarsely
+//! Integrated Operand Scanning* (CIOS) method of Koç et al.
+//!
+//! The paper's reconfigurable prime-field accelerator "Monte" implements
+//! exactly this algorithm in microcode (§5.4); this module is the host
+//! reference it is verified against, and is also used on the simulated
+//! baseline for protocol arithmetic modulo arbitrary (non-NIST) group
+//! orders.
+//!
+//! A [`Montgomery`] context for modulus `n` fixes `R = 2^(32k)` and
+//! precomputes `n0' = -n^-1 mod 2^32` and `R^2 mod n`.
+
+use crate::mp::{self, Limb, Mp};
+use std::cmp::Ordering;
+
+/// A Montgomery-multiplication context for an odd modulus.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    n: Vec<Limb>,
+    n_mp: Mp,
+    k: usize,
+    /// `-n^{-1} mod 2^32` — the per-iteration quotient constant `n0'` of
+    /// Algorithm 5 (loaded into Monte's constant RAM before use, §5.4.2.1).
+    n0_prime: Limb,
+    /// `R^2 mod n`, for converting into the Montgomery domain.
+    r2: Vec<Limb>,
+    /// `R mod n` == the Montgomery representation of 1.
+    r1: Vec<Limb>,
+}
+
+impl Montgomery {
+    /// Creates a context for the given odd modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero.
+    pub fn new(n: &Mp) -> Self {
+        assert!(!n.is_zero() && n.bit(0), "Montgomery modulus must be odd");
+        let k = (n.bit_len() + 31) / 32;
+        let n0 = n.limbs()[0];
+        // Newton iteration for the inverse of n mod 2^32; then negate.
+        let mut inv: u32 = 1;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_prime = inv.wrapping_neg();
+        let r = Mp::one().shl(32 * k);
+        let r1 = r.rem(n);
+        let r2 = r1.mul(&r1).rem(n);
+        Montgomery {
+            n: n.to_limbs(k),
+            n_mp: n.clone(),
+            k,
+            n0_prime,
+            r2: r2.to_limbs(k),
+            r1: r1.to_limbs(k),
+        }
+    }
+
+    /// Element width in limbs.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Mp {
+        &self.n_mp
+    }
+
+    /// The quotient constant `n0' = -n^{-1} mod 2^32`.
+    pub fn n0_prime(&self) -> Limb {
+        self.n0_prime
+    }
+
+    /// `R^2 mod n` as limbs (what gets DMA'd into Monte to enter the
+    /// Montgomery domain).
+    pub fn r2(&self) -> &[Limb] {
+        &self.r2
+    }
+
+    /// The Montgomery representation of one (`R mod n`).
+    pub fn one(&self) -> Vec<Limb> {
+        self.r1.clone()
+    }
+
+    /// CIOS Montgomery multiplication (Algorithm 5):
+    /// returns `a * b * R^{-1} mod n` as `k` limbs.
+    ///
+    /// This function is written to follow the published algorithm line by
+    /// line (two inner loops over a `k+2`-word scratch `t`, with the
+    /// reduction coarsely integrated per outer iteration) because the FFAU
+    /// microprogram is a transliteration of the same loop structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not `k` limbs wide.
+    pub fn mul(&self, a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+        let k = self.k;
+        assert_eq!(a.len(), k);
+        assert_eq!(b.len(), k);
+        let mut t = vec![0 as Limb; k + 2];
+        for i in 0..k {
+            // First inner loop: t += a * b[i]  (operand scanning row).
+            let bi = b[i] as u64;
+            let mut c = 0u64;
+            for j in 0..k {
+                let cs = t[j] as u64 + a[j] as u64 * bi + c;
+                t[j] = cs as Limb;
+                c = cs >> 32;
+            }
+            let cs = t[k] as u64 + c;
+            t[k] = cs as Limb;
+            t[k + 1] = (cs >> 32) as Limb;
+            // Second inner loop: fold in m * n and shift right one word.
+            let m = (t[0].wrapping_mul(self.n0_prime)) as u64;
+            let cs = t[0] as u64 + m * self.n[0] as u64;
+            let mut c = cs >> 32;
+            for j in 1..k {
+                let cs = t[j] as u64 + m * self.n[j] as u64 + c;
+                t[j - 1] = cs as Limb;
+                c = cs >> 32;
+            }
+            let cs = t[k] as u64 + c;
+            t[k - 1] = cs as Limb;
+            t[k] = t[k + 1].wrapping_add((cs >> 32) as Limb);
+            t[k + 1] = 0;
+        }
+        // Final correction step.
+        let mut out = t[..k].to_vec();
+        if t[k] != 0 || mp::cmp(&out, &self.n) != Ordering::Less {
+            mp::sub_into(&mut out, &self.n);
+            // t[k] can be at most 1; the single subtraction absorbs it.
+        }
+        out
+    }
+
+    /// Converts `a < n` into the Montgomery domain (`a * R mod n`).
+    pub fn to_mont(&self, a: &[Limb]) -> Vec<Limb> {
+        self.mul(a, &self.r2)
+    }
+
+    /// Converts a Montgomery-domain value back to the ordinary domain.
+    pub fn from_mont(&self, a: &[Limb]) -> Vec<Limb> {
+        let mut one = vec![0 as Limb; self.k];
+        one[0] = 1;
+        self.mul(a, &one)
+    }
+
+    /// Full modular multiplication convenience: `a * b mod n` on ordinary-
+    /// domain inputs (entering and leaving the Montgomery domain
+    /// internally).
+    pub fn modmul(&self, a: &Mp, b: &Mp) -> Mp {
+        let am = self.to_mont(&a.rem(&self.n_mp).to_limbs(self.k));
+        let bm = self.to_mont(&b.rem(&self.n_mp).to_limbs(self.k));
+        let pm = self.mul(&am, &bm);
+        Mp::from_limbs(&self.from_mont(&pm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nist::NistPrime;
+
+    #[test]
+    fn n0_prime_property() {
+        for p in NistPrime::ALL {
+            let m = Montgomery::new(&p.modulus());
+            let n0 = p.modulus().limbs()[0];
+            assert_eq!(n0.wrapping_mul(m.n0_prime()).wrapping_add(1), 0);
+        }
+    }
+
+    #[test]
+    fn round_trip_domain() {
+        let m = Montgomery::new(&NistPrime::P256.modulus());
+        let a = Mp::from_hex("123456789abcdef0123456789abcdef0123456789abcdef")
+            .unwrap()
+            .to_limbs(m.k());
+        let back = m.from_mont(&m.to_mont(&a));
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn modmul_matches_division() {
+        for p in NistPrime::ALL {
+            let n = p.modulus();
+            let m = Montgomery::new(&n);
+            let a = n.sub(&Mp::from_u64(123_456_789));
+            let b = n.sub(&Mp::from_u64(42));
+            assert_eq!(m.modmul(&a, &b), a.mul(&b).rem(&n), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn works_for_arbitrary_odd_modulus() {
+        // A group-order-like modulus with no special form.
+        let n = Mp::from_hex("ffffffffffffffffffffffff99def836146bc9b1b4d22831").unwrap();
+        let m = Montgomery::new(&n);
+        let a = Mp::from_u64(0xdead_beef);
+        let b = Mp::from_hex("123456789abcdef0deadbeefcafebabe").unwrap();
+        assert_eq!(m.modmul(&a, &b), a.mul(&b).rem(&n));
+    }
+
+    #[test]
+    fn montgomery_one_behaves() {
+        let m = Montgomery::new(&NistPrime::P192.modulus());
+        let x = Mp::from_u64(777).to_limbs(m.k());
+        let xm = m.to_mont(&x);
+        // x * 1 (in the domain) == x
+        assert_eq!(m.mul(&xm, &m.one()), xm);
+    }
+}

@@ -1,0 +1,80 @@
+//! The coprocessor-2 attachment point (§5.4.1, §5.5.1).
+//!
+//! Pete fetches and decodes accelerator command instructions like any
+//! other instruction; in the execute stage they are forwarded to the
+//! attached coprocessor (Monte or Billie). The coprocessor owns an
+//! instruction queue and its own port on the (true dual-port) shared RAM,
+//! so Pete only stalls when the queue is full or on an explicit
+//! `cop2sync`.
+//!
+//! The accelerator models are *event-based*: `issue` performs the
+//! functional effect immediately and returns the cycle at which the CPU
+//! may continue; `idle_at` reports when all queued work drains. This is
+//! timing-equivalent to cycle-stepping because the shared RAM is
+//! dual-ported (no port contention with Pete) and the software always
+//! synchronizes before touching accelerator outputs.
+
+use crate::mem::Ram;
+use ule_isa::instr::Instr;
+
+/// Activity accounting for one accelerator, used by the energy model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CopStats {
+    /// Cycles the arithmetic core was computing.
+    pub busy_cycles: u64,
+    /// Cycles a DMA / load-store unit was moving data.
+    pub dma_cycles: u64,
+    /// Commands accepted.
+    pub instructions: u64,
+    /// Reads the accelerator's port performed on the shared RAM.
+    pub ram_reads: u64,
+    /// Writes the accelerator's port performed on the shared RAM.
+    pub ram_writes: u64,
+    /// Microcode-store reads (Monte) / sequencer steps (Billie).
+    pub ucode_reads: u64,
+}
+
+/// A coprocessor plugged into Pete's COP2 interface.
+pub trait Coprocessor {
+    /// Offers a decoded COP2 instruction at `cycle`, with the value of the
+    /// GPR `rt` operand (an address for loads/stores, a control value for
+    /// `ctc2`).
+    ///
+    /// Returns the cycle at which the *CPU* may proceed: `cycle + 1` when
+    /// the instruction was queued immediately, later when the instruction
+    /// queue was full (structural stall).
+    fn issue(&mut self, instr: Instr, rt_value: u32, cycle: u64, ram: &mut Ram) -> u64;
+
+    /// The cycle at which every queued operation completes (`cop2sync`
+    /// stalls until then).
+    fn idle_at(&self) -> u64;
+
+    /// Activity counters.
+    fn stats(&self) -> CopStats;
+
+    /// Short display name ("Monte", "Billie") for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A null coprocessor: accepts nothing; COP2 instructions are a
+/// programming error in configurations without an accelerator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCoprocessor;
+
+impl Coprocessor for NoCoprocessor {
+    fn issue(&mut self, instr: Instr, _rt: u32, _cycle: u64, _ram: &mut Ram) -> u64 {
+        panic!("COP2 instruction {instr} executed but no coprocessor is attached");
+    }
+
+    fn idle_at(&self) -> u64 {
+        0
+    }
+
+    fn stats(&self) -> CopStats {
+        CopStats::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}

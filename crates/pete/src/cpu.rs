@@ -1,0 +1,1094 @@
+//! The pipeline timing model of Pete (§5.1, Fig 2.4).
+//!
+//! Timing contract (see also `DESIGN.md` §6):
+//!
+//! * 1 instruction per cycle in the ideal case;
+//! * **load-use interlock**: +1 cycle when an instruction needs, in its
+//!   execute stage, the destination of the load immediately before it;
+//! * **branch delay slot**: the instruction after a branch/jump always
+//!   executes (MIPS architectural behaviour, §2.2);
+//! * **branch predictor**: a 64-entry 2-bit bimodal table consulted in
+//!   decode and verified in execute; a misprediction invalidates the one
+//!   speculatively fetched instruction (+1 cycle and one wasted fetch);
+//! * **Hi/Lo unit** (§5.1.1): `mult`-class instructions occupy the
+//!   multi-cycle Karatsuba unit for 4 cycles (divide: 34); issuing into a
+//!   busy unit, or reading Hi/Lo before the result is ready, stalls —
+//!   which is exactly what the compiler's static scheduling tries to
+//!   avoid;
+//! * **instruction cache** (optional, §5.3): a miss stalls fetch for the
+//!   miss penalty; the stream buffer can hide sequential misses;
+//! * **coprocessor instructions** are forwarded in execute; Pete stalls
+//!   only on a full coprocessor queue or on `cop2sync` (§5.4.1).
+
+use crate::cop::{CopStats, Coprocessor, NoCoprocessor};
+use crate::icache::{CacheConfig, CacheStats, ICache};
+use crate::mem::{MemStats, Ram, Rom};
+use ule_isa::asm::Program;
+use ule_isa::instr::Instr;
+use ule_isa::reg::Reg;
+
+/// Carry-less 32x32 multiply (the `MULGF2` datapath primitive).
+fn clmul32(a: u32, b: u32) -> u64 {
+    let mut acc = 0u64;
+    let mut a64 = a as u64;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a64;
+        }
+        a64 <<= 1;
+        b >>= 1;
+    }
+    acc
+}
+
+/// Configuration of a simulated machine.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Instruction cache, if present (§5.3).
+    pub icache: Option<CacheConfig>,
+    /// Whether the ISA-extension instructions are implemented (§5.2);
+    /// executing one on a non-extended machine is a simulation error.
+    pub extensions: bool,
+    /// Latency of the multi-cycle Karatsuba multiplier (4, §5.1.1).
+    pub mult_latency: u32,
+    /// Latency of the restoring divider (§5.1.2).
+    pub div_latency: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            icache: None,
+            extensions: false,
+            mult_latency: 4,
+            div_latency: 34,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The baseline architecture (Fig 5.1): no cache, no extensions.
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// The ISA-extended architecture (§5.2).
+    pub fn isa_ext() -> Self {
+        MachineConfig {
+            extensions: true,
+            ..Self::default()
+        }
+    }
+
+    /// ISA extensions plus an instruction cache (§7.5).
+    pub fn isa_ext_with_cache(cache: CacheConfig) -> Self {
+        MachineConfig {
+            extensions: true,
+            icache: Some(cache),
+            ..Self::default()
+        }
+    }
+}
+
+/// Event counters for one run — the quantities the energy model consumes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Architecturally executed instructions.
+    pub instructions: u64,
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// All front-end stall cycles (cache misses, hazards, coprocessor).
+    pub stall_cycles: u64,
+    /// Load-use interlock stalls.
+    pub load_use_stalls: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions (each costs one flushed fetch).
+    pub mispredicts: u64,
+    /// Cycles the Hi/Lo multiply unit was computing.
+    pub mult_active_cycles: u64,
+    /// Stalls waiting on the Hi/Lo unit (busy or result not ready).
+    pub mult_stalls: u64,
+    /// Multiply-class operations issued.
+    pub mult_ops: u64,
+    /// Divides issued.
+    pub div_ops: u64,
+    /// COP2 instructions forwarded to the accelerator.
+    pub cop2_ops: u64,
+    /// Stall cycles from a full coprocessor queue or `cop2sync`.
+    pub cop2_stalls: u64,
+    /// Instruction fetches (including wasted wrong-path fetches).
+    pub fetches: u64,
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunExit {
+    /// A `break` instruction was executed (the program's exit).
+    Halted {
+        /// The break code.
+        code: u16,
+    },
+    /// The cycle budget was exhausted first.
+    CycleLimit,
+}
+
+/// A simulated Pete system: core, ROM, RAM, optional I-cache, optional
+/// accelerator.
+pub struct Machine {
+    regs: [u32; 32],
+    hi: u32,
+    lo: u32,
+    ovflo: u32,
+    pc: u32,
+    pending_branch: Option<u32>,
+    rom: Rom,
+    ram: Ram,
+    decoded: Vec<Option<Instr>>,
+    icache: Option<ICache>,
+    cop: Box<dyn Coprocessor>,
+    config: MachineConfig,
+    cycle: u64,
+    counters: Counters,
+    bht: [u8; 64],
+    /// Cycle at which the Hi/Lo unit is free / its result is ready.
+    mult_free_at: u64,
+    /// Destination of the immediately preceding instruction if it was a
+    /// load (for the load-use interlock).
+    last_load_dest: Option<Reg>,
+    halted: Option<u16>,
+}
+
+impl Machine {
+    /// Builds a machine around a linked program.
+    pub fn new(program: &Program, config: MachineConfig) -> Self {
+        let rom = Rom::new(program.rom());
+        let decoded = program
+            .rom()
+            .iter()
+            .map(|&w| Instr::decode(w).ok())
+            .collect();
+        let mut regs = [0u32; 32];
+        // Stack grows down from the top of RAM.
+        regs[Reg::SP.num() as usize] =
+            ule_isa::asm::RAM_BASE + ule_isa::asm::RAM_SIZE - 16;
+        Machine {
+            regs,
+            hi: 0,
+            lo: 0,
+            ovflo: 0,
+            pc: program.entry(),
+            pending_branch: None,
+            rom,
+            ram: Ram::new(),
+            decoded,
+            icache: config.icache.map(ICache::new),
+            cop: Box::new(NoCoprocessor),
+            config,
+            cycle: 0,
+            counters: Counters::default(),
+            bht: [1; 64], // weakly not-taken
+            mult_free_at: 0,
+            last_load_dest: None,
+            halted: None,
+        }
+    }
+
+    /// Attaches an accelerator to the COP2 interface.
+    pub fn attach_coprocessor(&mut self, cop: Box<dyn Coprocessor>) {
+        self.cop = cop;
+    }
+
+    /// The data RAM (for injecting operands and reading results).
+    pub fn ram(&self) -> &Ram {
+        &self.ram
+    }
+
+    /// Mutable access to the data RAM.
+    pub fn ram_mut(&mut self) -> &mut Ram {
+        &mut self.ram
+    }
+
+    /// ROM access statistics.
+    pub fn rom_stats(&self) -> MemStats {
+        let mut s = self.rom.stats();
+        if let Some(c) = &self.icache {
+            s.line_reads += c.stats().rom_line_reads;
+        }
+        s
+    }
+
+    /// RAM access statistics (Pete's port; accelerator traffic is added
+    /// via [`Ram::count_external`] at issue time).
+    pub fn ram_stats(&self) -> MemStats {
+        self.ram.stats()
+    }
+
+    /// Instruction-cache statistics, if a cache is configured.
+    pub fn icache_stats(&self) -> Option<CacheStats> {
+        self.icache.as_ref().map(|c| c.stats())
+    }
+
+    /// Accelerator statistics.
+    pub fn cop_stats(&self) -> CopStats {
+        self.cop.stats()
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> Counters {
+        let mut c = self.counters;
+        c.cycles = self.cycle;
+        c
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+
+    /// Current value of a GPR (testing).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.num() as usize]
+    }
+
+    /// Sets a GPR (argument injection for routine-level tests).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.num() as usize] = v;
+        }
+    }
+
+    /// Sets the program counter (to call an individual routine).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Runs until `break` or the cycle limit.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        while self.halted.is_none() && self.cycle < max_cycles {
+            self.step();
+        }
+        match self.halted {
+            Some(code) => RunExit::Halted { code },
+            None => RunExit::CycleLimit,
+        }
+    }
+
+    /// Executes one architectural instruction (advancing time by its issue
+    /// cycle plus any stalls).
+    pub fn step(&mut self) {
+        if self.halted.is_some() {
+            return;
+        }
+        let branch_target = self.pending_branch.take();
+        let pc = self.pc;
+        let instr = self.fetch(pc);
+        self.counters.instructions += 1;
+
+        // Load-use interlock (the one un-forwardable hazard, §2.2).
+        if let Some(dest) = self.last_load_dest.take() {
+            if dest != Reg::ZERO && self.ex_sources(instr).contains(&dest) {
+                self.stall(1);
+                self.counters.load_use_stalls += 1;
+            }
+        }
+
+        // Base issue cycle.
+        self.cycle += 1;
+        let next_pc = self.execute(instr, pc);
+
+        match branch_target {
+            Some(target) => {
+                // We just executed a delay slot; control transfers now.
+                debug_assert!(
+                    !instr.is_control_flow(),
+                    "control-flow instruction in a delay slot at {pc:#x}"
+                );
+                self.pc = target;
+            }
+            None => self.pc = next_pc,
+        }
+    }
+
+    fn stall(&mut self, cycles: u64) {
+        self.cycle += cycles;
+        self.counters.stall_cycles += cycles;
+    }
+
+    fn stall_until(&mut self, cycle: u64) -> u64 {
+        if cycle > self.cycle {
+            let d = cycle - self.cycle;
+            self.stall(d);
+            d
+        } else {
+            0
+        }
+    }
+
+    fn fetch(&mut self, pc: u32) -> Instr {
+        self.counters.fetches += 1;
+        match &mut self.icache {
+            Some(cache) => {
+                let outcome = cache.access(pc);
+                if outcome.stall > 0 {
+                    self.stall(outcome.stall as u64);
+                }
+                // Line traffic is accounted in the cache stats and merged
+                // in rom_stats().
+            }
+            None => {
+                // Dual-port ROM: one 32-bit read per fetch (§5.1).
+                let _ = self.rom.fetch(pc);
+            }
+        }
+        let idx = (pc / 4) as usize;
+        match self.decoded.get(idx).copied().flatten() {
+            Some(i) => i,
+            None => panic!("fetch of a non-instruction word at {pc:#010x}"),
+        }
+    }
+
+    /// Account a wasted wrong-path fetch after a misprediction.
+    fn wasted_fetch(&mut self, pc: u32) {
+        self.counters.fetches += 1;
+        match &mut self.icache {
+            Some(cache) => {
+                let _ = cache.access(pc);
+            }
+            None => {
+                let _ = self.rom.fetch(pc);
+            }
+        }
+    }
+
+    /// Registers whose values the instruction needs in its execute stage
+    /// (load-use interlock sources).
+    fn ex_sources(&self, i: Instr) -> Vec<Reg> {
+        use Instr::*;
+        match i {
+            Addu { rs, rt, .. } | Subu { rs, rt, .. } | And { rs, rt, .. }
+            | Or { rs, rt, .. } | Xor { rs, rt, .. } | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. } | Sltu { rs, rt, .. } => vec![rs, rt],
+            Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => vec![rt, rs],
+            Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
+            Addiu { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. } | Andi { rs, .. }
+            | Ori { rs, .. } | Xori { rs, .. } => vec![rs],
+            Lui { .. } => vec![],
+            Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt }
+            | Maddu { rs, rt } | M2addu { rs, rt } | Addau { rs, rt }
+            | Mulgf2 { rs, rt } | Maddgf2 { rs, rt } => vec![rs, rt],
+            Mfhi { .. } | Mflo { .. } | Sha => vec![],
+            Mthi { rs } | Mtlo { rs } => vec![rs],
+            Lw { base, .. } | Lh { base, .. } | Lhu { base, .. } | Lb { base, .. }
+            | Lbu { base, .. } => vec![base],
+            // Store data is needed in MEM, one stage later: forwardable.
+            Sw { base, .. } | Sh { base, .. } | Sb { base, .. } => vec![base],
+            Beq { rs, rt, .. } | Bne { rs, rt, .. } => vec![rs, rt],
+            Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => vec![rs],
+            J { .. } | Jal { .. } | Break { .. } => vec![],
+            Jr { rs } | Jalr { rs, .. } => vec![rs],
+            Ctc2 { rt, .. } => vec![rt],
+            Cop2LdA { rt } | Cop2LdB { rt } | Cop2LdN { rt } | Cop2St { rt }
+            | BilLd { rt, .. } | BilSt { rt, .. } => vec![rt],
+            Cop2Sync | Cop2Mul | Cop2Add | Cop2Sub | BilMul { .. } | BilSqr { .. }
+            | BilAdd { .. } => vec![],
+        }
+    }
+
+    fn get(&self, r: Reg) -> u32 {
+        self.regs[r.num() as usize]
+    }
+
+    fn set(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.num() as usize] = v;
+        }
+    }
+
+    fn acc(&self) -> u128 {
+        ((self.ovflo as u128) << 64) | ((self.hi as u128) << 32) | self.lo as u128
+    }
+
+    fn set_acc(&mut self, v: u128) {
+        let v = v & ((1u128 << 96) - 1);
+        self.lo = v as u32;
+        self.hi = (v >> 32) as u32;
+        self.ovflo = (v >> 64) as u32;
+    }
+
+    /// Issues into the Hi/Lo unit: stall if busy, then occupy it.
+    fn hilo_issue(&mut self, latency: u32) {
+        let stalled = self.stall_until(self.mult_free_at);
+        self.counters.mult_stalls += stalled;
+        self.mult_free_at = self.cycle + latency as u64;
+        self.counters.mult_active_cycles += latency as u64;
+    }
+
+    /// Reads from the Hi/Lo unit: stall until the result is ready.
+    fn hilo_wait(&mut self) {
+        let stalled = self.stall_until(self.mult_free_at);
+        self.counters.mult_stalls += stalled;
+    }
+
+    fn require_ext(&self, i: Instr) {
+        assert!(
+            self.config.extensions,
+            "ISA-extension instruction {i} on a non-extended machine"
+        );
+    }
+
+    fn load_word(&mut self, addr: u32) -> u32 {
+        assert!(addr % 4 == 0, "unaligned word access at {addr:#x}");
+        if Ram::contains(addr) {
+            self.ram.read(addr)
+        } else {
+            self.rom.read(addr)
+        }
+    }
+
+    fn load_sub(&mut self, addr: u32, bytes: u32) -> u32 {
+        let word_addr = addr & !3;
+        let word = if Ram::contains(word_addr) {
+            self.ram.read(word_addr)
+        } else {
+            self.rom.read(word_addr)
+        };
+        let shift = 8 * (addr & 3);
+        let mask = if bytes == 1 { 0xff } else { 0xffff };
+        (word >> shift) & mask
+    }
+
+    fn store_sub(&mut self, addr: u32, bytes: u32, value: u32) {
+        let word_addr = addr & !3;
+        let old = self.ram.peek(word_addr);
+        let shift = 8 * (addr & 3);
+        let mask: u32 = if bytes == 1 { 0xff } else { 0xffff };
+        let new = (old & !(mask << shift)) | ((value & mask) << shift);
+        self.ram.write(word_addr, new);
+    }
+
+    /// Executes the instruction's semantics and timing; returns the next
+    /// sequential PC (branches instead arm `pending_branch`).
+    fn execute(&mut self, instr: Instr, pc: u32) -> u32 {
+        use Instr::*;
+        let seq = pc.wrapping_add(4);
+        let mut next = seq;
+        let mut loaded: Option<Reg> = None;
+        match instr {
+            Addu { rd, rs, rt } => self.set(rd, self.get(rs).wrapping_add(self.get(rt))),
+            Subu { rd, rs, rt } => self.set(rd, self.get(rs).wrapping_sub(self.get(rt))),
+            And { rd, rs, rt } => self.set(rd, self.get(rs) & self.get(rt)),
+            Or { rd, rs, rt } => self.set(rd, self.get(rs) | self.get(rt)),
+            Xor { rd, rs, rt } => self.set(rd, self.get(rs) ^ self.get(rt)),
+            Nor { rd, rs, rt } => self.set(rd, !(self.get(rs) | self.get(rt))),
+            Slt { rd, rs, rt } => {
+                self.set(rd, ((self.get(rs) as i32) < self.get(rt) as i32) as u32)
+            }
+            Sltu { rd, rs, rt } => self.set(rd, (self.get(rs) < self.get(rt)) as u32),
+            Sllv { rd, rt, rs } => self.set(rd, self.get(rt) << (self.get(rs) & 31)),
+            Srlv { rd, rt, rs } => self.set(rd, self.get(rt) >> (self.get(rs) & 31)),
+            Srav { rd, rt, rs } => {
+                self.set(rd, ((self.get(rt) as i32) >> (self.get(rs) & 31)) as u32)
+            }
+            Sll { rd, rt, shamt } => self.set(rd, self.get(rt) << shamt),
+            Srl { rd, rt, shamt } => self.set(rd, self.get(rt) >> shamt),
+            Sra { rd, rt, shamt } => self.set(rd, ((self.get(rt) as i32) >> shamt) as u32),
+            Addiu { rt, rs, imm } => {
+                self.set(rt, self.get(rs).wrapping_add(imm as i32 as u32))
+            }
+            Slti { rt, rs, imm } => {
+                self.set(rt, ((self.get(rs) as i32) < imm as i32) as u32)
+            }
+            Sltiu { rt, rs, imm } => {
+                self.set(rt, (self.get(rs) < imm as i32 as u32) as u32)
+            }
+            Andi { rt, rs, imm } => self.set(rt, self.get(rs) & imm as u32),
+            Ori { rt, rs, imm } => self.set(rt, self.get(rs) | imm as u32),
+            Xori { rt, rs, imm } => self.set(rt, self.get(rs) ^ imm as u32),
+            Lui { rt, imm } => self.set(rt, (imm as u32) << 16),
+            Mult { rs, rt } => {
+                self.hilo_issue(self.config.mult_latency);
+                self.counters.mult_ops += 1;
+                let p = (self.get(rs) as i32 as i64) * (self.get(rt) as i32 as i64);
+                self.lo = p as u32;
+                self.hi = (p >> 32) as u32;
+                self.ovflo = 0;
+            }
+            Multu { rs, rt } => {
+                self.hilo_issue(self.config.mult_latency);
+                self.counters.mult_ops += 1;
+                let p = (self.get(rs) as u64) * (self.get(rt) as u64);
+                self.lo = p as u32;
+                self.hi = (p >> 32) as u32;
+                self.ovflo = 0;
+            }
+            Div { rs, rt } => {
+                self.hilo_issue(self.config.div_latency);
+                self.counters.div_ops += 1;
+                let (a, b) = (self.get(rs) as i32, self.get(rt) as i32);
+                if b == 0 {
+                    self.lo = u32::MAX;
+                    self.hi = a as u32;
+                } else {
+                    self.lo = a.wrapping_div(b) as u32;
+                    self.hi = a.wrapping_rem(b) as u32;
+                }
+                self.ovflo = 0;
+            }
+            Divu { rs, rt } => {
+                self.hilo_issue(self.config.div_latency);
+                self.counters.div_ops += 1;
+                let (a, b) = (self.get(rs), self.get(rt));
+                if b == 0 {
+                    self.lo = u32::MAX;
+                    self.hi = a;
+                } else {
+                    self.lo = a / b;
+                    self.hi = a % b;
+                }
+                self.ovflo = 0;
+            }
+            Mfhi { rd } => {
+                self.hilo_wait();
+                self.set(rd, self.hi);
+            }
+            Mflo { rd } => {
+                self.hilo_wait();
+                self.set(rd, self.lo);
+            }
+            Mthi { rs } => {
+                self.hilo_wait();
+                self.hi = self.get(rs);
+            }
+            Mtlo { rs } => {
+                self.hilo_wait();
+                self.lo = self.get(rs);
+            }
+            Lw { rt, base, offset } => {
+                let addr = self.get(base).wrapping_add(offset as i32 as u32);
+                let v = self.load_word(addr);
+                self.set(rt, v);
+                loaded = Some(rt);
+            }
+            Lh { rt, base, offset } => {
+                let addr = self.get(base).wrapping_add(offset as i32 as u32);
+                let v = self.load_sub(addr, 2);
+                self.set(rt, v as u16 as i16 as i32 as u32);
+                loaded = Some(rt);
+            }
+            Lhu { rt, base, offset } => {
+                let addr = self.get(base).wrapping_add(offset as i32 as u32);
+                let v = self.load_sub(addr, 2);
+                self.set(rt, v);
+                loaded = Some(rt);
+            }
+            Lb { rt, base, offset } => {
+                let addr = self.get(base).wrapping_add(offset as i32 as u32);
+                let v = self.load_sub(addr, 1);
+                self.set(rt, v as u8 as i8 as i32 as u32);
+                loaded = Some(rt);
+            }
+            Lbu { rt, base, offset } => {
+                let addr = self.get(base).wrapping_add(offset as i32 as u32);
+                let v = self.load_sub(addr, 1);
+                self.set(rt, v);
+                loaded = Some(rt);
+            }
+            Sw { rt, base, offset } => {
+                let addr = self.get(base).wrapping_add(offset as i32 as u32);
+                assert!(addr % 4 == 0, "unaligned sw at {addr:#x}");
+                self.ram.write(addr, self.get(rt));
+            }
+            Sh { rt, base, offset } => {
+                let addr = self.get(base).wrapping_add(offset as i32 as u32);
+                self.store_sub(addr, 2, self.get(rt));
+            }
+            Sb { rt, base, offset } => {
+                let addr = self.get(base).wrapping_add(offset as i32 as u32);
+                self.store_sub(addr, 1, self.get(rt));
+            }
+            Beq { rs, rt, offset } => {
+                let taken = self.get(rs) == self.get(rt);
+                self.branch(pc, seq, offset, taken, &mut next);
+            }
+            Bne { rs, rt, offset } => {
+                let taken = self.get(rs) != self.get(rt);
+                self.branch(pc, seq, offset, taken, &mut next);
+            }
+            Blez { rs, offset } => {
+                let taken = (self.get(rs) as i32) <= 0;
+                self.branch(pc, seq, offset, taken, &mut next);
+            }
+            Bgtz { rs, offset } => {
+                let taken = (self.get(rs) as i32) > 0;
+                self.branch(pc, seq, offset, taken, &mut next);
+            }
+            Bltz { rs, offset } => {
+                let taken = (self.get(rs) as i32) < 0;
+                self.branch(pc, seq, offset, taken, &mut next);
+            }
+            Bgez { rs, offset } => {
+                let taken = (self.get(rs) as i32) >= 0;
+                self.branch(pc, seq, offset, taken, &mut next);
+            }
+            J { target } => {
+                self.pending_branch = Some((seq & 0xf000_0000) | (target << 2));
+            }
+            Jal { target } => {
+                self.set(Reg::RA, pc.wrapping_add(8));
+                self.pending_branch = Some((seq & 0xf000_0000) | (target << 2));
+            }
+            Jr { rs } => {
+                self.pending_branch = Some(self.get(rs));
+            }
+            Jalr { rd, rs } => {
+                let t = self.get(rs);
+                self.set(rd, pc.wrapping_add(8));
+                self.pending_branch = Some(t);
+            }
+            Break { code } => {
+                self.halted = Some(code);
+            }
+            Maddu { rs, rt } => {
+                self.require_ext(instr);
+                self.hilo_issue(self.config.mult_latency);
+                self.counters.mult_ops += 1;
+                let p = (self.get(rs) as u128) * (self.get(rt) as u128);
+                self.set_acc(self.acc().wrapping_add(p));
+            }
+            M2addu { rs, rt } => {
+                self.require_ext(instr);
+                self.hilo_issue(self.config.mult_latency);
+                self.counters.mult_ops += 1;
+                let p = (self.get(rs) as u128) * (self.get(rt) as u128) * 2;
+                self.set_acc(self.acc().wrapping_add(p));
+            }
+            Addau { rs, rt } => {
+                self.require_ext(instr);
+                self.hilo_issue(1);
+                let v = ((self.get(rs) as u128) << 32) + self.get(rt) as u128;
+                self.set_acc(self.acc().wrapping_add(v));
+            }
+            Sha => {
+                self.require_ext(instr);
+                self.hilo_issue(1);
+                self.set_acc(self.acc() >> 32);
+            }
+            Mulgf2 { rs, rt } => {
+                self.require_ext(instr);
+                self.hilo_issue(self.config.mult_latency);
+                self.counters.mult_ops += 1;
+                self.set_acc(clmul32(self.get(rs), self.get(rt)) as u128);
+            }
+            Maddgf2 { rs, rt } => {
+                self.require_ext(instr);
+                self.hilo_issue(self.config.mult_latency);
+                self.counters.mult_ops += 1;
+                self.set_acc(self.acc() ^ clmul32(self.get(rs), self.get(rt)) as u128);
+            }
+            Ctc2 { .. }
+            | Cop2Sync
+            | Cop2LdA { .. }
+            | Cop2LdB { .. }
+            | Cop2LdN { .. }
+            | Cop2Mul
+            | Cop2Add
+            | Cop2Sub
+            | Cop2St { .. }
+            | BilLd { .. }
+            | BilSt { .. }
+            | BilMul { .. }
+            | BilSqr { .. }
+            | BilAdd { .. } => {
+                self.counters.cop2_ops += 1;
+                if instr == Cop2Sync {
+                    let idle = self.cop.idle_at();
+                    let stalled = self.stall_until(idle);
+                    self.counters.cop2_stalls += stalled;
+                } else {
+                    let rt_val = match instr {
+                        Ctc2 { rt, .. }
+                        | Cop2LdA { rt }
+                        | Cop2LdB { rt }
+                        | Cop2LdN { rt }
+                        | Cop2St { rt }
+                        | BilLd { rt, .. }
+                        | BilSt { rt, .. } => self.get(rt),
+                        _ => 0,
+                    };
+                    let resume = self.cop.issue(instr, rt_val, self.cycle, &mut self.ram);
+                    let stalled = self.stall_until(resume);
+                    self.counters.cop2_stalls += stalled;
+                }
+            }
+        }
+        self.last_load_dest = loaded;
+        next
+    }
+
+    fn branch(&mut self, pc: u32, seq: u32, offset: i16, taken: bool, next: &mut u32) {
+        self.counters.branches += 1;
+        let target = seq.wrapping_add((offset as i32 as u32) << 2);
+        let idx = ((pc >> 2) & 63) as usize;
+        let predicted_taken = self.bht[idx] >= 2;
+        if predicted_taken != taken {
+            self.counters.mispredicts += 1;
+            self.stall(1);
+            // One wrong-path instruction was fetched and flushed.
+            let wrong = if taken { seq.wrapping_add(4) } else { target };
+            self.wasted_fetch(wrong);
+        }
+        // 2-bit saturating update.
+        self.bht[idx] = match (self.bht[idx], taken) {
+            (c, true) if c < 3 => c + 1,
+            (c, false) if c > 0 => c - 1,
+            (c, _) => c,
+        };
+        if taken {
+            self.pending_branch = Some(target);
+        }
+        *next = seq;
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &format_args!("{:#010x}", self.pc))
+            .field("cycle", &self.cycle)
+            .field("halted", &self.halted)
+            .field("cop", &self.cop.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_isa::asm::{Asm, RAM_BASE};
+
+    fn run(asm: Asm) -> Machine {
+        run_cfg(asm, MachineConfig::isa_ext())
+    }
+
+    fn run_cfg(asm: Asm, cfg: MachineConfig) -> Machine {
+        let p = asm.link("main").expect("link");
+        let mut m = Machine::new(&p, cfg);
+        let exit = m.run(1_000_000);
+        assert_eq!(exit, RunExit::Halted { code: 0 }, "program did not halt");
+        m
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 40);
+        a.addiu(Reg::T1, Reg::T0, 2);
+        a.subu(Reg::T2, Reg::T1, Reg::T0);
+        a.sll(Reg::T3, Reg::T1, 4);
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T1), 42);
+        assert_eq!(m.reg(Reg::T2), 2);
+        assert_eq!(m.reg(Reg::T3), 42 << 4);
+    }
+
+    #[test]
+    fn memory_round_trip_and_subword() {
+        let mut a = Asm::new();
+        let buf = a.ram_alloc("buf", 2);
+        a.label("main");
+        a.li(Reg::T0, buf as i64);
+        a.li(Reg::T1, 0x1234_5678);
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.lw(Reg::T2, 0, Reg::T0);
+        a.lbu(Reg::T3, 1, Reg::T0); // byte 1 = 0x56
+        a.lhu(Reg::T4, 2, Reg::T0); // upper half = 0x1234
+        a.li(Reg::T5, 0xab);
+        a.sb(Reg::T5, 0, Reg::T0);
+        a.lw(Reg::T6, 0, Reg::T0);
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T2), 0x1234_5678);
+        assert_eq!(m.reg(Reg::T3), 0x56);
+        assert_eq!(m.reg(Reg::T4), 0x1234);
+        assert_eq!(m.reg(Reg::T6), 0x1234_56ab);
+    }
+
+    #[test]
+    fn loop_and_branch() {
+        // sum 1..=10
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 10);
+        a.li(Reg::T1, 0);
+        a.label("loop");
+        a.addu(Reg::T1, Reg::T1, Reg::T0);
+        a.addiu(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, "loop");
+        a.nop();
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T1), 55);
+        assert_eq!(m.counters().branches, 10);
+    }
+
+    #[test]
+    fn delay_slot_always_executes() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 0);
+        a.b("skip");
+        a.addiu(Reg::T0, Reg::T0, 1); // delay slot: executes
+        a.addiu(Reg::T0, Reg::T0, 100); // skipped
+        a.label("skip");
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T0), 1);
+    }
+
+    #[test]
+    fn jal_links_past_delay_slot() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.jal("fn");
+        a.li(Reg::T5, 7); // delay slot
+        a.brk(0);
+        a.label("fn");
+        a.jr(Reg::RA);
+        a.li(Reg::T6, 9); // delay slot
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T5), 7);
+        assert_eq!(m.reg(Reg::T6), 9);
+    }
+
+    #[test]
+    fn multiplier_latency_and_stalls() {
+        // mflo immediately after mult must stall ~4 cycles.
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 1000);
+        a.li(Reg::T1, 999);
+        a.multu(Reg::T0, Reg::T1);
+        a.mflo(Reg::T2);
+        a.mfhi(Reg::T3);
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T2), 999_000);
+        assert_eq!(m.reg(Reg::T3), 0);
+        assert!(m.counters().mult_stalls >= 3, "{:?}", m.counters());
+
+        // Independent instructions between mult and mflo hide the latency.
+        let mut b = Asm::new();
+        b.label("main");
+        b.li(Reg::T0, 1000);
+        b.li(Reg::T1, 999);
+        b.multu(Reg::T0, Reg::T1);
+        b.addiu(Reg::T4, Reg::ZERO, 1);
+        b.addiu(Reg::T5, Reg::ZERO, 2);
+        b.addiu(Reg::T6, Reg::ZERO, 3);
+        b.addiu(Reg::T7, Reg::ZERO, 4);
+        b.mflo(Reg::T2);
+        b.brk(0);
+        let m2 = run(b);
+        assert_eq!(m2.reg(Reg::T2), 999_000);
+        assert_eq!(m2.counters().mult_stalls, 0, "{:?}", m2.counters());
+    }
+
+    #[test]
+    fn signed_multiply_and_divide() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, -6i64);
+        a.li(Reg::T1, 7);
+        a.mult(Reg::T0, Reg::T1);
+        a.mflo(Reg::T2); // -42
+        a.li(Reg::T3, 43);
+        a.li(Reg::T4, 5);
+        a.divu(Reg::T3, Reg::T4);
+        a.mflo(Reg::T5); // 8
+        a.mfhi(Reg::T6); // 3
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T2) as i32, -42);
+        assert_eq!(m.reg(Reg::T5), 8);
+        assert_eq!(m.reg(Reg::T6), 3);
+        assert!(m.counters().div_ops == 1);
+    }
+
+    #[test]
+    fn load_use_stall_detected() {
+        let mut a = Asm::new();
+        let buf = a.ram_alloc("buf", 1);
+        a.label("main");
+        a.li(Reg::T0, buf as i64);
+        a.li(Reg::T1, 5);
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.lw(Reg::T2, 0, Reg::T0);
+        a.addiu(Reg::T3, Reg::T2, 1); // load-use!
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T3), 6);
+        assert_eq!(m.counters().load_use_stalls, 1);
+    }
+
+    #[test]
+    fn maddu_accumulator_chain() {
+        // (OvFlo,Hi,Lo) accumulates 3 products then SHA shifts out words.
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 0xffff_ffffu32 as i64);
+        a.mtlo(Reg::ZERO);
+        a.mthi(Reg::ZERO);
+        a.maddu(Reg::T0, Reg::T0); // (2^32-1)^2
+        a.maddu(Reg::T0, Reg::T0);
+        a.maddu(Reg::T0, Reg::T0);
+        a.mflo(Reg::T1);
+        a.sha();
+        a.mflo(Reg::T2);
+        a.sha();
+        a.mflo(Reg::T3);
+        a.brk(0);
+        let m = run(a);
+        let total = 3u128 * 0xffff_ffffu128 * 0xffff_ffff;
+        assert_eq!(m.reg(Reg::T1), total as u32);
+        assert_eq!(m.reg(Reg::T2), (total >> 32) as u32);
+        assert_eq!(m.reg(Reg::T3), (total >> 64) as u32);
+    }
+
+    #[test]
+    fn m2addu_and_addau() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 3);
+        a.li(Reg::T1, 5);
+        a.mtlo(Reg::ZERO);
+        a.mthi(Reg::ZERO);
+        a.m2addu(Reg::T0, Reg::T1); // acc = 30
+        a.li(Reg::T2, 2);
+        a.li(Reg::T3, 7);
+        a.addau(Reg::T2, Reg::T3); // acc += (2<<32) + 7
+        a.mflo(Reg::T4);
+        a.sha();
+        a.mflo(Reg::T5);
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T4), 37);
+        assert_eq!(m.reg(Reg::T5), 2);
+    }
+
+    #[test]
+    fn carry_less_extensions() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 0b11);
+        a.li(Reg::T1, 0b11);
+        a.mulgf2(Reg::T0, Reg::T1); // (x+1)^2 = x^2+1 = 0b101
+        a.mflo(Reg::T2);
+        a.li(Reg::T3, 0b10);
+        a.li(Reg::T4, 0b111);
+        a.maddgf2(Reg::T3, Reg::T4); // acc ^= 0b1110
+        a.mflo(Reg::T5);
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T2), 0b101);
+        assert_eq!(m.reg(Reg::T5), 0b101 ^ 0b1110);
+    }
+
+    #[test]
+    fn extension_requires_config() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.maddu(Reg::T0, Reg::T1);
+        a.brk(0);
+        let p = a.link("main").unwrap();
+        let mut m = Machine::new(&p, MachineConfig::baseline());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(1000);
+        }));
+        assert!(result.is_err(), "baseline must reject extension instrs");
+    }
+
+    #[test]
+    fn branch_predictor_learns_loops() {
+        // A hot loop: first iteration(s) mispredict, then the predictor
+        // saturates and the loop back-edge is free.
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 100);
+        a.label("loop");
+        a.addiu(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, "loop");
+        a.nop();
+        a.brk(0);
+        let m = run(a);
+        let c = m.counters();
+        assert_eq!(c.branches, 100);
+        assert!(c.mispredicts <= 3, "{c:?}");
+    }
+
+    #[test]
+    fn icache_reduces_rom_reads() {
+        let mut mk = || {
+            let mut a = Asm::new();
+            a.label("main");
+            a.li(Reg::T0, 200);
+            a.label("loop");
+            a.addiu(Reg::T0, Reg::T0, -1);
+            a.bne(Reg::T0, Reg::ZERO, "loop");
+            a.nop();
+            a.brk(0);
+            a
+        };
+        let base = run_cfg(mk(), MachineConfig::baseline());
+        let cached = run_cfg(
+            mk(),
+            MachineConfig::isa_ext_with_cache(CacheConfig::real(1024, false)),
+        );
+        let base_rom = base.rom_stats();
+        let cache_rom = cached.rom_stats();
+        assert!(base_rom.reads > 600);
+        // With the cache, word fetches go away; only a couple of line fills.
+        assert_eq!(cache_rom.reads, 0);
+        assert!(cache_rom.line_reads <= 4, "{cache_rom:?}");
+        let cs = cached.icache_stats().unwrap();
+        assert!(cs.miss_rate() < 0.01);
+    }
+
+    #[test]
+    fn ram_access_counting() {
+        let mut a = Asm::new();
+        let buf = a.ram_alloc("buf", 4);
+        a.label("main");
+        a.li(Reg::T0, buf as i64);
+        for i in 0..4 {
+            a.sw(Reg::ZERO, (i * 4) as i16, Reg::T0);
+        }
+        for i in 0..4 {
+            a.lw(Reg::T1, (i * 4) as i16, Reg::T0);
+        }
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.ram_stats().writes, 4);
+        assert_eq!(m.ram_stats().reads, 4);
+    }
+
+    #[test]
+    fn cycle_limit_exit() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.label("spin");
+        a.b("spin");
+        a.nop();
+        let p = a.link("main").unwrap();
+        let mut m = Machine::new(&p, MachineConfig::baseline());
+        assert_eq!(m.run(1000), RunExit::CycleLimit);
+    }
+}

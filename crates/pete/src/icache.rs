@@ -1,0 +1,278 @@
+//! The direct-mapped instruction cache and stream-buffer prefetcher of
+//! §5.3.
+//!
+//! Geometry follows the paper's implementation (Fig 5.5): 16-byte lines
+//! (four instructions), parameterizable line count, tag + valid bit per
+//! line. The prefetcher is a **single-entry stream buffer** (§5.3.3,
+//! after Jouppi): on a miss the next sequential line is fetched into the
+//! buffer; a miss that hits the buffer promotes the line to the cache for
+//! free and starts the next prefetch.
+//!
+//! The model also supports the *ideal* mode used for the first-cut study
+//! of §7.5 / Fig 7.11 (every access hits; only read energy is charged).
+
+/// Cache geometry and behaviour knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (1 KB – 8 KB in the study, Fig 7.12).
+    pub size_bytes: u32,
+    /// Enable the single-entry stream-buffer prefetcher.
+    pub prefetch: bool,
+    /// Ideal mode: never miss (Fig 7.11's best-case model).
+    pub ideal: bool,
+    /// Miss penalty in cycles (3 in the study: 128-bit ROM port, §7.5).
+    pub miss_penalty: u32,
+}
+
+impl CacheConfig {
+    /// The energy-optimal configuration the paper converges on: 4 KB,
+    /// no prefetcher (§7.5).
+    pub fn best() -> Self {
+        CacheConfig {
+            size_bytes: 4 * 1024,
+            prefetch: false,
+            ideal: false,
+            miss_penalty: 3,
+        }
+    }
+
+    /// A real cache of the given size (16-byte lines), with or without
+    /// the prefetcher.
+    pub fn real(size_bytes: u32, prefetch: bool) -> Self {
+        CacheConfig {
+            size_bytes,
+            prefetch,
+            ideal: false,
+            miss_penalty: 3,
+        }
+    }
+
+    /// The ideal 4 KB model of Fig 7.11.
+    pub fn ideal() -> Self {
+        CacheConfig {
+            size_bytes: 4 * 1024,
+            prefetch: false,
+            ideal: true,
+            miss_penalty: 3,
+        }
+    }
+
+    /// Number of cache lines.
+    pub fn lines(&self) -> usize {
+        (self.size_bytes / LINE_BYTES) as usize
+    }
+}
+
+/// Line size in bytes (four 32-bit instructions, §5.3.1).
+pub const LINE_BYTES: u32 = 16;
+
+/// Cache event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Processor-side accesses (tag + data read each).
+    pub accesses: u64,
+    /// Misses that went to ROM (or were filled from the prefetch buffer).
+    pub misses: u64,
+    /// Misses satisfied by the prefetch buffer (no stall).
+    pub prefetch_hits: u64,
+    /// 128-bit line reads issued to ROM (fills + prefetches).
+    pub rom_line_reads: u64,
+    /// Line writes into the cache data array.
+    pub fills: u64,
+    /// Total stall cycles charged to the front end.
+    pub stall_cycles: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over processor accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Outcome of one fetch, as seen by the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Extra stall cycles the front end must absorb (0 on a hit).
+    pub stall: u32,
+    /// 128-bit ROM line reads this access caused.
+    pub rom_lines: u32,
+}
+
+/// The direct-mapped instruction cache with optional stream buffer.
+#[derive(Clone, Debug)]
+pub struct ICache {
+    config: CacheConfig,
+    /// Tag per line, `None` when invalid (reset state, §5.3.2).
+    tags: Vec<Option<u32>>,
+    /// Prefetch buffer: line address held, if any.
+    prefetch_line: Option<u32>,
+    stats: CacheStats,
+}
+
+impl ICache {
+    /// Builds an invalidated cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the size is a power-of-two multiple of the line size.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.size_bytes >= LINE_BYTES);
+        assert!(config.size_bytes.is_power_of_two());
+        ICache {
+            config,
+            tags: vec![None; config.lines()],
+            prefetch_line: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// One instruction fetch at `addr`; updates state and counters and
+    /// returns the stall/traffic outcome.
+    pub fn access(&mut self, addr: u32) -> FetchOutcome {
+        self.stats.accesses += 1;
+        if self.config.ideal {
+            return FetchOutcome {
+                stall: 0,
+                rom_lines: 0,
+            };
+        }
+        let line_addr = addr & !(LINE_BYTES - 1);
+        let index = ((line_addr / LINE_BYTES) as usize) % self.tags.len();
+        if self.tags[index] == Some(line_addr) {
+            return FetchOutcome {
+                stall: 0,
+                rom_lines: 0,
+            };
+        }
+        // Miss. Check the stream buffer first (§5.3.3).
+        self.stats.misses += 1;
+        let mut rom_lines = 0u32;
+        let stall;
+        if self.config.prefetch && self.prefetch_line == Some(line_addr) {
+            // Forwarded from the buffer and written into the cache in the
+            // same cycle: no stall. The controller immediately prefetches
+            // the next line.
+            self.stats.prefetch_hits += 1;
+            self.tags[index] = Some(line_addr);
+            self.stats.fills += 1;
+            self.prefetch_line = Some(line_addr + LINE_BYTES);
+            self.stats.rom_line_reads += 1;
+            rom_lines += 1;
+            stall = 0;
+        } else {
+            // Fill from ROM, stalling the front end.
+            self.tags[index] = Some(line_addr);
+            self.stats.fills += 1;
+            self.stats.rom_line_reads += 1;
+            rom_lines += 1;
+            stall = self.config.miss_penalty;
+            if self.config.prefetch {
+                // Start prefetching the next sequential line.
+                self.prefetch_line = Some(line_addr + LINE_BYTES);
+                self.stats.rom_line_reads += 1;
+                rom_lines += 1;
+            }
+        }
+        self.stats.stall_cycles += stall as u64;
+        FetchOutcome { stall, rom_lines }
+    }
+
+    /// Invalidates every line (the reset routine of §5.3.2).
+    pub fn invalidate_all(&mut self) {
+        for t in &mut self.tags {
+            *t = None;
+        }
+        self.prefetch_line = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_fetch(c: &mut ICache, start: u32, n: u32) -> u64 {
+        let mut stalls = 0;
+        for i in 0..n {
+            stalls += c.access(start + i * 4).stall as u64;
+        }
+        stalls
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let mut c = ICache::new(CacheConfig::real(1024, false));
+        // 16 sequential instructions = 4 lines: 4 misses then all hits.
+        let stalls = seq_fetch(&mut c, 0, 16);
+        assert_eq!(c.stats().misses, 4);
+        assert_eq!(stalls, 4 * 3);
+        let stalls2 = seq_fetch(&mut c, 0, 16);
+        assert_eq!(stalls2, 0);
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut c = ICache::new(CacheConfig::real(1024, false));
+        c.access(0);
+        // Same index, different tag: 1024 bytes apart.
+        c.access(1024);
+        assert_eq!(c.stats().misses, 2);
+        // Original line was evicted.
+        c.access(0);
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn prefetcher_hides_sequential_misses() {
+        let mut c = ICache::new(CacheConfig::real(1024, true));
+        // A long sequential run: first line stalls, subsequent lines come
+        // from the stream buffer for free.
+        let stalls = seq_fetch(&mut c, 0, 64);
+        assert_eq!(stalls, 3, "only the first miss should stall");
+        assert!(c.stats().prefetch_hits >= 14);
+        // The prefetcher reads more ROM lines than a plain cache would.
+        assert!(c.stats().rom_line_reads > c.stats().misses);
+    }
+
+    #[test]
+    fn ideal_never_misses() {
+        let mut c = ICache::new(CacheConfig::ideal());
+        let stalls = seq_fetch(&mut c, 0, 1000);
+        assert_eq!(stalls, 0);
+        assert_eq!(c.stats().misses, 0);
+        assert_eq!(c.stats().accesses, 1000);
+    }
+
+    #[test]
+    fn miss_rate_helper() {
+        let mut c = ICache::new(CacheConfig::real(1024, false));
+        seq_fetch(&mut c, 0, 8);
+        let s = c.stats();
+        assert!((s.miss_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidate_all_cools_the_cache() {
+        let mut c = ICache::new(CacheConfig::real(1024, false));
+        seq_fetch(&mut c, 0, 8);
+        c.invalidate_all();
+        let before = c.stats().misses;
+        seq_fetch(&mut c, 0, 8);
+        assert_eq!(c.stats().misses, before + 2);
+    }
+}

@@ -1,0 +1,521 @@
+//! Codegen for the Billie-accelerated configuration (§5.5): the entire
+//! scalar point multiplication lives in Billie's sixteen-entry register
+//! file — working point, curve constant, the four-entry sliding-window
+//! table (or the three point pairs of the twin multiplication), and four
+//! temporaries — exactly the property the paper credits for Billie's
+//! performance advantage over prior work (§7.6).
+//!
+//! Register map:
+//!
+//! | regs  | single scalar mult      | twin mult             |
+//! |-------|--------------------------|----------------------|
+//! | 0–2   | working point X, Y, Z    | same                 |
+//! | 3     | curve constant `b`       | same                 |
+//! | 4–11  | table P/3P/5P/7P (x,y)   | G, Q, G+Q in 4–9     |
+//! | 12–15 | temporaries T1–T4        | same                 |
+//!
+//! Pete runs the control flow (bit scanning, loop counts) and feeds
+//! Billie the arithmetic; inversion is Fermat's little theorem as a
+//! square-and-multiply chain through the registers (§4.2.4). Because
+//! Koblitz curves have `b = 1`, multiplying by the `b` register doubles
+//! as the register-file copy the ISA lacks.
+
+use crate::gen::Gen;
+use crate::point::PointCfg;
+use ule_isa::reg::Reg;
+use ule_mpmath::f2m::BinaryField;
+
+const A0: Reg = Reg::A0;
+const A1: Reg = Reg::A1;
+const V0: Reg = Reg::V0;
+const T0: Reg = Reg::T0;
+const S0: Reg = Reg::S0;
+const S1: Reg = Reg::S1;
+const S2: Reg = Reg::S2;
+const S3: Reg = Reg::S3;
+const S4: Reg = Reg::S4;
+const ZERO: Reg = Reg::ZERO;
+const RA: Reg = Reg::RA;
+
+// Billie register assignments.
+const RX: u8 = 0;
+const RY: u8 = 1;
+const RZ: u8 = 2;
+const RB: u8 = 3;
+const TAB: [(u8, u8); 4] = [(4, 5), (6, 7), (8, 9), (10, 11)];
+const T1: u8 = 12;
+const T2: u8 = 13;
+const T3: u8 = 14;
+const T4: u8 = 15;
+
+/// Emits the in-register LD point doubling as the routine `bil_pdbl`
+/// (same formulas as §4.1's LD doubling).
+fn emit_bil_pdbl(g: &mut Gen, a_is_one: bool) {
+    g.a.label("bil_pdbl");
+    g.a.bil_sqr(T1, RX); // x^2
+    g.a.bil_sqr(T2, RZ); // z^2
+    g.a.bil_mul(RZ, T1, T2); // Z3
+    g.a.bil_sqr(T2, T2); // z^4
+    g.a.bil_mul(T2, T2, RB); // b z^4
+    g.a.bil_sqr(T1, T1); // x^4
+    g.a.bil_sqr(T3, RY); // y^2
+    g.a.bil_add(RX, T1, T2); // X3
+    if a_is_one {
+        g.a.bil_add(T3, T3, RZ);
+    }
+    g.a.bil_add(T3, T3, T2);
+    g.a.bil_mul(T3, RX, T3);
+    g.a.bil_mul(T2, T2, RZ);
+    g.a.bil_add(RY, T3, T2); // Y3
+    g.a.ret();
+}
+
+/// Emits one in-register mixed addition `working += (qx, qy)` routine.
+fn emit_bil_padd(g: &mut Gen, label: &str, qx: u8, qy: u8, a_is_one: bool) {
+    g.a.label(label);
+    g.a.bil_sqr(T1, RZ); // z1sq
+    g.a.bil_mul(T2, qy, T1);
+    g.a.bil_add(T2, T2, RY); // A
+    g.a.bil_mul(T3, qx, RZ);
+    g.a.bil_add(T3, T3, RX); // B
+    g.a.bil_mul(T4, RZ, T3); // C
+    if a_is_one {
+        g.a.bil_add(T1, T4, T1); // C + a z1sq
+    }
+    g.a.bil_sqr(T3, T3); // B^2
+    g.a.bil_mul(T3, T3, if a_is_one { T1 } else { T4 }); // D
+    g.a.bil_sqr(RZ, T4); // Z3
+    g.a.bil_mul(T4, T2, T4); // E
+    g.a.bil_sqr(RX, T2);
+    g.a.bil_add(RX, RX, T3);
+    g.a.bil_add(RX, RX, T4); // X3
+    g.a.bil_mul(T3, qx, RZ);
+    g.a.bil_add(T3, T3, RX); // F
+    g.a.bil_add(T1, qx, qy);
+    g.a.bil_sqr(T2, RZ);
+    g.a.bil_mul(T1, T1, T2); // G
+    g.a.bil_add(T4, T4, RZ);
+    g.a.bil_mul(T4, T4, T3);
+    g.a.bil_add(RY, T4, T1); // Y3
+    g.a.ret();
+}
+
+/// Inline "working point = affine `(qx, qy)`" — multiplying by the `b`
+/// register (which holds 1) is the register copy.
+fn emit_bil_init_from(g: &mut Gen, qx: u8, qy: u8) {
+    g.a.bil_mul(RX, qx, RB);
+    g.a.bil_mul(RY, qy, RB);
+    g.a.bil_mul(RZ, RB, RB); // Z = 1
+}
+
+/// Inline Itoh–Tsujii computation of `base^(2^(m-1) - 1)` into Billie
+/// register T1 — the efficient addition-chain form of the Fermat
+/// inversion `a^(2^m - 2)` (§4.2.4), which suits Billie because its
+/// hardwired squarer makes the (m-1) squarings nearly free while the
+/// chain needs only ~log2(m) multiplications. The chain follows the bits
+/// of `m - 1`, which are known at build time, so every squaring run is a
+/// counted Pete loop. Clobbers Billie T1/T2 and Pete `t0`.
+fn emit_bil_ita(g: &mut Gen, m: usize, base: u8) {
+    let e = m - 1;
+    let bits = (0..usize::BITS - e.leading_zeros()).rev();
+    let mut exp = 0usize;
+    g.a.bil_mul(T1, base, RB); // T(1) = base
+    for (step, i) in bits.enumerate() {
+        if step == 0 {
+            exp = 1;
+            continue;
+        }
+        // T(2*exp) = T(exp)^(2^exp) * T(exp)
+        g.a.bil_mul(T2, T1, RB); // copy
+        let l = g.sym("ita_sq");
+        g.a.li(T0, exp as i64);
+        g.a.label(&l);
+        g.a.bil_sqr(T2, T2);
+        g.a.addiu(T0, T0, -1);
+        g.a.bne(T0, ZERO, &l);
+        g.a.nop();
+        g.a.bil_mul(T1, T2, T1);
+        exp *= 2;
+        if (e >> i) & 1 == 1 {
+            // T(exp+1) = T(exp)^2 * base
+            g.a.bil_sqr(T1, T1);
+            g.a.bil_mul(T1, T1, base);
+            exp += 1;
+        }
+    }
+    debug_assert_eq!(exp, e);
+}
+
+/// Inline to-affine: Itoh–Tsujii/Fermat inversion of Z through the
+/// registers, then the coordinate multiplications into `(dx, dy)`.
+/// Clobbers Billie T1/T2 and Pete `t0`.
+fn emit_bil_to_affine(g: &mut Gen, m: usize, dx: u8, dy: u8) {
+    emit_bil_ita(g, m, RZ);
+    g.a.bil_sqr(T1, T1); // Z^{-1} = (Z^(2^(m-1)-1))^2
+    g.a.bil_mul(dx, RX, T1);
+    g.a.bil_sqr(T2, T1);
+    g.a.bil_mul(dy, RY, T2); // y = Y / Z^2
+}
+
+/// Emits the register-resident sliding-window `scalar_mul` with the same
+/// RAM interface as the shared codegen.
+fn emit_bil_scalar_mul(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    let m = field.m();
+    let mainloop = g.sym("bsm_main");
+    let window = g.sym("bsm_win");
+    let jscan = g.sym("bsm_jscan");
+    let jdone = g.sym("bsm_jdone");
+    let vloop = g.sym("bsm_vloop");
+    let vdone = g.sym("bsm_vdone");
+    let dloop = g.sym("bsm_dloop");
+    let out = g.sym("bsm_out");
+    let do_padd = g.sym("bsm_padd");
+    let after_add = g.sym("bsm_after");
+
+    g.a.label("scalar_mul");
+    g.a.addiu(Reg::SP, Reg::SP, -32);
+    g.a.sw(RA, 28, Reg::SP);
+    g.a.sw(S0, 24, Reg::SP);
+    g.a.sw(S1, 20, Reg::SP);
+    g.a.sw(S2, 16, Reg::SP);
+    g.a.sw(S3, 12, Reg::SP);
+    g.a.sw(S4, 8, Reg::SP);
+    // Base point into table slot 0.
+    g.a.li(T0, b.sm_px as i64);
+    g.a.bil_ld(T0, TAB[0].0);
+    g.a.li(T0, b.sm_py as i64);
+    g.a.bil_ld(T0, TAB[0].1);
+    // 2P into slot 3, temporarily.
+    emit_bil_init_from(g, TAB[0].0, TAB[0].1);
+    g.a.jal("bil_pdbl");
+    g.a.nop();
+    emit_bil_to_affine(g, m, TAB[3].0, TAB[3].1);
+    // 3P, 5P, 7P chained (+2P each); 7P finally overwrites the 2P slot.
+    for i in 1..4usize {
+        emit_bil_init_from(g, TAB[i - 1].0, TAB[i - 1].1);
+        g.a.jal("bil_padd_tab3");
+        g.a.nop();
+        emit_bil_to_affine(g, m, TAB[i].0, TAB[i].1);
+    }
+    // Bit scan (the same control structure as the shared codegen).
+    crate::point::emit_bitlen_for(g, b.sm_k, cfg.kn);
+    g.a.addiu(S0, Reg::T8, -1); // i
+    g.a.li(S3, 1); // first-window flag
+    g.a.label(&mainloop);
+    g.a.bltz(S0, &out);
+    g.a.nop();
+    crate::point::emit_get_bit_for(g, b.sm_k, S0);
+    g.a.bne(V0, ZERO, &window);
+    g.a.nop();
+    g.a.jal("bil_pdbl");
+    g.a.nop();
+    g.a.addiu(S0, S0, -1);
+    g.a.b(&mainloop);
+    g.a.nop();
+    g.a.label(&window);
+    g.a.addiu(S1, S0, -2);
+    g.a.bgez(S1, &jscan);
+    g.a.nop();
+    g.a.li(S1, 0);
+    g.a.label(&jscan);
+    crate::point::emit_get_bit_for(g, b.sm_k, S1);
+    g.a.bne(V0, ZERO, &jdone);
+    g.a.nop();
+    g.a.b(&jscan);
+    g.a.addiu(S1, S1, 1); // delay
+    g.a.label(&jdone);
+    g.a.li(S2, 0);
+    g.a.mov(S4, S0);
+    g.a.label(&vloop);
+    crate::point::emit_get_bit_for(g, b.sm_k, S4);
+    g.a.sll(S2, S2, 1);
+    g.a.or(S2, S2, V0);
+    g.a.beq(S4, S1, &vdone);
+    g.a.nop();
+    g.a.b(&vloop);
+    g.a.addiu(S4, S4, -1); // delay
+    g.a.label(&vdone);
+    // First window: initialize the point (LD mixed addition has no
+    // identity encoding to add into).
+    g.a.beq(S3, ZERO, &do_padd);
+    g.a.nop();
+    g.a.li(S3, 0);
+    g.a.srl(S4, S2, 1);
+    for (i, (tx, ty)) in TAB.iter().enumerate() {
+        let skip = g.sym("bsm_init_skip");
+        g.a.li(T0, i as i64);
+        g.a.bne(S4, T0, &skip);
+        g.a.nop();
+        emit_bil_init_from(g, *tx, *ty);
+        g.a.label(&skip);
+    }
+    g.a.b(&after_add);
+    g.a.nop();
+    g.a.label(&do_padd);
+    // width doubles, then the table addition.
+    g.a.subu(S4, S0, S1);
+    g.a.addiu(S4, S4, 1);
+    g.a.label(&dloop);
+    g.a.jal("bil_pdbl");
+    g.a.nop();
+    g.a.addiu(S4, S4, -1);
+    g.a.bne(S4, ZERO, &dloop);
+    g.a.nop();
+    g.a.srl(S4, S2, 1);
+    for i in 0..4usize {
+        let skip = g.sym("bsm_add_skip");
+        g.a.li(T0, i as i64);
+        g.a.bne(S4, T0, &skip);
+        g.a.nop();
+        g.a.jal(&format!("bil_padd_tab{i}"));
+        g.a.nop();
+        g.a.label(&skip);
+    }
+    g.a.label(&after_add);
+    g.a.addiu(S0, S1, -1);
+    g.a.b(&mainloop);
+    g.a.nop();
+    g.a.label(&out);
+    // For a nonzero scalar the first window always fired.
+    emit_bil_to_affine(g, m, T3, T4);
+    g.a.li(T0, b.sm_outx as i64);
+    g.a.bil_st(T0, T3);
+    g.a.li(T0, b.sm_outy as i64);
+    g.a.bil_st(T0, T4);
+    g.a.cop2sync();
+    g.a.lw(RA, 28, Reg::SP);
+    g.a.lw(S0, 24, Reg::SP);
+    g.a.lw(S1, 20, Reg::SP);
+    g.a.lw(S2, 16, Reg::SP);
+    g.a.lw(S3, 12, Reg::SP);
+    g.a.lw(S4, 8, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 32);
+    g.a.ret();
+}
+
+/// Emits the register-resident `twin_mul` with the shared RAM interface.
+/// G lives at registers 4/5, Q at 6/7, G+Q at 8/9.
+fn emit_bil_twin_mul(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    let m = field.m();
+    let (gx, gy) = (4u8, 5u8);
+    let (qx, qy) = (6u8, 7u8);
+    let (pqx, pqy) = (8u8, 9u8);
+    let mainloop = g.sym("btw_main");
+    let out = g.sym("btw_out");
+    let after = g.sym("btw_after");
+    let first_init = g.sym("btw_first");
+    let not_first = g.sym("btw_nf");
+    let skip_dbl = g.sym("btw_skipd");
+
+    g.a.label("twin_mul");
+    g.a.addiu(Reg::SP, Reg::SP, -24);
+    g.a.sw(RA, 20, Reg::SP);
+    g.a.sw(S0, 16, Reg::SP);
+    g.a.sw(S1, 12, Reg::SP);
+    g.a.sw(S2, 8, Reg::SP);
+    g.a.sw(S3, 4, Reg::SP);
+    g.a.la(T0, "bil_gx");
+    g.a.bil_ld(T0, gx);
+    g.a.la(T0, "bil_gy");
+    g.a.bil_ld(T0, gy);
+    g.a.li(T0, b.tw_qx as i64);
+    g.a.bil_ld(T0, qx);
+    g.a.li(T0, b.tw_qy as i64);
+    g.a.bil_ld(T0, qy);
+    // G + Q into (8, 9).
+    emit_bil_init_from(g, gx, gy);
+    g.a.jal("bil_padd_q");
+    g.a.nop();
+    emit_bil_to_affine(g, m, pqx, pqy);
+    // G - Q for cost parity with the paper's signed-digit variant
+    // (same operation count; result discarded into the temporaries).
+    emit_bil_init_from(g, gx, gy);
+    g.a.jal("bil_padd_q");
+    g.a.nop();
+    emit_bil_to_affine(g, m, T3, T4);
+    // bits = max(bitlen u1, bitlen u2) - 1
+    crate::point::emit_bitlen_for(g, b.tw_u1, cfg.kn);
+    g.a.mov(S0, Reg::T8);
+    crate::point::emit_bitlen_for(g, b.tw_u2, cfg.kn);
+    g.a.slt(T0, S0, Reg::T8);
+    {
+        let keep = g.sym("btw_keep");
+        g.a.beq(T0, ZERO, &keep);
+        g.a.nop();
+        g.a.mov(S0, Reg::T8);
+        g.a.label(&keep);
+    }
+    g.a.addiu(S0, S0, -1);
+    g.a.li(S3, 1); // first flag
+    g.a.label(&mainloop);
+    g.a.bltz(S0, &out);
+    g.a.nop();
+    g.a.bne(S3, ZERO, &skip_dbl); // doubling the identity is a no-op
+    g.a.nop();
+    g.a.jal("bil_pdbl");
+    g.a.nop();
+    g.a.label(&skip_dbl);
+    crate::point::emit_get_bit_for(g, b.tw_u1, S0);
+    g.a.mov(S1, V0);
+    crate::point::emit_get_bit_for(g, b.tw_u2, S0);
+    g.a.sll(T0, S1, 1);
+    g.a.or(S2, T0, V0); // (b1 << 1) | b2
+    g.a.beq(S2, ZERO, &after);
+    g.a.nop();
+    g.a.bne(S3, ZERO, &first_init);
+    g.a.nop();
+    g.a.b(&not_first);
+    g.a.nop();
+    g.a.label(&first_init);
+    g.a.li(S3, 0);
+    for (code, (px, py)) in [(2i64, (gx, gy)), (1, (qx, qy)), (3, (pqx, pqy))] {
+        let skip = g.sym("btw_iskip");
+        g.a.li(T0, code);
+        g.a.bne(S2, T0, &skip);
+        g.a.nop();
+        emit_bil_init_from(g, px, py);
+        g.a.label(&skip);
+    }
+    g.a.b(&after);
+    g.a.nop();
+    g.a.label(&not_first);
+    for (code, routine) in [(2i64, "bil_padd_g"), (1, "bil_padd_q"), (3, "bil_padd_pq")] {
+        let skip = g.sym("btw_askip");
+        g.a.li(T0, code);
+        g.a.bne(S2, T0, &skip);
+        g.a.nop();
+        g.a.jal(routine);
+        g.a.nop();
+        g.a.label(&skip);
+    }
+    g.a.label(&after);
+    g.a.addiu(S0, S0, -1);
+    g.a.b(&mainloop);
+    g.a.nop();
+    g.a.label(&out);
+    emit_bil_to_affine(g, m, T3, T4);
+    g.a.li(T0, b.tw_outx as i64);
+    g.a.bil_st(T0, T3);
+    g.a.li(T0, b.tw_outy as i64);
+    g.a.bil_st(T0, T4);
+    g.a.cop2sync();
+    g.a.lw(RA, 20, Reg::SP);
+    g.a.lw(S0, 16, Reg::SP);
+    g.a.lw(S1, 12, Reg::SP);
+    g.a.lw(S2, 8, Reg::SP);
+    g.a.lw(S3, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 24);
+    g.a.ret();
+}
+
+/// Emits every Billie binding: `arch_init`, the register-resident point
+/// code and scalar/twin multiplications, and RAM-interface field-op
+/// wrappers used by the micro entries and differential tests.
+pub fn emit_billie_bindings(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
+    let a_is_one = matches!(
+        cfg.family,
+        crate::point::Family::Binary { a_is_one: true }
+    );
+    let m = field.m();
+    // RAM-resident constants (Billie's LSU reaches only the shared RAM).
+    g.a.ram_alloc("bil_b", cfg.k as u32);
+    g.a.ram_alloc("bil_gx", cfg.k as u32);
+    g.a.ram_alloc("bil_gy", cfg.k as u32);
+
+    g.a.label("arch_init");
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    for (ram, rom) in [
+        ("bil_b", "const_b"),
+        ("bil_gx", "const_gx"),
+        ("bil_gy", "const_gy"),
+    ] {
+        g.a.la(A0, ram);
+        g.a.la(A1, rom);
+        g.a.jal("fcopy");
+        g.a.nop();
+    }
+    g.a.la(T0, "bil_b");
+    g.a.bil_ld(T0, RB);
+    g.a.cop2sync();
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+
+    // Point routines.
+    emit_bil_pdbl(g, a_is_one);
+    for (i, (tx, ty)) in TAB.iter().enumerate() {
+        emit_bil_padd(g, &format!("bil_padd_tab{i}"), *tx, *ty, a_is_one);
+    }
+    emit_bil_padd(g, "bil_padd_g", 4, 5, a_is_one);
+    emit_bil_padd(g, "bil_padd_q", 6, 7, a_is_one);
+    emit_bil_padd(g, "bil_padd_pq", 8, 9, a_is_one);
+    emit_bil_scalar_mul(g, field, cfg);
+    emit_bil_twin_mul(g, field, cfg);
+
+    // Field-op wrappers over the register file.
+    g.a.label("fmul");
+    g.a.bil_ld(A1, T1);
+    g.a.bil_ld(Reg::A2, T2);
+    g.a.bil_mul(T3, T1, T2);
+    g.a.bil_st(A0, T3);
+    g.a.cop2sync();
+    g.a.ret();
+    g.a.label("fsqr");
+    g.a.bil_ld(A1, T1);
+    g.a.bil_sqr(T3, T1);
+    g.a.bil_st(A0, T3);
+    g.a.cop2sync();
+    g.a.ret();
+    g.a.label("fsub");
+    g.a.label("fadd");
+    g.a.bil_ld(A1, T1);
+    g.a.bil_ld(Reg::A2, T2);
+    g.a.bil_add(T3, T1, T2);
+    g.a.bil_st(A0, T3);
+    g.a.cop2sync();
+    g.a.ret();
+    // finv: Itoh–Tsujii/Fermat through the registers (base in T3).
+    {
+        g.a.label("finv");
+        g.a.bil_ld(A1, T3); // base
+        emit_bil_ita(g, m, T3);
+        g.a.bil_sqr(T1, T1);
+        g.a.bil_st(A0, T1);
+        g.a.cop2sync();
+        g.a.ret();
+    }
+    g.a.label("fsync");
+    g.a.cop2sync();
+    g.a.ret();
+    g.a.label("fin");
+    g.a.j("fcopy");
+    g.a.nop();
+    g.a.label("fout");
+    g.a.j("fcopy");
+    g.a.nop();
+
+    // RAM-interface point shims so the shared micro entries
+    // (`main_pdbl`/`main_padd`) exercise Billie too.
+    g.a.label("pt_set_affine");
+    g.a.bil_ld(A0, RX);
+    g.a.bil_ld(A1, RY);
+    g.a.bil_mul(RZ, RB, RB); // Z = 1
+    g.a.ret();
+    g.a.label("pdbl");
+    g.a.j("bil_pdbl");
+    g.a.nop();
+    g.a.label("padd");
+    g.a.bil_ld(A0, 6);
+    g.a.bil_ld(A1, 7);
+    g.a.j("bil_padd_q");
+    g.a.nop();
+    g.a.label("pt_to_affine");
+    emit_bil_to_affine(g, m, T3, T4);
+    g.a.bil_st(A0, T3);
+    g.a.bil_st(A1, T4);
+    g.a.cop2sync();
+    g.a.ret();
+}

@@ -1,0 +1,736 @@
+//! Binary-field GF(2^m) assembly routines (§4.2.2–4.2.4).
+//!
+//! Baseline tier (no carry-less hardware — the configuration the paper
+//! shows to be 6.4–8.5× *worse* than the ISA-extended one, §7.2):
+//!
+//! * [`emit_f2m_add`] — bitwise XOR, no reduction;
+//! * [`emit_f2m_mul_comb`] — left-to-right comb multiplication with 4-bit
+//!   windows (Algorithm 6), with the 16-entry precomputation table in RAM;
+//! * [`emit_f2m_sqr_table`] — squaring via the 8-bit → 16-bit
+//!   zero-interleaving table in ROM (§4.2.3);
+//!
+//! ISA-extension tier (Table 5.2):
+//!
+//! * [`emit_f2m_mul_ps_ext`] — carry-less product scanning with
+//!   `MADDGF2`/`SHA`;
+//! * [`emit_f2m_sqr_ext`] — squaring with `MULGF2` (a carry-less square is
+//!   exactly the zero-interleaved spread);
+//!
+//! plus the shared word-level fast reduction ([`emit_f2m_red`],
+//! Algorithm 7 generalized over the field's term list) and the polynomial
+//! extended Euclidean inversion ([`emit_f2m_eea_inv`]).
+
+use crate::gen::{emit_copy_words, emit_zero_words, Gen};
+use ule_isa::reg::Reg;
+use ule_mpmath::f2m::BinaryField;
+
+const A0: Reg = Reg::A0;
+const A1: Reg = Reg::A1;
+const A2: Reg = Reg::A2;
+const A3: Reg = Reg::A3;
+const V1: Reg = Reg::V1;
+const T0: Reg = Reg::T0;
+const T1: Reg = Reg::T1;
+const T2: Reg = Reg::T2;
+const T3: Reg = Reg::T3;
+const T4: Reg = Reg::T4;
+const T5: Reg = Reg::T5;
+const T6: Reg = Reg::T6;
+const T7: Reg = Reg::T7;
+const T8: Reg = Reg::T8;
+const T9: Reg = Reg::T9;
+const S0: Reg = Reg::S0;
+const S1: Reg = Reg::S1;
+const S2: Reg = Reg::S2;
+const S3: Reg = Reg::S3;
+const S4: Reg = Reg::S4;
+const S5: Reg = Reg::S5;
+const ZERO: Reg = Reg::ZERO;
+const RA: Reg = Reg::RA;
+
+/// Emits `label: dst = a + b` in GF(2^m) — a word-wise XOR loop; addition
+/// and subtraction are the same operation (§2.1.4).
+///
+/// ABI: `a0`=dst, `a1`=a, `a2`=b. Leaf.
+pub fn emit_f2m_add(g: &mut Gen, label: &str, k: usize) {
+    let l = g.sym("xadd");
+    g.a.label(label);
+    g.a.li(T9, k as i64);
+    g.a.label(&l);
+    g.a.lw(T0, 0, A1);
+    g.a.lw(T1, 0, A2);
+    g.a.xor(T2, T0, T1);
+    g.a.sw(T2, 0, A0);
+    g.a.addiu(A1, A1, 4);
+    g.a.addiu(A2, A2, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &l);
+    g.a.addiu(A0, A0, 4); // delay
+    g.a.ret();
+}
+
+/// Emits the word-level fast reduction (Algorithm 7, generalized):
+/// `label: dst[0..k] = wide[0..wide_words] mod f(x)`.
+///
+/// The per-term shift amounts are compile-time constants (they depend
+/// only on `m - t mod 32`), so the fold is a tight pointer loop.
+///
+/// ABI: `a0`=wide (`wide_words` words, clobbered in place), `a1`=dst.
+/// Leaf.
+pub fn emit_f2m_red(g: &mut Gen, label: &str, field: &BinaryField, wide_words: usize) {
+    let m = field.m();
+    let k = field.k();
+    let kw = m / 32;
+    let r = (m % 32) as u8;
+    assert!(r != 0, "NIST binary fields never sit on a word boundary");
+    // Per-term constants: writing T at bit s = 32*i - (m - t):
+    //   word = i - dw, off = s % 32 (independent of i).
+    let consts: Vec<(usize, u8)> = field
+        .terms()
+        .iter()
+        .map(|&t| {
+            let q = m - t; // >= 32 for every NIST field
+            let dw = (q + 31) / 32;
+            let off = ((32 * dw) - q) % 32;
+            (dw, off as u8)
+        })
+        .collect();
+    let fold = g.sym("f2red_fold");
+    let skip = g.sym("f2red_skip");
+    g.a.label(label);
+    // Pointer to c[i], descending from the top word to c[kw+1].
+    g.a.addiu(T6, A0, ((wide_words - 1) * 4) as i16);
+    g.a.addiu(T7, A0, (kw * 4) as i16); // stop pointer (exclusive)
+    g.a.label(&fold);
+    g.a.lw(T1, 0, T6); // T = c[i]
+    g.a.beq(T1, ZERO, &skip);
+    g.a.nop();
+    g.a.sw(ZERO, 0, T6);
+    for &(dw, off) in &consts {
+        let lo_off = -((dw * 4) as i16);
+        if off == 0 {
+            g.a.lw(T2, lo_off, T6);
+            g.a.xor(T2, T2, T1);
+            g.a.sw(T2, lo_off, T6);
+        } else {
+            g.a.sll(T3, T1, off);
+            g.a.lw(T2, lo_off, T6);
+            g.a.xor(T2, T2, T3);
+            g.a.sw(T2, lo_off, T6);
+            g.a.srl(T3, T1, 32 - off);
+            g.a.lw(T2, lo_off + 4, T6);
+            g.a.xor(T2, T2, T3);
+            g.a.sw(T2, lo_off + 4, T6);
+        }
+    }
+    g.a.label(&skip);
+    g.a.addiu(T6, T6, -4);
+    g.a.bne(T6, T7, &fold);
+    g.a.nop();
+    // Partial top word: T = c[kw] >> r.
+    g.a.lw(T0, (kw * 4) as i16, A0);
+    g.a.srl(T1, T0, r);
+    let pskip = g.sym("f2red_pskip");
+    g.a.beq(T1, ZERO, &pskip);
+    g.a.nop();
+    for &t in field.terms() {
+        let (w, off) = (t / 32, (t % 32) as u8);
+        if off == 0 {
+            g.a.lw(T2, (w * 4) as i16, A0);
+            g.a.xor(T2, T2, T1);
+            g.a.sw(T2, (w * 4) as i16, A0);
+        } else {
+            g.a.sll(T3, T1, off);
+            g.a.lw(T2, (w * 4) as i16, A0);
+            g.a.xor(T2, T2, T3);
+            g.a.sw(T2, (w * 4) as i16, A0);
+            g.a.srl(T3, T1, 32 - off);
+            g.a.lw(T2, ((w + 1) * 4) as i16, A0);
+            g.a.xor(T2, T2, T3);
+            g.a.sw(T2, ((w + 1) * 4) as i16, A0);
+        }
+    }
+    g.a.label(&pskip);
+    // Mask c[kw] and copy out.
+    g.a.lw(T0, (kw * 4) as i16, A0);
+    g.a.li(T1, ((1u64 << r) - 1) as i64);
+    g.a.and(T0, T0, T1);
+    g.a.sw(T0, (kw * 4) as i16, A0);
+    emit_copy_words(g, A1, A0, k);
+    g.a.ret();
+}
+
+/// Emits the left-to-right comb multiplication with 4-bit windows
+/// (Algorithm 6) — the baseline binary multiplier, with its 16-row
+/// precomputation table (`16 * (k+1)` words) in RAM (§4.2.2).
+///
+/// ABI: `a0`=dst, `a1`=a, `a2`=b. Non-leaf (calls `red_label`).
+pub fn emit_f2m_mul_comb(
+    g: &mut Gen,
+    label: &str,
+    field: &BinaryField,
+    table_addr: u32,
+    wide_addr: u32,
+    red_label: &str,
+) {
+    let k = field.k();
+    let row = k + 1;
+    g.a.label(label);
+    g.a.addiu(Reg::SP, Reg::SP, -16);
+    g.a.sw(RA, 12, Reg::SP);
+    g.a.sw(S0, 8, Reg::SP);
+    g.a.sw(S1, 4, Reg::SP);
+    g.a.sw(S2, 0, Reg::SP);
+    g.a.mov(S0, A0);
+    // --- Precompute Bu rows: B0 = 0, B1 = b, Beven = B(u/2) << 1,
+    //     Bodd = B(u-1) ^ B1.
+    g.a.li(T6, table_addr as i64);
+    emit_zero_words(g, T6, row as u32 as usize); // B0
+    // B1 = b (k words + top zero)
+    g.a.addiu(T6, T6, (row * 4) as i16);
+    emit_copy_words(g, T6, A2, k);
+    g.a.sw(ZERO, (k * 4) as i16, T6);
+    for u in 2..16usize {
+        let dst = table_addr + (u * row * 4) as u32;
+        if u % 2 == 0 {
+            // shift row u/2 left by one bit
+            let src = table_addr + ((u / 2) * row * 4) as u32;
+            let l = g.sym("comb_shl");
+            g.a.li(T4, src as i64);
+            g.a.li(T5, dst as i64);
+            g.a.li(T9, row as i64);
+            g.a.li(T3, 0); // carry bit
+            g.a.label(&l);
+            g.a.lw(T0, 0, T4);
+            g.a.sll(T1, T0, 1);
+            g.a.or(T1, T1, T3);
+            g.a.srl(T3, T0, 31);
+            g.a.sw(T1, 0, T5);
+            g.a.addiu(T4, T4, 4);
+            g.a.addiu(T5, T5, 4);
+            g.a.addiu(T9, T9, -1);
+            g.a.bne(T9, ZERO, &l);
+            g.a.nop();
+        } else {
+            // xor rows u-1 and 1
+            let src1 = table_addr + ((u - 1) * row * 4) as u32;
+            let src2 = table_addr + (row * 4) as u32;
+            let l = g.sym("comb_xor");
+            g.a.li(T4, src1 as i64);
+            g.a.li(T5, src2 as i64);
+            g.a.li(T8, dst as i64);
+            g.a.li(T9, row as i64);
+            g.a.label(&l);
+            g.a.lw(T0, 0, T4);
+            g.a.lw(T1, 0, T5);
+            g.a.xor(T0, T0, T1);
+            g.a.sw(T0, 0, T8);
+            g.a.addiu(T4, T4, 4);
+            g.a.addiu(T5, T5, 4);
+            g.a.addiu(T8, T8, 4);
+            g.a.addiu(T9, T9, -1);
+            g.a.bne(T9, ZERO, &l);
+            g.a.nop();
+        }
+    }
+    // --- Accumulate: C (2k+1 words) = 0; for jwin = 7..0:
+    //       for i in 0..k: C[i..] ^= table[(a[i] >> 4*jwin) & 15]
+    //       if jwin: C <<= 4
+    g.a.li(A3, wide_addr as i64);
+    emit_zero_words(g, A3, 2 * k + 1);
+    g.a.li(S1, 28); // jwin*4 shift amount, descending 28..0
+    let jloop = g.sym("comb_j");
+    let iloop = g.sym("comb_i");
+    let skip_row = g.sym("comb_skiprow");
+    let no_shift = g.sym("comb_noshift");
+    g.a.label(&jloop);
+    g.a.li(S2, 0); // i
+    g.a.label(&iloop);
+    g.a.sll(T0, S2, 2);
+    g.a.addu(T0, A1, T0);
+    g.a.lw(T0, 0, T0); // a[i]
+    g.a.srlv(T0, T0, S1);
+    g.a.andi(T0, T0, 0xf); // u
+    g.a.beq(T0, ZERO, &skip_row);
+    g.a.nop();
+    // row address = table + u*row*4
+    g.a.li(T1, (row * 4) as i64);
+    g.a.multu(T0, T1);
+    g.a.mflo(T1);
+    g.a.li(T2, table_addr as i64);
+    g.a.addu(T4, T2, T1); // row ptr
+    g.a.sll(T5, S2, 2);
+    g.a.addu(T5, A3, T5); // C + i*4
+    g.a.li(T9, row as i64);
+    let xl = g.sym("comb_xl");
+    g.a.label(&xl);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T5);
+    g.a.xor(T0, T0, T1);
+    g.a.sw(T0, 0, T5);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T5, T5, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &xl);
+    g.a.nop();
+    g.a.label(&skip_row);
+    g.a.addiu(S2, S2, 1);
+    g.a.li(T0, k as i64);
+    g.a.bne(S2, T0, &iloop);
+    g.a.nop();
+    // shift C left by 4 bits unless jwin == 0
+    g.a.beq(S1, ZERO, &no_shift);
+    g.a.nop();
+    {
+        let l = g.sym("comb_c4");
+        g.a.mov(T4, A3);
+        g.a.li(T9, (2 * k + 1) as i64);
+        g.a.li(T3, 0);
+        g.a.label(&l);
+        g.a.lw(T0, 0, T4);
+        g.a.sll(T1, T0, 4);
+        g.a.or(T1, T1, T3);
+        g.a.srl(T3, T0, 28);
+        g.a.sw(T1, 0, T4);
+        g.a.addiu(T4, T4, 4);
+        g.a.addiu(T9, T9, -1);
+        g.a.bne(T9, ZERO, &l);
+        g.a.nop();
+    }
+    g.a.addiu(S1, S1, -4);
+    g.a.b(&jloop);
+    g.a.nop();
+    g.a.label(&no_shift);
+    // reduce (2k+1 words; the top word holds shifted-out bits)
+    g.a.li(A0, wide_addr as i64);
+    g.a.jal(red_label);
+    g.a.mov(A1, S0); // delay
+    g.a.lw(RA, 12, Reg::SP);
+    g.a.lw(S0, 8, Reg::SP);
+    g.a.lw(S1, 4, Reg::SP);
+    g.a.lw(S2, 0, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 16);
+    g.a.ret();
+}
+
+/// Emits table-driven squaring (§4.2.3) for the baseline: each byte of
+/// the input is spread to 16 bits via the ROM table at `spread_label`
+/// (256 halfword entries), then the result is reduced.
+///
+/// ABI: `a0`=dst, `a1`=a. Non-leaf.
+pub fn emit_f2m_sqr_table(
+    g: &mut Gen,
+    label: &str,
+    field: &BinaryField,
+    wide_addr: u32,
+    spread_label: &str,
+    red_label: &str,
+) {
+    let k = field.k();
+    let l = g.sym("sqt");
+    g.a.label(label);
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    g.a.sw(S0, 0, Reg::SP);
+    g.a.mov(S0, A0);
+    g.a.li(A3, wide_addr as i64);
+    // top word of the wide buffer is untouched by expansion; clear it
+    g.a.sw(ZERO, (2 * k * 4) as i16, A3);
+    g.a.la(T8, spread_label);
+    g.a.li(T9, k as i64);
+    g.a.label(&l);
+    g.a.lw(T0, 0, A1);
+    // low half: bytes 0,1
+    g.a.andi(T1, T0, 0xff);
+    g.a.sll(T1, T1, 1);
+    g.a.addu(T1, T8, T1);
+    g.a.lhu(T2, 0, T1);
+    g.a.srl(T1, T0, 8);
+    g.a.andi(T1, T1, 0xff);
+    g.a.sll(T1, T1, 1);
+    g.a.addu(T1, T8, T1);
+    g.a.lhu(T3, 0, T1);
+    g.a.sll(T3, T3, 16);
+    g.a.or(T2, T2, T3);
+    g.a.sw(T2, 0, A3);
+    // high half: bytes 2,3
+    g.a.srl(T1, T0, 16);
+    g.a.andi(T1, T1, 0xff);
+    g.a.sll(T1, T1, 1);
+    g.a.addu(T1, T8, T1);
+    g.a.lhu(T2, 0, T1);
+    g.a.srl(T1, T0, 24);
+    g.a.sll(T1, T1, 1);
+    g.a.addu(T1, T8, T1);
+    g.a.lhu(T3, 0, T1);
+    g.a.sll(T3, T3, 16);
+    g.a.or(T2, T2, T3);
+    g.a.sw(T2, 4, A3);
+    g.a.addiu(A1, A1, 4);
+    g.a.addiu(A3, A3, 8);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &l);
+    g.a.nop();
+    g.a.li(A0, wide_addr as i64);
+    g.a.jal(red_label);
+    g.a.mov(A1, S0); // delay
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.lw(S0, 0, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits carry-less product-scanning multiplication on the binary ISA
+/// extensions (Algorithm 3 with `MADDGF2`, Table 5.2).
+///
+/// ABI: `a0`=dst, `a1`=a, `a2`=b. Non-leaf.
+pub fn emit_f2m_mul_ps_ext(
+    g: &mut Gen,
+    label: &str,
+    field: &BinaryField,
+    wide_addr: u32,
+    red_label: &str,
+) {
+    let k = field.k();
+    let phase1 = g.sym("gf_p1");
+    let phase2 = g.sym("gf_p2");
+    let inner1 = g.sym("gf_i1");
+    let inner2 = g.sym("gf_i2");
+    g.a.label(label);
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    g.a.sw(S0, 0, Reg::SP);
+    g.a.mov(S0, A0);
+    g.a.mulgf2(ZERO, ZERO); // clear accumulator
+    g.a.li(A3, wide_addr as i64);
+    g.a.li(T6, 0);
+    g.a.label(&phase1);
+    g.a.mov(T4, A1);
+    g.a.sll(T0, T6, 2);
+    g.a.addu(T5, A2, T0);
+    g.a.addiu(T8, T6, 1);
+    g.a.label(&inner1);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T5);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T5, T5, -4);
+    g.a.addiu(T8, T8, -1);
+    g.a.bne(T8, ZERO, &inner1);
+    g.a.maddgf2(T0, T1); // delay slot: the MAC itself
+    g.a.mflo(T2);
+    g.a.sw(T2, 0, A3);
+    g.a.addiu(A3, A3, 4);
+    g.a.sha();
+    g.a.addiu(T6, T6, 1);
+    g.a.li(T0, k as i64);
+    g.a.bne(T6, T0, &phase1);
+    g.a.nop();
+    g.a.label(&phase2);
+    g.a.addiu(T0, T6, -(k as i16) + 1);
+    g.a.sll(T0, T0, 2);
+    g.a.addu(T4, A1, T0);
+    g.a.addiu(T5, A2, ((k - 1) * 4) as i16);
+    g.a.li(T8, (2 * k - 1) as i64);
+    g.a.subu(T8, T8, T6);
+    g.a.label(&inner2);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T5);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T5, T5, -4);
+    g.a.addiu(T8, T8, -1);
+    g.a.bne(T8, ZERO, &inner2);
+    g.a.maddgf2(T0, T1); // delay slot: the MAC itself
+    g.a.mflo(T2);
+    g.a.sw(T2, 0, A3);
+    g.a.addiu(A3, A3, 4);
+    g.a.sha();
+    g.a.addiu(T6, T6, 1);
+    g.a.li(T0, (2 * k - 1) as i64);
+    g.a.bne(T6, T0, &phase2);
+    g.a.nop();
+    g.a.mflo(T2);
+    g.a.sw(T2, 0, A3);
+    g.a.sw(ZERO, 4, A3); // top (2k)th word for the reducer
+    g.a.li(A0, wide_addr as i64);
+    g.a.jal(red_label);
+    g.a.mov(A1, S0); // delay
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.lw(S0, 0, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits squaring via `MULGF2` (a carry-less square of a word *is* its
+/// zero-interleaved spread, §4.2.3 with a 32-bit window).
+///
+/// ABI: `a0`=dst, `a1`=a. Non-leaf.
+pub fn emit_f2m_sqr_ext(
+    g: &mut Gen,
+    label: &str,
+    field: &BinaryField,
+    wide_addr: u32,
+    red_label: &str,
+) {
+    let k = field.k();
+    let l = g.sym("sqx");
+    g.a.label(label);
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    g.a.sw(S0, 0, Reg::SP);
+    g.a.mov(S0, A0);
+    g.a.li(A3, wide_addr as i64);
+    g.a.sw(ZERO, (2 * k * 4) as i16, A3);
+    g.a.li(T9, k as i64);
+    g.a.label(&l);
+    g.a.lw(T0, 0, A1);
+    g.a.mulgf2(T0, T0);
+    g.a.addiu(A1, A1, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.mflo(T1);
+    g.a.mfhi(T2);
+    g.a.sw(T1, 0, A3);
+    g.a.sw(T2, 4, A3);
+    g.a.bne(T9, ZERO, &l);
+    g.a.addiu(A3, A3, 8); // delay
+    g.a.li(A0, wide_addr as i64);
+    g.a.jal(red_label);
+    g.a.mov(A1, S0); // delay
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.lw(S0, 0, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Scratch buffers for the polynomial EEA: four `2k+1`-word polynomials.
+#[derive(Clone, Copy, Debug)]
+pub struct F2mEeaBufs {
+    /// Buffer for `u`.
+    pub u: u32,
+    /// Buffer for `v`.
+    pub v: u32,
+    /// Buffer for `g1`.
+    pub g1: u32,
+    /// Buffer for `g2`.
+    pub g2: u32,
+}
+
+/// Emits the polynomial extended Euclidean inversion (§4.2.4):
+/// `label: dst = src^{-1} mod f(x)`.
+///
+/// ABI: `a0`=dst, `a1`=src (nonzero). Non-leaf (calls `red_label` at the
+/// end to reduce `g1`).
+pub fn emit_f2m_eea_inv(
+    g: &mut Gen,
+    label: &str,
+    field: &BinaryField,
+    bufs: F2mEeaBufs,
+    red_label: &str,
+) {
+    let k = field.k();
+    let width = 2 * k + 1;
+
+    // Inline: T0 = bit length of [ptr] over `width` words. Clobbers
+    // t0..t4, t9.
+    fn emit_bitlen(g: &mut Gen, ptr: Reg, width: usize) {
+        let scan = g.sym("bl_scan");
+        let found = g.sym("bl_found");
+        let bitloop = g.sym("bl_bit");
+        let done = g.sym("bl_done");
+        g.a.addiu(T1, ptr, ((width - 1) * 4) as i16);
+        g.a.li(T9, width as i64);
+        g.a.label(&scan);
+        g.a.lw(T2, 0, T1);
+        g.a.bne(T2, ZERO, &found);
+        g.a.nop();
+        g.a.addiu(T1, T1, -4);
+        g.a.addiu(T9, T9, -1);
+        g.a.bne(T9, ZERO, &scan);
+        g.a.nop();
+        g.a.b(&done);
+        g.a.li(T0, 0); // delay: zero polynomial
+        g.a.label(&found);
+        // bit length of word T2 (1..32) by linear scan from the top.
+        g.a.li(T3, 32);
+        g.a.label(&bitloop);
+        g.a.addiu(T4, T3, -1);
+        g.a.srlv(T4, T2, T4);
+        g.a.bne(T4, ZERO, &done);
+        // delay: T0 = (T9-1)*32 + T3  (partially; compute below)
+        g.a.nop();
+        g.a.addiu(T3, T3, -1);
+        g.a.b(&bitloop);
+        g.a.nop();
+        g.a.label(&done);
+        // T0 = (T9-1)*32 + T3 when coming from bitloop; from the zero path
+        // T0 is already 0 and T9 == 0. Guard:
+        let z = g.sym("bl_z");
+        g.a.beq(T9, ZERO, &z);
+        g.a.nop();
+        g.a.addiu(T4, T9, -1);
+        g.a.sll(T4, T4, 5);
+        g.a.addu(T0, T4, T3);
+        g.a.label(&z);
+    }
+
+    // Inline: dst ^= src << j, over `width` words, with j in T7 (runtime).
+    // dst ptr, src ptr regs. Clobbers t0..t5, t8, t9, v1.
+    fn emit_xor_shifted(g: &mut Gen, dst: Reg, src: Reg, width: usize) {
+        let byword = g.sym("xs_byword");
+        let main = g.sym("xs_main");
+        let main0 = g.sym("xs_main0");
+        let done = g.sym("xs_done");
+        // ws = j >> 5, bs = j & 31
+        g.a.srl(T8, T7, 5); // ws
+        g.a.andi(T9, T7, 31); // bs
+        // write pointer = dst + ws*4, iterate i = 0..width-ws
+        g.a.sll(T0, T8, 2);
+        g.a.addu(T4, dst, T0); // dst + ws
+        g.a.mov(T5, src);
+        // count = width - ws
+        g.a.li(T0, width as i64);
+        g.a.subu(T0, T0, T8); // count
+        g.a.beq(T9, ZERO, &byword);
+        g.a.nop();
+        // bs != 0 path: carry chain of src words
+        g.a.li(V1, 0); // carry (previous word's high bits)
+        g.a.li(T8, 32);
+        g.a.subu(T8, T8, T9); // 32-bs
+        g.a.label(&main);
+        g.a.lw(T1, 0, T5);
+        g.a.sllv(T2, T1, T9);
+        g.a.or(T2, T2, V1);
+        g.a.srlv(V1, T1, T8);
+        g.a.lw(T3, 0, T4);
+        g.a.xor(T3, T3, T2);
+        g.a.sw(T3, 0, T4);
+        g.a.addiu(T4, T4, 4);
+        g.a.addiu(T5, T5, 4);
+        g.a.addiu(T0, T0, -1);
+        g.a.bne(T0, ZERO, &main);
+        g.a.nop();
+        g.a.b(&done);
+        g.a.nop();
+        // bs == 0 path: word-aligned xor
+        g.a.label(&byword);
+        g.a.label(&main0);
+        g.a.lw(T1, 0, T5);
+        g.a.lw(T3, 0, T4);
+        g.a.xor(T3, T3, T1);
+        g.a.sw(T3, 0, T4);
+        g.a.addiu(T4, T4, 4);
+        g.a.addiu(T5, T5, 4);
+        g.a.addiu(T0, T0, -1);
+        g.a.bne(T0, ZERO, &main0);
+        g.a.nop();
+        g.a.label(&done);
+    }
+
+    let main = g.sym("peea_main");
+    let u_side = g.sym("peea_u");
+    let v_side = g.sym("peea_v");
+    let finish_g1 = g.sym("peea_fin1");
+    let finish = g.sym("peea_fin");
+
+    g.a.label(label);
+    let saved = [S0, S1, S2, S3, S4, S5];
+    g.a.addiu(Reg::SP, Reg::SP, -32);
+    g.a.sw(RA, 28, Reg::SP);
+    for (i, &r) in saved.iter().enumerate() {
+        g.a.sw(r, (24 - 4 * i) as i16, Reg::SP);
+    }
+    g.a.li(S0, bufs.u as i64);
+    g.a.li(S1, bufs.v as i64);
+    g.a.li(S2, bufs.g1 as i64);
+    g.a.li(S3, bufs.g2 as i64);
+    g.a.mov(S5, A0);
+    // u = src; v = f; g1 = 1; g2 = 0 (all width words)
+    emit_zero_words(g, S0, width);
+    emit_copy_words(g, S0, A1, k);
+    emit_zero_words(g, S1, width);
+    // write f(x): x^m + terms
+    for &t in field.terms() {
+        let (w, b) = (t / 32, t % 32);
+        g.a.lw(T0, (w * 4) as i16, S1);
+        g.a.li(T1, (1u64 << b) as i64);
+        g.a.or(T0, T0, T1);
+        g.a.sw(T0, (w * 4) as i16, S1);
+    }
+    {
+        let (w, b) = (field.m() / 32, field.m() % 32);
+        g.a.lw(T0, (w * 4) as i16, S1);
+        g.a.li(T1, (1u64 << b) as i64);
+        g.a.or(T0, T0, T1);
+        g.a.sw(T0, (w * 4) as i16, S1);
+    }
+    emit_zero_words(g, S2, width);
+    g.a.li(T0, 1);
+    g.a.sw(T0, 0, S2);
+    emit_zero_words(g, S3, width);
+
+    g.a.label(&main);
+    // du = bitlen(u); if du <= 1: result g1
+    emit_bitlen(g, S0, width);
+    g.a.mov(S4, T0); // du
+    g.a.li(T1, 2);
+    g.a.slt(T1, S4, T1); // du <= 1
+    g.a.bne(T1, ZERO, &finish_g1);
+    g.a.nop();
+    // dv = bitlen(v); if dv <= 1: result g2
+    emit_bitlen(g, S1, width);
+    g.a.li(T1, 2);
+    g.a.slt(T1, T0, T1);
+    g.a.bne(T1, ZERO, &finish); // with T8 = g2 below
+    g.a.mov(T8, S3); // delay: result ptr = g2 (harmless otherwise)
+    // j = du - dv; pick side
+    g.a.subu(T7, S4, T0);
+    g.a.bltz(T7, &v_side);
+    g.a.nop();
+    g.a.label(&u_side);
+    // u ^= v << j ; g1 ^= g2 << j
+    emit_xor_shifted(g, S0, S1, width);
+    emit_xor_shifted(g, S2, S3, width);
+    g.a.b(&main);
+    g.a.nop();
+    g.a.label(&v_side);
+    g.a.subu(T7, ZERO, T7); // j = -j
+    emit_xor_shifted(g, S1, S0, width);
+    emit_xor_shifted(g, S3, S2, width);
+    g.a.b(&main);
+    g.a.nop();
+
+    g.a.label(&finish_g1);
+    g.a.mov(T8, S2);
+    g.a.label(&finish);
+    // dst = reduce(result polynomial). red_label reduces in place over
+    // `width` words; it must have been emitted with wide_words == width.
+    g.a.mov(A0, T8);
+    g.a.jal(red_label);
+    g.a.mov(A1, S5); // delay
+    g.a.lw(RA, 28, Reg::SP);
+    for (i, &r) in saved.iter().enumerate() {
+        g.a.lw(r, (24 - 4 * i) as i16, Reg::SP);
+    }
+    g.a.addiu(Reg::SP, Reg::SP, 32);
+    g.a.ret();
+}
+
+/// The 8-bit → 16-bit zero-interleaving table contents (§4.2.3), for
+/// placing in ROM as halfwords.
+pub fn spread_table_words() -> Vec<u32> {
+    let mut out = Vec::with_capacity(128);
+    for pair in 0..128 {
+        let mut words = [0u16; 2];
+        for (j, w) in words.iter_mut().enumerate() {
+            let b = pair * 2 + j;
+            let mut s = 0u16;
+            for i in 0..8 {
+                if (b >> i) & 1 == 1 {
+                    s |= 1 << (2 * i);
+                }
+            }
+            *w = s;
+        }
+        out.push(words[0] as u32 | ((words[1] as u32) << 16));
+    }
+    out
+}

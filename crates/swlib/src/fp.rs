@@ -1,0 +1,868 @@
+//! Prime-field GF(p) assembly routines (§4.2.1, baseline tier).
+//!
+//! Emitters for the looped multi-precision routines the baseline runs:
+//!
+//! * [`emit_fadd`] / [`emit_fsub`] — modular add/sub with conditional
+//!   reduction (§4.2.4);
+//! * [`emit_fmul_os`] — operand-scanning multiplication (Algorithm 2)
+//!   into a wide scratch buffer, followed by a call to the reduction;
+//! * [`emit_fred`] — NIST fast reduction by congruency folding, generated
+//!   from the field's fold constants (the per-field substitution patterns
+//!   of §4.2.1, e.g. Algorithm 4 for P-192, emerge from the same
+//!   congruences);
+//! * [`emit_eea_inv`] — the binary extended Euclidean inversion run on
+//!   Pete in every configuration for the group order, and in the
+//!   non-accelerated configurations for the field (§4.2.4);
+//! * [`emit_cios`] — software CIOS Montgomery multiplication
+//!   (Algorithm 5), used for protocol arithmetic modulo the group order
+//!   (the order has no sparse structure, so folding does not apply).
+//!
+//! Common ABI: `a0` = destination pointer, `a1`/`a2` = source pointers,
+//! all field elements `k` little-endian words in RAM. Leaf routines
+//! clobber `t*`, `v*`, `at`, and the `a*` registers; callers must not rely
+//! on them.
+
+use crate::gen::{emit_copy_words, emit_zero_words, Gen};
+use ule_isa::reg::Reg;
+use ule_mpmath::fp::PrimeField;
+use ule_mpmath::mp::Mp;
+
+const A0: Reg = Reg::A0;
+const A1: Reg = Reg::A1;
+const A2: Reg = Reg::A2;
+const A3: Reg = Reg::A3;
+const V0: Reg = Reg::V0;
+const V1: Reg = Reg::V1;
+const T0: Reg = Reg::T0;
+const T1: Reg = Reg::T1;
+const T2: Reg = Reg::T2;
+const T3: Reg = Reg::T3;
+const T4: Reg = Reg::T4;
+const T5: Reg = Reg::T5;
+const T6: Reg = Reg::T6;
+const T7: Reg = Reg::T7;
+const T8: Reg = Reg::T8;
+const T9: Reg = Reg::T9;
+const S0: Reg = Reg::S0;
+const S1: Reg = Reg::S1;
+const S2: Reg = Reg::S2;
+const S3: Reg = Reg::S3;
+const S4: Reg = Reg::S4;
+const S5: Reg = Reg::S5;
+const ZERO: Reg = Reg::ZERO;
+const RA: Reg = Reg::RA;
+
+/// Nonzero limbs `(word_index, value)` of a fold constant — the sparse
+/// representation the reduction emitter multiplies against.
+fn nonzero_limbs(v: &[u32]) -> Vec<(usize, u32)> {
+    v.iter()
+        .enumerate()
+        .filter(|(_, &w)| w != 0)
+        .map(|(i, &w)| (i, w))
+        .collect()
+}
+
+/// Emits `p[idx..] += r` with carry ripple, where `base` holds the buffer
+/// base address. Clobbers `t5`, `t6`, `t7`.
+fn emit_add_at(g: &mut Gen, base: Reg, idx: usize, r: Reg) {
+    let done = g.sym("ripd");
+    let rip = g.sym("rip");
+    g.a.lw(T5, (idx * 4) as i16, base);
+    g.a.addu(T5, T5, r);
+    g.a.sltu(T6, T5, r);
+    g.a.sw(T5, (idx * 4) as i16, base);
+    g.a.beq(T6, ZERO, &done);
+    g.a.addiu(T7, base, ((idx + 1) * 4) as i16); // delay slot (harmless)
+    g.a.label(&rip);
+    g.a.lw(T5, 0, T7);
+    g.a.addu(T5, T5, T6);
+    g.a.sltiu(T6, T5, 1); // carried iff wrapped to zero
+    g.a.sw(T5, 0, T7);
+    g.a.bne(T6, ZERO, &rip);
+    g.a.addiu(T7, T7, 4); // delay slot
+    g.a.label(&done);
+}
+
+/// Emits the fold of the register `h` against one fold constant:
+/// `acc += h * fold` where `fold`'s nonzero limbs are known at build time.
+/// `acc_base` holds the accumulator base address. Clobbers `t2..t7`.
+fn emit_fold_h(g: &mut Gen, acc_base: Reg, h: Reg, fold_limbs: &[u32]) {
+    for (idx, w) in nonzero_limbs(fold_limbs) {
+        if w == 1 {
+            emit_add_at(g, acc_base, idx, h);
+        } else {
+            g.a.li(T2, w as i64);
+            g.a.multu(h, T2);
+            g.a.mflo(T3);
+            g.a.mfhi(T4);
+            emit_add_at(g, acc_base, idx, T3);
+            // T4 may be clobbered by emit_add_at? It uses t5,t6,t7 only.
+            emit_add_at(g, acc_base, idx + 1, T4);
+        }
+    }
+}
+
+/// Emits an inline "compare `xptr[0..k]` with `yptr[0..k]`, from the most
+/// significant word" fragment that branches to `lt_label` when x < y and
+/// falls through when x >= y. Clobbers `t1..t5`, `t9` and the pointer
+/// copies it makes internally.
+pub fn emit_cmp_ge_or(g: &mut Gen, xptr: Reg, yptr: Reg, k: usize, lt_label: &str) {
+    let cmp = g.sym("cmp");
+    let ge = g.sym("ge");
+    g.a.addiu(T1, xptr, ((k - 1) * 4) as i16);
+    g.a.addiu(T2, yptr, ((k - 1) * 4) as i16);
+    g.a.li(T9, k as i64);
+    g.a.label(&cmp);
+    g.a.lw(T3, 0, T1);
+    g.a.lw(T4, 0, T2);
+    g.a.sltu(T5, T3, T4);
+    g.a.bne(T5, ZERO, lt_label); // x < y
+    g.a.nop();
+    g.a.sltu(T5, T4, T3);
+    g.a.bne(T5, ZERO, &ge); // x > y
+    g.a.addiu(T1, T1, -4); // delay (fine on both paths)
+    g.a.addiu(T2, T2, -4);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &cmp);
+    g.a.nop();
+    g.a.label(&ge); // equal counts as >=
+}
+
+/// Emits an inline `dst[0..k] -= src[0..k]` borrow loop (in place when
+/// `dst == out`), leaving the final borrow in `v0`. Clobbers
+/// `t0..t3, t7, t9, v0, v1` plus internal pointer copies in `t4..t6`.
+pub fn emit_sub_loop(g: &mut Gen, dst: Reg, src: Reg, k: usize) {
+    let l = g.sym("subl");
+    g.a.mov(T4, dst);
+    g.a.mov(T5, src);
+    g.a.li(T9, k as i64);
+    g.a.li(V0, 0);
+    g.a.label(&l);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T5);
+    g.a.subu(T2, T0, T1);
+    g.a.sltu(T3, T0, T1); // borrow1
+    g.a.subu(T7, T2, V0);
+    g.a.sltu(V1, T2, V0); // borrow2
+    g.a.or(V0, T3, V1);
+    g.a.sw(T7, 0, T4);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T5, T5, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &l);
+    g.a.nop();
+}
+
+/// Emits an inline `dst[0..k] += src[0..k]` carry loop, leaving the final
+/// carry in `v0`. Clobbers like [`emit_sub_loop`].
+pub fn emit_add_loop(g: &mut Gen, dst: Reg, src: Reg, k: usize) {
+    let l = g.sym("addl");
+    g.a.mov(T4, dst);
+    g.a.mov(T5, src);
+    g.a.li(T9, k as i64);
+    g.a.li(V0, 0);
+    g.a.label(&l);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T5);
+    g.a.addu(T2, T0, T1);
+    g.a.sltu(T3, T2, T0); // carry1
+    g.a.addu(T2, T2, V0);
+    g.a.sltu(V1, T2, V0); // carry2
+    g.a.or(V0, T3, V1);
+    g.a.sw(T2, 0, T4);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T5, T5, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &l);
+    g.a.nop();
+}
+
+/// Emits `label: dst = (a + b) mod p` — multi-precision add plus a
+/// conditional subtraction of the modulus.
+///
+/// ABI: `a0`=dst, `a1`=a, `a2`=b. Leaf.
+pub fn emit_fadd(g: &mut Gen, label: &str, k: usize, mod_label: &str) {
+    let dosub = g.sym("fadd_sub");
+    let done = g.sym("fadd_done");
+    g.a.label(label);
+    // dst = a; dst += b (via copy then add-in-place keeps alias safety)
+    emit_copy_words(g, A0, A1, k);
+    emit_add_loop(g, A0, A2, k);
+    // carry out -> must subtract
+    g.a.bne(V0, ZERO, &dosub);
+    g.a.nop();
+    // compare dst vs p
+    g.a.la(T8, mod_label);
+    emit_cmp_ge_or(g, A0, T8, k, &done);
+    g.a.label(&dosub);
+    g.a.la(T8, mod_label);
+    emit_sub_loop(g, A0, T8, k);
+    g.a.label(&done);
+    g.a.ret();
+}
+
+/// Emits `label: dst = (a - b) mod p` — subtraction plus a conditional
+/// add-back of the modulus.
+///
+/// ABI: `a0`=dst, `a1`=a, `a2`=b. Leaf.
+pub fn emit_fsub(g: &mut Gen, label: &str, k: usize, mod_label: &str) {
+    let done = g.sym("fsub_done");
+    g.a.label(label);
+    emit_copy_words(g, A0, A1, k);
+    emit_sub_loop(g, A0, A2, k);
+    g.a.beq(V0, ZERO, &done);
+    g.a.nop();
+    g.a.la(T8, mod_label);
+    emit_add_loop(g, A0, T8, k);
+    g.a.label(&done);
+    g.a.ret();
+}
+
+/// Emits `label: dst[0..k] = src[0..k]` as a callable routine.
+///
+/// ABI: `a0`=dst, `a1`=src. Leaf.
+pub fn emit_fcopy(g: &mut Gen, label: &str, k: usize) {
+    g.a.label(label);
+    emit_copy_words(g, A0, A1, k);
+    g.a.ret();
+}
+
+/// Emits the operand-scanning field multiplication (Algorithm 2):
+/// `label: dst = (a * b) mod p`, writing the double-width product into the
+/// scratch buffer then calling `fred_label`.
+///
+/// ABI: `a0`=dst, `a1`=a, `a2`=b. Non-leaf.
+pub fn emit_fmul_os(g: &mut Gen, label: &str, k: usize, wide_addr: u32, fred_label: &str) {
+    let outer = g.sym("os_outer");
+    let inner = g.sym("os_inner");
+    g.a.label(label);
+    // prologue: ra, s0 (dst), s1 (b ptr), s2 (outer count)
+    g.a.addiu(Reg::SP, Reg::SP, -16);
+    g.a.sw(RA, 12, Reg::SP);
+    g.a.sw(S0, 8, Reg::SP);
+    g.a.sw(S1, 4, Reg::SP);
+    g.a.sw(S2, 0, Reg::SP);
+    g.a.mov(S0, A0);
+    // zero the wide buffer
+    g.a.li(A3, wide_addr as i64);
+    emit_zero_words(g, A3, 2 * k);
+    g.a.mov(S1, A2); // b pointer
+    g.a.li(S2, k as i64); // outer counter
+    g.a.mov(T6, A3); // row base
+    g.a.label(&outer);
+    g.a.lw(T7, 0, S1); // bi
+    g.a.li(V0, 0); // u
+    g.a.mov(T4, A1); // a pointer
+    g.a.mov(T5, T6); // p pointer
+    g.a.li(T9, k as i64);
+    g.a.label(&inner);
+    g.a.lw(T0, 0, T4); // a[j]
+    g.a.multu(T0, T7); // 4-cycle Karatsuba unit
+    g.a.lw(T1, 0, T5); // p[i+j] (hides multiplier latency)
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.mflo(T2);
+    g.a.mfhi(T3);
+    g.a.addu(T2, T2, T1);
+    g.a.sltu(T1, T2, T1); // carry into hi
+    g.a.addu(T2, T2, V0);
+    g.a.sltu(V1, T2, V0); // carry into hi
+    g.a.addu(T3, T3, T1);
+    g.a.addu(V0, T3, V1); // u = hi + carries (cannot overflow)
+    g.a.sw(T2, 0, T5);
+    g.a.bne(T9, ZERO, &inner);
+    g.a.addiu(T5, T5, 4); // delay slot
+    g.a.sw(V0, 0, T5); // p[i+k] = u
+    g.a.addiu(S1, S1, 4);
+    g.a.addiu(S2, S2, -1);
+    g.a.bne(S2, ZERO, &outer);
+    g.a.addiu(T6, T6, 4); // delay slot: next row base
+    // reduce: fred(wide, dst)
+    g.a.li(A0, wide_addr as i64);
+    g.a.jal(fred_label);
+    g.a.mov(A1, S0); // delay slot
+    g.a.lw(RA, 12, Reg::SP);
+    g.a.lw(S0, 8, Reg::SP);
+    g.a.lw(S1, 4, Reg::SP);
+    g.a.lw(S2, 0, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 16);
+    g.a.ret();
+}
+
+/// Emits the fast reduction for one NIST prime:
+/// `label: dst[0..k] = wide[0..2k] mod p`, by congruency folding with the
+/// field's precomputed fold constants (§4.2.1), exactly mirroring the
+/// host [`PrimeField::reduce_wide`].
+///
+/// ABI: `a0`=wide (2k words), `a1`=dst. Leaf.
+pub fn emit_fred(g: &mut Gen, label: &str, field: &PrimeField, acc_addr: u32, mod_label: &str) {
+    let k = field.k();
+    let bits = field.bits();
+    // Fold constants 2^(32(k+j)) mod p for j in 0..k (plus guard folds 0,1).
+    let fold: Vec<Vec<u32>> = (0..k.max(2))
+        .map(|j| {
+            Mp::one()
+                .shl(32 * (k + j))
+                .rem(field.modulus())
+                .to_limbs(k)
+        })
+        .collect();
+    let two_b = Mp::one().shl(bits).rem(field.modulus()).to_limbs(k);
+
+    g.a.label(label);
+    // acc = wide[0..k]; guard words zero.
+    g.a.li(T0, acc_addr as i64);
+    emit_copy_words(g, T0, A0, k);
+    g.a.sw(ZERO, (k * 4) as i16, T0);
+    g.a.sw(ZERO, ((k + 1) * 4) as i16, T0);
+    // Main folds, unrolled over j.
+    for j in 0..k {
+        let skip = g.sym("fold_skip");
+        g.a.lw(T1, ((k + j) * 4) as i16, A0);
+        g.a.beq(T1, ZERO, &skip);
+        g.a.nop();
+        emit_fold_h(g, T0, T1, &fold[j]);
+        g.a.label(&skip);
+    }
+    // Guard-word folds until clear.
+    let guard = g.sym("guard");
+    let gdone = g.sym("guard_done");
+    g.a.label(&guard);
+    g.a.lw(T1, (k * 4) as i16, T0);
+    g.a.lw(V1, ((k + 1) * 4) as i16, T0);
+    g.a.or(T3, T1, V1);
+    g.a.beq(T3, ZERO, &gdone);
+    g.a.nop();
+    g.a.sw(ZERO, (k * 4) as i16, T0);
+    g.a.sw(ZERO, ((k + 1) * 4) as i16, T0);
+    // Note: emit_fold_h clobbers t2..t7, so preserve h values in t1/t8.
+    g.a.mov(T8, V1);
+    emit_fold_h(g, T0, T1, &fold[0]);
+    emit_fold_h(g, T0, T8, &fold[1]);
+    g.a.b(&guard);
+    g.a.nop();
+    g.a.label(&gdone);
+    // Bit-granular tail when the modulus is not a whole number of words
+    // (P-521): fold acc >> bits against 2^bits mod p.
+    if bits % 32 != 0 {
+        let r = (bits % 32) as u8;
+        let topw = bits / 32;
+        let tl = g.sym("twob");
+        let td = g.sym("twob_done");
+        g.a.label(&tl);
+        g.a.lw(T1, (topw * 4) as i16, T0);
+        g.a.srl(T8, T1, r);
+        g.a.beq(T8, ZERO, &td);
+        g.a.nop();
+        g.a.li(T3, ((1u64 << r) - 1) as i64);
+        g.a.and(T1, T1, T3);
+        g.a.sw(T1, (topw * 4) as i16, T0);
+        emit_fold_h(g, T0, T8, &two_b);
+        g.a.b(&tl);
+        g.a.nop();
+        g.a.label(&td);
+    }
+    // Conditional subtraction(s) of p.
+    let csub = g.sym("csub");
+    let cdone = g.sym("csub_done");
+    g.a.label(&csub);
+    g.a.la(T8, mod_label);
+    emit_cmp_ge_or(g, T0, T8, k, &cdone);
+    g.a.la(T8, mod_label);
+    emit_sub_loop(g, T0, T8, k);
+    // emit_sub_loop clobbered t0; restore acc base.
+    g.a.li(T0, acc_addr as i64);
+    g.a.b(&csub);
+    g.a.nop();
+    g.a.label(&cdone);
+    // dst = acc[0..k]
+    g.a.li(T0, acc_addr as i64);
+    emit_copy_words(g, A1, T0, k);
+    g.a.ret();
+}
+
+/// Scratch buffers for the extended Euclidean inversion: four `k+1`-word
+/// working integers.
+#[derive(Clone, Copy, Debug)]
+pub struct EeaBufs {
+    /// Buffer for `u`.
+    pub u: u32,
+    /// Buffer for `v`.
+    pub v: u32,
+    /// Buffer for `x1`.
+    pub x1: u32,
+    /// Buffer for `x2`.
+    pub x2: u32,
+}
+
+/// Emits the binary extended Euclidean modular inversion (§4.2.4):
+/// `label: dst = src^{-1} mod m`, with the modulus pointer as a runtime
+/// argument so the same routine serves the field prime and the group
+/// order.
+///
+/// ABI: `a0`=dst, `a1`=src (nonzero), `a2`=modulus pointer (odd). Non-leaf
+/// shape but calls nothing; saves s-registers.
+pub fn emit_eea_inv(g: &mut Gen, label: &str, k: usize, bufs: EeaBufs) {
+    let kk = k + 1; // working width
+
+    // Helper: shift right by one, kk words, in place. ptr in reg.
+    fn emit_shr1(g: &mut Gen, ptr: Reg, kk: usize) {
+        let l = g.sym("shr1");
+        g.a.addiu(T4, ptr, ((kk - 1) * 4) as i16);
+        g.a.li(T9, kk as i64);
+        g.a.li(T3, 0); // carry bit
+        g.a.label(&l);
+        g.a.lw(T0, 0, T4);
+        g.a.srl(T1, T0, 1);
+        g.a.sll(T2, T3, 31);
+        g.a.or(T1, T1, T2);
+        g.a.andi(T3, T0, 1);
+        g.a.sw(T1, 0, T4);
+        g.a.addiu(T9, T9, -1);
+        g.a.bne(T9, ZERO, &l);
+        g.a.addiu(T4, T4, -4); // delay
+    }
+
+    // Helper: branch to `target` if [ptr] != 1 (kk words). Clobbers
+    // t0,t1,t9,t4.
+    fn emit_bne_one(g: &mut Gen, ptr: Reg, kk: usize, target: &str) {
+        let l = g.sym("isone");
+        let done = g.sym("isone_done");
+        g.a.lw(T0, 0, ptr);
+        g.a.li(T1, 1);
+        g.a.bne(T0, T1, target);
+        g.a.nop();
+        g.a.addiu(T4, ptr, 4);
+        g.a.li(T9, (kk - 1) as i64);
+        g.a.beq(T9, ZERO, &done);
+        g.a.nop();
+        g.a.label(&l);
+        g.a.lw(T0, 0, T4);
+        g.a.bne(T0, ZERO, target);
+        g.a.addiu(T4, T4, 4); // delay
+        g.a.addiu(T9, T9, -1);
+        g.a.bne(T9, ZERO, &l);
+        g.a.nop();
+        g.a.label(&done);
+    }
+
+    let main = g.sym("eea_main");
+    let even_u = g.sym("eea_even_u");
+    let even_u_done = g.sym("eea_even_u_done");
+    let even_v = g.sym("eea_even_v");
+    let even_v_done = g.sym("eea_even_v_done");
+    let u_ge_v = g.sym("eea_ugev");
+    let after_sub = g.sym("eea_after");
+    let res_x1 = g.sym("eea_res_x1");
+    let res_done = g.sym("eea_res_done");
+    let x1_odd_skip = g.sym("eea_x1odd");
+    let x2_odd_skip = g.sym("eea_x2odd");
+    let x1_noadd = g.sym("eea_x1na");
+    let x2_noadd = g.sym("eea_x2na");
+
+    g.a.label(label);
+    let saved = [S0, S1, S2, S3, S4, S5];
+    g.a.addiu(Reg::SP, Reg::SP, -32);
+    g.a.sw(RA, 28, Reg::SP);
+    for (i, &r) in saved.iter().enumerate() {
+        g.a.sw(r, (24 - 4 * i) as i16, Reg::SP);
+    }
+    g.a.li(S0, bufs.u as i64);
+    g.a.li(S1, bufs.v as i64);
+    g.a.li(S2, bufs.x1 as i64);
+    g.a.li(S3, bufs.x2 as i64);
+    g.a.mov(S4, A2); // modulus
+    g.a.mov(S5, A0); // dst
+    // u = src, top word 0
+    emit_copy_words(g, S0, A1, k);
+    g.a.sw(ZERO, (k * 4) as i16, S0);
+    // v = m
+    emit_copy_words(g, S1, S4, k);
+    g.a.sw(ZERO, (k * 4) as i16, S1);
+    // x1 = 1, x2 = 0
+    emit_zero_words(g, S2, kk);
+    emit_zero_words(g, S3, kk);
+    g.a.li(T0, 1);
+    g.a.sw(T0, 0, S2);
+
+    g.a.label(&main);
+    // while u != 1 && v != 1
+    {
+        let u_not_one = g.sym("unot1");
+        emit_bne_one(g, S0, kk, &u_not_one);
+        g.a.b(&res_x1);
+        g.a.nop();
+        g.a.label(&u_not_one);
+        let v_not_one = g.sym("vnot1");
+        emit_bne_one(g, S1, kk, &v_not_one);
+        // v == 1: result is x2
+        g.a.mov(T8, S3);
+        g.a.b(&res_done);
+        g.a.nop();
+        g.a.label(&v_not_one);
+    }
+    // while u even: u >>= 1; x1 = (x1 odd ? x1 + m : x1) >> 1
+    g.a.label(&even_u);
+    g.a.lw(T0, 0, S0);
+    g.a.andi(T1, T0, 1);
+    g.a.bne(T1, ZERO, &even_u_done);
+    g.a.nop();
+    emit_shr1(g, S0, kk);
+    g.a.lw(T0, 0, S2);
+    g.a.andi(T1, T0, 1);
+    g.a.beq(T1, ZERO, &x1_odd_skip);
+    g.a.nop();
+    emit_add_loop(g, S2, S4, k); // x1 += m (k words)
+    // propagate carry into the top word
+    g.a.lw(T0, (k * 4) as i16, S2);
+    g.a.addu(T0, T0, V0);
+    g.a.sw(T0, (k * 4) as i16, S2);
+    g.a.label(&x1_odd_skip);
+    emit_shr1(g, S2, kk);
+    g.a.b(&even_u);
+    g.a.nop();
+    g.a.label(&even_u_done);
+    // while v even: likewise with x2
+    g.a.label(&even_v);
+    g.a.lw(T0, 0, S1);
+    g.a.andi(T1, T0, 1);
+    g.a.bne(T1, ZERO, &even_v_done);
+    g.a.nop();
+    emit_shr1(g, S1, kk);
+    g.a.lw(T0, 0, S3);
+    g.a.andi(T1, T0, 1);
+    g.a.beq(T1, ZERO, &x2_odd_skip);
+    g.a.nop();
+    emit_add_loop(g, S3, S4, k);
+    g.a.lw(T0, (k * 4) as i16, S3);
+    g.a.addu(T0, T0, V0);
+    g.a.sw(T0, (k * 4) as i16, S3);
+    g.a.label(&x2_odd_skip);
+    emit_shr1(g, S3, kk);
+    g.a.b(&even_v);
+    g.a.nop();
+    g.a.label(&even_v_done);
+    // if u >= v: u -= v; x1 -= x2 (mod m)  else symmetric
+    emit_cmp_ge_or(g, S0, S1, kk, &u_ge_v); // branches when u < v!
+    // Fall-through: u >= v.
+    emit_sub_loop(g, S0, S1, kk); // u -= v
+    emit_sub_loop(g, S2, S3, kk); // x1 -= x2
+    g.a.beq(V0, ZERO, &x1_noadd);
+    g.a.nop();
+    emit_add_loop(g, S2, S4, k); // += m
+    g.a.lw(T0, (k * 4) as i16, S2);
+    g.a.addu(T0, T0, V0);
+    g.a.sw(T0, (k * 4) as i16, S2);
+    g.a.label(&x1_noadd);
+    g.a.b(&after_sub);
+    g.a.nop();
+    g.a.label(&u_ge_v); // actually the u < v path
+    emit_sub_loop(g, S1, S0, kk);
+    emit_sub_loop(g, S3, S2, kk);
+    g.a.beq(V0, ZERO, &x2_noadd);
+    g.a.nop();
+    emit_add_loop(g, S3, S4, k);
+    g.a.lw(T0, (k * 4) as i16, S3);
+    g.a.addu(T0, T0, V0);
+    g.a.sw(T0, (k * 4) as i16, S3);
+    g.a.label(&x2_noadd);
+    g.a.label(&after_sub);
+    g.a.b(&main);
+    g.a.nop();
+
+    g.a.label(&res_x1);
+    g.a.mov(T8, S2);
+    g.a.label(&res_done);
+    // dst = result (k words; the working value stays < m).
+    emit_copy_words(g, S5, T8, k);
+    g.a.lw(RA, 28, Reg::SP);
+    for (i, &r) in saved.iter().enumerate() {
+        g.a.lw(r, (24 - 4 * i) as i16, Reg::SP);
+    }
+    g.a.addiu(Reg::SP, Reg::SP, 32);
+    g.a.ret();
+}
+
+/// Emits the product-scanning field multiplication on the prime-field ISA
+/// extensions (Algorithm 3 with `MADDU`/`SHA`, Table 5.1):
+/// `label: dst = (a * b) mod p` via the `(OvFlo, Hi, Lo)` accumulator,
+/// then the fold reduction.
+///
+/// ABI: `a0`=dst, `a1`=a, `a2`=b. Non-leaf (calls `fred_label`).
+pub fn emit_fmul_ps_ext(g: &mut Gen, label: &str, k: usize, wide_addr: u32, fred_label: &str) {
+    let phase1 = g.sym("ps_p1");
+    let phase2 = g.sym("ps_p2");
+    let inner1 = g.sym("ps_i1");
+    let inner2 = g.sym("ps_i2");
+    g.a.label(label);
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    g.a.sw(S0, 0, Reg::SP);
+    g.a.mov(S0, A0);
+    // Clear (OvFlo, Hi, Lo).
+    g.a.multu(ZERO, ZERO);
+    g.a.li(A3, wide_addr as i64); // product pointer
+    // Phase 1: columns 0..k-1. Column i: j in 0..=i of a[j]*b[i-j].
+    // t6 = column index i (0-based), t8 = count = i+1.
+    g.a.li(T6, 0);
+    g.a.label(&phase1);
+    g.a.mov(T4, A1); // a ptr (ascending from a[0])
+    g.a.sll(T0, T6, 2);
+    g.a.addu(T5, A2, T0); // b ptr (descending from b[i])
+    g.a.addiu(T8, T6, 1); // count
+    g.a.label(&inner1);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T5);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T5, T5, -4);
+    g.a.addiu(T8, T8, -1);
+    g.a.bne(T8, ZERO, &inner1);
+    g.a.maddu(T0, T1); // delay slot: the MAC itself
+    g.a.mflo(T2);
+    g.a.sw(T2, 0, A3); // p[i] = v
+    g.a.addiu(A3, A3, 4);
+    g.a.sha(); // accumulator >>= 32
+    g.a.addiu(T6, T6, 1);
+    g.a.li(T0, k as i64);
+    g.a.bne(T6, T0, &phase1);
+    g.a.nop();
+    // Phase 2: columns k..2k-2. Column i: j in i-k+1..=k-1.
+    g.a.label(&phase2);
+    // a ptr from a[i-k+1], b ptr from b[k-1]; count = 2k-1-i.
+    g.a.addiu(T0, T6, -(k as i16) + 1);
+    g.a.sll(T0, T0, 2);
+    g.a.addu(T4, A1, T0);
+    g.a.addiu(T5, A2, ((k - 1) * 4) as i16);
+    g.a.li(T8, (2 * k - 1) as i64);
+    g.a.subu(T8, T8, T6);
+    g.a.label(&inner2);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T5);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T5, T5, -4);
+    g.a.addiu(T8, T8, -1);
+    g.a.bne(T8, ZERO, &inner2);
+    g.a.maddu(T0, T1); // delay slot: the MAC itself
+    g.a.mflo(T2);
+    g.a.sw(T2, 0, A3);
+    g.a.addiu(A3, A3, 4);
+    g.a.sha();
+    g.a.addiu(T6, T6, 1);
+    g.a.li(T0, (2 * k - 1) as i64);
+    g.a.bne(T6, T0, &phase2);
+    g.a.nop();
+    // Top word.
+    g.a.mflo(T2);
+    g.a.sw(T2, 0, A3);
+    // Reduce.
+    g.a.li(A0, wide_addr as i64);
+    g.a.jal(fred_label);
+    g.a.mov(A1, S0); // delay slot
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.lw(S0, 0, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits the product-scanning field squaring on the ISA extensions,
+/// exploiting `M2ADDU` to halve the number of multiplications (Table 5.1):
+/// `label: dst = a^2 mod p`. Each column processes its symmetric pairs in
+/// a counted loop with the `M2ADDU` in the branch delay slot, plus the
+/// diagonal center term via `MADDU` when the column has odd length.
+///
+/// ABI: `a0`=dst, `a1`=a. Non-leaf (calls `fred_label`).
+pub fn emit_fsqr_ps_ext(g: &mut Gen, label: &str, k: usize, wide_addr: u32, fred_label: &str) {
+    let col = g.sym("sq_col");
+    let ploop = g.sym("sq_pl");
+    let nopairs = g.sym("sq_np");
+    let nocenter = g.sym("sq_nc");
+    let hi_done = g.sym("sq_hid");
+    let lo_done = g.sym("sq_lod");
+    g.a.label(label);
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    g.a.sw(S0, 0, Reg::SP);
+    g.a.mov(S0, A0);
+    g.a.multu(ZERO, ZERO); // clear accumulator
+    g.a.li(A3, wide_addr as i64);
+    g.a.li(T6, 0); // column index i
+    g.a.label(&col);
+    // hi = min(i, k-1)
+    g.a.li(T1, (k - 1) as i64);
+    g.a.slt(T2, T6, T1);
+    g.a.beq(T2, ZERO, &hi_done);
+    g.a.nop();
+    g.a.mov(T1, T6);
+    g.a.label(&hi_done);
+    // lo = max(0, i - k + 1)
+    g.a.addiu(T2, T6, -(k as i16) + 1);
+    g.a.bgez(T2, &lo_done);
+    g.a.nop();
+    g.a.li(T2, 0);
+    g.a.label(&lo_done);
+    // terms = hi - lo + 1; pa = a + lo*4; pb = a + (i-lo)*4
+    g.a.subu(T3, T1, T2);
+    g.a.addiu(T3, T3, 1);
+    g.a.sll(T0, T2, 2);
+    g.a.addu(T4, A1, T0);
+    g.a.subu(T0, T6, T2);
+    g.a.sll(T0, T0, 2);
+    g.a.addu(T5, A1, T0);
+    // pairs = terms >> 1
+    g.a.srl(T8, T3, 1);
+    g.a.beq(T8, ZERO, &nopairs);
+    g.a.nop();
+    g.a.label(&ploop);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T5);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T5, T5, -4);
+    g.a.addiu(T8, T8, -1);
+    g.a.bne(T8, ZERO, &ploop);
+    g.a.m2addu(T0, T1); // delay slot: the doubled MAC
+    g.a.label(&nopairs);
+    // center term when the column length is odd
+    g.a.andi(T3, T3, 1);
+    g.a.beq(T3, ZERO, &nocenter);
+    g.a.nop();
+    g.a.lw(T0, 0, T4);
+    g.a.maddu(T0, T0);
+    g.a.label(&nocenter);
+    g.a.mflo(T2);
+    g.a.sw(T2, 0, A3);
+    g.a.addiu(A3, A3, 4);
+    g.a.sha();
+    g.a.addiu(T6, T6, 1);
+    g.a.li(T0, (2 * k - 1) as i64);
+    g.a.bne(T6, T0, &col);
+    g.a.nop();
+    g.a.mflo(T2);
+    g.a.sw(T2, 0, A3);
+    g.a.li(A0, wide_addr as i64);
+    g.a.jal(fred_label);
+    g.a.mov(A1, S0); // delay slot
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.lw(S0, 0, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits CIOS Montgomery multiplication in software (Algorithm 5):
+/// `label: dst = a * b * R^{-1} mod n` for the group order `n` (protocol
+/// arithmetic, §4.1). The `t` scratch buffer is `k+2` words.
+///
+/// ABI: `a0`=dst, `a1`=a, `a2`=b. Leaf.
+pub fn emit_cios(
+    g: &mut Gen,
+    label: &str,
+    k: usize,
+    n0_prime: u32,
+    mod_label: &str,
+    t_addr: u32,
+) {
+    let outer = g.sym("cios_outer");
+    let in1 = g.sym("cios_in1");
+    let in2 = g.sym("cios_in2");
+    let nosub = g.sym("cios_nosub");
+    let dosub = g.sym("cios_dosub");
+    g.a.label(label);
+    g.a.li(T6, t_addr as i64);
+    emit_zero_words(g, T6, k + 2);
+    // outer loop: a3 = b pointer, t8 = count. (v1 clobbered by zero loop.)
+    g.a.mov(A3, A2);
+    g.a.li(T8, k as i64);
+    g.a.label(&outer);
+    g.a.lw(T7, 0, A3); // b[i]
+    // --- first inner loop: t[0..k] += a * b[i]; carries into t[k..k+2]
+    g.a.li(V0, 0); // carry C
+    g.a.mov(T4, A1); // a ptr
+    g.a.mov(T5, T6); // t ptr
+    g.a.li(T9, k as i64);
+    g.a.label(&in1);
+    g.a.lw(T0, 0, T4);
+    g.a.multu(T0, T7);
+    g.a.lw(T1, 0, T5);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.mflo(T2);
+    g.a.mfhi(T3);
+    g.a.addu(T2, T2, T1);
+    g.a.sltu(T1, T2, T1);
+    g.a.addu(T2, T2, V0);
+    g.a.sltu(V1, T2, V0);
+    g.a.addu(T3, T3, T1);
+    g.a.addu(V0, T3, V1);
+    g.a.sw(T2, 0, T5);
+    g.a.bne(T9, ZERO, &in1);
+    g.a.addiu(T5, T5, 4); // delay
+    // (C,S) = t[k] + C ; t[k] = S; t[k+1] = C'
+    g.a.lw(T0, 0, T5);
+    g.a.addu(T1, T0, V0);
+    g.a.sltu(T2, T1, T0);
+    g.a.sw(T1, 0, T5);
+    g.a.sw(T2, 4, T5);
+    // --- m = t[0] * n0' mod 2^32
+    g.a.lw(T0, 0, T6);
+    g.a.li(T1, n0_prime as i64);
+    g.a.multu(T0, T1);
+    g.a.mflo(T7); // m
+    // --- second inner loop: fold m*n, shifting t down one word.
+    // (C,S) = t[0] + m*n[0]; C -> V0
+    g.a.la(T4, mod_label);
+    g.a.lw(T0, 0, T4);
+    g.a.multu(T0, T7);
+    g.a.lw(T1, 0, T6); // t[0]
+    g.a.addiu(T4, T4, 4);
+    g.a.mflo(T2);
+    g.a.mfhi(T3);
+    g.a.addu(T2, T2, T1);
+    g.a.sltu(T1, T2, T1);
+    g.a.addu(V0, T3, T1); // C (S discarded: it is 0 mod 2^32 by design)
+    g.a.mov(T5, T6); // t write ptr (t[j-1])
+    g.a.li(T9, (k - 1) as i64);
+    g.a.label(&in2);
+    g.a.lw(T0, 0, T4); // n[j]
+    g.a.multu(T0, T7);
+    g.a.lw(T1, 4, T5); // t[j]
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.mflo(T2);
+    g.a.mfhi(T3);
+    g.a.addu(T2, T2, T1);
+    g.a.sltu(T1, T2, T1);
+    g.a.addu(T2, T2, V0);
+    g.a.sltu(V1, T2, V0);
+    g.a.addu(T3, T3, T1);
+    g.a.addu(V0, T3, V1);
+    g.a.sw(T2, 0, T5); // t[j-1] = S
+    g.a.bne(T9, ZERO, &in2);
+    g.a.addiu(T5, T5, 4); // delay
+    // (C,S) = t[k] + C; t[k-1] = S; t[k] = t[k+1] + C'
+    g.a.lw(T0, 4, T5); // t[k]
+    g.a.addu(T1, T0, V0);
+    g.a.sltu(T2, T1, T0);
+    g.a.sw(T1, 0, T5); // t[k-1]
+    g.a.lw(T0, 8, T5); // t[k+1]
+    g.a.addu(T0, T0, T2);
+    g.a.sw(T0, 4, T5); // t[k]
+    g.a.sw(ZERO, 8, T5); // t[k+1] = 0
+    g.a.addiu(A3, A3, 4);
+    g.a.addiu(T8, T8, -1);
+    g.a.bne(T8, ZERO, &outer);
+    g.a.nop();
+    // Final correction: if t[k] != 0 or t >= n: t -= n.
+    g.a.lw(T0, (k * 4) as i16, T6);
+    g.a.bne(T0, ZERO, &dosub);
+    g.a.nop();
+    g.a.la(T8, mod_label);
+    emit_cmp_ge_or(g, T6, T8, k, &nosub);
+    g.a.label(&dosub);
+    g.a.la(T8, mod_label);
+    g.a.li(T6, t_addr as i64); // emit_cmp clobbered t1..t5 only; t6 safe — reload anyway
+    emit_sub_loop(g, T6, T8, k);
+    g.a.li(T6, t_addr as i64);
+    g.a.label(&nosub);
+    g.a.li(T6, t_addr as i64);
+    emit_copy_words(g, A0, T6, k);
+    g.a.ret();
+}

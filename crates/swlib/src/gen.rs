@@ -1,0 +1,80 @@
+//! Code-generation helpers shared by every routine emitter.
+
+use ule_isa::asm::Asm;
+use ule_isa::reg::Reg;
+
+/// An assembler plus a symbol counter, so routine emitters can create
+/// unique internal labels.
+#[derive(Debug, Default)]
+pub struct Gen {
+    /// The underlying assembler.
+    pub a: Asm,
+    counter: u32,
+}
+
+impl Gen {
+    /// Fresh generator.
+    pub fn new() -> Self {
+        Gen::default()
+    }
+
+    /// A unique label derived from `base`.
+    pub fn sym(&mut self, base: &str) -> String {
+        self.counter += 1;
+        format!(".L{}_{}", base, self.counter)
+    }
+
+    /// Emits a standard routine prologue saving `ra` and `saved` s-registers
+    /// on the stack. Returns the frame size for the matching epilogue.
+    pub fn prologue(&mut self, saved: &[Reg]) -> i16 {
+        let frame = (4 * (saved.len() + 1)).next_multiple_of(8) as i16;
+        self.a.addiu(Reg::SP, Reg::SP, -frame);
+        self.a.sw(Reg::RA, frame - 4, Reg::SP);
+        for (i, &r) in saved.iter().enumerate() {
+            self.a.sw(r, frame - 8 - (4 * i as i16), Reg::SP);
+        }
+        frame
+    }
+
+    /// Emits the matching epilogue and `jr ra`.
+    pub fn epilogue(&mut self, saved: &[Reg], frame: i16) {
+        self.a.lw(Reg::RA, frame - 4, Reg::SP);
+        for (i, &r) in saved.iter().enumerate() {
+            self.a.lw(r, frame - 8 - (4 * i as i16), Reg::SP);
+        }
+        self.a.addiu(Reg::SP, Reg::SP, frame);
+        self.a.ret();
+    }
+}
+
+/// Emits an inline word-copy loop: `dst[0..k] = src[0..k]`.
+///
+/// Clobbers `t8`, `t9`, `v1`, and advances copies of the pointer registers
+/// internally (the argument registers themselves are preserved).
+pub fn emit_copy_words(g: &mut Gen, dst: Reg, src: Reg, k: usize) {
+    let loop_l = g.sym("copy");
+    g.a.mov(Reg::T8, src);
+    g.a.mov(Reg::V1, dst);
+    g.a.li(Reg::T9, k as i64);
+    g.a.label(&loop_l);
+    g.a.lw(Reg::AT, 0, Reg::T8);
+    g.a.addiu(Reg::T8, Reg::T8, 4);
+    g.a.addiu(Reg::T9, Reg::T9, -1);
+    g.a.sw(Reg::AT, 0, Reg::V1);
+    g.a.bne(Reg::T9, Reg::ZERO, &loop_l);
+    g.a.addiu(Reg::V1, Reg::V1, 4); // delay slot
+}
+
+/// Emits an inline zero-fill loop: `dst[0..k] = 0`.
+///
+/// Clobbers `t9`, `v1`.
+pub fn emit_zero_words(g: &mut Gen, dst: Reg, k: usize) {
+    let loop_l = g.sym("zero");
+    g.a.mov(Reg::V1, dst);
+    g.a.li(Reg::T9, k as i64);
+    g.a.label(&loop_l);
+    g.a.sw(Reg::ZERO, 0, Reg::V1);
+    g.a.addiu(Reg::T9, Reg::T9, -1);
+    g.a.bne(Reg::T9, Reg::ZERO, &loop_l);
+    g.a.addiu(Reg::V1, Reg::V1, 4); // delay slot
+}

@@ -1,0 +1,56 @@
+//! Helpers for running suite entry points on the simulator — used by the
+//! differential tests, the `ule-core` driver, and the benchmark harness.
+
+use ule_isa::asm::Program;
+use ule_pete::cpu::{Machine, MachineConfig, RunExit};
+
+/// Default cycle budget for one entry (a 571-bit baseline verification is
+/// the worst case in the study at ~250M cycles, §7.6).
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Runs the program from the given entry label until `break`.
+///
+/// # Panics
+///
+/// Panics if the entry label does not exist or the cycle budget runs out
+/// (both indicate suite bugs, not user errors).
+pub fn run_entry(m: &mut Machine, program: &Program, entry: &str, max_cycles: u64) -> u64 {
+    let pc = program
+        .symbol(entry)
+        .unwrap_or_else(|| panic!("no entry point {entry:?}"));
+    m.set_pc(pc);
+    let start = m.cycles();
+    match m.run(start + max_cycles) {
+        RunExit::Halted { .. } => m.cycles() - start,
+        RunExit::CycleLimit => panic!("{entry:?} exceeded {max_cycles} cycles"),
+    }
+}
+
+/// Writes little-endian limbs into RAM at a named buffer.
+///
+/// # Panics
+///
+/// Panics if the buffer name is unknown.
+pub fn write_buf(m: &mut Machine, program: &Program, name: &str, limbs: &[u32]) {
+    let addr = program
+        .ram_symbol(name)
+        .unwrap_or_else(|| panic!("no RAM buffer {name:?}"));
+    m.ram_mut().poke_words(addr, limbs);
+}
+
+/// Reads `n` limbs from a named RAM buffer.
+///
+/// # Panics
+///
+/// Panics if the buffer name is unknown.
+pub fn read_buf(m: &Machine, program: &Program, name: &str, n: usize) -> Vec<u32> {
+    let addr = program
+        .ram_symbol(name)
+        .unwrap_or_else(|| panic!("no RAM buffer {name:?}"));
+    m.ram().peek_words(addr, n)
+}
+
+/// Builds a fresh machine for a program with the given configuration.
+pub fn machine(program: &Program, config: MachineConfig) -> Machine {
+    Machine::new(program, config)
+}

@@ -1,0 +1,35 @@
+//! The cryptographic **software suite** of the study, written against the
+//! `ule-isa` assembly DSL and run on the `ule-pete` simulator.
+//!
+//! This crate plays the role of the paper's compiled C++ ECDSA suite
+//! (§4.3): multi-precision field arithmetic, NIST fast reduction, comb
+//! multiplication, extended-Euclidean inversion, mixed-coordinate point
+//! operations, sliding-window and twin scalar multiplication, and the
+//! ECDSA protocol arithmetic modulo the group order — one program image
+//! per (curve × architecture) configuration:
+//!
+//! * [`Arch::Baseline`] — pure software on Pete (operand scanning /
+//!   comb multiplication, §4.2);
+//! * [`Arch::IsaExt`] — product scanning on the `MADDU`/`SHA` extensions
+//!   for GF(p) and `MULGF2`/`MADDGF2` for GF(2^m) (§5.2);
+//! * [`Arch::Monte`] — prime-field arithmetic dispatched to the Monte
+//!   coprocessor in the Montgomery domain (§5.4);
+//! * [`Arch::Billie`] — binary-field scalar multiplication living in
+//!   Billie's register file (§5.5).
+//!
+//! Every routine is differentially tested against the `ule-mpmath` /
+//! `ule-curves` host reference on the simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod billie_glue;
+pub mod builder;
+pub mod f2m;
+pub mod fp;
+pub mod gen;
+pub mod harness;
+pub mod monte_glue;
+pub mod point;
+
+pub use builder::{build_suite, Arch, Suite};

@@ -1,0 +1,188 @@
+//! Field-routine bindings for the Monte-accelerated configuration
+//! (§5.4): every GF(p) operation becomes a short COP2 command sequence,
+//! and field elements live in the **Montgomery domain** throughout the
+//! scalar multiplication (Monte's FFAU executes CIOS Montgomery
+//! multiplication in microcode).
+//!
+//! * `fmul`/`fadd`/`fsub` — `cop2lda; cop2ldb; cop2{mul,add,sub}; cop2st`
+//!   with *no* synchronization: Monte's front end queues, reorders around
+//!   DMA, and forwards results (§5.4.1); Pete only synchronizes before it
+//!   reads an accelerator-written buffer (`fsync`, called from `fisz` and
+//!   the end of `pt_to_affine`);
+//! * `fin`/`fout` — domain entry/exit as multiplications by `R^2 mod p`
+//!   and by the integer 1;
+//! * `finv` — **Fermat's little theorem** (§4.2.4): a square-and-multiply
+//!   over the bits of `p - 2` built entirely from Monte multiplications.
+
+use crate::gen::Gen;
+use ule_isa::instr::Instr;
+use ule_isa::reg::Reg;
+
+const A0: Reg = Reg::A0;
+const A1: Reg = Reg::A1;
+const A2: Reg = Reg::A2;
+const V0: Reg = Reg::V0;
+const T0: Reg = Reg::T0;
+const T1: Reg = Reg::T1;
+const S0: Reg = Reg::S0;
+const S2: Reg = Reg::S2;
+const ZERO: Reg = Reg::ZERO;
+const RA: Reg = Reg::RA;
+
+/// Monte control-register numbers understood by the accelerator model:
+/// 0 = element width in words, 1 = the CIOS quotient constant `n0'`.
+pub const CTRL_K: u8 = 0;
+/// Control register holding `n0'`.
+pub const CTRL_N0: u8 = 1;
+
+/// The constants a Monte program must have resident in shared RAM
+/// (Monte's DMA reaches only the dual-port RAM, §5.4): each pair is
+/// `(RAM symbol the suite references, ROM label holding the initial
+/// value)`. This mirrors the paper's startup copy of the data section
+/// from ROM into RAM (§5.1).
+pub const MONTE_RAM_CONSTANTS: [(&str, &str); 6] = [
+    ("const_gx", "rom_gx"),
+    ("const_gy", "rom_gy"),
+    ("const_one", "rom_one"),
+    ("const_zero", "rom_zero"),
+    ("const_r2p", "rom_r2p"),
+    ("const_int_one", "rom_intone"),
+];
+
+/// Emits `arch_init` for Monte: configure the control registers, copy the
+/// field modulus and the RAM-resident constants out of ROM, and DMA the
+/// modulus into Monte's N buffer.
+pub fn emit_monte_init(g: &mut Gen, k: usize, n0_prime: u32, monte_n_buf: u32) {
+    g.a.label("arch_init");
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    g.a.li(T0, k as i64);
+    g.a.ctc2(T0, CTRL_K);
+    g.a.li(T0, n0_prime as i64);
+    g.a.ctc2(T0, CTRL_N0);
+    // Copy p from ROM into shared RAM, then load it into Monte.
+    g.a.li(A0, monte_n_buf as i64);
+    g.a.la(A1, "const_p");
+    g.a.jal("fcopy");
+    g.a.nop();
+    g.a.li(T0, monte_n_buf as i64);
+    g.a.cop2ldn(T0);
+    g.a.cop2sync();
+    // Populate the RAM-resident constants.
+    for (ram, rom) in MONTE_RAM_CONSTANTS {
+        g.a.la(A0, ram);
+        g.a.la(A1, rom);
+        g.a.jal("fcopy");
+        g.a.nop();
+    }
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits the Monte field-operation bindings (`fmul`, `fsqr`, `fadd`,
+/// `fsub`, `fsync`, `fin`, `fout`).
+pub fn emit_monte_field_ops(g: &mut Gen) {
+    // fmul: issue-only; the front end overlaps DMA with computation.
+    g.a.label("fmul");
+    g.a.cop2lda(A1);
+    g.a.cop2ldb(A2);
+    g.a.cop2mul();
+    g.a.cop2st(A0);
+    g.a.ret();
+    // fsqr: same multiplier, second operand aliased in the delay slot.
+    g.a.label("fsqr");
+    g.a.j("fmul");
+    g.a.emit(Instr::Addu {
+        rd: A2,
+        rs: A1,
+        rt: ZERO,
+    }); // delay slot: a2 = a1
+    // fadd / fsub: Monte's modular add/subtract microprograms.
+    g.a.label("fadd");
+    g.a.cop2lda(A1);
+    g.a.cop2ldb(A2);
+    g.a.cop2add();
+    g.a.cop2st(A0);
+    g.a.ret();
+    g.a.label("fsub");
+    g.a.cop2lda(A1);
+    g.a.cop2ldb(A2);
+    g.a.cop2sub();
+    g.a.cop2st(A0);
+    g.a.ret();
+    // fsync: drain the queue before Pete touches results.
+    g.a.label("fsync");
+    g.a.cop2sync();
+    g.a.ret();
+    // Domain conversions: in = * R^2 mod p, out = * 1.
+    g.a.label("fin");
+    g.a.la(A2, "const_r2p");
+    g.a.j("fmul");
+    g.a.nop();
+    g.a.label("fout");
+    g.a.la(A2, "const_int_one");
+    g.a.j("fmul");
+    g.a.nop();
+}
+
+/// Emits the Fermat inversion binding `finv` for Monte: left-to-right
+/// square-and-multiply over the bits of `p - 2` (stored at `const_pm2`),
+/// entirely as Monte multiplications, staying in the Montgomery domain.
+///
+/// `exp_bits` is the bit length of `p - 2` (a build-time constant).
+pub fn emit_monte_finv(g: &mut Gen, exp_bits: usize, fermat_r: u32, fermat_b: u32) {
+    let floop = g.sym("fermat_loop");
+    let nobit = g.sym("fermat_nobit");
+    g.a.label("finv");
+    g.a.addiu(Reg::SP, Reg::SP, -16);
+    g.a.sw(RA, 12, Reg::SP);
+    g.a.sw(S0, 8, Reg::SP);
+    g.a.sw(S2, 4, Reg::SP);
+    g.a.mov(S2, A0);
+    // base = src; result = mont(1) (the field one in the domain).
+    g.a.li(A0, fermat_b as i64);
+    g.a.jal("fcopy");
+    g.a.nop(); // a1 = src already
+    g.a.li(A0, fermat_r as i64);
+    g.a.la(A1, "const_one");
+    g.a.jal("fcopy");
+    g.a.nop();
+    g.a.li(S0, (exp_bits - 1) as i64);
+    g.a.label(&floop);
+    // r = r^2
+    g.a.li(A0, fermat_r as i64);
+    g.a.li(A1, fermat_r as i64);
+    g.a.jal("fsqr");
+    g.a.nop();
+    // bit i of p-2 (from ROM)
+    g.a.srl(T0, S0, 5);
+    g.a.sll(T0, T0, 2);
+    g.a.la(T1, "const_pm2");
+    g.a.addu(T0, T0, T1);
+    g.a.lw(T0, 0, T0);
+    g.a.andi(T1, S0, 31);
+    g.a.srlv(T0, T0, T1);
+    g.a.andi(V0, T0, 1);
+    g.a.beq(V0, ZERO, &nobit);
+    g.a.nop();
+    g.a.li(A0, fermat_r as i64);
+    g.a.li(A1, fermat_r as i64);
+    g.a.li(A2, fermat_b as i64);
+    g.a.jal("fmul");
+    g.a.nop();
+    g.a.label(&nobit);
+    g.a.addiu(S0, S0, -1);
+    g.a.bgez(S0, &floop);
+    g.a.nop();
+    // dst = result
+    g.a.mov(A0, S2);
+    g.a.li(A1, fermat_r as i64);
+    g.a.jal("fcopy");
+    g.a.nop();
+    g.a.lw(RA, 12, Reg::SP);
+    g.a.lw(S0, 8, Reg::SP);
+    g.a.lw(S2, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 16);
+    g.a.ret();
+}

@@ -1,0 +1,884 @@
+//! Shared point-operation, scalar-multiplication, and ECDSA codegen.
+//!
+//! These emitters are written once against *bound field-routine labels*
+//! and work for every non-Billie configuration of the study: the builder
+//! binds `fmul`/`fsqr`/`fadd`/`fsub`/`fcopy`/`finv`/`fisz`/`fsync` to the
+//! baseline, ISA-extended, or Monte implementations, and this module
+//! generates on top of them:
+//!
+//! * mixed **Jacobian–affine** point double/add for GF(p) curves and
+//!   mixed **Lopez–Dahab–affine** for GF(2^m) curves (§4.1);
+//! * the **sliding-window** single scalar multiplication with a runtime
+//!   precomputed odd-multiple table, and the **twin** multiplication with
+//!   precomputed `P+Q` / `P-Q` (§4.1) — both transliterations of the host
+//!   algorithms in `ule_curves::scalar`, so they can be differentially
+//!   tested point-for-point;
+//! * ECDSA **sign** and **verify**, including the protocol arithmetic
+//!   modulo the group order, which stays on Pete in every configuration
+//!   (§4.1).
+//!
+//! Montgomery-domain configurations (Monte) additionally bind
+//! `fin`/`fout` (domain entry/exit) — identity copies elsewhere.
+
+use crate::fp::{emit_cmp_ge_or, emit_sub_loop};
+use crate::gen::Gen;
+use ule_isa::reg::Reg;
+
+const A0: Reg = Reg::A0;
+const A1: Reg = Reg::A1;
+const V0: Reg = Reg::V0;
+const T0: Reg = Reg::T0;
+const T1: Reg = Reg::T1;
+const T4: Reg = Reg::T4;
+const T8: Reg = Reg::T8;
+const T9: Reg = Reg::T9;
+const S0: Reg = Reg::S0;
+const S1: Reg = Reg::S1;
+const S2: Reg = Reg::S2;
+const S4: Reg = Reg::S4;
+const ZERO: Reg = Reg::ZERO;
+const RA: Reg = Reg::RA;
+
+/// Curve family selector for the point formulas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// GF(p) short Weierstraß with `a = p-3` (Jacobian coordinates).
+    Prime,
+    /// GF(2^m) Koblitz (`b = 1`), Lopez–Dahab coordinates.
+    Binary {
+        /// Whether the curve coefficient `a` is 1 (K-163) or 0 (rest).
+        a_is_one: bool,
+    },
+}
+
+/// RAM buffer addresses used by the point/scalar/ECDSA codegen (all
+/// allocated by the suite builder).
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs)]
+pub struct PointBufs {
+    pub pt_x: u32,
+    pub pt_y: u32,
+    pub pt_z: u32,
+    pub ft: [u32; 6],
+    pub tab_x: u32,
+    pub tab_y: u32,
+    pub two_px: u32,
+    pub two_py: u32,
+    pub sm_k: u32,
+    pub sm_px: u32,
+    pub sm_py: u32,
+    pub sm_outx: u32,
+    pub sm_outy: u32,
+    pub tw_u1: u32,
+    pub tw_u2: u32,
+    pub tw_qx: u32,
+    pub tw_qy: u32,
+    pub tw_pqx: u32,
+    pub tw_pqy: u32,
+    pub tw_pmx: u32,
+    pub tw_pmy: u32,
+    pub tw_nqy: u32,
+    pub tw_outx: u32,
+    pub tw_outy: u32,
+    pub ecd_t1: u32,
+    pub ecd_t2: u32,
+    pub ecd_t3: u32,
+    pub ecd_x: u32,
+    pub arg_e: u32,
+    pub arg_d: u32,
+    pub arg_k: u32,
+    pub arg_r: u32,
+    pub arg_s: u32,
+    pub arg_qx: u32,
+    pub arg_qy: u32,
+    pub out_r: u32,
+    pub out_s: u32,
+    pub out_ok: u32,
+}
+
+/// Everything the point codegen needs to know.
+#[derive(Clone, Copy, Debug)]
+pub struct PointCfg {
+    /// Curve family.
+    pub family: Family,
+    /// Field element width in words.
+    pub k: usize,
+    /// Group-order width in words (== `k` for every curve in the study).
+    pub kn: usize,
+    /// The buffers.
+    pub bufs: PointBufs,
+}
+
+/// An operand for a bound field-routine call.
+#[derive(Clone, Debug)]
+pub enum Loc {
+    /// A RAM buffer address known at build time.
+    Buf(u32),
+    /// A ROM data label (curve constants).
+    Lbl(&'static str),
+    /// A pointer already held in a register (saved `s*`).
+    Reg(Reg),
+}
+
+/// Emits argument setup plus `jal routine; nop`.
+fn fcall(g: &mut Gen, routine: &str, args: &[(Reg, Loc)]) {
+    for (reg, loc) in args {
+        match loc {
+            Loc::Buf(addr) => g.a.li(*reg, *addr as i64),
+            Loc::Lbl(l) => g.a.la(*reg, l),
+            Loc::Reg(src) => g.a.mov(*reg, *src),
+        }
+    }
+    g.a.jal(routine);
+    g.a.nop();
+}
+
+fn buf(addr: u32) -> Loc {
+    Loc::Buf(addr)
+}
+
+/// Shorthand: `dst = fmul(s1, s2)`.
+fn mul(g: &mut Gen, dst: Loc, s1: Loc, s2: Loc) {
+    fcall(g, "fmul", &[(A0, dst), (A1, s1), (Reg::A2, s2)]);
+}
+fn sqr(g: &mut Gen, dst: Loc, s1: Loc) {
+    fcall(g, "fsqr", &[(A0, dst), (A1, s1)]);
+}
+fn add(g: &mut Gen, dst: Loc, s1: Loc, s2: Loc) {
+    fcall(g, "fadd", &[(A0, dst), (A1, s1), (Reg::A2, s2)]);
+}
+fn sub(g: &mut Gen, dst: Loc, s1: Loc, s2: Loc) {
+    fcall(g, "fsub", &[(A0, dst), (A1, s1), (Reg::A2, s2)]);
+}
+fn copy(g: &mut Gen, dst: Loc, s1: Loc) {
+    fcall(g, "fcopy", &[(A0, dst), (A1, s1)]);
+}
+fn inv(g: &mut Gen, dst: Loc, s1: Loc) {
+    fcall(g, "finv", &[(A0, dst), (A1, s1)]);
+}
+/// `v0 = 1` iff the k-word buffer is all zero (synchronizes first).
+fn isz(g: &mut Gen, s1: Loc) {
+    fcall(g, "fisz", &[(A0, s1)]);
+}
+
+/// Emits `pt_set_identity`: the projective identity into the working
+/// point — `(1, 1, 0)` for Jacobian, `(1, 0, 0)` for LD.
+pub fn emit_pt_set_identity(g: &mut Gen, cfg: &PointCfg) {
+    g.a.label("pt_set_identity");
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    copy(g, buf(cfg.bufs.pt_x), Loc::Lbl("const_one"));
+    match cfg.family {
+        Family::Prime => copy(g, buf(cfg.bufs.pt_y), Loc::Lbl("const_one")),
+        Family::Binary { .. } => copy(g, buf(cfg.bufs.pt_y), Loc::Lbl("const_zero")),
+    }
+    copy(g, buf(cfg.bufs.pt_z), Loc::Lbl("const_zero"));
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits `pt_set_affine`: `a0`=x ptr, `a1`=y ptr lifted into the working
+/// point with `Z = 1`.
+pub fn emit_pt_set_affine(g: &mut Gen, cfg: &PointCfg) {
+    g.a.label("pt_set_affine");
+    g.a.addiu(Reg::SP, Reg::SP, -16);
+    g.a.sw(RA, 12, Reg::SP);
+    g.a.sw(S0, 8, Reg::SP);
+    g.a.sw(S1, 4, Reg::SP);
+    g.a.mov(S0, A0);
+    g.a.mov(S1, A1);
+    copy(g, buf(cfg.bufs.pt_x), Loc::Reg(S0));
+    copy(g, buf(cfg.bufs.pt_y), Loc::Reg(S1));
+    copy(g, buf(cfg.bufs.pt_z), Loc::Lbl("const_one"));
+    g.a.lw(RA, 12, Reg::SP);
+    g.a.lw(S0, 8, Reg::SP);
+    g.a.lw(S1, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 16);
+    g.a.ret();
+}
+
+/// Emits `pdbl`: in-place projective doubling of the working point.
+pub fn emit_pdbl(g: &mut Gen, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    let ident = g.sym("pdbl_ident");
+    let go = g.sym("pdbl_go");
+    g.a.label("pdbl");
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    isz(g, buf(b.pt_z));
+    g.a.beq(V0, ZERO, &go);
+    g.a.nop();
+    g.a.b(&ident); // identity in, identity out
+    g.a.nop();
+    g.a.label(&go);
+    match cfg.family {
+        Family::Prime => {
+            // y == 0 would be a 2-torsion point: result is the identity.
+            let not2t = g.sym("pdbl_n2t");
+            isz(g, buf(b.pt_y));
+            g.a.beq(V0, ZERO, &not2t);
+            g.a.nop();
+            fcall(g, "pt_set_identity", &[]);
+            g.a.b(&ident);
+            g.a.nop();
+            g.a.label(&not2t);
+            let [f1, f2, f3, f4, f5, _] = b.ft;
+            sqr(g, buf(f1), buf(b.pt_y)); // ysq
+            mul(g, buf(f2), buf(b.pt_x), buf(f1));
+            add(g, buf(f2), buf(f2), buf(f2));
+            add(g, buf(f2), buf(f2), buf(f2)); // S = 4 X ysq
+            sqr(g, buf(f3), buf(b.pt_z)); // zsq
+            sub(g, buf(f4), buf(b.pt_x), buf(f3));
+            add(g, buf(f5), buf(b.pt_x), buf(f3));
+            mul(g, buf(f4), buf(f4), buf(f5)); // (X-Z^2)(X+Z^2)
+            add(g, buf(f5), buf(f4), buf(f4));
+            add(g, buf(f4), buf(f4), buf(f5)); // M = 3 * t
+            mul(g, buf(f3), buf(b.pt_y), buf(b.pt_z));
+            add(g, buf(f3), buf(f3), buf(f3)); // Z3 = 2 Y Z
+            sqr(g, buf(b.pt_x), buf(f4));
+            sub(g, buf(b.pt_x), buf(b.pt_x), buf(f2));
+            sub(g, buf(b.pt_x), buf(b.pt_x), buf(f2)); // X3 = M^2 - 2S
+            sub(g, buf(f5), buf(f2), buf(b.pt_x));
+            mul(g, buf(f5), buf(f4), buf(f5)); // M (S - X3)
+            sqr(g, buf(f1), buf(f1));
+            add(g, buf(f1), buf(f1), buf(f1));
+            add(g, buf(f1), buf(f1), buf(f1));
+            add(g, buf(f1), buf(f1), buf(f1)); // 8 ysq^2
+            sub(g, buf(b.pt_y), buf(f5), buf(f1));
+            copy(g, buf(b.pt_z), buf(f3));
+        }
+        Family::Binary { a_is_one } => {
+            let [f1, f2, f3, f4, _, _] = b.ft;
+            sqr(g, buf(f1), buf(b.pt_x)); // x2
+            sqr(g, buf(f2), buf(b.pt_z)); // z2
+            sqr(g, buf(f3), buf(f2));
+            mul(g, buf(f3), buf(f3), Loc::Lbl("const_b")); // b z^4
+            mul(g, buf(f2), buf(f1), buf(f2)); // Z3 = x2 z2
+            sqr(g, buf(f1), buf(f1)); // x^4
+            add(g, buf(b.pt_x), buf(f1), buf(f3)); // X3
+            sqr(g, buf(f4), buf(b.pt_y)); // y^2
+            if a_is_one {
+                add(g, buf(f4), buf(f4), buf(f2)); // + a Z3
+            }
+            add(g, buf(f4), buf(f4), buf(f3)); // + b z^4
+            mul(g, buf(f4), buf(b.pt_x), buf(f4));
+            mul(g, buf(f3), buf(f3), buf(f2)); // b z^4 Z3
+            add(g, buf(b.pt_y), buf(f4), buf(f3));
+            copy(g, buf(b.pt_z), buf(f2));
+        }
+    }
+    g.a.label(&ident);
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits `padd`: mixed projective + affine addition into the working
+/// point. ABI: `a0` = affine x pointer, `a1` = affine y pointer.
+pub fn emit_padd(g: &mut Gen, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    let done = g.sym("padd_done");
+    let from_affine = g.sym("padd_aff");
+    let not_ident = g.sym("padd_ni");
+    let h_zero = g.sym("padd_h0");
+    let h_nonzero = g.sym("padd_hnz");
+    g.a.label("padd");
+    g.a.addiu(Reg::SP, Reg::SP, -16);
+    g.a.sw(RA, 12, Reg::SP);
+    g.a.sw(S0, 8, Reg::SP);
+    g.a.sw(S1, 4, Reg::SP);
+    g.a.mov(S0, A0);
+    g.a.mov(S1, A1);
+    isz(g, buf(b.pt_z));
+    g.a.bne(V0, ZERO, &from_affine);
+    g.a.nop();
+    g.a.b(&not_ident);
+    g.a.nop();
+    g.a.label(&from_affine);
+    copy(g, buf(b.pt_x), Loc::Reg(S0));
+    copy(g, buf(b.pt_y), Loc::Reg(S1));
+    copy(g, buf(b.pt_z), Loc::Lbl("const_one"));
+    g.a.b(&done);
+    g.a.nop();
+    g.a.label(&not_ident);
+    match cfg.family {
+        Family::Prime => {
+            let [f1, f2, f3, f4, f5, f6] = b.ft;
+            sqr(g, buf(f1), buf(b.pt_z)); // z1z1
+            mul(g, buf(f2), Loc::Reg(S0), buf(f1)); // u2
+            mul(g, buf(f3), buf(f1), buf(b.pt_z));
+            mul(g, buf(f3), Loc::Reg(S1), buf(f3)); // s2
+            sub(g, buf(f2), buf(f2), buf(b.pt_x)); // H
+            sub(g, buf(f3), buf(f3), buf(b.pt_y)); // R
+            isz(g, buf(f2));
+            g.a.bne(V0, ZERO, &h_zero);
+            g.a.nop();
+            g.a.b(&h_nonzero);
+            g.a.nop();
+            g.a.label(&h_zero);
+            // H == 0: doubling when R == 0, identity otherwise.
+            isz(g, buf(f3));
+            {
+                let to_ident = g.sym("padd_toid");
+                g.a.beq(V0, ZERO, &to_ident);
+                g.a.nop();
+                fcall(g, "pdbl", &[]);
+                g.a.b(&done);
+                g.a.nop();
+                g.a.label(&to_ident);
+                fcall(g, "pt_set_identity", &[]);
+                g.a.b(&done);
+                g.a.nop();
+            }
+            g.a.label(&h_nonzero);
+            sqr(g, buf(f4), buf(f2)); // HH
+            mul(g, buf(f5), buf(f2), buf(f4)); // HHH
+            mul(g, buf(f4), buf(b.pt_x), buf(f4)); // V
+            sqr(g, buf(b.pt_x), buf(f3));
+            sub(g, buf(b.pt_x), buf(b.pt_x), buf(f5));
+            sub(g, buf(b.pt_x), buf(b.pt_x), buf(f4));
+            sub(g, buf(b.pt_x), buf(b.pt_x), buf(f4)); // X3
+            sub(g, buf(f6), buf(f4), buf(b.pt_x));
+            mul(g, buf(f6), buf(f3), buf(f6)); // R (V - X3)
+            mul(g, buf(f5), buf(b.pt_y), buf(f5)); // Y1 HHH
+            sub(g, buf(b.pt_y), buf(f6), buf(f5));
+            mul(g, buf(b.pt_z), buf(b.pt_z), buf(f2)); // Z3 = Z H
+        }
+        Family::Binary { a_is_one } => {
+            let [f1, f2, f3, f4, f5, f6] = b.ft;
+            sqr(g, buf(f1), buf(b.pt_z)); // z1sq
+            mul(g, buf(f2), Loc::Reg(S1), buf(f1));
+            add(g, buf(f2), buf(f2), buf(b.pt_y)); // A
+            mul(g, buf(f3), Loc::Reg(S0), buf(b.pt_z));
+            add(g, buf(f3), buf(f3), buf(b.pt_x)); // B
+            isz(g, buf(f3));
+            g.a.bne(V0, ZERO, &h_zero);
+            g.a.nop();
+            g.a.b(&h_nonzero);
+            g.a.nop();
+            g.a.label(&h_zero);
+            isz(g, buf(f2));
+            {
+                let to_dbl = g.sym("padd_todbl");
+                g.a.bne(V0, ZERO, &to_dbl);
+                g.a.nop();
+                fcall(g, "pt_set_identity", &[]);
+                g.a.b(&done);
+                g.a.nop();
+                g.a.label(&to_dbl);
+                fcall(g, "pdbl", &[]);
+                g.a.b(&done);
+                g.a.nop();
+            }
+            g.a.label(&h_nonzero);
+            mul(g, buf(f4), buf(b.pt_z), buf(f3)); // C
+            sqr(g, buf(f5), buf(f3)); // B^2
+            if a_is_one {
+                add(g, buf(f6), buf(f4), buf(f1)); // C + a z1sq
+            } else {
+                copy(g, buf(f6), buf(f4));
+            }
+            mul(g, buf(f5), buf(f5), buf(f6)); // D
+            sqr(g, buf(f6), buf(f4)); // Z3
+            mul(g, buf(f4), buf(f2), buf(f4)); // E = A C
+            sqr(g, buf(b.pt_x), buf(f2));
+            add(g, buf(b.pt_x), buf(b.pt_x), buf(f5));
+            add(g, buf(b.pt_x), buf(b.pt_x), buf(f4)); // X3
+            mul(g, buf(f5), Loc::Reg(S0), buf(f6));
+            add(g, buf(f5), buf(f5), buf(b.pt_x)); // F
+            add(g, buf(f1), Loc::Reg(S0), Loc::Reg(S1)); // x2 + y2
+            sqr(g, buf(f2), buf(f6));
+            mul(g, buf(f1), buf(f1), buf(f2)); // G
+            add(g, buf(f4), buf(f4), buf(f6)); // E + Z3
+            mul(g, buf(f4), buf(f4), buf(f5));
+            add(g, buf(b.pt_y), buf(f4), buf(f1)); // Y3
+            copy(g, buf(b.pt_z), buf(f6));
+        }
+    }
+    g.a.label(&done);
+    g.a.lw(RA, 12, Reg::SP);
+    g.a.lw(S0, 8, Reg::SP);
+    g.a.lw(S1, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 16);
+    g.a.ret();
+}
+
+/// Emits `pt_to_affine`: normalizes the working point into the buffers
+/// given by `a0` (x) / `a1` (y); the one inversion of a scalar
+/// multiplication. On the identity, writes zeros (callers in ECDSA treat
+/// that as the invalid-signature case). Ends with an `fsync`, so Pete may
+/// read the outputs immediately.
+pub fn emit_pt_to_affine(g: &mut Gen, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    let done = g.sym("toaff_done");
+    let ident = g.sym("toaff_ident");
+    g.a.label("pt_to_affine");
+    g.a.addiu(Reg::SP, Reg::SP, -16);
+    g.a.sw(RA, 12, Reg::SP);
+    g.a.sw(S0, 8, Reg::SP);
+    g.a.sw(S1, 4, Reg::SP);
+    g.a.mov(S0, A0);
+    g.a.mov(S1, A1);
+    isz(g, buf(b.pt_z));
+    g.a.bne(V0, ZERO, &ident);
+    g.a.nop();
+    let [f1, f2, _, _, _, _] = b.ft;
+    match cfg.family {
+        Family::Prime => {
+            inv(g, buf(f1), buf(b.pt_z));
+            sqr(g, buf(f2), buf(f1));
+            mul(g, Loc::Reg(S0), buf(b.pt_x), buf(f2));
+            mul(g, buf(f2), buf(f2), buf(f1));
+            mul(g, Loc::Reg(S1), buf(b.pt_y), buf(f2));
+        }
+        Family::Binary { .. } => {
+            inv(g, buf(f1), buf(b.pt_z));
+            mul(g, Loc::Reg(S0), buf(b.pt_x), buf(f1));
+            sqr(g, buf(f1), buf(f1));
+            mul(g, Loc::Reg(S1), buf(b.pt_y), buf(f1));
+        }
+    }
+    fcall(g, "fsync", &[]);
+    g.a.b(&done);
+    g.a.nop();
+    g.a.label(&ident);
+    copy(g, Loc::Reg(S0), Loc::Lbl("const_zero"));
+    copy(g, Loc::Reg(S1), Loc::Lbl("const_zero"));
+    g.a.label(&done);
+    g.a.lw(RA, 12, Reg::SP);
+    g.a.lw(S0, 8, Reg::SP);
+    g.a.lw(S1, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 16);
+    g.a.ret();
+}
+
+/// Emits an inline `v0 = bit(buffer, idx_reg)` fragment. Clobbers t0, t1.
+pub fn emit_get_bit_for(g: &mut Gen, buf_addr: u32, idx: Reg) {
+    emit_get_bit(g, buf_addr, idx)
+}
+
+fn emit_get_bit(g: &mut Gen, buf_addr: u32, idx: Reg) {
+    g.a.srl(T0, idx, 5);
+    g.a.sll(T0, T0, 2);
+    g.a.li(T1, buf_addr as i64);
+    g.a.addu(T0, T0, T1);
+    g.a.lw(T0, 0, T0);
+    g.a.andi(T1, idx, 31);
+    g.a.srlv(T0, T0, T1);
+    g.a.andi(V0, T0, 1);
+}
+
+/// Emits an inline "t8 = bit length of the `kn`-word buffer" fragment.
+/// Clobbers t0..t4, t9.
+pub fn emit_bitlen_for(g: &mut Gen, buf_addr: u32, kn: usize) {
+    emit_bitlen_buf(g, buf_addr, kn)
+}
+
+fn emit_bitlen_buf(g: &mut Gen, buf_addr: u32, kn: usize) {
+    let scan = g.sym("sbl_scan");
+    let found = g.sym("sbl_found");
+    let bitloop = g.sym("sbl_bit");
+    let done = g.sym("sbl_done");
+    let z = g.sym("sbl_z");
+    g.a.li(T1, (buf_addr + ((kn - 1) * 4) as u32) as i64);
+    g.a.li(T9, kn as i64);
+    g.a.label(&scan);
+    g.a.lw(Reg::T2, 0, T1);
+    g.a.bne(Reg::T2, ZERO, &found);
+    g.a.nop();
+    g.a.addiu(T1, T1, -4);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &scan);
+    g.a.nop();
+    g.a.b(&done);
+    g.a.li(T8, 0); // delay: zero value
+    g.a.label(&found);
+    g.a.li(Reg::T3, 32);
+    g.a.label(&bitloop);
+    g.a.addiu(T4, Reg::T3, -1);
+    g.a.srlv(T4, Reg::T2, T4);
+    g.a.bne(T4, ZERO, &done);
+    g.a.nop();
+    g.a.b(&bitloop);
+    g.a.addiu(Reg::T3, Reg::T3, -1); // delay
+    g.a.label(&done);
+    g.a.beq(T9, ZERO, &z);
+    g.a.nop();
+    g.a.addiu(T4, T9, -1);
+    g.a.sll(T4, T4, 5);
+    g.a.addu(T8, T4, Reg::T3);
+    g.a.label(&z);
+}
+
+/// Emits `scalar_mul`: the left-to-right sliding-window multiplication
+/// (width 3, odd multiples 1/3/5/7 precomputed at runtime, §4.1) of the
+/// base point in `sm_px/sm_py` by the scalar in `sm_k`, leaving the
+/// affine result in `sm_outx/sm_outy`.
+pub fn emit_scalar_mul(g: &mut Gen, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    let k = cfg.k;
+    let mainloop = g.sym("sm_main");
+    let window = g.sym("sm_win");
+    let jscan = g.sym("sm_jscan");
+    let jdone = g.sym("sm_jdone");
+    let vloop = g.sym("sm_vloop");
+    let vdone = g.sym("sm_vdone");
+    let dloop = g.sym("sm_dloop");
+    let out = g.sym("sm_out");
+    g.a.label("scalar_mul");
+    g.a.addiu(Reg::SP, Reg::SP, -32);
+    g.a.sw(RA, 28, Reg::SP);
+    g.a.sw(S0, 24, Reg::SP);
+    g.a.sw(S1, 20, Reg::SP);
+    g.a.sw(S2, 16, Reg::SP);
+    g.a.sw(Reg::S3, 12, Reg::SP);
+    g.a.sw(S4, 8, Reg::SP);
+    // Precompute the odd-multiple table.
+    copy(g, buf(b.tab_x), buf(b.sm_px));
+    copy(g, buf(b.tab_y), buf(b.sm_py));
+    // 2P
+    fcall(
+        g,
+        "pt_set_affine",
+        &[(A0, buf(b.sm_px)), (A1, buf(b.sm_py))],
+    );
+    fcall(g, "pdbl", &[]);
+    fcall(
+        g,
+        "pt_to_affine",
+        &[(A0, buf(b.two_px)), (A1, buf(b.two_py))],
+    );
+    for i in 1..4u32 {
+        let prev_x = b.tab_x + (i - 1) * (k as u32) * 4;
+        let prev_y = b.tab_y + (i - 1) * (k as u32) * 4;
+        let cur_x = b.tab_x + i * (k as u32) * 4;
+        let cur_y = b.tab_y + i * (k as u32) * 4;
+        fcall(g, "pt_set_affine", &[(A0, buf(prev_x)), (A1, buf(prev_y))]);
+        fcall(g, "padd", &[(A0, buf(b.two_px)), (A1, buf(b.two_py))]);
+        fcall(g, "pt_to_affine", &[(A0, buf(cur_x)), (A1, buf(cur_y))]);
+    }
+    // q = identity; i = bitlen(k) - 1
+    fcall(g, "pt_set_identity", &[]);
+    emit_bitlen_buf(g, b.sm_k, cfg.kn);
+    g.a.addiu(S0, T8, -1); // i (signed)
+    g.a.label(&mainloop);
+    g.a.bltz(S0, &out);
+    g.a.nop();
+    emit_get_bit(g, b.sm_k, S0);
+    g.a.bne(V0, ZERO, &window);
+    g.a.nop();
+    fcall(g, "pdbl", &[]);
+    g.a.addiu(S0, S0, -1);
+    g.a.b(&mainloop);
+    g.a.nop();
+    g.a.label(&window);
+    // j = max(i - 2, 0); while !bit(j): j += 1
+    g.a.addiu(S1, S0, -2);
+    g.a.bgez(S1, &jscan);
+    g.a.nop();
+    g.a.li(S1, 0);
+    g.a.label(&jscan);
+    emit_get_bit(g, b.sm_k, S1);
+    g.a.bne(V0, ZERO, &jdone);
+    g.a.nop();
+    g.a.b(&jscan);
+    g.a.addiu(S1, S1, 1); // delay
+    g.a.label(&jdone);
+    // value = bits j..=i (s2); scan with s4 from i down to j
+    g.a.li(S2, 0);
+    g.a.mov(S4, S0);
+    g.a.label(&vloop);
+    emit_get_bit(g, b.sm_k, S4);
+    g.a.sll(S2, S2, 1);
+    g.a.or(S2, S2, V0);
+    g.a.beq(S4, S1, &vdone);
+    g.a.nop();
+    g.a.b(&vloop);
+    g.a.addiu(S4, S4, -1); // delay
+    g.a.label(&vdone);
+    // width doubles
+    g.a.subu(S4, S0, S1);
+    g.a.addiu(S4, S4, 1);
+    g.a.label(&dloop);
+    fcall(g, "pdbl", &[]);
+    g.a.addiu(S4, S4, -1);
+    g.a.bne(S4, ZERO, &dloop);
+    g.a.nop();
+    // padd(table[value >> 1])
+    g.a.srl(T0, S2, 1);
+    g.a.li(T1, (k * 4) as i64);
+    g.a.multu(T0, T1);
+    g.a.mflo(T0);
+    g.a.li(A0, b.tab_x as i64);
+    g.a.addu(A0, A0, T0);
+    g.a.li(A1, b.tab_y as i64);
+    g.a.addu(A1, A1, T0);
+    g.a.jal("padd");
+    g.a.nop();
+    // i = j - 1
+    g.a.addiu(S0, S1, -1);
+    g.a.b(&mainloop);
+    g.a.nop();
+    g.a.label(&out);
+    fcall(
+        g,
+        "pt_to_affine",
+        &[(A0, buf(b.sm_outx)), (A1, buf(b.sm_outy))],
+    );
+    g.a.lw(RA, 28, Reg::SP);
+    g.a.lw(S0, 24, Reg::SP);
+    g.a.lw(S1, 20, Reg::SP);
+    g.a.lw(S2, 16, Reg::SP);
+    g.a.lw(Reg::S3, 12, Reg::SP);
+    g.a.lw(S4, 8, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 32);
+    g.a.ret();
+}
+
+/// Emits `twin_mul`: the simultaneous two-scalar multiplication
+/// `u1*G + u2*Q` (§4.1), with `P+Q` (used) and `P-Q` (computed for cost
+/// parity with the paper's signed-digit variant) precomputed. Inputs in
+/// `tw_u1/tw_u2/tw_qx/tw_qy`; result in `tw_outx/tw_outy`.
+pub fn emit_twin_mul(g: &mut Gen, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    let mainloop = g.sym("tw_main");
+    let out = g.sym("tw_out");
+    let after = g.sym("tw_after");
+    let add_q = g.sym("tw_addq");
+    let add_g = g.sym("tw_addg");
+    let add_pq = g.sym("tw_addpq");
+    g.a.label("twin_mul");
+    g.a.addiu(Reg::SP, Reg::SP, -16);
+    g.a.sw(RA, 12, Reg::SP);
+    g.a.sw(S0, 8, Reg::SP);
+    g.a.sw(S1, 4, Reg::SP);
+    // P + Q
+    fcall(
+        g,
+        "pt_set_affine",
+        &[(A0, Loc::Lbl("const_gx")), (A1, Loc::Lbl("const_gy"))],
+    );
+    fcall(g, "padd", &[(A0, buf(b.tw_qx)), (A1, buf(b.tw_qy))]);
+    fcall(
+        g,
+        "pt_to_affine",
+        &[(A0, buf(b.tw_pqx)), (A1, buf(b.tw_pqy))],
+    );
+    // P - Q (cost parity; result unused)
+    match cfg.family {
+        Family::Prime => sub(g, buf(b.tw_nqy), Loc::Lbl("const_zero"), buf(b.tw_qy)),
+        Family::Binary { .. } => add(g, buf(b.tw_nqy), buf(b.tw_qx), buf(b.tw_qy)),
+    }
+    fcall(
+        g,
+        "pt_set_affine",
+        &[(A0, Loc::Lbl("const_gx")), (A1, Loc::Lbl("const_gy"))],
+    );
+    fcall(g, "padd", &[(A0, buf(b.tw_qx)), (A1, buf(b.tw_nqy))]);
+    fcall(
+        g,
+        "pt_to_affine",
+        &[(A0, buf(b.tw_pmx)), (A1, buf(b.tw_pmy))],
+    );
+    // bits = max(bitlen(u1), bitlen(u2)) - 1
+    emit_bitlen_buf(g, b.tw_u1, cfg.kn);
+    g.a.mov(S0, T8);
+    emit_bitlen_buf(g, b.tw_u2, cfg.kn);
+    g.a.slt(T0, S0, T8);
+    {
+        let keep = g.sym("tw_keep");
+        g.a.beq(T0, ZERO, &keep);
+        g.a.nop();
+        g.a.mov(S0, T8);
+        g.a.label(&keep);
+    }
+    g.a.addiu(S0, S0, -1); // i
+    fcall(g, "pt_set_identity", &[]);
+    g.a.label(&mainloop);
+    g.a.bltz(S0, &out);
+    g.a.nop();
+    fcall(g, "pdbl", &[]);
+    emit_get_bit(g, b.tw_u1, S0);
+    g.a.mov(S1, V0); // b1
+    emit_get_bit(g, b.tw_u2, S0);
+    // (b1, b2) dispatch
+    g.a.and(T0, S1, V0);
+    g.a.bne(T0, ZERO, &add_pq);
+    g.a.nop();
+    g.a.bne(S1, ZERO, &add_g);
+    g.a.nop();
+    g.a.bne(V0, ZERO, &add_q);
+    g.a.nop();
+    g.a.b(&after);
+    g.a.nop();
+    g.a.label(&add_pq);
+    fcall(g, "padd", &[(A0, buf(b.tw_pqx)), (A1, buf(b.tw_pqy))]);
+    g.a.b(&after);
+    g.a.nop();
+    g.a.label(&add_g);
+    fcall(
+        g,
+        "padd",
+        &[(A0, Loc::Lbl("const_gx")), (A1, Loc::Lbl("const_gy"))],
+    );
+    g.a.b(&after);
+    g.a.nop();
+    g.a.label(&add_q);
+    fcall(g, "padd", &[(A0, buf(b.tw_qx)), (A1, buf(b.tw_qy))]);
+    g.a.label(&after);
+    g.a.addiu(S0, S0, -1);
+    g.a.b(&mainloop);
+    g.a.nop();
+    g.a.label(&out);
+    fcall(
+        g,
+        "pt_to_affine",
+        &[(A0, buf(b.tw_outx)), (A1, buf(b.tw_outy))],
+    );
+    g.a.lw(RA, 12, Reg::SP);
+    g.a.lw(S0, 8, Reg::SP);
+    g.a.lw(S1, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 16);
+    g.a.ret();
+}
+
+/// Emits the `x mod n` reduction used to form `r` (conditional
+/// subtraction loop; the x-coordinate is < p ~ h*n, so a handful of
+/// subtractions suffice). Inline fragment: reduces `buf_addr` (`kn`
+/// words) in place against `const_n`.
+fn emit_mod_n_inplace(g: &mut Gen, buf_addr: u32, kn: usize) {
+    let l = g.sym("modn");
+    let done = g.sym("modn_done");
+    g.a.label(&l);
+    g.a.li(T4, buf_addr as i64);
+    g.a.la(T8, "const_n");
+    emit_cmp_ge_or(g, T4, T8, kn, &done);
+    g.a.li(T4, buf_addr as i64);
+    g.a.la(T8, "const_n");
+    emit_sub_loop(g, T4, T8, kn);
+    g.a.b(&l);
+    g.a.nop();
+    g.a.label(&done);
+}
+
+/// Emits `ecdsa_sign`: the full signature computation (§4.1) —
+/// `X = kG` via the sliding window, `r = x(X) mod n`,
+/// `s = k^{-1}(e + r d) mod n`. Inputs `arg_e/arg_d/arg_k`; outputs
+/// `out_r/out_s`.
+pub fn emit_ecdsa_sign(g: &mut Gen, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    g.a.label("ecdsa_sign");
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    // Scalar multiplication kG.
+    copy(g, buf(b.sm_px), Loc::Lbl("const_gx"));
+    copy(g, buf(b.sm_py), Loc::Lbl("const_gy"));
+    // The scalar is protocol data (not a field element): plain copy.
+    fcall(
+        g,
+        "ncopy",
+        &[(A0, buf(b.sm_k)), (A1, buf(b.arg_k))],
+    );
+    fcall(g, "scalar_mul", &[]);
+    // r = x mod n (leaving the Montgomery domain first if applicable).
+    fcall(g, "fout", &[(A0, buf(b.ecd_x)), (A1, buf(b.sm_outx))]);
+    fcall(g, "ncopy", &[(A0, buf(b.out_r)), (A1, buf(b.ecd_x))]);
+    emit_mod_n_inplace(g, b.out_r, cfg.kn);
+    // s = k^{-1} (e + r d) mod n
+    fcall(g, "ninv", &[(A0, buf(b.ecd_t1)), (A1, buf(b.arg_k))]);
+    fcall(
+        g,
+        "nmul",
+        &[(A0, buf(b.ecd_t2)), (A1, buf(b.out_r)), (Reg::A2, buf(b.arg_d))],
+    );
+    fcall(
+        g,
+        "nadd",
+        &[(A0, buf(b.ecd_t3)), (A1, buf(b.arg_e)), (Reg::A2, buf(b.ecd_t2))],
+    );
+    fcall(
+        g,
+        "nmul",
+        &[(A0, buf(b.out_s)), (A1, buf(b.ecd_t1)), (Reg::A2, buf(b.ecd_t3))],
+    );
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits `ecdsa_verify`: `w = s^{-1}`, `u1 = e w`, `u2 = r w`,
+/// `X = u1 G + u2 Q` via the twin multiplication, accept iff
+/// `x(X) mod n == r` (§4.1). Inputs `arg_e/arg_r/arg_s/arg_qx/arg_qy`;
+/// output `out_ok` (1 accept / 0 reject).
+pub fn emit_ecdsa_verify(g: &mut Gen, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    let reject = g.sym("ver_rej");
+    let finish = g.sym("ver_fin");
+    let cmp = g.sym("ver_cmp");
+    g.a.label("ecdsa_verify");
+    g.a.addiu(Reg::SP, Reg::SP, -8);
+    g.a.sw(RA, 4, Reg::SP);
+    // w = s^{-1} mod n; u1 = e w; u2 = r w
+    fcall(g, "ninv", &[(A0, buf(b.ecd_t1)), (A1, buf(b.arg_s))]);
+    fcall(
+        g,
+        "nmul",
+        &[(A0, buf(b.tw_u1)), (A1, buf(b.arg_e)), (Reg::A2, buf(b.ecd_t1))],
+    );
+    fcall(
+        g,
+        "nmul",
+        &[(A0, buf(b.tw_u2)), (A1, buf(b.arg_r)), (Reg::A2, buf(b.ecd_t1))],
+    );
+    // Q into the twin buffers (entering the Montgomery domain when
+    // applicable).
+    fcall(g, "fin", &[(A0, buf(b.tw_qx)), (A1, buf(b.arg_qx))]);
+    fcall(g, "fin", &[(A0, buf(b.tw_qy)), (A1, buf(b.arg_qy))]);
+    fcall(g, "twin_mul", &[]);
+    fcall(g, "fout", &[(A0, buf(b.ecd_x)), (A1, buf(b.tw_outx))]);
+    emit_mod_n_inplace(g, b.ecd_x, cfg.kn);
+    // out_ok = (ecd_x == arg_r)
+    g.a.li(T4, b.ecd_x as i64);
+    g.a.li(T8, b.arg_r as i64);
+    g.a.li(T9, cfg.kn as i64);
+    g.a.label(&cmp);
+    g.a.lw(T0, 0, T4);
+    g.a.lw(T1, 0, T8);
+    g.a.bne(T0, T1, &reject);
+    g.a.nop();
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T8, T8, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &cmp);
+    g.a.nop();
+    g.a.li(T0, 1);
+    g.a.b(&finish);
+    g.a.nop();
+    g.a.label(&reject);
+    g.a.li(T0, 0);
+    g.a.label(&finish);
+    g.a.li(T4, b.out_ok as i64);
+    g.a.sw(T0, 0, T4);
+    g.a.lw(RA, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits every point/scalar/ECDSA routine for the configuration. When
+/// `include_point_ops` is false (the Billie configuration, which brings
+/// its own register-resident point code), only the ECDSA protocol layer
+/// is emitted.
+pub fn emit_point_suite(g: &mut Gen, cfg: &PointCfg, include_point_ops: bool) {
+    if include_point_ops {
+        emit_pt_set_identity(g, cfg);
+        emit_pt_set_affine(g, cfg);
+        emit_pdbl(g, cfg);
+        emit_padd(g, cfg);
+        emit_pt_to_affine(g, cfg);
+        emit_scalar_mul(g, cfg);
+        emit_twin_mul(g, cfg);
+    }
+    emit_ecdsa_sign(g, cfg);
+    emit_ecdsa_verify(g, cfg);
+}

@@ -1,0 +1,356 @@
+//! Differential tests: the prime-field assembly routines running on the
+//! Pete simulator versus the `ule-mpmath` host reference.
+
+use ule_isa::reg::Reg;
+use ule_mpmath::fp::PrimeField;
+use ule_mpmath::mont::Montgomery;
+use ule_mpmath::mp::Mp;
+use ule_mpmath::nist::NistPrime;
+use ule_pete::cpu::{Machine, MachineConfig};
+use ule_swlib::fp::{
+    emit_cios, emit_eea_inv, emit_fadd, emit_fmul_os, emit_fmul_ps_ext, emit_fred, emit_fsqr_ps_ext,
+    emit_fsub, EeaBufs,
+};
+use ule_swlib::gen::Gen;
+use ule_swlib::harness::{read_buf, run_entry, write_buf};
+
+/// Builds a test program exposing one entry per field routine.
+struct FieldProgram {
+    program: ule_isa::asm::Program,
+    k: usize,
+}
+
+fn build_field_program(field: &PrimeField) -> FieldProgram {
+    let k = field.k();
+    let mut g = Gen::new();
+    // RAM buffers.
+    g.a.ram_alloc("arg_a", k as u32);
+    g.a.ram_alloc("arg_b", k as u32);
+    g.a.ram_alloc("out", k as u32);
+    g.a.ram_alloc("wide_in", 2 * k as u32);
+    let wide = g.a.ram_alloc("wide", 2 * k as u32);
+    let acc = g.a.ram_alloc("acc", k as u32 + 2);
+    let u = g.a.ram_alloc("eea_u", k as u32 + 1);
+    let v = g.a.ram_alloc("eea_v", k as u32 + 1);
+    let x1 = g.a.ram_alloc("eea_x1", k as u32 + 1);
+    let x2 = g.a.ram_alloc("eea_x2", k as u32 + 1);
+
+    // Entry points.
+    for (entry, routine, two_args) in [
+        ("main_fadd", "fadd", true),
+        ("main_fsub", "fsub", true),
+        ("main_fmul", "fmul", true),
+        ("main_finv", "finv_modarg", false),
+    ] {
+        g.a.label(entry);
+        g.a.la(Reg::A0, "out");
+        g.a.la(Reg::A1, "arg_a");
+        if two_args {
+            g.a.la(Reg::A2, "arg_b");
+        } else {
+            g.a.la(Reg::A2, "const_p");
+        }
+        g.a.jal(routine);
+        g.a.nop();
+        g.a.brk(0);
+    }
+    g.a.label("main_fred");
+    g.a.la(Reg::A0, "wide_in");
+    g.a.la(Reg::A1, "out");
+    g.a.jal("fred");
+    g.a.nop();
+    g.a.brk(0);
+
+    // Routines.
+    emit_fadd(&mut g, "fadd", k, "const_p");
+    emit_fsub(&mut g, "fsub", k, "const_p");
+    emit_fmul_os(&mut g, "fmul", k, wide, "fred");
+    emit_fred(&mut g, "fred", field, acc, "const_p");
+    emit_eea_inv(&mut g, "finv_modarg", k, EeaBufs { u, v, x1, x2 });
+
+    // Constants.
+    g.a.data_label("const_p");
+    g.a.words(&field.modulus().to_limbs(k));
+
+    let program = g.a.link("main_fadd").expect("link");
+    FieldProgram { program, k }
+}
+
+fn sample(field: &PrimeField, seed: u64) -> Vec<u32> {
+    // xorshift-filled reduced element
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut limbs = vec![0u32; field.k() + 1];
+    for l in limbs.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *l = x as u32;
+    }
+    field.from_mp(&Mp::from_limbs(&limbs)).limbs().to_vec()
+}
+
+fn run_binop(fp: &FieldProgram, entry: &str, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut m = Machine::new(&fp.program, MachineConfig::baseline());
+    write_buf(&mut m, &fp.program, "arg_a", a);
+    write_buf(&mut m, &fp.program, "arg_b", b);
+    run_entry(&mut m, &fp.program, entry, 50_000_000);
+    read_buf(&m, &fp.program, "out", fp.k)
+}
+
+#[test]
+fn fadd_fsub_match_host_all_fields() {
+    for p in NistPrime::ALL {
+        let field = PrimeField::nist(p);
+        let fp = build_field_program(&field);
+        for seed in 0..4u64 {
+            let a = sample(&field, seed + 1);
+            let b = sample(&field, seed + 100);
+            let ea = field.from_limbs(&a);
+            let eb = field.from_limbs(&b);
+            assert_eq!(
+                run_binop(&fp, "main_fadd", &a, &b),
+                field.add(&ea, &eb).limbs(),
+                "{} fadd seed {seed}",
+                p.name()
+            );
+            assert_eq!(
+                run_binop(&fp, "main_fsub", &a, &b),
+                field.sub(&ea, &eb).limbs(),
+                "{} fsub seed {seed}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fadd_edge_cases() {
+    let field = PrimeField::nist(NistPrime::P192);
+    let fp = build_field_program(&field);
+    let k = field.k();
+    let zero = vec![0u32; k];
+    let pm1 = field.modulus().sub(&Mp::one()).to_limbs(k);
+    // (p-1) + (p-1) mod p = p-2
+    let expect = field.modulus().sub(&Mp::from_u64(2)).to_limbs(k);
+    assert_eq!(run_binop(&fp, "main_fadd", &pm1, &pm1), expect);
+    // 0 - (p-1) = 1
+    let mut one = vec![0u32; k];
+    one[0] = 1;
+    assert_eq!(run_binop(&fp, "main_fsub", &zero, &pm1), one);
+    // 0 + 0 = 0
+    assert_eq!(run_binop(&fp, "main_fadd", &zero, &zero), zero);
+}
+
+#[test]
+fn fmul_matches_host_all_fields() {
+    for p in NistPrime::ALL {
+        let field = PrimeField::nist(p);
+        let fp = build_field_program(&field);
+        for seed in 0..3u64 {
+            let a = sample(&field, seed + 7);
+            let b = sample(&field, seed + 77);
+            let expect = field
+                .mul(&field.from_limbs(&a), &field.from_limbs(&b))
+                .limbs()
+                .to_vec();
+            assert_eq!(
+                run_binop(&fp, "main_fmul", &a, &b),
+                expect,
+                "{} fmul seed {seed}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fred_matches_host_on_extreme_inputs() {
+    for p in NistPrime::ALL {
+        let field = PrimeField::nist(p);
+        let fp = build_field_program(&field);
+        let k = field.k();
+        let cases: Vec<Vec<u32>> = vec![
+            vec![0u32; 2 * k],
+            vec![u32::MAX; 2 * k],
+            {
+                let mut v = vec![0u32; 2 * k];
+                v[2 * k - 1] = u32::MAX;
+                v
+            },
+        ];
+        for wide in cases {
+            let mut m = Machine::new(&fp.program, MachineConfig::baseline());
+            write_buf(&mut m, &fp.program, "wide_in", &wide);
+            run_entry(&mut m, &fp.program, "main_fred", 10_000_000);
+            let got = read_buf(&m, &fp.program, "out", k);
+            let expect = field.reduce_wide(&wide).limbs().to_vec();
+            assert_eq!(got, expect, "{} fred", p.name());
+        }
+    }
+}
+
+#[test]
+fn finv_matches_host() {
+    for p in [NistPrime::P192, NistPrime::P521] {
+        let field = PrimeField::nist(p);
+        let fp = build_field_program(&field);
+        for seed in 0..2u64 {
+            let a = sample(&field, seed + 13);
+            let expect = field
+                .inv(&field.from_limbs(&a))
+                .expect("nonzero")
+                .limbs()
+                .to_vec();
+            let got = run_binop(&fp, "main_finv", &a, &a);
+            assert_eq!(got, expect, "{} finv seed {seed}", p.name());
+        }
+    }
+}
+
+/// Builds an ISA-extended program with product-scanning mul and squaring.
+fn build_ext_program(field: &PrimeField) -> FieldProgram {
+    let k = field.k();
+    let mut g = Gen::new();
+    g.a.ram_alloc("arg_a", k as u32);
+    g.a.ram_alloc("arg_b", k as u32);
+    g.a.ram_alloc("out", k as u32);
+    let wide = g.a.ram_alloc("wide", 2 * k as u32);
+    let acc = g.a.ram_alloc("acc", k as u32 + 2);
+    g.a.label("main_fmul");
+    g.a.la(Reg::A0, "out");
+    g.a.la(Reg::A1, "arg_a");
+    g.a.la(Reg::A2, "arg_b");
+    g.a.jal("fmul");
+    g.a.nop();
+    g.a.brk(0);
+    g.a.label("main_fsqr");
+    g.a.la(Reg::A0, "out");
+    g.a.la(Reg::A1, "arg_a");
+    g.a.jal("fsqr");
+    g.a.nop();
+    g.a.brk(0);
+    emit_fmul_ps_ext(&mut g, "fmul", k, wide, "fred");
+    emit_fsqr_ps_ext(&mut g, "fsqr", k, wide, "fred");
+    emit_fred(&mut g, "fred", field, acc, "const_p");
+    g.a.data_label("const_p");
+    g.a.words(&field.modulus().to_limbs(k));
+    FieldProgram {
+        program: g.a.link("main_fmul").expect("link"),
+        k,
+    }
+}
+
+#[test]
+fn ext_product_scanning_matches_host() {
+    for p in NistPrime::ALL {
+        let field = PrimeField::nist(p);
+        let fp = build_ext_program(&field);
+        for seed in 0..3u64 {
+            let a = sample(&field, seed + 21);
+            let b = sample(&field, seed + 210);
+            let expect = field
+                .mul(&field.from_limbs(&a), &field.from_limbs(&b))
+                .limbs()
+                .to_vec();
+            let mut m = Machine::new(&fp.program, MachineConfig::isa_ext());
+            write_buf(&mut m, &fp.program, "arg_a", &a);
+            write_buf(&mut m, &fp.program, "arg_b", &b);
+            run_entry(&mut m, &fp.program, "main_fmul", 10_000_000);
+            assert_eq!(
+                read_buf(&m, &fp.program, "out", fp.k),
+                expect,
+                "{} ext fmul seed {seed}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ext_squaring_matches_host() {
+    for p in NistPrime::ALL {
+        let field = PrimeField::nist(p);
+        let fp = build_ext_program(&field);
+        for seed in 0..3u64 {
+            let a = sample(&field, seed + 31);
+            let expect = field.sqr(&field.from_limbs(&a)).limbs().to_vec();
+            let mut m = Machine::new(&fp.program, MachineConfig::isa_ext());
+            write_buf(&mut m, &fp.program, "arg_a", &a);
+            run_entry(&mut m, &fp.program, "main_fsqr", 10_000_000);
+            assert_eq!(
+                read_buf(&m, &fp.program, "out", fp.k),
+                expect,
+                "{} ext fsqr seed {seed}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ext_multiplication_is_faster_than_baseline() {
+    let field = PrimeField::nist(NistPrime::P192);
+    let base = build_field_program(&field);
+    let ext = build_ext_program(&field);
+    let a = sample(&field, 42);
+    let b = sample(&field, 43);
+    let mut mb = Machine::new(&base.program, MachineConfig::baseline());
+    write_buf(&mut mb, &base.program, "arg_a", &a);
+    write_buf(&mut mb, &base.program, "arg_b", &b);
+    let base_cycles = run_entry(&mut mb, &base.program, "main_fmul", 10_000_000);
+    let mut me = Machine::new(&ext.program, MachineConfig::isa_ext());
+    write_buf(&mut me, &ext.program, "arg_a", &a);
+    write_buf(&mut me, &ext.program, "arg_b", &b);
+    let ext_cycles = run_entry(&mut me, &ext.program, "main_fmul", 10_000_000);
+    assert!(
+        ext_cycles < base_cycles,
+        "ext {ext_cycles} !< baseline {base_cycles}"
+    );
+}
+
+#[test]
+fn cios_matches_host_for_group_order() {
+    // The P-192 group order: an arbitrary odd modulus with no structure.
+    let n = Mp::from_hex("ffffffffffffffffffffffff99def836146bc9b1b4d22831").unwrap();
+    let k = 6;
+    let mont = Montgomery::new(&n);
+    let mut g = Gen::new();
+    g.a.ram_alloc("arg_a", k);
+    g.a.ram_alloc("arg_b", k);
+    g.a.ram_alloc("out", k);
+    let t = g.a.ram_alloc("cios_t", k + 2);
+    g.a.label("main_cios");
+    g.a.la(Reg::A0, "out");
+    g.a.la(Reg::A1, "arg_a");
+    g.a.la(Reg::A2, "arg_b");
+    g.a.jal("cios");
+    g.a.nop();
+    g.a.brk(0);
+    emit_cios(&mut g, "cios", k as usize, mont.n0_prime(), "const_n", t);
+    g.a.data_label("const_n");
+    g.a.words(&n.to_limbs(k as usize));
+    let program = g.a.link("main_cios").unwrap();
+
+    for seed in 0..5u64 {
+        let a = Mp::from_u64(seed.wrapping_mul(0xABCDEF987654321) | 1)
+            .mul(&Mp::from_hex("fedcba9876543210f0f0f0f0").unwrap())
+            .rem(&n)
+            .to_limbs(k as usize);
+        let b = Mp::from_u64(seed + 3)
+            .mul(&Mp::from_hex("123456789abcdef55aa55aa5deadbeef").unwrap())
+            .rem(&n)
+            .to_limbs(k as usize);
+        let mut m = Machine::new(&program, MachineConfig::baseline());
+        m.ram_mut().poke_words(program.ram_symbol("arg_a").unwrap(), &a);
+        m.ram_mut().poke_words(program.ram_symbol("arg_b").unwrap(), &b);
+        let pc = program.symbol("main_cios").unwrap();
+        m.set_pc(pc);
+        let exit = m.run(10_000_000);
+        assert!(matches!(exit, ule_pete::cpu::RunExit::Halted { .. }));
+        let got = m
+            .ram()
+            .peek_words(program.ram_symbol("out").unwrap(), k as usize);
+        let expect = mont.mul(&a, &b);
+        assert_eq!(got, expect, "cios seed {seed}");
+    }
+}

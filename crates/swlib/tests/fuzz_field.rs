@@ -1,0 +1,134 @@
+//! Property-based differential fuzzing of the simulated field routines
+//! against the host reference: random operands through the full
+//! (assemble → simulate → compare) pipeline.
+
+use proptest::prelude::*;
+use ule_curves::params::CurveId;
+use ule_mpmath::fp::PrimeField;
+use ule_mpmath::f2m::BinaryField;
+use ule_mpmath::mp::Mp;
+use ule_mpmath::nist::{NistBinary, NistPrime};
+use ule_pete::cpu::{Machine, MachineConfig};
+use ule_swlib::builder::{build_suite, Arch, Suite};
+use ule_swlib::harness::{read_buf, run_entry, write_buf};
+
+fn p192_suites() -> (Suite, Suite) {
+    let curve = CurveId::P192.curve();
+    (
+        build_suite(&curve, Arch::Baseline),
+        build_suite(&curve, Arch::IsaExt),
+    )
+}
+
+fn k163_suites() -> (Suite, Suite) {
+    let curve = CurveId::K163.curve();
+    (
+        build_suite(&curve, Arch::Baseline),
+        build_suite(&curve, Arch::IsaExt),
+    )
+}
+
+fn arb_fp192() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(any::<u32>(), 6).prop_map(|v| {
+        let f = PrimeField::nist(NistPrime::P192);
+        f.from_mp(&Mp::from_limbs(&v)).limbs().to_vec()
+    })
+}
+
+fn arb_f163() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(any::<u32>(), 6).prop_map(|mut v| {
+        v[5] &= (1u32 << (163 % 32)) - 1;
+        v
+    })
+}
+
+fn run_fmul(suite: &Suite, ext: bool, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let cfg = if ext {
+        MachineConfig::isa_ext()
+    } else {
+        MachineConfig::baseline()
+    };
+    let mut m = Machine::new(&suite.program, cfg);
+    write_buf(&mut m, &suite.program, "arg_qx", a);
+    write_buf(&mut m, &suite.program, "arg_qy", b);
+    run_entry(&mut m, &suite.program, "main_fmul", 10_000_000);
+    read_buf(&m, &suite.program, "out_r", 6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn p192_fmul_random_operands(a in arb_fp192(), b in arb_fp192()) {
+        let field = PrimeField::nist(NistPrime::P192);
+        let expect = field
+            .mul(&field.from_limbs(&a), &field.from_limbs(&b))
+            .limbs()
+            .to_vec();
+        let (base, ext) = p192_suites();
+        prop_assert_eq!(run_fmul(&base, false, &a, &b), expect.clone());
+        prop_assert_eq!(run_fmul(&ext, true, &a, &b), expect);
+    }
+
+    #[test]
+    fn k163_fmul_random_operands(a in arb_f163(), b in arb_f163()) {
+        let field = BinaryField::nist(NistBinary::B163);
+        let expect = field
+            .mul(&field.from_limbs(&a), &field.from_limbs(&b))
+            .limbs()
+            .to_vec();
+        let (base, ext) = k163_suites();
+        prop_assert_eq!(run_fmul(&base, false, &a, &b), expect.clone());
+        prop_assert_eq!(run_fmul(&ext, true, &a, &b), expect);
+    }
+
+    #[test]
+    fn p192_fadd_fsub_random_operands(a in arb_fp192(), b in arb_fp192()) {
+        let field = PrimeField::nist(NistPrime::P192);
+        let (ea, eb) = (field.from_limbs(&a), field.from_limbs(&b));
+        let (base, _) = p192_suites();
+        for (entry, expect) in [
+            ("main_fadd", field.add(&ea, &eb)),
+            ("main_fsub", field.sub(&ea, &eb)),
+        ] {
+            let mut m = Machine::new(&base.program, MachineConfig::baseline());
+            write_buf(&mut m, &base.program, "arg_qx", &a);
+            write_buf(&mut m, &base.program, "arg_qy", &b);
+            run_entry(&mut m, &base.program, entry, 10_000_000);
+            prop_assert_eq!(
+                read_buf(&m, &base.program, "out_r", 6),
+                expect.limbs().to_vec(),
+                "{}", entry
+            );
+        }
+    }
+}
+
+#[test]
+fn every_suite_program_disassembles() {
+    // Every text word of every built configuration must decode — i.e.
+    // the assembler only ever emits Pete's ISA.
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let archs: &[Arch] = if id.is_binary() {
+            &[Arch::Baseline, Arch::IsaExt, Arch::Billie]
+        } else {
+            &[Arch::Baseline, Arch::IsaExt, Arch::Monte]
+        };
+        for &arch in archs {
+            let suite = build_suite(&curve, arch);
+            let text = suite.program.text_words();
+            for (i, &w) in suite.program.rom().iter().take(text).enumerate() {
+                assert!(
+                    ule_isa::instr::Instr::decode(w).is_ok(),
+                    "{:?} {:?}: word {i} = {w:#010x} does not decode",
+                    id,
+                    arch
+                );
+            }
+            // The disassembly listing is well-formed too.
+            let listing = suite.program.disassemble();
+            assert!(listing.lines().count() == text);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! End-to-end differential tests: complete suite programs (point ops,
+//! scalar multiplication, twin multiplication, full ECDSA sign/verify)
+//! on the simulator versus the `ule-curves` host reference.
+
+use ule_curves::binary::AffinePoint2m;
+use ule_curves::ecdsa::{self, Keypair};
+use ule_curves::params::{Curve, CurveId, CurveKind};
+use ule_curves::prime::AffinePoint;
+use ule_curves::scalar;
+use ule_mpmath::mp::Mp;
+use ule_pete::cpu::{Machine, MachineConfig};
+use ule_swlib::builder::{build_suite, Arch, Suite};
+use ule_swlib::harness::{read_buf, run_entry, write_buf};
+
+fn machine_for(suite: &Suite) -> Machine {
+    let cfg = match suite.arch {
+        Arch::Baseline => MachineConfig::baseline(),
+        Arch::IsaExt => MachineConfig::isa_ext(),
+        _ => MachineConfig::isa_ext(),
+    };
+    let mut m = Machine::new(&suite.program, cfg);
+    if suite.arch == Arch::Monte {
+        m.attach_coprocessor(Box::new(ule_monte::Monte::new()));
+    }
+    if suite.arch == Arch::Billie {
+        m.attach_coprocessor(Box::new(ule_billie::Billie::new(
+            suite.curve_id.nist_binary(),
+        )));
+    }
+    m
+}
+
+fn limbs(v: &Mp, k: usize) -> Vec<u32> {
+    v.to_limbs(k)
+}
+
+/// Affine coordinates of a host point as limb vectors.
+fn prime_xy(curve: &Curve, p: &AffinePoint, k: usize) -> (Vec<u32>, Vec<u32>) {
+    let _ = curve;
+    match p {
+        AffinePoint::Infinity => (vec![0; k], vec![0; k]),
+        AffinePoint::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
+    }
+}
+
+fn binary_xy(p: &AffinePoint2m, k: usize) -> (Vec<u32>, Vec<u32>) {
+    match p {
+        AffinePoint2m::Infinity => (vec![0; k], vec![0; k]),
+        AffinePoint2m::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
+    }
+}
+
+/// Host double/add oracle dispatching on the curve family.
+fn host_double(curve: &Curve, x: &[u32], y: &[u32], k: usize) -> (Vec<u32>, Vec<u32>) {
+    match curve.kind() {
+        CurveKind::Prime(c) => {
+            let p = AffinePoint::new(
+                c.field().from_limbs(x),
+                c.field().from_limbs(y),
+            );
+            let d = c.affine_double(&p);
+            prime_xy(curve, &d, k)
+        }
+        CurveKind::Binary(c) => {
+            let p = AffinePoint2m::new(
+                c.field().from_limbs(x),
+                c.field().from_limbs(y),
+            );
+            let d = c.affine_double(&p);
+            binary_xy(&d, k)
+        }
+    }
+}
+
+fn host_add(
+    curve: &Curve,
+    x1: &[u32],
+    y1: &[u32],
+    x2: &[u32],
+    y2: &[u32],
+    k: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    match curve.kind() {
+        CurveKind::Prime(c) => {
+            let p = AffinePoint::new(c.field().from_limbs(x1), c.field().from_limbs(y1));
+            let q = AffinePoint::new(c.field().from_limbs(x2), c.field().from_limbs(y2));
+            prime_xy(curve, &c.affine_add(&p, &q), k)
+        }
+        CurveKind::Binary(c) => {
+            let p = AffinePoint2m::new(c.field().from_limbs(x1), c.field().from_limbs(y1));
+            let q = AffinePoint2m::new(c.field().from_limbs(x2), c.field().from_limbs(y2));
+            binary_xy(&c.affine_add(&p, &q), k)
+        }
+    }
+}
+
+fn generator_xy(curve: &Curve, k: usize) -> (Vec<u32>, Vec<u32>) {
+    match curve.kind() {
+        CurveKind::Prime(c) => prime_xy(curve, &c.generator(), k),
+        CurveKind::Binary(c) => binary_xy(&c.generator(), k),
+    }
+}
+
+fn host_mul_g(curve: &Curve, s: &Mp, k: usize) -> (Vec<u32>, Vec<u32>) {
+    match curve.kind() {
+        CurveKind::Prime(c) => prime_xy(curve, &scalar::mul_window(c, s, &c.generator()), k),
+        CurveKind::Binary(c) => binary_xy(&scalar::mul_window(c, s, &c.generator()), k),
+    }
+}
+
+fn archs_for(id: CurveId) -> Vec<Arch> {
+    if id.is_binary() {
+        vec![Arch::Baseline, Arch::IsaExt, Arch::Billie]
+    } else {
+        vec![Arch::Baseline, Arch::IsaExt, Arch::Monte]
+    }
+}
+
+#[test]
+fn point_double_and_add_match_host() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let k = match curve.kind() {
+            CurveKind::Prime(c) => c.field().k(),
+            CurveKind::Binary(c) => c.field().k(),
+        };
+        let (gx, gy) = generator_xy(&curve, k);
+        // 3G as the second operand (distinct from G).
+        let (hx, hy) = host_mul_g(&curve, &Mp::from_u64(3), k);
+        for arch in archs_for(id) {
+            let suite = build_suite(&curve, arch);
+            // double
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_px", &gx);
+            write_buf(&mut m, &suite.program, "arg_py", &gy);
+            run_entry(&mut m, &suite.program, "main_pdbl", 500_000_000);
+            let got_x = read_buf(&m, &suite.program, "out_r", k);
+            let got_y = read_buf(&m, &suite.program, "out_s", k);
+            let (ex, ey) = host_double(&curve, &gx, &gy, k);
+            assert_eq!((got_x, got_y), (ex, ey), "{id:?} {arch:?} pdbl");
+            // add G + 3G
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_px", &gx);
+            write_buf(&mut m, &suite.program, "arg_py", &gy);
+            write_buf(&mut m, &suite.program, "arg_qx", &hx);
+            write_buf(&mut m, &suite.program, "arg_qy", &hy);
+            run_entry(&mut m, &suite.program, "main_padd", 500_000_000);
+            let got_x = read_buf(&m, &suite.program, "out_r", k);
+            let got_y = read_buf(&m, &suite.program, "out_s", k);
+            let (ex, ey) = host_add(&curve, &gx, &gy, &hx, &hy, k);
+            assert_eq!((got_x, got_y), (ex, ey), "{id:?} {arch:?} padd");
+        }
+    }
+}
+
+#[test]
+fn scalar_mul_matches_host() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let k = match curve.kind() {
+            CurveKind::Prime(c) => c.field().k(),
+            CurveKind::Binary(c) => c.field().k(),
+        };
+        // A full-width scalar.
+        let s = ecdsa::derive_scalar(&curve, b"scalar-mul diff", b"k");
+        for arch in archs_for(id) {
+            let suite = build_suite(&curve, arch);
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_k", &limbs(&s, k));
+            run_entry(&mut m, &suite.program, "main_scalar_mul", 2_000_000_000);
+            let got_x = read_buf(&m, &suite.program, "out_r", k);
+            let got_y = read_buf(&m, &suite.program, "out_s", k);
+            let (ex, ey) = host_mul_g(&curve, &s, k);
+            assert_eq!((got_x, got_y), (ex, ey), "{id:?} {arch:?} scalar_mul");
+        }
+    }
+}
+
+#[test]
+fn twin_mul_matches_host() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let k = match curve.kind() {
+            CurveKind::Prime(c) => c.field().k(),
+            CurveKind::Binary(c) => c.field().k(),
+        };
+        let u1 = ecdsa::derive_scalar(&curve, b"twin u1", b"k");
+        let u2 = ecdsa::derive_scalar(&curve, b"twin u2", b"k");
+        let dq = ecdsa::derive_scalar(&curve, b"twin q", b"k");
+        let (qx, qy) = host_mul_g(&curve, &dq, k);
+        // host result
+        let (ex, ey) = match curve.kind() {
+            CurveKind::Prime(c) => {
+                let q = AffinePoint::new(c.field().from_limbs(&qx), c.field().from_limbs(&qy));
+                prime_xy(
+                    &curve,
+                    &scalar::twin_mul(c, &u1, &c.generator(), &u2, &q),
+                    k,
+                )
+            }
+            CurveKind::Binary(c) => {
+                let q = AffinePoint2m::new(c.field().from_limbs(&qx), c.field().from_limbs(&qy));
+                binary_xy(&scalar::twin_mul(c, &u1, &c.generator(), &u2, &q), k)
+            }
+        };
+        for arch in archs_for(id) {
+            let suite = build_suite(&curve, arch);
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_e", &limbs(&u1, k));
+            write_buf(&mut m, &suite.program, "arg_d", &limbs(&u2, k));
+            write_buf(&mut m, &suite.program, "arg_qx", &qx);
+            write_buf(&mut m, &suite.program, "arg_qy", &qy);
+            run_entry(&mut m, &suite.program, "main_twin_mul", 2_000_000_000);
+            let got_x = read_buf(&m, &suite.program, "out_r", k);
+            let got_y = read_buf(&m, &suite.program, "out_s", k);
+            assert_eq!(
+                (got_x, got_y),
+                (ex.clone(), ey.clone()),
+                "{id:?} {arch:?} twin_mul"
+            );
+        }
+    }
+}
+
+#[test]
+fn ecdsa_sign_verify_match_host() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let k = match curve.kind() {
+            CurveKind::Prime(c) => c.field().k(),
+            CurveKind::Binary(c) => c.field().k(),
+        };
+        let keys = Keypair::derive(&curve, b"simulated signer");
+        let e = ecdsa::hash_to_scalar(&curve, b"message for the target");
+        let nonce = ecdsa::derive_scalar(&curve, b"sim nonce", b"nonce");
+        let host_sig =
+            ecdsa::sign_with_nonce(&curve, keys.private(), &e, &nonce).expect("good nonce");
+        let (qx, qy) = match (&keys.public(), curve.kind()) {
+            (ecdsa::PublicKey::Prime(p), CurveKind::Prime(_)) => prime_xy(&curve, p, k),
+            (ecdsa::PublicKey::Binary(p), CurveKind::Binary(_)) => binary_xy(p, k),
+            _ => unreachable!(),
+        };
+        for arch in archs_for(id) {
+            let suite = build_suite(&curve, arch);
+            // --- sign on the target
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_e", &limbs(&e, k));
+            write_buf(&mut m, &suite.program, "arg_d", &limbs(keys.private(), k));
+            write_buf(&mut m, &suite.program, "arg_k", &limbs(&nonce, k));
+            run_entry(&mut m, &suite.program, "main_sign", 2_000_000_000);
+            let r = Mp::from_limbs(&read_buf(&m, &suite.program, "out_r", k));
+            let s = Mp::from_limbs(&read_buf(&m, &suite.program, "out_s", k));
+            assert_eq!(r, host_sig.r, "{id:?} {arch:?} r");
+            assert_eq!(s, host_sig.s, "{id:?} {arch:?} s");
+            // --- verify the host signature on the target
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_e", &limbs(&e, k));
+            write_buf(&mut m, &suite.program, "arg_r", &limbs(&host_sig.r, k));
+            write_buf(&mut m, &suite.program, "arg_s", &limbs(&host_sig.s, k));
+            write_buf(&mut m, &suite.program, "arg_qx", &qx);
+            write_buf(&mut m, &suite.program, "arg_qy", &qy);
+            run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+            assert_eq!(
+                read_buf(&m, &suite.program, "out_ok", 1),
+                vec![1],
+                "{id:?} {arch:?} genuine signature rejected"
+            );
+            // --- a corrupted signature must be rejected
+            let mut m = machine_for(&suite);
+            let bad_s = s.add(&Mp::one()).rem(curve.n());
+            write_buf(&mut m, &suite.program, "arg_e", &limbs(&e, k));
+            write_buf(&mut m, &suite.program, "arg_r", &limbs(&host_sig.r, k));
+            write_buf(&mut m, &suite.program, "arg_s", &limbs(&bad_s, k));
+            write_buf(&mut m, &suite.program, "arg_qx", &qx);
+            write_buf(&mut m, &suite.program, "arg_qy", &qy);
+            run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+            assert_eq!(
+                read_buf(&m, &suite.program, "out_ok", 1),
+                vec![0],
+                "{id:?} {arch:?} forged signature accepted"
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Wide differential coverage: scalar multiplication and full ECDSA on
+//! *every* curve and architecture of the study. These sweep large
+//! simulations, so they only run in release builds
+//! (`cargo test --release`); in debug builds they are ignored.
+
+use ule_curves::binary::AffinePoint2m;
+use ule_curves::ecdsa::{self, Keypair};
+use ule_curves::params::{CurveId, CurveKind};
+use ule_curves::prime::AffinePoint;
+use ule_curves::scalar;
+use ule_mpmath::mp::Mp;
+use ule_pete::cpu::{Machine, MachineConfig};
+use ule_swlib::builder::{build_suite, Arch, Suite};
+use ule_swlib::harness::{read_buf, run_entry, write_buf};
+
+fn machine_for(suite: &Suite) -> Machine {
+    let cfg = match suite.arch {
+        Arch::Baseline => MachineConfig::baseline(),
+        _ => MachineConfig::isa_ext(),
+    };
+    let mut m = Machine::new(&suite.program, cfg);
+    match suite.arch {
+        Arch::Monte => m.attach_coprocessor(Box::new(ule_monte::Monte::new())),
+        Arch::Billie => m.attach_coprocessor(Box::new(ule_billie::Billie::new(
+            suite.curve_id.nist_binary(),
+        ))),
+        _ => {}
+    }
+    m
+}
+
+fn curve_k(curve: &ule_curves::params::Curve) -> usize {
+    match curve.kind() {
+        CurveKind::Prime(c) => c.field().k(),
+        CurveKind::Binary(c) => c.field().k(),
+    }
+}
+
+fn host_mul_g(curve: &ule_curves::params::Curve, s: &Mp, k: usize) -> Vec<u32> {
+    match curve.kind() {
+        CurveKind::Prime(c) => match scalar::mul_window(c, s, &c.generator()) {
+            AffinePoint::Point { x, .. } => x.limbs().to_vec(),
+            AffinePoint::Infinity => vec![0; k],
+        },
+        CurveKind::Binary(c) => match scalar::mul_window(c, s, &c.generator()) {
+            AffinePoint2m::Point { x, .. } => x.limbs().to_vec(),
+            AffinePoint2m::Infinity => vec![0; k],
+        },
+    }
+}
+
+fn archs(id: CurveId) -> Vec<Arch> {
+    if id.is_binary() {
+        vec![Arch::Baseline, Arch::IsaExt, Arch::Billie]
+    } else {
+        vec![Arch::Baseline, Arch::IsaExt, Arch::Monte]
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "large sweep; run with --release")]
+fn scalar_mul_every_curve_and_architecture() {
+    for id in CurveId::ALL {
+        let curve = id.curve();
+        let k = curve_k(&curve);
+        let s = ecdsa::derive_scalar(&curve, format!("wide {}", id.name()).as_bytes(), b"k");
+        let expect_x = host_mul_g(&curve, &s, k);
+        for arch in archs(id) {
+            let suite = build_suite(&curve, arch);
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_k", &s.to_limbs(k));
+            run_entry(&mut m, &suite.program, "main_scalar_mul", u64::MAX / 2);
+            assert_eq!(
+                read_buf(&m, &suite.program, "out_r", k),
+                expect_x,
+                "{} {:?} scalar mult x-coordinate",
+                id.name(),
+                arch
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "large sweep; run with --release")]
+fn ecdsa_sign_every_curve_and_architecture() {
+    for id in CurveId::ALL {
+        let curve = id.curve();
+        let k = curve_k(&curve);
+        let keys = Keypair::derive(&curve, b"wide signer");
+        let e = ecdsa::hash_to_scalar(&curve, b"wide coverage message");
+        let nonce = ecdsa::derive_scalar(&curve, b"wide nonce", b"nonce");
+        let sig = ecdsa::sign_with_nonce(&curve, keys.private(), &e, &nonce).expect("valid");
+        for arch in archs(id) {
+            let suite = build_suite(&curve, arch);
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_e", &e.to_limbs(k));
+            write_buf(&mut m, &suite.program, "arg_d", &keys.private().to_limbs(k));
+            write_buf(&mut m, &suite.program, "arg_k", &nonce.to_limbs(k));
+            run_entry(&mut m, &suite.program, "main_sign", u64::MAX / 2);
+            assert_eq!(
+                Mp::from_limbs(&read_buf(&m, &suite.program, "out_r", k)),
+                sig.r,
+                "{} {:?} r",
+                id.name(),
+                arch
+            );
+            assert_eq!(
+                Mp::from_limbs(&read_buf(&m, &suite.program, "out_s", k)),
+                sig.s,
+                "{} {:?} s",
+                id.name(),
+                arch
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "large sweep; run with --release")]
+fn field_ops_every_curve_and_architecture() {
+    // The micro entries (through the fin/fout domain plumbing) on every
+    // configuration, against the host field arithmetic.
+    use ule_mpmath::f2m::BinaryField;
+    use ule_mpmath::fp::PrimeField;
+    for id in CurveId::ALL {
+        let curve = id.curve();
+        let k = curve_k(&curve);
+        // deterministic operands
+        let a = ecdsa::derive_scalar(&curve, b"fa", b"x");
+        let b = ecdsa::derive_scalar(&curve, b"fb", b"x");
+        let (al, bl, expect_mul, expect_inv): (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) =
+            match curve.kind() {
+                CurveKind::Prime(c) => {
+                    let f: &PrimeField = c.field();
+                    let ea = f.from_mp(&a);
+                    let eb = f.from_mp(&b);
+                    (
+                        ea.limbs().to_vec(),
+                        eb.limbs().to_vec(),
+                        f.mul(&ea, &eb).limbs().to_vec(),
+                        f.inv(&ea).unwrap().limbs().to_vec(),
+                    )
+                }
+                CurveKind::Binary(c) => {
+                    let f: &BinaryField = c.field();
+                    let mask_top = |v: &Mp| {
+                        let mut l = v.to_limbs(k);
+                        l[k - 1] &= (1u32 << (f.m() % 32)) - 1;
+                        l
+                    };
+                    let ea = f.from_limbs(&mask_top(&a));
+                    let eb = f.from_limbs(&mask_top(&b));
+                    (
+                        ea.limbs().to_vec(),
+                        eb.limbs().to_vec(),
+                        f.mul(&ea, &eb).limbs().to_vec(),
+                        f.inv(&ea).unwrap().limbs().to_vec(),
+                    )
+                }
+            };
+        for arch in archs(id) {
+            let suite = build_suite(&curve, arch);
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_qx", &al);
+            write_buf(&mut m, &suite.program, "arg_qy", &bl);
+            run_entry(&mut m, &suite.program, "main_fmul", 200_000_000);
+            assert_eq!(
+                read_buf(&m, &suite.program, "out_r", k),
+                expect_mul,
+                "{} {:?} fmul",
+                id.name(),
+                arch
+            );
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_qx", &al);
+            run_entry(&mut m, &suite.program, "main_finv", 500_000_000);
+            assert_eq!(
+                read_buf(&m, &suite.program, "out_r", k),
+                expect_inv,
+                "{} {:?} finv",
+                id.name(),
+                arch
+            );
+        }
+    }
+}

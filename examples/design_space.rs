@@ -1,0 +1,52 @@
+//! The hardware-acceleration trade-off of Fig 1.1, regenerated: sweep
+//! every architecture over the security levels and print energy,
+//! latency, and average power — the data a system designer would use to
+//! pick a point on the reconfigurability/efficiency spectrum.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use ule_repro::core_api::{System, SystemConfig, Workload};
+use ule_repro::curves::params::CurveId;
+use ule_repro::swlib::builder::Arch;
+
+fn main() {
+    println!("The design space of ultra-low energy asymmetric cryptography");
+    println!("(simulated ECDSA Sign+Verify per configuration)\n");
+    println!(
+        "{:8} {:10} {:>12} {:>9} {:>9} {:>10}",
+        "curve", "arch", "cycles", "ms", "mW", "uJ"
+    );
+    for curve in [
+        CurveId::P192,
+        CurveId::P256,
+        CurveId::P384,
+        CurveId::K163,
+        CurveId::K283,
+        CurveId::K409,
+    ] {
+        let archs: &[Arch] = if curve.is_binary() {
+            &[Arch::Baseline, Arch::IsaExt, Arch::Billie]
+        } else {
+            &[Arch::Baseline, Arch::IsaExt, Arch::Monte]
+        };
+        for &arch in archs {
+            let report = System::new(SystemConfig::new(curve, arch)).run(Workload::SignVerify);
+            let (d, s) = report.energy.power_mw();
+            println!(
+                "{:8} {:10} {:>12} {:>9.2} {:>9.2} {:>10.1}",
+                curve.name(),
+                arch.name(),
+                report.cycles,
+                report.time_ms(),
+                d + s,
+                report.energy_uj()
+            );
+        }
+        println!();
+    }
+    println!("Reconfigurability decreases left-to-right on Fig 1.1's spectrum:");
+    println!("  optimized software -> ISA extensions -> microcoded Monte -> fixed-function Billie");
+    println!("while the energy per operation falls by roughly an order of magnitude.");
+}
