@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks of the host reference primitives — the
-//! arithmetic foundation every differential test and simulation leans on.
+//! Micro-benchmarks of the host reference primitives — the arithmetic
+//! foundation every differential test and simulation leans on. Uses the
+//! workspace's dependency-free timing harness (`ule_testkit::bench`);
+//! run with `cargo bench -p ule-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use ule_curves::params::CurveId;
 use ule_curves::scalar;
@@ -11,69 +12,70 @@ use ule_mpmath::fp::PrimeField;
 use ule_mpmath::mont::Montgomery;
 use ule_mpmath::mp::Mp;
 use ule_mpmath::nist::{NistBinary, NistPrime};
+use ule_testkit::bench;
 
-fn bench_fields(c: &mut Criterion) {
-    let mut g = c.benchmark_group("field");
-    g.sample_size(20);
+fn bench_fields() {
     let f = PrimeField::nist(NistPrime::P256);
     let a = f.from_mp(&f.modulus().sub(&Mp::from_u64(12345)));
     let b = f.from_mp(&f.modulus().sub(&Mp::from_u64(98765)));
-    g.bench_function("p256_mul", |bench| {
-        bench.iter(|| f.mul(black_box(&a), black_box(&b)))
+    bench("field/p256_mul", 10_000, || {
+        black_box(f.mul(black_box(&a), black_box(&b)));
     });
-    g.bench_function("p256_inv_eea", |bench| bench.iter(|| f.inv(black_box(&a))));
+    bench("field/p256_inv_eea", 1_000, || {
+        black_box(f.inv(black_box(&a)));
+    });
     let bf = BinaryField::nist(NistBinary::B283);
     let x = bf.from_mp(&Mp::from_hex("deadbeefcafebabe0123456789abcdef").unwrap());
     let y = bf.from_mp(&Mp::from_hex("fedcba9876543210aa55aa55aa55aa55").unwrap());
-    g.bench_function("b283_mul_clmul", |bench| {
-        bench.iter(|| bf.mul_clmul(black_box(&x), black_box(&y)))
+    bench("field/b283_mul_clmul", 10_000, || {
+        black_box(bf.mul_clmul(black_box(&x), black_box(&y)));
     });
-    g.bench_function("b283_mul_comb", |bench| {
-        bench.iter(|| bf.mul_comb(black_box(&x), black_box(&y)))
+    bench("field/b283_mul_comb", 10_000, || {
+        black_box(bf.mul_comb(black_box(&x), black_box(&y)));
     });
-    g.bench_function("b283_sqr", |bench| bench.iter(|| bf.sqr(black_box(&x))));
+    bench("field/b283_sqr", 10_000, || {
+        black_box(bf.sqr(black_box(&x)));
+    });
     let mont = Montgomery::new(&NistPrime::P256.modulus());
-    let am = mont.to_mont(&a.limbs().to_vec());
-    let bm = mont.to_mont(&b.limbs().to_vec());
-    g.bench_function("p256_cios_montmul", |bench| {
-        bench.iter(|| mont.mul(black_box(&am), black_box(&bm)))
+    let am = mont.to_mont(a.limbs());
+    let bm = mont.to_mont(b.limbs());
+    bench("field/p256_cios_montmul", 10_000, || {
+        black_box(mont.mul(black_box(&am), black_box(&bm)));
     });
-    g.finish();
 }
 
-fn bench_curves(c: &mut Criterion) {
-    let mut g = c.benchmark_group("curve");
-    g.sample_size(10);
+fn bench_curves() {
     let curve = CurveId::P256.curve();
     let pc = curve.prime();
     let gp = pc.generator();
     let jac = pc.jac_from_affine(&gp);
-    g.bench_function("p256_jac_double", |bench| {
-        bench.iter(|| pc.jac_double(black_box(&jac)))
+    bench("curve/p256_jac_double", 10_000, || {
+        black_box(pc.jac_double(black_box(&jac)));
     });
-    g.bench_function("p256_jac_add_affine", |bench| {
-        bench.iter(|| pc.jac_add_affine(black_box(&jac), black_box(&gp)))
+    bench("curve/p256_jac_add_affine", 10_000, || {
+        black_box(pc.jac_add_affine(black_box(&jac), black_box(&gp)));
     });
     let s = Mp::from_hex("123456789abcdef0fedcba9876543210deadbeef").unwrap();
-    g.bench_function("p256_scalar_mul_window", |bench| {
-        bench.iter(|| scalar::mul_window(pc, black_box(&s), &gp))
+    bench("curve/p256_scalar_mul_window", 100, || {
+        black_box(scalar::mul_window(pc, black_box(&s), &gp));
     });
     let kc = CurveId::K163.curve();
     let bc = kc.binary();
     let gb = bc.generator();
-    g.bench_function("k163_scalar_mul_window", |bench| {
-        bench.iter(|| scalar::mul_window(bc, black_box(&s), &gb))
+    bench("curve/k163_scalar_mul_window", 100, || {
+        black_box(scalar::mul_window(bc, black_box(&s), &gb));
     });
-    g.finish();
 }
 
-fn bench_sha(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
-    g.sample_size(30);
+fn bench_sha() {
     let data = vec![0xa5u8; 1024];
-    g.bench_function("1KiB", |bench| bench.iter(|| sha256(black_box(&data))));
-    g.finish();
+    bench("sha256/1KiB", 10_000, || {
+        black_box(sha256(black_box(&data)));
+    });
 }
 
-criterion_group!(benches, bench_fields, bench_curves, bench_sha);
-criterion_main!(benches);
+fn main() {
+    bench_fields();
+    bench_curves();
+    bench_sha();
+}

@@ -1,42 +1,41 @@
-//! Criterion benchmarks of the *simulator itself* — how fast the
-//! cycle-level model executes simulated work (useful when sizing sweeps).
+//! Benchmarks of the *simulator itself* — how fast the cycle-level
+//! model executes simulated work (useful when sizing sweeps). Uses the
+//! workspace's dependency-free timing harness (`ule_testkit::bench`);
+//! run with `cargo bench -p ule-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use ule_curves::params::CurveId;
 use ule_pete::cpu::{Machine, MachineConfig};
 use ule_swlib::builder::{build_suite, Arch};
 use ule_swlib::harness::{run_entry, write_buf};
+use ule_testkit::bench;
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
+fn main() {
     let curve = CurveId::P192.curve();
     let suite = build_suite(&curve, Arch::Baseline);
-    let a = [0x1234_5678u32, 0x9abc_def0, 0x0f0f_0f0f, 0x5555_aaaa, 0x0123_4567, 0x7654_3210];
-    g.bench_function("p192_field_mul_program", |bench| {
-        bench.iter(|| {
-            let mut m = Machine::new(&suite.program, MachineConfig::baseline());
-            write_buf(&mut m, &suite.program, "arg_qx", &a);
-            write_buf(&mut m, &suite.program, "arg_qy", &a);
-            run_entry(&mut m, &suite.program, "main_fmul", 10_000_000);
-            black_box(m.cycles())
-        })
+    let a = [
+        0x1234_5678u32,
+        0x9abc_def0,
+        0x0f0f_0f0f,
+        0x5555_aaaa,
+        0x0123_4567,
+        0x7654_3210,
+    ];
+    bench("simulator/p192_field_mul_program", 100, || {
+        let mut m = Machine::new(&suite.program, MachineConfig::baseline());
+        write_buf(&mut m, &suite.program, "arg_qx", &a);
+        write_buf(&mut m, &suite.program, "arg_qy", &a);
+        run_entry(&mut m, &suite.program, "main_fmul", 10_000_000);
+        black_box(m.cycles());
     });
     let ext = build_suite(&curve, Arch::IsaExt);
-    g.bench_function("p192_scalar_mul_program_ext", |bench| {
-        bench.iter(|| {
-            let mut m = Machine::new(&ext.program, MachineConfig::isa_ext());
-            write_buf(&mut m, &ext.program, "arg_k", &a);
-            run_entry(&mut m, &ext.program, "main_scalar_mul", u64::MAX / 2);
-            black_box(m.cycles())
-        })
+    bench("simulator/p192_scalar_mul_program_ext", 5, || {
+        let mut m = Machine::new(&ext.program, MachineConfig::isa_ext());
+        write_buf(&mut m, &ext.program, "arg_k", &a);
+        run_entry(&mut m, &ext.program, "main_scalar_mul", u64::MAX / 2);
+        black_box(m.cycles());
     });
-    g.bench_function("suite_build_p192_baseline", |bench| {
-        bench.iter(|| black_box(build_suite(&curve, Arch::Baseline)))
+    bench("simulator/suite_build_p192_baseline", 20, || {
+        black_box(build_suite(&curve, Arch::Baseline));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -3,25 +3,80 @@
 //! ```text
 //! cargo run -p ule-bench --release --bin repro -- all
 //! cargo run -p ule-bench --release --bin repro -- fig7_1 t7_4
+//! cargo run -p ule-bench --release --bin repro -- --list
+//! cargo run -p ule-bench --release --bin repro -- --threads 4 all
 //! ```
+//!
+//! Every selected experiment's design points are first submitted to
+//! [`SweepEngine::run_batch`], which simulates them in parallel and
+//! memoizes the reports; the experiment text is then rendered serially
+//! in argument order, so the output is byte-identical for any thread
+//! count (including 1).
 
-use ule_bench::{experiments, Runner};
+use std::str::FromStr;
+
+use ule_bench::{ExperimentId, Job, SweepEngine};
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--threads N] <experiment-id>... | all | --list");
+    eprintln!("ids: {}", id_list());
+    std::process::exit(2);
+}
+
+fn id_list() -> String {
+    let names: Vec<&str> = ExperimentId::VARIANTS.iter().map(|id| id.name()).collect();
+    names.join(" ")
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: repro <experiment-id>... | all");
-        eprintln!("ids: fig7_1..fig7_15, t7_1..t7_5, s7_7, s7_8");
-        std::process::exit(2);
-    }
-    let mut runner = Runner::new();
-    for name in &args {
-        match experiments::by_name(name, &mut runner) {
-            Some(text) => print!("{text}"),
-            None => {
-                eprintln!("unknown experiment {name:?}");
-                std::process::exit(2);
+    let mut threads: Option<usize> = None;
+    let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in ExperimentId::VARIANTS {
+                    println!("{id}");
+                }
+                println!("all");
+                return;
             }
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    });
+                threads = Some(n);
+            }
+            "all" => selected.extend(ExperimentId::ALL),
+            other => match ExperimentId::from_str(other) {
+                Ok(id) => selected.push(id),
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("valid ids: {} (or: all)", id_list());
+                    std::process::exit(2);
+                }
+            },
         }
+    }
+    if selected.is_empty() {
+        usage();
+    }
+
+    let mut engine = SweepEngine::new();
+    if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+
+    // Pre-warm the memo cache in parallel over the union of design
+    // points, then render serially in order.
+    let jobs: Vec<Job> = selected.iter().flat_map(|id| id.jobs()).collect();
+    engine.run_batch(&jobs);
+    for id in &selected {
+        print!("{}", id.run(&engine));
     }
 }

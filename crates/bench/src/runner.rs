@@ -1,152 +1,65 @@
-//! A memoizing simulation runner: every (configuration, workload) pair is
-//! simulated at most once per harness invocation, because several figures
-//! slice the same underlying runs.
+//! The deprecated serial façade over [`SweepEngine`](crate::SweepEngine).
+//!
+//! `Runner` was the original single-threaded `Rc<RunReport>` memoizer.
+//! Its replacement is thread-safe, de-duplicates in-flight work, and
+//! fans batches out across cores — see `crate::sweep`. This shim keeps
+//! the old method surface compiling for one release; reports now come
+//! back as `Arc<RunReport>` (they were `Rc` — only the pointer type
+//! changed, every field access reads the same).
 
-use std::collections::HashMap;
-use std::rc::Rc;
-use ule_core::{MultVariant, RunReport, System, SystemConfig, Workload};
+use std::sync::Arc;
+use ule_core::{MultVariant, RunReport, SystemConfig, Workload};
 use ule_curves::params::CurveId;
 use ule_monte::MonteConfig;
 use ule_pete::icache::CacheConfig;
 use ule_swlib::builder::Arch;
 
-/// Hashable key describing one configuration+workload.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct Key {
-    curve: CurveId,
-    arch: &'static str,
-    icache: Option<(u32, bool, bool)>,
-    double_buffer: bool,
-    forwarding: bool,
-    digit: usize,
-    gating: u8,
-    sram_rf: bool,
-    workload: &'static str,
-}
+use crate::sweep::SweepEngine;
 
-fn arch_key(a: Arch) -> &'static str {
-    match a {
-        Arch::Baseline => "base",
-        Arch::IsaExt => "ext",
-        Arch::Monte => "monte",
-        Arch::Billie => "billie",
-    }
-}
-
-fn gating_key(g: ule_energy::report::Gating) -> u8 {
-    match g {
-        ule_energy::report::Gating::None => 0,
-        ule_energy::report::Gating::Clock => 1,
-        ule_energy::report::Gating::Power => 2,
-    }
-}
-
-fn wl_key(w: Workload) -> &'static str {
-    match w {
-        Workload::Sign => "sign",
-        Workload::Verify => "verify",
-        Workload::SignVerify => "sv",
-        Workload::ScalarMul => "kg",
-        Workload::FieldMul => "fmul",
-    }
-}
-
-/// The memoizing runner.
+/// The old memoizing runner, now a thin wrapper around [`SweepEngine`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use SweepEngine: thread-safe, same memoization, plus run_batch fan-out"
+)]
 #[derive(Default)]
 pub struct Runner {
-    cache: HashMap<Key, Rc<RunReport>>,
-    systems: HashMap<String, Rc<System>>,
+    engine: SweepEngine,
 }
 
+#[allow(deprecated)]
 impl Runner {
     /// Fresh runner.
     pub fn new() -> Self {
         Runner::default()
     }
 
-    fn system(&mut self, config: SystemConfig) -> Rc<System> {
-        let key = format!(
-            "{:?}|{}|{:?}|{}|{}|{}|{}",
-            config.curve,
-            arch_key(config.arch),
-            config.icache.map(|c| (c.size_bytes, c.prefetch, c.ideal)),
-            config.monte.double_buffer,
-            config.monte.forwarding,
-            config.billie_digit,
-            gating_key(config.gating)
-        ) + if config.billie_sram_rf { "|sram" } else { "" };
-        if let Some(s) = self.systems.get(&key) {
-            return s.clone();
-        }
-        let sys = Rc::new(System::new(config));
-        self.systems.insert(key, sys.clone());
-        sys
-    }
-
     /// Runs (or recalls) one workload on one configuration.
-    pub fn run(&mut self, config: SystemConfig, workload: Workload) -> Rc<RunReport> {
-        let key = Key {
-            curve: config.curve,
-            arch: arch_key(config.arch),
-            icache: config.icache.map(|c| (c.size_bytes, c.prefetch, c.ideal)),
-            double_buffer: config.monte.double_buffer,
-            forwarding: config.monte.forwarding,
-            digit: config.billie_digit,
-            gating: gating_key(config.gating),
-            sram_rf: config.billie_sram_rf,
-            workload: wl_key(workload),
-        };
-        if let Some(r) = self.cache.get(&key) {
-            return r.clone();
-        }
-        let sys = self.system(config);
-        let report = Rc::new(sys.run(workload));
-        self.cache.insert(key, report.clone());
-        report
+    pub fn run(&mut self, config: SystemConfig, workload: Workload) -> Arc<RunReport> {
+        self.engine.run(config, workload)
     }
 
     /// Sign+Verify on the standard configuration of (curve, arch).
-    pub fn sv(&mut self, curve: CurveId, arch: Arch) -> Rc<RunReport> {
-        self.run(SystemConfig::new(curve, arch), Workload::SignVerify)
+    pub fn sv(&mut self, curve: CurveId, arch: Arch) -> Arc<RunReport> {
+        self.engine.sv(curve, arch)
     }
 
     /// Sign+Verify with an instruction cache.
-    pub fn sv_cached(&mut self, curve: CurveId, arch: Arch, cache: CacheConfig) -> Rc<RunReport> {
-        self.run(
-            SystemConfig::new(curve, arch).with_icache(cache),
-            Workload::SignVerify,
-        )
+    pub fn sv_cached(&mut self, curve: CurveId, arch: Arch, cache: CacheConfig) -> Arc<RunReport> {
+        self.engine.sv_cached(curve, arch, cache)
     }
 
     /// Monte with explicit front-end knobs.
-    pub fn sv_monte(&mut self, curve: CurveId, monte: MonteConfig) -> Rc<RunReport> {
-        let mut cfg = SystemConfig::new(curve, Arch::Monte);
-        cfg.monte = monte;
-        self.run(cfg, Workload::SignVerify)
+    pub fn sv_monte(&mut self, curve: CurveId, monte: MonteConfig) -> Arc<RunReport> {
+        self.engine.sv_monte(curve, monte)
     }
 
     /// Billie scalar multiplication with an explicit digit width.
-    pub fn kg_billie(&mut self, curve: CurveId, digit: usize) -> Rc<RunReport> {
-        let mut cfg = SystemConfig::new(curve, Arch::Billie);
-        cfg.billie_digit = digit;
-        self.run(cfg, Workload::ScalarMul)
+    pub fn kg_billie(&mut self, curve: CurveId, digit: usize) -> Arc<RunReport> {
+        self.engine.kg_billie(curve, digit)
     }
 
     /// Baseline with a §7.8 multiplier power variant (timing identical).
     pub fn sv_mult_variant(&mut self, curve: CurveId, variant: MultVariant) -> RunReport {
-        // Variants share cycles; recompute energy with the factor.
-        let base = self.sv(curve, Arch::Baseline);
-        let mut activity = base.activity;
-        activity.mult_variant_factor = match variant {
-            MultVariant::Karatsuba => 1.0,
-            MultVariant::OperandScan => ule_energy::constants::MULT_VARIANT_OPERAND_SCAN,
-            MultVariant::Parallel => ule_energy::constants::MULT_VARIANT_PARALLEL,
-        };
-        RunReport {
-            cycles: base.cycles,
-            counters: base.counters,
-            activity,
-            energy: ule_energy::report::energy(&activity),
-        }
+        self.engine.sv_mult_variant(curve, variant)
     }
 }

@@ -1,0 +1,354 @@
+//! The thread-safe sweep engine: every (configuration, workload) pair
+//! is simulated at most once per engine, concurrently callable from any
+//! number of threads, with a scoped-thread fan-out for batch sweeps.
+//!
+//! This replaces the old single-threaded `Rc`-based `Runner`. The
+//! design-space evaluation is an embarrassingly parallel batch workload
+//! — 6 configurations × 10 curves × icache/digit/front-end ablations,
+//! every point independent of every other — so the memo cache is a
+//! sharded `Mutex<HashMap<ConfigKey, _>>` holding `Arc<RunReport>`s,
+//! with per-key *in-flight de-duplication*: two threads asking for the
+//! same point never simulate it twice; the second blocks until the
+//! first publishes.
+//!
+//! Determinism: a simulation is a pure function of its
+//! `(SystemConfig, Workload)` key, so every energy/cycle number is
+//! independent of thread count and submission order — parallel sweeps
+//! are bit-for-bit equal to serial ones.
+//!
+//! ```no_run
+//! use ule_bench::SweepEngine;
+//! use ule_core::{SystemConfig, Workload};
+//! use ule_curves::params::CurveId;
+//! use ule_swlib::builder::Arch;
+//!
+//! let engine = SweepEngine::new();
+//! let jobs: Vec<_> = CurveId::PRIMES
+//!     .iter()
+//!     .map(|&c| (SystemConfig::new(c, Arch::Baseline), Workload::SignVerify))
+//!     .collect();
+//! for report in engine.run_batch(&jobs) {
+//!     println!("{:.1} uJ", report.energy_uj());
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use ule_core::{MultVariant, RunReport, System, SystemConfig, Workload};
+use ule_curves::params::CurveId;
+use ule_monte::MonteConfig;
+use ule_pete::icache::CacheConfig;
+use ule_swlib::builder::Arch;
+
+/// One design point plus the workload to run on it — a batch job.
+pub type Job = (SystemConfig, Workload);
+
+/// Typed memo-cache key: one (configuration, workload) pair.
+///
+/// `Hash`/`Eq` are derived straight from [`SystemConfig`] and
+/// [`Workload`], so every knob (curve, arch, icache tuple, Monte
+/// front-end, Billie digit, multiplier variant, gating, SRAM register
+/// file) participates — two keys are equal exactly when the simulated
+/// points are identical. This replaces both the old stringly
+/// `format!`-based system key and the hand-maintained ad-hoc `Key`
+/// struct, which silently dropped any knob nobody remembered to add.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ConfigKey {
+    /// The design point.
+    pub config: SystemConfig,
+    /// The workload run on it.
+    pub workload: Workload,
+}
+
+impl ConfigKey {
+    /// Key for one (configuration, workload) pair.
+    pub fn new(config: SystemConfig, workload: Workload) -> Self {
+        ConfigKey { config, workload }
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// State of one in-flight simulation, shared between the computing
+/// thread and any waiters.
+struct InFlight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Running,
+    Ready(Arc<RunReport>),
+    /// The computing thread panicked (e.g. a simulated signature failed
+    /// host verification). Waiters propagate the panic instead of
+    /// hanging forever.
+    Poisoned,
+}
+
+impl InFlight {
+    fn new() -> Arc<Self> {
+        Arc::new(InFlight {
+            state: Mutex::new(FlightState::Running),
+            done: Condvar::new(),
+        })
+    }
+
+    fn wait(&self) -> Arc<RunReport> {
+        let mut st = lock(&self.state);
+        loop {
+            match &*st {
+                FlightState::Running => st = self.done.wait(st).unwrap_or_else(|e| e.into_inner()),
+                FlightState::Ready(r) => return r.clone(),
+                FlightState::Poisoned => {
+                    panic!("simulation of this design point panicked in another thread")
+                }
+            }
+        }
+    }
+
+    fn publish(&self, state: FlightState) {
+        *lock(&self.state) = state;
+        self.done.notify_all();
+    }
+}
+
+enum Slot {
+    InFlight(Arc<InFlight>),
+    Done(Arc<RunReport>),
+}
+
+/// Locks a mutex, ignoring poisoning: shard maps stay structurally
+/// valid across a payload panic, and in-flight poisoning is handled
+/// explicitly via [`FlightState::Poisoned`].
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The thread-safe memoizing sweep engine.
+///
+/// Cheap to share: every method takes `&self`, so one engine can serve
+/// a whole process (wrap it in an `Arc` or hand out plain references
+/// from a scope). See the [module docs](self) for the caching and
+/// determinism contract.
+pub struct SweepEngine {
+    /// Sharded report memo — `SHARDS` independent locks so unrelated
+    /// points never contend.
+    shards: Vec<Mutex<HashMap<ConfigKey, Slot>>>,
+    /// Built systems, shared across the workloads of one configuration
+    /// (`System::run` takes `&self`, so concurrent runs share one
+    /// program image).
+    systems: Mutex<HashMap<SystemConfig, Arc<System>>>,
+    threads: usize,
+    simulations: AtomicU64,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine::new()
+    }
+}
+
+impl SweepEngine {
+    /// Fresh engine sized from `std::thread::available_parallelism`,
+    /// overridable with the `ULE_SWEEP_THREADS` environment variable
+    /// (or [`SweepEngine::with_threads`]).
+    pub fn new() -> Self {
+        let threads = std::env::var("ULE_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        SweepEngine {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            systems: Mutex::new(HashMap::new()),
+            threads,
+            simulations: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the batch fan-out width (`n` is clamped to ≥ 1).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// The batch fan-out width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of cold simulations executed so far (memo misses). Memo
+    /// and in-flight hits don't count — the difference between this and
+    /// the number of requests is what the cache saved.
+    pub fn simulations(&self) -> u64 {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// The shared built system for one configuration.
+    fn system(&self, config: SystemConfig) -> Arc<System> {
+        if let Some(s) = lock(&self.systems).get(&config) {
+            return s.clone();
+        }
+        // Built outside the lock: suite codegen is much cheaper than a
+        // simulation, so a racing duplicate build is preferable to
+        // serializing every build behind one lock. First insert wins.
+        let sys = Arc::new(System::new(config));
+        lock(&self.systems).entry(config).or_insert(sys).clone()
+    }
+
+    /// Runs (or recalls) one workload on one configuration.
+    ///
+    /// Concurrent calls with the same key return the *same*
+    /// `Arc<RunReport>`; at most one of them simulates.
+    pub fn run(&self, config: SystemConfig, workload: Workload) -> Arc<RunReport> {
+        let key = ConfigKey::new(config, workload);
+        let shard = &self.shards[key.shard()];
+        let flight = {
+            let mut map = lock(shard);
+            match map.get(&key) {
+                Some(Slot::Done(r)) => return r.clone(),
+                Some(Slot::InFlight(f)) => {
+                    let f = f.clone();
+                    drop(map);
+                    return f.wait();
+                }
+                None => {
+                    let f = InFlight::new();
+                    map.insert(key, Slot::InFlight(f.clone()));
+                    f
+                }
+            }
+        };
+        // We own the simulation. If it panics (a simulated run that
+        // fails host verification does), unpoison the slot so waiters
+        // and retries see the failure rather than deadlocking.
+        let mut guard = FlightGuard {
+            engine: self,
+            key,
+            flight: &flight,
+            armed: true,
+        };
+        let sys = self.system(config);
+        let report = Arc::new(sys.run(workload));
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        guard.armed = false; // infallible from here on
+        lock(shard).insert(key, Slot::Done(report.clone()));
+        flight.publish(FlightState::Ready(report.clone()));
+        report
+    }
+
+    /// Fans `jobs` out across a scoped thread pool and returns their
+    /// reports in submission order.
+    ///
+    /// Pool width is [`SweepEngine::threads`], capped at the job count.
+    /// Duplicate jobs (and jobs already cached) are de-duplicated by the
+    /// memo, so submitting the union of several experiments' points is
+    /// cheap. Results are identical to calling [`SweepEngine::run`]
+    /// serially — thread count never changes a number.
+    pub fn run_batch(&self, jobs: &[Job]) -> Vec<Arc<RunReport>> {
+        let workers = self.threads.min(jobs.len()).max(1);
+        let mut results: Vec<Option<Arc<RunReport>>> = vec![None; jobs.len()];
+        if workers == 1 {
+            for (slot, &(config, workload)) in results.iter_mut().zip(jobs) {
+                *slot = Some(self.run(config, workload));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<&mut Option<Arc<RunReport>>>> =
+                results.iter_mut().map(Mutex::new).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(config, workload)) = jobs.get(i) else {
+                            break;
+                        };
+                        let report = self.run(config, workload);
+                        **lock(&slots[i]) = Some(report);
+                    });
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot filled"))
+            .collect()
+    }
+
+    // ---- The standard points of the paper's evaluation --------------
+
+    /// Sign+Verify on the standard configuration of (curve, arch).
+    pub fn sv(&self, curve: CurveId, arch: Arch) -> Arc<RunReport> {
+        self.run(SystemConfig::new(curve, arch), Workload::SignVerify)
+    }
+
+    /// Sign+Verify with an instruction cache.
+    pub fn sv_cached(&self, curve: CurveId, arch: Arch, cache: CacheConfig) -> Arc<RunReport> {
+        self.run(
+            SystemConfig::new(curve, arch).with_icache(cache),
+            Workload::SignVerify,
+        )
+    }
+
+    /// Monte with explicit front-end knobs.
+    pub fn sv_monte(&self, curve: CurveId, monte: MonteConfig) -> Arc<RunReport> {
+        self.run(
+            SystemConfig::new(curve, Arch::Monte).with_monte(monte),
+            Workload::SignVerify,
+        )
+    }
+
+    /// Billie scalar multiplication with an explicit digit width.
+    pub fn kg_billie(&self, curve: CurveId, digit: usize) -> Arc<RunReport> {
+        self.run(
+            SystemConfig::new(curve, Arch::Billie).with_billie_digit(digit),
+            Workload::ScalarMul,
+        )
+    }
+
+    /// Baseline with a §7.8 multiplier power variant (timing identical).
+    pub fn sv_mult_variant(&self, curve: CurveId, variant: MultVariant) -> RunReport {
+        // Variants share cycles; recompute energy with the variant's
+        // factor (single source: `MultVariant::factor`).
+        let base = self.sv(curve, Arch::Baseline);
+        let mut activity = base.activity;
+        activity.mult_variant_factor = variant.factor();
+        RunReport {
+            cycles: base.cycles,
+            counters: base.counters,
+            activity,
+            energy: ule_energy::report::energy(&activity),
+        }
+    }
+}
+
+/// Drop guard that marks an in-flight slot poisoned if the simulation
+/// unwinds, so waiters panic instead of deadlocking and later calls
+/// retry the point.
+struct FlightGuard<'a> {
+    engine: &'a SweepEngine,
+    key: ConfigKey,
+    flight: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock(&self.engine.shards[self.key.shard()]).remove(&self.key);
+            self.flight.publish(FlightState::Poisoned);
+        }
+    }
+}

@@ -177,10 +177,7 @@ impl Coprocessor for Billie {
                 self.inflight.push_back(wb);
             }
             Instr::BilSt { fs, .. } => {
-                let start = self
-                    .lsu_free
-                    .max(self.reg_ready[fs as usize])
-                    .max(cycle);
+                let start = self.lsu_free.max(self.reg_ready[fs as usize]).max(cycle);
                 let done = start + self.lsu_latency();
                 self.lsu_free = done;
                 ram.count_external(0, k as u64);
@@ -288,9 +285,27 @@ mod tests {
         let mut cy = 0;
         cy = b.issue(Instr::BilLd { rt, fs: 1 }, RAM_BASE, cy, &mut ram);
         cy = b.issue(Instr::BilLd { rt, fs: 2 }, RAM_BASE + 64, cy, &mut ram);
-        cy = b.issue(Instr::BilMul { fd: 3, fs: 1, ft: 2 }, 0, cy, &mut ram);
+        cy = b.issue(
+            Instr::BilMul {
+                fd: 3,
+                fs: 1,
+                ft: 2,
+            },
+            0,
+            cy,
+            &mut ram,
+        );
         cy = b.issue(Instr::BilSqr { fd: 4, ft: 3 }, 0, cy, &mut ram);
-        cy = b.issue(Instr::BilAdd { fd: 5, fs: 4, ft: 1 }, 0, cy, &mut ram);
+        cy = b.issue(
+            Instr::BilAdd {
+                fd: 5,
+                fs: 4,
+                ft: 1,
+            },
+            0,
+            cy,
+            &mut ram,
+        );
         let _ = b.issue(Instr::BilSt { rt, fs: 5 }, RAM_BASE + 128, cy, &mut ram);
         let got = ram.peek_words(RAM_BASE + 128, f.k());
         let ea = f.from_limbs(&a);
@@ -317,11 +332,29 @@ mod tests {
         let mut cy = 10;
         cy = b.issue(Instr::BilLd { rt, fs: 1 }, RAM_BASE, cy, &mut ram);
         // A dependent multiply must wait for the load's writeback.
-        cy = b.issue(Instr::BilMul { fd: 2, fs: 1, ft: 1 }, 0, cy, &mut ram);
+        cy = b.issue(
+            Instr::BilMul {
+                fd: 2,
+                fs: 1,
+                ft: 1,
+            },
+            0,
+            cy,
+            &mut ram,
+        );
         let after_mul = b.mul_free;
         assert!(after_mul >= 10 + b.lsu_latency() + b.mul_latency());
         // An independent add issued now completes long before the multiply.
-        let _ = b.issue(Instr::BilAdd { fd: 5, fs: 6, ft: 7 }, 0, cy, &mut ram);
+        let _ = b.issue(
+            Instr::BilAdd {
+                fd: 5,
+                fs: 6,
+                ft: 7,
+            },
+            0,
+            cy,
+            &mut ram,
+        );
         assert!(b.add_free < after_mul);
     }
 
@@ -332,7 +365,16 @@ mod tests {
         let mut cy = 0;
         let mut stalled = false;
         for _ in 0..10 {
-            let next = b.issue(Instr::BilMul { fd: 1, fs: 1, ft: 1 }, 0, cy, &mut ram);
+            let next = b.issue(
+                Instr::BilMul {
+                    fd: 1,
+                    fs: 1,
+                    ft: 1,
+                },
+                0,
+                cy,
+                &mut ram,
+            );
             if next > cy + 1 {
                 stalled = true;
             }
@@ -362,10 +404,28 @@ mod tests {
         let mut cy = 0;
         cy = b.issue(Instr::BilLd { rt, fs: 1 }, RAM_BASE, cy, &mut ram);
         // r (reg2) = a
-        cy = b.issue(Instr::BilAdd { fd: 2, fs: 1, ft: 15 }, 0, cy, &mut ram); // reg15 = 0
+        cy = b.issue(
+            Instr::BilAdd {
+                fd: 2,
+                fs: 1,
+                ft: 15,
+            },
+            0,
+            cy,
+            &mut ram,
+        ); // reg15 = 0
         for _ in 0..f.m() - 2 {
             cy = b.issue(Instr::BilSqr { fd: 2, ft: 2 }, 0, cy, &mut ram);
-            cy = b.issue(Instr::BilMul { fd: 2, fs: 2, ft: 1 }, 0, cy, &mut ram);
+            cy = b.issue(
+                Instr::BilMul {
+                    fd: 2,
+                    fs: 2,
+                    ft: 1,
+                },
+                0,
+                cy,
+                &mut ram,
+            );
         }
         cy = b.issue(Instr::BilSqr { fd: 2, ft: 2 }, 0, cy, &mut ram);
         let _ = b.issue(Instr::BilSt { rt, fs: 2 }, RAM_BASE + 256, cy, &mut ram);

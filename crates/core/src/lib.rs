@@ -34,16 +34,16 @@ use ule_curves::prime::AffinePoint;
 use ule_curves::scalar;
 use ule_energy::report::Gating;
 use ule_energy::{Activity, CopActivity, CopKind, EnergyBreakdown, IcacheActivity};
+use ule_monte::{Monte, MonteConfig};
 use ule_mpmath::mp::Mp;
 use ule_pete::cpu::{Counters, Machine, MachineConfig};
 use ule_pete::icache::CacheConfig;
-use ule_monte::{Monte, MonteConfig};
 use ule_swlib::builder::{build_suite, Arch, Suite};
 use ule_swlib::harness::{read_buf, run_entry, write_buf};
 
 /// §7.8 multiplier variants (identical timing, different power — the
 /// Karatsuba unit is the design point, §5.1.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MultVariant {
     /// The paper's multi-cycle Karatsuba unit.
     Karatsuba,
@@ -54,7 +54,12 @@ pub enum MultVariant {
 }
 
 impl MultVariant {
-    fn factor(self) -> f64 {
+    /// Core-power factor relative to the Karatsuba design point (§7.8).
+    ///
+    /// This is the single source of the §7.8 constants — harness code
+    /// that rescales a report for a variant must use it rather than
+    /// duplicating the mapping.
+    pub fn factor(self) -> f64 {
         match self {
             MultVariant::Karatsuba => 1.0,
             MultVariant::OperandScan => ule_energy::constants::MULT_VARIANT_OPERAND_SCAN,
@@ -64,7 +69,26 @@ impl MultVariant {
 }
 
 /// One point in the design space.
-#[derive(Clone, Copy, Debug)]
+///
+/// Construct one with [`SystemConfig::new`] and refine it with the
+/// `with_*` builder methods — the primary configuration API:
+///
+/// ```no_run
+/// use ule_core::{SystemConfig, Workload};
+/// use ule_curves::params::CurveId;
+/// use ule_energy::report::Gating;
+/// use ule_swlib::builder::Arch;
+///
+/// let cfg = SystemConfig::new(CurveId::K163, Arch::Billie)
+///     .with_billie_digit(4)
+///     .with_gating(Gating::Power);
+/// ```
+///
+/// The fields stay `pub` for pattern matching and for existing code,
+/// but new call sites should prefer the builders: they read as one
+/// expression, and derived `Hash`/`Eq` make a finished config directly
+/// usable as a memo-cache key (see `ule-bench`'s `SweepEngine`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// The curve (key size + field type).
     pub curve: CurveId,
@@ -105,10 +129,41 @@ impl SystemConfig {
         self.icache = Some(cache);
         self
     }
+
+    /// Sets Monte's front-end knobs (the §7.7 double-buffer ablation).
+    pub fn with_monte(mut self, monte: MonteConfig) -> Self {
+        self.monte = monte;
+        self
+    }
+
+    /// Sets Billie's multiplier digit width (Fig 7.14 sweep).
+    pub fn with_billie_digit(mut self, digit: usize) -> Self {
+        self.billie_digit = digit;
+        self
+    }
+
+    /// Sets the idle-accelerator gating strategy (§8 extension).
+    pub fn with_gating(mut self, gating: Gating) -> Self {
+        self.gating = gating;
+        self
+    }
+
+    /// Sets the §7.8 multiplier power variant.
+    pub fn with_mult_variant(mut self, variant: MultVariant) -> Self {
+        self.mult_variant = variant;
+        self
+    }
+
+    /// Models Billie's register file in SRAM instead of flip-flops (§8
+    /// extension; no timing change).
+    pub fn with_billie_sram_rf(mut self, sram: bool) -> Self {
+        self.billie_sram_rf = sram;
+        self
+    }
 }
 
 /// The simulated ECDSA workloads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// One signature (a single scalar multiplication + protocol math).
     Sign,
@@ -137,7 +192,10 @@ impl Workload {
 }
 
 /// The result of simulating one workload on one configuration.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field bit-for-bit — the determinism tests
+/// use it to check that parallel and serial sweeps agree exactly.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Total cycles (summed over the workload's entry points).
     pub cycles: u64,
@@ -224,7 +282,10 @@ impl System {
     fn inputs(&self) -> WorkloadInputs {
         let curve = &self.curve;
         let keys = Keypair::derive(curve, b"design-space signer");
-        let e = ecdsa::hash_to_scalar(curve, b"the design space of ultra-low energy asymmetric cryptography");
+        let e = ecdsa::hash_to_scalar(
+            curve,
+            b"the design space of ultra-low energy asymmetric cryptography",
+        );
         let nonce = ecdsa::derive_scalar(curve, b"bench nonce", b"nonce");
         let sig = ecdsa::sign_with_nonce(curve, keys.private(), &e, &nonce)
             .expect("deterministic nonce is valid");
@@ -446,8 +507,8 @@ mod tests {
 
     #[test]
     fn isa_ext_beats_baseline_on_p192() {
-        let base = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline))
-            .run(Workload::ScalarMul);
+        let base =
+            System::new(SystemConfig::new(CurveId::P192, Arch::Baseline)).run(Workload::ScalarMul);
         let ext =
             System::new(SystemConfig::new(CurveId::P192, Arch::IsaExt)).run(Workload::ScalarMul);
         assert!(

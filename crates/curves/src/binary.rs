@@ -90,7 +90,13 @@ impl BinaryCurve {
         gy: F2mElement,
     ) -> Self {
         assert!(!b.is_zero(), "singular curve (b = 0)");
-        BinaryCurve { field, a, b, gx, gy }
+        BinaryCurve {
+            field,
+            a,
+            b,
+            gx,
+            gy,
+        }
     }
 
     /// The underlying field context.
@@ -131,9 +137,7 @@ impl BinaryCurve {
     pub fn neg(&self, p: &AffinePoint2m) -> AffinePoint2m {
         match p {
             AffinePoint2m::Infinity => AffinePoint2m::Infinity,
-            AffinePoint2m::Point { x, y } => {
-                AffinePoint2m::new(x.clone(), self.field.add(x, y))
-            }
+            AffinePoint2m::Point { x, y } => AffinePoint2m::new(x.clone(), self.field.add(x, y)),
         }
     }
 
@@ -154,10 +158,7 @@ impl BinaryCurve {
                 }
                 let dx = f.add(x1, x2);
                 let lambda = f.mul(&f.add(y1, y2), &f.inv(&dx).expect("x1 != x2"));
-                let x3 = f.add(
-                    &f.add(&f.add(&f.sqr(&lambda), &lambda), &dx),
-                    &self.a,
-                );
+                let x3 = f.add(&f.add(&f.add(&f.sqr(&lambda), &lambda), &dx), &self.a);
                 let y3 = f.add(&f.add(&f.mul(&lambda, &f.add(x1, &x3)), &x3), y1);
                 AffinePoint2m::new(x3, y3)
             }
@@ -226,7 +227,11 @@ impl BinaryCurve {
             &f.mul(&bz4, &z3),
             &f.mul(&x3, &f.add(&f.add(&az3, &f.sqr(&p.y)), &bz4)),
         );
-        LdPoint { x: x3, y: y3, z: z3 }
+        LdPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed LD + affine addition — the binary-field counterpart of the
@@ -254,17 +259,18 @@ impl BinaryCurve {
             return self.ld_identity();
         }
         let c_t = f.mul(&p.z, &b_t); // C = Z1 B
-        let d_t = f.mul(
-            &f.sqr(&b_t),
-            &f.add(&c_t, &f.mul(&self.a, &z1sq)),
-        ); // D = B^2 (C + a Z1^2)
+        let d_t = f.mul(&f.sqr(&b_t), &f.add(&c_t, &f.mul(&self.a, &z1sq))); // D = B^2 (C + a Z1^2)
         let z3 = f.sqr(&c_t);
         let e_t = f.mul(&a_t, &c_t);
         let x3 = f.add(&f.add(&f.sqr(&a_t), &d_t), &e_t);
         let f_t = f.add(&x3, &f.mul(x2, &z3));
         let g_t = f.mul(&f.add(x2, y2), &f.sqr(&z3));
         let y3 = f.add(&f.mul(&f.add(&e_t, &z3), &f_t), &g_t);
-        LdPoint { x: x3, y: y3, z: z3 }
+        LdPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Converts back to affine: `x = X/Z`, `y = Y/Z^2` — the one inversion
@@ -366,7 +372,8 @@ mod tests {
         let mut points = vec![AffinePoint2m::Infinity];
         for x in 0..128u64 {
             for y in 0..128u64 {
-                let p = AffinePoint2m::new(f.from_mp(&Mp::from_u64(x)), f.from_mp(&Mp::from_u64(y)));
+                let p =
+                    AffinePoint2m::new(f.from_mp(&Mp::from_u64(x)), f.from_mp(&Mp::from_u64(y)));
                 if c.is_on_curve(&p) {
                     points.push(p);
                 }

@@ -87,7 +87,7 @@ pub fn hash_to_scalar(curve: &Curve, msg: &[u8]) -> Mp {
 
 /// Truncates an externally computed digest into a scalar.
 pub fn digest_to_scalar(curve: &Curve, digest: &[u8]) -> Mp {
-    let mut limbs = Vec::with_capacity((digest.len() + 3) / 4);
+    let mut limbs = Vec::with_capacity(digest.len().div_ceil(4));
     // big-endian bytes -> little-endian limbs
     for chunk in digest.rchunks(4) {
         let mut w = 0u32;
@@ -113,7 +113,7 @@ pub fn derive_scalar(curve: &Curve, seed: &[u8], label: &[u8]) -> Mp {
     loop {
         // Concatenate as many digests as needed to cover bits(n) + 64.
         let mut material = Vec::new();
-        let blocks = (n.bit_len() + 64 + 255) / 256;
+        let blocks = (n.bit_len() + 64).div_ceil(256);
         for i in 0..blocks {
             let mut h = Sha256::new();
             h.update(label);
@@ -168,10 +168,7 @@ pub fn sign_with_nonce(curve: &Curve, d: &Mp, e: &Mp, k: &Mp) -> Option<Signatur
     if s_el.is_zero() {
         return None;
     }
-    Some(Signature {
-        r,
-        s: s_el.to_mp(),
-    })
+    Some(Signature { r, s: s_el.to_mp() })
 }
 
 /// Signs a message with a deterministic nonce derived from `nonce_seed`.
@@ -280,7 +277,12 @@ mod tests {
         let msg = b"sensor reading 42.0C";
         let sig = sign(&curve, &keys, msg, b"wsn epoch 9");
         assert!(verify(&curve, &keys.public(), msg, &sig));
-        assert!(!verify(&curve, &keys.public(), b"sensor reading 43.0C", &sig));
+        assert!(!verify(
+            &curve,
+            &keys.public(),
+            b"sensor reading 43.0C",
+            &sig
+        ));
     }
 
     #[test]

@@ -43,4 +43,3 @@ pub mod scalar;
 pub mod sha256;
 
 pub use params::{Curve, CurveId};
-

@@ -177,6 +177,9 @@ impl CurveId {
 }
 
 /// The curve-family-specific part of a [`Curve`].
+// Variant sizes differ (binary params carry more tables), but curves are
+// built once and borrowed everywhere — boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum CurveKind {
     /// A prime-field short-Weierstraß curve.
@@ -243,7 +246,13 @@ impl Curve {
         assert!(rem.is_zero(), "cofactor must divide the curve order");
         // Derive a generator: first small-x point, multiplied by the
         // cofactor to land in the prime-order subgroup.
-        let mut probe = BinaryCurve::new(field.clone(), a.clone(), b.clone(), field.one(), field.one());
+        let mut probe = BinaryCurve::new(
+            field.clone(),
+            a.clone(),
+            b.clone(),
+            field.one(),
+            field.one(),
+        );
         let mut start = 2u64;
         let g = loop {
             let p = probe.find_point(start);
@@ -498,10 +507,7 @@ mod tests {
         // reproduce it exactly (cofactor 2).
         let order = koblitz_order(163, true);
         let n = order.div_rem(&Mp::from_u64(2)).0;
-        assert_eq!(
-            n.to_hex(),
-            "4000000000000000000020108a2e0cc0d99f8a5ef"
-        );
+        assert_eq!(n.to_hex(), "4000000000000000000020108a2e0cc0d99f8a5ef");
     }
 
     #[test]

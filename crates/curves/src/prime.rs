@@ -88,7 +88,13 @@ impl PrimeCurve {
     /// # Panics
     ///
     /// Panics if the discriminant is zero.
-    pub fn new(field: PrimeField, a: FpElement, b: FpElement, gx: FpElement, gy: FpElement) -> Self {
+    pub fn new(
+        field: PrimeField,
+        a: FpElement,
+        b: FpElement,
+        gx: FpElement,
+        gy: FpElement,
+    ) -> Self {
         let four_a3 = field.mul_u64(&field.mul(&a, &field.sqr(&a)), 4);
         let twenty7_b2 = field.mul_u64(&field.sqr(&b), 27);
         assert!(
@@ -135,10 +141,7 @@ impl PrimeCurve {
             AffinePoint::Point { x, y } => {
                 let f = &self.field;
                 let lhs = f.sqr(y);
-                let rhs = f.add(
-                    &f.add(&f.mul(x, &f.sqr(x)), &f.mul(&self.a, x)),
-                    &self.b,
-                );
+                let rhs = f.add(&f.add(&f.mul(x, &f.sqr(x)), &f.mul(&self.a, x)), &self.b);
                 lhs == rhs
             }
         }
@@ -168,10 +171,7 @@ impl PrimeCurve {
                     }
                     return self.affine_double(p);
                 }
-                let lambda = f.mul(
-                    &f.sub(yb, ya),
-                    &f.inv(&f.sub(xb, xa)).expect("xa != xb"),
-                );
+                let lambda = f.mul(&f.sub(yb, ya), &f.inv(&f.sub(xb, xa)).expect("xa != xb"));
                 let xc = f.sub(&f.sub(&f.sqr(&lambda), xa), xb);
                 let yc = f.sub(&f.mul(&lambda, &f.sub(xa, &xc)), ya);
                 AffinePoint::new(xc, yc)
@@ -235,21 +235,19 @@ impl PrimeCurve {
         let s = f.mul_u64(&f.mul(&p.x, &ysq), 4);
         let m = if self.a_is_minus3 {
             let zsq = f.sqr(&p.z);
-            f.mul_u64(
-                &f.mul(&f.sub(&p.x, &zsq), &f.add(&p.x, &zsq)),
-                3,
-            )
+            f.mul_u64(&f.mul(&f.sub(&p.x, &zsq), &f.add(&p.x, &zsq)), 3)
         } else {
             let z4 = f.sqr(&f.sqr(&p.z));
             f.add(&f.mul_u64(&f.sqr(&p.x), 3), &f.mul(&self.a, &z4))
         };
         let x3 = f.sub(&f.sqr(&m), &f.dbl(&s));
-        let y3 = f.sub(
-            &f.mul(&m, &f.sub(&s, &x3)),
-            &f.mul_u64(&f.sqr(&ysq), 8),
-        );
+        let y3 = f.sub(&f.mul(&m, &f.sub(&s, &x3)), &f.mul_u64(&f.sqr(&ysq), 8));
         let z3 = f.mul(&f.dbl(&p.y), &p.z);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed Jacobian + affine addition — the workhorse of the paper's
@@ -285,7 +283,11 @@ impl PrimeCurve {
         let x3 = f.sub(&f.sub(&f.sqr(&r), &hhh), &f.dbl(&v));
         let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&p.y, &hhh));
         let z3 = f.mul(&p.z, &h);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Converts back to affine; the *one* field inversion a scalar
@@ -386,15 +388,12 @@ mod tests {
     fn jacobian_matches_affine_p192() {
         let f = PrimeField::nist(NistPrime::P192);
         let a = f.sub(&f.zero(), &f.from_u64(3));
-        let b = f.from_mp(
-            &Mp::from_hex("64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1").unwrap(),
-        );
-        let gx = f.from_mp(
-            &Mp::from_hex("188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012").unwrap(),
-        );
-        let gy = f.from_mp(
-            &Mp::from_hex("07192b95ffc8da78631011ed6b24cdd573f977a11e794811").unwrap(),
-        );
+        let b =
+            f.from_mp(&Mp::from_hex("64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1").unwrap());
+        let gx =
+            f.from_mp(&Mp::from_hex("188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012").unwrap());
+        let gy =
+            f.from_mp(&Mp::from_hex("07192b95ffc8da78631011ed6b24cdd573f977a11e794811").unwrap());
         let c = PrimeCurve::new(f, a, b, gx, gy);
         let g = c.generator();
         assert!(c.is_on_curve(&g), "NIST P-192 generator not on curve");

@@ -59,6 +59,8 @@ pub trait GroupOps {
     /// Convert to affine (costs one field inversion).
     fn to_affine(&self, p: &Self::Proj) -> Self::Aff;
     /// Lift an affine point.
+    // `&self` is the curve context, not the value being converted.
+    #[allow(clippy::wrong_self_convention)]
     fn from_affine(&self, q: &Self::Aff) -> Self::Proj;
     /// The affine infinity encoding.
     fn affine_infinity(&self) -> Self::Aff;

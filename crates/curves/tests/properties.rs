@@ -1,106 +1,130 @@
-//! Property-based tests of the curve layer: group laws under random
-//! scalars, algorithm agreement, and ECDSA round trips.
+//! Property-style tests of the curve layer: group laws under random
+//! scalars, algorithm agreement, and ECDSA round trips. Randomness comes
+//! from the workspace's deterministic PRNG (`ule-testkit`) so every run
+//! exercises the same reproducible operand set.
 
-use proptest::prelude::*;
 use ule_curves::ecdsa::{self, Keypair};
 use ule_curves::params::CurveId;
 use ule_curves::scalar;
 use ule_mpmath::mp::Mp;
+use ule_testkit::Rng;
 
-fn arb_scalar_bits(bits: usize) -> impl Strategy<Value = Mp> {
-    prop::collection::vec(any::<u32>(), (bits + 31) / 32)
-        .prop_map(|v| Mp::from_limbs(&v))
+fn scalar_bits(rng: &mut Rng, bits: usize) -> Mp {
+    Mp::from_limbs(&rng.vec_u32(bits.div_ceil(32)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn window_equals_binary_oracle_p192(k in arb_scalar_bits(96)) {
-        let curve = CurveId::P192.curve();
-        let c = curve.prime();
-        let g = c.generator();
-        prop_assert_eq!(
-            scalar::mul_window(c, &k, &g),
-            scalar::mul_binary(c, &k, &g)
-        );
+#[test]
+fn window_equals_binary_oracle_p192() {
+    let mut rng = Rng::new(0x7192);
+    let curve = CurveId::P192.curve();
+    let c = curve.prime();
+    let g = c.generator();
+    for _ in 0..12 {
+        let k = scalar_bits(&mut rng, 96);
+        assert_eq!(scalar::mul_window(c, &k, &g), scalar::mul_binary(c, &k, &g));
     }
+}
 
-    #[test]
-    fn window_equals_binary_oracle_k163(k in arb_scalar_bits(96)) {
-        let curve = CurveId::K163.curve();
-        let c = curve.binary();
-        let g = c.generator();
-        prop_assert_eq!(
-            scalar::mul_window(c, &k, &g),
-            scalar::mul_binary(c, &k, &g)
-        );
+#[test]
+fn window_equals_binary_oracle_k163() {
+    let mut rng = Rng::new(0x7163);
+    let curve = CurveId::K163.curve();
+    let c = curve.binary();
+    let g = c.generator();
+    for _ in 0..12 {
+        let k = scalar_bits(&mut rng, 96);
+        assert_eq!(scalar::mul_window(c, &k, &g), scalar::mul_binary(c, &k, &g));
     }
+}
 
-    #[test]
-    fn scalar_mult_distributes_over_addition(a in arb_scalar_bits(64), b in arb_scalar_bits(64)) {
-        // (a + b)G == aG + bG
-        let curve = CurveId::P192.curve();
-        let c = curve.prime();
-        let g = c.generator();
+#[test]
+fn scalar_mult_distributes_over_addition() {
+    // (a + b)G == aG + bG
+    let mut rng = Rng::new(0xadd);
+    let curve = CurveId::P192.curve();
+    let c = curve.prime();
+    let g = c.generator();
+    for _ in 0..12 {
+        let a = scalar_bits(&mut rng, 64);
+        let b = scalar_bits(&mut rng, 64);
         let lhs = scalar::mul_window(c, &a.add(&b), &g);
         let ag = scalar::mul_window(c, &a, &g);
         let bg = scalar::mul_window(c, &b, &g);
         let rhs = c.affine_add(&ag, &bg);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn twin_is_the_sum_of_singles(u1 in arb_scalar_bits(64), u2 in arb_scalar_bits(64)) {
-        let curve = CurveId::K163.curve();
-        let c = curve.binary();
-        let g = c.generator();
-        let q = scalar::mul_window(c, &Mp::from_u64(0xdead_beef), &g);
+#[test]
+fn twin_is_the_sum_of_singles() {
+    let mut rng = Rng::new(0x2720);
+    let curve = CurveId::K163.curve();
+    let c = curve.binary();
+    let g = c.generator();
+    let q = scalar::mul_window(c, &Mp::from_u64(0xdead_beef), &g);
+    for _ in 0..12 {
+        let u1 = scalar_bits(&mut rng, 64);
+        let u2 = scalar_bits(&mut rng, 64);
         let lhs = scalar::twin_mul(c, &u1, &g, &u2, &q);
         let rhs = c.affine_add(
             &scalar::mul_window(c, &u1, &g),
             &scalar::mul_window(c, &u2, &q),
         );
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn ecdsa_round_trip_random_messages(msg in prop::collection::vec(any::<u8>(), 0..200),
-                                        seed in any::<u64>()) {
-        let curve = CurveId::P192.curve();
+#[test]
+fn ecdsa_round_trip_random_messages() {
+    let mut rng = Rng::new(0xec5a);
+    let curve = CurveId::P192.curve();
+    for _ in 0..12 {
+        let len = rng.range(0, 200);
+        let msg = rng.bytes(len);
+        let seed = rng.next_u64();
         let keys = Keypair::derive(&curve, &seed.to_be_bytes());
         let sig = ecdsa::sign(&curve, &keys, &msg, b"prop nonce");
-        prop_assert!(ecdsa::verify(&curve, &keys.public(), &msg, &sig));
+        assert!(ecdsa::verify(&curve, &keys.public(), &msg, &sig));
         // Any bit flip in the message must be rejected.
         if !msg.is_empty() {
             let mut bad = msg.clone();
             bad[0] ^= 1;
-            prop_assert!(!ecdsa::verify(&curve, &keys.public(), &bad, &sig));
+            assert!(!ecdsa::verify(&curve, &keys.public(), &bad, &sig));
         }
     }
+}
 
-    #[test]
-    fn signature_malleability_rejected(extra in 1u64..1000) {
-        // Any (r, s + delta) must fail.
-        let curve = CurveId::P192.curve();
-        let keys = Keypair::derive(&curve, b"malleability");
-        let e = ecdsa::hash_to_scalar(&curve, b"fixed message");
-        let nonce = ecdsa::derive_scalar(&curve, b"fixed nonce", b"n");
-        let sig = ecdsa::sign_with_nonce(&curve, keys.private(), &e, &nonce).unwrap();
+#[test]
+fn signature_malleability_rejected() {
+    // Any (r, s + delta) must fail.
+    let mut rng = Rng::new(0x3a11);
+    let curve = CurveId::P192.curve();
+    let keys = Keypair::derive(&curve, b"malleability");
+    let e = ecdsa::hash_to_scalar(&curve, b"fixed message");
+    let nonce = ecdsa::derive_scalar(&curve, b"fixed nonce", b"n");
+    let sig = ecdsa::sign_with_nonce(&curve, keys.private(), &e, &nonce).unwrap();
+    for _ in 0..12 {
+        let extra = 1 + rng.below(999);
         let bad = ecdsa::Signature {
             r: sig.r.clone(),
             s: sig.s.add(&Mp::from_u64(extra)).rem(curve.n()),
         };
-        prop_assert!(!ecdsa::verify_prehashed(&curve, &keys.public(), &e, &bad));
+        assert!(!ecdsa::verify_prehashed(&curve, &keys.public(), &e, &bad));
     }
+}
 
-    #[test]
-    fn montgomery_ladder_agrees(k in arb_scalar_bits(48)) {
-        let curve = CurveId::K163.curve();
-        let c = curve.binary();
-        let g = c.generator();
-        prop_assume!(!k.is_zero());
+#[test]
+fn montgomery_ladder_agrees() {
+    let mut rng = Rng::new(0x1add);
+    let curve = CurveId::K163.curve();
+    let c = curve.binary();
+    let g = c.generator();
+    for _ in 0..12 {
+        let k = scalar_bits(&mut rng, 48);
+        if k.is_zero() {
+            continue;
+        }
         let (ladder, _) = scalar::montgomery_ladder_2m(c, &k, &g);
-        prop_assert_eq!(ladder, scalar::mul_window(c, &k, &g));
+        assert_eq!(ladder, scalar::mul_window(c, &k, &g));
     }
 }

@@ -33,20 +33,92 @@ pub struct FfauPower {
 /// Table 7.3, embedded.
 pub const FFAU_POWER: [FfauPower; 12] = [
     // 192-bit
-    FfauPower { width: 8, key_bits: 192, area_cells: 2_091, static_uw: 32.3, dynamic_uw: 166.2 },
-    FfauPower { width: 16, key_bits: 192, area_cells: 4_244, static_uw: 59.3, dynamic_uw: 311.9 },
-    FfauPower { width: 32, key_bits: 192, area_cells: 11_329, static_uw: 159.1, dynamic_uw: 659.9 },
-    FfauPower { width: 64, key_bits: 192, area_cells: 36_582, static_uw: 530.6, dynamic_uw: 1_472.7 },
+    FfauPower {
+        width: 8,
+        key_bits: 192,
+        area_cells: 2_091,
+        static_uw: 32.3,
+        dynamic_uw: 166.2,
+    },
+    FfauPower {
+        width: 16,
+        key_bits: 192,
+        area_cells: 4_244,
+        static_uw: 59.3,
+        dynamic_uw: 311.9,
+    },
+    FfauPower {
+        width: 32,
+        key_bits: 192,
+        area_cells: 11_329,
+        static_uw: 159.1,
+        dynamic_uw: 659.9,
+    },
+    FfauPower {
+        width: 64,
+        key_bits: 192,
+        area_cells: 36_582,
+        static_uw: 530.6,
+        dynamic_uw: 1_472.7,
+    },
     // 256-bit
-    FfauPower { width: 8, key_bits: 256, area_cells: 2_091, static_uw: 34.0, dynamic_uw: 186.2 },
-    FfauPower { width: 16, key_bits: 256, area_cells: 4_244, static_uw: 61.6, dynamic_uw: 310.2 },
-    FfauPower { width: 32, key_bits: 256, area_cells: 11_327, static_uw: 161.4, dynamic_uw: 684.4 },
-    FfauPower { width: 64, key_bits: 256, area_cells: 36_582, static_uw: 532.9, dynamic_uw: 1_613.4 },
+    FfauPower {
+        width: 8,
+        key_bits: 256,
+        area_cells: 2_091,
+        static_uw: 34.0,
+        dynamic_uw: 186.2,
+    },
+    FfauPower {
+        width: 16,
+        key_bits: 256,
+        area_cells: 4_244,
+        static_uw: 61.6,
+        dynamic_uw: 310.2,
+    },
+    FfauPower {
+        width: 32,
+        key_bits: 256,
+        area_cells: 11_327,
+        static_uw: 161.4,
+        dynamic_uw: 684.4,
+    },
+    FfauPower {
+        width: 64,
+        key_bits: 256,
+        area_cells: 36_582,
+        static_uw: 532.9,
+        dynamic_uw: 1_613.4,
+    },
     // 384-bit
-    FfauPower { width: 8, key_bits: 384, area_cells: 2_168, static_uw: 35.4, dynamic_uw: 197.1 },
-    FfauPower { width: 16, key_bits: 384, area_cells: 4_322, static_uw: 65.0, dynamic_uw: 321.6 },
-    FfauPower { width: 32, key_bits: 384, area_cells: 11_405, static_uw: 164.3, dynamic_uw: 888.5 },
-    FfauPower { width: 64, key_bits: 384, area_cells: 36_664, static_uw: 535.7, dynamic_uw: 1_686.5 },
+    FfauPower {
+        width: 8,
+        key_bits: 384,
+        area_cells: 2_168,
+        static_uw: 35.4,
+        dynamic_uw: 197.1,
+    },
+    FfauPower {
+        width: 16,
+        key_bits: 384,
+        area_cells: 4_322,
+        static_uw: 65.0,
+        dynamic_uw: 321.6,
+    },
+    FfauPower {
+        width: 32,
+        key_bits: 384,
+        area_cells: 11_405,
+        static_uw: 164.3,
+        dynamic_uw: 888.5,
+    },
+    FfauPower {
+        width: 64,
+        key_bits: 384,
+        area_cells: 36_664,
+        static_uw: 535.7,
+        dynamic_uw: 1_686.5,
+    },
 ];
 
 /// Looks up the Table 7.3 row for a width/key-size pair.

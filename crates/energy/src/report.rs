@@ -38,7 +38,7 @@ impl Component {
 }
 
 /// Instruction-cache activity for the energy model.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct IcacheActivity {
     /// Cache capacity in bytes.
     pub size_bytes: u32,
@@ -64,7 +64,7 @@ pub enum CopKind {
 /// (§8: "we plan on modeling our system such that we can turn off Billie
 /// when she is not in use"; §7.4: "our system could still benefit
 /// substantially from power and clock gating techniques").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Gating {
     /// The study's design point: the accelerator clock keeps running
     /// while idle.
@@ -80,7 +80,7 @@ pub enum Gating {
 }
 
 /// Accelerator activity for the energy model.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CopActivity {
     /// Which accelerator.
     pub kind: CopKind,
@@ -98,7 +98,7 @@ pub struct CopActivity {
 }
 
 /// Event counts of one simulated run — everything the energy model needs.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Activity {
     /// Total clock cycles.
     pub cycles: u64,
@@ -132,7 +132,7 @@ impl Activity {
 }
 
 /// Energy broken down by component, each split static/dynamic (J).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
     entries: Vec<(Component, f64, f64)>,
     time_s: f64,

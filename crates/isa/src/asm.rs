@@ -682,8 +682,16 @@ impl Asm {
                     }
                     let off = delta as i16;
                     self.text[*index] = match self.text[*index] {
-                        Instr::Beq { rs, rt, .. } => Instr::Beq { rs, rt, offset: off },
-                        Instr::Bne { rs, rt, .. } => Instr::Bne { rs, rt, offset: off },
+                        Instr::Beq { rs, rt, .. } => Instr::Beq {
+                            rs,
+                            rt,
+                            offset: off,
+                        },
+                        Instr::Bne { rs, rt, .. } => Instr::Bne {
+                            rs,
+                            rt,
+                            offset: off,
+                        },
                         Instr::Blez { rs, .. } => Instr::Blez { rs, offset: off },
                         Instr::Bgtz { rs, .. } => Instr::Bgtz { rs, offset: off },
                         Instr::Bltz { rs, .. } => Instr::Bltz { rs, offset: off },

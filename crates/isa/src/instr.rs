@@ -97,84 +97,274 @@ const RS_CO: u32 = 0x10;
 #[allow(missing_docs)]
 pub enum Instr {
     // --- R-type ALU ---
-    Addu { rd: Reg, rs: Reg, rt: Reg },
-    Subu { rd: Reg, rs: Reg, rt: Reg },
-    And { rd: Reg, rs: Reg, rt: Reg },
-    Or { rd: Reg, rs: Reg, rt: Reg },
-    Xor { rd: Reg, rs: Reg, rt: Reg },
-    Nor { rd: Reg, rs: Reg, rt: Reg },
-    Slt { rd: Reg, rs: Reg, rt: Reg },
-    Sltu { rd: Reg, rs: Reg, rt: Reg },
-    Sllv { rd: Reg, rt: Reg, rs: Reg },
-    Srlv { rd: Reg, rt: Reg, rs: Reg },
-    Srav { rd: Reg, rt: Reg, rs: Reg },
-    Sll { rd: Reg, rt: Reg, shamt: u8 },
-    Srl { rd: Reg, rt: Reg, shamt: u8 },
-    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    Addu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Subu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Nor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sllv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srlv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srav {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Sll {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Srl {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sra {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
     // --- I-type ALU ---
-    Addiu { rt: Reg, rs: Reg, imm: i16 },
-    Slti { rt: Reg, rs: Reg, imm: i16 },
-    Sltiu { rt: Reg, rs: Reg, imm: i16 },
-    Andi { rt: Reg, rs: Reg, imm: u16 },
-    Ori { rt: Reg, rs: Reg, imm: u16 },
-    Xori { rt: Reg, rs: Reg, imm: u16 },
-    Lui { rt: Reg, imm: u16 },
+    Addiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Slti {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Sltiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Andi {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Ori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Xori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Lui {
+        rt: Reg,
+        imm: u16,
+    },
     // --- multiply / divide (Hi/Lo unit, §5.1.1) ---
-    Mult { rs: Reg, rt: Reg },
-    Multu { rs: Reg, rt: Reg },
-    Div { rs: Reg, rt: Reg },
-    Divu { rs: Reg, rt: Reg },
-    Mfhi { rd: Reg },
-    Mflo { rd: Reg },
-    Mthi { rs: Reg },
-    Mtlo { rs: Reg },
+    Mult {
+        rs: Reg,
+        rt: Reg,
+    },
+    Multu {
+        rs: Reg,
+        rt: Reg,
+    },
+    Div {
+        rs: Reg,
+        rt: Reg,
+    },
+    Divu {
+        rs: Reg,
+        rt: Reg,
+    },
+    Mfhi {
+        rd: Reg,
+    },
+    Mflo {
+        rd: Reg,
+    },
+    Mthi {
+        rs: Reg,
+    },
+    Mtlo {
+        rs: Reg,
+    },
     // --- memory ---
-    Lw { rt: Reg, base: Reg, offset: i16 },
-    Lh { rt: Reg, base: Reg, offset: i16 },
-    Lhu { rt: Reg, base: Reg, offset: i16 },
-    Lb { rt: Reg, base: Reg, offset: i16 },
-    Lbu { rt: Reg, base: Reg, offset: i16 },
-    Sw { rt: Reg, base: Reg, offset: i16 },
-    Sh { rt: Reg, base: Reg, offset: i16 },
-    Sb { rt: Reg, base: Reg, offset: i16 },
+    Lw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lhu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lbu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
     // --- control flow (all with one architectural delay slot) ---
-    Beq { rs: Reg, rt: Reg, offset: i16 },
-    Bne { rs: Reg, rt: Reg, offset: i16 },
-    Blez { rs: Reg, offset: i16 },
-    Bgtz { rs: Reg, offset: i16 },
-    Bltz { rs: Reg, offset: i16 },
-    Bgez { rs: Reg, offset: i16 },
-    J { target: u32 },
-    Jal { target: u32 },
-    Jr { rs: Reg },
-    Jalr { rd: Reg, rs: Reg },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Blez {
+        rs: Reg,
+        offset: i16,
+    },
+    Bgtz {
+        rs: Reg,
+        offset: i16,
+    },
+    Bltz {
+        rs: Reg,
+        offset: i16,
+    },
+    Bgez {
+        rs: Reg,
+        offset: i16,
+    },
+    J {
+        target: u32,
+    },
+    Jal {
+        target: u32,
+    },
+    Jr {
+        rs: Reg,
+    },
+    Jalr {
+        rd: Reg,
+        rs: Reg,
+    },
     /// Stops the simulation (used as the program epilogue).
-    Break { code: u16 },
+    Break {
+        code: u16,
+    },
     // --- prime-field ISA extensions (Table 5.1) ---
     /// `(OvFlo,Hi,Lo) += rs * rt`
-    Maddu { rs: Reg, rt: Reg },
+    Maddu {
+        rs: Reg,
+        rt: Reg,
+    },
     /// `(OvFlo,Hi,Lo) += 2 * rs * rt` (squaring optimization)
-    M2addu { rs: Reg, rt: Reg },
+    M2addu {
+        rs: Reg,
+        rt: Reg,
+    },
     /// `(OvFlo,Hi,Lo) += (rs << 32) + rt`
-    Addau { rs: Reg, rt: Reg },
+    Addau {
+        rs: Reg,
+        rt: Reg,
+    },
     /// `(OvFlo,Hi,Lo) >>= 32`
     Sha,
     // --- binary-field ISA extensions (Table 5.2) ---
     /// `(OvFlo,Hi,Lo) = rs (x) rt` (carry-less multiply)
-    Mulgf2 { rs: Reg, rt: Reg },
+    Mulgf2 {
+        rs: Reg,
+        rt: Reg,
+    },
     /// `(OvFlo,Hi,Lo) ^= rs (x) rt`
-    Maddgf2 { rs: Reg, rt: Reg },
+    Maddgf2 {
+        rs: Reg,
+        rt: Reg,
+    },
     // --- Monte coprocessor commands (Table 5.3) ---
     /// Move to coprocessor-2 control register.
-    Ctc2 { rt: Reg, rd: u8 },
+    Ctc2 {
+        rt: Reg,
+        rd: u8,
+    },
     /// Synchronize: stall until the coprocessor drains.
     Cop2Sync,
     /// DMA operand A from `MEM[GPR[rt]]` into Monte.
-    Cop2LdA { rt: Reg },
+    Cop2LdA {
+        rt: Reg,
+    },
     /// DMA operand B from `MEM[GPR[rt]]` into Monte.
-    Cop2LdB { rt: Reg },
+    Cop2LdB {
+        rt: Reg,
+    },
     /// DMA modulus N from `MEM[GPR[rt]]` into Monte.
-    Cop2LdN { rt: Reg },
+    Cop2LdN {
+        rt: Reg,
+    },
     /// Modular multiply (Montgomery CIOS microprogram).
     Cop2Mul,
     /// Modular add microprogram.
@@ -182,18 +372,37 @@ pub enum Instr {
     /// Modular subtract microprogram.
     Cop2Sub,
     /// DMA the result buffer to `MEM[GPR[rt]]`.
-    Cop2St { rt: Reg },
+    Cop2St {
+        rt: Reg,
+    },
     // --- Billie coprocessor commands (Table 5.6) ---
     /// Load a field element from `MEM[GPR[rt]]` into Billie register `fs`.
-    BilLd { rt: Reg, fs: u8 },
+    BilLd {
+        rt: Reg,
+        fs: u8,
+    },
     /// Store Billie register `fs` to `MEM[GPR[rt]]`.
-    BilSt { rt: Reg, fs: u8 },
+    BilSt {
+        rt: Reg,
+        fs: u8,
+    },
     /// `BR[fd] = BR[fs] * BR[ft]` (digit-serial modular multiply).
-    BilMul { fd: u8, fs: u8, ft: u8 },
+    BilMul {
+        fd: u8,
+        fs: u8,
+        ft: u8,
+    },
     /// `BR[fd] = BR[ft]^2` (hardwired squarer).
-    BilSqr { fd: u8, ft: u8 },
+    BilSqr {
+        fd: u8,
+        ft: u8,
+    },
     /// `BR[fd] = BR[fs] + BR[ft]` (full-width XOR).
-    BilAdd { fd: u8, fs: u8, ft: u8 },
+    BilAdd {
+        fd: u8,
+        fs: u8,
+        ft: u8,
+    },
 }
 
 /// Error returned when a 32-bit word does not decode to a known
@@ -218,7 +427,12 @@ fn r(n: u32) -> Reg {
 
 #[allow(clippy::too_many_arguments)]
 fn enc_r(op: u32, rs: u32, rt: u32, rd: u32, shamt: u32, funct: u32) -> u32 {
-    (op << 26) | ((rs & 31) << 21) | ((rt & 31) << 16) | ((rd & 31) << 11) | ((shamt & 31) << 6) | (funct & 63)
+    (op << 26)
+        | ((rs & 31) << 21)
+        | ((rt & 31) << 16)
+        | ((rd & 31) << 11)
+        | ((shamt & 31) << 6)
+        | (funct & 63)
 }
 
 fn enc_i(op: u32, rs: u32, rt: u32, imm: u32) -> u32 {
@@ -303,9 +517,13 @@ impl Instr {
             Cop2St { rt } => enc_r(OP_COP2, RS_CO, rn(rt), 0, 0, C2_ST),
             BilLd { rt, fs } => enc_r(OP_COP2, RS_CO, rn(rt), fs as u32, 0, C2_BLD),
             BilSt { rt, fs } => enc_r(OP_COP2, RS_CO, rn(rt), fs as u32, 0, C2_BST),
-            BilMul { fd, fs, ft } => enc_r(OP_COP2, RS_CO, ft as u32, fs as u32, fd as u32, C2_BMUL),
+            BilMul { fd, fs, ft } => {
+                enc_r(OP_COP2, RS_CO, ft as u32, fs as u32, fd as u32, C2_BMUL)
+            }
             BilSqr { fd, ft } => enc_r(OP_COP2, RS_CO, ft as u32, 0, fd as u32, C2_BSQR),
-            BilAdd { fd, fs, ft } => enc_r(OP_COP2, RS_CO, ft as u32, fs as u32, fd as u32, C2_BADD),
+            BilAdd { fd, fs, ft } => {
+                enc_r(OP_COP2, RS_CO, ft as u32, fs as u32, fd as u32, C2_BADD)
+            }
         }
     }
 
@@ -367,8 +585,16 @@ impl Instr {
             OP_JAL => Jal {
                 target: word & 0x03ff_ffff,
             },
-            OP_BEQ => Beq { rs, rt, offset: simm },
-            OP_BNE => Bne { rs, rt, offset: simm },
+            OP_BEQ => Beq {
+                rs,
+                rt,
+                offset: simm,
+            },
+            OP_BNE => Bne {
+                rs,
+                rt,
+                offset: simm,
+            },
             OP_BLEZ => Blez { rs, offset: simm },
             OP_BGTZ => Bgtz { rs, offset: simm },
             OP_ADDIU => Addiu { rt, rs, imm: simm },
@@ -378,14 +604,46 @@ impl Instr {
             OP_ORI => Ori { rt, rs, imm },
             OP_XORI => Xori { rt, rs, imm },
             OP_LUI => Lui { rt, imm },
-            OP_LB => Lb { rt, base: rs, offset: simm },
-            OP_LH => Lh { rt, base: rs, offset: simm },
-            OP_LW => Lw { rt, base: rs, offset: simm },
-            OP_LBU => Lbu { rt, base: rs, offset: simm },
-            OP_LHU => Lhu { rt, base: rs, offset: simm },
-            OP_SB => Sb { rt, base: rs, offset: simm },
-            OP_SH => Sh { rt, base: rs, offset: simm },
-            OP_SW => Sw { rt, base: rs, offset: simm },
+            OP_LB => Lb {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_LH => Lh {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_LW => Lw {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_LBU => Lbu {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_LHU => Lhu {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_SB => Sb {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_SH => Sh {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_SW => Sw {
+                rt,
+                base: rs,
+                offset: simm,
+            },
             OP_SPECIAL2 => match funct {
                 F2_MADDU => Maddu { rs, rt },
                 F2_M2ADDU => M2addu { rs, rt },
@@ -613,7 +871,11 @@ mod tests {
             Instr::Ctc2 { rt: Reg::T0, rd: 3 },
             Instr::Cop2LdA { rt: Reg::A0 },
             Instr::Cop2Mul,
-            Instr::BilMul { fd: 7, fs: 3, ft: 15 },
+            Instr::BilMul {
+                fd: 7,
+                fs: 3,
+                ft: 15,
+            },
             Instr::BilSqr { fd: 1, ft: 2 },
             Instr::Break { code: 42 },
         ];

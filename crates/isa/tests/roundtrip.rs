@@ -1,95 +1,225 @@
-//! Encode/decode round-trip property tests over the whole instruction set.
+//! Encode/decode round-trip tests over the whole instruction set,
+//! driven by the workspace's deterministic PRNG.
 
-use proptest::prelude::*;
 use ule_isa::instr::Instr;
 use ule_isa::reg::Reg;
+use ule_testkit::Rng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg)
+fn reg(rng: &mut Rng) -> Reg {
+    Reg(rng.below(32) as u8)
 }
 
-fn arb_breg() -> impl Strategy<Value = u8> {
-    0u8..16 // Billie has a 16-entry register file (§5.5.2)
+fn breg(rng: &mut Rng) -> u8 {
+    rng.below(16) as u8 // Billie has a 16-entry register file (§5.5.2)
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let r = arb_reg;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Addu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Subu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Xor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Nor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Sltu { rd, rs, rt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Instr::Sll { rd, rt, shamt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Instr::Srl { rd, rt, shamt }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Instr::Addiu { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Instr::Ori { rt, rs, imm }),
-        (r(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm }),
-        (r(), r()).prop_map(|(rs, rt)| Instr::Multu { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Instr::Divu { rs, rt }),
-        r().prop_map(|rd| Instr::Mflo { rd }),
-        r().prop_map(|rd| Instr::Mfhi { rd }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Instr::Lw { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Instr::Sw { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Instr::Lbu { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Instr::Beq { rs, rt, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Instr::Bne { rs, rt, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Instr::Bltz { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Instr::Bgez { rs, offset }),
-        (0u32..(1 << 26)).prop_map(|target| Instr::J { target }),
-        (0u32..(1 << 26)).prop_map(|target| Instr::Jal { target }),
-        r().prop_map(|rs| Instr::Jr { rs }),
-        (r(), r()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
-        any::<u16>().prop_map(|code| Instr::Break { code }),
-        (r(), r()).prop_map(|(rs, rt)| Instr::Maddu { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Instr::M2addu { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Instr::Addau { rs, rt }),
-        Just(Instr::Sha),
-        (r(), r()).prop_map(|(rs, rt)| Instr::Mulgf2 { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Instr::Maddgf2 { rs, rt }),
-        (r(), 0u8..32).prop_map(|(rt, rd)| Instr::Ctc2 { rt, rd }),
-        Just(Instr::Cop2Sync),
-        r().prop_map(|rt| Instr::Cop2LdA { rt }),
-        r().prop_map(|rt| Instr::Cop2LdB { rt }),
-        r().prop_map(|rt| Instr::Cop2LdN { rt }),
-        Just(Instr::Cop2Mul),
-        Just(Instr::Cop2Add),
-        Just(Instr::Cop2Sub),
-        r().prop_map(|rt| Instr::Cop2St { rt }),
-        (r(), arb_breg()).prop_map(|(rt, fs)| Instr::BilLd { rt, fs }),
-        (r(), arb_breg()).prop_map(|(rt, fs)| Instr::BilSt { rt, fs }),
-        (arb_breg(), arb_breg(), arb_breg()).prop_map(|(fd, fs, ft)| Instr::BilMul { fd, fs, ft }),
-        (arb_breg(), arb_breg()).prop_map(|(fd, ft)| Instr::BilSqr { fd, ft }),
-        (arb_breg(), arb_breg(), arb_breg()).prop_map(|(fd, fs, ft)| Instr::BilAdd { fd, fs, ft }),
-    ]
+fn shamt(rng: &mut Rng) -> u8 {
+    rng.below(32) as u8
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn random_instr(rng: &mut Rng) -> Instr {
+    let r = reg;
+    match rng.below(46) {
+        0 => Instr::Addu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        1 => Instr::Subu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        2 => Instr::Xor {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        3 => Instr::Nor {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        4 => Instr::Sltu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        5 => Instr::Sll {
+            rd: r(rng),
+            rt: r(rng),
+            shamt: shamt(rng),
+        },
+        6 => Instr::Srl {
+            rd: r(rng),
+            rt: r(rng),
+            shamt: shamt(rng),
+        },
+        7 => Instr::Addiu {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.next_i16(),
+        },
+        8 => Instr::Ori {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.next_u16(),
+        },
+        9 => Instr::Lui {
+            rt: r(rng),
+            imm: rng.next_u16(),
+        },
+        10 => Instr::Multu {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        11 => Instr::Divu {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        12 => Instr::Mflo { rd: r(rng) },
+        13 => Instr::Mfhi { rd: r(rng) },
+        14 => Instr::Lw {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.next_i16(),
+        },
+        15 => Instr::Sw {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.next_i16(),
+        },
+        16 => Instr::Lbu {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.next_i16(),
+        },
+        17 => Instr::Beq {
+            rs: r(rng),
+            rt: r(rng),
+            offset: rng.next_i16(),
+        },
+        18 => Instr::Bne {
+            rs: r(rng),
+            rt: r(rng),
+            offset: rng.next_i16(),
+        },
+        19 => Instr::Bltz {
+            rs: r(rng),
+            offset: rng.next_i16(),
+        },
+        20 => Instr::Bgez {
+            rs: r(rng),
+            offset: rng.next_i16(),
+        },
+        21 => Instr::J {
+            target: rng.below(1 << 26) as u32,
+        },
+        22 => Instr::Jal {
+            target: rng.below(1 << 26) as u32,
+        },
+        23 => Instr::Jr { rs: r(rng) },
+        24 => Instr::Jalr {
+            rd: r(rng),
+            rs: r(rng),
+        },
+        25 => Instr::Break {
+            code: rng.next_u16(),
+        },
+        26 => Instr::Maddu {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        27 => Instr::M2addu {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        28 => Instr::Addau {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        29 => Instr::Sha,
+        30 => Instr::Mulgf2 {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        31 => Instr::Maddgf2 {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        32 => Instr::Ctc2 {
+            rt: r(rng),
+            rd: rng.below(32) as u8,
+        },
+        33 => Instr::Cop2Sync,
+        34 => Instr::Cop2LdA { rt: r(rng) },
+        35 => Instr::Cop2LdB { rt: r(rng) },
+        36 => Instr::Cop2LdN { rt: r(rng) },
+        37 => Instr::Cop2Mul,
+        38 => Instr::Cop2Add,
+        39 => Instr::Cop2Sub,
+        40 => Instr::Cop2St { rt: r(rng) },
+        41 => Instr::BilLd {
+            rt: r(rng),
+            fs: breg(rng),
+        },
+        42 => Instr::BilSt {
+            rt: r(rng),
+            fs: breg(rng),
+        },
+        43 => Instr::BilMul {
+            fd: breg(rng),
+            fs: breg(rng),
+            ft: breg(rng),
+        },
+        44 => Instr::BilSqr {
+            fd: breg(rng),
+            ft: breg(rng),
+        },
+        _ => Instr::BilAdd {
+            fd: breg(rng),
+            fs: breg(rng),
+            ft: breg(rng),
+        },
+    }
+}
 
-    #[test]
-    fn encode_decode_round_trip(i in arb_instr()) {
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = Rng::new(0x15a0);
+    for _ in 0..512 {
+        let i = random_instr(&mut rng);
         let w = i.encode();
-        prop_assert_eq!(Instr::decode(w), Ok(i));
+        assert_eq!(Instr::decode(w), Ok(i));
     }
+}
 
-    #[test]
-    fn display_never_panics(i in arb_instr()) {
-        let _ = i.to_string();
+#[test]
+fn display_never_panics() {
+    let mut rng = Rng::new(0x15a1);
+    for _ in 0..512 {
+        let _ = random_instr(&mut rng).to_string();
     }
+}
 
-    #[test]
-    fn decode_never_panics(w in any::<u32>()) {
-        let _ = Instr::decode(w);
+#[test]
+fn decode_never_panics() {
+    let mut rng = Rng::new(0x15a2);
+    for _ in 0..4096 {
+        let _ = Instr::decode(rng.next_u32());
     }
+}
 
-    #[test]
-    fn decode_encode_fixpoint(w in any::<u32>()) {
-        // Any word that decodes must re-encode to itself or to a word that
-        // decodes identically (field normalization).
+#[test]
+fn decode_encode_fixpoint() {
+    // Any word that decodes must re-encode to itself or to a word that
+    // decodes identically (field normalization).
+    let mut rng = Rng::new(0x15a3);
+    for _ in 0..4096 {
+        let w = rng.next_u32();
         if let Ok(i) = Instr::decode(w) {
             let w2 = i.encode();
-            prop_assert_eq!(Instr::decode(w2), Ok(i));
+            assert_eq!(Instr::decode(w2), Ok(i));
         }
     }
 }

@@ -25,7 +25,7 @@ use ule_pete::cop::{CopStats, Coprocessor};
 use ule_pete::mem::Ram;
 
 /// Front-end configuration knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MonteConfig {
     /// Overlap DMA with computation (§5.4.1). The §7.7 ablation sets
     /// this false, serializing every transfer behind the FFAU.
@@ -214,10 +214,7 @@ impl Coprocessor for Monte {
                     Instr::Cop2Add => self.ffau.modadd(),
                     _ => self.ffau.modsub(),
                 };
-                let start = self
-                    .ffau_free_at
-                    .max(self.operands_ready_at)
-                    .max(cycle);
+                let start = self.ffau_free_at.max(self.operands_ready_at).max(cycle);
                 self.ffau_free_at = start + dur;
                 self.stats.busy_cycles += dur;
                 self.inflight.push_back(self.ffau_free_at);
@@ -273,14 +270,14 @@ impl Coprocessor for Monte {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ule_isa::asm::RAM_BASE;
     use ule_isa::reg::Reg;
     use ule_mpmath::mont::Montgomery;
     use ule_mpmath::mp::Mp;
     use ule_mpmath::nist::NistPrime;
-    use ule_isa::asm::RAM_BASE;
 
     fn setup(p: &Mp) -> (Monte, Ram, usize) {
-        let k = (p.bit_len() + 31) / 32;
+        let k = p.bit_len().div_ceil(32);
         let mont = Montgomery::new(p);
         let mut m = Monte::new();
         let mut ram = Ram::new();
@@ -339,8 +336,10 @@ mod tests {
     fn double_buffering_shortens_schedules() {
         let p = NistPrime::P384.modulus();
         let run = |db: bool| -> u64 {
-            let mut cfg = MonteConfig::default();
-            cfg.double_buffer = db;
+            let cfg = MonteConfig {
+                double_buffer: db,
+                ..Default::default()
+            };
             let k = 12;
             let mont = Montgomery::new(&p);
             let mut m = Monte::with_config(cfg);

@@ -18,6 +18,10 @@
 //! [`Action::Stall`] on the `m = t[0]·n0'` data dependency the paper
 //! calls out, plus the final pipeline drain.
 
+// Kernel loops index limb arrays the way the RTL datapath does;
+// iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
 /// Control codes for the loop index registers (Table 5.5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum IdxCtl {
@@ -135,51 +139,119 @@ pub fn assemble_cios() -> Vec<Micro> {
     // 14     Correct + End (fixed-cost correction)    (18)
     // Total: k*(2k + 6 + p) + 22 + p = eq. 5.2.
     vec![
-        Micro { action: Action::Nop, idx_i: IdxCtl::Clear, ..Default::default() },
-        Micro { action: Action::Nop, idx_j: IdxCtl::LoadConst(0), ..Default::default() },
-        Micro { action: Action::Nop, ..Default::default() },
-        Micro { action: Action::Nop, ..Default::default() },
-        Micro { action: Action::Nop, idx_j: IdxCtl::Clear, ..Default::default() },
+        Micro {
+            action: Action::Nop,
+            idx_i: IdxCtl::Clear,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::Nop,
+            idx_j: IdxCtl::LoadConst(0),
+            ..Default::default()
+        },
+        Micro {
+            action: Action::Nop,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::Nop,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::Nop,
+            idx_j: IdxCtl::Clear,
+            ..Default::default()
+        },
         Micro {
             action: Action::Row1,
             idx_j: IdxCtl::Inc,
-            seq: Seq::LoopTo { target: 5, idx: LoopIdx::J, bound: 0 },
+            seq: Seq::LoopTo {
+                target: 5,
+                idx: LoopIdx::J,
+                bound: 0,
+            },
             ..Default::default()
         },
-        Micro { action: Action::CarryFold, ..Default::default() },
-        Micro { action: Action::CarryFold, ..Default::default() },
-        Micro { action: Action::CalcM, ..Default::default() },
-        Micro { action: Action::Stall, idx_j: IdxCtl::Clear, ..Default::default() },
+        Micro {
+            action: Action::CarryFold,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::CarryFold,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::CalcM,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::Stall,
+            idx_j: IdxCtl::Clear,
+            ..Default::default()
+        },
         Micro {
             action: Action::Row2,
             idx_j: IdxCtl::Inc,
-            seq: Seq::LoopTo { target: 10, idx: LoopIdx::J, bound: 0 },
+            seq: Seq::LoopTo {
+                target: 10,
+                idx: LoopIdx::J,
+                bound: 0,
+            },
             ..Default::default()
         },
-        Micro { action: Action::Tail, ..Default::default() },
+        Micro {
+            action: Action::Tail,
+            ..Default::default()
+        },
         Micro {
             action: Action::Tail,
             idx_i: IdxCtl::Inc,
-            seq: Seq::LoopTo { target: 4, idx: LoopIdx::I, bound: 0 },
+            seq: Seq::LoopTo {
+                target: 4,
+                idx: LoopIdx::I,
+                bound: 0,
+            },
             ..Default::default()
         },
-        Micro { action: Action::Stall, ..Default::default() },
-        Micro { action: Action::Correct, seq: Seq::End, ..Default::default() },
+        Micro {
+            action: Action::Stall,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::Correct,
+            seq: Seq::End,
+            ..Default::default()
+        },
     ]
 }
 
 /// Assembles the modular add/sub microprogram.
 pub fn assemble_addsub(sub: bool) -> Vec<Micro> {
     vec![
-        Micro { action: Action::Nop, idx_j: IdxCtl::Clear, ..Default::default() },
+        Micro {
+            action: Action::Nop,
+            idx_j: IdxCtl::Clear,
+            ..Default::default()
+        },
         Micro {
             action: Action::AddRow { sub },
             idx_j: IdxCtl::Inc,
-            seq: Seq::LoopTo { target: 1, idx: LoopIdx::J, bound: 0 },
+            seq: Seq::LoopTo {
+                target: 1,
+                idx: LoopIdx::J,
+                bound: 0,
+            },
             ..Default::default()
         },
-        Micro { action: Action::Stall, ..Default::default() },
-        Micro { action: Action::CondCorrect { sub }, seq: Seq::End, ..Default::default() },
+        Micro {
+            action: Action::Stall,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::CondCorrect { sub },
+            seq: Seq::End,
+            ..Default::default()
+        },
     ]
 }
 
@@ -240,7 +312,11 @@ impl MicroEngine {
         assert_eq!(b.len(), k);
         assert_eq!(n.len(), k);
         let w = self.width;
-        let mask: u128 = if w == 64 { u128::MAX >> 64 } else { (1u128 << w) - 1 };
+        let mask: u128 = if w == 64 {
+            u128::MAX >> 64
+        } else {
+            (1u128 << w) - 1
+        };
         let mut st = Exec {
             t: vec![0u128; k + 2],
             carry: 0,
@@ -450,7 +526,12 @@ mod tests {
 
     #[test]
     fn cios_microprogram_matches_host_and_eq_5_2() {
-        for prime in [NistPrime::P192, NistPrime::P256, NistPrime::P384, NistPrime::P521] {
+        for prime in [
+            NistPrime::P192,
+            NistPrime::P256,
+            NistPrime::P384,
+            NistPrime::P521,
+        ] {
             let p = prime.modulus();
             let k = prime.limbs();
             let mont = Montgomery::new(&p);

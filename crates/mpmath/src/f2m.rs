@@ -119,7 +119,7 @@ impl BinaryField {
         assert!(!terms.is_empty() && *terms.last().unwrap() == 0);
         assert!(terms.windows(2).all(|w| w[0] > w[1]), "terms must decrease");
         assert!(terms[0] < m, "terms must lie below the leading exponent");
-        let word_foldable = m - terms[0] >= 32 && m % 32 != 0;
+        let word_foldable = m - terms[0] >= 32 && !m.is_multiple_of(32);
         let mut spread = [0u16; 256];
         for (b, entry) in spread.iter_mut().enumerate() {
             let mut s = 0u16;
@@ -133,7 +133,7 @@ impl BinaryField {
         BinaryField {
             name: name.to_owned(),
             m,
-            k: (m + 31) / 32,
+            k: m.div_ceil(32),
             terms: terms.to_vec(),
             word_foldable,
             spread,
@@ -225,6 +225,7 @@ impl BinaryField {
         let k = self.k;
         // Precompute Bu = u(x) * b(x) for all u of degree < 4.
         let mut table = vec![vec![0 as Limb; k + 1]; 16];
+        #[allow(clippy::needless_range_loop)]
         for u in 1..16usize {
             let mut row = vec![0 as Limb; k + 1];
             for bit in 0..4 {
@@ -272,6 +273,7 @@ impl BinaryField {
         let k = self.k;
         let mut wide = vec![0 as Limb; 2 * k];
         let mut acc: u64 = 0;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..(2 * k - 1) {
             let lo = i.saturating_sub(k - 1);
             let hi = i.min(k - 1);
@@ -456,7 +458,10 @@ mod tests {
     use crate::nist::NistBinary;
 
     fn all_fields() -> Vec<BinaryField> {
-        NistBinary::ALL.iter().map(|&b| BinaryField::nist(b)).collect()
+        NistBinary::ALL
+            .iter()
+            .map(|&b| BinaryField::nist(b))
+            .collect()
     }
 
     /// Slow polynomial reference: bit-serial multiply-and-reduce.

@@ -93,7 +93,7 @@ impl PrimeField {
         assert!(modulus.bit_len() >= 2, "modulus too small");
         assert!(modulus.bit(0), "modulus must be odd");
         let bits = modulus.bit_len();
-        let k = (bits + 31) / 32;
+        let k = bits.div_ceil(32);
         let mut fold = Vec::with_capacity(k + 2);
         for j in 0..k + 2 {
             let c = Mp::one().shl(32 * (k + j)).rem(modulus);
@@ -329,18 +329,34 @@ impl PrimeField {
         while u != one && v != one {
             while !u.bit(0) {
                 u = u.shr(1);
-                x1 = if x1.bit(0) { x1.add(p).shr(1) } else { x1.shr(1) };
+                x1 = if x1.bit(0) {
+                    x1.add(p).shr(1)
+                } else {
+                    x1.shr(1)
+                };
             }
             while !v.bit(0) {
                 v = v.shr(1);
-                x2 = if x2.bit(0) { x2.add(p).shr(1) } else { x2.shr(1) };
+                x2 = if x2.bit(0) {
+                    x2.add(p).shr(1)
+                } else {
+                    x2.shr(1)
+                };
             }
             if u >= v {
                 u = u.sub(&v);
-                x1 = if x1 >= x2 { x1.sub(&x2) } else { x1.add(p).sub(&x2) };
+                x1 = if x1 >= x2 {
+                    x1.sub(&x2)
+                } else {
+                    x1.add(p).sub(&x2)
+                };
             } else {
                 v = v.sub(&u);
-                x2 = if x2 >= x1 { x2.sub(&x1) } else { x2.add(p).sub(&x1) };
+                x2 = if x2 >= x1 {
+                    x2.sub(&x1)
+                } else {
+                    x2.add(p).sub(&x1)
+                };
             }
         }
         let r = if u == one { x1 } else { x2 };
@@ -373,7 +389,10 @@ mod tests {
     use crate::nist::NistPrime;
 
     fn all_fields() -> Vec<PrimeField> {
-        NistPrime::ALL.iter().map(|&p| PrimeField::nist(p)).collect()
+        NistPrime::ALL
+            .iter()
+            .map(|&p| PrimeField::nist(p))
+            .collect()
     }
 
     #[test]
@@ -435,10 +454,7 @@ mod tests {
         let inv = f.inv(&a).unwrap();
         assert_eq!(f.mul(&a, &inv), f.one());
         let b = f.from_u64(3);
-        assert_eq!(
-            f.mul(&a, &b).to_mp(),
-            a.to_mp().mul(&b.to_mp()).rem(&n)
-        );
+        assert_eq!(f.mul(&a, &b).to_mp(), a.to_mp().mul(&b.to_mp()).rem(&n));
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl Montgomery {
     /// Panics if `n` is even or zero.
     pub fn new(n: &Mp) -> Self {
         assert!(!n.is_zero() && n.bit(0), "Montgomery modulus must be odd");
-        let k = (n.bit_len() + 31) / 32;
+        let k = n.bit_len().div_ceil(32);
         let n0 = n.limbs()[0];
         // Newton iteration for the inverse of n mod 2^32; then negate.
         let mut inv: u32 = 1;
@@ -100,6 +100,7 @@ impl Montgomery {
         assert_eq!(a.len(), k);
         assert_eq!(b.len(), k);
         let mut t = vec![0 as Limb; k + 2];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..k {
             // First inner loop: t += a * b[i]  (operand scanning row).
             let bi = b[i] as u64;

@@ -130,7 +130,7 @@ pub fn is_zero(a: &[Limb]) -> bool {
 /// are zero).
 pub fn bit(a: &[Limb], i: usize) -> bool {
     a.get(i / LIMB_BITS)
-        .map_or(false, |&l| (l >> (i % LIMB_BITS)) & 1 == 1)
+        .is_some_and(|&l| (l >> (i % LIMB_BITS)) & 1 == 1)
 }
 
 /// Number of significant bits of `a` (0 for the zero integer).
@@ -307,7 +307,10 @@ impl Mp {
     /// string contains a non-hex digit.
     pub fn from_hex(s: &str) -> Result<Self, String> {
         let mut nibbles = Vec::new();
-        let body = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let body = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         for c in body.chars() {
             if c.is_whitespace() || c == '_' {
                 continue;
@@ -317,7 +320,7 @@ impl Mp {
                 .ok_or_else(|| format!("invalid hex digit {c:?}"))?;
             nibbles.push(d);
         }
-        let mut limbs = vec![0 as Limb; (nibbles.len() + 7) / 8];
+        let mut limbs = vec![0 as Limb; nibbles.len().div_ceil(8)];
         for (i, d) in nibbles.iter().rev().enumerate() {
             limbs[i / 8] |= (*d as Limb) << (4 * (i % 8));
         }
@@ -510,19 +513,20 @@ impl Mp {
         const SMALL: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
         if self.bit_len() <= 6 {
             let v = self.low_u64();
-            return SMALL.contains(&v) || (v > 37 && SMALL.iter().all(|&p| v % p != 0) && {
-                // trial division for tiny values
-                let mut d = 41u64;
-                let mut prime = true;
-                while d * d <= v {
-                    if v % d == 0 {
-                        prime = false;
-                        break;
+            return SMALL.contains(&v)
+                || (v > 37 && SMALL.iter().all(|&p| !v.is_multiple_of(p)) && {
+                    // trial division for tiny values
+                    let mut d = 41u64;
+                    let mut prime = true;
+                    while d * d <= v {
+                        if v.is_multiple_of(d) {
+                            prime = false;
+                            break;
+                        }
+                        d += 2;
                     }
-                    d += 2;
-                }
-                prime
-            });
+                    prime
+                });
         }
         if !self.bit(0) {
             return false;
@@ -650,7 +654,7 @@ mod tests {
         let m = Mp::from_u64(19);
         assert_eq!(
             base.modpow(&Mp::from_u64(117), &m).low_u64(),
-            5u64.pow(9) as u64 % 19
+            5u64.pow(9) % 19
         );
     }
 

@@ -51,7 +51,7 @@ impl NistPrime {
     /// Number of 32-bit limbs needed to store a field element
     /// (`k = ceil(n/w)`, §4.2).
     pub fn limbs(self) -> usize {
-        (self.bits() + 31) / 32
+        self.bits().div_ceil(32)
     }
 
     /// The modulus, built from its defining formula.
@@ -125,7 +125,7 @@ impl NistBinary {
 
     /// Number of 32-bit limbs per field element.
     pub fn limbs(self) -> usize {
-        (self.m() + 31) / 32
+        self.m().div_ceil(32)
     }
 
     /// Exponents of the reduction polynomial below the leading term, in

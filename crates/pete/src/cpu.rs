@@ -171,8 +171,7 @@ impl Machine {
             .collect();
         let mut regs = [0u32; 32];
         // Stack grows down from the top of RAM.
-        regs[Reg::SP.num() as usize] =
-            ule_isa::asm::RAM_BASE + ule_isa::asm::RAM_SIZE - 16;
+        regs[Reg::SP.num() as usize] = ule_isa::asm::RAM_BASE + ule_isa::asm::RAM_SIZE - 16;
         Machine {
             regs,
             hi: 0,
@@ -372,20 +371,38 @@ impl Machine {
     fn ex_sources(&self, i: Instr) -> Vec<Reg> {
         use Instr::*;
         match i {
-            Addu { rs, rt, .. } | Subu { rs, rt, .. } | And { rs, rt, .. }
-            | Or { rs, rt, .. } | Xor { rs, rt, .. } | Nor { rs, rt, .. }
-            | Slt { rs, rt, .. } | Sltu { rs, rt, .. } => vec![rs, rt],
+            Addu { rs, rt, .. }
+            | Subu { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. } => vec![rs, rt],
             Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => vec![rt, rs],
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
-            Addiu { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. } | Andi { rs, .. }
-            | Ori { rs, .. } | Xori { rs, .. } => vec![rs],
+            Addiu { rs, .. }
+            | Slti { rs, .. }
+            | Sltiu { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. } => vec![rs],
             Lui { .. } => vec![],
-            Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt }
-            | Maddu { rs, rt } | M2addu { rs, rt } | Addau { rs, rt }
-            | Mulgf2 { rs, rt } | Maddgf2 { rs, rt } => vec![rs, rt],
+            Mult { rs, rt }
+            | Multu { rs, rt }
+            | Div { rs, rt }
+            | Divu { rs, rt }
+            | Maddu { rs, rt }
+            | M2addu { rs, rt }
+            | Addau { rs, rt }
+            | Mulgf2 { rs, rt }
+            | Maddgf2 { rs, rt } => vec![rs, rt],
             Mfhi { .. } | Mflo { .. } | Sha => vec![],
             Mthi { rs } | Mtlo { rs } => vec![rs],
-            Lw { base, .. } | Lh { base, .. } | Lhu { base, .. } | Lb { base, .. }
+            Lw { base, .. }
+            | Lh { base, .. }
+            | Lhu { base, .. }
+            | Lb { base, .. }
             | Lbu { base, .. } => vec![base],
             // Store data is needed in MEM, one stage later: forwardable.
             Sw { base, .. } | Sh { base, .. } | Sb { base, .. } => vec![base],
@@ -394,9 +411,18 @@ impl Machine {
             J { .. } | Jal { .. } | Break { .. } => vec![],
             Jr { rs } | Jalr { rs, .. } => vec![rs],
             Ctc2 { rt, .. } => vec![rt],
-            Cop2LdA { rt } | Cop2LdB { rt } | Cop2LdN { rt } | Cop2St { rt }
-            | BilLd { rt, .. } | BilSt { rt, .. } => vec![rt],
-            Cop2Sync | Cop2Mul | Cop2Add | Cop2Sub | BilMul { .. } | BilSqr { .. }
+            Cop2LdA { rt }
+            | Cop2LdB { rt }
+            | Cop2LdN { rt }
+            | Cop2St { rt }
+            | BilLd { rt, .. }
+            | BilSt { rt, .. } => vec![rt],
+            Cop2Sync
+            | Cop2Mul
+            | Cop2Add
+            | Cop2Sub
+            | BilMul { .. }
+            | BilSqr { .. }
             | BilAdd { .. } => vec![],
         }
     }
@@ -444,7 +470,7 @@ impl Machine {
     }
 
     fn load_word(&mut self, addr: u32) -> u32 {
-        assert!(addr % 4 == 0, "unaligned word access at {addr:#x}");
+        assert!(addr.is_multiple_of(4), "unaligned word access at {addr:#x}");
         if Ram::contains(addr) {
             self.ram.read(addr)
         } else {
@@ -499,15 +525,9 @@ impl Machine {
             Sll { rd, rt, shamt } => self.set(rd, self.get(rt) << shamt),
             Srl { rd, rt, shamt } => self.set(rd, self.get(rt) >> shamt),
             Sra { rd, rt, shamt } => self.set(rd, ((self.get(rt) as i32) >> shamt) as u32),
-            Addiu { rt, rs, imm } => {
-                self.set(rt, self.get(rs).wrapping_add(imm as i32 as u32))
-            }
-            Slti { rt, rs, imm } => {
-                self.set(rt, ((self.get(rs) as i32) < imm as i32) as u32)
-            }
-            Sltiu { rt, rs, imm } => {
-                self.set(rt, (self.get(rs) < imm as i32 as u32) as u32)
-            }
+            Addiu { rt, rs, imm } => self.set(rt, self.get(rs).wrapping_add(imm as i32 as u32)),
+            Slti { rt, rs, imm } => self.set(rt, ((self.get(rs) as i32) < imm as i32) as u32),
+            Sltiu { rt, rs, imm } => self.set(rt, (self.get(rs) < imm as i32 as u32) as u32),
             Andi { rt, rs, imm } => self.set(rt, self.get(rs) & imm as u32),
             Ori { rt, rs, imm } => self.set(rt, self.get(rs) | imm as u32),
             Xori { rt, rs, imm } => self.set(rt, self.get(rs) ^ imm as u32),
@@ -545,6 +565,8 @@ impl Machine {
                 self.hilo_issue(self.config.div_latency);
                 self.counters.div_ops += 1;
                 let (a, b) = (self.get(rs), self.get(rt));
+                // MIPS divide-by-zero: lo/hi take defined junk values.
+                #[allow(clippy::manual_checked_ops)]
                 if b == 0 {
                     self.lo = u32::MAX;
                     self.hi = a;
@@ -602,7 +624,7 @@ impl Machine {
             }
             Sw { rt, base, offset } => {
                 let addr = self.get(base).wrapping_add(offset as i32 as u32);
-                assert!(addr % 4 == 0, "unaligned sw at {addr:#x}");
+                assert!(addr.is_multiple_of(4), "unaligned sw at {addr:#x}");
                 self.ram.write(addr, self.get(rt));
             }
             Sh { rt, base, offset } => {
@@ -771,7 +793,7 @@ impl std::fmt::Debug for Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ule_isa::asm::{Asm, RAM_BASE};
+    use ule_isa::asm::Asm;
 
     fn run(asm: Asm) -> Machine {
         run_cfg(asm, MachineConfig::isa_ext())
@@ -1036,7 +1058,7 @@ mod tests {
 
     #[test]
     fn icache_reduces_rom_reads() {
-        let mut mk = || {
+        let mk = || {
             let mut a = Asm::new();
             a.label("main");
             a.li(Reg::T0, 200);

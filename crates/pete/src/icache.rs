@@ -12,7 +12,7 @@
 //! of §7.5 / Fig 7.11 (every access hits; only read energy is charged).
 
 /// Cache geometry and behaviour knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes (1 KB – 8 KB in the study, Fig 7.12).
     pub size_bytes: u32,

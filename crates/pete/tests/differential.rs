@@ -3,11 +3,11 @@
 //! an independent, dead-simple interpreter written in this test. Any
 //! divergence is a simulator bug.
 
-use proptest::prelude::*;
 use ule_isa::asm::Asm;
 use ule_isa::instr::Instr;
 use ule_isa::reg::Reg;
 use ule_pete::cpu::{Machine, MachineConfig, RunExit};
+use ule_testkit::Rng;
 
 /// The registers the generated programs may touch (avoid $zero/$sp/$ra).
 const POOL: [Reg; 10] = [
@@ -45,28 +45,30 @@ enum Op {
     MultMfhi(usize, usize, usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let r = 0usize..POOL.len();
-    prop_oneof![
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Addu(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Subu(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::And(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Or(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Xor(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Nor(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Slt(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Sltu(a, b, c)),
-        (r.clone(), r.clone(), 0u8..32).prop_map(|(a, b, s)| Op::Sll(a, b, s)),
-        (r.clone(), r.clone(), 0u8..32).prop_map(|(a, b, s)| Op::Srl(a, b, s)),
-        (r.clone(), r.clone(), 0u8..32).prop_map(|(a, b, s)| Op::Sra(a, b, s)),
-        (r.clone(), r.clone(), any::<i16>()).prop_map(|(a, b, i)| Op::Addiu(a, b, i)),
-        (r.clone(), r.clone(), any::<u16>()).prop_map(|(a, b, i)| Op::Andi(a, b, i)),
-        (r.clone(), r.clone(), any::<u16>()).prop_map(|(a, b, i)| Op::Ori(a, b, i)),
-        (r.clone(), r.clone(), any::<u16>()).prop_map(|(a, b, i)| Op::Xori(a, b, i)),
-        (r.clone(), any::<u16>()).prop_map(|(a, i)| Op::Lui(a, i)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::MultuMflo(a, b, c)),
-        (r.clone(), r.clone(), r).prop_map(|(a, b, c)| Op::MultMfhi(a, b, c)),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    fn r(rng: &mut Rng) -> usize {
+        rng.below(POOL.len() as u64) as usize
+    }
+    match rng.below(18) {
+        0 => Op::Addu(r(rng), r(rng), r(rng)),
+        1 => Op::Subu(r(rng), r(rng), r(rng)),
+        2 => Op::And(r(rng), r(rng), r(rng)),
+        3 => Op::Or(r(rng), r(rng), r(rng)),
+        4 => Op::Xor(r(rng), r(rng), r(rng)),
+        5 => Op::Nor(r(rng), r(rng), r(rng)),
+        6 => Op::Slt(r(rng), r(rng), r(rng)),
+        7 => Op::Sltu(r(rng), r(rng), r(rng)),
+        8 => Op::Sll(r(rng), r(rng), rng.below(32) as u8),
+        9 => Op::Srl(r(rng), r(rng), rng.below(32) as u8),
+        10 => Op::Sra(r(rng), r(rng), rng.below(32) as u8),
+        11 => Op::Addiu(r(rng), r(rng), rng.next_i16()),
+        12 => Op::Andi(r(rng), r(rng), rng.next_u16()),
+        13 => Op::Ori(r(rng), r(rng), rng.next_u16()),
+        14 => Op::Xori(r(rng), r(rng), rng.next_u16()),
+        15 => Op::Lui(r(rng), rng.next_u16()),
+        16 => Op::MultuMflo(r(rng), r(rng), r(rng)),
+        _ => Op::MultMfhi(r(rng), r(rng), r(rng)),
+    }
 }
 
 /// The independent oracle.
@@ -129,14 +131,18 @@ fn emit(asm: &mut Asm, op: &Op) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn random_programs_match_the_oracle(
-        init in prop::array::uniform10(any::<u32>()),
-        ops in prop::collection::vec(arb_op(), 1..60),
-    ) {
+#[test]
+fn random_programs_match_the_oracle() {
+    let mut rng = Rng::new(0xd1ff);
+    for _ in 0..128 {
+        let mut init = [0u32; 10];
+        for v in &mut init {
+            *v = rng.next_u32();
+        }
+        let ops: Vec<Op> = {
+            let n = rng.range(1, 60);
+            (0..n).map(|_| random_op(&mut rng)).collect()
+        };
         let mut asm = Asm::new();
         asm.label("main");
         for op in &ops {
@@ -149,23 +155,26 @@ proptest! {
             m.set_reg(POOL[i], v);
         }
         let exit = m.run(1_000_000);
-        prop_assert_eq!(exit, RunExit::Halted { code: 0 });
+        assert_eq!(exit, RunExit::Halted { code: 0 });
         let expect = interpret(&init, &ops);
         for (i, &e) in expect.iter().enumerate() {
-            prop_assert_eq!(m.reg(POOL[i]), e, "register {} diverged", POOL[i]);
+            assert_eq!(m.reg(POOL[i]), e, "register {} diverged", POOL[i]);
         }
         // Timing sanity: at least one cycle per instruction, bounded
         // stall overhead (no memory, so only multiplier stalls).
         let c = m.counters();
-        prop_assert!(c.cycles >= c.instructions);
-        prop_assert!(c.cycles <= c.instructions + 5 * c.mult_ops + 8);
+        assert!(c.cycles >= c.instructions);
+        assert!(c.cycles <= c.instructions + 5 * c.mult_ops + 8);
     }
+}
 
-    #[test]
-    fn encoded_programs_decode_back(
-        ops in prop::collection::vec(arb_op(), 1..30),
-    ) {
-        // The ROM image words all decode to the emitted instructions.
+#[test]
+fn encoded_programs_decode_back() {
+    // The ROM image words all decode to the emitted instructions.
+    let mut rng = Rng::new(0xdec0);
+    for _ in 0..128 {
+        let n = rng.range(1, 30);
+        let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
         let mut asm = Asm::new();
         asm.label("main");
         for op in &ops {
@@ -174,7 +183,7 @@ proptest! {
         asm.brk(0);
         let program = asm.link("main").expect("link");
         for (i, &w) in program.rom().iter().take(program.text_words()).enumerate() {
-            prop_assert!(
+            assert!(
                 Instr::decode(w).is_ok(),
                 "text word {i} ({w:#010x}) failed to decode"
             );

@@ -414,10 +414,7 @@ fn emit_bil_twin_mul(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
 /// code and scalar/twin multiplications, and RAM-interface field-op
 /// wrappers used by the micro entries and differential tests.
 pub fn emit_billie_bindings(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
-    let a_is_one = matches!(
-        cfg.family,
-        crate::point::Family::Binary { a_is_one: true }
-    );
+    let a_is_one = matches!(cfg.family, crate::point::Family::Binary { a_is_one: true });
     let m = field.m();
     // RAM-resident constants (Billie's LSU reaches only the shared RAM).
     g.a.ram_alloc("bil_b", cfg.k as u32);

@@ -87,7 +87,7 @@ pub fn build_suite(curve: &Curve, arch: Arch) -> Suite {
         CurveKind::Prime(c) => c.field().k(),
         CurveKind::Binary(c) => c.field().k(),
     };
-    let kn = (curve.n().bit_len() + 31) / 32;
+    let kn = curve.n().bit_len().div_ceil(32);
     assert_eq!(k, kn, "the study's curves all have k == kn");
 
     let mut g = Gen::new();
@@ -317,7 +317,8 @@ fn emit_entries(g: &mut Gen, cfg: &PointCfg, arg_px: u32, arg_py: u32) {
     let (sm_outx, sm_outy) = (b.sm_outx, b.sm_outy);
     call(g, "main_scalar_mul", &move |g| {
         // k*G with G from ROM; result converted out of the domain.
-        for (dst, src) in [(sm_k, arg_k)] {
+        {
+            let (dst, src) = (sm_k, arg_k);
             g.a.li(Reg::A0, dst as i64);
             g.a.li(Reg::A1, src as i64);
             g.a.jal("ncopy");

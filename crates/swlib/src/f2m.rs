@@ -90,7 +90,7 @@ pub fn emit_f2m_red(g: &mut Gen, label: &str, field: &BinaryField, wide_words: u
         .iter()
         .map(|&t| {
             let q = m - t; // >= 32 for every NIST field
-            let dw = (q + 31) / 32;
+            let dw = q.div_ceil(32);
             let off = ((32 * dw) - q) % 32;
             (dw, off as u8)
         })
@@ -186,7 +186,7 @@ pub fn emit_f2m_mul_comb(
     //     Bodd = B(u-1) ^ B1.
     g.a.li(T6, table_addr as i64);
     emit_zero_words(g, T6, row as u32 as usize); // B0
-    // B1 = b (k words + top zero)
+                                                 // B1 = b (k words + top zero)
     g.a.addiu(T6, T6, (row * 4) as i16);
     emit_copy_words(g, T6, A2, k);
     g.a.sw(ZERO, (k * 4) as i16, T6);
@@ -582,7 +582,7 @@ pub fn emit_f2m_eea_inv(
         // ws = j >> 5, bs = j & 31
         g.a.srl(T8, T7, 5); // ws
         g.a.andi(T9, T7, 31); // bs
-        // write pointer = dst + ws*4, iterate i = 0..width-ws
+                              // write pointer = dst + ws*4, iterate i = 0..width-ws
         g.a.sll(T0, T8, 2);
         g.a.addu(T4, dst, T0); // dst + ws
         g.a.mov(T5, src);
@@ -681,7 +681,7 @@ pub fn emit_f2m_eea_inv(
     g.a.slt(T1, T0, T1);
     g.a.bne(T1, ZERO, &finish); // with T8 = g2 below
     g.a.mov(T8, S3); // delay: result ptr = g2 (harmless otherwise)
-    // j = du - dv; pick side
+                     // j = du - dv; pick side
     g.a.subu(T7, S4, T0);
     g.a.bltz(T7, &v_side);
     g.a.nop();

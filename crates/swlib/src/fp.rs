@@ -277,7 +277,7 @@ pub fn emit_fmul_os(g: &mut Gen, label: &str, k: usize, wide_addr: u32, fred_lab
     g.a.addiu(S2, S2, -1);
     g.a.bne(S2, ZERO, &outer);
     g.a.addiu(T6, T6, 4); // delay slot: next row base
-    // reduce: fred(wide, dst)
+                          // reduce: fred(wide, dst)
     g.a.li(A0, wide_addr as i64);
     g.a.jal(fred_label);
     g.a.mov(A1, S0); // delay slot
@@ -300,12 +300,7 @@ pub fn emit_fred(g: &mut Gen, label: &str, field: &PrimeField, acc_addr: u32, mo
     let bits = field.bits();
     // Fold constants 2^(32(k+j)) mod p for j in 0..k (plus guard folds 0,1).
     let fold: Vec<Vec<u32>> = (0..k.max(2))
-        .map(|j| {
-            Mp::one()
-                .shl(32 * (k + j))
-                .rem(field.modulus())
-                .to_limbs(k)
-        })
+        .map(|j| Mp::one().shl(32 * (k + j)).rem(field.modulus()).to_limbs(k))
         .collect();
     let two_b = Mp::one().shl(bits).rem(field.modulus()).to_limbs(k);
 
@@ -316,6 +311,7 @@ pub fn emit_fred(g: &mut Gen, label: &str, field: &PrimeField, acc_addr: u32, mo
     g.a.sw(ZERO, (k * 4) as i16, T0);
     g.a.sw(ZERO, ((k + 1) * 4) as i16, T0);
     // Main folds, unrolled over j.
+    #[allow(clippy::needless_range_loop)] // j indexes emitted code, not just `fold`
     for j in 0..k {
         let skip = g.sym("fold_skip");
         g.a.lw(T1, ((k + j) * 4) as i16, A0);
@@ -344,7 +340,7 @@ pub fn emit_fred(g: &mut Gen, label: &str, field: &PrimeField, acc_addr: u32, mo
     g.a.label(&gdone);
     // Bit-granular tail when the modulus is not a whole number of words
     // (P-521): fold acc >> bits against 2^bits mod p.
-    if bits % 32 != 0 {
+    if !bits.is_multiple_of(32) {
         let r = (bits % 32) as u8;
         let topw = bits / 32;
         let tl = g.sym("twob");
@@ -473,7 +469,7 @@ pub fn emit_eea_inv(g: &mut Gen, label: &str, k: usize, bufs: EeaBufs) {
     g.a.li(S3, bufs.x2 as i64);
     g.a.mov(S4, A2); // modulus
     g.a.mov(S5, A0); // dst
-    // u = src, top word 0
+                     // u = src, top word 0
     emit_copy_words(g, S0, A1, k);
     g.a.sw(ZERO, (k * 4) as i16, S0);
     // v = m
@@ -513,7 +509,7 @@ pub fn emit_eea_inv(g: &mut Gen, label: &str, k: usize, bufs: EeaBufs) {
     g.a.beq(T1, ZERO, &x1_odd_skip);
     g.a.nop();
     emit_add_loop(g, S2, S4, k); // x1 += m (k words)
-    // propagate carry into the top word
+                                 // propagate carry into the top word
     g.a.lw(T0, (k * 4) as i16, S2);
     g.a.addu(T0, T0, V0);
     g.a.sw(T0, (k * 4) as i16, S2);
@@ -544,7 +540,7 @@ pub fn emit_eea_inv(g: &mut Gen, label: &str, k: usize, bufs: EeaBufs) {
     g.a.label(&even_v_done);
     // if u >= v: u -= v; x1 -= x2 (mod m)  else symmetric
     emit_cmp_ge_or(g, S0, S1, kk, &u_ge_v); // branches when u < v!
-    // Fall-through: u >= v.
+                                            // Fall-through: u >= v.
     emit_sub_loop(g, S0, S1, kk); // u -= v
     emit_sub_loop(g, S2, S3, kk); // x1 -= x2
     g.a.beq(V0, ZERO, &x1_noadd);
@@ -602,8 +598,8 @@ pub fn emit_fmul_ps_ext(g: &mut Gen, label: &str, k: usize, wide_addr: u32, fred
     // Clear (OvFlo, Hi, Lo).
     g.a.multu(ZERO, ZERO);
     g.a.li(A3, wide_addr as i64); // product pointer
-    // Phase 1: columns 0..k-1. Column i: j in 0..=i of a[j]*b[i-j].
-    // t6 = column index i (0-based), t8 = count = i+1.
+                                  // Phase 1: columns 0..k-1. Column i: j in 0..=i of a[j]*b[i-j].
+                                  // t6 = column index i (0-based), t8 = count = i+1.
     g.a.li(T6, 0);
     g.a.label(&phase1);
     g.a.mov(T4, A1); // a ptr (ascending from a[0])
@@ -752,14 +748,7 @@ pub fn emit_fsqr_ps_ext(g: &mut Gen, label: &str, k: usize, wide_addr: u32, fred
 /// arithmetic, §4.1). The `t` scratch buffer is `k+2` words.
 ///
 /// ABI: `a0`=dst, `a1`=a, `a2`=b. Leaf.
-pub fn emit_cios(
-    g: &mut Gen,
-    label: &str,
-    k: usize,
-    n0_prime: u32,
-    mod_label: &str,
-    t_addr: u32,
-) {
+pub fn emit_cios(g: &mut Gen, label: &str, k: usize, n0_prime: u32, mod_label: &str, t_addr: u32) {
     let outer = g.sym("cios_outer");
     let in1 = g.sym("cios_in1");
     let in2 = g.sym("cios_in2");
@@ -773,7 +762,7 @@ pub fn emit_cios(
     g.a.li(T8, k as i64);
     g.a.label(&outer);
     g.a.lw(T7, 0, A3); // b[i]
-    // --- first inner loop: t[0..k] += a * b[i]; carries into t[k..k+2]
+                       // --- first inner loop: t[0..k] += a * b[i]; carries into t[k..k+2]
     g.a.li(V0, 0); // carry C
     g.a.mov(T4, A1); // a ptr
     g.a.mov(T5, T6); // t ptr
@@ -795,7 +784,7 @@ pub fn emit_cios(
     g.a.sw(T2, 0, T5);
     g.a.bne(T9, ZERO, &in1);
     g.a.addiu(T5, T5, 4); // delay
-    // (C,S) = t[k] + C ; t[k] = S; t[k+1] = C'
+                          // (C,S) = t[k] + C ; t[k] = S; t[k+1] = C'
     g.a.lw(T0, 0, T5);
     g.a.addu(T1, T0, V0);
     g.a.sltu(T2, T1, T0);
@@ -806,8 +795,8 @@ pub fn emit_cios(
     g.a.li(T1, n0_prime as i64);
     g.a.multu(T0, T1);
     g.a.mflo(T7); // m
-    // --- second inner loop: fold m*n, shifting t down one word.
-    // (C,S) = t[0] + m*n[0]; C -> V0
+                  // --- second inner loop: fold m*n, shifting t down one word.
+                  // (C,S) = t[0] + m*n[0]; C -> V0
     g.a.la(T4, mod_label);
     g.a.lw(T0, 0, T4);
     g.a.multu(T0, T7);
@@ -837,7 +826,7 @@ pub fn emit_cios(
     g.a.sw(T2, 0, T5); // t[j-1] = S
     g.a.bne(T9, ZERO, &in2);
     g.a.addiu(T5, T5, 4); // delay
-    // (C,S) = t[k] + C; t[k-1] = S; t[k] = t[k+1] + C'
+                          // (C,S) = t[k] + C; t[k-1] = S; t[k] = t[k+1] + C'
     g.a.lw(T0, 4, T5); // t[k]
     g.a.addu(T1, T0, V0);
     g.a.sltu(T2, T1, T0);

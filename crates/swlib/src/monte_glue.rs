@@ -98,7 +98,7 @@ pub fn emit_monte_field_ops(g: &mut Gen) {
         rs: A1,
         rt: ZERO,
     }); // delay slot: a2 = a1
-    // fadd / fsub: Monte's modular add/subtract microprograms.
+        // fadd / fsub: Monte's modular add/subtract microprograms.
     g.a.label("fadd");
     g.a.cop2lda(A1);
     g.a.cop2ldb(A2);

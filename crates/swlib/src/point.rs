@@ -775,11 +775,7 @@ pub fn emit_ecdsa_sign(g: &mut Gen, cfg: &PointCfg) {
     copy(g, buf(b.sm_px), Loc::Lbl("const_gx"));
     copy(g, buf(b.sm_py), Loc::Lbl("const_gy"));
     // The scalar is protocol data (not a field element): plain copy.
-    fcall(
-        g,
-        "ncopy",
-        &[(A0, buf(b.sm_k)), (A1, buf(b.arg_k))],
-    );
+    fcall(g, "ncopy", &[(A0, buf(b.sm_k)), (A1, buf(b.arg_k))]);
     fcall(g, "scalar_mul", &[]);
     // r = x mod n (leaving the Montgomery domain first if applicable).
     fcall(g, "fout", &[(A0, buf(b.ecd_x)), (A1, buf(b.sm_outx))]);
@@ -790,17 +786,29 @@ pub fn emit_ecdsa_sign(g: &mut Gen, cfg: &PointCfg) {
     fcall(
         g,
         "nmul",
-        &[(A0, buf(b.ecd_t2)), (A1, buf(b.out_r)), (Reg::A2, buf(b.arg_d))],
+        &[
+            (A0, buf(b.ecd_t2)),
+            (A1, buf(b.out_r)),
+            (Reg::A2, buf(b.arg_d)),
+        ],
     );
     fcall(
         g,
         "nadd",
-        &[(A0, buf(b.ecd_t3)), (A1, buf(b.arg_e)), (Reg::A2, buf(b.ecd_t2))],
+        &[
+            (A0, buf(b.ecd_t3)),
+            (A1, buf(b.arg_e)),
+            (Reg::A2, buf(b.ecd_t2)),
+        ],
     );
     fcall(
         g,
         "nmul",
-        &[(A0, buf(b.out_s)), (A1, buf(b.ecd_t1)), (Reg::A2, buf(b.ecd_t3))],
+        &[
+            (A0, buf(b.out_s)),
+            (A1, buf(b.ecd_t1)),
+            (Reg::A2, buf(b.ecd_t3)),
+        ],
     );
     g.a.lw(RA, 4, Reg::SP);
     g.a.addiu(Reg::SP, Reg::SP, 8);
@@ -824,12 +832,20 @@ pub fn emit_ecdsa_verify(g: &mut Gen, cfg: &PointCfg) {
     fcall(
         g,
         "nmul",
-        &[(A0, buf(b.tw_u1)), (A1, buf(b.arg_e)), (Reg::A2, buf(b.ecd_t1))],
+        &[
+            (A0, buf(b.tw_u1)),
+            (A1, buf(b.arg_e)),
+            (Reg::A2, buf(b.ecd_t1)),
+        ],
     );
     fcall(
         g,
         "nmul",
-        &[(A0, buf(b.tw_u2)), (A1, buf(b.arg_r)), (Reg::A2, buf(b.ecd_t1))],
+        &[
+            (A0, buf(b.tw_u2)),
+            (A1, buf(b.arg_r)),
+            (Reg::A2, buf(b.ecd_t1)),
+        ],
     );
     // Q into the twin buffers (entering the Montgomery domain when
     // applicable).

@@ -95,13 +95,7 @@ fn cfg(ext: bool) -> MachineConfig {
     }
 }
 
-fn run_op(
-    fp: &F2mProgram,
-    ext: bool,
-    entry: &str,
-    a: &[u32],
-    b: Option<&[u32]>,
-) -> Vec<u32> {
+fn run_op(fp: &F2mProgram, ext: bool, entry: &str, a: &[u32], b: Option<&[u32]>) -> Vec<u32> {
     let mut m = Machine::new(&fp.program, cfg(ext));
     write_buf(&mut m, &fp.program, "arg_a", a);
     if let Some(b) = b {

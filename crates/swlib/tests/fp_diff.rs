@@ -8,8 +8,8 @@ use ule_mpmath::mp::Mp;
 use ule_mpmath::nist::NistPrime;
 use ule_pete::cpu::{Machine, MachineConfig};
 use ule_swlib::fp::{
-    emit_cios, emit_eea_inv, emit_fadd, emit_fmul_os, emit_fmul_ps_ext, emit_fred, emit_fsqr_ps_ext,
-    emit_fsub, EeaBufs,
+    emit_cios, emit_eea_inv, emit_fadd, emit_fmul_os, emit_fmul_ps_ext, emit_fred,
+    emit_fsqr_ps_ext, emit_fsub, EeaBufs,
 };
 use ule_swlib::gen::Gen;
 use ule_swlib::harness::{read_buf, run_entry, write_buf};
@@ -169,15 +169,11 @@ fn fred_matches_host_on_extreme_inputs() {
         let field = PrimeField::nist(p);
         let fp = build_field_program(&field);
         let k = field.k();
-        let cases: Vec<Vec<u32>> = vec![
-            vec![0u32; 2 * k],
-            vec![u32::MAX; 2 * k],
-            {
-                let mut v = vec![0u32; 2 * k];
-                v[2 * k - 1] = u32::MAX;
-                v
-            },
-        ];
+        let cases: Vec<Vec<u32>> = vec![vec![0u32; 2 * k], vec![u32::MAX; 2 * k], {
+            let mut v = vec![0u32; 2 * k];
+            v[2 * k - 1] = u32::MAX;
+            v
+        }];
         for wide in cases {
             let mut m = Machine::new(&fp.program, MachineConfig::baseline());
             write_buf(&mut m, &fp.program, "wide_in", &wide);
@@ -341,8 +337,10 @@ fn cios_matches_host_for_group_order() {
             .rem(&n)
             .to_limbs(k as usize);
         let mut m = Machine::new(&program, MachineConfig::baseline());
-        m.ram_mut().poke_words(program.ram_symbol("arg_a").unwrap(), &a);
-        m.ram_mut().poke_words(program.ram_symbol("arg_b").unwrap(), &b);
+        m.ram_mut()
+            .poke_words(program.ram_symbol("arg_a").unwrap(), &a);
+        m.ram_mut()
+            .poke_words(program.ram_symbol("arg_b").unwrap(), &b);
         let pc = program.symbol("main_cios").unwrap();
         m.set_pc(pc);
         let exit = m.run(10_000_000);

@@ -1,16 +1,16 @@
-//! Property-based differential fuzzing of the simulated field routines
-//! against the host reference: random operands through the full
+//! Differential fuzzing of the simulated field routines against the
+//! host reference: deterministic random operands through the full
 //! (assemble → simulate → compare) pipeline.
 
-use proptest::prelude::*;
 use ule_curves::params::CurveId;
-use ule_mpmath::fp::PrimeField;
 use ule_mpmath::f2m::BinaryField;
+use ule_mpmath::fp::PrimeField;
 use ule_mpmath::mp::Mp;
 use ule_mpmath::nist::{NistBinary, NistPrime};
 use ule_pete::cpu::{Machine, MachineConfig};
 use ule_swlib::builder::{build_suite, Arch, Suite};
 use ule_swlib::harness::{read_buf, run_entry, write_buf};
+use ule_testkit::Rng;
 
 fn p192_suites() -> (Suite, Suite) {
     let curve = CurveId::P192.curve();
@@ -28,18 +28,15 @@ fn k163_suites() -> (Suite, Suite) {
     )
 }
 
-fn arb_fp192() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(any::<u32>(), 6).prop_map(|v| {
-        let f = PrimeField::nist(NistPrime::P192);
-        f.from_mp(&Mp::from_limbs(&v)).limbs().to_vec()
-    })
+fn random_fp192(rng: &mut Rng) -> Vec<u32> {
+    let f = PrimeField::nist(NistPrime::P192);
+    f.from_mp(&Mp::from_limbs(&rng.vec_u32(6))).limbs().to_vec()
 }
 
-fn arb_f163() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(any::<u32>(), 6).prop_map(|mut v| {
-        v[5] &= (1u32 << (163 % 32)) - 1;
-        v
-    })
+fn random_f163(rng: &mut Rng) -> Vec<u32> {
+    let mut v = rng.vec_u32(6);
+    v[5] &= (1u32 << (163 % 32)) - 1;
+    v
 }
 
 fn run_fmul(suite: &Suite, ext: bool, a: &[u32], b: &[u32]) -> Vec<u32> {
@@ -55,38 +52,49 @@ fn run_fmul(suite: &Suite, ext: bool, a: &[u32], b: &[u32]) -> Vec<u32> {
     read_buf(&m, &suite.program, "out_r", 6)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn p192_fmul_random_operands(a in arb_fp192(), b in arb_fp192()) {
-        let field = PrimeField::nist(NistPrime::P192);
+#[test]
+fn p192_fmul_random_operands() {
+    let mut rng = Rng::new(0xf192);
+    let field = PrimeField::nist(NistPrime::P192);
+    let (base, ext) = p192_suites();
+    for _ in 0..24 {
+        let a = random_fp192(&mut rng);
+        let b = random_fp192(&mut rng);
         let expect = field
             .mul(&field.from_limbs(&a), &field.from_limbs(&b))
             .limbs()
             .to_vec();
-        let (base, ext) = p192_suites();
-        prop_assert_eq!(run_fmul(&base, false, &a, &b), expect.clone());
-        prop_assert_eq!(run_fmul(&ext, true, &a, &b), expect);
+        assert_eq!(run_fmul(&base, false, &a, &b), expect);
+        assert_eq!(run_fmul(&ext, true, &a, &b), expect);
     }
+}
 
-    #[test]
-    fn k163_fmul_random_operands(a in arb_f163(), b in arb_f163()) {
-        let field = BinaryField::nist(NistBinary::B163);
+#[test]
+fn k163_fmul_random_operands() {
+    let mut rng = Rng::new(0xf163);
+    let field = BinaryField::nist(NistBinary::B163);
+    let (base, ext) = k163_suites();
+    for _ in 0..24 {
+        let a = random_f163(&mut rng);
+        let b = random_f163(&mut rng);
         let expect = field
             .mul(&field.from_limbs(&a), &field.from_limbs(&b))
             .limbs()
             .to_vec();
-        let (base, ext) = k163_suites();
-        prop_assert_eq!(run_fmul(&base, false, &a, &b), expect.clone());
-        prop_assert_eq!(run_fmul(&ext, true, &a, &b), expect);
+        assert_eq!(run_fmul(&base, false, &a, &b), expect);
+        assert_eq!(run_fmul(&ext, true, &a, &b), expect);
     }
+}
 
-    #[test]
-    fn p192_fadd_fsub_random_operands(a in arb_fp192(), b in arb_fp192()) {
-        let field = PrimeField::nist(NistPrime::P192);
+#[test]
+fn p192_fadd_fsub_random_operands() {
+    let mut rng = Rng::new(0xfadd);
+    let field = PrimeField::nist(NistPrime::P192);
+    let (base, _) = p192_suites();
+    for _ in 0..24 {
+        let a = random_fp192(&mut rng);
+        let b = random_fp192(&mut rng);
         let (ea, eb) = (field.from_limbs(&a), field.from_limbs(&b));
-        let (base, _) = p192_suites();
         for (entry, expect) in [
             ("main_fadd", field.add(&ea, &eb)),
             ("main_fsub", field.sub(&ea, &eb)),
@@ -95,10 +103,10 @@ proptest! {
             write_buf(&mut m, &base.program, "arg_qx", &a);
             write_buf(&mut m, &base.program, "arg_qy", &b);
             run_entry(&mut m, &base.program, entry, 10_000_000);
-            prop_assert_eq!(
+            assert_eq!(
                 read_buf(&m, &base.program, "out_r", 6),
                 expect.limbs().to_vec(),
-                "{}", entry
+                "{entry}"
             );
         }
     }

@@ -54,18 +54,12 @@ fn binary_xy(p: &AffinePoint2m, k: usize) -> (Vec<u32>, Vec<u32>) {
 fn host_double(curve: &Curve, x: &[u32], y: &[u32], k: usize) -> (Vec<u32>, Vec<u32>) {
     match curve.kind() {
         CurveKind::Prime(c) => {
-            let p = AffinePoint::new(
-                c.field().from_limbs(x),
-                c.field().from_limbs(y),
-            );
+            let p = AffinePoint::new(c.field().from_limbs(x), c.field().from_limbs(y));
             let d = c.affine_double(&p);
             prime_xy(curve, &d, k)
         }
         CurveKind::Binary(c) => {
-            let p = AffinePoint2m::new(
-                c.field().from_limbs(x),
-                c.field().from_limbs(y),
-            );
+            let p = AffinePoint2m::new(c.field().from_limbs(x), c.field().from_limbs(y));
             let d = c.affine_double(&p);
             binary_xy(&d, k)
         }

@@ -3,36 +3,65 @@
 //! latency, and average power — the data a system designer would use to
 //! pick a point on the reconfigurability/efficiency spectrum.
 //!
+//! The sweep is submitted as one batch to [`SweepEngine::run_batch`],
+//! which simulates the design points in parallel (one worker per core,
+//! override with `ULE_SWEEP_THREADS`) and memoizes each report; the
+//! table is then printed serially, so the output is identical for any
+//! thread count.
+//!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use ule_repro::core_api::{System, SystemConfig, Workload};
+use ule_repro::bench::{Job, SweepEngine};
+use ule_repro::core_api::{SystemConfig, Workload};
 use ule_repro::curves::params::CurveId;
 use ule_repro::swlib::builder::Arch;
+
+fn archs_for(curve: CurveId) -> &'static [Arch] {
+    if curve.is_binary() {
+        &[Arch::Baseline, Arch::IsaExt, Arch::Billie]
+    } else {
+        &[Arch::Baseline, Arch::IsaExt, Arch::Monte]
+    }
+}
 
 fn main() {
     println!("The design space of ultra-low energy asymmetric cryptography");
     println!("(simulated ECDSA Sign+Verify per configuration)\n");
-    println!(
-        "{:8} {:10} {:>12} {:>9} {:>9} {:>10}",
-        "curve", "arch", "cycles", "ms", "mW", "uJ"
-    );
-    for curve in [
+
+    let curves = [
         CurveId::P192,
         CurveId::P256,
         CurveId::P384,
         CurveId::K163,
         CurveId::K283,
         CurveId::K409,
-    ] {
-        let archs: &[Arch] = if curve.is_binary() {
-            &[Arch::Baseline, Arch::IsaExt, Arch::Billie]
-        } else {
-            &[Arch::Baseline, Arch::IsaExt, Arch::Monte]
-        };
-        for &arch in archs {
-            let report = System::new(SystemConfig::new(curve, arch)).run(Workload::SignVerify);
+    ];
+    let jobs: Vec<Job> = curves
+        .iter()
+        .flat_map(|&curve| {
+            archs_for(curve)
+                .iter()
+                .map(move |&arch| (SystemConfig::new(curve, arch), Workload::SignVerify))
+        })
+        .collect();
+
+    let engine = SweepEngine::new();
+    engine.run_batch(&jobs);
+    eprintln!(
+        "[{} design points simulated on {} thread(s)]\n",
+        engine.simulations(),
+        engine.threads()
+    );
+
+    println!(
+        "{:8} {:10} {:>12} {:>9} {:>9} {:>10}",
+        "curve", "arch", "cycles", "ms", "mW", "uJ"
+    );
+    for curve in curves {
+        for &arch in archs_for(curve) {
+            let report = engine.run(SystemConfig::new(curve, arch), Workload::SignVerify);
             let (d, s) = report.energy.power_mw();
             println!(
                 "{:8} {:10} {:>12} {:>9.2} {:>9.2} {:>10.1}",

@@ -13,7 +13,10 @@ use ule_repro::swlib::builder::Arch;
 
 fn main() {
     let curve = CurveId::P192;
-    println!("Instruction-cache design sweep ({}, ISA-extended, Sign+Verify)\n", curve.name());
+    println!(
+        "Instruction-cache design sweep ({}, ISA-extended, Sign+Verify)\n",
+        curve.name()
+    );
     let base = System::new(SystemConfig::new(curve, Arch::IsaExt)).run(Workload::SignVerify);
     println!(
         "{:14} {:>10} {:>10} {:>11} {:>10}",
@@ -47,7 +50,7 @@ fn main() {
                 100.0 * miss,
                 report.activity.rom_line_reads
             );
-            if best.as_ref().map_or(true, |(_, e)| report.energy_uj() < *e) {
+            if best.as_ref().is_none_or(|(_, e)| report.energy_uj() < *e) {
                 best = Some((label, report.energy_uj()));
             }
         }

@@ -49,7 +49,10 @@ fn main() {
     }
 
     println!("\nDatapath-width design space (Fig 7.15, 100 MHz / Table 7.3 power):\n");
-    println!("  {:>5} {:>8} {:>10} {:>12}", "width", "key", "cycles", "energy nJ");
+    println!(
+        "  {:>5} {:>8} {:>10} {:>12}",
+        "width", "key", "cycles", "energy nJ"
+    );
     for key in [192usize, 256, 384] {
         for w in [8usize, 16, 32, 64] {
             let k = key.div_ceil(w) as u64;

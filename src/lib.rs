@@ -5,6 +5,7 @@
 //! system. See `README.md` for a tour and `DESIGN.md` for the system
 //! inventory.
 
+pub use ule_bench as bench;
 pub use ule_billie as billie;
 pub use ule_core as core_api;
 pub use ule_curves as curves;

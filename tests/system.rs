@@ -52,7 +52,10 @@ fn energy_grows_superlinearly_with_key_size() {
 fn binary_beats_prime_at_equal_security_on_ext() {
     // Fig 7.7: binary ISA extensions beat prime ISA extensions at every
     // equivalent-security pairing.
-    for (p, b) in [(CurveId::P192, CurveId::K163), (CurveId::P256, CurveId::K283)] {
+    for (p, b) in [
+        (CurveId::P192, CurveId::K163),
+        (CurveId::P256, CurveId::K283),
+    ] {
         let pe = sv(p, Arch::IsaExt).energy_uj();
         let be = sv(b, Arch::IsaExt).energy_uj();
         assert!(be < pe, "{}: {} !< {}", p.name(), be, pe);
@@ -94,12 +97,11 @@ fn icache_saves_energy_and_rom_reads() {
 #[test]
 fn monte_double_buffering_saves_time_and_energy() {
     // §7.7 ablation.
-    let mut no_db = SystemConfig::new(CurveId::P192, Arch::Monte);
-    no_db.monte = MonteConfig {
+    let no_db = SystemConfig::new(CurveId::P192, Arch::Monte).with_monte(MonteConfig {
         double_buffer: false,
         forwarding: false,
         queue_depth: 4,
-    };
+    });
     let with = sv(CurveId::P192, Arch::Monte);
     let without = System::new(no_db).run(Workload::SignVerify);
     assert!(with.cycles < without.cycles);
@@ -112,8 +114,18 @@ fn billie_config_draws_the_most_power() {
     let (bd, bs) = sv(CurveId::K163, Arch::Billie).energy.power_mw();
     let (dd, ds) = sv(CurveId::K163, Arch::Baseline).energy.power_mw();
     let (md, ms) = sv(CurveId::P192, Arch::Monte).energy.power_mw();
-    assert!(bd + bs > dd + ds, "billie {} !> baseline {}", bd + bs, dd + ds);
-    assert!(md + ms < dd + ds, "monte {} !< baseline {}", md + ms, dd + ds);
+    assert!(
+        bd + bs > dd + ds,
+        "billie {} !> baseline {}",
+        bd + bs,
+        dd + ds
+    );
+    assert!(
+        md + ms < dd + ds,
+        "monte {} !< baseline {}",
+        md + ms,
+        dd + ds
+    );
 }
 
 #[test]
@@ -148,7 +160,12 @@ fn simulated_signature_verifies_across_architectures() {
     let s_base = build_suite(&curve, Arch::Baseline);
     let mut m = Machine::new(&s_base.program, MachineConfig::baseline());
     write_buf(&mut m, &s_base.program, "arg_e", &e.to_limbs(k));
-    write_buf(&mut m, &s_base.program, "arg_d", &keys.private().to_limbs(k));
+    write_buf(
+        &mut m,
+        &s_base.program,
+        "arg_d",
+        &keys.private().to_limbs(k),
+    );
     write_buf(&mut m, &s_base.program, "arg_k", &nonce.to_limbs(k));
     run_entry(&mut m, &s_base.program, "main_sign", u64::MAX / 2);
     let r = read_buf(&m, &s_base.program, "out_r", k);
