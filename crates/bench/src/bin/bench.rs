@@ -1,0 +1,129 @@
+//! Harness performance benchmark: times a full sweep through
+//! [`SweepEngine`] and writes `BENCH_sweep.json` — the machine-readable
+//! perf-trajectory record compared across PRs.
+//!
+//! ```text
+//! cargo run -p ule-bench --release --bin bench            # all experiments
+//! cargo run -p ule-bench --release --bin bench -- fig7_1 t7_4
+//! cargo run -p ule-bench --release --bin bench -- --threads 2 --out BENCH_sweep.json
+//! ```
+//!
+//! The output is one JSON object: batch wall-clock, engine memoization
+//! counters, per-experiment job counts, and the per-job simulation
+//! wall-clock (descending), all under the metrics `schema_version`.
+
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::time::Instant;
+
+use ule_bench::{ExperimentId, Job, SweepEngine};
+use ule_obs::json::JsonBuf;
+
+fn main() {
+    let mut threads: Option<usize> = None;
+    let mut out = PathBuf::from("BENCH_sweep.json");
+    let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    });
+                threads = Some(n);
+            }
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("usage: bench [--threads N] [--out PATH] [<experiment-id>... | all]");
+                println!("times a sweep and writes BENCH_sweep.json (default: all experiments)");
+                return;
+            }
+            "all" => selected.extend(ExperimentId::ALL),
+            other => match ExperimentId::from_str(other) {
+                Ok(id) => selected.push(id),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if selected.is_empty() {
+        selected.extend(ExperimentId::ALL);
+    }
+
+    let mut engine = SweepEngine::new();
+    if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+
+    let jobs: Vec<Job> = selected.iter().flat_map(|id| id.jobs()).collect();
+    let started = Instant::now();
+    engine.run_batch(&jobs);
+    let batch_wall = started.elapsed();
+    let stats = engine.stats();
+    let mut timings = engine.job_timings();
+    timings.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.label().cmp(&b.0.label())));
+
+    let mut b = JsonBuf::new();
+    b.begin_object();
+    b.key("bench").value_str("sweep");
+    b.key("schema_version")
+        .value_u64(ule_obs::record::SCHEMA_VERSION);
+    b.key("threads").value_u64(engine.threads() as u64);
+    b.key("experiments");
+    b.begin_array();
+    for id in &selected {
+        b.value_str(id.name());
+    }
+    b.end_array();
+    b.key("jobs_submitted").value_u64(jobs.len() as u64);
+    b.key("requests").value_u64(stats.requests);
+    b.key("memo_hits").value_u64(stats.memo_hits);
+    b.key("inflight_waits").value_u64(stats.inflight_waits);
+    b.key("simulations").value_u64(stats.simulations);
+    b.key("batch_wall_ms")
+        .value_f64(batch_wall.as_secs_f64() * 1e3);
+    b.key("sim_wall_ms_total").value_f64(
+        timings
+            .iter()
+            .map(|(_, d)| d.as_secs_f64() * 1e3)
+            .sum::<f64>(),
+    );
+    b.key("job_wall_us");
+    b.begin_array();
+    for (key, wall) in &timings {
+        b.begin_object();
+        b.key("job").value_str(&key.label());
+        b.key("wall_us").value_u64(wall.as_micros() as u64);
+        b.end_object();
+    }
+    b.end_array();
+    b.end_object();
+    let json = b.finish();
+    debug_assert!(ule_obs::json::is_valid(&json));
+
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench: {} jobs ({} cold) in {:.1} ms on {} threads -> {}",
+        jobs.len(),
+        stats.simulations,
+        batch_wall.as_secs_f64() * 1e3,
+        engine.threads(),
+        out.display()
+    );
+}

@@ -5,6 +5,8 @@
 //! cargo run -p ule-bench --release --bin repro -- fig7_1 t7_4
 //! cargo run -p ule-bench --release --bin repro -- --list
 //! cargo run -p ule-bench --release --bin repro -- --threads 4 all
+//! cargo run -p ule-bench --release --bin repro -- --metrics-out m.jsonl fig7_1
+//! cargo run -p ule-bench --release --bin repro -- --format json t7_4
 //! ```
 //!
 //! Every selected experiment's design points are first submitted to
@@ -13,12 +15,36 @@
 //! in argument order, so the output is byte-identical for any thread
 //! count (including 1).
 
+use std::path::PathBuf;
 use std::str::FromStr;
 
-use ule_bench::{ExperimentId, Job, SweepEngine};
+use ule_bench::{metrics_out, ExperimentId, Job, SweepEngine};
+
+fn print_help() {
+    println!("usage: repro [options] <experiment-id>... | all");
+    println!();
+    println!("options:");
+    println!("  --list              list experiment ids and exit");
+    println!("  --threads N         batch fan-out width (positive integer)");
+    println!("  --format text|json  text tables (default) or flat JSONL metrics records");
+    println!("  --metrics-out PATH  write one JSONL metrics record per design point");
+    println!("                      plus an engine summary (memo hits, per-job wall-clock)");
+    println!("  --trace PATH        write structured trace events (JSONL) to PATH");
+    println!("  --profile           attach the per-routine cycle profiler to every");
+    println!("                      simulation (adds a `profile` field to metrics records)");
+    println!("  -h, --help          show this help");
+    println!();
+    println!("environment:");
+    println!("  ULE_SWEEP_THREADS   default fan-out width when --threads is absent; must be");
+    println!("                      a positive integer (anything else warns once and falls");
+    println!("                      back to std::thread::available_parallelism)");
+    println!();
+    println!("ids: {}", id_list());
+}
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--threads N] <experiment-id>... | all | --list");
+    eprintln!("usage: repro [options] <experiment-id>... | all | --list");
+    eprintln!("run `repro --help` for the option list");
     eprintln!("ids: {}", id_list());
     std::process::exit(2);
 }
@@ -28,12 +54,25 @@ fn id_list() -> String {
     names.join(" ")
 }
 
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() {
     let mut threads: Option<usize> = None;
+    let mut format = Format::Text;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut profile = false;
     let mut selected: Vec<ExperimentId> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "-h" | "--help" => {
+                print_help();
+                return;
+            }
             "--list" => {
                 for id in ExperimentId::VARIANTS {
                     println!("{id}");
@@ -52,6 +91,29 @@ fn main() {
                     });
                 threads = Some(n);
             }
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => {
+                    eprintln!("--format expects `text` or `json`");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics-out" => match args.next() {
+                Some(p) => metrics_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--metrics-out expects a path");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace expects a path");
+                    std::process::exit(2);
+                }
+            },
+            "--profile" => profile = true,
             "all" => selected.extend(ExperimentId::ALL),
             other => match ExperimentId::from_str(other) {
                 Ok(id) => selected.push(id),
@@ -67,6 +129,23 @@ fn main() {
         usage();
     }
 
+    // Observability is configured once, before any simulation: the
+    // profiling flag is read at the start of each run, and memoized
+    // reports are shared, so flipping it mid-sweep would make a
+    // report's `profile` depend on scheduling.
+    if let Some(path) = &trace_path {
+        match ule_obs::JsonlFileSink::create(path) {
+            Ok(sink) => ule_obs::set_sink(Box::new(sink)),
+            Err(e) => {
+                eprintln!("cannot open trace file {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if profile {
+        ule_obs::set_profiling(true);
+    }
+
     let mut engine = SweepEngine::new();
     if let Some(n) = threads {
         engine = engine.with_threads(n);
@@ -75,8 +154,26 @@ fn main() {
     // Pre-warm the memo cache in parallel over the union of design
     // points, then render serially in order.
     let jobs: Vec<Job> = selected.iter().flat_map(|id| id.jobs()).collect();
-    engine.run_batch(&jobs);
-    for id in &selected {
-        print!("{}", id.run(&engine));
+    let reports = engine.run_batch(&jobs);
+    match format {
+        Format::Text => {
+            for id in &selected {
+                print!("{}", id.run(&engine));
+            }
+        }
+        Format::Json => {
+            let reg = metrics_out::metrics_registry(&jobs, &reports, &engine);
+            print!("{}", reg.to_jsonl());
+        }
     }
+    if let Some(path) = &metrics_path {
+        match metrics_out::write_metrics(path, &jobs, &reports, &engine) {
+            Ok(n) => eprintln!("wrote {n} metrics records to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write metrics to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    ule_obs::clear_sink();
 }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod metrics_out;
 pub mod prior;
 pub mod runner;
 pub mod sweep;
@@ -26,4 +27,4 @@ pub mod sweep;
 pub use experiments::ExperimentId;
 #[allow(deprecated)]
 pub use runner::Runner;
-pub use sweep::{ConfigKey, Job, SweepEngine};
+pub use sweep::{ConfigKey, EngineStats, Job, SweepEngine};

@@ -1,11 +1,13 @@
 //! The deprecated serial façade over [`SweepEngine`](crate::SweepEngine).
 //!
-//! `Runner` was the original single-threaded `Rc<RunReport>` memoizer.
-//! Its replacement is thread-safe, de-duplicates in-flight work, and
-//! fans batches out across cores — see `crate::sweep`. This shim keeps
-//! the old method surface compiling for one release; reports now come
-//! back as `Arc<RunReport>` (they were `Rc` — only the pointer type
-//! changed, every field access reads the same).
+//! Every method here delegates 1:1 to the engine (`run`, `sv`,
+//! `sv_cached`, `sv_monte`, `kg_billie`, `sv_mult_variant`); the only
+//! differences are the needless `&mut self` receivers and the missing
+//! `run_batch`/stats surface. See the [`crate::sweep`] module docs for
+//! the caching and determinism contract, usage examples, and the
+//! `ULE_SWEEP_THREADS` override — none of that is duplicated here, so
+//! it cannot drift. New code should construct a [`SweepEngine`]
+//! directly.
 
 use std::sync::Arc;
 use ule_core::{MultVariant, RunReport, SystemConfig, Workload};

@@ -36,6 +36,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 use ule_core::{MultVariant, RunReport, System, SystemConfig, Workload};
 use ule_curves::params::CurveId;
 use ule_monte::MonteConfig;
@@ -66,6 +67,52 @@ impl ConfigKey {
     /// Key for one (configuration, workload) pair.
     pub fn new(config: SystemConfig, workload: Workload) -> Self {
         ConfigKey { config, workload }
+    }
+
+    /// Compact human/machine label, e.g.
+    /// `P-192/monte/sign_verify` with non-default knobs appended
+    /// (`ic1024p`, `d4`, …) — used by trace events and the engine
+    /// summary of `--metrics-out`.
+    pub fn label(&self) -> String {
+        let c = &self.config;
+        let mut s = format!(
+            "{}/{}/{}",
+            c.curve.name(),
+            match c.arch {
+                Arch::Baseline => "baseline",
+                Arch::IsaExt => "isa_ext",
+                Arch::Monte => "monte",
+                Arch::Billie => "billie",
+            },
+            ule_core::metrics::workload_key(self.workload),
+        );
+        if let Some(ic) = c.icache {
+            s.push_str(&format!(
+                "/ic{}{}{}",
+                ic.size_bytes,
+                if ic.prefetch { "p" } else { "" },
+                if ic.ideal { "i" } else { "" }
+            ));
+        }
+        if !c.monte.double_buffer {
+            s.push_str("/nodb");
+        }
+        if !c.monte.forwarding {
+            s.push_str("/nofwd");
+        }
+        if c.billie_digit != 3 {
+            s.push_str(&format!("/d{}", c.billie_digit));
+        }
+        if c.mult_variant != MultVariant::Karatsuba {
+            s.push_str(&format!("/{:?}", c.mult_variant));
+        }
+        if c.gating != ule_energy::report::Gating::None {
+            s.push_str(&format!("/{:?}", c.gating));
+        }
+        if c.billie_sram_rf {
+            s.push_str("/sramrf");
+        }
+        s
     }
 
     fn shard(&self) -> usize {
@@ -148,6 +195,26 @@ pub struct SweepEngine {
     systems: Mutex<HashMap<SystemConfig, Arc<System>>>,
     threads: usize,
     simulations: AtomicU64,
+    requests: AtomicU64,
+    memo_hits: AtomicU64,
+    inflight_waits: AtomicU64,
+    /// Simulation wall-clock per cold job, in submission order of the
+    /// cold runs (memo hits don't append).
+    timings: Mutex<Vec<(ConfigKey, Duration)>>,
+}
+
+/// A snapshot of the engine's request/memoization counters — the
+/// `engine_summary` record of `--metrics-out`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total `run` calls (batch jobs included).
+    pub requests: u64,
+    /// Requests answered from the finished-report memo.
+    pub memo_hits: u64,
+    /// Requests that blocked on another thread's in-flight simulation.
+    pub inflight_waits: u64,
+    /// Cold simulations actually executed.
+    pub simulations: u64,
 }
 
 impl Default for SweepEngine {
@@ -161,20 +228,36 @@ impl SweepEngine {
     /// overridable with the `ULE_SWEEP_THREADS` environment variable
     /// (or [`SweepEngine::with_threads`]).
     pub fn new() -> Self {
-        let threads = std::env::var("ULE_SWEEP_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let default_threads = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let threads = match std::env::var("ULE_SWEEP_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    // Previously this fell back silently, making a typo'd
+                    // override indistinguishable from a working one.
+                    ule_obs::obs_warn_once!(
+                        "ULE_SWEEP_THREADS must be a positive integer; \
+                         falling back to available parallelism",
+                        value = v.as_str(),
+                    );
+                    default_threads()
+                }
+            },
+            Err(_) => default_threads(),
+        };
         SweepEngine {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             systems: Mutex::new(HashMap::new()),
             threads,
             simulations: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
+            timings: Mutex::new(Vec::new()),
         }
     }
 
@@ -196,6 +279,23 @@ impl SweepEngine {
         self.simulations.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of the request/memoization counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
+            simulations: self.simulations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Wall-clock of every cold simulation so far, `(key, duration)`,
+    /// in cold-run completion order. Memo/in-flight hits don't appear —
+    /// a key occurs at most once.
+    pub fn job_timings(&self) -> Vec<(ConfigKey, Duration)> {
+        lock(&self.timings).clone()
+    }
+
     /// The shared built system for one configuration.
     fn system(&self, config: SystemConfig) -> Arc<System> {
         if let Some(s) = lock(&self.systems).get(&config) {
@@ -214,14 +314,21 @@ impl SweepEngine {
     /// `Arc<RunReport>`; at most one of them simulates.
     pub fn run(&self, config: SystemConfig, workload: Workload) -> Arc<RunReport> {
         let key = ConfigKey::new(config, workload);
+        self.requests.fetch_add(1, Ordering::Relaxed);
         let shard = &self.shards[key.shard()];
         let flight = {
             let mut map = lock(shard);
             match map.get(&key) {
-                Some(Slot::Done(r)) => return r.clone(),
+                Some(Slot::Done(r)) => {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    ule_obs::obs_event!("sweep.memo_hit", job = key.label());
+                    return r.clone();
+                }
                 Some(Slot::InFlight(f)) => {
                     let f = f.clone();
                     drop(map);
+                    self.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                    ule_obs::obs_event!("sweep.inflight_wait", job = key.label());
                     return f.wait();
                 }
                 None => {
@@ -240,9 +347,18 @@ impl SweepEngine {
             flight: &flight,
             armed: true,
         };
+        let started = Instant::now();
         let sys = self.system(config);
         let report = Arc::new(sys.run(workload));
+        let wall = started.elapsed();
         self.simulations.fetch_add(1, Ordering::Relaxed);
+        lock(&self.timings).push((key, wall));
+        ule_obs::obs_event!(
+            "sweep.job",
+            job = key.label(),
+            wall_us = wall.as_micros() as u64,
+            cycles = report.cycles,
+        );
         guard.armed = false; // infallible from here on
         lock(shard).insert(key, Slot::Done(report.clone()));
         flight.publish(FlightState::Ready(report.clone()));
@@ -259,6 +375,10 @@ impl SweepEngine {
     /// serially — thread count never changes a number.
     pub fn run_batch(&self, jobs: &[Job]) -> Vec<Arc<RunReport>> {
         let workers = self.threads.min(jobs.len()).max(1);
+        let mut batch_span = ule_obs::span("sweep.batch");
+        batch_span
+            .field("jobs", jobs.len())
+            .field("workers", workers);
         let mut results: Vec<Option<Arc<RunReport>>> = vec![None; jobs.len()];
         if workers == 1 {
             for (slot, &(config, workload)) in results.iter_mut().zip(jobs) {
@@ -269,14 +389,33 @@ impl SweepEngine {
             let slots: Vec<Mutex<&mut Option<Arc<RunReport>>>> =
                 results.iter_mut().map(Mutex::new).collect();
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(config, workload)) = jobs.get(i) else {
-                            break;
-                        };
-                        let report = self.run(config, workload);
-                        **lock(&slots[i]) = Some(report);
+                let (next, slots) = (&next, &slots);
+                for worker in 0..workers {
+                    scope.spawn(move || {
+                        let spawned = Instant::now();
+                        let mut busy = Duration::ZERO;
+                        let mut processed = 0u64;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(config, workload)) = jobs.get(i) else {
+                                break;
+                            };
+                            let t0 = Instant::now();
+                            let report = self.run(config, workload);
+                            busy += t0.elapsed();
+                            processed += 1;
+                            **lock(&slots[i]) = Some(report);
+                        }
+                        // Per-thread utilization: busy/alive ≈ 1 means
+                        // the pool width was the bottleneck, not memo
+                        // contention or in-flight waits.
+                        ule_obs::obs_event!(
+                            "sweep.worker",
+                            worker = worker,
+                            jobs = processed,
+                            busy_us = busy.as_micros() as u64,
+                            alive_us = spawned.elapsed().as_micros() as u64,
+                        );
                     });
                 }
             });
@@ -328,8 +467,10 @@ impl SweepEngine {
         RunReport {
             cycles: base.cycles,
             counters: base.counters,
+            raw: base.raw,
             activity,
             energy: ule_energy::report::energy(&activity),
+            profile: base.profile.clone(),
         }
     }
 }

@@ -171,6 +171,7 @@ impl Coprocessor for Billie {
                 ram.count_external(k as u64, 0);
                 self.stats.ram_reads += k as u64;
                 self.stats.dma_cycles += self.lsu_latency();
+                self.stats.ls_ops += 1;
                 let words = ram.peek_words(rt_value, k);
                 self.regs[fs as usize] = words;
                 self.reg_ready[fs as usize] = wb;
@@ -183,6 +184,7 @@ impl Coprocessor for Billie {
                 ram.count_external(0, k as u64);
                 self.stats.ram_writes += k as u64;
                 self.stats.dma_cycles += self.lsu_latency();
+                self.stats.ls_ops += 1;
                 let words = self.regs[fs as usize].clone();
                 ram.poke_words(rt_value, &words);
                 self.inflight.push_back(done);
@@ -197,6 +199,7 @@ impl Coprocessor for Billie {
                 self.mul_free = done;
                 let wb = Self::claim_port(&mut self.port_a_busy, done);
                 self.stats.busy_cycles += self.mul_latency();
+                self.stats.mul_ops += 1;
                 let r = self.field.mul(&self.el(fs), &self.el(ft));
                 self.regs[fd as usize] = r.limbs().to_vec();
                 self.reg_ready[fd as usize] = wb;
@@ -208,6 +211,7 @@ impl Coprocessor for Billie {
                 self.sqr_free = done;
                 let wb = Self::claim_port(&mut self.port_a_busy, done);
                 self.stats.busy_cycles += 1;
+                self.stats.mul_ops += 1;
                 let r = self.field.sqr(&self.el(ft));
                 self.regs[fd as usize] = r.limbs().to_vec();
                 self.reg_ready[fd as usize] = wb;

@@ -26,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
+
 use ule_billie::{Billie, BillieConfig};
 use ule_curves::binary::AffinePoint2m;
 use ule_curves::ecdsa::{self, Keypair, PublicKey};
@@ -36,8 +38,11 @@ use ule_energy::report::Gating;
 use ule_energy::{Activity, CopActivity, CopKind, EnergyBreakdown, IcacheActivity};
 use ule_monte::{Monte, MonteConfig};
 use ule_mpmath::mp::Mp;
+use ule_pete::cop::CopStats;
 use ule_pete::cpu::{Counters, Machine, MachineConfig};
-use ule_pete::icache::CacheConfig;
+use ule_pete::icache::{CacheConfig, CacheStats};
+use ule_pete::mem::MemStats;
+use ule_pete::profile::RoutineProfile;
 use ule_swlib::builder::{build_suite, Arch, Suite};
 use ule_swlib::harness::{read_buf, run_entry, write_buf};
 
@@ -191,6 +196,41 @@ impl Workload {
     }
 }
 
+/// The raw memory/cache/accelerator statistics of a run, kept whole
+/// (rather than pre-reduced into [`Activity`]) so the metrics layer can
+/// export every counter the simulator produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RawStats {
+    /// Program-ROM traffic (word reads + cache line reads).
+    pub rom: MemStats,
+    /// Data-RAM traffic (Pete's port plus accelerator DMA).
+    pub ram: MemStats,
+    /// Instruction-cache statistics, when a cache is configured.
+    pub icache: Option<CacheStats>,
+    /// Accelerator statistics (all-zero without an accelerator).
+    pub cop: CopStats,
+}
+
+impl RawStats {
+    /// Adds another run's stats onto this one, struct by struct.
+    pub fn accumulate(&mut self, other: &RawStats) {
+        let RawStats {
+            rom,
+            ram,
+            icache,
+            cop,
+        } = other;
+        self.rom.accumulate(rom);
+        self.ram.accumulate(ram);
+        if let Some(ic) = icache {
+            self.icache
+                .get_or_insert_with(Default::default)
+                .accumulate(ic);
+        }
+        self.cop.accumulate(cop);
+    }
+}
+
 /// The result of simulating one workload on one configuration.
 ///
 /// `PartialEq` compares every field bit-for-bit — the determinism tests
@@ -201,10 +241,15 @@ pub struct RunReport {
     pub cycles: u64,
     /// Aggregated pipeline counters.
     pub counters: Counters,
+    /// Raw memory/cache/accelerator statistics.
+    pub raw: RawStats,
     /// The activity record handed to the energy model.
     pub activity: Activity,
     /// Per-component energy.
     pub energy: EnergyBreakdown,
+    /// Per-routine cycle attribution, when profiling was enabled for
+    /// this simulation (see [`System::run_profiled`]).
+    pub profile: Option<RoutineProfile>,
 }
 
 impl RunReport {
@@ -229,6 +274,9 @@ pub struct System {
 impl System {
     /// Builds the system (curve construction + suite codegen + link).
     pub fn new(config: SystemConfig) -> Self {
+        let mut sp = ule_obs::span("sys.assemble");
+        sp.field("curve", config.curve.name())
+            .field("arch", format!("{:?}", config.arch));
         let curve = config.curve.curve();
         let suite = build_suite(&curve, config.arch);
         System {
@@ -253,7 +301,7 @@ impl System {
         &self.suite
     }
 
-    fn machine(&self) -> Machine {
+    fn machine(&self, profiled: bool) -> Machine {
         let mut mc = match self.config.arch {
             Arch::Baseline => MachineConfig::baseline(),
             _ => MachineConfig::isa_ext(),
@@ -273,6 +321,9 @@ impl System {
                 )));
             }
             _ => {}
+        }
+        if profiled {
+            m.attach_profiler(&self.suite.program.text_symbols());
         }
         m
     }
@@ -304,6 +355,20 @@ impl System {
     /// Panics if the simulated outputs disagree with the host reference —
     /// a wrong-but-fast simulation must never produce a data point.
     pub fn run(&self, workload: Workload) -> RunReport {
+        // The global flag is read once per run so a report is
+        // internally consistent even if the flag changes concurrently.
+        self.run_inner(workload, ule_obs::profiling_enabled())
+    }
+
+    /// Runs one workload with per-routine cycle profiling forced on,
+    /// regardless of the global [`ule_obs::set_profiling`] flag — the
+    /// report's `profile` is always `Some`. Otherwise identical to
+    /// [`run`](Self::run), including the host-verification panics.
+    pub fn run_profiled(&self, workload: Workload) -> RunReport {
+        self.run_inner(workload, true)
+    }
+
+    fn run_inner(&self, workload: Workload, profiled: bool) -> RunReport {
         let k = self.suite.k;
         let inp = self.inputs();
         let d_limbs = inp.keys.private().to_limbs(k);
@@ -311,56 +376,74 @@ impl System {
         let k_limbs = inp.nonce.to_limbs(k);
         let (qx, qy) = public_xy(&self.curve, &inp.keys.public(), k);
         let mut total = RunAccum::default();
+        if profiled {
+            total.profile = Some(RoutineProfile::default());
+        }
         match workload {
             Workload::Sign | Workload::SignVerify => {
-                let mut m = self.machine();
-                write_buf(&mut m, &self.suite.program, "arg_e", &e_limbs);
-                write_buf(&mut m, &self.suite.program, "arg_d", &d_limbs);
-                write_buf(&mut m, &self.suite.program, "arg_k", &k_limbs);
-                run_entry(&mut m, &self.suite.program, "main_sign", u64::MAX / 2);
+                let mut m = self.machine(profiled);
+                {
+                    let _sp = ule_obs::span("sys.load");
+                    write_buf(&mut m, &self.suite.program, "arg_e", &e_limbs);
+                    write_buf(&mut m, &self.suite.program, "arg_d", &d_limbs);
+                    write_buf(&mut m, &self.suite.program, "arg_k", &k_limbs);
+                }
+                self.sim_entry(&mut m, "main_sign");
                 let r = Mp::from_limbs(&read_buf(&m, &self.suite.program, "out_r", k));
                 let s = Mp::from_limbs(&read_buf(&m, &self.suite.program, "out_s", k));
                 assert_eq!(r, inp.sig.r, "simulated r mismatch");
                 assert_eq!(s, inp.sig.s, "simulated s mismatch");
-                total.add(&m, self);
+                total.add(&mut m, self);
             }
             _ => {}
         }
         match workload {
             Workload::Verify | Workload::SignVerify => {
-                let mut m = self.machine();
-                write_buf(&mut m, &self.suite.program, "arg_e", &e_limbs);
-                write_buf(&mut m, &self.suite.program, "arg_r", &inp.sig.r.to_limbs(k));
-                write_buf(&mut m, &self.suite.program, "arg_s", &inp.sig.s.to_limbs(k));
-                write_buf(&mut m, &self.suite.program, "arg_qx", &qx);
-                write_buf(&mut m, &self.suite.program, "arg_qy", &qy);
-                run_entry(&mut m, &self.suite.program, "main_verify", u64::MAX / 2);
+                let mut m = self.machine(profiled);
+                {
+                    let _sp = ule_obs::span("sys.load");
+                    write_buf(&mut m, &self.suite.program, "arg_e", &e_limbs);
+                    write_buf(&mut m, &self.suite.program, "arg_r", &inp.sig.r.to_limbs(k));
+                    write_buf(&mut m, &self.suite.program, "arg_s", &inp.sig.s.to_limbs(k));
+                    write_buf(&mut m, &self.suite.program, "arg_qx", &qx);
+                    write_buf(&mut m, &self.suite.program, "arg_qy", &qy);
+                }
+                self.sim_entry(&mut m, "main_verify");
                 assert_eq!(
                     read_buf(&m, &self.suite.program, "out_ok", 1),
                     vec![1],
                     "simulated verification rejected a valid signature"
                 );
-                total.add(&m, self);
+                total.add(&mut m, self);
             }
             _ => {}
         }
         if workload == Workload::ScalarMul {
-            let mut m = self.machine();
+            let mut m = self.machine(profiled);
             write_buf(&mut m, &self.suite.program, "arg_k", &k_limbs);
-            run_entry(&mut m, &self.suite.program, "main_scalar_mul", u64::MAX / 2);
+            self.sim_entry(&mut m, "main_scalar_mul");
             let gx = read_buf(&m, &self.suite.program, "out_r", k);
             let expect = host_mul_g(&self.curve, &inp.nonce, k);
             assert_eq!(gx, expect.0, "simulated kG mismatch");
-            total.add(&m, self);
+            total.add(&mut m, self);
         }
         if workload == Workload::FieldMul {
-            let mut m = self.machine();
+            let mut m = self.machine(profiled);
             write_buf(&mut m, &self.suite.program, "arg_qx", &qx);
             write_buf(&mut m, &self.suite.program, "arg_qy", &qy);
-            run_entry(&mut m, &self.suite.program, "main_fmul", u64::MAX / 2);
-            total.add(&m, self);
+            self.sim_entry(&mut m, "main_fmul");
+            total.add(&mut m, self);
         }
         total.finish(self)
+    }
+
+    /// Runs one program entry point, wrapped in a `sys.sim` span.
+    fn sim_entry(&self, m: &mut Machine, entry: &'static str) {
+        let mut sp = ule_obs::span("sys.sim");
+        run_entry(m, &self.suite.program, entry, u64::MAX / 2);
+        sp.field("entry", entry)
+            .field("curve", self.config.curve.name())
+            .field("cycles", m.cycles());
     }
 }
 
@@ -398,74 +481,53 @@ fn host_mul_g(curve: &Curve, s: &Mp, k: usize) -> (Vec<u32>, Vec<u32>) {
 #[derive(Default)]
 struct RunAccum {
     counters: Counters,
-    rom_reads: u64,
-    rom_lines: u64,
-    ram_reads: u64,
-    ram_writes: u64,
-    icache_accesses: u64,
-    icache_fills: u64,
-    cop_busy: u64,
-    cop_dma: u64,
-    cop_ucode: u64,
+    raw: RawStats,
+    profile: Option<RoutineProfile>,
 }
 
 impl RunAccum {
-    fn add(&mut self, m: &Machine, _sys: &System) {
-        let c = m.counters();
-        self.counters.instructions += c.instructions;
-        self.counters.cycles += c.cycles;
-        self.counters.stall_cycles += c.stall_cycles;
-        self.counters.load_use_stalls += c.load_use_stalls;
-        self.counters.branches += c.branches;
-        self.counters.mispredicts += c.mispredicts;
-        self.counters.mult_active_cycles += c.mult_active_cycles;
-        self.counters.mult_stalls += c.mult_stalls;
-        self.counters.mult_ops += c.mult_ops;
-        self.counters.div_ops += c.div_ops;
-        self.counters.cop2_ops += c.cop2_ops;
-        self.counters.cop2_stalls += c.cop2_stalls;
-        self.counters.fetches += c.fetches;
-        let rom = m.rom_stats();
-        self.rom_reads += rom.reads;
-        self.rom_lines += rom.line_reads;
-        let ram = m.ram_stats();
-        self.ram_reads += ram.reads;
-        self.ram_writes += ram.writes;
-        if let Some(ic) = m.icache_stats() {
-            self.icache_accesses += ic.accesses;
-            self.icache_fills += ic.fills;
+    fn add(&mut self, m: &mut Machine, _sys: &System) {
+        self.counters.accumulate(&m.counters());
+        self.raw.accumulate(&RawStats {
+            rom: m.rom_stats(),
+            ram: m.ram_stats(),
+            icache: m.icache_stats(),
+            cop: m.cop_stats(),
+        });
+        if let Some(p) = m.take_profile() {
+            self.profile
+                .get_or_insert_with(RoutineProfile::default)
+                .merge(&p);
         }
-        let cop = m.cop_stats();
-        self.cop_busy += cop.busy_cycles;
-        self.cop_dma += cop.dma_cycles;
-        self.cop_ucode += cop.ucode_reads;
     }
 
     fn finish(self, sys: &System) -> RunReport {
+        let _sp = ule_obs::span("sys.energy");
         let cycles = self.counters.cycles;
+        let raw = self.raw;
         let activity = Activity {
             cycles,
             busy_cycles: cycles.saturating_sub(self.counters.stall_cycles),
             stall_cycles: self.counters.stall_cycles,
             mult_active_cycles: self.counters.mult_active_cycles,
             mult_variant_factor: sys.config.mult_variant.factor(),
-            rom_word_reads: self.rom_reads,
-            rom_line_reads: self.rom_lines,
-            ram_reads: self.ram_reads,
-            ram_writes: self.ram_writes,
+            rom_word_reads: raw.rom.reads,
+            rom_line_reads: raw.rom.line_reads,
+            ram_reads: raw.ram.reads,
+            ram_writes: raw.ram.writes,
             icache: sys.config.icache.map(|c| IcacheActivity {
                 size_bytes: c.size_bytes,
-                accesses: self.icache_accesses,
-                fills: self.icache_fills,
+                accesses: raw.icache.map(|ic| ic.accesses).unwrap_or(0),
+                fills: raw.icache.map(|ic| ic.fills).unwrap_or(0),
             }),
             cop: match sys.config.arch {
                 Arch::Monte => Some(CopActivity {
                     kind: CopKind::Monte,
-                    busy_cycles: self.cop_busy,
-                    dma_cycles: self.cop_dma,
+                    busy_cycles: raw.cop.busy_cycles,
+                    dma_cycles: raw.cop.dma_cycles,
                     // 3 scratch accesses per busy cycle (2 reads + 1
                     // write on average through the CIOS inner loops).
-                    scratch_accesses: 3 * self.cop_busy,
+                    scratch_accesses: 3 * raw.cop.busy_cycles,
                     gating: sys.config.gating,
                     sram_register_file: false,
                 }),
@@ -473,8 +535,8 @@ impl RunAccum {
                     kind: CopKind::Billie {
                         m: sys.config.curve.nist_binary().m(),
                     },
-                    busy_cycles: self.cop_busy,
-                    dma_cycles: self.cop_dma,
+                    busy_cycles: raw.cop.busy_cycles,
+                    dma_cycles: raw.cop.dma_cycles,
                     scratch_accesses: 0,
                     gating: sys.config.gating,
                     sram_register_file: sys.config.billie_sram_rf,
@@ -486,8 +548,10 @@ impl RunAccum {
         RunReport {
             cycles,
             counters: self.counters,
+            raw,
             activity,
             energy,
+            profile: self.profile,
         }
     }
 }

@@ -1,0 +1,258 @@
+//! Flattening [`RunReport`]s into versioned metrics records.
+//!
+//! [`design_point_record`] turns one `(config, workload, report)` into
+//! one flat [`Record`] — the JSONL line behind `repro --metrics-out`.
+//! Every counter struct the simulator produces is destructured
+//! **exhaustively** (no `..` patterns): adding a field to
+//! `pete::Counters`, `MemStats`, `CacheStats`, or `CopStats` without
+//! exporting it here is a compile error, not a silently-dropped
+//! counter. The exact key set is pinned by the golden-file test in
+//! `ule-bench`.
+
+use crate::{MultVariant, RawStats, RunReport, SystemConfig, Workload};
+use ule_energy::report::{Component, Gating};
+use ule_obs::json::JsonBuf;
+use ule_obs::record::Record;
+use ule_pete::cop::CopStats;
+use ule_pete::cpu::Counters;
+use ule_pete::icache::CacheStats;
+use ule_pete::mem::MemStats;
+use ule_pete::profile::RoutineProfile;
+use ule_swlib::builder::Arch;
+
+/// Stable identifier for an architecture.
+fn arch_key(a: Arch) -> &'static str {
+    match a {
+        Arch::Baseline => "baseline",
+        Arch::IsaExt => "isa_ext",
+        Arch::Monte => "monte",
+        Arch::Billie => "billie",
+    }
+}
+
+/// Stable identifier for a §7.8 multiplier variant.
+fn mult_variant_key(v: MultVariant) -> &'static str {
+    match v {
+        MultVariant::Karatsuba => "karatsuba",
+        MultVariant::OperandScan => "operand_scan",
+        MultVariant::Parallel => "parallel",
+    }
+}
+
+/// Stable identifier for a gating strategy.
+fn gating_key(g: Gating) -> &'static str {
+    match g {
+        Gating::None => "none",
+        Gating::Clock => "clock",
+        Gating::Power => "power",
+    }
+}
+
+/// Stable identifier for a workload.
+pub fn workload_key(w: Workload) -> &'static str {
+    match w {
+        Workload::Sign => "sign",
+        Workload::Verify => "verify",
+        Workload::SignVerify => "sign_verify",
+        Workload::ScalarMul => "scalar_mul",
+        Workload::FieldMul => "field_mul",
+    }
+}
+
+/// Flattens one design point (config + workload + simulation report)
+/// into a `design_point` record — one JSONL line of `--metrics-out`.
+pub fn design_point_record(
+    config: &SystemConfig,
+    workload: Workload,
+    report: &RunReport,
+) -> Record {
+    let mut r = Record::new("design_point");
+
+    // Configuration. Exhaustive: a new config knob must be exported.
+    let SystemConfig {
+        curve,
+        arch,
+        icache,
+        monte,
+        billie_digit,
+        mult_variant,
+        gating,
+        billie_sram_rf,
+    } = *config;
+    r.push("curve", curve.name());
+    r.push("arch", arch_key(arch));
+    r.push("workload", workload_key(workload));
+    r.push("icache_present", icache.is_some());
+    r.push(
+        "icache_size_bytes",
+        icache.map(|c| c.size_bytes as u64).unwrap_or(0),
+    );
+    r.push(
+        "icache_prefetch",
+        icache.map(|c| c.prefetch).unwrap_or(false),
+    );
+    r.push("icache_ideal", icache.map(|c| c.ideal).unwrap_or(false));
+    r.push(
+        "icache_miss_penalty",
+        icache.map(|c| c.miss_penalty as u64).unwrap_or(0),
+    );
+    r.push("monte_double_buffer", monte.double_buffer);
+    r.push("monte_forwarding", monte.forwarding);
+    r.push("monte_queue_depth", monte.queue_depth as u64);
+    r.push("billie_digit", billie_digit as u64);
+    r.push("mult_variant", mult_variant_key(mult_variant));
+    r.push("gating", gating_key(gating));
+    r.push("billie_sram_rf", billie_sram_rf);
+
+    // Headline results.
+    r.push("cycles", report.cycles);
+    r.push("time_ms", report.time_ms());
+    r.push("energy_uj", report.energy_uj());
+
+    // Pipeline counters. Exhaustive.
+    let Counters {
+        instructions,
+        cycles: counter_cycles,
+        stall_cycles,
+        load_use_stalls,
+        branches,
+        mispredicts,
+        mult_active_cycles,
+        mult_stalls,
+        mult_ops,
+        div_ops,
+        cop2_ops,
+        cop2_stalls,
+        fetches,
+    } = report.counters;
+    r.push("pete_instructions", instructions);
+    r.push("pete_cycles", counter_cycles);
+    r.push("pete_stall_cycles", stall_cycles);
+    r.push("pete_load_use_stalls", load_use_stalls);
+    r.push("pete_branches", branches);
+    r.push("pete_mispredicts", mispredicts);
+    r.push("pete_mult_active_cycles", mult_active_cycles);
+    r.push("pete_mult_stalls", mult_stalls);
+    r.push("pete_mult_ops", mult_ops);
+    r.push("pete_div_ops", div_ops);
+    r.push("pete_cop2_ops", cop2_ops);
+    r.push("pete_cop2_stalls", cop2_stalls);
+    r.push("pete_fetches", fetches);
+
+    // Memory, cache, and accelerator stats. Exhaustive.
+    let RawStats {
+        rom,
+        ram,
+        icache: icache_stats,
+        cop,
+    } = report.raw;
+    let MemStats {
+        reads: rom_reads,
+        writes: rom_writes,
+        line_reads: rom_line_reads,
+    } = rom;
+    r.push("rom_reads", rom_reads);
+    r.push("rom_writes", rom_writes);
+    r.push("rom_line_reads", rom_line_reads);
+    let MemStats {
+        reads: ram_reads,
+        writes: ram_writes,
+        line_reads: ram_line_reads,
+    } = ram;
+    r.push("ram_reads", ram_reads);
+    r.push("ram_writes", ram_writes);
+    r.push("ram_line_reads", ram_line_reads);
+    let CacheStats {
+        accesses,
+        misses,
+        prefetch_hits,
+        rom_line_reads: icache_rom_line_reads,
+        fills,
+        stall_cycles: icache_stall_cycles,
+    } = icache_stats.unwrap_or_default();
+    r.push("icache_accesses", accesses);
+    r.push("icache_misses", misses);
+    r.push("icache_prefetch_hits", prefetch_hits);
+    r.push("icache_rom_line_reads", icache_rom_line_reads);
+    r.push("icache_fills", fills);
+    r.push("icache_stall_cycles", icache_stall_cycles);
+    let CopStats {
+        busy_cycles,
+        dma_cycles,
+        instructions: cop_instructions,
+        ram_reads: cop_ram_reads,
+        ram_writes: cop_ram_writes,
+        ucode_reads,
+        mul_ops: cop_mul_ops,
+        ls_ops,
+    } = cop;
+    r.push("cop_busy_cycles", busy_cycles);
+    r.push("cop_dma_cycles", dma_cycles);
+    r.push("cop_instructions", cop_instructions);
+    r.push("cop_ram_reads", cop_ram_reads);
+    r.push("cop_ram_writes", cop_ram_writes);
+    r.push("cop_ucode_reads", ucode_reads);
+    r.push("cop_mul_ops", cop_mul_ops);
+    r.push("cop_ls_ops", ls_ops);
+
+    // Per-component energy, every component always present (zero when
+    // the component is absent from this configuration).
+    for c in [
+        Component::PeteCore,
+        Component::Rom,
+        Component::Ram,
+        Component::Uncore,
+        Component::Monte,
+        Component::Billie,
+    ] {
+        r.push(
+            &format!("energy_{}_uj", c.key()),
+            report.energy.component_uj(c),
+        );
+    }
+    r.push("energy_static_fraction", report.energy.static_fraction());
+
+    // Per-routine cycle profile (present only on profiled runs, as a
+    // nested array — the one non-flat field, pinned separately).
+    if let Some(p) = &report.profile {
+        r.push("profile", ule_obs::Value::Raw(profile_json(p)));
+    }
+    r
+}
+
+/// Serializes a routine profile as a JSON array of bucket objects.
+pub fn profile_json(p: &RoutineProfile) -> String {
+    let mut b = JsonBuf::new();
+    b.begin_array();
+    for routine in &p.routines {
+        b.begin_object();
+        b.key("name").value_str(&routine.name);
+        b.key("start").value_u64(routine.start as u64);
+        b.key("instructions").value_u64(routine.instructions);
+        b.key("cycles").value_u64(routine.cycles);
+        b.end_object();
+    }
+    b.end_array();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{System, Workload};
+    use ule_curves::params::CurveId;
+    use ule_obs::json::is_valid;
+
+    #[test]
+    fn design_point_record_is_flat_valid_json() {
+        let cfg = SystemConfig::new(CurveId::P192, Arch::Baseline);
+        let report = System::new(cfg).run(Workload::FieldMul);
+        let rec = design_point_record(&cfg, Workload::FieldMul, &report);
+        let line = rec.to_json();
+        assert!(is_valid(&line), "{line}");
+        assert_eq!(rec.get("curve"), Some(&ule_obs::Value::Str("P-192".into())));
+        assert_eq!(rec.get("cycles"), Some(&ule_obs::Value::U64(report.cycles)));
+        // Non-profiled run: no profile field.
+        assert!(rec.get("profile").is_none());
+    }
+}

@@ -35,6 +35,19 @@ impl Component {
             Component::Billie => "Billie",
         }
     }
+
+    /// Stable snake_case identifier for machine-readable output (the
+    /// metrics schema pins these — renaming is a schema change).
+    pub fn key(self) -> &'static str {
+        match self {
+            Component::PeteCore => "pete_core",
+            Component::Rom => "rom",
+            Component::Ram => "ram",
+            Component::Uncore => "uncore",
+            Component::Monte => "monte",
+            Component::Billie => "billie",
+        }
+    }
 }
 
 /// Instruction-cache activity for the energy model.
@@ -152,6 +165,13 @@ impl EnergyBreakdown {
             .map(|(_, d, s)| d + s)
             .sum::<f64>()
             * 1e6
+    }
+
+    /// The raw per-component entries, `(component, dynamic_j, static_j)`,
+    /// in display order — the full-precision data behind
+    /// [`components`](Self::components), exported to the metrics layer.
+    pub fn entries(&self) -> &[(Component, f64, f64)] {
+        &self.entries
     }
 
     /// All components with nonzero energy, µJ, in display order.

@@ -113,6 +113,36 @@ impl Program {
         self.ram_symbols.get(name).copied()
     }
 
+    /// The text-section labels as a deterministic routine table:
+    /// `(start_address, name)` sorted by address, with aliases that
+    /// share an address (e.g. a label defined as a pure jump to the
+    /// next label) merged into one `"a/b"` entry. Data labels (at or
+    /// past the end of text) are excluded. This is the symbol source
+    /// for the per-routine cycle profiler in `ule-pete`.
+    pub fn text_symbols(&self) -> Vec<(u32, String)> {
+        let text_end = (self.text_words as u32) * 4;
+        let mut syms: Vec<(u32, &str)> = self
+            .symbols
+            .iter()
+            .filter(|&(_, &addr)| addr < text_end)
+            .map(|(name, &addr)| (addr, name.as_str()))
+            .collect();
+        // HashMap iteration order is nondeterministic; sort by
+        // (addr, name) so alias merge order is stable run to run.
+        syms.sort_unstable();
+        let mut out: Vec<(u32, String)> = Vec::with_capacity(syms.len());
+        for (addr, name) in syms {
+            match out.last_mut() {
+                Some((prev, merged)) if *prev == addr => {
+                    merged.push('/');
+                    merged.push_str(name);
+                }
+                _ => out.push((addr, name.to_owned())),
+            }
+        }
+        out
+    }
+
     /// Bytes of RAM reserved for named buffers (the stack grows down from
     /// the top of RAM toward them).
     pub fn ram_reserved(&self) -> u32 {

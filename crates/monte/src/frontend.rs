@@ -165,6 +165,7 @@ impl Monte {
             ram.count_external(self.k as u64, 0);
             self.stats.ram_reads += self.k as u64;
         }
+        self.stats.ls_ops += 1;
         self.stats.dma_cycles += dur;
         let done = start + dur;
         self.dma_free_at = done;
@@ -214,6 +215,9 @@ impl Coprocessor for Monte {
                     Instr::Cop2Add => self.ffau.modadd(),
                     _ => self.ffau.modsub(),
                 };
+                if matches!(instr, Instr::Cop2Mul) {
+                    self.stats.mul_ops += 1;
+                }
                 let start = self.ffau_free_at.max(self.operands_ready_at).max(cycle);
                 self.ffau_free_at = start + dur;
                 self.stats.busy_cycles += dur;
@@ -230,6 +234,7 @@ impl Coprocessor for Monte {
                 self.flush_pending_store();
                 ram.count_external(0, self.k as u64);
                 self.stats.ram_writes += self.k as u64;
+                self.stats.ls_ops += 1;
                 // Functional effect now; timing deferred until the
                 // computation completes (the reservation register).
                 let words: Vec<u32> = self.ffau.result().iter().map(|&w| w as u32).collect();

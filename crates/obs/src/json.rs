@@ -1,0 +1,423 @@
+//! Hand-rolled JSON serialization and validation.
+//!
+//! The workspace builds fully offline with zero external dependencies,
+//! so there is no serde here: [`JsonBuf`] writes objects/arrays by hand
+//! with correct string escaping and number formatting, and
+//! [`is_valid`] is a small recursive-descent checker used by the tests
+//! and the `bench` binary to prove emitted lines actually parse.
+
+use std::fmt::Write as _;
+
+/// An append-only JSON buffer with explicit structure helpers.
+///
+/// The caller drives the structure (`begin_object`, `key`, `value_*`,
+/// `end_object`, …); the buffer inserts commas automatically. Misuse
+/// (e.g. a value with no key inside an object) is a caller bug, not a
+/// runtime-checked condition — the output of every producer in this
+/// workspace is covered by [`is_valid`]-based tests.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// Whether a comma is needed before the next element at the current
+    /// nesting level (one flag per open container).
+    need_comma: Vec<bool>,
+}
+
+impl JsonBuf {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        JsonBuf::default()
+    }
+
+    /// The serialized JSON so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the buffer, returning the serialized JSON.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn elem(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.elem();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes an object (`}`).
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.elem();
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes an array (`]`).
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes an object key (including the `:`).
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.elem();
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        // The upcoming value must not get a comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, v: &str) -> &mut Self {
+        self.elem();
+        write_escaped(&mut self.out, v);
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) -> &mut Self {
+        self.elem();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes a signed integer value.
+    pub fn value_i64(&mut self, v: i64) -> &mut Self {
+        self.elem();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes a float value (`null` for non-finite values, which JSON
+    /// cannot represent).
+    pub fn value_f64(&mut self, v: f64) -> &mut Self {
+        self.elem();
+        if v.is_finite() {
+            // Rust's shortest-roundtrip float formatting is valid JSON
+            // (digits, optional `-`/`.`/`e`).
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, v: bool) -> &mut Self {
+        self.elem();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes `null`.
+    pub fn value_null(&mut self) -> &mut Self {
+        self.elem();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Splices a pre-serialized JSON fragment in as one value. The
+    /// fragment must itself be valid JSON (producers assert this in
+    /// debug builds).
+    pub fn value_raw(&mut self, json: &str) -> &mut Self {
+        debug_assert!(is_valid(json), "raw fragment is not valid JSON: {json}");
+        self.elem();
+        self.out.push_str(json);
+        self
+    }
+}
+
+/// Escapes and quotes `s` per RFC 8259.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes and quotes a string as a standalone JSON value.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_escaped(&mut out, s);
+    out
+}
+
+// ---- validation -----------------------------------------------------
+
+/// Returns true iff `s` is one complete, valid JSON value (with
+/// optional surrounding whitespace). Used by tests and the CI smoke
+/// path to prove every emitted JSONL line parses.
+pub fn is_valid(s: &str) -> bool {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    if !p.value() {
+        return false;
+    }
+    p.ws();
+    p.i == p.b.len()
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lit(&mut self, s: &str) -> bool {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        if !self.eat(b'{') {
+            return false;
+        }
+        self.ws();
+        if self.eat(b'}') {
+            return true;
+        }
+        loop {
+            self.ws();
+            if !self.string() {
+                return false;
+            }
+            self.ws();
+            if !self.eat(b':') || !self.value() {
+                return false;
+            }
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.eat(b'}');
+        }
+    }
+
+    fn array(&mut self) -> bool {
+        if !self.eat(b'[') {
+            return false;
+        }
+        self.ws();
+        if self.eat(b']') {
+            return true;
+        }
+        loop {
+            if !self.value() {
+                return false;
+            }
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.eat(b']');
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return true,
+                b'\\' => {
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return false,
+                                }
+                            }
+                        }
+                        _ => return false,
+                    };
+                }
+                0x00..=0x1f => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn number(&mut self) -> bool {
+        self.eat(b'-');
+        let digits_start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        if self.i == digits_start {
+            return false;
+        }
+        if self.eat(b'.') {
+            let frac_start = self.i;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+            if self.i == frac_start {
+                return false;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let exp_start = self.i;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+            if self.i == exp_start {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_arrays_and_escapes() {
+        let mut b = JsonBuf::new();
+        b.begin_object()
+            .key("s")
+            .value_str("a\"b\\c\nd\u{1}")
+            .key("n")
+            .value_u64(42)
+            .key("f")
+            .value_f64(1.5)
+            .key("inf")
+            .value_f64(f64::INFINITY)
+            .key("t")
+            .value_bool(true)
+            .key("arr");
+        b.begin_array().value_i64(-3).value_null().end_array();
+        b.end_object();
+        let s = b.finish();
+        assert_eq!(
+            s,
+            r#"{"s":"a\"b\\c\nd\u0001","n":42,"f":1.5,"inf":null,"t":true,"arr":[-3,null]}"#
+        );
+        assert!(is_valid(&s));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"a":[1,2,{"b":"cÿ"}]}"#,
+            " {\"x\": false}\n",
+        ] {
+            assert!(is_valid(good), "{good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}",
+        ] {
+            assert!(!is_valid(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        let mut b = JsonBuf::new();
+        b.value_f64(0.1);
+        assert_eq!(b.as_str(), "0.1");
+        let mut b = JsonBuf::new();
+        b.value_f64(3.0);
+        assert!(is_valid(b.as_str()));
+    }
+}

@@ -1,0 +1,147 @@
+//! The metrics registry: flat, versioned, hand-serialized JSON records.
+//!
+//! One [`Record`] is one JSONL line — a flat list of `(key, value)`
+//! pairs opened by `record` (the record kind) and `schema_version`.
+//! Producers build records by exhaustively destructuring their counter
+//! structs (so a newly added counter that is not exported fails to
+//! compile), and the golden-file test in `ule-bench` pins the exact key
+//! set of every record kind.
+
+use crate::json::JsonBuf;
+use crate::Value;
+
+/// Version of the flat metrics schema. Bump on any key rename/removal;
+/// pure additions keep the version (consumers must ignore unknown
+/// keys).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One flat metrics record (one JSONL line).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// A record of the given kind, pre-populated with the `record` and
+    /// `schema_version` fields.
+    pub fn new(kind: &str) -> Self {
+        let mut r = Record { fields: Vec::new() };
+        r.push("record", kind);
+        r.push("schema_version", SCHEMA_VERSION);
+        r
+    }
+
+    /// Appends a field. Keys must be unique within a record (checked in
+    /// debug builds).
+    pub fn push(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        debug_assert!(
+            !self.fields.iter().any(|(k, _)| k == key),
+            "duplicate metrics key {key:?}"
+        );
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// The keys, in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Looks a field up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut b = JsonBuf::new();
+        b.begin_object();
+        for (k, v) in &self.fields {
+            b.key(k);
+            match v {
+                Value::U64(n) => b.value_u64(*n),
+                Value::I64(n) => b.value_i64(*n),
+                Value::F64(n) => b.value_f64(*n),
+                Value::Bool(x) => b.value_bool(*x),
+                Value::Str(s) => b.value_str(s),
+                Value::Raw(j) => b.value_raw(j),
+            };
+        }
+        b.end_object();
+        b.finish()
+    }
+}
+
+/// An ordered collection of records, written out as JSONL.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    records: Vec<Record>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// The collected records, in insertion order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Writes every record as one JSON line.
+    pub fn write_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        for r in &self.records {
+            writeln!(w, "{}", r.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// The whole registry as a JSONL string.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid;
+
+    #[test]
+    fn record_serializes_flat_and_valid() {
+        let mut r = Record::new("test");
+        r.push("a", 1u64)
+            .push("b", -2i64)
+            .push("c", 1.25f64)
+            .push("d", "x\"y")
+            .push("e", true)
+            .push("f", Value::Raw("[1,2]".into()));
+        let j = r.to_json();
+        assert!(is_valid(&j), "{j}");
+        assert!(j.starts_with(r#"{"record":"test","schema_version":"#));
+        assert_eq!(r.get("a"), Some(&Value::U64(1)));
+        assert_eq!(r.keys().count(), 8);
+    }
+
+    #[test]
+    fn registry_emits_one_line_per_record() {
+        let mut reg = MetricsRegistry::new();
+        reg.push(Record::new("a"));
+        reg.push(Record::new("b"));
+        let out = reg.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| is_valid(l)));
+    }
+}

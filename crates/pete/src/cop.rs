@@ -32,6 +32,36 @@ pub struct CopStats {
     pub ram_writes: u64,
     /// Microcode-store reads (Monte) / sequencer steps (Billie).
     pub ucode_reads: u64,
+    /// Multiply/square datapath operations started.
+    pub mul_ops: u64,
+    /// Load/store (DMA transfer) commands executed.
+    pub ls_ops: u64,
+}
+
+impl CopStats {
+    /// Adds another run's stats onto this one. Exhaustive
+    /// destructuring: a new field must be accounted here (and in the
+    /// metrics schema) to compile.
+    pub fn accumulate(&mut self, other: &CopStats) {
+        let CopStats {
+            busy_cycles,
+            dma_cycles,
+            instructions,
+            ram_reads,
+            ram_writes,
+            ucode_reads,
+            mul_ops,
+            ls_ops,
+        } = *other;
+        self.busy_cycles += busy_cycles;
+        self.dma_cycles += dma_cycles;
+        self.instructions += instructions;
+        self.ram_reads += ram_reads;
+        self.ram_writes += ram_writes;
+        self.ucode_reads += ucode_reads;
+        self.mul_ops += mul_ops;
+        self.ls_ops += ls_ops;
+    }
 }
 
 /// A coprocessor plugged into Pete's COP2 interface.

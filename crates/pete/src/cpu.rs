@@ -23,6 +23,7 @@
 use crate::cop::{CopStats, Coprocessor, NoCoprocessor};
 use crate::icache::{CacheConfig, CacheStats, ICache};
 use crate::mem::{MemStats, Ram, Rom};
+use crate::profile::{PcProfiler, RoutineProfile};
 use ule_isa::asm::Program;
 use ule_isa::instr::Instr;
 use ule_isa::reg::Reg;
@@ -122,6 +123,45 @@ pub struct Counters {
     pub fetches: u64,
 }
 
+impl Counters {
+    /// Adds another run's counters onto this one, field by field.
+    ///
+    /// The exhaustive destructuring (no `..`) is deliberate: adding a
+    /// counter to this struct without deciding how it accumulates —
+    /// and without exporting it to the metrics schema — fails to
+    /// compile here.
+    pub fn accumulate(&mut self, other: &Counters) {
+        let Counters {
+            instructions,
+            cycles,
+            stall_cycles,
+            load_use_stalls,
+            branches,
+            mispredicts,
+            mult_active_cycles,
+            mult_stalls,
+            mult_ops,
+            div_ops,
+            cop2_ops,
+            cop2_stalls,
+            fetches,
+        } = *other;
+        self.instructions += instructions;
+        self.cycles += cycles;
+        self.stall_cycles += stall_cycles;
+        self.load_use_stalls += load_use_stalls;
+        self.branches += branches;
+        self.mispredicts += mispredicts;
+        self.mult_active_cycles += mult_active_cycles;
+        self.mult_stalls += mult_stalls;
+        self.mult_ops += mult_ops;
+        self.div_ops += div_ops;
+        self.cop2_ops += cop2_ops;
+        self.cop2_stalls += cop2_stalls;
+        self.fetches += fetches;
+    }
+}
+
 /// Why a run stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunExit {
@@ -158,6 +198,10 @@ pub struct Machine {
     /// load (for the load-use interlock).
     last_load_dest: Option<Reg>,
     halted: Option<u16>,
+    /// Per-routine cycle profiler; `None` (the default) costs one
+    /// branch per step. Boxed so the unprofiled machine's layout stays
+    /// a single pointer wide here.
+    profiler: Option<Box<PcProfiler>>,
 }
 
 impl Machine {
@@ -191,7 +235,21 @@ impl Machine {
             mult_free_at: 0,
             last_load_dest: None,
             halted: None,
+            profiler: None,
         }
+    }
+
+    /// Attaches a per-routine cycle profiler over the given routine
+    /// table (from `Program::text_symbols`). Until this is called,
+    /// profiling costs one untaken branch per step.
+    pub fn attach_profiler(&mut self, text_symbols: &[(u32, String)]) {
+        self.profiler = Some(Box::new(PcProfiler::new(text_symbols)));
+    }
+
+    /// Detaches the profiler, returning the per-routine breakdown
+    /// accumulated so far (`None` if no profiler was attached).
+    pub fn take_profile(&mut self) -> Option<RoutineProfile> {
+        self.profiler.take().map(|p| p.finish())
     }
 
     /// Attaches an accelerator to the COP2 interface.
@@ -285,6 +343,7 @@ impl Machine {
         if self.halted.is_some() {
             return;
         }
+        let cycle_at_issue = self.cycle;
         let branch_target = self.pending_branch.take();
         let pc = self.pc;
         let instr = self.fetch(pc);
@@ -312,6 +371,13 @@ impl Machine {
                 self.pc = target;
             }
             None => self.pc = next_pc,
+        }
+
+        // `cycle` only advances inside `step`, so attributing the delta
+        // to this instruction's PC makes the routine buckets sum
+        // exactly to the machine's total cycles.
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(pc, self.cycle - cycle_at_issue);
         }
     }
 

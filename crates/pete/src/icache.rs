@@ -92,6 +92,26 @@ impl CacheStats {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Adds another run's stats onto this one. Exhaustive
+    /// destructuring: a new field must be accounted here (and in the
+    /// metrics schema) to compile.
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        let CacheStats {
+            accesses,
+            misses,
+            prefetch_hits,
+            rom_line_reads,
+            fills,
+            stall_cycles,
+        } = *other;
+        self.accesses += accesses;
+        self.misses += misses;
+        self.prefetch_hits += prefetch_hits;
+        self.rom_line_reads += rom_line_reads;
+        self.fills += fills;
+        self.stall_cycles += stall_cycles;
+    }
 }
 
 /// Outcome of one fetch, as seen by the pipeline.

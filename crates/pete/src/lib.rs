@@ -30,7 +30,9 @@ pub mod cop;
 pub mod cpu;
 pub mod icache;
 pub mod mem;
+pub mod profile;
 
 pub use cop::{CopStats, Coprocessor};
 pub use cpu::{Counters, Machine, MachineConfig, RunExit};
 pub use icache::{CacheConfig, CacheStats};
+pub use profile::{PcProfiler, RoutineCycles, RoutineProfile};

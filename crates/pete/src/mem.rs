@@ -22,6 +22,22 @@ pub struct MemStats {
     pub line_reads: u64,
 }
 
+impl MemStats {
+    /// Adds another run's stats onto this one. Exhaustive
+    /// destructuring: a new field must be accounted here (and in the
+    /// metrics schema) to compile.
+    pub fn accumulate(&mut self, other: &MemStats) {
+        let MemStats {
+            reads,
+            writes,
+            line_reads,
+        } = *other;
+        self.reads += reads;
+        self.writes += writes;
+        self.line_reads += line_reads;
+    }
+}
+
 /// The program ROM.
 #[derive(Clone, Debug)]
 pub struct Rom {

@@ -1,0 +1,185 @@
+//! Per-routine cycle attribution (PC-range buckets).
+//!
+//! The assembler already knows every routine's start address
+//! (`Program::text_symbols`), so profiling needs no instrumentation in
+//! the software suite: when enabled, [`Machine::step`] records the
+//! cycle delta of each retired instruction into the bucket owning its
+//! PC (binary search over sorted routine starts). Because `cycle` only
+//! advances inside `step`, the bucket totals sum *exactly* to the
+//! machine's total cycles — the invariant the attribution test pins.
+//!
+//! [`Machine::step`]: crate::cpu::Machine::step
+
+/// One routine's share of the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutineCycles {
+    /// Routine name; aliases sharing a start address come pre-merged as
+    /// `"a/b"` by `Program::text_symbols`.
+    pub name: String,
+    /// Start address of the routine's PC range.
+    pub start: u32,
+    /// Retired instructions attributed to the range.
+    pub instructions: u64,
+    /// Cycles (issue + all stalls) attributed to the range.
+    pub cycles: u64,
+}
+
+/// The finished per-routine breakdown of a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoutineProfile {
+    /// Buckets in ascending address order; zero-activity routines are
+    /// retained so the table shape is config-independent.
+    pub routines: Vec<RoutineCycles>,
+}
+
+impl RoutineProfile {
+    /// Sum of all bucket cycles (equals the machine's total cycles).
+    pub fn total_cycles(&self) -> u64 {
+        self.routines.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Sum of all bucket instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.routines.iter().map(|r| r.instructions).sum()
+    }
+
+    /// The bucket for `name`, if present (exact match against the
+    /// possibly alias-merged name).
+    pub fn routine(&self, name: &str) -> Option<&RoutineCycles> {
+        self.routines.iter().find(|r| r.name == name)
+    }
+
+    /// The bucket whose (alias-merged) name contains `part` — e.g.
+    /// `find("fmul")` matches a `"fsqr/fmul"` merge.
+    pub fn find(&self, part: &str) -> Option<&RoutineCycles> {
+        self.routines
+            .iter()
+            .find(|r| r.name.split('/').any(|n| n == part))
+    }
+
+    /// Accumulates another profile over the same routine table
+    /// (workloads run the same program image several times, e.g.
+    /// Sign + Verify).
+    pub fn merge(&mut self, other: &RoutineProfile) {
+        if self.routines.is_empty() {
+            self.routines = other.routines.clone();
+            return;
+        }
+        assert_eq!(
+            self.routines.len(),
+            other.routines.len(),
+            "merging profiles over different routine tables"
+        );
+        for (a, b) in self.routines.iter_mut().zip(&other.routines) {
+            debug_assert_eq!(a.start, b.start);
+            a.instructions += b.instructions;
+            a.cycles += b.cycles;
+        }
+    }
+}
+
+/// The live profiler attached to a [`Machine`](crate::cpu::Machine).
+#[derive(Clone, Debug)]
+pub struct PcProfiler {
+    /// Sorted bucket start addresses (parallel to `buckets`).
+    starts: Vec<u32>,
+    buckets: Vec<RoutineCycles>,
+}
+
+impl PcProfiler {
+    /// Builds buckets from `Program::text_symbols` output (sorted,
+    /// alias-merged `(start, name)` pairs). A synthetic `(prelude)`
+    /// bucket covers any code before the first label.
+    pub fn new(text_symbols: &[(u32, String)]) -> Self {
+        let mut buckets = Vec::with_capacity(text_symbols.len() + 1);
+        if text_symbols.first().is_none_or(|&(a, _)| a != 0) {
+            buckets.push(RoutineCycles {
+                name: "(prelude)".to_owned(),
+                start: 0,
+                instructions: 0,
+                cycles: 0,
+            });
+        }
+        for (start, name) in text_symbols {
+            buckets.push(RoutineCycles {
+                name: name.clone(),
+                start: *start,
+                instructions: 0,
+                cycles: 0,
+            });
+        }
+        let starts = buckets.iter().map(|b| b.start).collect();
+        PcProfiler { starts, buckets }
+    }
+
+    /// Attributes one retired instruction and its cycle delta to the
+    /// bucket owning `pc`.
+    #[inline]
+    pub fn record(&mut self, pc: u32, cycles: u64) {
+        let idx = match self.starts.binary_search(&pc) {
+            Ok(i) => i,
+            Err(i) => i - 1, // starts[0] == 0 covers every pc
+        };
+        let b = &mut self.buckets[idx];
+        b.instructions += 1;
+        b.cycles += cycles;
+    }
+
+    /// Finishes the run, yielding the per-routine breakdown.
+    pub fn finish(self) -> RoutineProfile {
+        RoutineProfile {
+            routines: self.buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms() -> Vec<(u32, String)> {
+        vec![(0x10, "a".to_owned()), (0x40, "b/c".to_owned())]
+    }
+
+    #[test]
+    fn attribution_covers_prelude_and_boundaries() {
+        let mut p = PcProfiler::new(&syms());
+        p.record(0x0, 3); // prelude
+        p.record(0x10, 2); // first instr of a
+        p.record(0x3c, 1); // last instr of a
+        p.record(0x40, 5); // b/c
+        p.record(0x1000, 7); // past last label -> b/c
+        let prof = p.finish();
+        assert_eq!(prof.total_cycles(), 18);
+        assert_eq!(prof.total_instructions(), 5);
+        assert_eq!(prof.routine("(prelude)").unwrap().cycles, 3);
+        assert_eq!(prof.routine("a").unwrap().cycles, 3);
+        assert_eq!(prof.routine("b/c").unwrap().cycles, 12);
+        assert_eq!(prof.find("c").unwrap().start, 0x40);
+        assert!(prof.find("zz").is_none());
+    }
+
+    #[test]
+    fn no_prelude_bucket_when_label_at_zero() {
+        let mut p = PcProfiler::new(&[(0, "start".to_owned())]);
+        p.record(0, 1);
+        let prof = p.finish();
+        assert_eq!(prof.routines.len(), 1);
+        assert_eq!(prof.routine("start").unwrap().cycles, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RoutineProfile::default();
+        let mut p = PcProfiler::new(&syms());
+        p.record(0x10, 2);
+        a.merge(&p.finish());
+        let mut p = PcProfiler::new(&syms());
+        p.record(0x10, 3);
+        p.record(0x40, 4);
+        a.merge(&p.finish());
+        assert_eq!(a.routine("a").unwrap().cycles, 5);
+        assert_eq!(a.routine("b/c").unwrap().cycles, 4);
+        assert_eq!(a.total_cycles(), 9);
+    }
+}
