@@ -22,6 +22,7 @@ use ule_bench::{metrics_out, ExperimentId, Job, SweepEngine};
 
 fn print_help() {
     println!("usage: repro [options] <experiment-id>... | all");
+    println!("       repro verify [verify-options]");
     println!();
     println!("options:");
     println!("  --list              list experiment ids and exit");
@@ -39,7 +40,121 @@ fn print_help() {
     println!("                      a positive integer (anything else warns once and falls");
     println!("                      back to std::thread::available_parallelism)");
     println!();
+    println!("verify-options (differential verification campaign):");
+    println!("  --seed S            campaign seed: hex, decimal, or any token");
+    println!("                      (hashed deterministically; default 0xULE)");
+    println!("  --iters N           random cases per curve before cost tiering");
+    println!("                      (default 16; big fields run fewer)");
+    println!("  --curve NAME        restrict to one curve (repeatable)");
+    println!("  --config LABEL      restrict to one configuration: baseline,");
+    println!("                      baseline+ic, isa-ext, isa-ext+ic, monte/billie");
+    println!("  --case LABEL        replay one case: random:N, edge:NAME, negative:N");
+    println!("  --no-edge           skip the adversarial edge corpus");
+    println!("  --no-negative      skip bit-flip negative tests");
+    println!("  --inject-fault      corrupt one RAM limb in the first simulated");
+    println!("                      verification (harness self-test: the campaign");
+    println!("                      must catch and shrink it)");
+    println!();
     println!("ids: {}", id_list());
+}
+
+/// `repro verify …`: run a differential campaign and exit. Exit code 0
+/// means the campaign matched expectations (zero divergences, or — with
+/// `--inject-fault` — exactly the injected fault was caught).
+fn run_verify(args: impl Iterator<Item = String>, trace_path: Option<PathBuf>) -> ! {
+    let mut campaign = ule_verify::Campaign::new(ule_verify::parse_seed("0xULE"), 16);
+    let mut curves: Vec<ule_curves::params::CurveId> = Vec::new();
+    let args_v: Vec<String> = args.collect();
+    let mut i = 0;
+    let take = |i: &mut usize, args_v: &[String], flag: &str| -> String {
+        *i += 1;
+        match args_v.get(*i) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            }
+        }
+    };
+    while i < args_v.len() {
+        match args_v[i].as_str() {
+            "--seed" => campaign.seed = ule_verify::parse_seed(&take(&mut i, &args_v, "--seed")),
+            "--iters" => {
+                let v = take(&mut i, &args_v, "--iters");
+                campaign.iters = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters expects a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--curve" => {
+                let v = take(&mut i, &args_v, "--curve");
+                match ule_verify::parse_curve(&v) {
+                    Some(id) => curves.push(id),
+                    None => {
+                        eprintln!("unknown curve {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--config" => {
+                let v = take(&mut i, &args_v, "--config");
+                match ule_verify::ConfigKind::parse(&v) {
+                    Some(c) => campaign.only_config = Some(c),
+                    None => {
+                        eprintln!("unknown config {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--case" => {
+                let v = take(&mut i, &args_v, "--case");
+                match ule_verify::CaseSelector::parse(&v) {
+                    Some(s) => campaign.only_case = Some(s),
+                    None => {
+                        eprintln!("bad case selector {v:?} (random:N, edge:NAME, negative:N)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--no-edge" => campaign.edge = false,
+            "--no-negative" => campaign.negative = false,
+            "--inject-fault" => campaign.inject_fault = true,
+            other => {
+                eprintln!("unknown verify option {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if !curves.is_empty() {
+        campaign.curves = curves;
+    }
+    if let Some(path) = &trace_path {
+        match ule_obs::JsonlFileSink::create(path) {
+            Ok(sink) => ule_obs::set_sink(Box::new(sink)),
+            Err(e) => {
+                eprintln!("cannot open trace file {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = ule_verify::run_campaign(&campaign);
+    print!("{}", report.render(&campaign));
+    ule_obs::clear_sink();
+    if campaign.inject_fault {
+        // Self-test: the deliberate corruption must be caught.
+        if report.divergences.is_empty() {
+            eprintln!("verify: injected fault was NOT caught");
+            std::process::exit(1);
+        }
+        println!("verify: injected fault caught and shrunk (self-test ok)");
+        std::process::exit(0);
+    }
+    std::process::exit(if report.divergences.is_empty() { 0 } else { 1 });
 }
 
 fn usage() -> ! {
@@ -114,6 +229,9 @@ fn main() {
                 }
             },
             "--profile" => profile = true,
+            // The differential-verification subcommand owns the rest
+            // of the argument list.
+            "verify" => run_verify(args, trace_path),
             "all" => selected.extend(ExperimentId::ALL),
             other => match ExperimentId::from_str(other) {
                 Ok(id) => selected.push(id),

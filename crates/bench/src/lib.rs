@@ -21,10 +21,7 @@
 pub mod experiments;
 pub mod metrics_out;
 pub mod prior;
-pub mod runner;
 pub mod sweep;
 
 pub use experiments::ExperimentId;
-#[allow(deprecated)]
-pub use runner::Runner;
 pub use sweep::{ConfigKey, EngineStats, Job, SweepEngine};

@@ -2,7 +2,8 @@
 //! is simulated at most once per engine, concurrently callable from any
 //! number of threads, with a scoped-thread fan-out for batch sweeps.
 //!
-//! This replaces the old single-threaded `Rc`-based `Runner`. The
+//! This replaced the old single-threaded `Rc`-based `Runner` (since
+//! deleted). The
 //! design-space evaluation is an embarrassingly parallel batch workload
 //! — 6 configurations × 10 curves × icache/digit/front-end ablations,
 //! every point independent of every other — so the memo cache is a

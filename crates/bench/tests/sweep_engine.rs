@@ -170,23 +170,6 @@ fn thread_count_overrides() {
 }
 
 #[test]
-fn deprecated_runner_shim_forwards_to_engine() {
-    #[allow(deprecated)]
-    let mut runner = ule_bench::Runner::new();
-    #[allow(deprecated)]
-    let a = runner.run(
-        SystemConfig::new(CurveId::P192, Arch::Baseline),
-        Workload::FieldMul,
-    );
-    #[allow(deprecated)]
-    let b = runner.run(
-        SystemConfig::new(CurveId::P192, Arch::Baseline),
-        Workload::FieldMul,
-    );
-    assert!(Arc::ptr_eq(&a, &b));
-}
-
-#[test]
 fn experiment_ids_round_trip_and_parse() {
     for id in ExperimentId::VARIANTS {
         let parsed: ExperimentId = id.name().parse().unwrap();

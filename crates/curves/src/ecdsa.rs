@@ -322,4 +322,98 @@ mod tests {
         assert!(e.bit_len() <= 192);
         assert!(&e < curve.n());
     }
+
+    /// Exhaustive `r`/`s` range rejects: zero, exactly `n`, and `n+1`
+    /// must all fail on both families without reaching the twin
+    /// multiplication.
+    #[test]
+    fn reject_out_of_range_r_s() {
+        for id in [CurveId::P192, CurveId::K163] {
+            let curve = id.curve();
+            let keys = Keypair::derive(&curve, b"range signer");
+            let e = hash_to_scalar(&curve, b"range msg");
+            let nonce = derive_scalar(&curve, b"range nonce", b"nonce");
+            let sig = sign_with_nonce(&curve, keys.private(), &e, &nonce).expect("nonce ok");
+            assert!(verify_prehashed(&curve, &keys.public(), &e, &sig));
+            let n = curve.n();
+            let bad_values = [Mp::zero(), n.clone(), n.add(&Mp::one())];
+            for bad in &bad_values {
+                let bad_r = Signature {
+                    r: bad.clone(),
+                    s: sig.s.clone(),
+                };
+                assert!(
+                    !verify_prehashed(&curve, &keys.public(), &e, &bad_r),
+                    "{id:?} accepted r = {bad:?}"
+                );
+                let bad_s = Signature {
+                    r: sig.r.clone(),
+                    s: bad.clone(),
+                };
+                assert!(
+                    !verify_prehashed(&curve, &keys.public(), &e, &bad_s),
+                    "{id:?} accepted s = {bad:?}"
+                );
+            }
+        }
+    }
+
+    /// A public key from the wrong curve family must be rejected, not
+    /// misinterpreted as coordinates on the verifying curve.
+    #[test]
+    fn reject_wrong_family_public_key() {
+        let prime = CurveId::P192.curve();
+        let binary = CurveId::K163.curve();
+        let prime_keys = Keypair::derive(&prime, b"prime signer");
+        let binary_keys = Keypair::derive(&binary, b"binary signer");
+        let e = hash_to_scalar(&prime, b"family msg");
+        let nonce = derive_scalar(&prime, b"family nonce", b"nonce");
+        let sig = sign_with_nonce(&prime, prime_keys.private(), &e, &nonce).expect("nonce ok");
+        assert!(verify_prehashed(&prime, &prime_keys.public(), &e, &sig));
+        assert!(!verify_prehashed(&prime, &binary_keys.public(), &e, &sig));
+        let eb = hash_to_scalar(&binary, b"family msg");
+        let nonce_b = derive_scalar(&binary, b"family nonce b", b"nonce");
+        let sig_b =
+            sign_with_nonce(&binary, binary_keys.private(), &eb, &nonce_b).expect("nonce ok");
+        assert!(!verify_prehashed(
+            &binary,
+            &prime_keys.public(),
+            &eb,
+            &sig_b
+        ));
+    }
+
+    /// Digest truncation for orders wider than 256 bits (K-409/K-571):
+    /// a digest longer than `n` keeps only its leftmost `bits(n)` bits,
+    /// and a 256-bit digest passes through unshifted (it is already
+    /// shorter than `n`, so no reduction occurs either).
+    #[test]
+    fn digest_truncation_wide_orders() {
+        for id in [CurveId::K409, CurveId::K571] {
+            let curve = id.curve();
+            let n_bits = curve.n().bit_len();
+            assert!(n_bits > 256, "{id:?} order unexpectedly narrow");
+
+            // 64-byte (512-bit) digest of descending bytes: the
+            // expected scalar is the digest value shifted down to
+            // bits(n), computed here via an independent byte walk.
+            let digest: Vec<u8> = (0..64u32).map(|i| 0xff - i as u8).collect();
+            let mut expected = Mp::zero();
+            for &b in &digest {
+                expected = expected.shl(8).add(&Mp::from_u64(b as u64));
+            }
+            // K-409 shifts (512 > 409); K-571 does not (512 < 570).
+            let expected = expected.shr(512usize.saturating_sub(n_bits)).rem(curve.n());
+            assert_eq!(digest_to_scalar(&curve, &digest), expected, "{id:?}");
+
+            // SHA-256 output is narrower than n: value passes through.
+            let e = hash_to_scalar(&curve, b"wide order msg");
+            let raw = crate::sha256::sha256(b"wide order msg");
+            let mut raw_val = Mp::zero();
+            for &b in &raw {
+                raw_val = raw_val.shl(8).add(&Mp::from_u64(b as u64));
+            }
+            assert_eq!(e, raw_val, "{id:?} narrow digest must not shift");
+        }
+    }
 }

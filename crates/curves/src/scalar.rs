@@ -238,7 +238,18 @@ pub fn twin_mul_counted<C: GroupOps>(
     q: &C::Aff,
 ) -> (C::Aff, OpCount) {
     let mut count = OpCount::default();
-    let p_plus_q = {
+    // `Q = ±P` degenerates the joint precompute: `Q = P` makes it a
+    // doubling (which the mixed-addition formulas cannot express) and
+    // `Q = -P` makes it the group identity. Handle both explicitly
+    // instead of leaning on the primitives' internal fallbacks — the
+    // simulated kernels mirror this dispatch, and an ECDSA verification
+    // hits `Q = ±G` for the legitimate keys `d = 1` and `d = n-1`.
+    let inf = curve.affine_infinity();
+    let p_plus_q = if *q == curve.neg_affine(p) {
+        inf.clone()
+    } else if *q == *p {
+        curve.to_affine(&curve.double(&curve.from_affine(p)))
+    } else {
         let t = curve.add_affine(&curve.from_affine(p), q);
         curve.to_affine(&t)
     };
@@ -264,6 +275,10 @@ pub fn twin_mul_counted<C: GroupOps>(
                 r = curve.add_affine(&r, q);
                 count.adds += 1;
             }
+            // An identity joint addend (Q = -P) makes the (1, 1) step a
+            // no-op; skipping keeps the census aligned with the kernels,
+            // which branch past the `padd` in that case.
+            (true, true) if p_plus_q == inf => {}
             (true, true) => {
                 r = curve.add_affine(&r, &p_plus_q);
                 count.adds += 1;
@@ -462,6 +477,68 @@ mod tests {
             let rhs = c.affine_add(&mul_binary(&c, &u1, &g), &mul_binary(&c, &u2, &q));
             assert_eq!(lhs, rhs);
         }
+    }
+
+    /// `Q = ±P` and zero multipliers: the degenerate cases the joint
+    /// precompute and the (1, 1) scan step must dispatch explicitly.
+    /// Runs on both families; every case is checked against two
+    /// independent single multiplications.
+    #[test]
+    fn twin_degenerate_points_prime() {
+        let c = tiny_prime();
+        let g = c.generator();
+        let neg_g = c.neg_affine(&g);
+        for q in [g.clone(), neg_g] {
+            for (u1, u2) in [
+                (3u64, 1u64),
+                (1, 1),
+                (7, 7),
+                (0, 5),
+                (5, 0),
+                (0, 0),
+                (21, 13),
+            ] {
+                let (u1, u2) = (Mp::from_u64(u1), Mp::from_u64(u2));
+                let lhs = twin_mul(&c, &u1, &g, &u2, &q);
+                let rhs = c.affine_add(&mul_binary(&c, &u1, &g), &mul_binary(&c, &u2, &q));
+                assert_eq!(lhs, rhs, "u1={u1} u2={u2} q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn twin_degenerate_points_2m() {
+        let c = tiny_binary();
+        let g = c.generator();
+        let neg_g = c.neg_affine(&g);
+        for q in [g.clone(), neg_g] {
+            for (u1, u2) in [
+                (3u64, 1u64),
+                (1, 1),
+                (7, 7),
+                (0, 5),
+                (5, 0),
+                (0, 0),
+                (21, 13),
+            ] {
+                let (u1, u2) = (Mp::from_u64(u1), Mp::from_u64(u2));
+                let lhs = twin_mul(&c, &u1, &g, &u2, &q);
+                let rhs = c.affine_add(&mul_binary(&c, &u1, &g), &mul_binary(&c, &u2, &q));
+                assert_eq!(lhs, rhs, "u1={u1} u2={u2} q={q:?}");
+            }
+        }
+    }
+
+    /// Mid-scan equal-point addition: with `Q = P`, `u1 = 3`, `u2 = 1`
+    /// the accumulator equals the joint addend `2P` when the (1, 1) bit
+    /// fires, forcing the addition primitive through its doubling
+    /// fallback (`3P + P = 4P`).
+    #[test]
+    fn twin_equal_point_addend_mid_scan() {
+        let c = tiny_prime();
+        let g = c.generator();
+        let lhs = twin_mul(&c, &Mp::from_u64(3), &g, &Mp::one(), &g);
+        assert_eq!(lhs, mul_window(&c, &Mp::from_u64(4), &g));
     }
 
     #[test]

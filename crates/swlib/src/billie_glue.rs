@@ -294,6 +294,104 @@ fn emit_bil_scalar_mul(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
     g.a.ret();
 }
 
+/// Emits one copy of the Billie twin-multiplication main loop (bit
+/// index in `S0`, first-window flag in `S3`, exits to `out`). With
+/// `pq_is_identity` the `(1, 1)` bit pair adds nothing and leaves the
+/// first-window flag untouched — the degenerate `Q = -G` scan, where
+/// `G+Q` is the group identity (which LD mixed addition cannot encode).
+fn emit_bil_twin_loop(g: &mut Gen, cfg: &PointCfg, out: &str, pq_is_identity: bool) {
+    let b = &cfg.bufs;
+    let (gx, gy) = (4u8, 5u8);
+    let (qx, qy) = (6u8, 7u8);
+    let (pqx, pqy) = (8u8, 9u8);
+    let mainloop = g.sym("btw_main");
+    let after = g.sym("btw_after");
+    let first_init = g.sym("btw_first");
+    let not_first = g.sym("btw_nf");
+    let skip_dbl = g.sym("btw_skipd");
+    g.a.label(&mainloop);
+    g.a.bltz(S0, out);
+    g.a.nop();
+    g.a.bne(S3, ZERO, &skip_dbl); // doubling the identity is a no-op
+    g.a.nop();
+    g.a.jal("bil_pdbl");
+    g.a.nop();
+    g.a.label(&skip_dbl);
+    crate::point::emit_get_bit_for(g, b.tw_u1, S0);
+    g.a.mov(S1, V0);
+    crate::point::emit_get_bit_for(g, b.tw_u2, S0);
+    g.a.sll(T0, S1, 1);
+    g.a.or(S2, T0, V0); // (b1 << 1) | b2
+    g.a.beq(S2, ZERO, &after);
+    g.a.nop();
+    if pq_is_identity {
+        // G+Q = identity: the (1, 1) pair adds nothing.
+        g.a.li(T0, 3);
+        g.a.beq(S2, T0, &after);
+        g.a.nop();
+    }
+    g.a.bne(S3, ZERO, &first_init);
+    g.a.nop();
+    g.a.b(&not_first);
+    g.a.nop();
+    g.a.label(&first_init);
+    g.a.li(S3, 0);
+    let init_targets: &[(i64, (u8, u8))] = if pq_is_identity {
+        &[(2, (gx, gy)), (1, (qx, qy))]
+    } else {
+        &[(2, (gx, gy)), (1, (qx, qy)), (3, (pqx, pqy))]
+    };
+    for &(code, (px, py)) in init_targets {
+        let skip = g.sym("btw_iskip");
+        g.a.li(T0, code);
+        g.a.bne(S2, T0, &skip);
+        g.a.nop();
+        emit_bil_init_from(g, px, py);
+        g.a.label(&skip);
+    }
+    g.a.b(&after);
+    g.a.nop();
+    g.a.label(&not_first);
+    let add_targets: &[(i64, &str)] = if pq_is_identity {
+        &[(2, "bil_padd_g"), (1, "bil_padd_q")]
+    } else {
+        &[(2, "bil_padd_g"), (1, "bil_padd_q"), (3, "bil_padd_pq")]
+    };
+    for &(code, routine) in add_targets {
+        let skip = g.sym("btw_askip");
+        g.a.li(T0, code);
+        g.a.bne(S2, T0, &skip);
+        g.a.nop();
+        g.a.jal(routine);
+        g.a.nop();
+        g.a.label(&skip);
+    }
+    g.a.label(&after);
+    g.a.addiu(S0, S0, -1);
+    g.a.b(&mainloop);
+    g.a.nop();
+}
+
+/// Inline scan setup: `S0 = max(bitlen u1, bitlen u2) - 1`, first-window
+/// flag `S3 = 1`. Emitted per scan variant because the `Q = G` rewrite
+/// changes the scalars before the scan starts.
+fn emit_twin_bitlen(g: &mut Gen, cfg: &PointCfg) {
+    let b = &cfg.bufs;
+    crate::point::emit_bitlen_for(g, b.tw_u1, cfg.kn);
+    g.a.mov(S0, Reg::T8);
+    crate::point::emit_bitlen_for(g, b.tw_u2, cfg.kn);
+    g.a.slt(T0, S0, Reg::T8);
+    {
+        let keep = g.sym("btw_keep");
+        g.a.beq(T0, ZERO, &keep);
+        g.a.nop();
+        g.a.mov(S0, Reg::T8);
+        g.a.label(&keep);
+    }
+    g.a.addiu(S0, S0, -1);
+    g.a.li(S3, 1); // first flag
+}
+
 /// Emits the register-resident `twin_mul` with the shared RAM interface.
 /// G lives at registers 4/5, Q at 6/7, G+Q at 8/9.
 fn emit_bil_twin_mul(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
@@ -304,10 +402,10 @@ fn emit_bil_twin_mul(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
     let (pqx, pqy) = (8u8, 9u8);
     let mainloop = g.sym("btw_main");
     let out = g.sym("btw_out");
-    let after = g.sym("btw_after");
-    let first_init = g.sym("btw_first");
-    let not_first = g.sym("btw_nf");
-    let skip_dbl = g.sym("btw_skipd");
+    let q_differs = g.sym("btw_qdif");
+    let q_is_neg_g = g.sym("btw_qneg");
+    let ident_out = g.sym("btw_iout");
+    let done = g.sym("btw_done");
 
     g.a.label("twin_mul");
     g.a.addiu(Reg::SP, Reg::SP, -24);
@@ -324,6 +422,68 @@ fn emit_bil_twin_mul(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
     g.a.bil_ld(T0, qx);
     g.a.li(T0, b.tw_qy as i64);
     g.a.bil_ld(T0, qy);
+    // The LD mixed addition degenerates silently when the operands share
+    // an x-coordinate (B = 0 makes Z3 = 0 without any identity
+    // encoding), so a `Q = ±G` public key must not reach `bil_padd_q` in
+    // the G+Q precompute. Compare Q against G in RAM first — a generic Q
+    // exits on the first mismatching word.
+    {
+        let scan_x = g.sym("btw_scanx");
+        g.a.la(Reg::T8, "bil_gx");
+        g.a.li(Reg::T4, b.tw_qx as i64);
+        g.a.li(Reg::T9, cfg.k as i64);
+        g.a.label(&scan_x);
+        g.a.lw(T0, 0, Reg::T8);
+        g.a.lw(Reg::T1, 0, Reg::T4);
+        g.a.bne(T0, Reg::T1, &q_differs);
+        g.a.addiu(Reg::T8, Reg::T8, 4); // delay
+        g.a.addiu(Reg::T4, Reg::T4, 4);
+        g.a.addiu(Reg::T9, Reg::T9, -1);
+        g.a.bne(Reg::T9, ZERO, &scan_x);
+        g.a.nop();
+    }
+    {
+        // x(Q) == x(G), so Q = ±G; the y-coordinate decides which.
+        let scan_y = g.sym("btw_scany");
+        g.a.la(Reg::T8, "bil_gy");
+        g.a.li(Reg::T4, b.tw_qy as i64);
+        g.a.li(Reg::T9, cfg.k as i64);
+        g.a.label(&scan_y);
+        g.a.lw(T0, 0, Reg::T8);
+        g.a.lw(Reg::T1, 0, Reg::T4);
+        g.a.bne(T0, Reg::T1, &q_is_neg_g);
+        g.a.addiu(Reg::T8, Reg::T8, 4); // delay
+        g.a.addiu(Reg::T4, Reg::T4, 4);
+        g.a.addiu(Reg::T9, Reg::T9, -1);
+        g.a.bne(Reg::T9, ZERO, &scan_y);
+        g.a.nop();
+    }
+    // Q = G: the twin collapses to `(u1 + u2) G`. Scanning the summed
+    // scalar instead sidesteps mid-scan operand collisions — with both
+    // points multiples of G the accumulator `t G` hits the addend
+    // (`t = 1` or `2`) for realistic scalar prefixes, and the guardless
+    // LD addition cannot represent the resulting doubling. With
+    // `tw_u2 = 0` every addend is `G` after at least one doubling, so
+    // `t` is even and ≥ 2 at each addition and never equals 1.
+    {
+        g.a.li(A0, b.tw_u1 as i64);
+        g.a.li(A1, b.tw_u1 as i64);
+        g.a.li(Reg::A2, b.tw_u2 as i64);
+        g.a.jal("nadd");
+        g.a.nop();
+        let zloop = g.sym("btw_u2z");
+        g.a.li(Reg::T4, b.tw_u2 as i64);
+        g.a.li(Reg::T9, cfg.kn as i64);
+        g.a.label(&zloop);
+        g.a.sw(ZERO, 0, Reg::T4);
+        g.a.addiu(Reg::T4, Reg::T4, 4);
+        g.a.addiu(Reg::T9, Reg::T9, -1);
+        g.a.bne(Reg::T9, ZERO, &zloop);
+        g.a.nop();
+    }
+    g.a.b(&mainloop);
+    g.a.nop();
+    g.a.label(&q_differs);
     // G + Q into (8, 9).
     emit_bil_init_from(g, gx, gy);
     g.a.jal("bil_padd_q");
@@ -335,72 +495,46 @@ fn emit_bil_twin_mul(g: &mut Gen, field: &BinaryField, cfg: &PointCfg) {
     g.a.jal("bil_padd_q");
     g.a.nop();
     emit_bil_to_affine(g, m, T3, T4);
-    // bits = max(bitlen u1, bitlen u2) - 1
-    crate::point::emit_bitlen_for(g, b.tw_u1, cfg.kn);
-    g.a.mov(S0, Reg::T8);
-    crate::point::emit_bitlen_for(g, b.tw_u2, cfg.kn);
-    g.a.slt(T0, S0, Reg::T8);
-    {
-        let keep = g.sym("btw_keep");
-        g.a.beq(T0, ZERO, &keep);
-        g.a.nop();
-        g.a.mov(S0, Reg::T8);
-        g.a.label(&keep);
-    }
-    g.a.addiu(S0, S0, -1);
-    g.a.li(S3, 1); // first flag
     g.a.label(&mainloop);
-    g.a.bltz(S0, &out);
-    g.a.nop();
-    g.a.bne(S3, ZERO, &skip_dbl); // doubling the identity is a no-op
-    g.a.nop();
-    g.a.jal("bil_pdbl");
-    g.a.nop();
-    g.a.label(&skip_dbl);
-    crate::point::emit_get_bit_for(g, b.tw_u1, S0);
-    g.a.mov(S1, V0);
-    crate::point::emit_get_bit_for(g, b.tw_u2, S0);
-    g.a.sll(T0, S1, 1);
-    g.a.or(S2, T0, V0); // (b1 << 1) | b2
-    g.a.beq(S2, ZERO, &after);
-    g.a.nop();
-    g.a.bne(S3, ZERO, &first_init);
-    g.a.nop();
-    g.a.b(&not_first);
-    g.a.nop();
-    g.a.label(&first_init);
-    g.a.li(S3, 0);
-    for (code, (px, py)) in [(2i64, (gx, gy)), (1, (qx, qy)), (3, (pqx, pqy))] {
-        let skip = g.sym("btw_iskip");
-        g.a.li(T0, code);
-        g.a.bne(S2, T0, &skip);
-        g.a.nop();
-        emit_bil_init_from(g, px, py);
-        g.a.label(&skip);
-    }
-    g.a.b(&after);
-    g.a.nop();
-    g.a.label(&not_first);
-    for (code, routine) in [(2i64, "bil_padd_g"), (1, "bil_padd_q"), (3, "bil_padd_pq")] {
-        let skip = g.sym("btw_askip");
-        g.a.li(T0, code);
-        g.a.bne(S2, T0, &skip);
-        g.a.nop();
-        g.a.jal(routine);
-        g.a.nop();
-        g.a.label(&skip);
-    }
-    g.a.label(&after);
-    g.a.addiu(S0, S0, -1);
-    g.a.b(&mainloop);
-    g.a.nop();
+    emit_twin_bitlen(g, cfg);
+    emit_bil_twin_loop(g, cfg, &out, false);
+    g.a.label(&q_is_neg_g);
+    // Q = -G: G+Q is the identity; run the scan with the (1, 1) pair as
+    // a no-op. No precompute is needed.
+    emit_twin_bitlen(g, cfg);
+    emit_bil_twin_loop(g, cfg, &out, true);
     g.a.label(&out);
+    // A scan that never initialized the working point (zero scalars, or
+    // every set pair (1, 1) with Q = -G) yields the group identity:
+    // store the (0, 0) sentinel instead of inverting uninitialized
+    // registers.
+    g.a.bne(S3, ZERO, &ident_out);
+    g.a.nop();
     emit_bil_to_affine(g, m, T3, T4);
     g.a.li(T0, b.tw_outx as i64);
     g.a.bil_st(T0, T3);
     g.a.li(T0, b.tw_outy as i64);
     g.a.bil_st(T0, T4);
     g.a.cop2sync();
+    g.a.b(&done);
+    g.a.nop();
+    g.a.label(&ident_out);
+    {
+        let zloop = g.sym("btw_zero");
+        g.a.li(Reg::T4, b.tw_outx as i64);
+        g.a.li(Reg::T8, b.tw_outy as i64);
+        g.a.li(Reg::T9, cfg.k as i64);
+        g.a.label(&zloop);
+        g.a.sw(ZERO, 0, Reg::T4);
+        g.a.sw(ZERO, 0, Reg::T8);
+        g.a.addiu(Reg::T4, Reg::T4, 4);
+        g.a.addiu(Reg::T8, Reg::T8, 4);
+        g.a.addiu(Reg::T9, Reg::T9, -1);
+        g.a.bne(Reg::T9, ZERO, &zloop);
+        g.a.nop();
+        g.a.cop2sync();
+    }
+    g.a.label(&done);
     g.a.lw(RA, 20, Reg::SP);
     g.a.lw(S0, 16, Reg::SP);
     g.a.lw(S1, 12, Reg::SP);

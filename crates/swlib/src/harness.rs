@@ -8,6 +8,61 @@ use ule_pete::cpu::{Machine, MachineConfig, RunExit};
 /// the worst case in the study at ~250M cycles, §7.6).
 pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
 
+/// Why [`try_run_entry`] could not complete an entry point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The entry label is not defined by the program image.
+    NoEntry {
+        /// The label that was requested.
+        entry: String,
+    },
+    /// The entry ran but did not reach `break` within the cycle budget.
+    CycleLimit {
+        /// The label that was running.
+        entry: String,
+        /// The budget that was exhausted.
+        max_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::NoEntry { entry } => write!(f, "no entry point {entry:?}"),
+            RunError::CycleLimit { entry, max_cycles } => {
+                write!(f, "{entry:?} exceeded {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Runs the program from the given entry label until `break`, returning
+/// the cycle count, or an error on a missing label / exhausted cycle
+/// budget. The fuzzing campaigns use this so one divergent or hung seed
+/// is reported instead of aborting the whole run; directed tests keep
+/// the panicking [`run_entry`].
+pub fn try_run_entry(
+    m: &mut Machine,
+    program: &Program,
+    entry: &str,
+    max_cycles: u64,
+) -> Result<u64, RunError> {
+    let pc = program.symbol(entry).ok_or_else(|| RunError::NoEntry {
+        entry: entry.to_string(),
+    })?;
+    m.set_pc(pc);
+    let start = m.cycles();
+    match m.run(start + max_cycles) {
+        RunExit::Halted { .. } => Ok(m.cycles() - start),
+        RunExit::CycleLimit => Err(RunError::CycleLimit {
+            entry: entry.to_string(),
+            max_cycles,
+        }),
+    }
+}
+
 /// Runs the program from the given entry label until `break`.
 ///
 /// # Panics
@@ -15,14 +70,9 @@ pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
 /// Panics if the entry label does not exist or the cycle budget runs out
 /// (both indicate suite bugs, not user errors).
 pub fn run_entry(m: &mut Machine, program: &Program, entry: &str, max_cycles: u64) -> u64 {
-    let pc = program
-        .symbol(entry)
-        .unwrap_or_else(|| panic!("no entry point {entry:?}"));
-    m.set_pc(pc);
-    let start = m.cycles();
-    match m.run(start + max_cycles) {
-        RunExit::Halted { .. } => m.cycles() - start,
-        RunExit::CycleLimit => panic!("{entry:?} exceeded {max_cycles} cycles"),
+    match try_run_entry(m, program, entry, max_cycles) {
+        Ok(cycles) => cycles,
+        Err(e) => panic!("{e}"),
     }
 }
 

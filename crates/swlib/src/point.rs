@@ -642,12 +642,9 @@ pub fn emit_scalar_mul(g: &mut Gen, cfg: &PointCfg) {
 /// `tw_u1/tw_u2/tw_qx/tw_qy`; result in `tw_outx/tw_outy`.
 pub fn emit_twin_mul(g: &mut Gen, cfg: &PointCfg) {
     let b = &cfg.bufs;
-    let mainloop = g.sym("tw_main");
     let out = g.sym("tw_out");
-    let after = g.sym("tw_after");
-    let add_q = g.sym("tw_addq");
-    let add_g = g.sym("tw_addg");
-    let add_pq = g.sym("tw_addpq");
+    let normal = g.sym("tw_norm");
+    let degenerate = g.sym("tw_deg");
     g.a.label("twin_mul");
     g.a.addiu(Reg::SP, Reg::SP, -16);
     g.a.sw(RA, 12, Reg::SP);
@@ -695,8 +692,65 @@ pub fn emit_twin_mul(g: &mut Gen, cfg: &PointCfg) {
     }
     g.a.addiu(S0, S0, -1); // i
     fcall(g, "pt_set_identity", &[]);
+    // When Q = -G the P+Q precompute is the group identity, which
+    // `pt_to_affine` encodes as the (0, 0) sentinel — feeding that back
+    // into `padd` as a finite point would corrupt the accumulator. A
+    // finite P+Q can never have a zero probe coordinate (finite points
+    // on an odd-order prime curve never have y = 0; order-n subgroup
+    // points on the Koblitz curves never have x = 0), so one non-zero
+    // word proves the precompute is finite and the common path pays only
+    // this single-word probe.
+    let probe = match cfg.family {
+        Family::Prime => b.tw_pqy,
+        Family::Binary { .. } => b.tw_pqx,
+    };
+    g.a.li(T4, probe as i64);
+    g.a.lw(T0, 0, T4);
+    g.a.bne(T0, ZERO, &normal);
+    g.a.nop();
+    {
+        // Cold path: confirm the whole coordinate is zero.
+        let scan = g.sym("tw_scan");
+        g.a.li(T9, cfg.k as i64);
+        g.a.label(&scan);
+        g.a.lw(T0, 0, T4);
+        g.a.bne(T0, ZERO, &normal);
+        g.a.addiu(T4, T4, 4); // delay
+        g.a.addiu(T9, T9, -1);
+        g.a.bne(T9, ZERO, &scan);
+        g.a.nop();
+    }
+    g.a.b(&degenerate);
+    g.a.nop();
+    g.a.label(&normal);
+    emit_twin_loop(g, cfg, &out, false);
+    g.a.label(&degenerate);
+    emit_twin_loop(g, cfg, &out, true);
+    g.a.label(&out);
+    fcall(
+        g,
+        "pt_to_affine",
+        &[(A0, buf(b.tw_outx)), (A1, buf(b.tw_outy))],
+    );
+    g.a.lw(RA, 12, Reg::SP);
+    g.a.lw(S0, 8, Reg::SP);
+    g.a.lw(S1, 4, Reg::SP);
+    g.a.addiu(Reg::SP, Reg::SP, 16);
+    g.a.ret();
+}
+
+/// Emits one copy of the twin-multiplication main loop (bit index in
+/// `S0`, exits to `out` when it underflows). With `pq_is_identity` the
+/// `(1, 1)` bit pair adds nothing — the degenerate `Q = -G` scan, where
+/// `P+Q` is the group identity.
+fn emit_twin_loop(g: &mut Gen, cfg: &PointCfg, out: &str, pq_is_identity: bool) {
+    let b = &cfg.bufs;
+    let mainloop = g.sym("tw_main");
+    let after = g.sym("tw_after");
+    let add_q = g.sym("tw_addq");
+    let add_g = g.sym("tw_addg");
     g.a.label(&mainloop);
-    g.a.bltz(S0, &out);
+    g.a.bltz(S0, out);
     g.a.nop();
     fcall(g, "pdbl", &[]);
     emit_get_bit(g, b.tw_u1, S0);
@@ -704,18 +758,31 @@ pub fn emit_twin_mul(g: &mut Gen, cfg: &PointCfg) {
     emit_get_bit(g, b.tw_u2, S0);
     // (b1, b2) dispatch
     g.a.and(T0, S1, V0);
-    g.a.bne(T0, ZERO, &add_pq);
-    g.a.nop();
-    g.a.bne(S1, ZERO, &add_g);
-    g.a.nop();
-    g.a.bne(V0, ZERO, &add_q);
-    g.a.nop();
-    g.a.b(&after);
-    g.a.nop();
-    g.a.label(&add_pq);
-    fcall(g, "padd", &[(A0, buf(b.tw_pqx)), (A1, buf(b.tw_pqy))]);
-    g.a.b(&after);
-    g.a.nop();
+    if pq_is_identity {
+        // P+Q is the identity: adding it is a no-op.
+        g.a.bne(T0, ZERO, &after);
+        g.a.nop();
+        g.a.bne(S1, ZERO, &add_g);
+        g.a.nop();
+        g.a.bne(V0, ZERO, &add_q);
+        g.a.nop();
+        g.a.b(&after);
+        g.a.nop();
+    } else {
+        let add_pq = g.sym("tw_addpq");
+        g.a.bne(T0, ZERO, &add_pq);
+        g.a.nop();
+        g.a.bne(S1, ZERO, &add_g);
+        g.a.nop();
+        g.a.bne(V0, ZERO, &add_q);
+        g.a.nop();
+        g.a.b(&after);
+        g.a.nop();
+        g.a.label(&add_pq);
+        fcall(g, "padd", &[(A0, buf(b.tw_pqx)), (A1, buf(b.tw_pqy))]);
+        g.a.b(&after);
+        g.a.nop();
+    }
     g.a.label(&add_g);
     fcall(
         g,
@@ -730,17 +797,6 @@ pub fn emit_twin_mul(g: &mut Gen, cfg: &PointCfg) {
     g.a.addiu(S0, S0, -1);
     g.a.b(&mainloop);
     g.a.nop();
-    g.a.label(&out);
-    fcall(
-        g,
-        "pt_to_affine",
-        &[(A0, buf(b.tw_outx)), (A1, buf(b.tw_outy))],
-    );
-    g.a.lw(RA, 12, Reg::SP);
-    g.a.lw(S0, 8, Reg::SP);
-    g.a.lw(S1, 4, Reg::SP);
-    g.a.addiu(Reg::SP, Reg::SP, 16);
-    g.a.ret();
 }
 
 /// Emits the `x mod n` reduction used to form `r` (conditional

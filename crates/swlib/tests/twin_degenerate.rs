@@ -1,0 +1,274 @@
+//! Pinned regressions for the degenerate twin-multiplication inputs the
+//! differential fuzzer surfaced: `Q = ±G` public keys (the `P+Q`
+//! precompute lands on the group identity, or on a doubling the LD
+//! mixed addition cannot express), zero scalars, and scans whose result
+//! is the group identity. Each case runs the simulator against the
+//! `ule-curves` host reference on one prime and one binary curve across
+//! every architecture of that family.
+
+use ule_curves::binary::AffinePoint2m;
+use ule_curves::ecdsa::{self, Keypair};
+use ule_curves::params::{Curve, CurveId, CurveKind};
+use ule_curves::prime::AffinePoint;
+use ule_curves::scalar;
+use ule_mpmath::mp::Mp;
+use ule_pete::cpu::{Machine, MachineConfig};
+use ule_swlib::builder::{build_suite, Arch, Suite};
+use ule_swlib::harness::{read_buf, run_entry, write_buf};
+
+fn machine_for(suite: &Suite) -> Machine {
+    let cfg = match suite.arch {
+        Arch::Baseline => MachineConfig::baseline(),
+        _ => MachineConfig::isa_ext(),
+    };
+    let mut m = Machine::new(&suite.program, cfg);
+    if suite.arch == Arch::Monte {
+        m.attach_coprocessor(Box::new(ule_monte::Monte::new()));
+    }
+    if suite.arch == Arch::Billie {
+        m.attach_coprocessor(Box::new(ule_billie::Billie::new(
+            suite.curve_id.nist_binary(),
+        )));
+    }
+    m
+}
+
+fn field_words(curve: &Curve) -> usize {
+    match curve.kind() {
+        CurveKind::Prime(c) => c.field().k(),
+        CurveKind::Binary(c) => c.field().k(),
+    }
+}
+
+fn archs_for(id: CurveId) -> Vec<Arch> {
+    if id.is_binary() {
+        vec![Arch::Baseline, Arch::IsaExt, Arch::Billie]
+    } else {
+        vec![Arch::Baseline, Arch::IsaExt, Arch::Monte]
+    }
+}
+
+fn prime_xy(p: &AffinePoint, k: usize) -> (Vec<u32>, Vec<u32>) {
+    match p {
+        AffinePoint::Infinity => (vec![0; k], vec![0; k]),
+        AffinePoint::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
+    }
+}
+
+fn binary_xy(p: &AffinePoint2m, k: usize) -> (Vec<u32>, Vec<u32>) {
+    match p {
+        AffinePoint2m::Infinity => (vec![0; k], vec![0; k]),
+        AffinePoint2m::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
+    }
+}
+
+/// Host `u1*G + u2*Q` with `Q` given as limb coordinates.
+fn host_twin(curve: &Curve, u1: &Mp, u2: &Mp, qx: &[u32], qy: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let k = field_words(curve);
+    match curve.kind() {
+        CurveKind::Prime(c) => {
+            let q = AffinePoint::new(c.field().from_limbs(qx), c.field().from_limbs(qy));
+            prime_xy(&scalar::twin_mul(c, u1, &c.generator(), u2, &q), k)
+        }
+        CurveKind::Binary(c) => {
+            let q = AffinePoint2m::new(c.field().from_limbs(qx), c.field().from_limbs(qy));
+            binary_xy(&scalar::twin_mul(c, u1, &c.generator(), u2, &q), k)
+        }
+    }
+}
+
+/// Affine coordinates of `d*G` on the host.
+fn host_mul_g(curve: &Curve, d: &Mp) -> (Vec<u32>, Vec<u32>) {
+    let k = field_words(curve);
+    match curve.kind() {
+        CurveKind::Prime(c) => prime_xy(&scalar::mul_window(c, d, &c.generator()), k),
+        CurveKind::Binary(c) => binary_xy(&scalar::mul_window(c, d, &c.generator()), k),
+    }
+}
+
+/// Runs `main_twin_mul` on the simulator and checks the result against
+/// the host for one `(u1, u2, Q)` triple on every architecture.
+fn check_twin(id: CurveId, u1: &Mp, u2: &Mp, qx: &[u32], qy: &[u32], what: &str) {
+    let curve = id.curve();
+    let k = field_words(&curve);
+    let expected = host_twin(&curve, u1, u2, qx, qy);
+    for arch in archs_for(id) {
+        let suite = build_suite(&curve, arch);
+        let mut m = machine_for(&suite);
+        write_buf(&mut m, &suite.program, "arg_e", &u1.to_limbs(k));
+        write_buf(&mut m, &suite.program, "arg_d", &u2.to_limbs(k));
+        write_buf(&mut m, &suite.program, "arg_qx", qx);
+        write_buf(&mut m, &suite.program, "arg_qy", qy);
+        run_entry(&mut m, &suite.program, "main_twin_mul", 2_000_000_000);
+        let got = (
+            read_buf(&m, &suite.program, "out_r", k),
+            read_buf(&m, &suite.program, "out_s", k),
+        );
+        assert_eq!(got, expected, "{id:?} {arch:?} twin_mul {what}");
+    }
+}
+
+/// `Q = G`: the `P+Q` precompute is a point doubling, which the mixed
+/// addition formulas cannot express (`H = 0` prime / `B = 0` binary).
+#[test]
+fn twin_mul_q_equals_g() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let (gx, gy) = host_mul_g(&curve, &Mp::one());
+        let u1 = ecdsa::derive_scalar(&curve, b"twin deg u1", b"k");
+        let u2 = ecdsa::derive_scalar(&curve, b"twin deg u2", b"k");
+        check_twin(id, &u1, &u2, &gx, &gy, "Q = G");
+    }
+}
+
+/// `Q = G` with one scalar exactly one bit longer than the other and
+/// the next bit set in both: the scan pattern `(0,1)` then `(1,1)` (or
+/// its mirror). A per-point scan initializes the accumulator from a
+/// single point (`t = 1`), doubles (`t = 2`), then adds `G+Q = 2G` —
+/// equal operands, which the guardless LD mixed addition silently
+/// corrupts (`B = 0` makes `Z3 = 0` with no identity encoding). The
+/// differential fuzzer caught exactly this prefix on K-163/Billie
+/// (`edge:d=1`); the kernel now collapses `Q = G` to a single summed
+/// scalar, which this pins.
+#[test]
+fn twin_mul_q_equals_g_colliding_prefix() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let (gx, gy) = host_mul_g(&curve, &Mp::one());
+        let long = Mp::from_limbs(&[0x0018_0001]); // bits 20, 19, 0
+        let short = Mp::from_limbs(&[0x0008_0001]); // bits 19, 0
+        check_twin(id, &short, &long, &gx, &gy, "Q = G, u2 longer");
+        check_twin(id, &long, &short, &gx, &gy, "Q = G, u1 longer");
+    }
+}
+
+/// `Q = -G` (the public key of `d = n-1`): the `P+Q` precompute is the
+/// group identity, which must not be fed back into the addition as a
+/// finite (0, 0) point.
+#[test]
+fn twin_mul_q_equals_neg_g() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let n_minus_1 = curve.n().sub(&Mp::one());
+        let (qx, qy) = host_mul_g(&curve, &n_minus_1);
+        let u1 = ecdsa::derive_scalar(&curve, b"twin neg u1", b"k");
+        let u2 = ecdsa::derive_scalar(&curve, b"twin neg u2", b"k");
+        check_twin(id, &u1, &u2, &qx, &qy, "Q = -G");
+        // u1 = u2 makes every set bit pair (1, 1): with P+Q = identity
+        // the scan accumulates nothing and the result is the identity
+        // (the (0, 0) sentinel).
+        check_twin(id, &u1, &u1, &qx, &qy, "Q = -G, u1 = u2");
+    }
+}
+
+/// Zero scalars: `e ≡ 0 (mod n)` makes `u1 = 0` in a verification, and
+/// the `u1 = u2 = 0` scan must produce the identity sentinel rather
+/// than converting uninitialized state.
+#[test]
+fn twin_mul_zero_scalars() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let dq = ecdsa::derive_scalar(&curve, b"twin zero q", b"k");
+        let (qx, qy) = host_mul_g(&curve, &dq);
+        let u = ecdsa::derive_scalar(&curve, b"twin zero u", b"k");
+        check_twin(id, &Mp::zero(), &u, &qx, &qy, "u1 = 0");
+        check_twin(id, &u, &Mp::zero(), &qx, &qy, "u2 = 0");
+        check_twin(id, &Mp::zero(), &Mp::zero(), &qx, &qy, "u1 = u2 = 0");
+    }
+}
+
+/// Full ECDSA sign + verify with the degenerate public keys `d = 1`
+/// (`Q = G`) and `d = n-1` (`Q = -G`) — real keys a conformant signer
+/// can produce, which previously corrupted the twin multiplication on
+/// every simulated configuration.
+#[test]
+fn ecdsa_degenerate_public_keys() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let k = field_words(&curve);
+        let n_minus_1 = curve.n().sub(&Mp::one());
+        for d in [Mp::one(), n_minus_1] {
+            let keys = Keypair::from_private(&curve, d.clone());
+            let e = ecdsa::hash_to_scalar(&curve, b"degenerate-key message");
+            let nonce = ecdsa::derive_scalar(&curve, b"degenerate-key nonce", b"nonce");
+            let sig = ecdsa::sign_with_nonce(&curve, keys.private(), &e, &nonce).expect("nonce ok");
+            assert!(
+                ecdsa::verify_prehashed(&curve, &keys.public(), &e, &sig),
+                "{id:?} host rejects its own signature for d={d:?}"
+            );
+            let (qx, qy) = match (&keys.public(), curve.kind()) {
+                (ecdsa::PublicKey::Prime(p), CurveKind::Prime(_)) => prime_xy(p, k),
+                (ecdsa::PublicKey::Binary(p), CurveKind::Binary(_)) => binary_xy(p, k),
+                _ => unreachable!(),
+            };
+            for arch in archs_for(id) {
+                let suite = build_suite(&curve, arch);
+                let mut m = machine_for(&suite);
+                write_buf(&mut m, &suite.program, "arg_e", &e.to_limbs(k));
+                write_buf(&mut m, &suite.program, "arg_r", &sig.r.to_limbs(k));
+                write_buf(&mut m, &suite.program, "arg_s", &sig.s.to_limbs(k));
+                write_buf(&mut m, &suite.program, "arg_qx", &qx);
+                write_buf(&mut m, &suite.program, "arg_qy", &qy);
+                run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+                assert_eq!(
+                    read_buf(&m, &suite.program, "out_ok", 1),
+                    vec![1],
+                    "{id:?} {arch:?} valid signature rejected for degenerate key"
+                );
+                // A corrupted signature must still be rejected.
+                let bad_s = sig.s.add(&Mp::one()).rem(curve.n());
+                let mut m = machine_for(&suite);
+                write_buf(&mut m, &suite.program, "arg_e", &e.to_limbs(k));
+                write_buf(&mut m, &suite.program, "arg_r", &sig.r.to_limbs(k));
+                write_buf(&mut m, &suite.program, "arg_s", &bad_s.to_limbs(k));
+                write_buf(&mut m, &suite.program, "arg_qx", &qx);
+                write_buf(&mut m, &suite.program, "arg_qy", &qy);
+                run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+                assert_eq!(
+                    read_buf(&m, &suite.program, "out_ok", 1),
+                    vec![0],
+                    "{id:?} {arch:?} corrupted signature accepted for degenerate key"
+                );
+            }
+        }
+    }
+}
+
+/// `e ≡ 0 (mod n)`: a digest reducing to zero zeroes `u1` in the
+/// verification equation. The signature stays valid and every
+/// configuration must agree.
+#[test]
+fn ecdsa_zero_digest() {
+    for id in [CurveId::P192, CurveId::K163] {
+        let curve = id.curve();
+        let k = field_words(&curve);
+        let keys = Keypair::derive(&curve, b"zero-digest signer");
+        let e = Mp::zero();
+        let nonce = ecdsa::derive_scalar(&curve, b"zero-digest nonce", b"nonce");
+        let sig = ecdsa::sign_with_nonce(&curve, keys.private(), &e, &nonce).expect("nonce ok");
+        assert!(
+            ecdsa::verify_prehashed(&curve, &keys.public(), &e, &sig),
+            "{id:?} host rejects zero-digest signature"
+        );
+        let (qx, qy) = match (&keys.public(), curve.kind()) {
+            (ecdsa::PublicKey::Prime(p), CurveKind::Prime(_)) => prime_xy(p, k),
+            (ecdsa::PublicKey::Binary(p), CurveKind::Binary(_)) => binary_xy(p, k),
+            _ => unreachable!(),
+        };
+        for arch in archs_for(id) {
+            let suite = build_suite(&curve, arch);
+            let mut m = machine_for(&suite);
+            write_buf(&mut m, &suite.program, "arg_e", &e.to_limbs(k));
+            write_buf(&mut m, &suite.program, "arg_r", &sig.r.to_limbs(k));
+            write_buf(&mut m, &suite.program, "arg_s", &sig.s.to_limbs(k));
+            write_buf(&mut m, &suite.program, "arg_qx", &qx);
+            write_buf(&mut m, &suite.program, "arg_qy", &qy);
+            run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+            assert_eq!(
+                read_buf(&m, &suite.program, "out_ok", 1),
+                vec![1],
+                "{id:?} {arch:?} zero-digest signature rejected"
+            );
+        }
+    }
+}

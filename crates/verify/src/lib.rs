@@ -1,0 +1,296 @@
+//! Cross-layer differential verification (`repro verify`).
+//!
+//! Runs full ECDSA sign + verify end-to-end on every simulated
+//! configuration — baseline software, the ISA extension (with and
+//! without an instruction cache, which must not change any
+//! architectural result), and the family coprocessor (Monte / Billie) —
+//! across all ten study curves, cross-checking every exposed RAM
+//! intermediate against the `ule-curves` host reference:
+//!
+//! | entry         | checked buffers                          |
+//! |---------------|------------------------------------------|
+//! | `main_sign`   | `ecd_x` (raw `x(kG)`), `out_r`, `out_s`  |
+//! | `main_verify` | `tw_u1`, `tw_u2`, `ecd_x` (mod n), `out_ok` |
+//!
+//! The corpus combines a seeded random sweep ([`ule_testkit::Rng`],
+//! splitmix64), a deterministic adversarial edge set (`d ∈ {1, n-1}`,
+//! digests `≡ 0 (mod n)`, all-ones / sparse / dense operand words), and
+//! negative tests (bit-flipped signatures that host and simulator must
+//! reject identically). Divergences are shrunk to a one-line
+//! reproducer: narrowest diverging entry point (`main_verify` →
+//! `main_twin_mul` → `main_scalar_mul`), simplest diverging
+//! configuration, and a `repro verify` command that replays exactly the
+//! offending case.
+//!
+//! Input contracts (the simulated kernels have no range guards — the
+//! host reference rejects out-of-range components before the kernels
+//! would run, so feeding them is not a differential):
+//! - verify components satisfy `r, s ∈ [1, n)`; mutations that leave
+//!   the range are re-rolled,
+//! - `main_scalar_mul` is never fed `k = 0` (its first window must
+//!   fire; `fig7_14` pins its raw cycle count, so it carries no guard).
+
+pub mod corpus;
+pub mod exec;
+pub mod shrink;
+
+use std::fmt::Write as _;
+
+use ule_curves::params::CurveId;
+
+pub use corpus::{Case, CaseSelector};
+pub use exec::{ConfigKind, CurveRig, Divergence};
+pub use shrink::ShrunkDivergence;
+
+/// One campaign: corpus size, scope, and fault-injection switches.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Master seed; every case seed is derived from it.
+    pub seed: u64,
+    /// Random cases per curve before per-curve cost tiering.
+    pub iters: usize,
+    /// Curves to cover (default: all ten).
+    pub curves: Vec<CurveId>,
+    /// Include the deterministic adversarial edge corpus.
+    pub edge: bool,
+    /// Include bit-flipped-signature negative tests.
+    pub negative: bool,
+    /// Corrupt one RAM limb of the first simulated verification — the
+    /// harness self-test: the campaign must catch and shrink it.
+    pub inject_fault: bool,
+    /// Replay exactly one case instead of generating the corpus.
+    pub only_case: Option<CaseSelector>,
+    /// Restrict to one configuration (reproducer replay).
+    pub only_config: Option<ConfigKind>,
+}
+
+impl Campaign {
+    /// A fresh campaign over all ten curves with the full corpus.
+    pub fn new(seed: u64, iters: usize) -> Campaign {
+        Campaign {
+            seed,
+            iters,
+            curves: CurveId::ALL.to_vec(),
+            edge: true,
+            negative: true,
+            inject_fault: false,
+            only_case: None,
+            only_config: None,
+        }
+    }
+}
+
+/// Per-curve case tally for the report.
+#[derive(Clone, Debug)]
+pub struct CurveTally {
+    /// The curve.
+    pub curve: CurveId,
+    /// Cases exercised (each runs on every configuration).
+    pub cases: usize,
+    /// Simulator entry runs.
+    pub sim_runs: usize,
+}
+
+/// Campaign outcome.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Total cases across all curves.
+    pub cases: usize,
+    /// Total simulator entry runs.
+    pub sim_runs: usize,
+    /// Total buffer cross-checks performed.
+    pub checks: usize,
+    /// Per-curve tallies, in campaign order.
+    pub per_curve: Vec<CurveTally>,
+    /// Distinct configuration labels covered.
+    pub configs: Vec<&'static str>,
+    /// Divergences, already shrunk to minimal reproducers.
+    pub divergences: Vec<ShrunkDivergence>,
+}
+
+impl Report {
+    /// Deterministic human-readable summary.
+    pub fn render(&self, campaign: &Campaign) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "verify: seed={:#018x} iters={} curves={} configs={} [{}]",
+            campaign.seed,
+            campaign.iters,
+            self.per_curve.len(),
+            self.configs.len(),
+            self.configs.join(" ")
+        );
+        for t in &self.per_curve {
+            let _ = writeln!(
+                out,
+                "  {:<6} {:>3} cases {:>4} sim runs",
+                t.curve.name(),
+                t.cases,
+                t.sim_runs
+            );
+        }
+        let _ = writeln!(
+            out,
+            "verify: {} cases, {} sim runs, {} cross-checks, {} divergence(s)",
+            self.cases,
+            self.sim_runs,
+            self.checks,
+            self.divergences.len()
+        );
+        for s in &self.divergences {
+            let _ = writeln!(out, "DIVERGENCE {}", s.describe());
+            let _ = writeln!(out, "  reproduce: {}", s.reproducer);
+        }
+        out
+    }
+}
+
+/// How many random cases a curve gets: the big fields cost seconds per
+/// simulated verification (a K-571 baseline sign+verify is ~5 s), so
+/// the budget is tiered by field size; every curve always gets at
+/// least one case.
+fn tiered_iters(id: CurveId, iters: usize) -> usize {
+    let shift = match id.bits() {
+        0..=192 => 0,
+        193..=283 => 2,
+        284..=409 => 4,
+        _ => 5,
+    };
+    std::cmp::max(1, iters >> shift)
+}
+
+/// Runs a campaign: generate the corpus, execute every case on every
+/// in-scope configuration, cross-check all exposed intermediates, and
+/// shrink whatever diverged.
+pub fn run_campaign(campaign: &Campaign) -> Report {
+    let _span = ule_obs::span("verify.campaign");
+    let mut report = Report::default();
+    let mut raw: Vec<Divergence> = Vec::new();
+    let mut fault_pending = campaign.inject_fault;
+    let mut rigs: Vec<CurveRig> = Vec::new();
+    for &id in &campaign.curves {
+        let rig = CurveRig::new(id);
+        let configs = exec::configs_for(id, campaign.only_config);
+        for c in &configs {
+            let label = c.label(id.is_binary());
+            if !report.configs.contains(&label) {
+                report.configs.push(label);
+            }
+        }
+        let cases = corpus::build_corpus(
+            &rig,
+            campaign.seed,
+            tiered_iters(id, campaign.iters),
+            campaign.edge,
+            campaign.negative,
+            campaign.only_case.as_ref(),
+        );
+        let mut tally = CurveTally {
+            curve: id,
+            cases: 0,
+            sim_runs: 0,
+        };
+        for case in &cases {
+            let outcome = exec::run_case(&rig, case, &configs, &mut fault_pending);
+            tally.cases += 1;
+            tally.sim_runs += outcome.sim_runs;
+            report.checks += outcome.checks;
+            for d in &outcome.divergences {
+                ule_obs::obs_event!(
+                    "verify.divergence",
+                    curve = d.curve.name(),
+                    config = d.config.label(d.curve.is_binary()),
+                    entry = d.entry,
+                    field = d.field,
+                );
+            }
+            raw.extend(outcome.divergences);
+        }
+        report.cases += tally.cases;
+        report.sim_runs += tally.sim_runs;
+        report.per_curve.push(tally);
+        rigs.push(rig);
+    }
+    for d in &raw {
+        let rig = rigs
+            .iter()
+            .find(|r| r.id == d.curve)
+            .expect("rig exists for every divergent curve");
+        report
+            .divergences
+            .push(shrink::shrink(rig, d, campaign.seed));
+    }
+    ule_obs::obs_event!(
+        "verify.campaign",
+        cases = report.cases as u64,
+        sim_runs = report.sim_runs as u64,
+        checks = report.checks as u64,
+        divergences = report.divergences.len() as u64,
+    );
+    report
+}
+
+/// Parses a curve name as the CLI accepts it: `P-192`, `p192`, `K571`…
+pub fn parse_curve(s: &str) -> Option<CurveId> {
+    let norm: String = s
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_uppercase();
+    CurveId::ALL
+        .into_iter()
+        .find(|id| id.name().replace('-', "") == norm)
+}
+
+/// Parses a campaign seed: hex (`0x…`), decimal, or — for anything
+/// else, like the conventional `0xULE` — a splitmix64 hash of the
+/// string bytes, so any token is a valid, deterministic seed.
+pub fn parse_seed(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return v;
+        }
+    }
+    if let Ok(v) = s.parse::<u64>() {
+        return v;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // One splitmix64 round to spread the FNV bits.
+    ule_testkit::Rng::new(h).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("0x10"), 16);
+        assert_eq!(parse_seed("42"), 42);
+        // Non-numeric tokens hash deterministically and distinctly.
+        assert_eq!(parse_seed("0xULE"), parse_seed("0xULE"));
+        assert_ne!(parse_seed("0xULE"), parse_seed("0xULF"));
+    }
+
+    #[test]
+    fn curve_parsing() {
+        assert_eq!(parse_curve("P-192"), Some(CurveId::P192));
+        assert_eq!(parse_curve("k571"), Some(CurveId::K571));
+        assert_eq!(parse_curve("x25519"), None);
+    }
+
+    #[test]
+    fn tiering_always_covers() {
+        for id in CurveId::ALL {
+            assert!(tiered_iters(id, 1) >= 1);
+            assert!(tiered_iters(id, 64) >= 2);
+        }
+        assert_eq!(tiered_iters(CurveId::P192, 64), 64);
+        assert_eq!(tiered_iters(CurveId::K571, 64), 2);
+    }
+}
