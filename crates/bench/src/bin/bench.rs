@@ -8,15 +8,20 @@
 //! cargo run -p ule-bench --release --bin bench -- --threads 2 --out BENCH_sweep.json
 //! ```
 //!
-//! The output is one JSON object: batch wall-clock, engine memoization
-//! counters, per-experiment job counts, and the per-job simulation
-//! wall-clock (descending), all under the metrics `schema_version`.
+//! The output is one JSON object: deterministic simulated totals
+//! (`sim_cycles_total`, `sim_energy_uj_total` over the distinct design
+//! points — CI gates on these exactly), batch wall-clock, engine
+//! memoization counters, per-experiment job counts, and the per-job
+//! simulation wall-clock (descending), all under the metrics
+//! `schema_version`.
 
 use std::path::PathBuf;
 use std::str::FromStr;
 use std::time::Instant;
 
-use ule_bench::{ExperimentId, Job, SweepEngine};
+use std::collections::HashSet;
+
+use ule_bench::{ConfigKey, ExperimentId, Job, SweepEngine};
 use ule_obs::json::JsonBuf;
 
 fn main() {
@@ -70,8 +75,22 @@ fn main() {
 
     let jobs: Vec<Job> = selected.iter().flat_map(|id| id.jobs()).collect();
     let started = Instant::now();
-    engine.run_batch(&jobs);
+    let reports = engine.run_batch(&jobs);
     let batch_wall = started.elapsed();
+
+    // Deterministic workload totals over the *distinct* design points
+    // (the submission union repeats points across experiments): pure
+    // simulator outputs, so CI can gate on them exactly while the
+    // wall-clock numbers stay advisory.
+    let mut seen = HashSet::new();
+    let mut sim_cycles_total = 0u64;
+    let mut sim_energy_uj_total = 0f64;
+    for (&(config, workload), report) in jobs.iter().zip(&reports) {
+        if seen.insert(ConfigKey::new(config, workload)) {
+            sim_cycles_total += report.cycles;
+            sim_energy_uj_total += report.energy.total_uj();
+        }
+    }
     let stats = engine.stats();
     let mut timings = engine.job_timings();
     timings.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.label().cmp(&b.0.label())));
@@ -89,6 +108,9 @@ fn main() {
     }
     b.end_array();
     b.key("jobs_submitted").value_u64(jobs.len() as u64);
+    b.key("design_points").value_u64(seen.len() as u64);
+    b.key("sim_cycles_total").value_u64(sim_cycles_total);
+    b.key("sim_energy_uj_total").value_f64(sim_energy_uj_total);
     b.key("requests").value_u64(stats.requests);
     b.key("memo_hits").value_u64(stats.memo_hits);
     b.key("inflight_waits").value_u64(stats.inflight_waits);

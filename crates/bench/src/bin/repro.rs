@@ -15,14 +15,23 @@
 //! in argument order, so the output is byte-identical for any thread
 //! count (including 1).
 
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::str::FromStr;
 
-use ule_bench::{metrics_out, ExperimentId, Job, SweepEngine};
+use ule_bench::diff::{diff_metrics, DiffThresholds};
+use ule_bench::{metrics_out, ConfigKey, ExperimentId, Job, SweepEngine};
+use ule_core::attr::{self, FlameWeight};
+use ule_core::{System, SystemConfig, Workload};
+use ule_obs::trace_events::TraceEventsBuf;
+use ule_swlib::builder::Arch;
 
 fn print_help() {
     println!("usage: repro [options] <experiment-id>... | all");
     println!("       repro verify [verify-options]");
+    println!("       repro diff OLD.jsonl NEW.jsonl [--max-cycles-pct X] [--max-energy-pct X]");
+    println!("       repro profile [profile-options]");
+    println!("       repro check [--flame PATH] [--trace-events PATH]");
     println!();
     println!("options:");
     println!("  --list              list experiment ids and exit");
@@ -33,6 +42,13 @@ fn print_help() {
     println!("  --trace PATH        write structured trace events (JSONL) to PATH");
     println!("  --profile           attach the per-routine cycle profiler to every");
     println!("                      simulation (adds a `profile` field to metrics records)");
+    println!("  --flame PATH        with --profile: write the call-graph of every profiled");
+    println!("                      design point as collapsed flamegraph stacks (label-");
+    println!("                      prefixed, aggregated into one file)");
+    println!("  --flame-weight W    stack weight: `cycles` (default) or `nj` (attributed");
+    println!("                      energy, nanojoules)");
+    println!("  --trace-events PATH with --profile: write Chrome trace-event JSON (one");
+    println!("                      synthetic process per design point; load in Perfetto)");
     println!("  -h, --help          show this help");
     println!();
     println!("environment:");
@@ -55,7 +71,283 @@ fn print_help() {
     println!("                      verification (harness self-test: the campaign");
     println!("                      must catch and shrink it)");
     println!();
+    println!("profile-options (single-point call-graph energy attribution):");
+    println!("  --curve NAME        curve (default P-256)");
+    println!("  --arch A            baseline | isa_ext | monte | billie (default isa_ext)");
+    println!("  --workload W        sign | verify | sign_verify | scalar_mul | field_mul");
+    println!("                      (default sign)");
+    println!("  --top N             table rows before aggregation (default 20, 0 = all)");
+    println!("  --flame PATH        also write collapsed flamegraph stacks");
+    println!("  --flame-weight W    `cycles` (default) or `nj`");
+    println!("  --trace-events PATH also write Chrome trace-event JSON");
+    println!();
+    println!("diff exit codes: 0 no drift, 1 drift or removed points, 2 usage/parse error");
+    println!();
     println!("ids: {}", id_list());
+}
+
+fn parse_arch(s: &str) -> Option<Arch> {
+    match s {
+        "baseline" => Some(Arch::Baseline),
+        "isa_ext" | "isa-ext" => Some(Arch::IsaExt),
+        "monte" => Some(Arch::Monte),
+        "billie" => Some(Arch::Billie),
+        _ => None,
+    }
+}
+
+fn parse_workload(s: &str) -> Option<Workload> {
+    match s {
+        "sign" => Some(Workload::Sign),
+        "verify" => Some(Workload::Verify),
+        "sign_verify" | "sign-verify" => Some(Workload::SignVerify),
+        "scalar_mul" | "scalar-mul" => Some(Workload::ScalarMul),
+        "field_mul" | "field-mul" => Some(Workload::FieldMul),
+        _ => None,
+    }
+}
+
+fn parse_flame_weight(s: &str) -> Option<FlameWeight> {
+    match s {
+        "cycles" => Some(FlameWeight::Cycles),
+        "nj" | "nanojoules" => Some(FlameWeight::NanoJoules),
+        _ => None,
+    }
+}
+
+fn write_or_die(path: &std::path::Path, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {what} to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {what} to {}", path.display());
+}
+
+/// `repro diff OLD NEW`: compare two metrics JSONL files on the
+/// deterministic headline metrics. Exit 0 clean, 1 drift, 2 usage.
+fn run_diff(args: impl Iterator<Item = String>) -> ! {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut thresholds = DiffThresholds::default();
+    let args_v: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < args_v.len() {
+        let pct = |i: &mut usize, flag: &str| -> f64 {
+            *i += 1;
+            args_v
+                .get(*i)
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|p| p.is_finite() && *p >= 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} expects a non-negative percentage");
+                    std::process::exit(2);
+                })
+        };
+        match args_v[i].as_str() {
+            "--max-cycles-pct" => {
+                thresholds.max_cycles_frac = pct(&mut i, "--max-cycles-pct") / 100.0
+            }
+            "--max-energy-pct" => {
+                thresholds.max_energy_frac = pct(&mut i, "--max-energy-pct") / 100.0
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown diff option {other:?}");
+                std::process::exit(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: repro diff OLD.jsonl NEW.jsonl [--max-cycles-pct X] [--max-energy-pct X]"
+        );
+        std::process::exit(2);
+    }
+    let new_path = paths.pop().unwrap();
+    let old_path = paths.pop().unwrap();
+    let read = |p: &PathBuf| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", p.display());
+            std::process::exit(2);
+        })
+    };
+    let (old_text, new_text) = (read(&old_path), read(&new_path));
+    let report = diff_metrics(
+        &old_path.display().to_string(),
+        &old_text,
+        &new_path.display().to_string(),
+        &new_text,
+        thresholds,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("diff: {e}");
+        std::process::exit(2);
+    });
+    print!("{report}");
+    std::process::exit(report.exit_code());
+}
+
+/// `repro check`: validate exported observability files (folded stacks
+/// and/or trace-event JSON) the way a consumer would. Exit 0 valid,
+/// 1 invalid, 2 usage.
+fn run_check(args: impl Iterator<Item = String>) -> ! {
+    let mut flame: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let args_v: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < args_v.len() {
+        let take = |i: &mut usize, flag: &str| -> PathBuf {
+            *i += 1;
+            args_v.get(*i).map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("{flag} expects a path");
+                std::process::exit(2);
+            })
+        };
+        match args_v[i].as_str() {
+            "--flame" => flame = Some(take(&mut i, "--flame")),
+            "--trace-events" => trace = Some(take(&mut i, "--trace-events")),
+            other => {
+                eprintln!("unknown check option {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if flame.is_none() && trace.is_none() {
+        eprintln!("usage: repro check [--flame PATH] [--trace-events PATH]");
+        std::process::exit(2);
+    }
+    let read = |p: &PathBuf| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", p.display());
+            std::process::exit(2);
+        })
+    };
+    let mut failed = false;
+    if let Some(p) = &flame {
+        match ule_obs::flame::parse_folded(&read(p)) {
+            Ok(stacks) => {
+                let total: u64 = stacks.iter().map(|(_, w)| w).sum();
+                println!(
+                    "{}: {} stacks, total weight {}",
+                    p.display(),
+                    stacks.len(),
+                    total
+                );
+            }
+            Err(e) => {
+                eprintln!("{}: INVALID folded stacks: {e}", p.display());
+                failed = true;
+            }
+        }
+    }
+    if let Some(p) = &trace {
+        match ule_obs::trace_events::validate_trace_events(&read(p)) {
+            Ok(stats) => println!(
+                "{}: {} events ({} complete, {} metadata)",
+                p.display(),
+                stats.events,
+                stats.complete_events,
+                stats.metadata_events
+            ),
+            Err(e) => {
+                eprintln!("{}: INVALID trace events: {e}", p.display());
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
+/// `repro profile`: simulate one design point with the call-graph
+/// profiler attached and print the per-routine energy attribution
+/// table; optionally export the call graph.
+fn run_profile(args: impl Iterator<Item = String>) -> ! {
+    let mut curve = ule_curves::params::CurveId::P256;
+    let mut arch = Arch::IsaExt;
+    let mut workload = Workload::Sign;
+    let mut top = 20usize;
+    let mut flame: Option<PathBuf> = None;
+    let mut flame_weight = FlameWeight::Cycles;
+    let mut trace: Option<PathBuf> = None;
+    let args_v: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < args_v.len() {
+        let take = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            args_v.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match args_v[i].as_str() {
+            "--curve" => {
+                let v = take(&mut i, "--curve");
+                curve = ule_verify::parse_curve(&v).unwrap_or_else(|| {
+                    eprintln!("unknown curve {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--arch" => {
+                let v = take(&mut i, "--arch");
+                arch = parse_arch(&v).unwrap_or_else(|| {
+                    eprintln!("unknown arch {v:?} (baseline|isa_ext|monte|billie)");
+                    std::process::exit(2);
+                });
+            }
+            "--workload" => {
+                let v = take(&mut i, "--workload");
+                workload = parse_workload(&v).unwrap_or_else(|| {
+                    eprintln!("unknown workload {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--top" => {
+                let v = take(&mut i, "--top");
+                top = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--top expects a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
+            "--flame" => flame = Some(PathBuf::from(take(&mut i, "--flame"))),
+            "--flame-weight" => {
+                let v = take(&mut i, "--flame-weight");
+                flame_weight = parse_flame_weight(&v).unwrap_or_else(|| {
+                    eprintln!("--flame-weight expects `cycles` or `nj`");
+                    std::process::exit(2);
+                });
+            }
+            "--trace-events" => trace = Some(PathBuf::from(take(&mut i, "--trace-events"))),
+            other => {
+                eprintln!("unknown profile option {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let config = SystemConfig::new(curve, arch);
+    let label = ConfigKey::new(config, workload).label();
+    let report = System::new(config).run_profiled(workload);
+    let p = report.profile.as_ref().expect("run_profiled sets profile");
+    println!(
+        "{label}: {} cycles, {:.4} uJ, {} routines, {} call paths",
+        report.cycles,
+        report.energy.total_uj(),
+        p.routines.len(),
+        p.calls.nodes.len()
+    );
+    println!();
+    print!("{}", attr::routine_energy_table(p, &report.energy, top));
+    if let Some(path) = &flame {
+        let stacks = attr::folded_stacks(p, &report.energy, flame_weight, &label);
+        write_or_die(path, &ule_obs::flame::to_folded(&stacks), "folded stacks");
+    }
+    if let Some(path) = &trace {
+        let mut buf = TraceEventsBuf::new();
+        attr::trace_events_into(&mut buf, 1, &label, p);
+        write_or_die(path, &buf.finish(), "trace events");
+    }
+    std::process::exit(0);
 }
 
 /// `repro verify …`: run a differential campaign and exit. Exit code 0
@@ -180,6 +472,9 @@ fn main() {
     let mut metrics_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut profile = false;
+    let mut flame_path: Option<PathBuf> = None;
+    let mut flame_weight = FlameWeight::Cycles;
+    let mut trace_events_path: Option<PathBuf> = None;
     let mut selected: Vec<ExperimentId> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -229,9 +524,32 @@ fn main() {
                 }
             },
             "--profile" => profile = true,
-            // The differential-verification subcommand owns the rest
-            // of the argument list.
+            "--flame" => match args.next() {
+                Some(p) => flame_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--flame expects a path");
+                    std::process::exit(2);
+                }
+            },
+            "--flame-weight" => match args.next().as_deref().and_then(parse_flame_weight) {
+                Some(w) => flame_weight = w,
+                None => {
+                    eprintln!("--flame-weight expects `cycles` or `nj`");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-events" => match args.next() {
+                Some(p) => trace_events_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace-events expects a path");
+                    std::process::exit(2);
+                }
+            },
+            // Subcommands own the rest of the argument list.
             "verify" => run_verify(args, trace_path),
+            "diff" => run_diff(args),
+            "check" => run_check(args),
+            "profile" => run_profile(args),
             "all" => selected.extend(ExperimentId::ALL),
             other => match ExperimentId::from_str(other) {
                 Ok(id) => selected.push(id),
@@ -245,6 +563,12 @@ fn main() {
     }
     if selected.is_empty() {
         usage();
+    }
+    if (flame_path.is_some() || trace_events_path.is_some()) && !profile {
+        eprintln!(
+            "--flame/--trace-events need --profile (the call graph is only built on profiled runs)"
+        );
+        std::process::exit(2);
     }
 
     // Observability is configured once, before any simulation: the
@@ -291,6 +615,37 @@ fn main() {
                 eprintln!("cannot write metrics to {}: {e}", path.display());
                 std::process::exit(1);
             }
+        }
+    }
+
+    // Aggregated call-graph exports: one prefix/process per distinct
+    // profiled design point (same dedup as the metrics registry).
+    if flame_path.is_some() || trace_events_path.is_some() {
+        let mut seen = HashSet::new();
+        let mut stacks: Vec<(String, u64)> = Vec::new();
+        let mut tbuf = TraceEventsBuf::new();
+        let mut pid = 0u64;
+        for (&(config, workload), report) in jobs.iter().zip(&reports) {
+            let key = ConfigKey::new(config, workload);
+            if !seen.insert(key) {
+                continue;
+            }
+            if let Some(p) = &report.profile {
+                pid += 1;
+                let label = key.label();
+                if flame_path.is_some() {
+                    stacks.extend(attr::folded_stacks(p, &report.energy, flame_weight, &label));
+                }
+                if trace_events_path.is_some() {
+                    attr::trace_events_into(&mut tbuf, pid, &label, p);
+                }
+            }
+        }
+        if let Some(path) = &flame_path {
+            write_or_die(path, &ule_obs::flame::to_folded(&stacks), "folded stacks");
+        }
+        if let Some(path) = &trace_events_path {
+            write_or_die(path, &tbuf.finish(), "trace events");
         }
     }
     ule_obs::clear_sink();

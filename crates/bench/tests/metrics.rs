@@ -56,6 +56,22 @@ fn metrics_schema_matches_golden() {
         actual.push('\n');
     }
 
+    // The one nested field: the key set of a v2 `profile` entry, pinned
+    // from a real profiled run.
+    let profiled = System::new(jobs[0].0).run_profiled(jobs[0].1);
+    let rec = design_point_record(&jobs[0].0, jobs[0].1, &profiled);
+    let Some(Value::Raw(profile_json)) = rec.get("profile") else {
+        panic!("profiled record must carry a profile field");
+    };
+    let doc = ule_obs::json::parse(profile_json).expect("profile JSON parses");
+    let first = doc.as_array().and_then(|a| a.first()).expect("non-empty");
+    actual.push_str("[design_point.profile[]]\n");
+    for (key, _) in first.as_object().expect("profile entries are objects") {
+        actual.push_str(key);
+        actual.push('\n');
+    }
+    actual.push('\n');
+
     let path = golden_path();
     if std::env::var_os("ULE_UPDATE_GOLDEN").is_some() {
         std::fs::write(&path, &actual).expect("write golden");

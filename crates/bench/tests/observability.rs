@@ -1,0 +1,208 @@
+//! End-to-end observability tests: call-graph invariants on full
+//! workloads across architectures, exact energy conservation, golden
+//! export files, and the regression observatory on real registry
+//! output.
+//!
+//! Golden files live in `tests/golden/`; regenerate with
+//! `ULE_UPDATE_GOLDEN=1 cargo test -p ule-bench`.
+
+use ule_bench::diff::{diff_metrics, DiffThresholds};
+use ule_bench::{metrics_out, Job, SweepEngine};
+use ule_core::attr::{self, FlameWeight};
+use ule_core::{RunReport, System, SystemConfig, Workload};
+use ule_curves::params::CurveId;
+use ule_obs::trace_events::{validate_trace_events, TraceEventsBuf};
+use ule_pete::icache::CacheConfig;
+use ule_pete::profile::ActivitySlice;
+use ule_swlib::builder::Arch;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("ULE_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected =
+        std::fs::read_to_string(&path).expect("golden file (regenerate with ULE_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        actual, expected,
+        "{name} drifted (regenerate with ULE_UPDATE_GOLDEN=1 if intended)"
+    );
+}
+
+fn slice_sum<'a>(slices: impl Iterator<Item = &'a ActivitySlice>) -> ActivitySlice {
+    let mut total = ActivitySlice::default();
+    for s in slices {
+        total.accumulate(s);
+    }
+    total
+}
+
+/// The full conservation law on one profiled report: flat buckets and
+/// call-tree nodes each account for every cycle, instruction, and
+/// memory/coprocessor event the simulator counted — exactly.
+fn assert_conservation(label: &str, rep: &RunReport) {
+    let p = rep.profile.as_ref().expect("profiled run");
+
+    // Cycles: flat buckets == call-tree exclusive == root inclusive ==
+    // headline total.
+    assert_eq!(p.total_cycles(), rep.cycles, "{label}: flat buckets");
+    assert_eq!(p.calls.total_cycles(), rep.cycles, "{label}: exclusive");
+    assert_eq!(
+        p.calls.root_inclusive_cycles(),
+        rep.cycles,
+        "{label}: root inclusive"
+    );
+    assert_eq!(p.total_instructions(), rep.counters.instructions, "{label}");
+
+    // Activity: both views sum to the raw stats, counter by counter.
+    for (view, sum) in [
+        ("buckets", slice_sum(p.routines.iter().map(|r| &r.activity))),
+        (
+            "nodes",
+            slice_sum(p.calls.nodes.iter().map(|n| &n.activity)),
+        ),
+    ] {
+        let ActivitySlice {
+            rom_reads,
+            rom_line_reads,
+            ram_reads,
+            ram_writes,
+            icache_accesses,
+            icache_misses,
+            cop_mul_ops,
+            cop_ls_ops,
+        } = sum;
+        let raw = &rep.raw;
+        assert_eq!(rom_reads, raw.rom.reads, "{label}/{view}: rom reads");
+        // raw.rom.line_reads already folds the cache's fill traffic in.
+        assert_eq!(
+            rom_line_reads, raw.rom.line_reads,
+            "{label}/{view}: rom lines"
+        );
+        assert_eq!(ram_reads, raw.ram.reads, "{label}/{view}: ram reads");
+        assert_eq!(ram_writes, raw.ram.writes, "{label}/{view}: ram writes");
+        let ic = raw.icache.unwrap_or_default();
+        assert_eq!(icache_accesses, ic.accesses, "{label}/{view}: ic accesses");
+        assert_eq!(icache_misses, ic.misses, "{label}/{view}: ic misses");
+        assert_eq!(cop_mul_ops, raw.cop.mul_ops, "{label}/{view}: cop muls");
+        assert_eq!(cop_ls_ops, raw.cop.ls_ops, "{label}/{view}: cop ls");
+    }
+
+    // Energy: attribution reproduces the headline total bit-for-bit.
+    let att = rep.energy.attribute(&attr::routine_activities(p));
+    assert_eq!(
+        att.total_uj().to_bits(),
+        rep.energy.total_uj().to_bits(),
+        "{label}: attributed energy must conserve exactly"
+    );
+}
+
+/// Full ECDSA sign, profiled, on every architecture class: the plain
+/// core, the cached core, and both accelerators (which add DMA traffic
+/// and coprocessor ops the slices must still account for).
+#[test]
+fn call_graph_conserves_on_every_architecture() {
+    let configs = [
+        (
+            "p192-baseline",
+            SystemConfig::new(CurveId::P192, Arch::Baseline),
+        ),
+        (
+            "p192-isaext-ic",
+            SystemConfig::new(CurveId::P192, Arch::IsaExt).with_icache(CacheConfig::best()),
+        ),
+        ("p192-monte", SystemConfig::new(CurveId::P192, Arch::Monte)),
+        (
+            "k163-billie",
+            SystemConfig::new(CurveId::K163, Arch::Billie),
+        ),
+    ];
+    for (label, cfg) in configs {
+        let rep = System::new(cfg).run_profiled(Workload::Sign);
+        assert_conservation(label, &rep);
+    }
+}
+
+/// The export pair is a pure function of the (deterministic) profile:
+/// two runs of the same design point produce byte-identical folded
+/// stacks and trace events, pinned against golden files.
+#[test]
+fn exports_are_deterministic_and_match_golden() {
+    let cfg = SystemConfig::new(CurveId::P192, Arch::Baseline);
+    let render = || {
+        let rep = System::new(cfg).run_profiled(Workload::FieldMul);
+        let p = rep.profile.as_ref().unwrap();
+        let stacks = attr::folded_stacks(
+            p,
+            &rep.energy,
+            FlameWeight::Cycles,
+            "P-192/baseline/field_mul",
+        );
+        let folded = ule_obs::flame::to_folded(&stacks);
+        let mut buf = TraceEventsBuf::new();
+        attr::trace_events_into(&mut buf, 1, "P-192/baseline/field_mul", p);
+        (folded, buf.finish())
+    };
+    let (folded, trace) = render();
+    let (folded2, trace2) = render();
+    assert_eq!(folded, folded2, "folded output must be deterministic");
+    assert_eq!(trace, trace2, "trace output must be deterministic");
+
+    // Both must satisfy their own consumers.
+    let stacks = ule_obs::flame::parse_folded(&folded).expect("folded parses");
+    assert!(!stacks.is_empty());
+    let stats = validate_trace_events(&trace).expect("trace validates");
+    assert_eq!(stats.complete_events, stacks.len());
+
+    check_golden("fieldmul_p192.folded", &folded);
+    check_golden("fieldmul_p192_trace.json", &trace);
+}
+
+/// The observatory on real `--metrics-out` output: a fresh sweep diffs
+/// clean against itself, and a doctored cycle count (the way a silent
+/// timing regression would surface) is caught with exit code 1.
+#[test]
+fn diff_catches_doctored_cycles_in_real_registry_output() {
+    let engine = SweepEngine::new().with_threads(1);
+    let jobs: Vec<Job> = vec![
+        (
+            SystemConfig::new(CurveId::P192, Arch::Baseline),
+            Workload::FieldMul,
+        ),
+        (
+            SystemConfig::new(CurveId::P192, Arch::IsaExt),
+            Workload::FieldMul,
+        ),
+    ];
+    let reports = engine.run_batch(&jobs);
+    let jsonl = metrics_out::metrics_registry(&jobs, &reports, &engine).to_jsonl();
+
+    let clean = diff_metrics("base", &jsonl, "fresh", &jsonl, DiffThresholds::default()).unwrap();
+    assert!(clean.is_clean());
+    assert_eq!(clean.exit_code(), 0);
+    assert_eq!(clean.matched.len(), 2);
+
+    // Perturb the first design point's headline cycles by one.
+    let cycles = reports[0].cycles;
+    let doctored = jsonl.replace(
+        &format!("\"cycles\":{cycles}"),
+        &format!("\"cycles\":{}", cycles + 1),
+    );
+    assert_ne!(doctored, jsonl, "the perturbation must land");
+    let drift = diff_metrics(
+        "base",
+        &jsonl,
+        "doctored",
+        &doctored,
+        DiffThresholds::default(),
+    )
+    .unwrap();
+    assert!(!drift.is_clean());
+    assert_eq!(drift.exit_code(), 1);
+    assert_eq!(drift.regressions().count(), 1);
+    let p = drift.regressions().next().unwrap();
+    assert_eq!(p.cycles, (cycles, cycles + 1));
+}

@@ -1,0 +1,318 @@
+//! Bridging profiler output to the energy-attribution model and the
+//! export formats (folded flamegraph stacks, Chrome trace events).
+//!
+//! `ule-energy` cannot depend on the simulator, so its
+//! [`RoutineActivity`] input type is decoupled from
+//! `ule_pete::profile`; this module converts — flat buckets for the
+//! per-routine tables, call-tree nodes for path-weighted flamegraphs —
+//! and renders the paper-style per-routine energy table.
+
+use ule_energy::constants::CLOCK_NS;
+use ule_energy::report::{EnergyBreakdown, RoutineActivity, RoutineEnergyAttribution};
+use ule_obs::trace_events::TraceEventsBuf;
+use ule_pete::profile::{ActivitySlice, CallNode, RoutineCycles, RoutineProfile, ROOT};
+
+fn to_activity(name: String, instructions: u64, cycles: u64, a: &ActivitySlice) -> RoutineActivity {
+    // Exhaustive: a new profiler counter must be mapped (or explicitly
+    // dropped) here, matching the workspace accumulate() convention.
+    let ActivitySlice {
+        rom_reads,
+        rom_line_reads,
+        ram_reads,
+        ram_writes,
+        icache_accesses,
+        icache_misses,
+        cop_mul_ops,
+        cop_ls_ops,
+    } = *a;
+    RoutineActivity {
+        name,
+        cycles,
+        instructions,
+        rom_reads,
+        rom_line_reads,
+        ram_reads,
+        ram_writes,
+        icache_accesses,
+        icache_misses,
+        cop_mul_ops,
+        cop_ls_ops,
+    }
+}
+
+/// The flat per-routine activity slices, in reporting order (cycles
+/// descending, then name) — the input to
+/// [`EnergyBreakdown::attribute`] for the paper-style tables.
+pub fn routine_activities(p: &RoutineProfile) -> Vec<RoutineActivity> {
+    p.sorted_routines()
+        .into_iter()
+        .map(|r| {
+            let RoutineCycles {
+                name,
+                start: _,
+                instructions,
+                cycles,
+                activity,
+            } = r;
+            to_activity(name.clone(), *instructions, *cycles, activity)
+        })
+        .collect()
+}
+
+/// Per-call-path activity slices (exclusive counters), one per call
+/// tree node in creation order; names are `;`-joined paths.
+pub fn call_path_activities(p: &RoutineProfile) -> Vec<RoutineActivity> {
+    p.call_paths()
+        .into_iter()
+        .map(|(path, n)| to_activity(path, n.instructions, n.cycles, &n.activity))
+        .collect()
+}
+
+/// The weight a flamegraph stack carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlameWeight {
+    /// Exclusive simulated cycles (exact).
+    Cycles,
+    /// Attributed energy in nanojoules (rounded per stack; the exact
+    /// conservation invariant lives in µJ at the attribution layer).
+    NanoJoules,
+}
+
+/// The call tree as folded flamegraph stacks: `(path, weight)` per
+/// node, weighted by exclusive cycles or attributed nanojoules.
+/// `prefix` (e.g. the design-point label) is prepended as the root
+/// frame of every stack when non-empty.
+pub fn folded_stacks(
+    p: &RoutineProfile,
+    energy: &EnergyBreakdown,
+    weight: FlameWeight,
+    prefix: &str,
+) -> Vec<(String, u64)> {
+    let paths = p.call_paths();
+    let weights: Vec<u64> = match weight {
+        FlameWeight::Cycles => paths.iter().map(|(_, n)| n.cycles).collect(),
+        FlameWeight::NanoJoules => {
+            if paths.is_empty() {
+                Vec::new()
+            } else {
+                let att = energy.attribute(&call_path_activities(p));
+                att.routines
+                    .iter()
+                    .map(|r| (r.total_uj * 1e3).max(0.0).round() as u64)
+                    .collect()
+            }
+        }
+    };
+    paths
+        .into_iter()
+        .zip(weights)
+        .map(|((path, _), w)| {
+            let full = if prefix.is_empty() {
+                path
+            } else {
+                format!("{prefix};{path}")
+            };
+            (full, w)
+        })
+        .collect()
+}
+
+/// Appends one design point's call tree to a trace-event file as a
+/// synthetic timeline under process `pid`: each node is a complete
+/// event spanning its inclusive cycles, children nested after the
+/// parent's exclusive share, 1 simulated cycle = `CLOCK_NS` ns of
+/// trace time. Deterministic — a pure function of the profile.
+pub fn trace_events_into(buf: &mut TraceEventsBuf, pid: u64, label: &str, p: &RoutineProfile) {
+    buf.process_name(pid, label);
+    buf.thread_name(pid, 1, "shadow call stack");
+    let nodes = &p.calls.nodes;
+    let inclusive = p.calls.inclusive_cycles();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.parent == ROOT {
+            roots.push(i);
+        } else {
+            children[n.parent as usize].push(i);
+        }
+    }
+    let us = |cycles: u64| cycles as f64 * CLOCK_NS * 1e-3;
+    // Iterative DFS carrying each node's synthetic start cycle: a node
+    // spans its inclusive cycles; its children start after its own
+    // exclusive share, laid out sequentially.
+    let mut stack: Vec<(usize, u64)> = Vec::new();
+    let mut cursor = 0u64;
+    for &r in &roots {
+        stack.push((r, cursor));
+        cursor += inclusive[r];
+    }
+    // Preserve sibling order when popping.
+    stack.reverse();
+    while let Some((i, start)) = stack.pop() {
+        let node: &CallNode = &nodes[i];
+        let name = &p.routines[node.routine as usize].name;
+        buf.complete(
+            pid,
+            1,
+            name,
+            us(start),
+            us(inclusive[i]),
+            &[
+                ("cycles", node.cycles),
+                ("cycles_incl", inclusive[i]),
+                ("instructions", node.instructions),
+            ],
+        );
+        let mut child_start = start + node.cycles;
+        let first_child = stack.len();
+        for &c in &children[i] {
+            stack.push((c, child_start));
+            child_start += inclusive[c];
+        }
+        stack[first_child..].reverse();
+    }
+}
+
+/// Renders the paper-style per-routine energy table (Ch. 6 style):
+/// attributed energy next to exclusive cycles and the driving
+/// counters, routines in reporting order, `top` rows (0 = all) plus an
+/// aggregated remainder and an exact total row.
+pub fn routine_energy_table(p: &RoutineProfile, energy: &EnergyBreakdown, top: usize) -> String {
+    let acts = routine_activities(p);
+    let att: RoutineEnergyAttribution = energy.attribute(&acts);
+    let total_cycles = p.total_cycles().max(1);
+    let total_uj = att.total_uj();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>12} {:>12} {:>6} {:>9} {:>9} {:>10} {:>6}\n",
+        "routine", "instrs", "cycles", "cyc%", "rom", "ram", "energy_uj", "en%"
+    ));
+    let shown = if top == 0 {
+        acts.len()
+    } else {
+        top.min(acts.len())
+    };
+    let mut rest = RoutineActivity {
+        name: "(other)".to_owned(),
+        ..Default::default()
+    };
+    let mut rest_uj = 0.0;
+    for (i, (a, e)) in acts.iter().zip(&att.routines).enumerate() {
+        if i < shown {
+            out.push_str(&format!(
+                "{:<26} {:>12} {:>12} {:>6.2} {:>9} {:>9} {:>10.4} {:>6.2}\n",
+                a.name,
+                a.instructions,
+                a.cycles,
+                100.0 * a.cycles as f64 / total_cycles as f64,
+                a.rom_reads,
+                a.ram_reads + a.ram_writes,
+                e.total_uj,
+                100.0 * e.total_uj / total_uj,
+            ));
+        } else {
+            rest.instructions += a.instructions;
+            rest.cycles += a.cycles;
+            rest.rom_reads += a.rom_reads;
+            rest.ram_reads += a.ram_reads;
+            rest.ram_writes += a.ram_writes;
+            rest_uj += e.total_uj;
+        }
+    }
+    if shown < acts.len() {
+        out.push_str(&format!(
+            "{:<26} {:>12} {:>12} {:>6.2} {:>9} {:>9} {:>10.4} {:>6.2}\n",
+            format!("(other: {} routines)", acts.len() - shown),
+            rest.instructions,
+            rest.cycles,
+            100.0 * rest.cycles as f64 / total_cycles as f64,
+            rest.rom_reads,
+            rest.ram_reads + rest.ram_writes,
+            rest_uj,
+            100.0 * rest_uj / total_uj,
+        ));
+    }
+    out.push_str(&format!(
+        "{:<26} {:>12} {:>12} {:>6.2} {:>9} {:>9} {:>10.4} {:>6.2}\n",
+        "total",
+        p.total_instructions(),
+        p.total_cycles(),
+        100.0,
+        acts.iter().map(|a| a.rom_reads).sum::<u64>(),
+        acts.iter().map(|a| a.ram_reads + a.ram_writes).sum::<u64>(),
+        total_uj,
+        100.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{System, SystemConfig, Workload};
+    use ule_curves::params::CurveId;
+    use ule_obs::trace_events::validate_trace_events;
+    use ule_swlib::builder::Arch;
+
+    fn profiled_p192_sign() -> crate::RunReport {
+        let cfg = SystemConfig::new(CurveId::P192, Arch::IsaExt);
+        System::new(cfg).run_profiled(Workload::Sign)
+    }
+
+    #[test]
+    fn flat_activities_cover_raw_stats() {
+        let rep = profiled_p192_sign();
+        let p = rep.profile.as_ref().unwrap();
+        let acts = routine_activities(p);
+        let rom: u64 = acts.iter().map(|a| a.rom_reads).sum();
+        let ram_r: u64 = acts.iter().map(|a| a.ram_reads).sum();
+        let ram_w: u64 = acts.iter().map(|a| a.ram_writes).sum();
+        assert_eq!(rom, rep.raw.rom.reads);
+        assert_eq!(ram_r, rep.raw.ram.reads);
+        assert_eq!(ram_w, rep.raw.ram.writes);
+    }
+
+    #[test]
+    fn folded_stacks_conserve_cycles() {
+        let rep = profiled_p192_sign();
+        let p = rep.profile.as_ref().unwrap();
+        let stacks = folded_stacks(p, &rep.energy, FlameWeight::Cycles, "p192");
+        let total: u64 = stacks.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, rep.cycles);
+        assert!(stacks.iter().all(|(s, _)| s.starts_with("p192;")));
+        // nJ weights round per stack but must land within rounding
+        // distance of the true total.
+        let nj = folded_stacks(p, &rep.energy, FlameWeight::NanoJoules, "");
+        let total_nj: u64 = nj.iter().map(|(_, w)| w).sum();
+        let want_nj = rep.energy.total_uj() * 1e3;
+        assert!(
+            (total_nj as f64 - want_nj).abs() <= nj.len() as f64,
+            "{total_nj} vs {want_nj}"
+        );
+    }
+
+    #[test]
+    fn trace_events_validate_and_span_the_run() {
+        let rep = profiled_p192_sign();
+        let p = rep.profile.as_ref().unwrap();
+        let mut buf = TraceEventsBuf::new();
+        trace_events_into(&mut buf, 7, "P-192/isa_ext/sign", p);
+        let s = buf.finish();
+        let stats = validate_trace_events(&s).unwrap();
+        assert_eq!(stats.complete_events, p.calls.nodes.len());
+        assert_eq!(stats.metadata_events, 2);
+    }
+
+    #[test]
+    fn energy_table_totals_are_exact() {
+        let rep = profiled_p192_sign();
+        let p = rep.profile.as_ref().unwrap();
+        let table = routine_energy_table(p, &rep.energy, 10);
+        let total_line = table.lines().last().unwrap();
+        assert!(table.contains("(other:"), "{table}");
+        assert!(total_line.starts_with("total"), "{total_line}");
+        // The attribution total is bit-exact; the table formats it.
+        let att = rep.energy.attribute(&routine_activities(p));
+        assert_eq!(att.total_uj().to_bits(), rep.energy.total_uj().to_bits());
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod metrics;
 
 use ule_billie::{Billie, BillieConfig};

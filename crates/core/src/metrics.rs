@@ -10,7 +10,7 @@
 //! `ule-bench`.
 
 use crate::{MultVariant, RawStats, RunReport, SystemConfig, Workload};
-use ule_energy::report::{Component, Gating};
+use ule_energy::report::{Component, EnergyBreakdown, Gating, RoutineActivity};
 use ule_obs::json::JsonBuf;
 use ule_obs::record::Record;
 use ule_pete::cop::CopStats;
@@ -215,21 +215,52 @@ pub fn design_point_record(
     // Per-routine cycle profile (present only on profiled runs, as a
     // nested array — the one non-flat field, pinned separately).
     if let Some(p) = &report.profile {
-        r.push("profile", ule_obs::Value::Raw(profile_json(p)));
+        r.push(
+            "profile",
+            ule_obs::Value::Raw(profile_json(p, &report.energy)),
+        );
     }
     r
 }
 
-/// Serializes a routine profile as a JSON array of bucket objects.
-pub fn profile_json(p: &RoutineProfile) -> String {
+/// Serializes a routine profile as a JSON array of bucket objects:
+/// one per routine in reporting order (cycles descending, then name),
+/// carrying the activity counters and the attributed energy (schema
+/// v2). The `energy_uj` fields sum bit-exactly to the headline
+/// `energy_uj` of the enclosing record.
+pub fn profile_json(p: &RoutineProfile, energy: &EnergyBreakdown) -> String {
+    let acts = crate::attr::routine_activities(p);
+    let att = energy.attribute(&acts);
     let mut b = JsonBuf::new();
     b.begin_array();
-    for routine in &p.routines {
+    for (a, e) in acts.iter().zip(&att.routines) {
+        // Exhaustive: every activity counter is exported.
+        let RoutineActivity {
+            name,
+            cycles,
+            instructions,
+            rom_reads,
+            rom_line_reads,
+            ram_reads,
+            ram_writes,
+            icache_accesses,
+            icache_misses,
+            cop_mul_ops,
+            cop_ls_ops,
+        } = a;
         b.begin_object();
-        b.key("name").value_str(&routine.name);
-        b.key("start").value_u64(routine.start as u64);
-        b.key("instructions").value_u64(routine.instructions);
-        b.key("cycles").value_u64(routine.cycles);
+        b.key("name").value_str(name);
+        b.key("instructions").value_u64(*instructions);
+        b.key("cycles").value_u64(*cycles);
+        b.key("rom_reads").value_u64(*rom_reads);
+        b.key("rom_line_reads").value_u64(*rom_line_reads);
+        b.key("ram_reads").value_u64(*ram_reads);
+        b.key("ram_writes").value_u64(*ram_writes);
+        b.key("icache_accesses").value_u64(*icache_accesses);
+        b.key("icache_misses").value_u64(*icache_misses);
+        b.key("cop_mul_ops").value_u64(*cop_mul_ops);
+        b.key("cop_ls_ops").value_u64(*cop_ls_ops);
+        b.key("energy_uj").value_f64(e.total_uj);
         b.end_object();
     }
     b.end_array();
@@ -254,5 +285,47 @@ mod tests {
         assert_eq!(rec.get("cycles"), Some(&ule_obs::Value::U64(report.cycles)));
         // Non-profiled run: no profile field.
         assert!(rec.get("profile").is_none());
+    }
+
+    #[test]
+    fn profiled_record_profile_is_sorted_and_energy_conserving() {
+        let cfg = SystemConfig::new(CurveId::P192, Arch::IsaExt);
+        let report = System::new(cfg).run_profiled(Workload::FieldMul);
+        let rec = design_point_record(&cfg, Workload::FieldMul, &report);
+        let line = rec.to_json();
+        assert!(is_valid(&line), "{line}");
+        let doc = ule_obs::json::parse(&line).unwrap();
+        let prof = doc.get("profile").unwrap().as_array().unwrap();
+        assert!(!prof.is_empty());
+        // Sorted: cycles descending, then name ascending.
+        let keys: Vec<(u64, String)> = prof
+            .iter()
+            .map(|e| {
+                (
+                    e.get("cycles").unwrap().as_u64().unwrap(),
+                    e.get("name").unwrap().as_str().unwrap().to_owned(),
+                )
+            })
+            .collect();
+        for w in keys.windows(2) {
+            assert!(
+                w[1].0 < w[0].0 || (w[1].0 == w[0].0 && w[1].1 > w[0].1),
+                "not sorted: {w:?}"
+            );
+        }
+        // Attributed energy sums to the headline total (parse-level
+        // check; the bit-exact invariant is tested in ule-energy).
+        let total: f64 = prof
+            .iter()
+            .map(|e| e.get("energy_uj").unwrap().as_f64().unwrap())
+            .sum();
+        let headline = doc.get("energy_uj").unwrap().as_f64().unwrap();
+        assert!(
+            (total - headline).abs() <= 1e-9 * headline.abs(),
+            "{total} vs {headline}"
+        );
+        // Counters conserve: per-routine cycles sum to the headline.
+        let cyc: u64 = keys.iter().map(|(c, _)| c).sum();
+        assert_eq!(cyc, report.cycles);
     }
 }

@@ -26,4 +26,7 @@ pub mod logic;
 pub mod mem;
 pub mod report;
 
-pub use report::{Activity, Component, CopActivity, CopKind, EnergyBreakdown, IcacheActivity};
+pub use report::{
+    Activity, Component, CopActivity, CopKind, EnergyBreakdown, IcacheActivity, RoutineActivity,
+    RoutineEnergy, RoutineEnergyAttribution,
+};

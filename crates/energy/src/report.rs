@@ -198,6 +198,177 @@ impl EnergyBreakdown {
     }
 }
 
+/// One routine's activity, as the attribution model consumes it —
+/// the cycle and counter slice a profiler accumulated for that routine
+/// (or call path). Decoupled from the simulator's types so `ule-energy`
+/// stays dependency-free; `ule-core` converts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoutineActivity {
+    /// Routine (or call-path) name; carried through to the output.
+    pub name: String,
+    /// Cycles attributed to the routine (exclusive).
+    pub cycles: u64,
+    /// Retired instructions attributed to the routine.
+    pub instructions: u64,
+    /// ROM word reads (uncached fetches + data reads).
+    pub rom_reads: u64,
+    /// ROM line reads (I-cache fills/prefetches).
+    pub rom_line_reads: u64,
+    /// RAM reads (Pete's port + accelerator DMA).
+    pub ram_reads: u64,
+    /// RAM writes (Pete's port + accelerator DMA).
+    pub ram_writes: u64,
+    /// Instruction-cache lookups.
+    pub icache_accesses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Coprocessor multiply/square operations started.
+    pub cop_mul_ops: u64,
+    /// Coprocessor load/store commands executed.
+    pub cop_ls_ops: u64,
+}
+
+/// One routine's attributed share of a run's energy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutineEnergy {
+    /// Routine (or call-path) name.
+    pub name: String,
+    /// Per-component share, µJ, in the breakdown's display order.
+    pub components: Vec<(Component, f64)>,
+    /// Total share, µJ. Carried explicitly (not recomputed from
+    /// `components`) so the conservation fix-up can land here: summing
+    /// this field over all routines reproduces
+    /// [`EnergyBreakdown::total_uj`] bit-exactly.
+    pub total_uj: f64,
+}
+
+/// The per-routine energy attribution of one run — the paper's
+/// per-field-routine tables, derived from a single profiled simulation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoutineEnergyAttribution {
+    /// One entry per input routine, in input order.
+    pub routines: Vec<RoutineEnergy>,
+}
+
+impl RoutineEnergyAttribution {
+    /// Sum of the attributed totals, µJ (bit-equal to the headline
+    /// [`EnergyBreakdown::total_uj`] — the conservation invariant).
+    pub fn total_uj(&self) -> f64 {
+        self.routines.iter().map(|r| r.total_uj).sum()
+    }
+
+    /// The entry for `name`, if present.
+    pub fn routine(&self, name: &str) -> Option<&RoutineEnergy> {
+        self.routines.iter().find(|r| r.name == name)
+    }
+}
+
+/// Splits `total_uj` over the routines proportionally to `weights`,
+/// falling back to `fallback` (cycles) when the weights carry no
+/// information, and to the first routine as a last resort.
+fn split_uj(total_uj: f64, weights: &[f64], fallback: &[f64]) -> Vec<f64> {
+    let mut w = weights;
+    let mut sum: f64 = w.iter().sum();
+    if sum <= 0.0 {
+        w = fallback;
+        sum = w.iter().sum();
+    }
+    if sum > 0.0 {
+        w.iter().map(|x| total_uj * (x / sum)).collect()
+    } else {
+        let mut v = vec![0.0; w.len()];
+        v[0] = total_uj;
+        v
+    }
+}
+
+impl EnergyBreakdown {
+    /// Attributes this breakdown over per-routine activity slices: each
+    /// component's dynamic energy is split in proportion to the counters
+    /// that *drive* that component (ROM energy by pJ-weighted ROM
+    /// traffic, RAM by accesses, uncore by I$ activity, accelerators by
+    /// datapath + DMA operations, core logic by exclusive cycles), and
+    /// every static share is split by cycles (leakage is time). A
+    /// residual fix-up then pins the **conservation invariant**: the
+    /// attributed totals sum bit-exactly to [`total_uj`](Self::total_uj).
+    pub fn attribute(&self, routines: &[RoutineActivity]) -> RoutineEnergyAttribution {
+        assert!(
+            !routines.is_empty(),
+            "attribute() needs at least one routine"
+        );
+        let cycles: Vec<f64> = routines.iter().map(|r| r.cycles as f64).collect();
+        let rom_cap = 256 * 1024;
+        let mut out: Vec<RoutineEnergy> = routines
+            .iter()
+            .map(|r| RoutineEnergy {
+                name: r.name.clone(),
+                components: Vec::with_capacity(self.entries.len()),
+                total_uj: 0.0,
+            })
+            .collect();
+        for &(c, d, s) in &self.entries {
+            let weights: Vec<f64> = match c {
+                Component::PeteCore => cycles.clone(),
+                Component::Rom => routines
+                    .iter()
+                    .map(|r| {
+                        r.rom_reads as f64 * mem::sram_access_pj(rom_cap)
+                            + r.rom_line_reads as f64 * mem::sram_line_access_pj(rom_cap)
+                    })
+                    .collect(),
+                Component::Ram => routines
+                    .iter()
+                    .map(|r| (r.ram_reads + r.ram_writes) as f64)
+                    .collect(),
+                Component::Uncore => routines
+                    .iter()
+                    .map(|r| (r.icache_accesses + r.icache_misses) as f64)
+                    .collect(),
+                Component::Monte | Component::Billie => routines
+                    .iter()
+                    .map(|r| (r.cop_mul_ops + r.cop_ls_ops) as f64)
+                    .collect(),
+            };
+            let dyn_shares = split_uj(d * 1e6, &weights, &cycles);
+            let stat_shares = split_uj(s * 1e6, &cycles, &cycles);
+            for (i, r) in out.iter_mut().enumerate() {
+                r.components.push((c, dyn_shares[i] + stat_shares[i]));
+            }
+        }
+        for r in &mut out {
+            r.total_uj = r.components.iter().map(|(_, e)| e).sum();
+        }
+        // Conservation fix-up: proportional splitting is exact only in
+        // real arithmetic; in f64 the fold can drift by a few ulps.
+        // Fold the residual into the largest share until the sum
+        // reproduces the headline total bit-exactly (one or two rounds
+        // in practice; `total - partial` applied once is not enough,
+        // because the adjusted fold re-rounds).
+        let target = self.total_uj();
+        for _ in 0..100 {
+            let sum: f64 = out.iter().map(|r| r.total_uj).sum();
+            let diff = target - sum;
+            if diff == 0.0 {
+                break;
+            }
+            let k = out
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_uj.total_cmp(&b.1.total_uj))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            out[k].total_uj += diff;
+        }
+        let got = RoutineEnergyAttribution { routines: out };
+        debug_assert_eq!(
+            got.total_uj().to_bits(),
+            target.to_bits(),
+            "attribution residual fix-up did not converge"
+        );
+        got
+    }
+}
+
 impl fmt::Display for EnergyBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (c, d, s) in &self.entries {
@@ -441,6 +612,120 @@ mod tests {
         a.cop = Some(mk(true));
         let sram = energy(&a).component_uj(Component::Billie);
         assert!(sram < 0.6 * ff, "sram {sram} vs flip-flop {ff}");
+    }
+
+    fn routine(name: &str, cycles: u64, rom: u64, ram: u64) -> RoutineActivity {
+        RoutineActivity {
+            name: name.to_owned(),
+            cycles,
+            instructions: cycles,
+            rom_reads: rom,
+            ram_reads: ram,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn attribution_conserves_total_exactly() {
+        // The invariant, on an awkward three-way split (1/3 shares
+        // guarantee rounding residue): attributed totals sum bit-exactly
+        // to the headline total.
+        let e = energy(&baseline_like(1_000_003));
+        let rs = vec![
+            routine("fmul", 333_334, 100_001, 7_919),
+            routine("fred", 333_336, 200_003, 104_729),
+            routine("other", 333_333, 650_000, 187_355),
+        ];
+        let att = e.attribute(&rs);
+        assert_eq!(att.total_uj().to_bits(), e.total_uj().to_bits());
+        assert_eq!(att.routines.len(), 3);
+        // Per-component conservation holds to f64 fold precision.
+        for (i, &(c, _, _)) in e.entries().iter().enumerate() {
+            let sum: f64 = att.routines.iter().map(|r| r.components[i].1).sum();
+            let want = e.component_uj(c);
+            assert!(
+                (sum - want).abs() <= 1e-9 * want.max(1.0),
+                "{c:?}: {sum} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn attribution_follows_the_driving_counters() {
+        let e = energy(&baseline_like(1_000_000));
+        // Same cycles, but `hot` does all the RAM traffic.
+        let rs = vec![
+            routine("hot", 500_000, 475_000, 300_000),
+            routine("cold", 500_000, 475_000, 0),
+        ];
+        let att = e.attribute(&rs);
+        let hot_ram = att.routines[0]
+            .components
+            .iter()
+            .find(|(c, _)| *c == Component::Ram)
+            .unwrap()
+            .1;
+        let cold_ram = att.routines[1]
+            .components
+            .iter()
+            .find(|(c, _)| *c == Component::Ram)
+            .unwrap()
+            .1;
+        assert!(hot_ram > cold_ram * 2.0, "hot {hot_ram} cold {cold_ram}");
+        // Core logic splits by cycles: equal here (static RAM leakage
+        // also splits by cycles, so `cold` still gets a RAM share).
+        let hot_core = att.routines[0].components[0].1;
+        let cold_core = att.routines[1].components[0].1;
+        assert!((hot_core - cold_core).abs() < 1e-12 * hot_core);
+        assert!(cold_ram > 0.0);
+    }
+
+    #[test]
+    fn attribution_zero_weight_falls_back_to_cycles() {
+        // A Monte system where the per-routine cop counters are all
+        // zero (e.g. the slice predates the accelerator): Monte energy
+        // falls back to a cycle-proportional split instead of vanishing.
+        let mut a = baseline_like(1_000_000);
+        a.cop = Some(CopActivity {
+            kind: CopKind::Monte,
+            busy_cycles: 400_000,
+            dma_cycles: 50_000,
+            scratch_accesses: 1_200_000,
+            gating: Gating::None,
+            sram_register_file: false,
+        });
+        let e = energy(&a);
+        let rs = vec![
+            routine("a", 750_000, 500_000, 100_000),
+            routine("b", 250_000, 450_000, 200_000),
+        ];
+        let att = e.attribute(&rs);
+        assert_eq!(att.total_uj().to_bits(), e.total_uj().to_bits());
+        let monte_a = att
+            .routine("a")
+            .unwrap()
+            .components
+            .iter()
+            .find(|(c, _)| *c == Component::Monte)
+            .unwrap()
+            .1;
+        let monte_b = att
+            .routine("b")
+            .unwrap()
+            .components
+            .iter()
+            .find(|(c, _)| *c == Component::Monte)
+            .unwrap()
+            .1;
+        assert!(monte_a > 2.0 * monte_b, "{monte_a} vs {monte_b}");
+    }
+
+    #[test]
+    fn attribution_single_routine_gets_everything() {
+        let e = energy(&baseline_like(123_457));
+        let att = e.attribute(&[routine("all", 123_457, 117_284, 37_036)]);
+        assert_eq!(att.total_uj().to_bits(), e.total_uj().to_bits());
+        assert_eq!(att.routines[0].name, "all");
     }
 
     #[test]

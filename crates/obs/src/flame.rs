@@ -1,0 +1,96 @@
+//! Collapsed-stack ("folded") flamegraph output.
+//!
+//! The format is the one `flamegraph.pl --reverse`-era tooling and all
+//! modern viewers (speedscope, inferno, Firefox Profiler) ingest: one
+//! line per unique call path,
+//!
+//! ```text
+//! root;child;leaf 12345
+//! ```
+//!
+//! frames joined by `;`, a space, and an integer weight (cycles or
+//! nanojoules here). Writing is trivial; the value of this module is a
+//! strict parser/validator the tests and the CI `profile` job use to
+//! prove emitted files actually load.
+
+/// Renders `(path, weight)` pairs as folded lines, sorted (weight
+/// descending, then path ascending) so output is byte-stable for any
+/// input order.
+pub fn to_folded(stacks: &[(String, u64)]) -> String {
+    let mut sorted: Vec<&(String, u64)> = stacks.iter().collect();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut out = String::new();
+    for (path, weight) in sorted {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a folded file back into `(path, weight)` pairs, rejecting
+/// anything a flamegraph consumer would choke on: empty paths, empty
+/// frames (`a;;b`), missing or non-integer weights, leading/extra
+/// whitespace. Blank lines are ignored.
+pub fn parse_folded(s: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in s.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let (path, weight) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no space-separated weight: {line:?}"))?;
+        if path.is_empty() {
+            return Err(format!("line {n}: empty stack path"));
+        }
+        if path.split(';').any(|frame| frame.is_empty()) {
+            return Err(format!("line {n}: empty frame in path {path:?}"));
+        }
+        if path.contains(' ') {
+            return Err(format!("line {n}: space inside stack path {path:?}"));
+        }
+        let weight: u64 = weight
+            .parse()
+            .map_err(|_| format!("line {n}: weight {weight:?} is not a non-negative integer"))?;
+        out.push((path.to_owned(), weight));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_round_trip_is_sorted_and_stable() {
+        let stacks = vec![
+            ("main;a".to_owned(), 5),
+            ("main".to_owned(), 9),
+            ("main;a;b".to_owned(), 5),
+        ];
+        let s = to_folded(&stacks);
+        assert_eq!(s, "main 9\nmain;a 5\nmain;a;b 5\n");
+        let back = parse_folded(&s).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], ("main".to_owned(), 9));
+        // Input order must not matter.
+        let mut rev = stacks.clone();
+        rev.reverse();
+        assert_eq!(to_folded(&rev), s);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_folded("noweight\n").is_err());
+        assert!(parse_folded("a;;b 3\n").is_err());
+        assert!(parse_folded(" 3\n").is_err());
+        assert!(parse_folded("a b 3x\n").is_err());
+        assert!(parse_folded("a b c\n").is_err(), "space inside path");
+        assert!(parse_folded("a -1\n").is_err());
+        assert!(parse_folded("").unwrap().is_empty());
+        assert_eq!(parse_folded("x 0\n\ny 1\n").unwrap().len(), 2);
+    }
+}

@@ -176,22 +176,101 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-// ---- validation -----------------------------------------------------
+// ---- parsing and validation -----------------------------------------
 
-/// Returns true iff `s` is one complete, valid JSON value (with
-/// optional surrounding whitespace). Used by tests and the CI smoke
-/// path to prove every emitted JSONL line parses.
-pub fn is_valid(s: &str) -> bool {
+/// A parsed JSON value. Integers that fit `u64`/`i64` keep full
+/// precision (cycle counts exceed f64's 2^53 integer range in theory);
+/// everything else becomes `F64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer without fraction or exponent.
+    U64(u64),
+    /// A negative integer without fraction or exponent.
+    I64(i64),
+    /// Any other number.
+    F64(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order (duplicate keys kept as-is).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen lossily past 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value's object members, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value (with optional surrounding
+/// whitespace). `None` on any syntax error.
+pub fn parse(s: &str) -> Option<Json> {
     let mut p = Parser {
         b: s.as_bytes(),
         i: 0,
     };
     p.ws();
-    if !p.value() {
-        return false;
-    }
+    let v = p.value()?;
     p.ws();
-    p.i == p.b.len()
+    (p.i == p.b.len()).then_some(v)
+}
+
+/// Returns true iff `s` is one complete, valid JSON value (with
+/// optional surrounding whitespace). Used by tests and the CI smoke
+/// path to prove every emitted JSONL line parses.
+pub fn is_valid(s: &str) -> bool {
+    parse(s).is_some()
 }
 
 struct Parser<'a> {
@@ -228,116 +307,162 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> bool {
+    fn value(&mut self) -> Option<Json> {
         self.ws();
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.lit("true"),
-            Some(b'f') => self.lit("false"),
-            Some(b'n') => self.lit("null"),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.lit("true").then_some(Json::Bool(true)),
+            Some(b'f') => self.lit("false").then_some(Json::Bool(false)),
+            Some(b'n') => self.lit("null").then_some(Json::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => false,
+            _ => None,
         }
     }
 
-    fn object(&mut self) -> bool {
+    fn object(&mut self) -> Option<Json> {
         if !self.eat(b'{') {
-            return false;
+            return None;
         }
         self.ws();
+        let mut members = Vec::new();
         if self.eat(b'}') {
-            return true;
+            return Some(Json::Obj(members));
         }
         loop {
             self.ws();
-            if !self.string() {
-                return false;
-            }
+            let key = self.string()?;
             self.ws();
-            if !self.eat(b':') || !self.value() {
-                return false;
+            if !self.eat(b':') {
+                return None;
             }
+            let val = self.value()?;
+            members.push((key, val));
             self.ws();
             if self.eat(b',') {
                 continue;
             }
-            return self.eat(b'}');
+            return self.eat(b'}').then_some(Json::Obj(members));
         }
     }
 
-    fn array(&mut self) -> bool {
+    fn array(&mut self) -> Option<Json> {
         if !self.eat(b'[') {
-            return false;
+            return None;
         }
         self.ws();
+        let mut items = Vec::new();
         if self.eat(b']') {
-            return true;
+            return Some(Json::Arr(items));
         }
         loop {
-            if !self.value() {
-                return false;
-            }
+            items.push(self.value()?);
             self.ws();
             if self.eat(b',') {
                 continue;
             }
-            return self.eat(b']');
+            return self.eat(b']').then_some(Json::Arr(items));
         }
     }
 
-    fn string(&mut self) -> bool {
-        if !self.eat(b'"') {
-            return false;
-        }
-        while let Some(c) = self.peek() {
+    fn hex4(&mut self) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let h = self.peek()?;
+            let d = (h as char).to_digit(16)?;
+            v = (v << 4) | d;
             self.i += 1;
+        }
+        Some(v)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        self.string_body()
+    }
+
+    /// The string content after the opening quote: raw byte runs are
+    /// borrowed whole; escapes are decoded as they appear.
+    fn string_body(&mut self) -> Option<String> {
+        let mut out = String::new();
+        let mut start = self.i;
+        while let Some(c) = self.peek() {
             match c {
-                b'"' => return true,
-                b'\\' => {
-                    match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
-                            self.i += 1;
-                        }
-                        Some(b'u') => {
-                            self.i += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
-                                    _ => return false,
-                                }
-                            }
-                        }
-                        _ => return false,
-                    };
+                b'"' => {
+                    out.push_str(std::str::from_utf8(&self.b[start..self.i]).ok()?);
+                    self.i += 1;
+                    return Some(out);
                 }
-                0x00..=0x1f => return false,
-                _ => {}
+                b'\\' => {
+                    out.push_str(std::str::from_utf8(&self.b[start..self.i]).ok()?);
+                    self.i += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            self.i += 1;
+                            let u = self.hex4()?;
+                            let cp = if (0xd800..0xdc00).contains(&u) {
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return None;
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return None;
+                                }
+                                0x10000 + ((u - 0xd800) << 10) + (lo - 0xdc00)
+                            } else if (0xdc00..0xe000).contains(&u) {
+                                return None;
+                            } else {
+                                u
+                            };
+                            out.push(char::from_u32(cp)?);
+                            self.i -= 1;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                    start = self.i;
+                }
+                0x00..=0x1f => return None,
+                _ => self.i += 1,
             }
         }
-        false
+        None
     }
 
-    fn number(&mut self) -> bool {
-        self.eat(b'-');
+    fn number(&mut self) -> Option<Json> {
+        let start = self.i;
+        let negative = self.eat(b'-');
         let digits_start = self.i;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.i += 1;
         }
         if self.i == digits_start {
-            return false;
+            return None;
         }
+        let mut integral = true;
         if self.eat(b'.') {
+            integral = false;
             let frac_start = self.i;
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.i += 1;
             }
             if self.i == frac_start {
-                return false;
+                return None;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.i += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.i += 1;
@@ -347,10 +472,20 @@ impl Parser<'_> {
                 self.i += 1;
             }
             if self.i == exp_start {
-                return false;
+                return None;
             }
         }
-        true
+        let text = std::str::from_utf8(&self.b[start..self.i]).ok()?;
+        if integral {
+            if negative {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Some(Json::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Some(Json::U64(v));
+            }
+        }
+        text.parse::<f64>().ok().map(Json::F64)
     }
 }
 
@@ -409,6 +544,52 @@ mod tests {
         ] {
             assert!(!is_valid(bad), "{bad}");
         }
+    }
+
+    #[test]
+    fn parser_builds_values() {
+        let v = parse(r#"{"a":[1,-2,2.5],"s":"x\nÿy","t":true,"n":null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0], Json::U64(1));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1], Json::I64(-2));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2], Json::F64(2.5));
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "x\nÿy");
+        assert_eq!(v.get("t").unwrap(), &Json::Bool(true));
+        assert_eq!(v.get("n").unwrap(), &Json::Null);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parser_keeps_u64_precision() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        // Too big for u64: falls back to f64.
+        assert!(matches!(parse("18446744073709551616"), Some(Json::F64(_))));
+    }
+
+    #[test]
+    fn parser_decodes_surrogate_pairs() {
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀");
+        assert_eq!(parse(r#""😀""#).unwrap().as_str().unwrap(), "😀");
+        assert!(parse(r#""\ud83d""#).is_none(), "lone high surrogate");
+        assert!(parse(r#""\ude00""#).is_none(), "lone low surrogate");
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_parser() {
+        let mut b = JsonBuf::new();
+        b.begin_object()
+            .key("s")
+            .value_str("a\"b\\c\nd\u{1}")
+            .key("n")
+            .value_u64(u64::MAX)
+            .key("f")
+            .value_f64(-0.125);
+        b.end_object();
+        let v = parse(b.as_str()).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "a\"b\\c\nd\u{1}");
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(-0.125));
     }
 
     #[test]

@@ -13,7 +13,11 @@ use crate::Value;
 /// Version of the flat metrics schema. Bump on any key rename/removal;
 /// pure additions keep the version (consumers must ignore unknown
 /// keys).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `design_point.profile` entries carry the per-routine activity
+/// counters and attributed energy, and are sorted (cycles descending,
+/// then name) instead of address-ordered.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One flat metrics record (one JSONL line).
 #[derive(Clone, Debug, PartialEq)]

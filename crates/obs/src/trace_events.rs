@@ -1,0 +1,221 @@
+//! Chrome trace-event JSON output (the "Trace Event Format" that
+//! `chrome://tracing`, Perfetto and speedscope load).
+//!
+//! Only the small subset this workspace emits is supported: the
+//! object-wrapped form `{"traceEvents":[...]}` with `ph:"M"` metadata
+//! events (process/thread names) and `ph:"X"` complete events
+//! (name, ts, dur in microseconds). The writer goes through
+//! [`JsonBuf`]; [`validate_trace_events`] is the strict consumer-side
+//! check the tests and the CI `profile` job run against emitted files.
+
+use crate::json::{self, JsonBuf};
+
+/// Streaming writer for a trace-event file.
+#[derive(Debug)]
+pub struct TraceEventsBuf {
+    buf: JsonBuf,
+}
+
+impl Default for TraceEventsBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceEventsBuf {
+    /// Opens the `traceEvents` array.
+    pub fn new() -> Self {
+        let mut buf = JsonBuf::new();
+        buf.begin_object().key("traceEvents").begin_array();
+        TraceEventsBuf { buf }
+    }
+
+    /// Emits a `process_name` metadata event for `pid`.
+    pub fn process_name(&mut self, pid: u64, name: &str) -> &mut Self {
+        self.buf
+            .begin_object()
+            .key("name")
+            .value_str("process_name")
+            .key("ph")
+            .value_str("M")
+            .key("pid")
+            .value_u64(pid)
+            .key("tid")
+            .value_u64(0)
+            .key("args")
+            .begin_object()
+            .key("name")
+            .value_str(name)
+            .end_object()
+            .end_object();
+        self
+    }
+
+    /// Emits a `thread_name` metadata event for `(pid, tid)`.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) -> &mut Self {
+        self.buf
+            .begin_object()
+            .key("name")
+            .value_str("thread_name")
+            .key("ph")
+            .value_str("M")
+            .key("pid")
+            .value_u64(pid)
+            .key("tid")
+            .value_u64(tid)
+            .key("args")
+            .begin_object()
+            .key("name")
+            .value_str(name)
+            .end_object()
+            .end_object();
+        self
+    }
+
+    /// Emits a complete (`ph:"X"`) event: `name` spanning
+    /// `[ts_us, ts_us + dur_us]` microseconds, with numeric `args`.
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, u64)],
+    ) -> &mut Self {
+        self.buf
+            .begin_object()
+            .key("name")
+            .value_str(name)
+            .key("ph")
+            .value_str("X")
+            .key("ts")
+            .value_f64(ts_us)
+            .key("dur")
+            .value_f64(dur_us)
+            .key("pid")
+            .value_u64(pid)
+            .key("tid")
+            .value_u64(tid);
+        if !args.is_empty() {
+            self.buf.key("args").begin_object();
+            for (k, v) in args {
+                self.buf.key(k).value_u64(*v);
+            }
+            self.buf.end_object();
+        }
+        self.buf.end_object();
+        self
+    }
+
+    /// Closes the file, returning the serialized JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.end_array().end_object();
+        self.buf.finish()
+    }
+}
+
+/// Summary returned by a successful [`validate_trace_events`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceEventsStats {
+    /// All events in the file.
+    pub events: usize,
+    /// `ph:"X"` complete events.
+    pub complete_events: usize,
+    /// `ph:"M"` metadata events.
+    pub metadata_events: usize,
+}
+
+/// Validates a trace-event JSON document: the wrapper object, the
+/// `traceEvents` array, and per-event required fields (`ph:"X"` events
+/// must carry finite, non-negative `ts`/`dur`). Returns counts on
+/// success, a located error message on failure.
+pub fn validate_trace_events(s: &str) -> Result<TraceEventsStats, String> {
+    let doc = json::parse(s).ok_or("not valid JSON")?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("no traceEvents member")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut stats = TraceEventsStats {
+        events: events.len(),
+        ..Default::default()
+    };
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: no ph"))?;
+        e.get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: no name"))?;
+        for key in ["pid", "tid"] {
+            e.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("event {i}: no numeric {key}"))?;
+        }
+        match ph {
+            "X" => {
+                for key in ["ts", "dur"] {
+                    let v = e
+                        .get(key)
+                        .and_then(|v| v.as_f64())
+                        .ok_or_else(|| format!("event {i}: complete event without {key}"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("event {i}: {key} = {v} is not a duration"));
+                    }
+                }
+                stats.complete_events += 1;
+            }
+            "M" => stats.metadata_events += 1,
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_validates() {
+        let mut t = TraceEventsBuf::new();
+        t.process_name(1, "P-192/monte/sign");
+        t.thread_name(1, 1, "call tree");
+        t.complete(1, 1, "fmul", 0.0, 12.5, &[("cycles", 4167)]);
+        t.complete(1, 1, "fred", 12.5, 3.0, &[]);
+        let s = t.finish();
+        let stats = validate_trace_events(&s).unwrap();
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.complete_events, 2);
+        assert_eq!(stats.metadata_events, 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_trace_events("[]").is_err(), "bare array");
+        assert!(validate_trace_events(r#"{"traceEvents":{}}"#).is_err());
+        assert!(
+            validate_trace_events(r#"{"traceEvents":[{"ph":"X","name":"a","pid":0,"tid":0}]}"#)
+                .is_err(),
+            "X without ts/dur"
+        );
+        assert!(
+            validate_trace_events(
+                r#"{"traceEvents":[{"ph":"X","name":"a","pid":0,"tid":0,"ts":0,"dur":-1}]}"#
+            )
+            .is_err(),
+            "negative dur"
+        );
+        assert!(
+            validate_trace_events(
+                r#"{"traceEvents":[{"ph":"B","name":"a","pid":0,"tid":0,"ts":0}]}"#
+            )
+            .is_err(),
+            "unsupported phase"
+        );
+        let ok = validate_trace_events(r#"{"traceEvents":[]}"#).unwrap();
+        assert_eq!(ok.events, 0);
+    }
+}

@@ -23,7 +23,7 @@
 use crate::cop::{CopStats, Coprocessor, NoCoprocessor};
 use crate::icache::{CacheConfig, CacheStats, ICache};
 use crate::mem::{MemStats, Ram, Rom};
-use crate::profile::{PcProfiler, RoutineProfile};
+use crate::profile::{ActivitySlice, ControlEvent, PcProfiler, RoutineProfile};
 use ule_isa::asm::Program;
 use ule_isa::instr::Instr;
 use ule_isa::reg::Reg;
@@ -344,6 +344,12 @@ impl Machine {
             return;
         }
         let cycle_at_issue = self.cycle;
+        // Snapshot the counted memory/coprocessor statistics so the
+        // profiler can attribute this instruction's delta. All counted
+        // traffic happens inside `step` (harness pokes/peeks are
+        // uncounted), so the per-routine slices sum exactly to the
+        // run's `RawStats`.
+        let activity_before = self.profiler.is_some().then(|| self.activity_snapshot());
         let branch_target = self.pending_branch.take();
         let pc = self.pc;
         let instr = self.fetch(pc);
@@ -376,8 +382,54 @@ impl Machine {
         // `cycle` only advances inside `step`, so attributing the delta
         // to this instruction's PC makes the routine buckets sum
         // exactly to the machine's total cycles.
-        if let Some(p) = self.profiler.as_mut() {
-            p.record(pc, self.cycle - cycle_at_issue);
+        if let Some(before) = activity_before {
+            let delta = ActivitySlice::delta(&before, &self.activity_snapshot());
+            // Shadow-stack events: a link-register write is a call; a
+            // register jump may be a return. `get(rs)` is still the
+            // jump target here — `jr` writes no register and a
+            // linking `jalr` is classified as a call, not a jump.
+            let event = match instr {
+                Instr::Jal { .. } => Some(ControlEvent::Call {
+                    ret: pc.wrapping_add(8),
+                }),
+                Instr::Jalr { rd, .. } if rd != Reg::ZERO => Some(ControlEvent::Call {
+                    ret: pc.wrapping_add(8),
+                }),
+                Instr::Jalr { rs, .. } | Instr::Jr { rs } => Some(ControlEvent::JumpReg {
+                    target: self.get(rs),
+                }),
+                _ => None,
+            };
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(pc, self.cycle - cycle_at_issue, &delta, event);
+            }
+        }
+    }
+
+    /// The counted memory-system and coprocessor statistics, folded
+    /// into the profiler's [`ActivitySlice`] shape. Purely observational
+    /// (never advances time), so a profiled run stays bit-identical to
+    /// an unprofiled one.
+    fn activity_snapshot(&self) -> ActivitySlice {
+        let rom = self.rom.stats();
+        let ram = self.ram.stats();
+        let (ic_accesses, ic_misses, ic_lines) = match &self.icache {
+            Some(c) => {
+                let s = c.stats();
+                (s.accesses, s.misses, s.rom_line_reads)
+            }
+            None => (0, 0, 0),
+        };
+        let cop = self.cop.stats();
+        ActivitySlice {
+            rom_reads: rom.reads,
+            rom_line_reads: rom.line_reads + ic_lines,
+            ram_reads: ram.reads,
+            ram_writes: ram.writes,
+            icache_accesses: ic_accesses,
+            icache_misses: ic_misses,
+            cop_mul_ops: cop.mul_ops,
+            cop_ls_ops: cop.ls_ops,
         }
     }
 

@@ -35,4 +35,6 @@ pub mod profile;
 pub use cop::{CopStats, Coprocessor};
 pub use cpu::{Counters, Machine, MachineConfig, RunExit};
 pub use icache::{CacheConfig, CacheStats};
-pub use profile::{PcProfiler, RoutineCycles, RoutineProfile};
+pub use profile::{
+    ActivitySlice, CallGraph, CallNode, ControlEvent, PcProfiler, RoutineCycles, RoutineProfile,
+};

@@ -1,4 +1,5 @@
-//! Per-routine cycle attribution (PC-range buckets).
+//! Per-routine cycle and activity attribution (PC-range buckets plus a
+//! shadow call stack).
 //!
 //! The assembler already knows every routine's start address
 //! (`Program::text_symbols`), so profiling needs no instrumentation in
@@ -8,7 +9,140 @@
 //! advances inside `step`, the bucket totals sum *exactly* to the
 //! machine's total cycles — the invariant the attribution test pins.
 //!
+//! On top of the flat buckets, the profiler maintains a **shadow call
+//! stack** driven by retirement of the link instructions:
+//!
+//! * `jal`, and `jalr` with a non-zero destination, push a frame
+//!   recording the architectural return address (`pc + 8`, past the
+//!   delay slot) and the call-tree node the call was made from;
+//! * any register jump (`jr`, or `jalr` with `rd == $zero`) whose
+//!   target matches a recorded return address pops back to that
+//!   frame's caller — intervening frames abandoned by tail calls are
+//!   discarded in the same pop;
+//! * a register jump that matches nothing (a `jalr`-style tail call or
+//!   computed jump) leaves the stack alone: the leaf routine simply
+//!   changes under the same caller, so the tail-callee appears as a
+//!   sibling of the tail-caller — and the original frame still pops
+//!   when the tail-callee eventually returns through the shared `$ra`.
+//!
+//! The current call-tree node is always `child(caller-node, routine of
+//! pc)`, with one folding rule: if the caller node already *is* that
+//! routine, the node folds into it. The fold makes the delay slot of a
+//! call bill to the caller (its PC is still in the caller) and makes
+//! direct recursion accumulate in the existing frame's node instead of
+//! growing a chain, exactly like a collapsed flamegraph.
+//!
+//! Each bucket and each call-tree node also carries an
+//! [`ActivitySlice`] of memory-system and coprocessor counters, deltaed
+//! per retired instruction in `step`. All *counted* traffic happens
+//! inside `step` (harness `poke`/`peek` are uncounted by design), so
+//! the per-routine slices sum exactly to the run's `RawStats`.
+//!
 //! [`Machine::step`]: crate::cpu::Machine::step
+
+use std::collections::HashMap;
+
+/// Sentinel parent id for call-tree roots (and the profiler's initial
+/// context before any call has been observed).
+pub const ROOT: u32 = u32::MAX;
+
+/// Shadow-stack depth cap; calls beyond it are folded into the current
+/// node so a pathological (or leaked) stack cannot grow without bound.
+const MAX_SHADOW_DEPTH: usize = 512;
+
+/// Memory-system and coprocessor activity attributed to one routine or
+/// call-tree node (the per-instruction delta of the machine's counted
+/// statistics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActivitySlice {
+    /// ROM word reads (uncached instruction fetches + data reads).
+    pub rom_reads: u64,
+    /// ROM line reads (I-cache fills and prefetches).
+    pub rom_line_reads: u64,
+    /// RAM reads on Pete's port plus accelerator DMA reads.
+    pub ram_reads: u64,
+    /// RAM writes on Pete's port plus accelerator DMA writes.
+    pub ram_writes: u64,
+    /// Instruction-cache lookups (hits = accesses − misses).
+    pub icache_accesses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Coprocessor multiply/square datapath operations started.
+    pub cop_mul_ops: u64,
+    /// Coprocessor load/store (DMA transfer) commands executed.
+    pub cop_ls_ops: u64,
+}
+
+impl ActivitySlice {
+    /// Adds another slice onto this one, field by field.
+    ///
+    /// The exhaustive destructuring (no `..`) is deliberate: adding a
+    /// counter to this struct without deciding how it accumulates —
+    /// and without exporting it to the metrics schema — fails to
+    /// compile here.
+    pub fn accumulate(&mut self, other: &ActivitySlice) {
+        let ActivitySlice {
+            rom_reads,
+            rom_line_reads,
+            ram_reads,
+            ram_writes,
+            icache_accesses,
+            icache_misses,
+            cop_mul_ops,
+            cop_ls_ops,
+        } = *other;
+        self.rom_reads += rom_reads;
+        self.rom_line_reads += rom_line_reads;
+        self.ram_reads += ram_reads;
+        self.ram_writes += ram_writes;
+        self.icache_accesses += icache_accesses;
+        self.icache_misses += icache_misses;
+        self.cop_mul_ops += cop_mul_ops;
+        self.cop_ls_ops += cop_ls_ops;
+    }
+
+    /// The per-instruction delta between two monotonic snapshots.
+    pub fn delta(before: &ActivitySlice, after: &ActivitySlice) -> ActivitySlice {
+        let ActivitySlice {
+            rom_reads,
+            rom_line_reads,
+            ram_reads,
+            ram_writes,
+            icache_accesses,
+            icache_misses,
+            cop_mul_ops,
+            cop_ls_ops,
+        } = *after;
+        ActivitySlice {
+            rom_reads: rom_reads - before.rom_reads,
+            rom_line_reads: rom_line_reads - before.rom_line_reads,
+            ram_reads: ram_reads - before.ram_reads,
+            ram_writes: ram_writes - before.ram_writes,
+            icache_accesses: icache_accesses - before.icache_accesses,
+            icache_misses: icache_misses - before.icache_misses,
+            cop_mul_ops: cop_mul_ops - before.cop_mul_ops,
+            cop_ls_ops: cop_ls_ops - before.cop_ls_ops,
+        }
+    }
+}
+
+/// Control-flow event observed at an instruction's retirement, as far
+/// as the shadow call stack is concerned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlEvent {
+    /// A link-register write (`jal`, or `jalr` with `rd != $zero`):
+    /// push a frame expecting a return to `ret`.
+    Call {
+        /// Architectural return address (`pc + 8`, past the delay slot).
+        ret: u32,
+    },
+    /// A register jump (`jr`, or `jalr` with `rd == $zero`): pop if
+    /// `target` matches a recorded return address.
+    JumpReg {
+        /// The jump target (the register's value at retirement).
+        target: u32,
+    },
+}
 
 /// One routine's share of the run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,6 +156,117 @@ pub struct RoutineCycles {
     pub instructions: u64,
     /// Cycles (issue + all stalls) attributed to the range.
     pub cycles: u64,
+    /// Memory-system and coprocessor activity attributed to the range.
+    pub activity: ActivitySlice,
+}
+
+/// One node of the call tree: a routine reached along a specific call
+/// path. Counters are **exclusive** (cycles spent at PCs of this
+/// routine while this path was live); inclusive totals are derived by
+/// [`CallGraph::inclusive_cycles`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallNode {
+    /// Parent node id, or [`ROOT`] for a top-level node.
+    pub parent: u32,
+    /// Index into [`RoutineProfile::routines`].
+    pub routine: u32,
+    /// Retired instructions attributed to this node.
+    pub instructions: u64,
+    /// Exclusive cycles attributed to this node.
+    pub cycles: u64,
+    /// Exclusive activity attributed to this node.
+    pub activity: ActivitySlice,
+}
+
+/// The call tree of a run. Node ids are creation-ordered, so a parent's
+/// id is always smaller than its children's — reverse iteration folds
+/// children into parents.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CallGraph {
+    /// Creation-ordered nodes (deterministic for a deterministic run).
+    pub nodes: Vec<CallNode>,
+}
+
+impl CallGraph {
+    /// Sum of exclusive cycles over all nodes (equals the flat bucket
+    /// total and the machine's total cycles).
+    pub fn total_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.cycles).sum()
+    }
+
+    /// Inclusive cycles per node (self + all descendants), parallel to
+    /// [`CallGraph::nodes`].
+    pub fn inclusive_cycles(&self) -> Vec<u64> {
+        let mut inc: Vec<u64> = self.nodes.iter().map(|n| n.cycles).collect();
+        for i in (0..self.nodes.len()).rev() {
+            let p = self.nodes[i].parent;
+            if p != ROOT {
+                inc[p as usize] += inc[i];
+            }
+        }
+        inc
+    }
+
+    /// Sum of inclusive cycles over the root nodes (equals
+    /// [`CallGraph::total_cycles`]; pinned by tests).
+    pub fn root_inclusive_cycles(&self) -> u64 {
+        let inc = self.inclusive_cycles();
+        self.nodes
+            .iter()
+            .zip(&inc)
+            .filter(|(n, _)| n.parent == ROOT)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// The routine-index path from a root down to `node` (inclusive).
+    pub fn path(&self, node: usize) -> Vec<u32> {
+        let mut rev = Vec::new();
+        let mut i = node as u32;
+        while i != ROOT {
+            let n = &self.nodes[i as usize];
+            rev.push(n.routine);
+            i = n.parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Accumulates another call tree into this one, matching nodes by
+    /// routine path (workloads run the same program image several
+    /// times, e.g. Sign + Verify).
+    pub fn merge(&mut self, other: &CallGraph) {
+        let mut children: HashMap<(u32, u32), u32> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            children.insert((n.parent, n.routine), i as u32);
+        }
+        // Creation order guarantees parents precede children, so the
+        // id map is always populated before it is consulted.
+        let mut map = vec![ROOT; other.nodes.len()];
+        for (i, n) in other.nodes.iter().enumerate() {
+            let parent = if n.parent == ROOT {
+                ROOT
+            } else {
+                map[n.parent as usize]
+            };
+            let id = *children.entry((parent, n.routine)).or_insert_with(|| {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(CallNode {
+                    parent,
+                    routine: n.routine,
+                    instructions: 0,
+                    cycles: 0,
+                    activity: ActivitySlice::default(),
+                });
+                id
+            });
+            let s = &mut self.nodes[id as usize];
+            s.instructions += n.instructions;
+            s.cycles += n.cycles;
+            s.activity.accumulate(&n.activity);
+            map[i] = id;
+        }
+    }
 }
 
 /// The finished per-routine breakdown of a run.
@@ -30,6 +275,8 @@ pub struct RoutineProfile {
     /// Buckets in ascending address order; zero-activity routines are
     /// retained so the table shape is config-independent.
     pub routines: Vec<RoutineCycles>,
+    /// The call tree (exclusive counters per call path).
+    pub calls: CallGraph,
 }
 
 impl RoutineProfile {
@@ -57,12 +304,38 @@ impl RoutineProfile {
             .find(|r| r.name.split('/').any(|n| n == part))
     }
 
+    /// The buckets in reporting order: cycles descending, then name
+    /// ascending. All human-facing and serialized output uses this
+    /// order so profiles are byte-stable across runs and thread counts.
+    pub fn sorted_routines(&self) -> Vec<&RoutineCycles> {
+        let mut v: Vec<&RoutineCycles> = self.routines.iter().collect();
+        v.sort_by(|a, b| b.cycles.cmp(&a.cycles).then_with(|| a.name.cmp(&b.name)));
+        v
+    }
+
+    /// Every call path as a `;`-joined name string (root first, leaf
+    /// last) with its node, in node-creation order.
+    pub fn call_paths(&self) -> Vec<(String, &CallNode)> {
+        (0..self.calls.nodes.len())
+            .map(|i| {
+                let names: Vec<&str> = self
+                    .calls
+                    .path(i)
+                    .into_iter()
+                    .map(|r| self.routines[r as usize].name.as_str())
+                    .collect();
+                (names.join(";"), &self.calls.nodes[i])
+            })
+            .collect()
+    }
+
     /// Accumulates another profile over the same routine table
     /// (workloads run the same program image several times, e.g.
     /// Sign + Verify).
     pub fn merge(&mut self, other: &RoutineProfile) {
         if self.routines.is_empty() {
             self.routines = other.routines.clone();
+            self.calls = other.calls.clone();
             return;
         }
         assert_eq!(
@@ -74,8 +347,18 @@ impl RoutineProfile {
             debug_assert_eq!(a.start, b.start);
             a.instructions += b.instructions;
             a.cycles += b.cycles;
+            a.activity.accumulate(&b.activity);
         }
+        self.calls.merge(&other.calls);
     }
+}
+
+/// A live shadow-stack frame: where to return to, and which node the
+/// call was made from.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    ret: u32,
+    caller: u32,
 }
 
 /// The live profiler attached to a [`Machine`](crate::cpu::Machine).
@@ -84,6 +367,20 @@ pub struct PcProfiler {
     /// Sorted bucket start addresses (parallel to `buckets`).
     starts: Vec<u32>,
     buckets: Vec<RoutineCycles>,
+    /// Call-tree nodes (creation-ordered).
+    nodes: Vec<CallNode>,
+    /// `(parent, routine) -> node id` lookup, consulted only on
+    /// call/return/leaf transitions, not per retired instruction.
+    children: HashMap<(u32, u32), u32>,
+    /// The shadow call stack.
+    stack: Vec<Frame>,
+    /// The node calls are currently made from ([`ROOT`] at top level).
+    context: u32,
+    /// Bucket index of the previous instruction (`usize::MAX` before
+    /// the first), so the common straight-line case skips node lookup.
+    cur_routine: usize,
+    /// The node currently accumulating exclusive counters.
+    cur_node: u32,
 }
 
 impl PcProfiler {
@@ -98,6 +395,7 @@ impl PcProfiler {
                 start: 0,
                 instructions: 0,
                 cycles: 0,
+                activity: ActivitySlice::default(),
             });
         }
         for (start, name) in text_symbols {
@@ -106,16 +404,57 @@ impl PcProfiler {
                 start: *start,
                 instructions: 0,
                 cycles: 0,
+                activity: ActivitySlice::default(),
             });
         }
         let starts = buckets.iter().map(|b| b.start).collect();
-        PcProfiler { starts, buckets }
+        PcProfiler {
+            starts,
+            buckets,
+            nodes: Vec::new(),
+            children: HashMap::new(),
+            stack: Vec::new(),
+            context: ROOT,
+            cur_routine: usize::MAX,
+            cur_node: ROOT,
+        }
     }
 
-    /// Attributes one retired instruction and its cycle delta to the
-    /// bucket owning `pc`.
+    /// The node for `routine` under `context`, folding into `context`
+    /// itself when it already is that routine (delay slots of calls and
+    /// direct recursion).
+    fn node_for(&mut self, context: u32, routine: u32) -> u32 {
+        if context != ROOT && self.nodes[context as usize].routine == routine {
+            return context;
+        }
+        match self.children.entry((context, routine)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(CallNode {
+                    parent: context,
+                    routine,
+                    instructions: 0,
+                    cycles: 0,
+                    activity: ActivitySlice::default(),
+                });
+                e.insert(id);
+                id
+            }
+        }
+    }
+
+    /// Attributes one retired instruction: its cycle delta and counted
+    /// activity go to the bucket owning `pc` and to the current
+    /// call-tree node, then `event` advances the shadow stack.
     #[inline]
-    pub fn record(&mut self, pc: u32, cycles: u64) {
+    pub fn record(
+        &mut self,
+        pc: u32,
+        cycles: u64,
+        activity: &ActivitySlice,
+        event: Option<ControlEvent>,
+    ) {
         let idx = match self.starts.binary_search(&pc) {
             Ok(i) => i,
             Err(i) => i - 1, // starts[0] == 0 covers every pc
@@ -123,12 +462,48 @@ impl PcProfiler {
         let b = &mut self.buckets[idx];
         b.instructions += 1;
         b.cycles += cycles;
+        b.activity.accumulate(activity);
+
+        if idx != self.cur_routine {
+            self.cur_routine = idx;
+            self.cur_node = self.node_for(self.context, idx as u32);
+        }
+        let n = &mut self.nodes[self.cur_node as usize];
+        n.instructions += 1;
+        n.cycles += cycles;
+        n.activity.accumulate(activity);
+
+        match event {
+            Some(ControlEvent::Call { ret }) if self.stack.len() < MAX_SHADOW_DEPTH => {
+                self.stack.push(Frame {
+                    ret,
+                    caller: self.cur_node,
+                });
+                self.context = self.cur_node;
+                self.cur_node = self.node_for(self.context, self.cur_routine as u32);
+            }
+            Some(ControlEvent::JumpReg { target }) => {
+                // Pop to the youngest frame expecting this return
+                // address; frames above it were abandoned by tail
+                // calls. A miss means a tail call or computed jump:
+                // the stack is untouched and the leaf just changes.
+                if let Some(pos) = self.stack.iter().rposition(|f| f.ret == target) {
+                    let frame = self.stack[pos];
+                    self.stack.truncate(pos);
+                    self.context = frame.caller;
+                    self.cur_node = self.node_for(self.context, self.cur_routine as u32);
+                }
+            }
+            // Calls past MAX_SHADOW_DEPTH fold into the current node.
+            Some(ControlEvent::Call { .. }) | None => {}
+        }
     }
 
     /// Finishes the run, yielding the per-routine breakdown.
     pub fn finish(self) -> RoutineProfile {
         RoutineProfile {
             routines: self.buckets,
+            calls: CallGraph { nodes: self.nodes },
         }
     }
 }
@@ -141,28 +516,40 @@ mod tests {
         vec![(0x10, "a".to_owned()), (0x40, "b/c".to_owned())]
     }
 
+    fn act(ram_reads: u64) -> ActivitySlice {
+        ActivitySlice {
+            ram_reads,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn attribution_covers_prelude_and_boundaries() {
         let mut p = PcProfiler::new(&syms());
-        p.record(0x0, 3); // prelude
-        p.record(0x10, 2); // first instr of a
-        p.record(0x3c, 1); // last instr of a
-        p.record(0x40, 5); // b/c
-        p.record(0x1000, 7); // past last label -> b/c
+        p.record(0x0, 3, &act(1), None); // prelude
+        p.record(0x10, 2, &act(0), None); // first instr of a
+        p.record(0x3c, 1, &act(2), None); // last instr of a
+        p.record(0x40, 5, &act(0), None); // b/c
+        p.record(0x1000, 7, &act(4), None); // past last label -> b/c
         let prof = p.finish();
         assert_eq!(prof.total_cycles(), 18);
         assert_eq!(prof.total_instructions(), 5);
         assert_eq!(prof.routine("(prelude)").unwrap().cycles, 3);
         assert_eq!(prof.routine("a").unwrap().cycles, 3);
+        assert_eq!(prof.routine("a").unwrap().activity.ram_reads, 2);
         assert_eq!(prof.routine("b/c").unwrap().cycles, 12);
+        assert_eq!(prof.routine("b/c").unwrap().activity.ram_reads, 4);
         assert_eq!(prof.find("c").unwrap().start, 0x40);
         assert!(prof.find("zz").is_none());
+        // Flat and call-tree exclusive totals agree.
+        assert_eq!(prof.calls.total_cycles(), 18);
+        assert_eq!(prof.calls.root_inclusive_cycles(), 18);
     }
 
     #[test]
     fn no_prelude_bucket_when_label_at_zero() {
         let mut p = PcProfiler::new(&[(0, "start".to_owned())]);
-        p.record(0, 1);
+        p.record(0, 1, &act(0), None);
         let prof = p.finish();
         assert_eq!(prof.routines.len(), 1);
         assert_eq!(prof.routine("start").unwrap().cycles, 1);
@@ -172,14 +559,154 @@ mod tests {
     fn merge_accumulates() {
         let mut a = RoutineProfile::default();
         let mut p = PcProfiler::new(&syms());
-        p.record(0x10, 2);
+        p.record(0x10, 2, &act(1), None);
         a.merge(&p.finish());
         let mut p = PcProfiler::new(&syms());
-        p.record(0x10, 3);
-        p.record(0x40, 4);
+        p.record(0x10, 3, &act(1), None);
+        p.record(0x40, 4, &act(0), None);
         a.merge(&p.finish());
         assert_eq!(a.routine("a").unwrap().cycles, 5);
+        assert_eq!(a.routine("a").unwrap().activity.ram_reads, 2);
         assert_eq!(a.routine("b/c").unwrap().cycles, 4);
         assert_eq!(a.total_cycles(), 9);
+        // Call trees merged by path: one node for `a`, one for `b/c`.
+        assert_eq!(a.calls.nodes.len(), 2);
+        assert_eq!(a.calls.total_cycles(), 9);
+    }
+
+    /// A scripted call scenario: main calls a (twice), a calls b; with
+    /// the delay slot of each call billed to the caller.
+    #[test]
+    fn shadow_stack_builds_call_tree() {
+        let syms = vec![
+            (0x00, "main".to_owned()),
+            (0x40, "a".to_owned()),
+            (0x80, "b".to_owned()),
+        ];
+        let mut p = PcProfiler::new(&syms);
+        let a0 = act(0);
+        // main: jal a (ret 0x10), delay slot, then a runs.
+        p.record(0x08, 1, &a0, Some(ControlEvent::Call { ret: 0x10 }));
+        p.record(0x0c, 1, &a0, None); // delay slot -> main's node
+                                      // a: jal b (ret 0x50), delay slot, b body, jr back to a.
+        p.record(0x40, 1, &a0, None);
+        p.record(0x48, 1, &a0, Some(ControlEvent::Call { ret: 0x50 }));
+        p.record(0x4c, 1, &a0, None); // delay slot -> main;a
+        p.record(0x80, 2, &a0, None); // b body -> main;a;b
+        p.record(0x84, 1, &a0, Some(ControlEvent::JumpReg { target: 0x50 }));
+        p.record(0x88, 1, &a0, None); // return delay slot -> main;a;b
+                                      // back in a; jr back to main.
+        p.record(0x50, 1, &a0, Some(ControlEvent::JumpReg { target: 0x10 }));
+        p.record(0x54, 1, &a0, None); // return delay slot -> main;a
+                                      // main again; second call to a.
+        p.record(0x10, 1, &a0, Some(ControlEvent::Call { ret: 0x18 }));
+        p.record(0x14, 1, &a0, None);
+        p.record(0x40, 3, &a0, Some(ControlEvent::JumpReg { target: 0x18 }));
+        p.record(0x44, 1, &a0, None);
+        p.record(0x18, 1, &a0, None);
+        let prof = p.finish();
+
+        let paths: Vec<(String, u64)> = prof
+            .call_paths()
+            .into_iter()
+            .map(|(path, n)| (path, n.cycles))
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("main".to_owned(), 5),
+                ("main;a".to_owned(), 9),
+                ("main;a;b".to_owned(), 4),
+            ]
+        );
+        // Exclusive sums == root inclusive == flat total.
+        assert_eq!(prof.calls.total_cycles(), prof.total_cycles());
+        assert_eq!(prof.calls.root_inclusive_cycles(), prof.total_cycles());
+        let inc = prof.calls.inclusive_cycles();
+        assert_eq!(inc, vec![18, 13, 4]);
+    }
+
+    /// Direct recursion folds into the existing frame: f -> f -> f
+    /// yields a single `main;f` node, and the same-site return
+    /// addresses pop one frame at a time.
+    #[test]
+    fn direct_recursion_folds() {
+        let syms = vec![(0x00, "main".to_owned()), (0x40, "f".to_owned())];
+        let mut p = PcProfiler::new(&syms);
+        let a0 = act(0);
+        p.record(0x00, 1, &a0, Some(ControlEvent::Call { ret: 0x08 }));
+        // f calls itself twice from the same site (ret 0x50 both times).
+        p.record(0x40, 1, &a0, None);
+        p.record(0x48, 1, &a0, Some(ControlEvent::Call { ret: 0x50 }));
+        p.record(0x40, 1, &a0, None);
+        p.record(0x48, 1, &a0, Some(ControlEvent::Call { ret: 0x50 }));
+        p.record(0x40, 1, &a0, None);
+        // Innermost returns, then the outer recursive call returns.
+        p.record(0x5c, 1, &a0, Some(ControlEvent::JumpReg { target: 0x50 }));
+        p.record(0x50, 1, &a0, Some(ControlEvent::JumpReg { target: 0x50 }));
+        p.record(0x50, 1, &a0, Some(ControlEvent::JumpReg { target: 0x08 }));
+        p.record(0x08, 1, &a0, None);
+        let prof = p.finish();
+        let paths: Vec<String> = prof.call_paths().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(paths, vec!["main".to_owned(), "main;f".to_owned()]);
+        assert_eq!(prof.calls.nodes[1].cycles, 8);
+        assert_eq!(prof.calls.total_cycles(), prof.total_cycles());
+    }
+
+    /// A tail call (`jr` to a routine entry, matching no return
+    /// address) swaps the leaf under the same caller; the tail-callee's
+    /// eventual `jr $ra` pops the original frame.
+    #[test]
+    fn tail_call_is_sibling_and_return_pops_original_frame() {
+        let syms = vec![
+            (0x00, "main".to_owned()),
+            (0x40, "a".to_owned()),
+            (0x80, "c".to_owned()),
+        ];
+        let mut p = PcProfiler::new(&syms);
+        let a0 = act(0);
+        p.record(0x00, 1, &a0, Some(ControlEvent::Call { ret: 0x08 }));
+        p.record(0x40, 2, &a0, None); // a body
+                                      // a tail-jumps to c: target 0x80 matches no frame.
+        p.record(0x44, 1, &a0, Some(ControlEvent::JumpReg { target: 0x80 }));
+        p.record(0x80, 3, &a0, None); // c body -> main;c (sibling of main;a)
+                                      // c returns through the shared $ra, popping main's frame.
+        p.record(0x84, 1, &a0, Some(ControlEvent::JumpReg { target: 0x08 }));
+        p.record(0x08, 1, &a0, None);
+        let prof = p.finish();
+        let paths: Vec<(String, u64)> = prof
+            .call_paths()
+            .into_iter()
+            .map(|(path, n)| (path, n.cycles))
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("main".to_owned(), 2),
+                ("main;a".to_owned(), 3),
+                ("main;c".to_owned(), 4),
+            ]
+        );
+        assert_eq!(prof.calls.root_inclusive_cycles(), prof.total_cycles());
+    }
+
+    #[test]
+    fn sorted_routines_orders_by_cycles_then_name() {
+        let syms = vec![
+            (0x00, "zz".to_owned()),
+            (0x40, "aa".to_owned()),
+            (0x80, "mm".to_owned()),
+        ];
+        let mut p = PcProfiler::new(&syms);
+        p.record(0x00, 5, &act(0), None);
+        p.record(0x40, 5, &act(0), None);
+        p.record(0x80, 9, &act(0), None);
+        let prof = p.finish();
+        let order: Vec<&str> = prof
+            .sorted_routines()
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(order, vec!["mm", "aa", "zz"]);
     }
 }
