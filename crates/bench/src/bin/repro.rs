@@ -31,7 +31,8 @@ fn print_help() {
     println!("       repro verify [verify-options]");
     println!("       repro diff OLD.jsonl NEW.jsonl [--max-cycles-pct X] [--max-energy-pct X]");
     println!("       repro profile [profile-options]");
-    println!("       repro check [--flame PATH] [--trace-events PATH]");
+    println!("       repro explore [explore-options]");
+    println!("       repro check [--flame PATH] [--trace-events PATH] [--journal PATH]");
     println!();
     println!("options:");
     println!("  --list              list experiment ids and exit");
@@ -80,6 +81,24 @@ fn print_help() {
     println!("  --flame PATH        also write collapsed flamegraph stacks");
     println!("  --flame-weight W    `cycles` (default) or `nj`");
     println!("  --trace-events PATH also write Chrome trace-event JSON");
+    println!();
+    println!("explore-options (design-space exploration with Pareto extraction):");
+    println!(
+        "  --space S           built-in space ({}) or",
+        ule_dse::spaces::BUILTIN_NAMES.join("|")
+    );
+    println!("                      a path to a JSON space file (see DESIGN.md \u{a7}12)");
+    println!("  --strategy grid|greedy");
+    println!("                      exhaustive grid (default) or frontier-guided pruner");
+    println!("  --seed S            schedule seed for greedy: hex, decimal, or any");
+    println!("                      token (hashed deterministically; default 0xULE)");
+    println!("  --out PATH          resumable JSONL journal: design_point lines are");
+    println!("                      appended as points finish, frontier + dse_summary");
+    println!("                      records close the file; an existing journal at PATH");
+    println!("                      is resumed without re-simulating matching points");
+    println!("  --threads N         batch fan-out width (positive integer)");
+    println!("  --report            print the frontier table of the journal at --out");
+    println!("                      (no exploration; references are simulated on demand)");
     println!();
     println!("diff exit codes: 0 no drift, 1 drift or removed points, 2 usage/parse error");
     println!();
@@ -193,6 +212,7 @@ fn run_diff(args: impl Iterator<Item = String>) -> ! {
 fn run_check(args: impl Iterator<Item = String>) -> ! {
     let mut flame: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
     let args_v: Vec<String> = args.collect();
     let mut i = 0;
     while i < args_v.len() {
@@ -206,6 +226,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
         match args_v[i].as_str() {
             "--flame" => flame = Some(take(&mut i, "--flame")),
             "--trace-events" => trace = Some(take(&mut i, "--trace-events")),
+            "--journal" => journal = Some(take(&mut i, "--journal")),
             other => {
                 eprintln!("unknown check option {other:?}");
                 std::process::exit(2);
@@ -213,8 +234,8 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
         }
         i += 1;
     }
-    if flame.is_none() && trace.is_none() {
-        eprintln!("usage: repro check [--flame PATH] [--trace-events PATH]");
+    if flame.is_none() && trace.is_none() && journal.is_none() {
+        eprintln!("usage: repro check [--flame PATH] [--trace-events PATH] [--journal PATH]");
         std::process::exit(2);
     }
     let read = |p: &PathBuf| -> String {
@@ -252,6 +273,27 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
             ),
             Err(e) => {
                 eprintln!("{}: INVALID trace events: {e}", p.display());
+                failed = true;
+            }
+        }
+    }
+    if let Some(p) = &journal {
+        match ule_dse::journal::validate_journal(&read(p)) {
+            Ok(stats) => {
+                print!(
+                    "{}: {} design points, {} frontier points, {} summary",
+                    p.display(),
+                    stats.design_points,
+                    stats.frontier_points,
+                    stats.summaries
+                );
+                if stats.unknown > 0 {
+                    print!(", {} unknown-kind lines skipped", stats.unknown);
+                }
+                println!();
+            }
+            Err(e) => {
+                eprintln!("{}: INVALID explorer journal: {e}", p.display());
                 failed = true;
             }
         }
@@ -449,6 +491,147 @@ fn run_verify(args: impl Iterator<Item = String>, trace_path: Option<PathBuf>) -
     std::process::exit(if report.divergences.is_empty() { 0 } else { 1 });
 }
 
+/// `repro explore …`: enumerate a design-space lattice, evaluate it
+/// through the memoizing engine, and print the Pareto frontier. With
+/// `--report`, skip exploration and render the frontier table of an
+/// existing journal instead.
+fn run_explore(args: impl Iterator<Item = String>) -> ! {
+    let mut space_arg: Option<String> = None;
+    let mut strategy_arg = String::from("grid");
+    let mut seed = ule_verify::parse_seed("0xULE");
+    let mut out: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut report = false;
+    let args_v: Vec<String> = args.collect();
+    let mut i = 0;
+    let take = |i: &mut usize, args_v: &[String], flag: &str| -> String {
+        *i += 1;
+        match args_v.get(*i) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            }
+        }
+    };
+    while i < args_v.len() {
+        match args_v[i].as_str() {
+            "--space" => space_arg = Some(take(&mut i, &args_v, "--space")),
+            "--strategy" => strategy_arg = take(&mut i, &args_v, "--strategy"),
+            "--seed" => seed = ule_verify::parse_seed(&take(&mut i, &args_v, "--seed")),
+            "--out" => out = Some(PathBuf::from(take(&mut i, &args_v, "--out"))),
+            "--threads" => {
+                let v = take(&mut i, &args_v, "--threads");
+                threads = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--threads expects a positive integer");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--report" => report = true,
+            other => {
+                eprintln!("unknown explore option {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut engine = SweepEngine::new();
+    if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+
+    if report {
+        let Some(path) = &out else {
+            eprintln!("--report renders an existing journal: pass its path via --out");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let outcome = ule_dse::explore::outcome_from_journal(&text).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(2);
+        });
+        match ule_dse::explore::render_report(&engine, &outcome) {
+            Ok(table) => {
+                print!("{table}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let Some(space_str) = space_arg else {
+        eprintln!(
+            "explore needs --space: one of {}, or a space-file path",
+            ule_dse::spaces::BUILTIN_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let space = match ule_dse::spaces::builtin(&space_str) {
+        Some(s) => s,
+        None => {
+            let text = std::fs::read_to_string(&space_str).unwrap_or_else(|e| {
+                eprintln!(
+                    "--space {space_str:?} is neither a built-in ({}) nor a readable file: {e}",
+                    ule_dse::spaces::BUILTIN_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            });
+            ule_dse::spaces::parse_space_file(&text).unwrap_or_else(|e| {
+                eprintln!("{space_str}: {e}");
+                std::process::exit(2);
+            })
+        }
+    };
+    let mut strategy: Box<dyn ule_dse::Strategy> = match strategy_arg.as_str() {
+        "grid" => Box::new(ule_dse::Grid::new()),
+        "greedy" => Box::new(ule_dse::Greedy::new(seed)),
+        other => {
+            eprintln!("--strategy expects `grid` or `greedy`, got {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = ule_dse::explore(&engine, &space, strategy.as_mut(), seed, out.as_deref())
+        .unwrap_or_else(|e| {
+            eprintln!("explore: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "space {} ({}): {} lattice points, {} pruned, {} evaluated \
+         ({} resumed, {} simulated), frontier {}",
+        outcome.space,
+        ule_core::metrics::workload_key(outcome.workload),
+        outcome.lattice_points,
+        outcome.pruned,
+        outcome.evaluated,
+        outcome.resumed,
+        outcome.simulated,
+        outcome.frontier.len()
+    );
+    if let Some(path) = &out {
+        eprintln!("wrote journal to {}", path.display());
+    }
+    println!();
+    match ule_dse::explore::render_report(&engine, &outcome) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("report: {e}");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0)
+}
+
 fn usage() -> ! {
     eprintln!("usage: repro [options] <experiment-id>... | all | --list");
     eprintln!("run `repro --help` for the option list");
@@ -550,6 +733,7 @@ fn main() {
             "diff" => run_diff(args),
             "check" => run_check(args),
             "profile" => run_profile(args),
+            "explore" => run_explore(args),
             "all" => selected.extend(ExperimentId::ALL),
             other => match ExperimentId::from_str(other) {
                 Ok(id) => selected.push(id),

@@ -10,30 +10,14 @@
 //! to a process exit code so CI can gate on it: 0 clean, 1 drift,
 //! 2 usage/parse error.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use ule_obs::json::{self, Json};
 
-/// The configuration keys that identify a design point. Two records
-/// with equal values for all of these describe the same point and are
-/// joined for comparison.
-pub const IDENTITY_KEYS: [&str; 15] = [
-    "curve",
-    "arch",
-    "workload",
-    "icache_present",
-    "icache_size_bytes",
-    "icache_prefetch",
-    "icache_ideal",
-    "icache_miss_penalty",
-    "monte_double_buffer",
-    "monte_forwarding",
-    "monte_queue_depth",
-    "billie_digit",
-    "mult_variant",
-    "gating",
-    "billie_sram_rf",
-];
+// The join keys live in `ule-core` next to the record writer, so the
+// writer and every reader (diff, the dse journal) share one source.
+pub use ule_core::metrics::IDENTITY_KEYS;
 
 /// Relative drift thresholds (fractions, not percent). The defaults are
 /// zero: the simulator is deterministic, so any drift is a change.
@@ -79,6 +63,11 @@ pub struct DiffReport {
     pub removed: Vec<String>,
     /// Points only in the new file — informational, not a failure.
     pub added: Vec<String>,
+    /// Non-`design_point` records skipped while parsing (both files),
+    /// by record kind. Forward compatibility: an exploration journal's
+    /// `frontier`/`dse_summary` lines — or kinds from a future schema —
+    /// must not break a diff, but their presence is reported.
+    pub skipped: BTreeMap<String, usize>,
 }
 
 impl DiffReport {
@@ -134,6 +123,18 @@ impl fmt::Display for DiffReport {
         for l in &self.added {
             writeln!(f, "  added   {l}")?;
         }
+        if !self.skipped.is_empty() {
+            let kinds: Vec<String> = self
+                .skipped
+                .iter()
+                .map(|(k, n)| format!("{k} x{n}"))
+                .collect();
+            writeln!(
+                f,
+                "  skipped non-design-point records: {}",
+                kinds.join(", ")
+            )?;
+        }
         Ok(())
     }
 }
@@ -169,9 +170,15 @@ fn fmt_value(v: &Json) -> String {
 }
 
 /// Parses the `design_point` records of a metrics JSONL document.
-/// Unknown record kinds (e.g. `engine_summary`) are skipped; malformed
-/// JSON or a design point missing a required key is an error.
-fn parse_points(name: &str, text: &str) -> Result<Vec<Point>, String> {
+/// Other record kinds — `engine_summary`, an exploration journal's
+/// `frontier`/`dse_summary`, anything from a future schema — are
+/// skipped and counted into `skipped`; malformed JSON or a design
+/// point missing a required key is an error.
+fn parse_points(
+    name: &str,
+    text: &str,
+    skipped: &mut BTreeMap<String, usize>,
+) -> Result<Vec<Point>, String> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let n = lineno + 1;
@@ -185,6 +192,7 @@ fn parse_points(name: &str, text: &str) -> Result<Vec<Point>, String> {
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("{name}:{n}: no \"record\" kind"))?;
         if kind != "design_point" {
+            *skipped.entry(kind.to_owned()).or_insert(0) += 1;
             continue;
         }
         let mut identity = String::new();
@@ -248,11 +256,15 @@ pub fn diff_metrics(
     new_text: &str,
     thresholds: DiffThresholds,
 ) -> Result<DiffReport, String> {
-    let mut old_points = parse_points(old_name, old_text)?;
-    let mut new_points = parse_points(new_name, new_text)?;
+    let mut skipped = BTreeMap::new();
+    let mut old_points = parse_points(old_name, old_text, &mut skipped)?;
+    let mut new_points = parse_points(new_name, new_text, &mut skipped)?;
     disambiguate(&mut old_points);
     disambiguate(&mut new_points);
-    let mut report = DiffReport::default();
+    let mut report = DiffReport {
+        skipped,
+        ..DiffReport::default()
+    };
     let mut new_used = vec![false; new_points.len()];
     for o in &old_points {
         match new_points
@@ -376,6 +388,29 @@ mod tests {
         )
         .unwrap();
         assert!(r.is_clean());
+    }
+
+    #[test]
+    fn journal_records_are_skipped_and_counted() {
+        // A dse exploration journal diffs cleanly against a plain
+        // metrics file: its frontier/dse_summary lines (and any future
+        // kind) are counted, not fatal, and don't affect the verdict.
+        let old = point("P-192", 100, 1.5);
+        let new = format!(
+            "{}\n{}\n{}\n{}\n",
+            point("P-192", 100, 1.5),
+            r#"{"record":"frontier","schema_version":3,"space":"s","rank":0}"#,
+            r#"{"record":"dse_summary","schema_version":3,"space":"s"}"#,
+            r#"{"record":"from_the_future","schema_version":9}"#,
+        );
+        let r = diff_metrics("a", &old, "b", &new, DiffThresholds::default()).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.skipped.get("frontier"), Some(&1));
+        assert_eq!(r.skipped.get("dse_summary"), Some(&1));
+        assert_eq!(r.skipped.get("from_the_future"), Some(&1));
+        let s = r.to_string();
+        assert!(s.contains("skipped non-design-point records"), "{s}");
+        assert!(s.contains("frontier x1"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Bridges `ule-dse`'s [`Evaluator`] seam onto the [`SweepEngine`]:
+//! batches from the explorer fan out across the engine's worker
+//! threads and hit its memo cache, so a frontier-guided strategy that
+//! revisits a point (or the `--report` reference configs) never
+//! re-simulates. Results come back in submission order, which keeps
+//! the explorer's journal deterministic.
+
+use crate::sweep::SweepEngine;
+use ule_core::metrics::design_point_record;
+use ule_core::{SystemConfig, Workload};
+use ule_dse::{Evaluator, PointEval};
+
+impl Evaluator for SweepEngine {
+    fn evaluate(&self, jobs: &[(SystemConfig, Workload)]) -> Vec<PointEval> {
+        let reports = self.run_batch(jobs);
+        jobs.iter()
+            .zip(&reports)
+            .map(|(&(config, workload), report)| PointEval {
+                record: design_point_record(&config, workload, report),
+                cycles: report.cycles,
+                energy_uj: report.energy_uj(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_curves::params::CurveId;
+    use ule_swlib::builder::Arch;
+
+    #[test]
+    fn engine_evaluates_in_submission_order_with_memoization() {
+        let engine = SweepEngine::new().with_threads(2);
+        let a = (
+            SystemConfig::new(CurveId::P192, Arch::Baseline),
+            Workload::FieldMul,
+        );
+        let b = (
+            SystemConfig::new(CurveId::P192, Arch::IsaExt),
+            Workload::FieldMul,
+        );
+        let evals = engine.evaluate(&[a, b, a]);
+        assert_eq!(evals.len(), 3);
+        assert_eq!(evals[0].cycles, evals[2].cycles);
+        assert_ne!(evals[0].cycles, evals[1].cycles);
+        // The duplicate came from the memo cache, not a third run.
+        assert_eq!(engine.simulations(), 2);
+        // The record really is a design_point line for the right config.
+        assert_eq!(
+            evals[1].record.get("arch"),
+            Some(&ule_obs::Value::Str("isa_ext".into()))
+        );
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod diff;
 pub mod experiments;
+pub mod explore;
 pub mod metrics_out;
 pub mod prior;
 pub mod sweep;

@@ -56,6 +56,36 @@ fn metrics_schema_matches_golden() {
         actual.push('\n');
     }
 
+    // The explorer journal's record kinds (new in v3), pinned alongside
+    // the sweep records so `frontier`/`dse_summary` key drift is caught
+    // by the same golden file.
+    let objectives = ule_dse::Objectives {
+        cycles: 1,
+        energy_uj: 2.0,
+        area_kge: 3.0,
+    };
+    let frontier =
+        ule_dse::journal::frontier_record("smoke", 0, &jobs[0].0, jobs[0].1, &objectives);
+    let summary = ule_dse::journal::dse_summary_record("smoke", jobs[0].1, "grid", 0, 1, 0, 1, 1);
+    for rec in [&frontier, &summary] {
+        let Some(Value::Str(kind)) = rec.get("record") else {
+            panic!("record without a kind");
+        };
+        assert_eq!(
+            rec.get("schema_version"),
+            Some(&Value::U64(SCHEMA_VERSION)),
+            "record {kind} carries the schema version"
+        );
+        let line = rec.to_json();
+        assert!(is_valid(&line), "invalid JSON: {line}");
+        actual.push_str(&format!("[{kind}]\n"));
+        for key in rec.keys() {
+            actual.push_str(key);
+            actual.push('\n');
+        }
+        actual.push('\n');
+    }
+
     // The one nested field: the key set of a v2 `profile` entry, pinned
     // from a real profiled run.
     let profiled = System::new(jobs[0].0).run_profiled(jobs[0].1);

@@ -28,6 +28,7 @@
 
 pub mod attr;
 pub mod metrics;
+pub mod space;
 
 use ule_billie::{Billie, BillieConfig};
 use ule_curves::binary::AffinePoint2m;

@@ -21,7 +21,7 @@ use ule_pete::profile::RoutineProfile;
 use ule_swlib::builder::Arch;
 
 /// Stable identifier for an architecture.
-fn arch_key(a: Arch) -> &'static str {
+pub fn arch_key(a: Arch) -> &'static str {
     match a {
         Arch::Baseline => "baseline",
         Arch::IsaExt => "isa_ext",
@@ -31,7 +31,7 @@ fn arch_key(a: Arch) -> &'static str {
 }
 
 /// Stable identifier for a §7.8 multiplier variant.
-fn mult_variant_key(v: MultVariant) -> &'static str {
+pub fn mult_variant_key(v: MultVariant) -> &'static str {
     match v {
         MultVariant::Karatsuba => "karatsuba",
         MultVariant::OperandScan => "operand_scan",
@@ -40,7 +40,7 @@ fn mult_variant_key(v: MultVariant) -> &'static str {
 }
 
 /// Stable identifier for a gating strategy.
-fn gating_key(g: Gating) -> &'static str {
+pub fn gating_key(g: Gating) -> &'static str {
     match g {
         Gating::None => "none",
         Gating::Clock => "clock",
@@ -57,6 +57,104 @@ pub fn workload_key(w: Workload) -> &'static str {
         Workload::ScalarMul => "scalar_mul",
         Workload::FieldMul => "field_mul",
     }
+}
+
+/// The record keys that identify a design point. Two records with
+/// equal values for all of these describe the same configuration ×
+/// workload; `repro diff` joins on them, and the explorer's journal
+/// resume matches persisted points against the lattice with them.
+pub const IDENTITY_KEYS: [&str; 15] = [
+    "curve",
+    "arch",
+    "workload",
+    "icache_present",
+    "icache_size_bytes",
+    "icache_prefetch",
+    "icache_ideal",
+    "icache_miss_penalty",
+    "monte_double_buffer",
+    "monte_forwarding",
+    "monte_queue_depth",
+    "billie_digit",
+    "mult_variant",
+    "gating",
+    "billie_sram_rf",
+];
+
+/// The canonical identity string of one design point: every
+/// [`IDENTITY_KEYS`] entry as `key=value|`, in key order, with values
+/// formatted exactly as they round-trip through a serialized
+/// [`design_point_record`] (so an identity built from a live config and
+/// one re-parsed from a journal line compare equal byte-for-byte).
+pub fn config_identity(config: &SystemConfig, workload: Workload) -> String {
+    let SystemConfig {
+        curve,
+        arch,
+        icache,
+        monte,
+        billie_digit,
+        mult_variant,
+        gating,
+        billie_sram_rf,
+    } = *config;
+    let mut s = String::new();
+    let mut kv = |k: &str, v: &str| {
+        s.push_str(k);
+        s.push('=');
+        s.push_str(v);
+        s.push('|');
+    };
+    kv("curve", curve.name());
+    kv("arch", arch_key(arch));
+    kv("workload", workload_key(workload));
+    kv(
+        "icache_present",
+        if icache.is_some() { "true" } else { "false" },
+    );
+    kv(
+        "icache_size_bytes",
+        &icache.map(|c| c.size_bytes as u64).unwrap_or(0).to_string(),
+    );
+    kv(
+        "icache_prefetch",
+        if icache.map(|c| c.prefetch).unwrap_or(false) {
+            "true"
+        } else {
+            "false"
+        },
+    );
+    kv(
+        "icache_ideal",
+        if icache.map(|c| c.ideal).unwrap_or(false) {
+            "true"
+        } else {
+            "false"
+        },
+    );
+    kv(
+        "icache_miss_penalty",
+        &icache
+            .map(|c| c.miss_penalty as u64)
+            .unwrap_or(0)
+            .to_string(),
+    );
+    kv(
+        "monte_double_buffer",
+        if monte.double_buffer { "true" } else { "false" },
+    );
+    kv(
+        "monte_forwarding",
+        if monte.forwarding { "true" } else { "false" },
+    );
+    kv("monte_queue_depth", &(monte.queue_depth as u64).to_string());
+    kv("billie_digit", &(billie_digit as u64).to_string());
+    kv("mult_variant", mult_variant_key(mult_variant));
+    kv("gating", gating_key(gating));
+    kv(
+        "billie_sram_rf",
+        if billie_sram_rf { "true" } else { "false" },
+    );
+    s
 }
 
 /// Flattens one design point (config + workload + simulation report)
@@ -104,10 +202,12 @@ pub fn design_point_record(
     r.push("gating", gating_key(gating));
     r.push("billie_sram_rf", billie_sram_rf);
 
-    // Headline results.
+    // Headline results (area is a pure function of the config — the
+    // third objective of the `ule-dse` Pareto frontiers).
     r.push("cycles", report.cycles);
     r.push("time_ms", report.time_ms());
     r.push("energy_uj", report.energy_uj());
+    r.push("area_kge", crate::space::area_kge(config));
 
     // Pipeline counters. Exhaustive.
     let Counters {
@@ -285,6 +385,30 @@ mod tests {
         assert_eq!(rec.get("cycles"), Some(&ule_obs::Value::U64(report.cycles)));
         // Non-profiled run: no profile field.
         assert!(rec.get("profile").is_none());
+    }
+
+    #[test]
+    fn config_identity_matches_serialized_record_round_trip() {
+        // The identity built from the live config must equal the one a
+        // journal/diff reader reconstructs from the serialized record.
+        let cfg = SystemConfig::new(CurveId::K163, Arch::Billie)
+            .with_billie_digit(5)
+            .with_billie_sram_rf(true);
+        let report = System::new(cfg).run(Workload::ScalarMul);
+        let rec = design_point_record(&cfg, Workload::ScalarMul, &report);
+        let doc = ule_obs::json::parse(&rec.to_json()).unwrap();
+        let mut reparsed = String::new();
+        for key in IDENTITY_KEYS {
+            let v = doc.get(key).unwrap();
+            let s = match v {
+                ule_obs::json::Json::Bool(b) => b.to_string(),
+                ule_obs::json::Json::U64(n) => n.to_string(),
+                ule_obs::json::Json::Str(s) => s.clone(),
+                other => panic!("unexpected identity value {other:?}"),
+            };
+            reparsed.push_str(&format!("{key}={s}|"));
+        }
+        assert_eq!(config_identity(&cfg, Workload::ScalarMul), reparsed);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Property tests for the Pareto dominance kernel: seeded-random point
+//! clouds must always yield an antichain, the same frontier regardless
+//! of insertion order, and a frontier that both comes from and covers
+//! the evaluated set.
+
+use ule_dse::{dominates, Objectives, ParetoFront};
+use ule_testkit::Rng;
+
+/// Random objectives drawn from a small grid so dominance relations
+/// (including exact ties) are common, not vanishingly rare.
+fn random_objectives(rng: &mut Rng) -> Objectives {
+    Objectives {
+        cycles: rng.below(40),
+        energy_uj: rng.below(40) as f64 * 0.25,
+        area_kge: rng.below(40) as f64 * 0.5,
+    }
+}
+
+fn random_cloud(seed: u64, n: usize) -> Vec<Objectives> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| random_objectives(&mut rng)).collect()
+}
+
+/// No frontier point may dominate another (with the id tie-break, so
+/// duplicate objectives cannot coexist on the frontier either).
+#[test]
+fn frontier_is_an_antichain() {
+    for seed in 0..8u64 {
+        let cloud = random_cloud(0x0A17_EC41 + seed, 400);
+        let mut front = ParetoFront::new();
+        for (id, obj) in cloud.iter().enumerate() {
+            front.insert(id, *obj);
+        }
+        let pts = front.points();
+        assert!(!pts.is_empty());
+        for a in pts {
+            for b in pts {
+                if a.id != b.id {
+                    assert!(
+                        !dominates(&a.objectives, a.id, &b.objectives, b.id),
+                        "seed {seed}: frontier point {} dominates frontier point {}",
+                        a.id,
+                        b.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The frontier is a pure function of the (id, objectives) set: any
+/// insertion order — including orders where dominated points arrive
+/// first and get evicted later — produces the same points.
+#[test]
+fn insertion_order_does_not_matter() {
+    let cloud = random_cloud(0x0D15_EA5E, 250);
+    let mut reference = ParetoFront::new();
+    for (id, obj) in cloud.iter().enumerate() {
+        reference.insert(id, *obj);
+    }
+
+    for seed in 0..12u64 {
+        let mut order: Vec<usize> = (0..cloud.len()).collect();
+        let mut rng = Rng::new(0x0511_7F7E * (seed + 1));
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let mut front = ParetoFront::new();
+        for &id in &order {
+            front.insert(id, cloud[id]);
+        }
+        assert_eq!(
+            front.points(),
+            reference.points(),
+            "shuffle seed {seed} changed the frontier"
+        );
+    }
+}
+
+/// Soundness and maximality: every frontier point is one of the
+/// inserted points (id and objectives both), and every inserted point
+/// that is NOT on the frontier is dominated by some frontier point.
+#[test]
+fn frontier_is_the_maximal_subset_of_the_evaluated_set() {
+    for seed in 0..8u64 {
+        let cloud = random_cloud(0xBEEF_0000 + seed, 300);
+        let mut front = ParetoFront::new();
+        for (id, obj) in cloud.iter().enumerate() {
+            front.insert(id, *obj);
+        }
+        for p in front.points() {
+            assert!(p.id < cloud.len(), "frontier id outside the evaluated set");
+            assert_eq!(
+                p.objectives, cloud[p.id],
+                "frontier objectives drifted from what was inserted"
+            );
+        }
+        for (id, obj) in cloud.iter().enumerate() {
+            if front.contains(id) {
+                continue;
+            }
+            assert!(
+                front
+                    .points()
+                    .iter()
+                    .any(|p| dominates(&p.objectives, p.id, obj, id)),
+                "seed {seed}: excluded point {id} is not dominated by any frontier point"
+            );
+        }
+    }
+}
+
+/// `insert` reports whether the point joined the frontier, and the
+/// frontier never grows past the number of inserts.
+#[test]
+fn insert_return_value_tracks_membership() {
+    let cloud = random_cloud(0xCAFE, 100);
+    let mut front = ParetoFront::new();
+    let mut inserted = 0usize;
+    for (id, obj) in cloud.iter().enumerate() {
+        if front.insert(id, *obj) {
+            assert!(front.contains(id), "insert returned true but point absent");
+        } else {
+            assert!(!front.contains(id), "insert returned false but point kept");
+        }
+        inserted += 1;
+        assert!(front.len() <= inserted);
+    }
+}

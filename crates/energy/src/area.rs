@@ -1,0 +1,211 @@
+//! Silicon-area proxy in kilo-gate-equivalents (kGE).
+//!
+//! The paper reports energy and performance but sizes its blocks only
+//! informally (synthesis at 45 nm, §6). The design-space explorer needs
+//! a *third* objective so that "just add more hardware" points (bigger
+//! caches, wider Billie digits) pay a visible cost, the way the
+//! trade-off frontiers of the related accelerator surveys do. This
+//! module provides that objective: a deterministic gate-count proxy per
+//! configuration, built from the same capacity parameters the energy
+//! model already uses.
+//!
+//! The proxy is *relative*, not sign-off area: constants are calibrated
+//! so the ordering matches the qualitative statements of the paper
+//! (Billie grows with field size and digit width; an instruction cache
+//! costs SRAM plus a controller; Monte is a fixed-size FFAU plus
+//! scratchpads). Absolute kGE values should only ever be compared
+//! against each other.
+
+/// Accelerator block, as the area model sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopArea {
+    /// Monte: fixed 32-bit FFAU datapath + front end + scratchpads.
+    Monte,
+    /// Billie: bit-parallel squarer/adder over GF(2^m) plus a
+    /// digit-serial multiplier whose partial-product array grows with
+    /// the digit width `digit`.
+    Billie {
+        /// Field degree m.
+        m: usize,
+        /// Multiplier digit width D (Fig 7.14 axis).
+        digit: usize,
+    },
+}
+
+/// The configuration facts the area proxy consumes. Decoupled from the
+/// simulator's config types so `ule-energy` stays dependency-free;
+/// `ule-core` converts from a `SystemConfig`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AreaInputs {
+    /// Instruction-cache capacity in bytes, when one is configured.
+    pub icache_size_bytes: Option<u32>,
+    /// Attached accelerator, if any.
+    pub cop: Option<CopArea>,
+    /// Billie register file in SRAM instead of flip-flops (§8
+    /// extension): denser cells, smaller register area.
+    pub billie_sram_rf: bool,
+}
+
+/// Pete core incl. the Hi/Lo multiplier (a small MIPS-like scalar
+/// core), kGE.
+pub const PETE_CORE_KGE: f64 = 35.0;
+
+/// ROM/RAM controllers, buses, and the always-present uncore glue, kGE.
+pub const UNCORE_BASE_KGE: f64 = 6.0;
+
+/// SRAM density: gate-equivalents per KB of capacity (6T cells plus
+/// decoders/sense amps, expressed in NAND2 equivalents), kGE per KB.
+pub const SRAM_KGE_PER_KB: f64 = 9.0;
+
+/// The 16 KB data RAM is part of every configuration.
+pub const RAM_BYTES: u32 = 16 * 1024;
+
+/// Extra cache controller + tag logic on top of the cache SRAM, kGE.
+pub const ICACHE_CTRL_KGE: f64 = 3.5;
+
+/// Monte: 32-bit FFAU datapath, microcode sequencer, DMA front end,
+/// kGE (scratchpads priced separately as SRAM).
+pub const MONTE_LOGIC_KGE: f64 = 28.0;
+
+/// Monte's AB/T scratch memories, bytes.
+pub const MONTE_SCRATCH_BYTES: u32 = 4 * 1024;
+
+/// Billie fixed front end (LSU, control), kGE.
+pub const BILLIE_BASE_KGE: f64 = 8.0;
+
+/// Billie per-field-bit register/squarer/adder area, kGE per bit.
+/// Three full-width operand registers plus the bit-parallel square and
+/// add networks all scale linearly with m.
+pub const BILLIE_KGE_PER_BIT: f64 = 0.030;
+
+/// Billie digit-serial multiplier: partial-product area per (field bit
+/// × digit bit), kGE. The D×m AND/XOR array is the block that grows
+/// when Fig 7.14 widens the digit.
+pub const BILLIE_MUL_KGE_PER_BIT_DIGIT: f64 = 0.011;
+
+/// Area factor on Billie's *register* share when the register file is
+/// SRAM instead of flip-flops (§8 extension): SRAM cells are denser.
+pub const BILLIE_SRAM_RF_AREA_FACTOR: f64 = 0.55;
+
+/// Share of [`BILLIE_KGE_PER_BIT`] that is register area (the rest is
+/// the squarer/adder logic), used by the SRAM-register-file rebate.
+pub const BILLIE_RF_SHARE: f64 = 0.6;
+
+/// SRAM macro area, kGE.
+pub fn sram_kge(capacity_bytes: u32) -> f64 {
+    SRAM_KGE_PER_KB * capacity_bytes as f64 / 1024.0
+}
+
+/// Total area proxy of one configuration, kGE.
+///
+/// Monotone by construction: adding a cache, attaching an accelerator,
+/// growing the cache, the field, or the digit width never *decreases*
+/// the result — the Pareto pressure the explorer relies on. The 256 KB
+/// program ROM is deliberately excluded: every configuration carries
+/// the same ROM, and a constant offset would only compress the relative
+/// differences the frontier cares about.
+pub fn area_kge(inputs: &AreaInputs) -> f64 {
+    let mut kge = PETE_CORE_KGE + UNCORE_BASE_KGE + sram_kge(RAM_BYTES);
+    if let Some(size) = inputs.icache_size_bytes {
+        kge += ICACHE_CTRL_KGE + sram_kge(size);
+    }
+    match inputs.cop {
+        Some(CopArea::Monte) => {
+            kge += MONTE_LOGIC_KGE + sram_kge(MONTE_SCRATCH_BYTES);
+        }
+        Some(CopArea::Billie { m, digit }) => {
+            let rf_factor = if inputs.billie_sram_rf {
+                BILLIE_RF_SHARE * BILLIE_SRAM_RF_AREA_FACTOR + (1.0 - BILLIE_RF_SHARE)
+            } else {
+                1.0
+            };
+            kge += BILLIE_BASE_KGE
+                + BILLIE_KGE_PER_BIT * m as f64 * rf_factor
+                + BILLIE_MUL_KGE_PER_BIT_DIGIT * m as f64 * digit as f64;
+        }
+        None => {}
+    }
+    kge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain() -> AreaInputs {
+        AreaInputs {
+            icache_size_bytes: None,
+            cop: None,
+            billie_sram_rf: false,
+        }
+    }
+
+    #[test]
+    fn baseline_is_the_smallest_system() {
+        let base = area_kge(&plain());
+        let cached = area_kge(&AreaInputs {
+            icache_size_bytes: Some(4 * 1024),
+            ..plain()
+        });
+        let monte = area_kge(&AreaInputs {
+            cop: Some(CopArea::Monte),
+            ..plain()
+        });
+        let billie = area_kge(&AreaInputs {
+            cop: Some(CopArea::Billie { m: 163, digit: 3 }),
+            ..plain()
+        });
+        assert!(base > 0.0);
+        assert!(cached > base);
+        assert!(monte > base);
+        assert!(billie > base);
+    }
+
+    #[test]
+    fn area_is_monotone_in_cache_size_field_and_digit() {
+        let cache = |b| {
+            area_kge(&AreaInputs {
+                icache_size_bytes: Some(b),
+                ..plain()
+            })
+        };
+        assert!(cache(1024) < cache(2048));
+        assert!(cache(2048) < cache(8192));
+        let billie = |m, digit| {
+            area_kge(&AreaInputs {
+                cop: Some(CopArea::Billie { m, digit }),
+                ..plain()
+            })
+        };
+        assert!(billie(163, 1) < billie(163, 3));
+        assert!(billie(163, 3) < billie(163, 16));
+        assert!(billie(163, 3) < billie(571, 3));
+    }
+
+    #[test]
+    fn sram_register_file_shrinks_billie() {
+        let mk = |sram| {
+            area_kge(&AreaInputs {
+                cop: Some(CopArea::Billie { m: 571, digit: 3 }),
+                billie_sram_rf: sram,
+                ..plain()
+            })
+        };
+        assert!(mk(true) < mk(false));
+    }
+
+    #[test]
+    fn big_billie_beats_monte_in_area() {
+        // A K-571 Billie datapath is a lot of XOR tree; the fixed-width
+        // FFAU stays put.
+        let monte = area_kge(&AreaInputs {
+            cop: Some(CopArea::Monte),
+            ..plain()
+        });
+        let billie = area_kge(&AreaInputs {
+            cop: Some(CopArea::Billie { m: 571, digit: 8 }),
+            ..plain()
+        });
+        assert!(billie > monte);
+    }
+}

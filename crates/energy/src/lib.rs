@@ -15,11 +15,14 @@
 //!   standalone study at 100 MHz / 0.9 V logic / 0.7 V memory);
 //! * [`report`] — turning a run's event counters ([`Activity`]) into an
 //!   energy breakdown by component, mirroring the stacked bars of
-//!   Figs 7.2/7.3/7.9.
+//!   Figs 7.2/7.3/7.9;
+//! * [`area`] — a kilo-gate-equivalent area proxy per configuration,
+//!   the third objective of the `ule-dse` Pareto frontiers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod area;
 pub mod constants;
 pub mod ffau;
 pub mod logic;

@@ -17,7 +17,10 @@ use crate::Value;
 /// v2: `design_point.profile` entries carry the per-routine activity
 /// counters and attributed energy, and are sorted (cycles descending,
 /// then name) instead of address-ordered.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: `design_point` gains the `area_kge` objective, and the `ule-dse`
+/// explorer journal adds the `frontier` and `dse_summary` record kinds.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One flat metrics record (one JSONL line).
 #[derive(Clone, Debug, PartialEq)]

@@ -24,6 +24,64 @@ pub struct CacheConfig {
     pub miss_penalty: u32,
 }
 
+/// Why a [`CacheConfig`] does not describe a buildable cache.
+///
+/// Returned by [`CacheConfig::validate`] so that callers constructing
+/// configurations programmatically (the `ule-dse` lattice in
+/// particular) get a typed, printable error at the boundary instead of
+/// a panic deep inside the I$ model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheGeometryError {
+    /// Capacity is smaller than one line — the cache would have zero
+    /// sets/ways.
+    SmallerThanLine {
+        /// The rejected capacity.
+        size_bytes: u32,
+    },
+    /// Capacity is not a power of two, so the direct-mapped index
+    /// cannot be taken from address bits.
+    NotPowerOfTwo {
+        /// The rejected capacity.
+        size_bytes: u32,
+    },
+}
+
+impl std::fmt::Display for CacheGeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CacheGeometryError::SmallerThanLine { size_bytes } => write!(
+                f,
+                "icache capacity {size_bytes} B is smaller than one {LINE_BYTES}-byte line"
+            ),
+            CacheGeometryError::NotPowerOfTwo { size_bytes } => write!(
+                f,
+                "icache capacity {size_bytes} B is not a power of two \
+                 (the direct-mapped index needs one)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheGeometryError {}
+
+impl CacheConfig {
+    /// Checks the geometry: the capacity must hold at least one line
+    /// and be a power of two (the direct-mapped index is address bits).
+    pub fn validate(&self) -> Result<(), CacheGeometryError> {
+        if self.size_bytes < LINE_BYTES {
+            return Err(CacheGeometryError::SmallerThanLine {
+                size_bytes: self.size_bytes,
+            });
+        }
+        if !self.size_bytes.is_power_of_two() {
+            return Err(CacheGeometryError::NotPowerOfTwo {
+                size_bytes: self.size_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl CacheConfig {
     /// The energy-optimal configuration the paper converges on: 4 KB,
     /// no prefetcher (§7.5).
@@ -139,10 +197,12 @@ impl ICache {
     ///
     /// # Panics
     ///
-    /// Panics unless the size is a power-of-two multiple of the line size.
+    /// Panics if [`CacheConfig::validate`] rejects the geometry — call
+    /// it first when the configuration is user- or search-supplied.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.size_bytes >= LINE_BYTES);
-        assert!(config.size_bytes.is_power_of_two());
+        if let Err(e) = config.validate() {
+            panic!("invalid icache geometry: {e}");
+        }
         ICache {
             config,
             tags: vec![None; config.lines()],
@@ -284,6 +344,29 @@ mod tests {
         seq_fetch(&mut c, 0, 8);
         let s = c.stats();
         assert!((s.miss_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometry_validation_is_typed() {
+        assert_eq!(CacheConfig::best().validate(), Ok(()));
+        assert_eq!(CacheConfig::ideal().validate(), Ok(()));
+        assert_eq!(
+            CacheConfig::real(8, false).validate(),
+            Err(CacheGeometryError::SmallerThanLine { size_bytes: 8 })
+        );
+        assert_eq!(
+            CacheConfig::real(3000, false).validate(),
+            Err(CacheGeometryError::NotPowerOfTwo { size_bytes: 3000 })
+        );
+        // The error is printable (it crosses the CLI boundary).
+        let msg = CacheConfig::real(3000, false).validate().unwrap_err();
+        assert!(msg.to_string().contains("3000"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid icache geometry")]
+    fn construction_panics_with_the_typed_message() {
+        ICache::new(CacheConfig::real(24, false));
     }
 
     #[test]

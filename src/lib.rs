@@ -9,6 +9,7 @@ pub use ule_bench as bench;
 pub use ule_billie as billie;
 pub use ule_core as core_api;
 pub use ule_curves as curves;
+pub use ule_dse as dse;
 pub use ule_energy as energy;
 pub use ule_isa as isa;
 pub use ule_monte as monte;
