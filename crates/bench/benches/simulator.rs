@@ -7,7 +7,7 @@ use std::hint::black_box;
 use ule_curves::params::CurveId;
 use ule_pete::cpu::{Machine, MachineConfig};
 use ule_swlib::builder::{build_suite, Arch};
-use ule_swlib::harness::{run_entry, write_buf};
+use ule_swlib::harness::{run_entry_expect, write_buf};
 use ule_testkit::bench;
 
 fn main() {
@@ -25,14 +25,14 @@ fn main() {
         let mut m = Machine::new(&suite.program, MachineConfig::baseline());
         write_buf(&mut m, &suite.program, "arg_qx", &a);
         write_buf(&mut m, &suite.program, "arg_qy", &a);
-        run_entry(&mut m, &suite.program, "main_fmul", 10_000_000);
+        run_entry_expect(&mut m, &suite.program, "main_fmul", 10_000_000);
         black_box(m.cycles());
     });
     let ext = build_suite(&curve, Arch::IsaExt);
     bench("simulator/p192_scalar_mul_program_ext", 5, || {
         let mut m = Machine::new(&ext.program, MachineConfig::isa_ext());
         write_buf(&mut m, &ext.program, "arg_k", &a);
-        run_entry(&mut m, &ext.program, "main_scalar_mul", u64::MAX / 2);
+        run_entry_expect(&mut m, &ext.program, "main_scalar_mul", u64::MAX / 2);
         black_box(m.cycles());
     });
     bench("simulator/suite_build_p192_baseline", 20, || {

@@ -22,7 +22,7 @@ use std::str::FromStr;
 use ule_bench::diff::{diff_metrics, DiffThresholds};
 use ule_bench::{metrics_out, ConfigKey, ExperimentId, Job, SweepEngine};
 use ule_core::attr::{self, FlameWeight};
-use ule_core::{System, SystemConfig, Workload};
+use ule_core::{RunOptions, System, SystemConfig, Workload};
 use ule_obs::trace_events::TraceEventsBuf;
 use ule_swlib::builder::Arch;
 
@@ -369,8 +369,8 @@ fn run_profile(args: impl Iterator<Item = String>) -> ! {
     }
     let config = SystemConfig::new(curve, arch);
     let label = ConfigKey::new(config, workload).label();
-    let report = System::new(config).run_profiled(workload);
-    let p = report.profile.as_ref().expect("run_profiled sets profile");
+    let report = System::new(config).run_with(RunOptions::new(workload).profiled());
+    let p = report.profile.as_ref().expect("profiled run sets profile");
     println!(
         "{label}: {} cycles, {:.4} uJ, {} routines, {} call paths",
         report.cycles,
@@ -450,6 +450,16 @@ fn run_verify(args: impl Iterator<Item = String>, trace_path: Option<PathBuf>) -
                     Some(s) => campaign.only_case = Some(s),
                     None => {
                         eprintln!("bad case selector {v:?} (random:N, edge:NAME, negative:N)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--tier" => {
+                let v = take(&mut i, &args_v, "--tier");
+                match ule_verify::TierPolicy::parse(&v) {
+                    Some(t) => campaign.tier = t,
+                    None => {
+                        eprintln!("--tier expects fast, reference, or alternate");
                         std::process::exit(2);
                     }
                 }

@@ -38,7 +38,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use ule_core::{MultVariant, RunReport, System, SystemConfig, Workload};
+use ule_core::{MultVariant, RunOptions, RunReport, System, SystemConfig, Workload};
 use ule_curves::params::CurveId;
 use ule_monte::MonteConfig;
 use ule_pete::icache::CacheConfig;
@@ -350,7 +350,7 @@ impl SweepEngine {
         };
         let started = Instant::now();
         let sys = self.system(config);
-        let report = Arc::new(sys.run(workload));
+        let report = Arc::new(sys.run_with(RunOptions::new(workload)));
         let wall = started.elapsed();
         self.simulations.fetch_add(1, Ordering::Relaxed);
         lock(&self.timings).push((key, wall));

@@ -8,7 +8,7 @@
 
 use ule_bench::{metrics_out, ConfigKey, Job, SweepEngine};
 use ule_core::metrics::design_point_record;
-use ule_core::{RawStats, RunReport, System, SystemConfig, Workload};
+use ule_core::{RawStats, RunOptions, RunReport, System, SystemConfig, Workload};
 use ule_curves::params::CurveId;
 use ule_energy::{Activity, EnergyBreakdown};
 use ule_obs::json::is_valid;
@@ -88,7 +88,7 @@ fn metrics_schema_matches_golden() {
 
     // The one nested field: the key set of a v2 `profile` entry, pinned
     // from a real profiled run.
-    let profiled = System::new(jobs[0].0).run_profiled(jobs[0].1);
+    let profiled = System::new(jobs[0].0).run_with(RunOptions::new(jobs[0].1).profiled());
     let rec = design_point_record(&jobs[0].0, jobs[0].1, &profiled);
     let Some(Value::Raw(profile_json)) = rec.get("profile") else {
         panic!("profiled record must carry a profile field");
@@ -228,7 +228,7 @@ fn every_counter_field_reaches_the_record() {
 #[test]
 fn profiler_buckets_sum_to_total_cycles_on_p192_sign() {
     let sys = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline));
-    let report = sys.run_profiled(Workload::Sign);
+    let report = sys.run_with(RunOptions::new(Workload::Sign).profiled());
     let profile = report.profile.as_ref().expect("profiled run");
 
     assert_eq!(
@@ -259,8 +259,8 @@ fn profiler_buckets_sum_to_total_cycles_on_p192_sign() {
 #[test]
 fn profiling_does_not_change_results() {
     let sys = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline));
-    let plain = sys.run(Workload::FieldMul);
-    let profiled = sys.run_profiled(Workload::FieldMul);
+    let plain = sys.run_with(RunOptions::new(Workload::FieldMul));
+    let profiled = sys.run_with(RunOptions::new(Workload::FieldMul).profiled());
     assert_eq!(plain.cycles, profiled.cycles);
     assert_eq!(plain.counters, profiled.counters);
     assert_eq!(plain.raw, profiled.raw);

@@ -9,7 +9,7 @@
 use ule_bench::diff::{diff_metrics, DiffThresholds};
 use ule_bench::{metrics_out, Job, SweepEngine};
 use ule_core::attr::{self, FlameWeight};
-use ule_core::{RunReport, System, SystemConfig, Workload};
+use ule_core::{RunOptions, RunReport, System, SystemConfig, Workload};
 use ule_curves::params::CurveId;
 use ule_obs::trace_events::{validate_trace_events, TraceEventsBuf};
 use ule_pete::icache::CacheConfig;
@@ -121,7 +121,7 @@ fn call_graph_conserves_on_every_architecture() {
         ),
     ];
     for (label, cfg) in configs {
-        let rep = System::new(cfg).run_profiled(Workload::Sign);
+        let rep = System::new(cfg).run_with(RunOptions::new(Workload::Sign).profiled());
         assert_conservation(label, &rep);
     }
 }
@@ -133,7 +133,7 @@ fn call_graph_conserves_on_every_architecture() {
 fn exports_are_deterministic_and_match_golden() {
     let cfg = SystemConfig::new(CurveId::P192, Arch::Baseline);
     let render = || {
-        let rep = System::new(cfg).run_profiled(Workload::FieldMul);
+        let rep = System::new(cfg).run_with(RunOptions::new(Workload::FieldMul).profiled());
         let p = rep.profile.as_ref().unwrap();
         let stacks = attr::folded_stacks(
             p,

@@ -249,14 +249,14 @@ pub fn routine_energy_table(p: &RoutineProfile, energy: &EnergyBreakdown, top: u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{System, SystemConfig, Workload};
+    use crate::{RunOptions, System, SystemConfig, Workload};
     use ule_curves::params::CurveId;
     use ule_obs::trace_events::validate_trace_events;
     use ule_swlib::builder::Arch;
 
     fn profiled_p192_sign() -> crate::RunReport {
         let cfg = SystemConfig::new(CurveId::P192, Arch::IsaExt);
-        System::new(cfg).run_profiled(Workload::Sign)
+        System::new(cfg).run_with(RunOptions::new(Workload::Sign).profiled())
     }
 
     #[test]

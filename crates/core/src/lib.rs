@@ -3,18 +3,18 @@
 //!
 //! A [`SystemConfig`] names one point in the hardware/software spectrum
 //! of Fig 1.1 (architecture × curve × instruction cache × accelerator
-//! knobs); [`System::run`] simulates an ECDSA workload on it and returns
-//! a [`RunReport`] with cycle counts, event counters, and the
+//! knobs); [`System::run_with`] simulates an ECDSA workload on it and
+//! returns a [`RunReport`] with cycle counts, event counters, and the
 //! per-component energy breakdown — the quantities behind every table
 //! and figure of the paper's Chapter 7.
 //!
 //! ```no_run
-//! use ule_core::{SystemConfig, System, Workload};
+//! use ule_core::{RunOptions, SystemConfig, System, Workload};
 //! use ule_curves::params::CurveId;
 //! use ule_swlib::builder::Arch;
 //!
 //! let system = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline));
-//! let report = system.run(Workload::SignVerify);
+//! let report = system.run_with(RunOptions::new(Workload::SignVerify));
 //! println!("{} cycles, {:.1} µJ", report.cycles, report.energy.total_uj());
 //! ```
 //!
@@ -41,7 +41,7 @@ use ule_energy::{Activity, CopActivity, CopKind, EnergyBreakdown, IcacheActivity
 use ule_monte::{Monte, MonteConfig};
 use ule_mpmath::mp::Mp;
 use ule_pete::cop::CopStats;
-use ule_pete::cpu::{Counters, Machine, MachineConfig};
+use ule_pete::cpu::{Counters, EngineTier, ExecOptions, Instrumentation, Machine, MachineConfig};
 use ule_pete::icache::{CacheConfig, CacheStats};
 use ule_pete::mem::MemStats;
 use ule_pete::profile::RoutineProfile;
@@ -198,6 +198,59 @@ impl Workload {
     }
 }
 
+/// Whether a run collects the per-routine cycle profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// Follow the global [`ule_obs::set_profiling`] flag (the default).
+    #[default]
+    Auto,
+    /// Profile this run regardless of the flag — the report's `profile`
+    /// is always `Some`.
+    On,
+    /// Never profile this run.
+    Off,
+}
+
+/// Everything that varies per [`System::run_with`] call: the workload,
+/// the profiling choice, and the execution-engine tier.
+///
+/// A [`RunReport`] is the same — bit for bit — whatever the profiling
+/// mode and tier (profiling is observational; the fast engine is
+/// bit-exact), so reports remain valid memo-cache values keyed only by
+/// `(SystemConfig, Workload)` (see `ule-bench`'s `SweepEngine`).
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// The simulated ECDSA workload.
+    pub workload: Workload,
+    /// Per-routine profiling choice (default: follow the global flag).
+    pub profile: ProfileMode,
+    /// Execution-engine tier (default: fast when unprofiled).
+    pub tier: EngineTier,
+}
+
+impl RunOptions {
+    /// Options for a workload with default profiling and tier.
+    pub fn new(workload: Workload) -> Self {
+        RunOptions {
+            workload,
+            profile: ProfileMode::default(),
+            tier: EngineTier::default(),
+        }
+    }
+
+    /// Forces per-routine profiling on for this run.
+    pub fn profiled(mut self) -> Self {
+        self.profile = ProfileMode::On;
+        self
+    }
+
+    /// Overrides the execution-engine tier.
+    pub fn with_tier(mut self, tier: EngineTier) -> Self {
+        self.tier = tier;
+        self
+    }
+}
+
 /// The raw memory/cache/accelerator statistics of a run, kept whole
 /// (rather than pre-reduced into [`Activity`]) so the metrics layer can
 /// export every counter the simulator produced.
@@ -250,7 +303,7 @@ pub struct RunReport {
     /// Per-component energy.
     pub energy: EnergyBreakdown,
     /// Per-routine cycle attribution, when profiling was enabled for
-    /// this simulation (see [`System::run_profiled`]).
+    /// this simulation (see [`RunOptions::profiled`]).
     pub profile: Option<RoutineProfile>,
 }
 
@@ -309,25 +362,23 @@ impl System {
             _ => MachineConfig::isa_ext(),
         };
         mc.icache = self.config.icache;
-        let mut m = Machine::new(&self.suite.program, mc);
-        match self.config.arch {
-            Arch::Monte => {
-                m.attach_coprocessor(Box::new(Monte::with_config(self.config.monte)));
-            }
-            Arch::Billie => {
-                m.attach_coprocessor(Box::new(Billie::with_config(
-                    self.config.curve.nist_binary(),
-                    BillieConfig {
-                        digit: self.config.billie_digit,
-                    },
-                )));
-            }
-            _ => {}
-        }
-        if profiled {
-            m.attach_profiler(&self.suite.program.text_symbols());
-        }
-        m
+        let b = Machine::builder(&self.suite.program, mc);
+        let b = match self.config.arch {
+            Arch::Monte => b.coprocessor(Box::new(Monte::with_config(self.config.monte))),
+            Arch::Billie => b.coprocessor(Box::new(Billie::with_config(
+                self.config.curve.nist_binary(),
+                BillieConfig {
+                    digit: self.config.billie_digit,
+                },
+            ))),
+            _ => b,
+        };
+        let instr = if profiled {
+            Instrumentation::profile(&self.suite.program.text_symbols())
+        } else {
+            Instrumentation::none()
+        };
+        b.instrumentation(instr).build()
     }
 
     /// Deterministic workload inputs shared by every configuration (so
@@ -350,27 +401,28 @@ impl System {
         }
     }
 
-    /// Runs one workload, verifying functional outputs against the host.
+    /// Runs one workload with the given options, verifying functional
+    /// outputs against the host.
     ///
     /// # Panics
     ///
     /// Panics if the simulated outputs disagree with the host reference —
-    /// a wrong-but-fast simulation must never produce a data point.
-    pub fn run(&self, workload: Workload) -> RunReport {
-        // The global flag is read once per run so a report is
-        // internally consistent even if the flag changes concurrently.
-        self.run_inner(workload, ule_obs::profiling_enabled())
+    /// a wrong-but-fast simulation must never produce a data point. Also
+    /// panics when the options force both profiling and the fast engine
+    /// tier (the fast engine carries no attribution plumbing).
+    pub fn run_with(&self, opts: RunOptions) -> RunReport {
+        let profiled = match opts.profile {
+            // The global flag is read once per run so a report is
+            // internally consistent even if the flag changes
+            // concurrently.
+            ProfileMode::Auto => ule_obs::profiling_enabled(),
+            ProfileMode::On => true,
+            ProfileMode::Off => false,
+        };
+        self.run_inner(opts.workload, profiled, opts.tier)
     }
 
-    /// Runs one workload with per-routine cycle profiling forced on,
-    /// regardless of the global [`ule_obs::set_profiling`] flag — the
-    /// report's `profile` is always `Some`. Otherwise identical to
-    /// [`run`](Self::run), including the host-verification panics.
-    pub fn run_profiled(&self, workload: Workload) -> RunReport {
-        self.run_inner(workload, true)
-    }
-
-    fn run_inner(&self, workload: Workload, profiled: bool) -> RunReport {
+    fn run_inner(&self, workload: Workload, profiled: bool, tier: EngineTier) -> RunReport {
         let k = self.suite.k;
         let inp = self.inputs();
         let d_limbs = inp.keys.private().to_limbs(k);
@@ -390,7 +442,7 @@ impl System {
                     write_buf(&mut m, &self.suite.program, "arg_d", &d_limbs);
                     write_buf(&mut m, &self.suite.program, "arg_k", &k_limbs);
                 }
-                self.sim_entry(&mut m, "main_sign");
+                self.sim_entry(&mut m, "main_sign", tier);
                 let r = Mp::from_limbs(&read_buf(&m, &self.suite.program, "out_r", k));
                 let s = Mp::from_limbs(&read_buf(&m, &self.suite.program, "out_s", k));
                 assert_eq!(r, inp.sig.r, "simulated r mismatch");
@@ -410,7 +462,7 @@ impl System {
                     write_buf(&mut m, &self.suite.program, "arg_qx", &qx);
                     write_buf(&mut m, &self.suite.program, "arg_qy", &qy);
                 }
-                self.sim_entry(&mut m, "main_verify");
+                self.sim_entry(&mut m, "main_verify", tier);
                 assert_eq!(
                     read_buf(&m, &self.suite.program, "out_ok", 1),
                     vec![1],
@@ -423,7 +475,7 @@ impl System {
         if workload == Workload::ScalarMul {
             let mut m = self.machine(profiled);
             write_buf(&mut m, &self.suite.program, "arg_k", &k_limbs);
-            self.sim_entry(&mut m, "main_scalar_mul");
+            self.sim_entry(&mut m, "main_scalar_mul", tier);
             let gx = read_buf(&m, &self.suite.program, "out_r", k);
             let expect = host_mul_g(&self.curve, &inp.nonce, k);
             assert_eq!(gx, expect.0, "simulated kG mismatch");
@@ -433,16 +485,23 @@ impl System {
             let mut m = self.machine(profiled);
             write_buf(&mut m, &self.suite.program, "arg_qx", &qx);
             write_buf(&mut m, &self.suite.program, "arg_qy", &qy);
-            self.sim_entry(&mut m, "main_fmul");
+            self.sim_entry(&mut m, "main_fmul", tier);
             total.add(&mut m, self);
         }
         total.finish(self)
     }
 
     /// Runs one program entry point, wrapped in a `sys.sim` span.
-    fn sim_entry(&self, m: &mut Machine, entry: &'static str) {
+    fn sim_entry(&self, m: &mut Machine, entry: &'static str, tier: EngineTier) {
         let mut sp = ule_obs::span("sys.sim");
-        run_entry(m, &self.suite.program, entry, u64::MAX / 2);
+        if let Err(e) = run_entry(
+            m,
+            &self.suite.program,
+            entry,
+            ExecOptions::new(u64::MAX / 2).with_tier(tier),
+        ) {
+            panic!("{e}");
+        }
         sp.field("entry", entry)
             .field("curve", self.config.curve.name())
             .field("cycles", m.cycles());
@@ -565,7 +624,7 @@ mod tests {
     #[test]
     fn sign_verify_on_p192_baseline() {
         let sys = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline));
-        let r = sys.run(Workload::SignVerify);
+        let r = sys.run_with(RunOptions::new(Workload::SignVerify));
         assert!(r.cycles > 100_000);
         assert!(r.energy_uj() > 0.0);
         assert!(r.time_ms() > 0.0);
@@ -573,10 +632,10 @@ mod tests {
 
     #[test]
     fn isa_ext_beats_baseline_on_p192() {
-        let base =
-            System::new(SystemConfig::new(CurveId::P192, Arch::Baseline)).run(Workload::ScalarMul);
-        let ext =
-            System::new(SystemConfig::new(CurveId::P192, Arch::IsaExt)).run(Workload::ScalarMul);
+        let base = System::new(SystemConfig::new(CurveId::P192, Arch::Baseline))
+            .run_with(RunOptions::new(Workload::ScalarMul));
+        let ext = System::new(SystemConfig::new(CurveId::P192, Arch::IsaExt))
+            .run_with(RunOptions::new(Workload::ScalarMul));
         assert!(
             ext.cycles < base.cycles,
             "ext {} !< base {}",

@@ -370,14 +370,14 @@ pub fn profile_json(p: &RoutineProfile, energy: &EnergyBreakdown) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{System, Workload};
+    use crate::{RunOptions, System, Workload};
     use ule_curves::params::CurveId;
     use ule_obs::json::is_valid;
 
     #[test]
     fn design_point_record_is_flat_valid_json() {
         let cfg = SystemConfig::new(CurveId::P192, Arch::Baseline);
-        let report = System::new(cfg).run(Workload::FieldMul);
+        let report = System::new(cfg).run_with(RunOptions::new(Workload::FieldMul));
         let rec = design_point_record(&cfg, Workload::FieldMul, &report);
         let line = rec.to_json();
         assert!(is_valid(&line), "{line}");
@@ -394,7 +394,7 @@ mod tests {
         let cfg = SystemConfig::new(CurveId::K163, Arch::Billie)
             .with_billie_digit(5)
             .with_billie_sram_rf(true);
-        let report = System::new(cfg).run(Workload::ScalarMul);
+        let report = System::new(cfg).run_with(RunOptions::new(Workload::ScalarMul));
         let rec = design_point_record(&cfg, Workload::ScalarMul, &report);
         let doc = ule_obs::json::parse(&rec.to_json()).unwrap();
         let mut reparsed = String::new();
@@ -414,7 +414,7 @@ mod tests {
     #[test]
     fn profiled_record_profile_is_sorted_and_energy_conserving() {
         let cfg = SystemConfig::new(CurveId::P192, Arch::IsaExt);
-        let report = System::new(cfg).run_profiled(Workload::FieldMul);
+        let report = System::new(cfg).run_with(RunOptions::new(Workload::FieldMul).profiled());
         let rec = design_point_record(&cfg, Workload::FieldMul, &report);
         let line = rec.to_json();
         assert!(is_valid(&line), "{line}");

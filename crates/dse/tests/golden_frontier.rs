@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 
 use ule_core::metrics::design_point_record;
-use ule_core::{MultVariant, System, SystemConfig, Workload};
+use ule_core::{MultVariant, RunOptions, System, SystemConfig, Workload};
 use ule_dse::spaces::builtin;
 use ule_dse::{explore, Evaluator, Greedy, Grid, PointEval};
 
@@ -19,7 +19,7 @@ impl Evaluator for SimEval {
     fn evaluate(&self, jobs: &[(SystemConfig, Workload)]) -> Vec<PointEval> {
         jobs.iter()
             .map(|&(config, workload)| {
-                let report = System::new(config).run(workload);
+                let report = System::new(config).run_with(RunOptions::new(workload));
                 PointEval {
                     record: design_point_record(&config, workload, &report),
                     cycles: report.cycles,

@@ -340,24 +340,25 @@ impl EnergyBreakdown {
         }
         // Conservation fix-up: proportional splitting is exact only in
         // real arithmetic; in f64 the fold can drift by a few ulps.
-        // Fold the residual into the largest share until the sum
-        // reproduces the headline total bit-exactly (one or two rounds
-        // in practice; `total - partial` applied once is not enough,
-        // because the adjusted fold re-rounds).
+        // Fold the residual into one share until the ordered sum
+        // reproduces the headline total bit-exactly. Applying the full
+        // residual can oscillate forever when the exact sum sits on a
+        // half-ulp tie (round-half-even flips it one ulp each way), so
+        // each element also tries fractional corrections — the shares
+        // live at a smaller scale than the total, where sub-ulp steps
+        // are exact — before the walk moves to the next element.
         let target = self.total_uj();
-        for _ in 0..100 {
-            let sum: f64 = out.iter().map(|r| r.total_uj).sum();
-            let diff = target - sum;
-            if diff == 0.0 {
-                break;
+        let mut by_size: Vec<usize> = (0..out.len()).collect();
+        by_size.sort_by(|&a, &b| out[b].total_uj.total_cmp(&out[a].total_uj));
+        'fixup: for &k in by_size.iter().cycle().take(25 * by_size.len()) {
+            for scale in [1.0, 0.5, 0.25, 0.125] {
+                let sum: f64 = out.iter().map(|r| r.total_uj).sum();
+                let diff = target - sum;
+                if diff == 0.0 {
+                    break 'fixup;
+                }
+                out[k].total_uj += diff * scale;
             }
-            let k = out
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_uj.total_cmp(&b.1.total_uj))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            out[k].total_uj += diff;
         }
         let got = RoutineEnergyAttribution { routines: out };
         debug_assert_eq!(

@@ -19,11 +19,22 @@
 //!   miss penalty; the stream buffer can hide sequential misses;
 //! * **coprocessor instructions** are forwarded in execute; Pete stalls
 //!   only on a full coprocessor queue or on `cop2sync` (§5.4.1).
+//!
+//! Two execution engines implement this contract (DESIGN.md §6a):
+//! the **reference** interpreter ([`Machine::step`]-based, carries the
+//! per-routine profiler and activity attribution) and the **fast**
+//! engine (translation cache + fused superinstructions, no
+//! instrumentation plumbing). Cycles, every [`Counters`] field, and all
+//! memory-system statistics are bit-identical between the two; the
+//! fast engine is an optimisation, never a second semantics.
 
 use crate::cop::{CopStats, Coprocessor, NoCoprocessor};
 use crate::icache::{CacheConfig, CacheStats, ICache};
 use crate::mem::{MemStats, Ram, Rom};
 use crate::profile::{ActivitySlice, ControlEvent, PcProfiler, RoutineProfile};
+use crate::xlate::{
+    self, AluKind, AluOp, BOp, BrBlock, BrCond, BranchOp, MemOp, Term, XOp, XTable,
+};
 use ule_isa::asm::Program;
 use ule_isa::instr::Instr;
 use ule_isa::reg::Reg;
@@ -174,6 +185,134 @@ pub enum RunExit {
     CycleLimit,
 }
 
+/// Which execution engine a run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineTier {
+    /// Fast when the machine carries no instrumentation, reference
+    /// otherwise. The right choice everywhere outside A/B tests.
+    #[default]
+    Auto,
+    /// Force the translated/fused fast engine. Requesting it on a
+    /// machine with a profiler attached is a programming error (the
+    /// fast engine has no attribution plumbing) and panics.
+    Fast,
+    /// Force the instrumented reference interpreter.
+    Reference,
+}
+
+impl EngineTier {
+    /// CLI spelling (`--tier fast` …).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineTier::Auto => "auto",
+            EngineTier::Fast => "fast",
+            EngineTier::Reference => "reference",
+        }
+    }
+
+    /// Parses the CLI spelling; `ref` is accepted for `reference`.
+    pub fn parse(s: &str) -> Option<EngineTier> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(EngineTier::Auto),
+            "fast" => Some(EngineTier::Fast),
+            "reference" | "ref" => Some(EngineTier::Reference),
+            _ => None,
+        }
+    }
+}
+
+/// Everything that varies per `run_with` call: the cycle budget and
+/// the engine tier, in one place.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Stop (with [`RunExit::CycleLimit`]) once `cycles() >= max_cycles`.
+    pub max_cycles: u64,
+    /// Engine selection (default [`EngineTier::Auto`]).
+    pub tier: EngineTier,
+}
+
+impl ExecOptions {
+    /// Options with the given cycle budget and automatic tier choice.
+    pub fn new(max_cycles: u64) -> Self {
+        ExecOptions {
+            max_cycles,
+            tier: EngineTier::default(),
+        }
+    }
+
+    /// Overrides the engine tier.
+    pub fn with_tier(mut self, tier: EngineTier) -> Self {
+        self.tier = tier;
+        self
+    }
+}
+
+/// What a machine observes about its own run — attached once, at build
+/// time, because it decides which engine [`EngineTier::Auto`] picks.
+/// Today that is the per-routine cycle profiler; a trace sink would
+/// slot in here the same way.
+#[derive(Clone, Debug, Default)]
+pub struct Instrumentation {
+    profile_symbols: Option<Vec<(u32, String)>>,
+}
+
+impl Instrumentation {
+    /// No instrumentation: `Auto` runs the fast engine.
+    pub fn none() -> Self {
+        Instrumentation::default()
+    }
+
+    /// Per-routine cycle/activity profiling over the given routine
+    /// table (from `Program::text_symbols`). `Auto` then runs the
+    /// reference engine, which carries the attribution plumbing.
+    pub fn profile(text_symbols: &[(u32, String)]) -> Self {
+        Instrumentation {
+            profile_symbols: Some(text_symbols.to_vec()),
+        }
+    }
+
+    /// True when nothing is attached (the fast engine is eligible).
+    pub fn is_inert(&self) -> bool {
+        self.profile_symbols.is_none()
+    }
+}
+
+/// Builder for a [`Machine`] with an accelerator and/or instrumentation
+/// attached — the only way to attach either, so the fast/reference
+/// seam is decided before the first cycle, not mid-run.
+pub struct MachineBuilder<'p> {
+    program: &'p Program,
+    config: MachineConfig,
+    cop: Option<Box<dyn Coprocessor>>,
+    instrumentation: Instrumentation,
+}
+
+impl MachineBuilder<'_> {
+    /// Attaches an accelerator to the COP2 interface.
+    pub fn coprocessor(mut self, cop: Box<dyn Coprocessor>) -> Self {
+        self.cop = Some(cop);
+        self
+    }
+
+    /// Attaches instrumentation (see [`Instrumentation`]).
+    pub fn instrumentation(mut self, instrumentation: Instrumentation) -> Self {
+        self.instrumentation = instrumentation;
+        self
+    }
+
+    /// Builds the machine.
+    pub fn build(self) -> Machine {
+        let mut m = Machine::new(self.program, self.config);
+        if let Some(cop) = self.cop {
+            m.cop = cop;
+        }
+        if let Some(syms) = self.instrumentation.profile_symbols {
+            m.profiler = Some(Box::new(PcProfiler::new(&syms)));
+        }
+        m
+    }
+}
+
 /// A simulated Pete system: core, ROM, RAM, optional I-cache, optional
 /// accelerator.
 pub struct Machine {
@@ -186,9 +325,17 @@ pub struct Machine {
     rom: Rom,
     ram: Ram,
     decoded: Vec<Option<Instr>>,
+    /// Fast-engine translation table (`xlate`), built on first fast
+    /// dispatch; reference-only machines never pay for it.
+    xops: Option<XTable>,
     icache: Option<ICache>,
     cop: Box<dyn Coprocessor>,
     config: MachineConfig,
+    // `MachineConfig` fields the inner loops read every instruction,
+    // hoisted out of the nested struct once at construction.
+    mult_latency: u32,
+    div_latency: u32,
+    extensions: bool,
     cycle: u64,
     counters: Counters,
     bht: [u8; 64],
@@ -205,7 +352,8 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Builds a machine around a linked program.
+    /// Builds a bare machine around a linked program (no accelerator,
+    /// no instrumentation). Use [`Machine::builder`] to attach either.
     pub fn new(program: &Program, config: MachineConfig) -> Self {
         let rom = Rom::new(program.rom());
         let decoded = program
@@ -226,9 +374,13 @@ impl Machine {
             rom,
             ram: Ram::new(),
             decoded,
+            xops: None,
             icache: config.icache.map(ICache::new),
             cop: Box::new(NoCoprocessor),
             config,
+            mult_latency: config.mult_latency,
+            div_latency: config.div_latency,
+            extensions: config.extensions,
             cycle: 0,
             counters: Counters::default(),
             bht: [1; 64], // weakly not-taken
@@ -239,22 +391,21 @@ impl Machine {
         }
     }
 
-    /// Attaches a per-routine cycle profiler over the given routine
-    /// table (from `Program::text_symbols`). Until this is called,
-    /// profiling costs one untaken branch per step.
-    pub fn attach_profiler(&mut self, text_symbols: &[(u32, String)]) {
-        self.profiler = Some(Box::new(PcProfiler::new(text_symbols)));
+    /// Starts building a machine with attachments (accelerator,
+    /// instrumentation).
+    pub fn builder(program: &Program, config: MachineConfig) -> MachineBuilder<'_> {
+        MachineBuilder {
+            program,
+            config,
+            cop: None,
+            instrumentation: Instrumentation::none(),
+        }
     }
 
     /// Detaches the profiler, returning the per-routine breakdown
     /// accumulated so far (`None` if no profiler was attached).
     pub fn take_profile(&mut self) -> Option<RoutineProfile> {
         self.profiler.take().map(|p| p.finish())
-    }
-
-    /// Attaches an accelerator to the COP2 interface.
-    pub fn attach_coprocessor(&mut self, cop: Box<dyn Coprocessor>) {
-        self.cop = cop;
     }
 
     /// The data RAM (for injecting operands and reading results).
@@ -326,8 +477,34 @@ impl Machine {
         self.pc = pc;
     }
 
-    /// Runs until `break` or the cycle limit.
-    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+    /// Runs until `break` or the cycle limit, on the engine tier the
+    /// options select.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EngineTier::Fast`] is forced on a machine with a
+    /// profiler attached (the fast engine cannot attribute cycles).
+    pub fn run_with(&mut self, opts: ExecOptions) -> RunExit {
+        let fast = match opts.tier {
+            EngineTier::Auto => self.profiler.is_none(),
+            EngineTier::Fast => {
+                assert!(
+                    self.profiler.is_none(),
+                    "EngineTier::Fast on a profiled machine; use Auto or Reference"
+                );
+                true
+            }
+            EngineTier::Reference => false,
+        };
+        if fast {
+            self.run_fast(opts.max_cycles)
+        } else {
+            self.run_reference(opts.max_cycles)
+        }
+    }
+
+    /// The instrumented reference interpreter.
+    fn run_reference(&mut self, max_cycles: u64) -> RunExit {
         while self.halted.is_none() && self.cycle < max_cycles {
             self.step();
         }
@@ -337,9 +514,29 @@ impl Machine {
         }
     }
 
+    /// The fast engine: dispatches pre-translated (and, where legal,
+    /// fused) operations with no instrumentation plumbing. Timing and
+    /// counters are bit-identical to [`Machine::run_reference`].
+    fn run_fast(&mut self, max_cycles: u64) -> RunExit {
+        if self.xops.is_none() {
+            self.xops = Some(xlate::translate(&self.decoded));
+        }
+        // Move the table out for the duration of the loop so dispatch
+        // needs no per-step Option check or re-borrow.
+        let xt = self.xops.take().expect("translation table just built");
+        while self.halted.is_none() && self.cycle < max_cycles {
+            self.step_fast(&xt, max_cycles);
+        }
+        self.xops = Some(xt);
+        match self.halted {
+            Some(code) => RunExit::Halted { code },
+            None => RunExit::CycleLimit,
+        }
+    }
+
     /// Executes one architectural instruction (advancing time by its issue
-    /// cycle plus any stalls).
-    pub fn step(&mut self) {
+    /// cycle plus any stalls) on the reference engine.
+    fn step(&mut self) {
         if self.halted.is_some() {
             return;
         }
@@ -356,12 +553,7 @@ impl Machine {
         self.counters.instructions += 1;
 
         // Load-use interlock (the one un-forwardable hazard, §2.2).
-        if let Some(dest) = self.last_load_dest.take() {
-            if dest != Reg::ZERO && self.ex_sources(instr).contains(&dest) {
-                self.stall(1);
-                self.counters.load_use_stalls += 1;
-            }
-        }
+        self.interlock(xlate::src_mask(instr));
 
         // Base issue cycle.
         self.cycle += 1;
@@ -406,6 +598,298 @@ impl Machine {
         }
     }
 
+    /// One fast-engine dispatch: a whole basic block (or a branch with
+    /// its delay slot) where legal, a single translated op otherwise.
+    /// Mirrors `step` exactly minus the profiler/activity plumbing.
+    fn step_fast(&mut self, xt: &XTable, max_cycles: u64) {
+        let branch_target = self.pending_branch.take();
+        let pc = self.pc;
+        let seq = pc.wrapping_add(4);
+        let op = xt
+            .ops
+            .get((pc >> 2) as usize)
+            .copied()
+            .unwrap_or(XOp::Invalid);
+        match op {
+            // A basic block dispatches whole when it starts outside a
+            // delay slot and the cycle limit provably cannot interrupt
+            // it (see `block_worst`): every member is non-halting, so
+            // the reference engine would have stepped through all of
+            // them too.
+            XOp::Block {
+                off,
+                len,
+                stalls,
+                first_mask,
+            } if branch_target.is_none()
+                && self.cycle + self.block_worst(len, stalls) <= max_cycles =>
+            {
+                let members = &xt.pool[off as usize..off as usize + len as usize];
+                self.block_body(pc, members, stalls, first_mask);
+                self.last_load_dest = match members[len as usize - 1] {
+                    BOp::Lw(m) => Some(m.rt),
+                    _ => None,
+                };
+                self.pc = pc.wrapping_add(4 * len as u32);
+            }
+            // A block reached in a delay slot or at the cycle-limit
+            // boundary executes only its first member; the next word's
+            // own entry (a shorter suffix block, or a single op at the
+            // run's tail) takes over from there.
+            XOp::Block { off, .. } => {
+                self.single_member(xt.pool[off as usize], pc, branch_target);
+            }
+            // A control-terminated block: the straight-line members,
+            // the branch or jump, and its delay slot, all in one
+            // dispatch. The terminator's interlock against a trailing
+            // load member is folded into `stalls` at translation time;
+            // the delay-slot member can never interlock (its
+            // predecessor is the terminator, not a load).
+            XOp::BlockBr { idx }
+                if branch_target.is_none()
+                    && self.cycle + self.blockbr_worst(&xt.brs[idx as usize]) <= max_cycles =>
+            {
+                let bb = &xt.brs[idx as usize];
+                let members = &xt.pool[bb.off as usize..bb.off as usize + bb.len as usize];
+                self.block_body(pc, members, bb.stalls, bb.first_mask);
+                // Terminator and delay slot in the reference engine's
+                // exact fetch order (branch word, wrong-path word on a
+                // mispredict, delay word) — the I-cache state walk
+                // depends on it.
+                let br_pc = pc.wrapping_add(4 * bb.len as u32);
+                self.fetch_access(br_pc);
+                self.counters.instructions += 1;
+                self.cycle += 1;
+                match bb.term {
+                    Term::Branch(b) => {
+                        let taken = self.branch_taken(b);
+                        self.branch_resolved(br_pc, b.target, taken);
+                        self.exec_delay_member(bb.ds, br_pc.wrapping_add(4));
+                        self.pc = self.pending_branch.take().unwrap_or(br_pc.wrapping_add(8));
+                    }
+                    Term::Jump { target, link } => {
+                        if link {
+                            self.set(Reg::RA, br_pc.wrapping_add(8));
+                        }
+                        self.exec_delay_member(bb.ds, br_pc.wrapping_add(4));
+                        self.pc = target;
+                    }
+                    Term::JumpReg { rs, link } => {
+                        let t = self.get(rs);
+                        if let Some(rd) = link {
+                            self.set(rd, br_pc.wrapping_add(8));
+                        }
+                        self.exec_delay_member(bb.ds, br_pc.wrapping_add(4));
+                        self.pc = t;
+                    }
+                }
+            }
+            XOp::BlockBr { idx } => {
+                self.single_member(
+                    xt.pool[xt.brs[idx as usize].off as usize],
+                    pc,
+                    branch_target,
+                );
+            }
+            XOp::Alu(a) => {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(a.src_mask());
+                self.cycle += 1;
+                let v = self.alu_eval(a);
+                self.set(a.rd, v);
+                self.last_load_dest = None;
+                self.pc = branch_target.unwrap_or(seq);
+            }
+            XOp::Lw(m) => {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(1 << m.base.num());
+                self.cycle += 1;
+                self.lw_exec(m);
+                self.last_load_dest = Some(m.rt);
+                self.pc = branch_target.unwrap_or(seq);
+            }
+            XOp::Sw(m) => {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(1 << m.base.num());
+                self.cycle += 1;
+                self.sw_exec(m);
+                self.last_load_dest = None;
+                self.pc = branch_target.unwrap_or(seq);
+            }
+            // Branch + delay slot in one dispatch: resolve (prediction,
+            // penalty), run the delay-slot member, land on the
+            // destination. The branch's interlock consumed
+            // `last_load_dest`, so the delay member never stalls; the
+            // worst case (see `pair_worst`) is entry interlock, branch,
+            // mispredict, member, and two possible I-cache line misses.
+            XOp::BranchDs(b, d)
+                if branch_target.is_none() && self.cycle + self.pair_worst() <= max_cycles =>
+            {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(b.src_mask());
+                self.cycle += 1;
+                let taken = self.branch_taken(b);
+                self.branch_resolved(pc, b.target, taken);
+                self.exec_delay_member(d, seq);
+                self.pc = self.pending_branch.take().unwrap_or(pc.wrapping_add(8));
+            }
+            XOp::Branch(b) | XOp::BranchDs(b, _) => {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(b.src_mask());
+                self.cycle += 1;
+                let taken = self.branch_taken(b);
+                self.branch_resolved(pc, b.target, taken);
+                self.last_load_dest = None;
+                self.pc = branch_target.unwrap_or(seq);
+            }
+            // Jump + delay slot in one dispatch (calls and returns):
+            // link, run the delay-slot member, land on the target. The
+            // register target is read before the member executes, as
+            // the reference does.
+            XOp::JumpDs { target, link, ds }
+                if branch_target.is_none() && self.cycle + self.pair_worst() <= max_cycles =>
+            {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(0);
+                self.cycle += 1;
+                if link {
+                    self.set(Reg::RA, pc.wrapping_add(8));
+                }
+                self.exec_delay_member(ds, seq);
+                self.pc = target;
+            }
+            XOp::JumpRegDs { rs, link, ds }
+                if branch_target.is_none() && self.cycle + self.pair_worst() <= max_cycles =>
+            {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(1 << rs.num());
+                self.cycle += 1;
+                let t = self.get(rs);
+                if let Some(rd) = link {
+                    self.set(rd, pc.wrapping_add(8));
+                }
+                self.exec_delay_member(ds, seq);
+                self.pc = t;
+            }
+            XOp::Jump { target, link } | XOp::JumpDs { target, link, .. } => {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(0);
+                self.cycle += 1;
+                if link {
+                    self.set(Reg::RA, pc.wrapping_add(8));
+                }
+                self.pending_branch = Some(target);
+                self.last_load_dest = None;
+                self.pc = branch_target.unwrap_or(seq);
+            }
+            XOp::JumpReg { rs, link } | XOp::JumpRegDs { rs, link, .. } => {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(1 << rs.num());
+                self.cycle += 1;
+                let t = self.get(rs);
+                if let Some(rd) = link {
+                    self.set(rd, pc.wrapping_add(8));
+                }
+                self.pending_branch = Some(t);
+                self.last_load_dest = None;
+                self.pc = branch_target.unwrap_or(seq);
+            }
+            XOp::Break { code } => {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(0);
+                self.cycle += 1;
+                self.halted = Some(code);
+                self.last_load_dest = None;
+                self.pc = branch_target.unwrap_or(seq);
+            }
+            XOp::Other(i) => {
+                self.fetch_access(pc);
+                self.counters.instructions += 1;
+                self.interlock(xlate::src_mask(i));
+                self.cycle += 1;
+                let next = self.execute(i, pc);
+                self.pc = branch_target.unwrap_or(next);
+            }
+            XOp::Invalid => {
+                // Keep the reference engine's exact fetch accounting
+                // and panic message.
+                self.fetch_access(pc);
+                panic!("fetch of a non-instruction word at {pc:#010x}");
+            }
+        }
+    }
+
+    /// Evaluates a translated branch condition.
+    #[inline(always)]
+    fn branch_taken(&self, b: BranchOp) -> bool {
+        match b.cond {
+            BrCond::Beq => self.get(b.rs) == self.get(b.rt),
+            BrCond::Bne => self.get(b.rs) != self.get(b.rt),
+            BrCond::Blez => (self.get(b.rs) as i32) <= 0,
+            BrCond::Bgtz => (self.get(b.rs) as i32) > 0,
+            BrCond::Bltz => (self.get(b.rs) as i32) < 0,
+            BrCond::Bgez => (self.get(b.rs) as i32) >= 0,
+        }
+    }
+
+    /// Evaluates a translated single-cycle ALU op — the same extension
+    /// and wrapping rules as the corresponding `execute` arms.
+    #[inline(always)]
+    fn alu_eval(&self, op: AluOp) -> u32 {
+        use AluKind::*;
+        let rs = self.get(op.rs);
+        let rt = self.get(op.rt);
+        match op.kind {
+            Addu => rs.wrapping_add(rt),
+            Subu => rs.wrapping_sub(rt),
+            And => rs & rt,
+            Or => rs | rt,
+            Xor => rs ^ rt,
+            Nor => !(rs | rt),
+            Slt => ((rs as i32) < rt as i32) as u32,
+            Sltu => (rs < rt) as u32,
+            Sllv => rt << (rs & 31),
+            Srlv => rt >> (rs & 31),
+            Srav => ((rt as i32) >> (rs & 31)) as u32,
+            SllI => rt << op.imm,
+            SrlI => rt >> op.imm,
+            SraI => ((rt as i32) >> op.imm) as u32,
+            Addiu => rs.wrapping_add(op.imm),
+            Slti => ((rs as i32) < op.imm as i32) as u32,
+            Sltiu => (rs < op.imm) as u32,
+            Andi => rs & op.imm,
+            Ori => rs | op.imm,
+            Xori => rs ^ op.imm,
+            Lui => op.imm,
+        }
+    }
+
+    /// Word-load semantics of a translated `lw`.
+    #[inline(always)]
+    fn lw_exec(&mut self, m: MemOp) {
+        let addr = self.get(m.base).wrapping_add(m.offset as i32 as u32);
+        let v = self.load_word(addr);
+        self.set(m.rt, v);
+    }
+
+    /// Word-store semantics of a translated `sw`.
+    #[inline(always)]
+    fn sw_exec(&mut self, m: MemOp) {
+        let addr = self.get(m.base).wrapping_add(m.offset as i32 as u32);
+        assert!(addr.is_multiple_of(4), "unaligned sw at {addr:#x}");
+        self.ram.write(addr, self.get(m.rt));
+    }
+
     /// The counted memory-system and coprocessor statistics, folded
     /// into the profiler's [`ActivitySlice`] shape. Purely observational
     /// (never advances time), so a profiled run stays bit-identical to
@@ -448,7 +932,10 @@ impl Machine {
         }
     }
 
-    fn fetch(&mut self, pc: u32) -> Instr {
+    /// Fetch-side accounting for one instruction at `pc`: fetch count
+    /// plus the I-cache access (with its stall) or the ROM word read.
+    #[inline(always)]
+    fn fetch_access(&mut self, pc: u32) {
         self.counters.fetches += 1;
         match &mut self.icache {
             Some(cache) => {
@@ -464,10 +951,152 @@ impl Machine {
                 let _ = self.rom.fetch(pc);
             }
         }
-        let idx = (pc / 4) as usize;
-        match self.decoded.get(idx).copied().flatten() {
-            Some(i) => i,
-            None => panic!("fetch of a non-instruction word at {pc:#010x}"),
+    }
+
+    /// Worst-case cycle cost of dispatching a whole block: `len` issue
+    /// cycles, the static internal stalls, at most one dynamic entry
+    /// interlock, and (with an I-cache) a miss on every 16-byte line
+    /// the block can touch. Conservative on purpose — a guard miss only
+    /// means falling back to single-op dispatch, which is always exact.
+    #[inline(always)]
+    fn block_worst(&self, len: u16, stalls: u16) -> u64 {
+        let fetch_worst = match self.config.icache {
+            Some(c) => c.miss_penalty as u64 * (len as u64 / 4 + 2),
+            None => 0,
+        };
+        len as u64 + stalls as u64 + 1 + fetch_worst
+    }
+
+    /// Worst-case cost of a branch-terminated block dispatch: the
+    /// block itself, the branch and delay-slot issue cycles, a
+    /// possible mispredict stall, and (with an I-cache) misses on the
+    /// two extra words' lines.
+    #[inline(always)]
+    fn blockbr_worst(&self, bb: &BrBlock) -> u64 {
+        self.block_worst(bb.len, bb.stalls)
+            + 3
+            + self.config.icache.map_or(0, |c| 2 * c.miss_penalty as u64)
+    }
+
+    /// Worst-case cost of a fused branch-or-jump + delay-slot pair:
+    /// the dynamic entry interlock, two issue cycles, a possible
+    /// mispredict stall, and (with an I-cache) misses on both words'
+    /// lines.
+    #[inline(always)]
+    fn pair_worst(&self) -> u64 {
+        4 + self.config.icache.map_or(0, |c| 2 * c.miss_penalty as u64)
+    }
+
+    /// Fetches and executes a fused dispatch's delay-slot member at
+    /// `seq`. The member never interlocks (its predecessor is the
+    /// branch or jump, never a load); sets `last_load_dest` for the
+    /// successor.
+    #[inline(always)]
+    fn exec_delay_member(&mut self, d: BOp, seq: u32) {
+        self.fetch_access(seq);
+        self.counters.instructions += 1;
+        self.cycle += 1;
+        match d {
+            BOp::Alu(a) => {
+                let v = self.alu_eval(a);
+                self.set(a.rd, v);
+                self.last_load_dest = None;
+            }
+            BOp::Lw(m) => {
+                self.lw_exec(m);
+                self.last_load_dest = Some(m.rt);
+            }
+            BOp::Sw(m) => {
+                self.sw_exec(m);
+                self.last_load_dest = None;
+            }
+        }
+    }
+
+    /// The batched core of a whole-block dispatch: fetch accounting
+    /// for the members' sequential words, the dynamic entry interlock,
+    /// the statically-summed issue cycles and stalls, and every
+    /// member's data semantics. `last_load_dest` is left to the caller.
+    #[inline(always)]
+    fn block_body(&mut self, pc: u32, members: &[BOp], stalls: u16, first_mask: u32) {
+        let len = members.len() as u64;
+        self.counters.fetches += len;
+        let fetch_stalls = match &mut self.icache {
+            Some(cache) => {
+                // Only the first access of each 16-byte line is
+                // dynamic (hit/miss/prefetch); the line's other words
+                // are guaranteed hits — nothing can evict a line under
+                // a straight-line block, and a hit touches no cache
+                // state beyond the access counter.
+                let mut stall_total = 0u64;
+                let mut p = pc;
+                let end = pc.wrapping_add(4 * len as u32);
+                while p < end {
+                    let chunk = ((p | 15) + 1).min(end);
+                    stall_total += cache.access(p).stall as u64;
+                    cache.sequential_hits((chunk - p) as u64 / 4 - 1);
+                    p = chunk;
+                }
+                stall_total
+            }
+            None => {
+                // Dual-port ROM: one 32-bit read per fetch.
+                self.rom.note_fetches(len);
+                0
+            }
+        };
+        if fetch_stalls > 0 {
+            self.stall(fetch_stalls);
+        }
+        self.counters.instructions += len;
+        self.interlock(first_mask);
+        self.cycle += len + stalls as u64;
+        self.counters.stall_cycles += stalls as u64;
+        self.counters.load_use_stalls += stalls as u64;
+        for m in members {
+            match *m {
+                BOp::Alu(a) => {
+                    let v = self.alu_eval(a);
+                    self.set(a.rd, v);
+                }
+                BOp::Lw(m) => self.lw_exec(m),
+                BOp::Sw(m) => self.sw_exec(m),
+            }
+        }
+    }
+
+    /// Single-step fallback for a block entry reached in a delay slot
+    /// or too close to the cycle limit: executes just the first
+    /// member; the next word's own (shorter) entry takes over.
+    #[inline(always)]
+    fn single_member(&mut self, m: BOp, pc: u32, branch_target: Option<u32>) {
+        self.fetch_access(pc);
+        self.counters.instructions += 1;
+        self.interlock(m.src_mask());
+        self.cycle += 1;
+        match m {
+            BOp::Alu(a) => {
+                let v = self.alu_eval(a);
+                self.set(a.rd, v);
+                self.last_load_dest = None;
+            }
+            BOp::Lw(m) => {
+                self.lw_exec(m);
+                self.last_load_dest = Some(m.rt);
+            }
+            BOp::Sw(m) => {
+                self.sw_exec(m);
+                self.last_load_dest = None;
+            }
+        }
+        self.pc = branch_target.unwrap_or(pc.wrapping_add(4));
+    }
+
+    fn fetch(&mut self, pc: u32) -> Instr {
+        self.fetch_access(pc);
+        match self.decoded.get((pc / 4) as usize) {
+            Some(&Some(i)) => i,
+            _ => panic!("fetch of a non-instruction word at {pc:#010x}"),
         }
     }
 
@@ -484,64 +1113,16 @@ impl Machine {
         }
     }
 
-    /// Registers whose values the instruction needs in its execute stage
-    /// (load-use interlock sources).
-    fn ex_sources(&self, i: Instr) -> Vec<Reg> {
-        use Instr::*;
-        match i {
-            Addu { rs, rt, .. }
-            | Subu { rs, rt, .. }
-            | And { rs, rt, .. }
-            | Or { rs, rt, .. }
-            | Xor { rs, rt, .. }
-            | Nor { rs, rt, .. }
-            | Slt { rs, rt, .. }
-            | Sltu { rs, rt, .. } => vec![rs, rt],
-            Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => vec![rt, rs],
-            Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
-            Addiu { rs, .. }
-            | Slti { rs, .. }
-            | Sltiu { rs, .. }
-            | Andi { rs, .. }
-            | Ori { rs, .. }
-            | Xori { rs, .. } => vec![rs],
-            Lui { .. } => vec![],
-            Mult { rs, rt }
-            | Multu { rs, rt }
-            | Div { rs, rt }
-            | Divu { rs, rt }
-            | Maddu { rs, rt }
-            | M2addu { rs, rt }
-            | Addau { rs, rt }
-            | Mulgf2 { rs, rt }
-            | Maddgf2 { rs, rt } => vec![rs, rt],
-            Mfhi { .. } | Mflo { .. } | Sha => vec![],
-            Mthi { rs } | Mtlo { rs } => vec![rs],
-            Lw { base, .. }
-            | Lh { base, .. }
-            | Lhu { base, .. }
-            | Lb { base, .. }
-            | Lbu { base, .. } => vec![base],
-            // Store data is needed in MEM, one stage later: forwardable.
-            Sw { base, .. } | Sh { base, .. } | Sb { base, .. } => vec![base],
-            Beq { rs, rt, .. } | Bne { rs, rt, .. } => vec![rs, rt],
-            Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => vec![rs],
-            J { .. } | Jal { .. } | Break { .. } => vec![],
-            Jr { rs } | Jalr { rs, .. } => vec![rs],
-            Ctc2 { rt, .. } => vec![rt],
-            Cop2LdA { rt }
-            | Cop2LdB { rt }
-            | Cop2LdN { rt }
-            | Cop2St { rt }
-            | BilLd { rt, .. }
-            | BilSt { rt, .. } => vec![rt],
-            Cop2Sync
-            | Cop2Mul
-            | Cop2Add
-            | Cop2Sub
-            | BilMul { .. }
-            | BilSqr { .. }
-            | BilAdd { .. } => vec![],
+    /// The load-use interlock check against the previous instruction's
+    /// load destination; `mask` is the current instruction's
+    /// execute-stage source-register bitmask ([`xlate::src_mask`]).
+    #[inline(always)]
+    fn interlock(&mut self, mask: u32) {
+        if let Some(dest) = self.last_load_dest.take() {
+            if dest != Reg::ZERO && mask >> dest.num() & 1 != 0 {
+                self.stall(1);
+                self.counters.load_use_stalls += 1;
+            }
         }
     }
 
@@ -582,7 +1163,7 @@ impl Machine {
 
     fn require_ext(&self, i: Instr) {
         assert!(
-            self.config.extensions,
+            self.extensions,
             "ISA-extension instruction {i} on a non-extended machine"
         );
     }
@@ -618,7 +1199,9 @@ impl Machine {
     }
 
     /// Executes the instruction's semantics and timing; returns the next
-    /// sequential PC (branches instead arm `pending_branch`).
+    /// sequential PC (branches instead arm `pending_branch`). Shared by
+    /// both engines: the fast tier routes everything it does not
+    /// translate ([`XOp::Other`]) through here.
     fn execute(&mut self, instr: Instr, pc: u32) -> u32 {
         use Instr::*;
         let seq = pc.wrapping_add(4);
@@ -651,7 +1234,7 @@ impl Machine {
             Xori { rt, rs, imm } => self.set(rt, self.get(rs) ^ imm as u32),
             Lui { rt, imm } => self.set(rt, (imm as u32) << 16),
             Mult { rs, rt } => {
-                self.hilo_issue(self.config.mult_latency);
+                self.hilo_issue(self.mult_latency);
                 self.counters.mult_ops += 1;
                 let p = (self.get(rs) as i32 as i64) * (self.get(rt) as i32 as i64);
                 self.lo = p as u32;
@@ -659,7 +1242,7 @@ impl Machine {
                 self.ovflo = 0;
             }
             Multu { rs, rt } => {
-                self.hilo_issue(self.config.mult_latency);
+                self.hilo_issue(self.mult_latency);
                 self.counters.mult_ops += 1;
                 let p = (self.get(rs) as u64) * (self.get(rt) as u64);
                 self.lo = p as u32;
@@ -667,7 +1250,7 @@ impl Machine {
                 self.ovflo = 0;
             }
             Div { rs, rt } => {
-                self.hilo_issue(self.config.div_latency);
+                self.hilo_issue(self.div_latency);
                 self.counters.div_ops += 1;
                 let (a, b) = (self.get(rs) as i32, self.get(rt) as i32);
                 if b == 0 {
@@ -680,7 +1263,7 @@ impl Machine {
                 self.ovflo = 0;
             }
             Divu { rs, rt } => {
-                self.hilo_issue(self.config.div_latency);
+                self.hilo_issue(self.div_latency);
                 self.counters.div_ops += 1;
                 let (a, b) = (self.get(rs), self.get(rt));
                 // MIPS divide-by-zero: lo/hi take defined junk values.
@@ -797,14 +1380,14 @@ impl Machine {
             }
             Maddu { rs, rt } => {
                 self.require_ext(instr);
-                self.hilo_issue(self.config.mult_latency);
+                self.hilo_issue(self.mult_latency);
                 self.counters.mult_ops += 1;
                 let p = (self.get(rs) as u128) * (self.get(rt) as u128);
                 self.set_acc(self.acc().wrapping_add(p));
             }
             M2addu { rs, rt } => {
                 self.require_ext(instr);
-                self.hilo_issue(self.config.mult_latency);
+                self.hilo_issue(self.mult_latency);
                 self.counters.mult_ops += 1;
                 let p = (self.get(rs) as u128) * (self.get(rt) as u128) * 2;
                 self.set_acc(self.acc().wrapping_add(p));
@@ -822,13 +1405,13 @@ impl Machine {
             }
             Mulgf2 { rs, rt } => {
                 self.require_ext(instr);
-                self.hilo_issue(self.config.mult_latency);
+                self.hilo_issue(self.mult_latency);
                 self.counters.mult_ops += 1;
                 self.set_acc(clmul32(self.get(rs), self.get(rt)) as u128);
             }
             Maddgf2 { rs, rt } => {
                 self.require_ext(instr);
-                self.hilo_issue(self.config.mult_latency);
+                self.hilo_issue(self.mult_latency);
                 self.counters.mult_ops += 1;
                 self.set_acc(self.acc() ^ clmul32(self.get(rs), self.get(rt)) as u128);
             }
@@ -873,15 +1456,23 @@ impl Machine {
     }
 
     fn branch(&mut self, pc: u32, seq: u32, offset: i16, taken: bool, next: &mut u32) {
-        self.counters.branches += 1;
         let target = seq.wrapping_add((offset as i32 as u32) << 2);
+        self.branch_resolved(pc, target, taken);
+        *next = seq;
+    }
+
+    /// Predictor consultation/update and misprediction accounting for a
+    /// branch whose target address is already resolved. Shared by both
+    /// engines.
+    fn branch_resolved(&mut self, pc: u32, target: u32, taken: bool) {
+        self.counters.branches += 1;
         let idx = ((pc >> 2) & 63) as usize;
         let predicted_taken = self.bht[idx] >= 2;
         if predicted_taken != taken {
             self.counters.mispredicts += 1;
             self.stall(1);
             // One wrong-path instruction was fetched and flushed.
-            let wrong = if taken { seq.wrapping_add(4) } else { target };
+            let wrong = if taken { pc.wrapping_add(8) } else { target };
             self.wasted_fetch(wrong);
         }
         // 2-bit saturating update.
@@ -893,7 +1484,6 @@ impl Machine {
         if taken {
             self.pending_branch = Some(target);
         }
-        *next = seq;
     }
 }
 
@@ -917,12 +1507,46 @@ mod tests {
         run_cfg(asm, MachineConfig::isa_ext())
     }
 
+    /// Runs the program on BOTH engine tiers with the given config and
+    /// asserts bit-identical architectural state, counters, and memory
+    /// statistics — every unit test below doubles as an A/B test of
+    /// the fast engine. Returns the fast-tier machine.
     fn run_cfg(asm: Asm, cfg: MachineConfig) -> Machine {
         let p = asm.link("main").expect("link");
-        let mut m = Machine::new(&p, cfg);
-        let exit = m.run(1_000_000);
-        assert_eq!(exit, RunExit::Halted { code: 0 }, "program did not halt");
-        m
+        run_both(&p, cfg, 1_000_000)
+    }
+
+    fn run_both(p: &ule_isa::asm::Program, cfg: MachineConfig, max_cycles: u64) -> Machine {
+        let mut fast = Machine::new(p, cfg);
+        let exit_fast = fast.run_with(ExecOptions::new(max_cycles).with_tier(EngineTier::Fast));
+        let mut reference = Machine::new(p, cfg);
+        let exit_ref =
+            reference.run_with(ExecOptions::new(max_cycles).with_tier(EngineTier::Reference));
+        assert_eq!(exit_fast, exit_ref, "tiers disagree on exit");
+        assert_eq!(
+            exit_ref,
+            RunExit::Halted { code: 0 },
+            "program did not halt"
+        );
+        assert_tiers_equal(&fast, &reference);
+        fast
+    }
+
+    fn assert_tiers_equal(fast: &Machine, reference: &Machine) {
+        assert_eq!(fast.counters(), reference.counters(), "counters diverge");
+        assert_eq!(fast.regs, reference.regs, "registers diverge");
+        assert_eq!(
+            (fast.hi, fast.lo, fast.ovflo, fast.pc),
+            (reference.hi, reference.lo, reference.ovflo, reference.pc),
+            "core state diverges"
+        );
+        assert_eq!(fast.rom_stats(), reference.rom_stats(), "ROM stats diverge");
+        assert_eq!(fast.ram_stats(), reference.ram_stats(), "RAM stats diverge");
+        assert_eq!(
+            fast.icache_stats(),
+            reference.icache_stats(),
+            "I$ stats diverge"
+        );
     }
 
     #[test]
@@ -1149,11 +1773,13 @@ mod tests {
         a.maddu(Reg::T0, Reg::T1);
         a.brk(0);
         let p = a.link("main").unwrap();
-        let mut m = Machine::new(&p, MachineConfig::baseline());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            m.run(1000);
-        }));
-        assert!(result.is_err(), "baseline must reject extension instrs");
+        for tier in [EngineTier::Fast, EngineTier::Reference] {
+            let mut m = Machine::new(&p, MachineConfig::baseline());
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                m.run_with(ExecOptions::new(1000).with_tier(tier));
+            }));
+            assert!(result.is_err(), "baseline must reject extension instrs");
+        }
     }
 
     #[test]
@@ -1228,7 +1854,112 @@ mod tests {
         a.b("spin");
         a.nop();
         let p = a.link("main").unwrap();
-        let mut m = Machine::new(&p, MachineConfig::baseline());
-        assert_eq!(m.run(1000), RunExit::CycleLimit);
+        for tier in [EngineTier::Fast, EngineTier::Reference] {
+            let mut m = Machine::new(&p, MachineConfig::baseline());
+            assert_eq!(
+                m.run_with(ExecOptions::new(1000).with_tier(tier)),
+                RunExit::CycleLimit
+            );
+        }
+    }
+
+    /// A fuseable pair whose second member is also a branch target:
+    /// fusion must never change reachability of the pair's members.
+    #[test]
+    fn jump_into_fused_pair_second_member() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 1);
+        a.b("mid");
+        a.nop();
+        // This lw/addiu pair fuses; "mid" lands on the addiu.
+        a.lw(Reg::T1, 0, Reg::ZERO); // skipped by the branch
+        a.label("mid");
+        a.addiu(Reg::T0, Reg::T0, 41);
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T0), 42);
+    }
+
+    /// A fuseable pair whose first member sits in a branch delay slot:
+    /// only that member may execute before control transfers.
+    #[test]
+    fn fused_pair_first_member_in_delay_slot() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 0);
+        a.b("out");
+        a.addiu(Reg::T0, Reg::T0, 1); // delay slot; fuses with the next addiu
+        a.addiu(Reg::T0, Reg::T0, 100); // must NOT execute
+        a.label("out");
+        a.brk(0);
+        let m = run(a);
+        assert_eq!(m.reg(Reg::T0), 1);
+    }
+
+    /// Sweeps the cycle limit across a fused-heavy program: the fast
+    /// engine must stop at exactly the same instruction boundary as the
+    /// reference for every budget (the fuse-guard contract).
+    #[test]
+    fn cycle_limit_boundary_matches_reference() {
+        let mut a = Asm::new();
+        let buf = a.ram_alloc("buf", 4);
+        a.label("main");
+        a.li(Reg::T0, buf as i64);
+        a.li(Reg::T1, 8);
+        a.label("loop");
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.sw(Reg::T1, 4, Reg::T0);
+        a.lw(Reg::T2, 0, Reg::T0);
+        a.lw(Reg::T3, 4, Reg::T0);
+        a.addu(Reg::T4, Reg::T2, Reg::T3);
+        a.addiu(Reg::T1, Reg::T1, -1);
+        a.bne(Reg::T1, Reg::ZERO, "loop");
+        a.nop();
+        a.brk(0);
+        let p = a.link("main").unwrap();
+        for max_cycles in 1..=80 {
+            let mut fast = Machine::new(&p, MachineConfig::baseline());
+            let ef = fast.run_with(ExecOptions::new(max_cycles).with_tier(EngineTier::Fast));
+            let mut reference = Machine::new(&p, MachineConfig::baseline());
+            let er =
+                reference.run_with(ExecOptions::new(max_cycles).with_tier(EngineTier::Reference));
+            assert_eq!(ef, er, "exit diverges at budget {max_cycles}");
+            assert_tiers_equal(&fast, &reference);
+        }
+    }
+
+    /// `Auto` picks the fast engine on a bare machine and the reference
+    /// engine on a profiled one; forcing Fast on a profiled machine is
+    /// a programming error.
+    #[test]
+    fn tier_selection_rules() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.li(Reg::T0, 7);
+        a.brk(0);
+        let p = a.link("main").unwrap();
+
+        let mut bare = Machine::new(&p, MachineConfig::baseline());
+        bare.run_with(ExecOptions::new(1000));
+        assert!(bare.xops.is_some(), "Auto on a bare machine runs fast");
+
+        let mut profiled = Machine::builder(&p, MachineConfig::baseline())
+            .instrumentation(Instrumentation::profile(&p.text_symbols()))
+            .build();
+        profiled.run_with(ExecOptions::new(1000));
+        assert!(
+            profiled.xops.is_none(),
+            "Auto on a profiled machine runs reference"
+        );
+        assert!(profiled.take_profile().is_some());
+
+        let mut profiled = Machine::builder(&p, MachineConfig::baseline())
+            .instrumentation(Instrumentation::profile(&p.text_symbols()))
+            .build();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            profiled.run_with(ExecOptions::new(1000).with_tier(EngineTier::Fast));
+        }));
+        assert!(result.is_err(), "forcing Fast on a profiled machine panics");
     }
 }

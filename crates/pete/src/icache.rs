@@ -272,6 +272,17 @@ impl ICache {
         FetchOutcome { stall, rom_lines }
     }
 
+    /// Accounts `n` fetches that are statically known to hit: the
+    /// trailing words of a 16-byte line inside a translated basic
+    /// block, whose line the first word's fetch just left resident
+    /// (hit, fill, or prefetch promotion all end with the line in the
+    /// cache, and straight-line execution cannot evict it). A hit
+    /// touches no cache state beyond the access counter, so this is
+    /// exactly `n` repeats of [`ICache::access`] on the hit path.
+    pub(crate) fn sequential_hits(&mut self, n: u64) {
+        self.stats.accesses += n;
+    }
+
     /// Invalidates every line (the reset routine of §5.3.2).
     pub fn invalidate_all(&mut self) {
         for t in &mut self.tags {

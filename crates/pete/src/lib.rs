@@ -22,6 +22,12 @@
 //! * [`cpu`] — the pipeline timing model;
 //! * [`cop`] — the coprocessor-2 interface the Monte and Billie
 //!   accelerator models plug into (§5.4.1, §5.5.1).
+//!
+//! Two execution engines share the timing model (see `DESIGN.md` §6a):
+//! the instrumented **reference** interpreter and a **fast** engine
+//! built on a private translation cache (`xlate`) with superinstruction
+//! fusion. [`cpu::ExecOptions`] selects the tier; cycles, counters, and
+//! memory statistics are bit-identical between the two.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,9 +37,13 @@ pub mod cpu;
 pub mod icache;
 pub mod mem;
 pub mod profile;
+mod xlate;
 
 pub use cop::{CopStats, Coprocessor};
-pub use cpu::{Counters, Machine, MachineConfig, RunExit};
+pub use cpu::{
+    Counters, EngineTier, ExecOptions, Instrumentation, Machine, MachineBuilder, MachineConfig,
+    RunExit,
+};
 pub use icache::{CacheConfig, CacheStats};
 pub use profile::{
     ActivitySlice, CallGraph, CallNode, ControlEvent, PcProfiler, RoutineCycles, RoutineProfile,

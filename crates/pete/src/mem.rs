@@ -73,6 +73,13 @@ impl Rom {
         self.peek(addr)
     }
 
+    /// Accounts `n` instruction-bus word fetches at once, without
+    /// touching the data — the fast engine's batched accounting for a
+    /// translated basic block, whose words were all decoded up front.
+    pub(crate) fn note_fetches(&mut self, n: u64) {
+        self.stats.reads += n;
+    }
+
     /// Data-bus word read (counted) — used for tables and constants in
     /// read-only data.
     pub fn read(&mut self, addr: u32) -> u32 {

@@ -6,7 +6,7 @@
 use ule_isa::asm::Asm;
 use ule_isa::instr::Instr;
 use ule_isa::reg::Reg;
-use ule_pete::cpu::{Machine, MachineConfig, RunExit};
+use ule_pete::cpu::{EngineTier, ExecOptions, Machine, MachineConfig, RunExit};
 use ule_testkit::Rng;
 
 /// The registers the generated programs may touch (avoid $zero/$sp/$ra).
@@ -150,19 +150,27 @@ fn random_programs_match_the_oracle() {
         }
         asm.brk(0);
         let program = asm.link("main").expect("link");
-        let mut m = Machine::new(&program, MachineConfig::baseline());
-        for (i, &v) in init.iter().enumerate() {
-            m.set_reg(POOL[i], v);
-        }
-        let exit = m.run(1_000_000);
-        assert_eq!(exit, RunExit::Halted { code: 0 });
+        // Both engine tiers must match the oracle — and each other.
+        let mut per_tier = [EngineTier::Fast, EngineTier::Reference].map(|tier| {
+            let mut m = Machine::new(&program, MachineConfig::baseline());
+            for (i, &v) in init.iter().enumerate() {
+                m.set_reg(POOL[i], v);
+            }
+            let exit = m.run_with(ExecOptions::new(1_000_000).with_tier(tier));
+            assert_eq!(exit, RunExit::Halted { code: 0 });
+            m
+        });
         let expect = interpret(&init, &ops);
-        for (i, &e) in expect.iter().enumerate() {
-            assert_eq!(m.reg(POOL[i]), e, "register {} diverged", POOL[i]);
+        for m in &per_tier {
+            for (i, &e) in expect.iter().enumerate() {
+                assert_eq!(m.reg(POOL[i]), e, "register {} diverged", POOL[i]);
+            }
         }
+        let [fast, reference] = &mut per_tier;
+        assert_eq!(fast.counters(), reference.counters(), "tiers diverge");
         // Timing sanity: at least one cycle per instruction, bounded
         // stall overhead (no memory, so only multiplier stalls).
-        let c = m.counters();
+        let c = reference.counters();
         assert!(c.cycles >= c.instructions);
         assert!(c.cycles <= c.instructions + 5 * c.mult_ops + 8);
     }

@@ -2,13 +2,13 @@
 //! differential tests, the `ule-core` driver, and the benchmark harness.
 
 use ule_isa::asm::Program;
-use ule_pete::cpu::{Machine, MachineConfig, RunExit};
+use ule_pete::cpu::{ExecOptions, Machine, MachineConfig, RunExit};
 
 /// Default cycle budget for one entry (a 571-bit baseline verification is
 /// the worst case in the study at ~250M cycles, §7.6).
 pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
 
-/// Why [`try_run_entry`] could not complete an entry point.
+/// Why [`run_entry`] could not complete an entry point.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RunError {
     /// The entry label is not defined by the program image.
@@ -39,38 +39,46 @@ impl std::fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// Runs the program from the given entry label until `break`, returning
-/// the cycle count, or an error on a missing label / exhausted cycle
-/// budget. The fuzzing campaigns use this so one divergent or hung seed
-/// is reported instead of aborting the whole run; directed tests keep
-/// the panicking [`run_entry`].
-pub fn try_run_entry(
+/// the elapsed cycle count, or an error on a missing label / exhausted
+/// cycle budget. `opts.max_cycles` is the budget for *this entry*
+/// (relative to the machine's current cycle count, so entries can be
+/// chained on one machine); `opts.tier` selects the execution engine.
+/// The fuzzing campaigns use this so one divergent or hung seed is
+/// reported instead of aborting the whole run; directed tests use the
+/// panicking [`run_entry_expect`] wrapper.
+pub fn run_entry(
     m: &mut Machine,
     program: &Program,
     entry: &str,
-    max_cycles: u64,
+    opts: ExecOptions,
 ) -> Result<u64, RunError> {
     let pc = program.symbol(entry).ok_or_else(|| RunError::NoEntry {
         entry: entry.to_string(),
     })?;
     m.set_pc(pc);
     let start = m.cycles();
-    match m.run(start + max_cycles) {
+    let abs = ExecOptions {
+        max_cycles: start + opts.max_cycles,
+        ..opts
+    };
+    match m.run_with(abs) {
         RunExit::Halted { .. } => Ok(m.cycles() - start),
         RunExit::CycleLimit => Err(RunError::CycleLimit {
             entry: entry.to_string(),
-            max_cycles,
+            max_cycles: opts.max_cycles,
         }),
     }
 }
 
-/// Runs the program from the given entry label until `break`.
+/// Runs the program from the given entry label until `break`, on the
+/// automatically selected engine tier.
 ///
 /// # Panics
 ///
 /// Panics if the entry label does not exist or the cycle budget runs out
 /// (both indicate suite bugs, not user errors).
-pub fn run_entry(m: &mut Machine, program: &Program, entry: &str, max_cycles: u64) -> u64 {
-    match try_run_entry(m, program, entry, max_cycles) {
+pub fn run_entry_expect(m: &mut Machine, program: &Program, entry: &str, max_cycles: u64) -> u64 {
+    match run_entry(m, program, entry, ExecOptions::new(max_cycles)) {
         Ok(cycles) => cycles,
         Err(e) => panic!("{e}"),
     }

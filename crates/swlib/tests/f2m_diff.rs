@@ -9,7 +9,7 @@ use ule_swlib::f2m::{
     emit_f2m_sqr_ext, emit_f2m_sqr_table, spread_table_words, F2mEeaBufs,
 };
 use ule_swlib::gen::Gen;
-use ule_swlib::harness::{read_buf, run_entry, write_buf};
+use ule_swlib::harness::{read_buf, run_entry_expect, write_buf};
 
 struct F2mProgram {
     program: ule_isa::asm::Program,
@@ -101,7 +101,7 @@ fn run_op(fp: &F2mProgram, ext: bool, entry: &str, a: &[u32], b: Option<&[u32]>)
     if let Some(b) = b {
         write_buf(&mut m, &fp.program, "arg_b", b);
     }
-    run_entry(&mut m, &fp.program, entry, 100_000_000);
+    run_entry_expect(&mut m, &fp.program, entry, 100_000_000);
     read_buf(&m, &fp.program, "out", fp.k)
 }
 
@@ -189,7 +189,7 @@ fn reduction_matches_host_on_extremes() {
         for wide in [vec![0u32; width], vec![u32::MAX; width]] {
             let mut m = Machine::new(&fp.program, cfg(false));
             write_buf(&mut m, &fp.program, "wide_in", &wide);
-            run_entry(&mut m, &fp.program, "main_red", 10_000_000);
+            run_entry_expect(&mut m, &fp.program, "main_red", 10_000_000);
             let got = read_buf(&m, &fp.program, "out", fp.k);
             let expect = field.reduce(&wide);
             assert_eq!(got, expect, "{} red", nb.name());
@@ -231,11 +231,11 @@ fn ext_mul_is_dramatically_faster_than_comb() {
     let mut mb = Machine::new(&base.program, cfg(false));
     write_buf(&mut mb, &base.program, "arg_a", &a);
     write_buf(&mut mb, &base.program, "arg_b", &b);
-    let comb_cycles = run_entry(&mut mb, &base.program, "main_mul", 10_000_000);
+    let comb_cycles = run_entry_expect(&mut mb, &base.program, "main_mul", 10_000_000);
     let mut me = Machine::new(&ext.program, cfg(true));
     write_buf(&mut me, &ext.program, "arg_a", &a);
     write_buf(&mut me, &ext.program, "arg_b", &b);
-    let ext_cycles = run_entry(&mut me, &ext.program, "main_mul", 10_000_000);
+    let ext_cycles = run_entry_expect(&mut me, &ext.program, "main_mul", 10_000_000);
     assert!(
         ext_cycles * 2 < comb_cycles,
         "ext {ext_cycles} vs comb {comb_cycles}"

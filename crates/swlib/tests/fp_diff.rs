@@ -12,7 +12,7 @@ use ule_swlib::fp::{
     emit_fsqr_ps_ext, emit_fsub, EeaBufs,
 };
 use ule_swlib::gen::Gen;
-use ule_swlib::harness::{read_buf, run_entry, write_buf};
+use ule_swlib::harness::{read_buf, run_entry_expect, write_buf};
 
 /// Builds a test program exposing one entry per field routine.
 struct FieldProgram {
@@ -93,7 +93,7 @@ fn run_binop(fp: &FieldProgram, entry: &str, a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut m = Machine::new(&fp.program, MachineConfig::baseline());
     write_buf(&mut m, &fp.program, "arg_a", a);
     write_buf(&mut m, &fp.program, "arg_b", b);
-    run_entry(&mut m, &fp.program, entry, 50_000_000);
+    run_entry_expect(&mut m, &fp.program, entry, 50_000_000);
     read_buf(&m, &fp.program, "out", fp.k)
 }
 
@@ -177,7 +177,7 @@ fn fred_matches_host_on_extreme_inputs() {
         for wide in cases {
             let mut m = Machine::new(&fp.program, MachineConfig::baseline());
             write_buf(&mut m, &fp.program, "wide_in", &wide);
-            run_entry(&mut m, &fp.program, "main_fred", 10_000_000);
+            run_entry_expect(&mut m, &fp.program, "main_fred", 10_000_000);
             let got = read_buf(&m, &fp.program, "out", k);
             let expect = field.reduce_wide(&wide).limbs().to_vec();
             assert_eq!(got, expect, "{} fred", p.name());
@@ -251,7 +251,7 @@ fn ext_product_scanning_matches_host() {
             let mut m = Machine::new(&fp.program, MachineConfig::isa_ext());
             write_buf(&mut m, &fp.program, "arg_a", &a);
             write_buf(&mut m, &fp.program, "arg_b", &b);
-            run_entry(&mut m, &fp.program, "main_fmul", 10_000_000);
+            run_entry_expect(&mut m, &fp.program, "main_fmul", 10_000_000);
             assert_eq!(
                 read_buf(&m, &fp.program, "out", fp.k),
                 expect,
@@ -272,7 +272,7 @@ fn ext_squaring_matches_host() {
             let expect = field.sqr(&field.from_limbs(&a)).limbs().to_vec();
             let mut m = Machine::new(&fp.program, MachineConfig::isa_ext());
             write_buf(&mut m, &fp.program, "arg_a", &a);
-            run_entry(&mut m, &fp.program, "main_fsqr", 10_000_000);
+            run_entry_expect(&mut m, &fp.program, "main_fsqr", 10_000_000);
             assert_eq!(
                 read_buf(&m, &fp.program, "out", fp.k),
                 expect,
@@ -293,11 +293,11 @@ fn ext_multiplication_is_faster_than_baseline() {
     let mut mb = Machine::new(&base.program, MachineConfig::baseline());
     write_buf(&mut mb, &base.program, "arg_a", &a);
     write_buf(&mut mb, &base.program, "arg_b", &b);
-    let base_cycles = run_entry(&mut mb, &base.program, "main_fmul", 10_000_000);
+    let base_cycles = run_entry_expect(&mut mb, &base.program, "main_fmul", 10_000_000);
     let mut me = Machine::new(&ext.program, MachineConfig::isa_ext());
     write_buf(&mut me, &ext.program, "arg_a", &a);
     write_buf(&mut me, &ext.program, "arg_b", &b);
-    let ext_cycles = run_entry(&mut me, &ext.program, "main_fmul", 10_000_000);
+    let ext_cycles = run_entry_expect(&mut me, &ext.program, "main_fmul", 10_000_000);
     assert!(
         ext_cycles < base_cycles,
         "ext {ext_cycles} !< baseline {base_cycles}"
@@ -343,7 +343,7 @@ fn cios_matches_host_for_group_order() {
             .poke_words(program.ram_symbol("arg_b").unwrap(), &b);
         let pc = program.symbol("main_cios").unwrap();
         m.set_pc(pc);
-        let exit = m.run(10_000_000);
+        let exit = m.run_with(ule_pete::cpu::ExecOptions::new(10_000_000));
         assert!(matches!(exit, ule_pete::cpu::RunExit::Halted { .. }));
         let got = m
             .ram()

@@ -9,7 +9,7 @@ use ule_mpmath::mp::Mp;
 use ule_mpmath::nist::{NistBinary, NistPrime};
 use ule_pete::cpu::{Machine, MachineConfig};
 use ule_swlib::builder::{build_suite, Arch, Suite};
-use ule_swlib::harness::{read_buf, run_entry, write_buf};
+use ule_swlib::harness::{read_buf, run_entry_expect, write_buf};
 use ule_testkit::Rng;
 
 fn p192_suites() -> (Suite, Suite) {
@@ -48,7 +48,7 @@ fn run_fmul(suite: &Suite, ext: bool, a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut m = Machine::new(&suite.program, cfg);
     write_buf(&mut m, &suite.program, "arg_qx", a);
     write_buf(&mut m, &suite.program, "arg_qy", b);
-    run_entry(&mut m, &suite.program, "main_fmul", 10_000_000);
+    run_entry_expect(&mut m, &suite.program, "main_fmul", 10_000_000);
     read_buf(&m, &suite.program, "out_r", 6)
 }
 
@@ -102,7 +102,7 @@ fn p192_fadd_fsub_random_operands() {
             let mut m = Machine::new(&base.program, MachineConfig::baseline());
             write_buf(&mut m, &base.program, "arg_qx", &a);
             write_buf(&mut m, &base.program, "arg_qy", &b);
-            run_entry(&mut m, &base.program, entry, 10_000_000);
+            run_entry_expect(&mut m, &base.program, entry, 10_000_000);
             assert_eq!(
                 read_buf(&m, &base.program, "out_r", 6),
                 expect.limbs().to_vec(),

@@ -10,7 +10,7 @@ use ule_curves::scalar;
 use ule_mpmath::mp::Mp;
 use ule_pete::cpu::{Machine, MachineConfig};
 use ule_swlib::builder::{build_suite, Arch, Suite};
-use ule_swlib::harness::{read_buf, run_entry, write_buf};
+use ule_swlib::harness::{read_buf, run_entry_expect, write_buf};
 
 fn machine_for(suite: &Suite) -> Machine {
     let cfg = match suite.arch {
@@ -18,16 +18,16 @@ fn machine_for(suite: &Suite) -> Machine {
         Arch::IsaExt => MachineConfig::isa_ext(),
         _ => MachineConfig::isa_ext(),
     };
-    let mut m = Machine::new(&suite.program, cfg);
+    let mut b = Machine::builder(&suite.program, cfg);
     if suite.arch == Arch::Monte {
-        m.attach_coprocessor(Box::new(ule_monte::Monte::new()));
+        b = b.coprocessor(Box::new(ule_monte::Monte::new()));
     }
     if suite.arch == Arch::Billie {
-        m.attach_coprocessor(Box::new(ule_billie::Billie::new(
+        b = b.coprocessor(Box::new(ule_billie::Billie::new(
             suite.curve_id.nist_binary(),
         )));
     }
-    m
+    b.build()
 }
 
 fn limbs(v: &Mp, k: usize) -> Vec<u32> {
@@ -127,7 +127,7 @@ fn point_double_and_add_match_host() {
             let mut m = machine_for(&suite);
             write_buf(&mut m, &suite.program, "arg_px", &gx);
             write_buf(&mut m, &suite.program, "arg_py", &gy);
-            run_entry(&mut m, &suite.program, "main_pdbl", 500_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_pdbl", 500_000_000);
             let got_x = read_buf(&m, &suite.program, "out_r", k);
             let got_y = read_buf(&m, &suite.program, "out_s", k);
             let (ex, ey) = host_double(&curve, &gx, &gy, k);
@@ -138,7 +138,7 @@ fn point_double_and_add_match_host() {
             write_buf(&mut m, &suite.program, "arg_py", &gy);
             write_buf(&mut m, &suite.program, "arg_qx", &hx);
             write_buf(&mut m, &suite.program, "arg_qy", &hy);
-            run_entry(&mut m, &suite.program, "main_padd", 500_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_padd", 500_000_000);
             let got_x = read_buf(&m, &suite.program, "out_r", k);
             let got_y = read_buf(&m, &suite.program, "out_s", k);
             let (ex, ey) = host_add(&curve, &gx, &gy, &hx, &hy, k);
@@ -161,7 +161,7 @@ fn scalar_mul_matches_host() {
             let suite = build_suite(&curve, arch);
             let mut m = machine_for(&suite);
             write_buf(&mut m, &suite.program, "arg_k", &limbs(&s, k));
-            run_entry(&mut m, &suite.program, "main_scalar_mul", 2_000_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_scalar_mul", 2_000_000_000);
             let got_x = read_buf(&m, &suite.program, "out_r", k);
             let got_y = read_buf(&m, &suite.program, "out_s", k);
             let (ex, ey) = host_mul_g(&curve, &s, k);
@@ -204,7 +204,7 @@ fn twin_mul_matches_host() {
             write_buf(&mut m, &suite.program, "arg_d", &limbs(&u2, k));
             write_buf(&mut m, &suite.program, "arg_qx", &qx);
             write_buf(&mut m, &suite.program, "arg_qy", &qy);
-            run_entry(&mut m, &suite.program, "main_twin_mul", 2_000_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_twin_mul", 2_000_000_000);
             let got_x = read_buf(&m, &suite.program, "out_r", k);
             let got_y = read_buf(&m, &suite.program, "out_s", k);
             assert_eq!(
@@ -241,7 +241,7 @@ fn ecdsa_sign_verify_match_host() {
             write_buf(&mut m, &suite.program, "arg_e", &limbs(&e, k));
             write_buf(&mut m, &suite.program, "arg_d", &limbs(keys.private(), k));
             write_buf(&mut m, &suite.program, "arg_k", &limbs(&nonce, k));
-            run_entry(&mut m, &suite.program, "main_sign", 2_000_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_sign", 2_000_000_000);
             let r = Mp::from_limbs(&read_buf(&m, &suite.program, "out_r", k));
             let s = Mp::from_limbs(&read_buf(&m, &suite.program, "out_s", k));
             assert_eq!(r, host_sig.r, "{id:?} {arch:?} r");
@@ -253,7 +253,7 @@ fn ecdsa_sign_verify_match_host() {
             write_buf(&mut m, &suite.program, "arg_s", &limbs(&host_sig.s, k));
             write_buf(&mut m, &suite.program, "arg_qx", &qx);
             write_buf(&mut m, &suite.program, "arg_qy", &qy);
-            run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_verify", 2_000_000_000);
             assert_eq!(
                 read_buf(&m, &suite.program, "out_ok", 1),
                 vec![1],
@@ -267,7 +267,7 @@ fn ecdsa_sign_verify_match_host() {
             write_buf(&mut m, &suite.program, "arg_s", &limbs(&bad_s, k));
             write_buf(&mut m, &suite.program, "arg_qx", &qx);
             write_buf(&mut m, &suite.program, "arg_qy", &qy);
-            run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_verify", 2_000_000_000);
             assert_eq!(
                 read_buf(&m, &suite.program, "out_ok", 1),
                 vec![0],

@@ -14,23 +14,23 @@ use ule_curves::scalar;
 use ule_mpmath::mp::Mp;
 use ule_pete::cpu::{Machine, MachineConfig};
 use ule_swlib::builder::{build_suite, Arch, Suite};
-use ule_swlib::harness::{read_buf, run_entry, write_buf};
+use ule_swlib::harness::{read_buf, run_entry_expect, write_buf};
 
 fn machine_for(suite: &Suite) -> Machine {
     let cfg = match suite.arch {
         Arch::Baseline => MachineConfig::baseline(),
         _ => MachineConfig::isa_ext(),
     };
-    let mut m = Machine::new(&suite.program, cfg);
+    let mut b = Machine::builder(&suite.program, cfg);
     if suite.arch == Arch::Monte {
-        m.attach_coprocessor(Box::new(ule_monte::Monte::new()));
+        b = b.coprocessor(Box::new(ule_monte::Monte::new()));
     }
     if suite.arch == Arch::Billie {
-        m.attach_coprocessor(Box::new(ule_billie::Billie::new(
+        b = b.coprocessor(Box::new(ule_billie::Billie::new(
             suite.curve_id.nist_binary(),
         )));
     }
-    m
+    b.build()
 }
 
 fn field_words(curve: &Curve) -> usize {
@@ -99,7 +99,7 @@ fn check_twin(id: CurveId, u1: &Mp, u2: &Mp, qx: &[u32], qy: &[u32], what: &str)
         write_buf(&mut m, &suite.program, "arg_d", &u2.to_limbs(k));
         write_buf(&mut m, &suite.program, "arg_qx", qx);
         write_buf(&mut m, &suite.program, "arg_qy", qy);
-        run_entry(&mut m, &suite.program, "main_twin_mul", 2_000_000_000);
+        run_entry_expect(&mut m, &suite.program, "main_twin_mul", 2_000_000_000);
         let got = (
             read_buf(&m, &suite.program, "out_r", k),
             read_buf(&m, &suite.program, "out_s", k),
@@ -209,7 +209,7 @@ fn ecdsa_degenerate_public_keys() {
                 write_buf(&mut m, &suite.program, "arg_s", &sig.s.to_limbs(k));
                 write_buf(&mut m, &suite.program, "arg_qx", &qx);
                 write_buf(&mut m, &suite.program, "arg_qy", &qy);
-                run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+                run_entry_expect(&mut m, &suite.program, "main_verify", 2_000_000_000);
                 assert_eq!(
                     read_buf(&m, &suite.program, "out_ok", 1),
                     vec![1],
@@ -223,7 +223,7 @@ fn ecdsa_degenerate_public_keys() {
                 write_buf(&mut m, &suite.program, "arg_s", &bad_s.to_limbs(k));
                 write_buf(&mut m, &suite.program, "arg_qx", &qx);
                 write_buf(&mut m, &suite.program, "arg_qy", &qy);
-                run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+                run_entry_expect(&mut m, &suite.program, "main_verify", 2_000_000_000);
                 assert_eq!(
                     read_buf(&m, &suite.program, "out_ok", 1),
                     vec![0],
@@ -263,7 +263,7 @@ fn ecdsa_zero_digest() {
             write_buf(&mut m, &suite.program, "arg_s", &sig.s.to_limbs(k));
             write_buf(&mut m, &suite.program, "arg_qx", &qx);
             write_buf(&mut m, &suite.program, "arg_qy", &qy);
-            run_entry(&mut m, &suite.program, "main_verify", 2_000_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_verify", 2_000_000_000);
             assert_eq!(
                 read_buf(&m, &suite.program, "out_ok", 1),
                 vec![1],

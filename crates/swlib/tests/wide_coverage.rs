@@ -11,22 +11,22 @@ use ule_curves::scalar;
 use ule_mpmath::mp::Mp;
 use ule_pete::cpu::{Machine, MachineConfig};
 use ule_swlib::builder::{build_suite, Arch, Suite};
-use ule_swlib::harness::{read_buf, run_entry, write_buf};
+use ule_swlib::harness::{read_buf, run_entry_expect, write_buf};
 
 fn machine_for(suite: &Suite) -> Machine {
     let cfg = match suite.arch {
         Arch::Baseline => MachineConfig::baseline(),
         _ => MachineConfig::isa_ext(),
     };
-    let mut m = Machine::new(&suite.program, cfg);
-    match suite.arch {
-        Arch::Monte => m.attach_coprocessor(Box::new(ule_monte::Monte::new())),
-        Arch::Billie => m.attach_coprocessor(Box::new(ule_billie::Billie::new(
+    let b = Machine::builder(&suite.program, cfg);
+    let b = match suite.arch {
+        Arch::Monte => b.coprocessor(Box::new(ule_monte::Monte::new())),
+        Arch::Billie => b.coprocessor(Box::new(ule_billie::Billie::new(
             suite.curve_id.nist_binary(),
         ))),
-        _ => {}
-    }
-    m
+        _ => b,
+    };
+    b.build()
 }
 
 fn curve_k(curve: &ule_curves::params::Curve) -> usize {
@@ -69,7 +69,7 @@ fn scalar_mul_every_curve_and_architecture() {
             let suite = build_suite(&curve, arch);
             let mut m = machine_for(&suite);
             write_buf(&mut m, &suite.program, "arg_k", &s.to_limbs(k));
-            run_entry(&mut m, &suite.program, "main_scalar_mul", u64::MAX / 2);
+            run_entry_expect(&mut m, &suite.program, "main_scalar_mul", u64::MAX / 2);
             assert_eq!(
                 read_buf(&m, &suite.program, "out_r", k),
                 expect_x,
@@ -97,7 +97,7 @@ fn ecdsa_sign_every_curve_and_architecture() {
             write_buf(&mut m, &suite.program, "arg_e", &e.to_limbs(k));
             write_buf(&mut m, &suite.program, "arg_d", &keys.private().to_limbs(k));
             write_buf(&mut m, &suite.program, "arg_k", &nonce.to_limbs(k));
-            run_entry(&mut m, &suite.program, "main_sign", u64::MAX / 2);
+            run_entry_expect(&mut m, &suite.program, "main_sign", u64::MAX / 2);
             assert_eq!(
                 Mp::from_limbs(&read_buf(&m, &suite.program, "out_r", k)),
                 sig.r,
@@ -164,7 +164,7 @@ fn field_ops_every_curve_and_architecture() {
             let mut m = machine_for(&suite);
             write_buf(&mut m, &suite.program, "arg_qx", &al);
             write_buf(&mut m, &suite.program, "arg_qy", &bl);
-            run_entry(&mut m, &suite.program, "main_fmul", 200_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_fmul", 200_000_000);
             assert_eq!(
                 read_buf(&m, &suite.program, "out_r", k),
                 expect_mul,
@@ -174,7 +174,7 @@ fn field_ops_every_curve_and_architecture() {
             );
             let mut m = machine_for(&suite);
             write_buf(&mut m, &suite.program, "arg_qx", &al);
-            run_entry(&mut m, &suite.program, "main_finv", 500_000_000);
+            run_entry_expect(&mut m, &suite.program, "main_finv", 500_000_000);
             assert_eq!(
                 read_buf(&m, &suite.program, "out_r", k),
                 expect_inv,

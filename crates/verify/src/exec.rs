@@ -7,10 +7,10 @@ use ule_curves::params::{Curve, CurveId, CurveKind};
 use ule_curves::prime::AffinePoint;
 use ule_curves::scalar;
 use ule_mpmath::mp::Mp;
-use ule_pete::cpu::{Machine, MachineConfig};
+use ule_pete::cpu::{EngineTier, ExecOptions, Machine, MachineConfig};
 use ule_pete::icache::CacheConfig;
 use ule_swlib::builder::{build_suite, Arch, Suite};
-use ule_swlib::harness::{read_buf, try_run_entry, write_buf, DEFAULT_MAX_CYCLES};
+use ule_swlib::harness::{read_buf, run_entry, write_buf, DEFAULT_MAX_CYCLES};
 
 use crate::corpus::Case;
 
@@ -82,6 +82,56 @@ pub fn configs_for(_id: CurveId, only: Option<ConfigKind>) -> Vec<ConfigKind> {
     }
 }
 
+/// Which execution-engine tier(s) a campaign exercises. Both tiers are
+/// contractually bit-identical, so any policy must find the same
+/// divergences; `Alternate` (the default) splits the corpus across the
+/// two engines so every campaign exercises both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierPolicy {
+    /// Every case runs on the fast engine.
+    Fast,
+    /// Every case runs on the reference interpreter.
+    Reference,
+    /// Cases alternate between the tiers by corpus index (default).
+    Alternate,
+}
+
+impl TierPolicy {
+    /// The engine tier for the case at `index` in the corpus.
+    pub fn for_case(self, index: usize) -> EngineTier {
+        match self {
+            TierPolicy::Fast => EngineTier::Fast,
+            TierPolicy::Reference => EngineTier::Reference,
+            TierPolicy::Alternate => {
+                if index.is_multiple_of(2) {
+                    EngineTier::Fast
+                } else {
+                    EngineTier::Reference
+                }
+            }
+        }
+    }
+
+    /// CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            TierPolicy::Fast => "fast",
+            TierPolicy::Reference => "reference",
+            TierPolicy::Alternate => "alternate",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<TierPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "fast" => Some(TierPolicy::Fast),
+            "reference" | "ref" => Some(TierPolicy::Reference),
+            "alternate" | "alt" => Some(TierPolicy::Alternate),
+            _ => None,
+        }
+    }
+}
+
 /// Everything needed to simulate one curve: the host curve object and
 /// the three generated programs (baseline ISA, extended ISA, and the
 /// coprocessor-accelerated build). Suites are generated once per
@@ -145,15 +195,13 @@ impl CurveRig {
                 MachineConfig::isa_ext_with_cache(CacheConfig::real(4096, true))
             }
         };
-        let mut m = Machine::new(&suite.program, mc);
-        match suite.arch {
-            Arch::Monte => m.attach_coprocessor(Box::new(ule_monte::Monte::new())),
-            Arch::Billie => {
-                m.attach_coprocessor(Box::new(ule_billie::Billie::new(self.id.nist_binary())))
-            }
-            _ => {}
-        }
-        m
+        let b = Machine::builder(&suite.program, mc);
+        let b = match suite.arch {
+            Arch::Monte => b.coprocessor(Box::new(ule_monte::Monte::new())),
+            Arch::Billie => b.coprocessor(Box::new(ule_billie::Billie::new(self.id.nist_binary()))),
+            _ => b,
+        };
+        b.build()
     }
 
     /// Host `d*G` as affine limb pairs; the identity maps to the
@@ -288,8 +336,10 @@ pub struct Divergence {
     pub config: ConfigKind,
     /// Entry point that was running.
     pub entry: &'static str,
-    /// RAM buffer that mismatched (or `<hang>` / `<no-entry>`).
+    /// RAM buffer that mismatched (or `<hang>` / `<tier-ab>`).
     pub field: &'static str,
+    /// Engine tier the diverging run used (replayed by the shrinker).
+    pub tier: EngineTier,
     /// Host expectation.
     pub host: Vec<u32>,
     /// Simulator contents.
@@ -314,6 +364,7 @@ struct Checker<'a> {
     rig: &'a CurveRig,
     cfg: ConfigKind,
     entry: &'static str,
+    tier: EngineTier,
     case: &'a Case,
 }
 
@@ -338,6 +389,7 @@ impl Checker<'_> {
             config: self.cfg,
             entry: self.entry,
             field,
+            tier: self.tier,
             host,
             sim,
             case: self.case.clone(),
@@ -354,6 +406,7 @@ pub fn run_case(
     rig: &CurveRig,
     case: &Case,
     configs: &[ConfigKind],
+    tier: EngineTier,
     fault_pending: &mut bool,
 ) -> CaseOutcome {
     let k = rig.k;
@@ -372,12 +425,18 @@ pub fn run_case(
             write_buf(&mut m, &suite.program, "arg_d", &case.d.to_limbs(k));
             write_buf(&mut m, &suite.program, "arg_k", &case.nonce.to_limbs(k));
             out.sim_runs += 1;
-            let run = try_run_entry(&mut m, &suite.program, "main_sign", DEFAULT_MAX_CYCLES);
+            let run = run_entry(
+                &mut m,
+                &suite.program,
+                "main_sign",
+                ExecOptions::new(DEFAULT_MAX_CYCLES).with_tier(tier),
+            );
             let mut ck = Checker {
                 out: &mut out,
                 rig,
                 cfg,
                 entry: "main_sign",
+                tier,
                 case,
             };
             match run {
@@ -408,12 +467,18 @@ pub fn run_case(
                 *fault_pending = false;
             }
             out.sim_runs += 1;
-            let run = try_run_entry(&mut m, &suite.program, "main_verify", DEFAULT_MAX_CYCLES);
+            let run = run_entry(
+                &mut m,
+                &suite.program,
+                "main_verify",
+                ExecOptions::new(DEFAULT_MAX_CYCLES).with_tier(tier),
+            );
             let mut ck = Checker {
                 out: &mut out,
                 rig,
                 cfg,
                 entry: "main_verify",
+                tier,
                 case,
             };
             match run {
@@ -438,6 +503,67 @@ pub fn run_case(
                 Err(_) => ck.hang(),
             }
         }
+    }
+    out
+}
+
+/// In-campaign A/B spot check: runs `main_verify` for one case on both
+/// engine tiers and compares cycles, every pipeline counter, and the
+/// raw memory statistics — the fast engine's bit-exactness contract,
+/// checked inside the fuzzer on real curve workloads. Mismatches are
+/// reported as `<tier-ab>` divergences (host = reference, sim = fast,
+/// each encoded as the u64 cycle count split into u32 halves).
+pub fn tier_ab_check(rig: &CurveRig, case: &Case, cfg: ConfigKind) -> CaseOutcome {
+    let k = rig.k;
+    let suite = rig.suite(cfg);
+    let mut out = CaseOutcome {
+        sim_runs: 0,
+        checks: 0,
+        divergences: Vec::new(),
+    };
+    let mut observed = Vec::new();
+    for tier in [EngineTier::Reference, EngineTier::Fast] {
+        let mut m = rig.machine(cfg);
+        write_buf(&mut m, &suite.program, "arg_e", &case.ver_e.to_limbs(k));
+        write_buf(&mut m, &suite.program, "arg_r", &case.ver_r.to_limbs(k));
+        write_buf(&mut m, &suite.program, "arg_s", &case.ver_s.to_limbs(k));
+        write_buf(&mut m, &suite.program, "arg_qx", &case.qx);
+        write_buf(&mut m, &suite.program, "arg_qy", &case.qy);
+        out.sim_runs += 1;
+        let run = run_entry(
+            &mut m,
+            &suite.program,
+            "main_verify",
+            ExecOptions::new(DEFAULT_MAX_CYCLES).with_tier(tier),
+        );
+        observed.push((tier, run, m));
+    }
+    let (_, run_ref, m_ref) = &observed[0];
+    let (_, run_fast, m_fast) = &observed[1];
+    out.checks += 1;
+    let identical = run_ref.is_ok() == run_fast.is_ok()
+        && m_ref.counters() == m_fast.counters()
+        && m_ref.rom_stats() == m_fast.rom_stats()
+        && m_ref.ram_stats() == m_fast.ram_stats()
+        && m_ref.icache_stats() == m_fast.icache_stats()
+        && m_ref.cop_stats() == m_fast.cop_stats()
+        && read_buf(m_ref, &suite.program, "out_ok", 1)
+            == read_buf(m_fast, &suite.program, "out_ok", 1);
+    if !identical {
+        let enc = |m: &Machine| {
+            let c = m.cycles();
+            vec![c as u32, (c >> 32) as u32]
+        };
+        out.divergences.push(Divergence {
+            curve: rig.id,
+            config: cfg,
+            entry: "main_verify",
+            field: "<tier-ab>",
+            tier: EngineTier::Fast,
+            host: enc(m_ref),
+            sim: enc(m_fast),
+            case: case.clone(),
+        });
     }
     out
 }

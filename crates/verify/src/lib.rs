@@ -39,7 +39,7 @@ use std::fmt::Write as _;
 use ule_curves::params::CurveId;
 
 pub use corpus::{Case, CaseSelector};
-pub use exec::{ConfigKind, CurveRig, Divergence};
+pub use exec::{ConfigKind, CurveRig, Divergence, TierPolicy};
 pub use shrink::ShrunkDivergence;
 
 /// One campaign: corpus size, scope, and fault-injection switches.
@@ -62,6 +62,9 @@ pub struct Campaign {
     pub only_case: Option<CaseSelector>,
     /// Restrict to one configuration (reproducer replay).
     pub only_config: Option<ConfigKind>,
+    /// Which execution-engine tier(s) the cases run on (default:
+    /// alternate, so one campaign exercises both engines).
+    pub tier: TierPolicy,
 }
 
 impl Campaign {
@@ -76,6 +79,7 @@ impl Campaign {
             inject_fault: false,
             only_case: None,
             only_config: None,
+            tier: TierPolicy::Alternate,
         }
     }
 }
@@ -191,8 +195,9 @@ pub fn run_campaign(campaign: &Campaign) -> Report {
             cases: 0,
             sim_runs: 0,
         };
-        for case in &cases {
-            let outcome = exec::run_case(&rig, case, &configs, &mut fault_pending);
+        for (case_index, case) in cases.iter().enumerate() {
+            let tier = campaign.tier.for_case(case_index);
+            let outcome = exec::run_case(&rig, case, &configs, tier, &mut fault_pending);
             tally.cases += 1;
             tally.sim_runs += outcome.sim_runs;
             report.checks += outcome.checks;
@@ -206,6 +211,17 @@ pub fn run_campaign(campaign: &Campaign) -> Report {
                 );
             }
             raw.extend(outcome.divergences);
+        }
+        // Engine-tier A/B spot check on the cheap curves: one case per
+        // curve runs `main_verify` on BOTH tiers and every counter is
+        // compared — the bit-exactness contract, checked in-fuzzer.
+        if id.bits() <= 233 && campaign.only_config.is_none() {
+            if let Some(case) = cases.first() {
+                let outcome = exec::tier_ab_check(&rig, case, ConfigKind::Baseline);
+                tally.sim_runs += outcome.sim_runs;
+                report.checks += outcome.checks;
+                raw.extend(outcome.divergences);
+            }
         }
         report.cases += tally.cases;
         report.sim_runs += tally.sim_runs;

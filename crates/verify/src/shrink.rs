@@ -3,7 +3,8 @@
 //! reproduce it, then emit a one-line `repro verify` reproducer.
 
 use ule_mpmath::mp::Mp;
-use ule_swlib::harness::{read_buf, try_run_entry, write_buf, DEFAULT_MAX_CYCLES};
+use ule_pete::cpu::{EngineTier, ExecOptions};
+use ule_swlib::harness::{read_buf, run_entry, write_buf, DEFAULT_MAX_CYCLES};
 
 use crate::corpus::Case;
 use crate::exec::{self, ConfigKind, CurveRig, Divergence};
@@ -40,18 +41,18 @@ impl ShrunkDivergence {
 
 /// Does `main_scalar_mul(k)` diverge from the host on this config?
 /// (`k = 0` is outside the kernel's contract and never probed.)
-fn scalar_mul_diverges(rig: &CurveRig, cfg: ConfigKind, k_scalar: &Mp) -> bool {
+fn scalar_mul_diverges(rig: &CurveRig, cfg: ConfigKind, tier: EngineTier, k_scalar: &Mp) -> bool {
     if k_scalar.is_zero() {
         return false;
     }
     let suite = rig.suite(cfg);
     let mut m = rig.machine(cfg);
     write_buf(&mut m, &suite.program, "arg_k", &k_scalar.to_limbs(rig.k));
-    if try_run_entry(
+    if run_entry(
         &mut m,
         &suite.program,
         "main_scalar_mul",
-        DEFAULT_MAX_CYCLES,
+        ExecOptions::new(DEFAULT_MAX_CYCLES).with_tier(tier),
     )
     .is_err()
     {
@@ -66,14 +67,28 @@ fn scalar_mul_diverges(rig: &CurveRig, cfg: ConfigKind, k_scalar: &Mp) -> bool {
 }
 
 /// Does `main_twin_mul(u1, u2, Q)` diverge from the host?
-fn twin_mul_diverges(rig: &CurveRig, cfg: ConfigKind, u1: &Mp, u2: &Mp, case: &Case) -> bool {
+fn twin_mul_diverges(
+    rig: &CurveRig,
+    cfg: ConfigKind,
+    tier: EngineTier,
+    u1: &Mp,
+    u2: &Mp,
+    case: &Case,
+) -> bool {
     let suite = rig.suite(cfg);
     let mut m = rig.machine(cfg);
     write_buf(&mut m, &suite.program, "arg_e", &u1.to_limbs(rig.k));
     write_buf(&mut m, &suite.program, "arg_d", &u2.to_limbs(rig.k));
     write_buf(&mut m, &suite.program, "arg_qx", &case.qx);
     write_buf(&mut m, &suite.program, "arg_qy", &case.qy);
-    if try_run_entry(&mut m, &suite.program, "main_twin_mul", DEFAULT_MAX_CYCLES).is_err() {
+    if run_entry(
+        &mut m,
+        &suite.program,
+        "main_twin_mul",
+        ExecOptions::new(DEFAULT_MAX_CYCLES).with_tier(tier),
+    )
+    .is_err()
+    {
         return true;
     }
     let host = rig.twin(u1, u2, &case.qx, &case.qy);
@@ -85,11 +100,17 @@ fn twin_mul_diverges(rig: &CurveRig, cfg: ConfigKind, u1: &Mp, u2: &Mp, case: &C
 }
 
 /// Does a full replay of the case's original entry diverge?
-fn full_entry_diverges(rig: &CurveRig, cfg: ConfigKind, entry: &str, case: &Case) -> bool {
+fn full_entry_diverges(
+    rig: &CurveRig,
+    cfg: ConfigKind,
+    tier: EngineTier,
+    entry: &str,
+    case: &Case,
+) -> bool {
     let mut replay = case.clone();
     replay.run_sign = entry == "main_sign";
     let mut no_fault = false;
-    let outcome = exec::run_case(rig, &replay, &[cfg], &mut no_fault);
+    let outcome = exec::run_case(rig, &replay, &[cfg], tier, &mut no_fault);
     outcome.divergences.iter().any(|d| d.entry == entry)
 }
 
@@ -105,15 +126,21 @@ pub fn shrink(rig: &CurveRig, d: &Divergence, seed: u64) -> ShrunkDivergence {
         configs.push(d.config);
     }
 
+    // Replays run on the tier that observed the divergence, so a
+    // tier-specific bug shrinks instead of vanishing.
+    let tier = d.tier;
     let mut found: Option<(&'static str, ConfigKind)> = None;
     if d.entry == "main_verify" {
         let exp = exec::host_verify(rig, &d.case);
         'outer: for &cfg in &configs {
             for (entry, hit) in [
-                ("main_scalar_mul", scalar_mul_diverges(rig, cfg, &exp.u1)),
+                (
+                    "main_scalar_mul",
+                    scalar_mul_diverges(rig, cfg, tier, &exp.u1),
+                ),
                 (
                     "main_twin_mul",
-                    twin_mul_diverges(rig, cfg, &exp.u1, &exp.u2, &d.case),
+                    twin_mul_diverges(rig, cfg, tier, &exp.u1, &exp.u2, &d.case),
                 ),
             ] {
                 if hit {
@@ -124,7 +151,7 @@ pub fn shrink(rig: &CurveRig, d: &Divergence, seed: u64) -> ShrunkDivergence {
         }
     } else if d.entry == "main_sign" {
         'outer: for &cfg in &configs {
-            if scalar_mul_diverges(rig, cfg, &d.case.nonce) {
+            if scalar_mul_diverges(rig, cfg, tier, &d.case.nonce) {
                 found = Some(("main_scalar_mul", cfg));
                 break 'outer;
             }
@@ -134,19 +161,24 @@ pub fn shrink(rig: &CurveRig, d: &Divergence, seed: u64) -> ShrunkDivergence {
     // original entry instead.
     if found.is_none() {
         for &cfg in &configs {
-            if cfg != d.config && full_entry_diverges(rig, cfg, d.entry, &d.case) {
+            if cfg != d.config && full_entry_diverges(rig, cfg, tier, d.entry, &d.case) {
                 found = Some((d.entry, cfg));
                 break;
             }
         }
     }
     let (entry, config) = found.unwrap_or((d.entry, d.config));
+    let tier_label = match tier {
+        EngineTier::Fast => "fast",
+        _ => "reference",
+    };
     let reproducer = format!(
-        "repro verify --seed {:#018x} --curve {} --case {} --config {} --iters 1",
+        "repro verify --seed {:#018x} --curve {} --case {} --config {} --tier {} --iters 1",
         seed,
         rig.id.name(),
         d.case.label,
         config.label(binary),
+        tier_label,
     );
     ShrunkDivergence {
         original: d.clone(),

@@ -6,7 +6,7 @@
 //! cargo run --release --example icache_tuning
 //! ```
 
-use ule_repro::core_api::{System, SystemConfig, Workload};
+use ule_repro::core_api::{RunOptions, System, SystemConfig, Workload};
 use ule_repro::curves::params::CurveId;
 use ule_repro::pete::icache::CacheConfig;
 use ule_repro::swlib::builder::Arch;
@@ -17,7 +17,8 @@ fn main() {
         "Instruction-cache design sweep ({}, ISA-extended, Sign+Verify)\n",
         curve.name()
     );
-    let base = System::new(SystemConfig::new(curve, Arch::IsaExt)).run(Workload::SignVerify);
+    let base = System::new(SystemConfig::new(curve, Arch::IsaExt))
+        .run_with(RunOptions::new(Workload::SignVerify));
     println!(
         "{:14} {:>10} {:>10} {:>11} {:>10}",
         "cache", "uJ", "saving", "miss rate", "ROM lines"
@@ -35,7 +36,7 @@ fn main() {
         for prefetch in [false, true] {
             let cache = CacheConfig::real(size_kb * 1024, prefetch);
             let report = System::new(SystemConfig::new(curve, Arch::IsaExt).with_icache(cache))
-                .run(Workload::SignVerify);
+                .run_with(RunOptions::new(Workload::SignVerify));
             let label = format!("{size_kb} KB{}", if prefetch { " +prefetch" } else { "" });
             let miss = report
                 .activity

@@ -11,7 +11,7 @@
 //! cargo run --release --example imd_lifetime
 //! ```
 
-use ule_repro::core_api::{System, SystemConfig, Workload};
+use ule_repro::core_api::{RunOptions, System, SystemConfig, Workload};
 use ule_repro::curves::params::CurveId;
 use ule_repro::pete::icache::CacheConfig;
 use ule_repro::swlib::builder::Arch;
@@ -49,7 +49,7 @@ fn main() {
         } else {
             arch.name().to_string()
         };
-        let report = System::new(cfg).run(Workload::SignVerify);
+        let report = System::new(cfg).run_with(RunOptions::new(Workload::SignVerify));
         let per_session_j = report.energy_uj() * 1e-6;
         let sessions = SECURITY_BUDGET_J / per_session_j;
         // 10-year device life.

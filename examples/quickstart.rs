@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ule_repro::core_api::{System, SystemConfig, Workload};
+use ule_repro::core_api::{RunOptions, System, SystemConfig, Workload};
 use ule_repro::curves::ecdsa::{sign, verify, Keypair};
 use ule_repro::curves::params::CurveId;
 use ule_repro::swlib::builder::Arch;
@@ -33,7 +33,7 @@ fn main() {
         (CurveId::K163, Arch::Billie),
     ] {
         let system = System::new(SystemConfig::new(curve, arch));
-        let report = system.run(Workload::SignVerify);
+        let report = system.run_with(RunOptions::new(Workload::SignVerify));
         println!(
             "  {:6} {:10}  {:>10} cycles  {:>7.2} ms  {:>8.1} uJ",
             curve.name(),

@@ -2,7 +2,7 @@
 //! assembler, simulator, accelerators, energy model — exercised through
 //! the public `ule-core` API, pinning the paper's headline *shapes*.
 
-use ule_repro::core_api::{System, SystemConfig, Workload};
+use ule_repro::core_api::{RunOptions, System, SystemConfig, Workload};
 use ule_repro::curves::params::CurveId;
 use ule_repro::energy::Component;
 use ule_repro::monte::MonteConfig;
@@ -10,7 +10,7 @@ use ule_repro::pete::icache::CacheConfig;
 use ule_repro::swlib::builder::Arch;
 
 fn sv(curve: CurveId, arch: Arch) -> ule_repro::core_api::RunReport {
-    System::new(SystemConfig::new(curve, arch)).run(Workload::SignVerify)
+    System::new(SystemConfig::new(curve, arch)).run_with(RunOptions::new(Workload::SignVerify))
 }
 
 #[test]
@@ -86,7 +86,7 @@ fn icache_saves_energy_and_rom_reads() {
     let cached = System::new(
         SystemConfig::new(CurveId::P192, Arch::IsaExt).with_icache(CacheConfig::best()),
     )
-    .run(Workload::SignVerify);
+    .run_with(RunOptions::new(Workload::SignVerify));
     assert!(cached.energy_uj() < plain.energy_uj());
     assert!(cached.activity.rom_word_reads < plain.activity.rom_word_reads / 10);
     // Uncore appears only in the cached configuration.
@@ -103,7 +103,7 @@ fn monte_double_buffering_saves_time_and_energy() {
         queue_depth: 4,
     });
     let with = sv(CurveId::P192, Arch::Monte);
-    let without = System::new(no_db).run(Workload::SignVerify);
+    let without = System::new(no_db).run_with(RunOptions::new(Workload::SignVerify));
     assert!(with.cycles < without.cycles);
     assert!(with.energy_uj() < without.energy_uj());
 }
@@ -149,7 +149,7 @@ fn simulated_signature_verifies_across_architectures() {
     use ule_repro::mpmath::mp::Mp;
     use ule_repro::pete::cpu::{Machine, MachineConfig};
     use ule_repro::swlib::builder::build_suite;
-    use ule_repro::swlib::harness::{read_buf, run_entry, write_buf};
+    use ule_repro::swlib::harness::{read_buf, run_entry_expect, write_buf};
 
     let curve = CurveId::K163.curve();
     let k = 6;
@@ -167,7 +167,7 @@ fn simulated_signature_verifies_across_architectures() {
         &keys.private().to_limbs(k),
     );
     write_buf(&mut m, &s_base.program, "arg_k", &nonce.to_limbs(k));
-    run_entry(&mut m, &s_base.program, "main_sign", u64::MAX / 2);
+    run_entry_expect(&mut m, &s_base.program, "main_sign", u64::MAX / 2);
     let r = read_buf(&m, &s_base.program, "out_r", k);
     let s = read_buf(&m, &s_base.program, "out_s", k);
     // verify on the ISA-extended machine
@@ -184,7 +184,7 @@ fn simulated_signature_verifies_across_architectures() {
     write_buf(&mut m2, &s_ext.program, "arg_s", &s);
     write_buf(&mut m2, &s_ext.program, "arg_qx", &qx);
     write_buf(&mut m2, &s_ext.program, "arg_qy", &qy);
-    run_entry(&mut m2, &s_ext.program, "main_verify", u64::MAX / 2);
+    run_entry_expect(&mut m2, &s_ext.program, "main_verify", u64::MAX / 2);
     assert_eq!(read_buf(&m2, &s_ext.program, "out_ok", 1), vec![1]);
     // And the host agrees.
     let sig = ecdsa::Signature {
