@@ -24,6 +24,17 @@ use std::collections::HashSet;
 use ule_bench::{ConfigKey, ExperimentId, Job, SweepEngine};
 use ule_obs::json::JsonBuf;
 
+/// `sim_wall_ms_total` of the frozen pre-fast-tier sweep
+/// (`BENCH_baseline_prefast.json`, looked up next to the output path),
+/// or `None` when the baseline is absent or malformed — a fresh
+/// checkout without the baseline still benches fine.
+fn prefast_sim_wall_ms(out: &std::path::Path) -> Option<f64> {
+    let path = out.with_file_name("BENCH_baseline_prefast.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = ule_obs::json::parse(&text)?;
+    doc.get("sim_wall_ms_total")?.as_f64().filter(|v| *v > 0.0)
+}
+
 fn main() {
     let mut threads: Option<usize> = None;
     let mut out = PathBuf::from("BENCH_sweep.json");
@@ -94,6 +105,7 @@ fn main() {
     let stats = engine.stats();
     let mut timings = engine.job_timings();
     timings.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.label().cmp(&b.0.label())));
+    let sim_wall_ms_total: f64 = timings.iter().map(|(_, d)| d.as_secs_f64() * 1e3).sum();
 
     let mut b = JsonBuf::new();
     b.begin_object();
@@ -117,12 +129,7 @@ fn main() {
     b.key("simulations").value_u64(stats.simulations);
     b.key("batch_wall_ms")
         .value_f64(batch_wall.as_secs_f64() * 1e3);
-    b.key("sim_wall_ms_total").value_f64(
-        timings
-            .iter()
-            .map(|(_, d)| d.as_secs_f64() * 1e3)
-            .sum::<f64>(),
-    );
+    b.key("sim_wall_ms_total").value_f64(sim_wall_ms_total);
     b.key("job_wall_us");
     b.begin_array();
     for (key, wall) in &timings {
@@ -140,6 +147,48 @@ fn main() {
         eprintln!("cannot write {}: {e}", out.display());
         std::process::exit(1);
     }
+
+    // One-line run summary appended to BENCH_history.jsonl next to the
+    // sweep record: the harness perf trajectory across PRs, one line
+    // per bench run, with the speedup against the frozen pre-fast-tier
+    // reference sweep when that baseline is present.
+    let history = out.with_file_name("BENCH_history.jsonl");
+    let mut h = JsonBuf::new();
+    h.begin_object();
+    h.key("schema_version")
+        .value_u64(ule_obs::record::SCHEMA_VERSION);
+    h.key("experiments").value_u64(selected.len() as u64);
+    h.key("threads").value_u64(engine.threads() as u64);
+    h.key("design_points").value_u64(seen.len() as u64);
+    h.key("sim_cycles_total").value_u64(sim_cycles_total);
+    h.key("sim_wall_ms_total").value_f64(sim_wall_ms_total);
+    h.key("batch_wall_ms")
+        .value_f64(batch_wall.as_secs_f64() * 1e3);
+    // The pre-fast baseline is a full sweep, so the ratio is only
+    // apples-to-apples when this run covered every experiment.
+    let full_sweep = selected.len() == ExperimentId::ALL.len();
+    match prefast_sim_wall_ms(&out) {
+        Some(baseline_ms) if full_sweep && sim_wall_ms_total > 0.0 => {
+            h.key("speedup_vs_prefast")
+                .value_f64(baseline_ms / sim_wall_ms_total);
+        }
+        _ => {
+            h.key("speedup_vs_prefast").value_null();
+        }
+    }
+    h.end_object();
+    let line = h.finish();
+    debug_assert!(ule_obs::json::is_valid(&line));
+    let append = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, format!("{line}\n").as_bytes()));
+    if let Err(e) = append {
+        eprintln!("cannot append {}: {e}", history.display());
+        std::process::exit(1);
+    }
+
     eprintln!(
         "bench: {} jobs ({} cold) in {:.1} ms on {} threads -> {}",
         jobs.len(),

@@ -15,7 +15,7 @@
 //! in argument order, so the output is byte-identical for any thread
 //! count (including 1).
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::path::PathBuf;
 use std::str::FromStr;
 
@@ -26,6 +26,60 @@ use ule_core::{RunOptions, System, SystemConfig, Workload};
 use ule_obs::trace_events::TraceEventsBuf;
 use ule_swlib::builder::Arch;
 
+/// Per-thread flight-recorder ring size for CLI runs: large enough
+/// that a full `repro all` keeps every harness-level span (jobs, sim
+/// runs) for the merged trace export, still bounded.
+const FLIGHT_CAPACITY: usize = 4096;
+
+/// Observability switches shared by the simulating subcommands, parsed
+/// from the global (pre-subcommand) options.
+struct ObsOptions {
+    /// `--trace PATH`: stream every event to a JSONL file (chained
+    /// behind the flight recorder).
+    trace: Option<PathBuf>,
+    /// `--flight-dump PATH`: where panic/cycle-limit post-mortems go.
+    flight_dump: PathBuf,
+    /// `--progress`/`--no-progress`; `None` = autodetect from stderr.
+    progress: Option<bool>,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            trace: None,
+            flight_dump: PathBuf::from("flight_dump.jsonl"),
+            progress: None,
+        }
+    }
+}
+
+impl ObsOptions {
+    /// Installs the flight recorder (chaining the `--trace` sink when
+    /// requested) and arms post-mortem dumping. Called once by every
+    /// simulating subcommand before the first run.
+    fn install(&self) {
+        let inner: Option<Box<dyn ule_obs::EventSink>> = match &self.trace {
+            Some(path) => match ule_obs::JsonlFileSink::create(path) {
+                Ok(sink) => Some(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("cannot open trace file {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            },
+            None => None,
+        };
+        ule_obs::flight::install(FLIGHT_CAPACITY, inner);
+        ule_obs::flight::arm_auto_dump(self.flight_dump.clone());
+    }
+
+    /// Whether to run the live progress reporter: explicit flag wins,
+    /// otherwise on iff stderr is a terminal.
+    fn progress_on(&self) -> bool {
+        self.progress
+            .unwrap_or_else(ule_obs::progress::stderr_is_tty)
+    }
+}
+
 fn print_help() {
     println!("usage: repro [options] <experiment-id>... | all");
     println!("       repro verify [verify-options]");
@@ -33,6 +87,10 @@ fn print_help() {
     println!("       repro profile [profile-options]");
     println!("       repro explore [explore-options]");
     println!("       repro check [--flame PATH] [--trace-events PATH] [--journal PATH]");
+    println!("                   [--flight-dump PATH]");
+    println!("       repro overhead [overhead-options]");
+    println!("       repro selftest-flight    (panics on purpose; the armed flight");
+    println!("                                recorder must dump first — CI self-test)");
     println!();
     println!("options:");
     println!("  --list              list experiment ids and exit");
@@ -41,6 +99,14 @@ fn print_help() {
     println!("  --metrics-out PATH  write one JSONL metrics record per design point");
     println!("                      plus an engine summary (memo hits, per-job wall-clock)");
     println!("  --trace PATH        write structured trace events (JSONL) to PATH");
+    println!("  --flight-dump PATH  post-mortem destination for the always-on flight");
+    println!("                      recorder (default flight_dump.jsonl): the last");
+    println!("                      events per thread are written there on panic or");
+    println!("                      when a simulation hits its cycle budget");
+    println!("  --progress          print live heartbeat lines (jobs done/total, memo");
+    println!("                      hits, slowest in-flight job, ETA) to stderr;");
+    println!("                      default: on iff stderr is a terminal");
+    println!("  --no-progress       force the heartbeat off");
     println!("  --profile           attach the per-routine cycle profiler to every");
     println!("                      simulation (adds a `profile` field to metrics records)");
     println!("  --flame PATH        with --profile: write the call-graph of every profiled");
@@ -48,8 +114,10 @@ fn print_help() {
     println!("                      prefixed, aggregated into one file)");
     println!("  --flame-weight W    stack weight: `cycles` (default) or `nj` (attributed");
     println!("                      energy, nanojoules)");
-    println!("  --trace-events PATH with --profile: write Chrome trace-event JSON (one");
-    println!("                      synthetic process per design point; load in Perfetto)");
+    println!("  --trace-events PATH write Chrome trace-event JSON: a harness process");
+    println!("                      (SweepEngine batches/jobs/sim runs) plus, with");
+    println!("                      --profile, one synthetic process per design point");
+    println!("                      (load in Perfetto)");
     println!("  -h, --help          show this help");
     println!();
     println!("environment:");
@@ -72,15 +140,28 @@ fn print_help() {
     println!("                      verification (harness self-test: the campaign");
     println!("                      must catch and shrink it)");
     println!();
-    println!("profile-options (single-point call-graph energy attribution):");
+    println!("profile-options (single-point per-routine energy attribution):");
     println!("  --curve NAME        curve (default P-256)");
     println!("  --arch A            baseline | isa_ext | monte | billie (default isa_ext)");
     println!("  --workload W        sign | verify | sign_verify | scalar_mul | field_mul");
     println!("                      (default sign)");
+    println!("  --tier T            reference (default): exact per-instruction profiler");
+    println!("                      with full call graph; fast: sampled profiler on the");
+    println!("                      fast engine (exact totals, approximate per-routine");
+    println!("                      split, no call graph)");
     println!("  --top N             table rows before aggregation (default 20, 0 = all)");
-    println!("  --flame PATH        also write collapsed flamegraph stacks");
+    println!("  --flame PATH        also write collapsed flamegraph stacks (reference");
+    println!("                      tier only: the sampled profiler has no call graph)");
     println!("  --flame-weight W    `cycles` (default) or `nj`");
-    println!("  --trace-events PATH also write Chrome trace-event JSON");
+    println!("  --trace-events PATH also write Chrome trace-event JSON (reference tier");
+    println!("                      only)");
+    println!();
+    println!("overhead-options (sampled-profiler wall-clock A/B, warn-only in CI):");
+    println!("  --curve NAME        curve (default K-163)");
+    println!("  --arch A            baseline | isa_ext | monte | billie (default baseline)");
+    println!("  --workload W        workload (default sign)");
+    println!("  --runs N            timed runs per mode, best-of (default 3)");
+    println!("  --max-pct P         failure threshold, percent (default 5)");
     println!();
     println!("explore-options (design-space exploration with Pareto extraction):");
     println!(
@@ -213,6 +294,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
     let mut flame: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut journal: Option<PathBuf> = None;
+    let mut flight_dump: Option<PathBuf> = None;
     let args_v: Vec<String> = args.collect();
     let mut i = 0;
     while i < args_v.len() {
@@ -227,6 +309,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
             "--flame" => flame = Some(take(&mut i, "--flame")),
             "--trace-events" => trace = Some(take(&mut i, "--trace-events")),
             "--journal" => journal = Some(take(&mut i, "--journal")),
+            "--flight-dump" => flight_dump = Some(take(&mut i, "--flight-dump")),
             other => {
                 eprintln!("unknown check option {other:?}");
                 std::process::exit(2);
@@ -234,8 +317,11 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
         }
         i += 1;
     }
-    if flame.is_none() && trace.is_none() && journal.is_none() {
-        eprintln!("usage: repro check [--flame PATH] [--trace-events PATH] [--journal PATH]");
+    if flame.is_none() && trace.is_none() && journal.is_none() && flight_dump.is_none() {
+        eprintln!(
+            "usage: repro check [--flame PATH] [--trace-events PATH] [--journal PATH] \
+             [--flight-dump PATH]"
+        );
         std::process::exit(2);
     }
     let read = |p: &PathBuf| -> String {
@@ -298,16 +384,36 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
             }
         }
     }
+    if let Some(p) = &flight_dump {
+        match ule_obs::flight::validate_dump(&read(p)) {
+            Ok(stats) => println!(
+                "{}: {} threads, {} events, {} dropped{}",
+                p.display(),
+                stats.threads,
+                stats.events,
+                stats.dropped,
+                if stats.wrapped { " (wrapped)" } else { "" }
+            ),
+            Err(e) => {
+                eprintln!("{}: INVALID flight dump: {e}", p.display());
+                failed = true;
+            }
+        }
+    }
     std::process::exit(i32::from(failed));
 }
 
-/// `repro profile`: simulate one design point with the call-graph
-/// profiler attached and print the per-routine energy attribution
-/// table; optionally export the call graph.
-fn run_profile(args: impl Iterator<Item = String>) -> ! {
+/// `repro profile`: simulate one design point with a profiler attached
+/// and print the per-routine energy attribution table. The reference
+/// tier attaches the exact per-instruction profiler (full call graph);
+/// `--tier fast` attaches the sampled profiler and runs on the fast
+/// engine (exact totals, stride-bounded per-routine split, no call
+/// graph).
+fn run_profile(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
     let mut curve = ule_curves::params::CurveId::P256;
     let mut arch = Arch::IsaExt;
     let mut workload = Workload::Sign;
+    let mut fast_tier = false;
     let mut top = 20usize;
     let mut flame: Option<PathBuf> = None;
     let mut flame_weight = FlameWeight::Cycles;
@@ -344,6 +450,17 @@ fn run_profile(args: impl Iterator<Item = String>) -> ! {
                     std::process::exit(2);
                 });
             }
+            "--tier" => {
+                let v = take(&mut i, "--tier");
+                fast_tier = match v.as_str() {
+                    "fast" => true,
+                    "reference" => false,
+                    _ => {
+                        eprintln!("--tier expects `fast` or `reference`, got {v:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--top" => {
                 let v = take(&mut i, "--top");
                 top = v.parse().unwrap_or_else(|_| {
@@ -367,19 +484,46 @@ fn run_profile(args: impl Iterator<Item = String>) -> ! {
         }
         i += 1;
     }
+    if fast_tier && (flame.is_some() || trace.is_some()) {
+        eprintln!(
+            "--flame/--trace-events need the call graph, which the sampled profiler \
+             does not build; drop --tier fast (or the export flags)"
+        );
+        std::process::exit(2);
+    }
+    obs.install();
     let config = SystemConfig::new(curve, arch);
     let label = ConfigKey::new(config, workload).label();
-    let report = System::new(config).run_with(RunOptions::new(workload).profiled());
+    let opts = if fast_tier {
+        RunOptions::new(workload).sampled()
+    } else {
+        RunOptions::new(workload).profiled()
+    };
+    let started = std::time::Instant::now();
+    let report = System::new(config).run_with(opts);
+    let wall = started.elapsed();
     let p = report.profile.as_ref().expect("profiled run sets profile");
-    println!(
-        "{label}: {} cycles, {:.4} uJ, {} routines, {} call paths",
-        report.cycles,
-        report.energy.total_uj(),
-        p.routines.len(),
-        p.calls.nodes.len()
-    );
+    if fast_tier {
+        println!(
+            "{label}: {} cycles, {:.4} uJ, {} routines (sampled, fast engine)",
+            report.cycles,
+            report.energy.total_uj(),
+            p.routines.len(),
+        );
+    } else {
+        println!(
+            "{label}: {} cycles, {:.4} uJ, {} routines, {} call paths",
+            report.cycles,
+            report.energy.total_uj(),
+            p.routines.len(),
+            p.calls.nodes.len()
+        );
+    }
     println!();
     print!("{}", attr::routine_energy_table(p, &report.energy, top));
+    // Wall-clock on stderr (stdout stays deterministic): the CI tier
+    // A/B compares this across `--tier fast` and `--tier reference`.
+    eprintln!("profile wall-clock: {} ms", wall.as_millis());
     if let Some(path) = &flame {
         let stacks = attr::folded_stacks(p, &report.energy, flame_weight, &label);
         write_or_die(path, &ule_obs::flame::to_folded(&stacks), "folded stacks");
@@ -392,10 +536,131 @@ fn run_profile(args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// `repro overhead`: A/B the sampled profiler's wall-clock cost against
+/// an uninstrumented fast-tier run of the same point. Prints both
+/// best-of-N times and the overhead percentage; exits 1 when the
+/// overhead exceeds the threshold (CI wires this warn-only — wall-clock
+/// on shared runners is noisy).
+fn run_overhead(args: impl Iterator<Item = String>) -> ! {
+    let mut curve = ule_curves::params::CurveId::K163;
+    let mut arch = Arch::Baseline;
+    let mut workload = Workload::Sign;
+    let mut runs = 3usize;
+    let mut max_pct = 5.0f64;
+    let args_v: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < args_v.len() {
+        let take = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            args_v.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match args_v[i].as_str() {
+            "--curve" => {
+                let v = take(&mut i, "--curve");
+                curve = ule_verify::parse_curve(&v).unwrap_or_else(|| {
+                    eprintln!("unknown curve {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--arch" => {
+                let v = take(&mut i, "--arch");
+                arch = parse_arch(&v).unwrap_or_else(|| {
+                    eprintln!("unknown arch {v:?} (baseline|isa_ext|monte|billie)");
+                    std::process::exit(2);
+                });
+            }
+            "--workload" => {
+                let v = take(&mut i, "--workload");
+                workload = parse_workload(&v).unwrap_or_else(|| {
+                    eprintln!("unknown workload {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--runs" => {
+                let v = take(&mut i, "--runs");
+                runs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--runs expects a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--max-pct" => {
+                let v = take(&mut i, "--max-pct");
+                max_pct = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && *p >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-pct expects a non-negative number");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown overhead option {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let config = SystemConfig::new(curve, arch);
+    let label = ConfigKey::new(config, workload).label();
+    let system = System::new(config);
+    // One untimed warm-up per mode (first-touch effects), then the
+    // timed runs interleaved so drift hits both modes equally.
+    let time = |opts: &RunOptions| {
+        let t0 = std::time::Instant::now();
+        let report = system.run_with(*opts);
+        (t0.elapsed(), report)
+    };
+    let plain = RunOptions::new(workload);
+    let sampled = RunOptions::new(workload).sampled();
+    let (_, base_report) = time(&plain);
+    let (_, sampled_report) = time(&sampled);
+    assert_eq!(
+        base_report.cycles, sampled_report.cycles,
+        "sampling must not change simulated cycles"
+    );
+    let mut best_plain = std::time::Duration::MAX;
+    let mut best_sampled = std::time::Duration::MAX;
+    for _ in 0..runs {
+        best_plain = best_plain.min(time(&plain).0);
+        best_sampled = best_sampled.min(time(&sampled).0);
+    }
+    let pct = (best_sampled.as_secs_f64() / best_plain.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "{label}: uninstrumented fast tier {} us, sampled {} us, overhead {pct:+.2}% \
+         (threshold {max_pct}%, best of {runs})",
+        best_plain.as_micros(),
+        best_sampled.as_micros(),
+    );
+    std::process::exit(i32::from(pct > max_pct));
+}
+
+/// `repro selftest-flight`: end-to-end self-test of the flight
+/// recorder's panic path. Installs the recorder exactly as every other
+/// subcommand does, emits a recognizable event trail, then panics
+/// deliberately — the armed hook must write the dump before the
+/// process dies. CI runs this expecting a nonzero exit and then
+/// validates the dump with `repro check --flight-dump`.
+fn run_selftest_flight(obs: &ObsOptions) -> ! {
+    obs.install();
+    for i in 0..8u64 {
+        ule_obs::obs_event!("selftest.tick", index = i);
+    }
+    ule_obs::obs_event!("selftest.boom", note = "deliberate panic next");
+    panic!("flight-recorder self-test: deliberate panic (the dump above is expected)");
+}
+
 /// `repro verify …`: run a differential campaign and exit. Exit code 0
 /// means the campaign matched expectations (zero divergences, or — with
 /// `--inject-fault` — exactly the injected fault was caught).
-fn run_verify(args: impl Iterator<Item = String>, trace_path: Option<PathBuf>) -> ! {
+fn run_verify(args: impl Iterator<Item = String>, mut obs: ObsOptions) -> ! {
     let mut campaign = ule_verify::Campaign::new(ule_verify::parse_seed("0xULE"), 16);
     let mut curves: Vec<ule_curves::params::CurveId> = Vec::new();
     let args_v: Vec<String> = args.collect();
@@ -467,6 +732,8 @@ fn run_verify(args: impl Iterator<Item = String>, trace_path: Option<PathBuf>) -
             "--no-edge" => campaign.edge = false,
             "--no-negative" => campaign.negative = false,
             "--inject-fault" => campaign.inject_fault = true,
+            "--progress" => obs.progress = Some(true),
+            "--no-progress" => obs.progress = Some(false),
             other => {
                 eprintln!("unknown verify option {other:?}");
                 std::process::exit(2);
@@ -477,16 +744,12 @@ fn run_verify(args: impl Iterator<Item = String>, trace_path: Option<PathBuf>) -
     if !curves.is_empty() {
         campaign.curves = curves;
     }
-    if let Some(path) = &trace_path {
-        match ule_obs::JsonlFileSink::create(path) {
-            Ok(sink) => ule_obs::set_sink(Box::new(sink)),
-            Err(e) => {
-                eprintln!("cannot open trace file {}: {e}", path.display());
-                std::process::exit(2);
-            }
-        }
+    obs.install();
+    if obs.progress_on() {
+        ule_obs::progress::start("repro verify");
     }
     let report = ule_verify::run_campaign(&campaign);
+    ule_obs::progress::finish();
     print!("{}", report.render(&campaign));
     ule_obs::clear_sink();
     if campaign.inject_fault {
@@ -505,7 +768,7 @@ fn run_verify(args: impl Iterator<Item = String>, trace_path: Option<PathBuf>) -
 /// through the memoizing engine, and print the Pareto frontier. With
 /// `--report`, skip exploration and render the frontier table of an
 /// existing journal instead.
-fn run_explore(args: impl Iterator<Item = String>) -> ! {
+fn run_explore(args: impl Iterator<Item = String>, mut obs: ObsOptions) -> ! {
     let mut space_arg: Option<String> = None;
     let mut strategy_arg = String::from("grid");
     let mut seed = ule_verify::parse_seed("0xULE");
@@ -543,6 +806,8 @@ fn run_explore(args: impl Iterator<Item = String>) -> ! {
                 );
             }
             "--report" => report = true,
+            "--progress" => obs.progress = Some(true),
+            "--no-progress" => obs.progress = Some(false),
             other => {
                 eprintln!("unknown explore option {other:?}");
                 std::process::exit(2);
@@ -611,11 +876,16 @@ fn run_explore(args: impl Iterator<Item = String>) -> ! {
             std::process::exit(2);
         }
     };
+    obs.install();
+    if obs.progress_on() {
+        ule_obs::progress::start("repro explore");
+    }
     let outcome = ule_dse::explore(&engine, &space, strategy.as_mut(), seed, out.as_deref())
         .unwrap_or_else(|e| {
             eprintln!("explore: {e}");
             std::process::exit(1);
         });
+    ule_obs::progress::finish();
     println!(
         "space {} ({}): {} lattice points, {} pruned, {} evaluated \
          ({} resumed, {} simulated), frontier {}",
@@ -663,7 +933,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut format = Format::Text;
     let mut metrics_path: Option<PathBuf> = None;
-    let mut trace_path: Option<PathBuf> = None;
+    let mut obs = ObsOptions::default();
     let mut profile = false;
     let mut flame_path: Option<PathBuf> = None;
     let mut flame_weight = FlameWeight::Cycles;
@@ -710,12 +980,21 @@ fn main() {
                 }
             },
             "--trace" => match args.next() {
-                Some(p) => trace_path = Some(PathBuf::from(p)),
+                Some(p) => obs.trace = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--trace expects a path");
                     std::process::exit(2);
                 }
             },
+            "--flight-dump" => match args.next() {
+                Some(p) => obs.flight_dump = PathBuf::from(p),
+                None => {
+                    eprintln!("--flight-dump expects a path");
+                    std::process::exit(2);
+                }
+            },
+            "--progress" => obs.progress = Some(true),
+            "--no-progress" => obs.progress = Some(false),
             "--profile" => profile = true,
             "--flame" => match args.next() {
                 Some(p) => flame_path = Some(PathBuf::from(p)),
@@ -739,11 +1018,13 @@ fn main() {
                 }
             },
             // Subcommands own the rest of the argument list.
-            "verify" => run_verify(args, trace_path),
+            "verify" => run_verify(args, obs),
             "diff" => run_diff(args),
             "check" => run_check(args),
-            "profile" => run_profile(args),
-            "explore" => run_explore(args),
+            "profile" => run_profile(args, obs),
+            "explore" => run_explore(args, obs),
+            "overhead" => run_overhead(args),
+            "selftest-flight" => run_selftest_flight(&obs),
             "all" => selected.extend(ExperimentId::ALL),
             other => match ExperimentId::from_str(other) {
                 Ok(id) => selected.push(id),
@@ -758,26 +1039,18 @@ fn main() {
     if selected.is_empty() {
         usage();
     }
-    if (flame_path.is_some() || trace_events_path.is_some()) && !profile {
-        eprintln!(
-            "--flame/--trace-events need --profile (the call graph is only built on profiled runs)"
-        );
+    if flame_path.is_some() && !profile {
+        eprintln!("--flame needs --profile (the call graph is only built on profiled runs)");
         std::process::exit(2);
     }
 
     // Observability is configured once, before any simulation: the
     // profiling flag is read at the start of each run, and memoized
     // reports are shared, so flipping it mid-sweep would make a
-    // report's `profile` depend on scheduling.
-    if let Some(path) = &trace_path {
-        match ule_obs::JsonlFileSink::create(path) {
-            Ok(sink) => ule_obs::set_sink(Box::new(sink)),
-            Err(e) => {
-                eprintln!("cannot open trace file {}: {e}", path.display());
-                std::process::exit(2);
-            }
-        }
-    }
+    // report's `profile` depend on scheduling. The flight recorder is
+    // installed before the engine so their epochs align in the merged
+    // trace.
+    obs.install();
     if profile {
         ule_obs::set_profiling(true);
     }
@@ -790,7 +1063,11 @@ fn main() {
     // Pre-warm the memo cache in parallel over the union of design
     // points, then render serially in order.
     let jobs: Vec<Job> = selected.iter().flat_map(|id| id.jobs()).collect();
+    if obs.progress_on() {
+        ule_obs::progress::start("repro");
+    }
     let reports = engine.run_batch(&jobs);
+    ule_obs::progress::finish();
     match format {
         Format::Text => {
             for id in &selected {
@@ -813,11 +1090,16 @@ fn main() {
     }
 
     // Aggregated call-graph exports: one prefix/process per distinct
-    // profiled design point (same dedup as the metrics registry).
+    // profiled design point (same dedup as the metrics registry), plus
+    // a harness process (pid 0) with the SweepEngine's scheduling
+    // timeline above the sim-level routine tracks.
     if flame_path.is_some() || trace_events_path.is_some() {
         let mut seen = HashSet::new();
         let mut stacks: Vec<(String, u64)> = Vec::new();
         let mut tbuf = TraceEventsBuf::new();
+        if trace_events_path.is_some() {
+            merge_harness_track(&mut tbuf, &engine);
+        }
         let mut pid = 0u64;
         for (&(config, workload), report) in jobs.iter().zip(&reports) {
             let key = ConfigKey::new(config, workload);
@@ -843,4 +1125,91 @@ fn main() {
         }
     }
     ule_obs::clear_sink();
+}
+
+/// Writes the harness timeline into `buf` as process 0: one thread per
+/// sweep worker, a complete event per cold simulation job (from the
+/// engine's [`job spans`](SweepEngine::job_spans)), with the `sys.sim`
+/// and `sweep.batch` spans recovered from the flight recorder's ring
+/// nested on the same tracks. Loading the merged file in Perfetto shows
+/// SweepEngine scheduling directly above the per-design-point routine
+/// processes.
+fn merge_harness_track(buf: &mut TraceEventsBuf, engine: &SweepEngine) {
+    let spans = engine.job_spans();
+    let handle = ule_obs::flight::handle();
+    let recovered: Vec<String> = handle
+        .map(|h| {
+            let mut lines = h.lines_of_kind("sweep.batch");
+            lines.extend(h.lines_of_kind("sys.sim"));
+            lines
+        })
+        .unwrap_or_default();
+    if spans.is_empty() && recovered.is_empty() {
+        return;
+    }
+    buf.process_name(0, "harness (SweepEngine)");
+    let mut tids: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tid_of = |buf: &mut TraceEventsBuf, thread: &str| -> u64 {
+        match tids.get(thread) {
+            Some(&t) => t,
+            None => {
+                let t = tids.len() as u64 + 1;
+                tids.insert(thread.to_owned(), t);
+                buf.thread_name(0, t, thread);
+                t
+            }
+        }
+    };
+    for s in &spans {
+        let tid = tid_of(buf, &s.thread);
+        buf.complete(
+            0,
+            tid,
+            &format!("job {}", s.key.label()),
+            s.start.as_micros() as f64,
+            s.wall.as_micros() as f64,
+            &[],
+        );
+    }
+    // Span events carry their end time (`t_us`, the drop) and duration;
+    // start = end - dur. The flight epoch is the recorder's install
+    // time, microseconds before the engine's, so the tracks align.
+    for line in &recovered {
+        let Some(v) = ule_obs::json::parse(line) else {
+            continue;
+        };
+        let (Some(t_us), Some(dur_us), Some(thread), Some(kind)) = (
+            v.get("t_us").and_then(|x| x.as_u64()),
+            v.get("dur_us").and_then(|x| x.as_u64()),
+            v.get("thread").and_then(|x| x.as_str()),
+            v.get("kind").and_then(|x| x.as_str()),
+        ) else {
+            continue;
+        };
+        let name = if kind == "sweep.batch" {
+            format!(
+                "batch ({} jobs)",
+                v.get("jobs").and_then(|x| x.as_u64()).unwrap_or(0)
+            )
+        } else {
+            format!(
+                "sim {} ({})",
+                v.get("entry").and_then(|x| x.as_str()).unwrap_or("?"),
+                v.get("curve").and_then(|x| x.as_str()).unwrap_or("?"),
+            )
+        };
+        let mut args: Vec<(&str, u64)> = Vec::new();
+        if let Some(c) = v.get("cycles").and_then(|x| x.as_u64()) {
+            args.push(("cycles", c));
+        }
+        let tid = tid_of(buf, thread);
+        buf.complete(
+            0,
+            tid,
+            &name,
+            t_us.saturating_sub(dur_us) as f64,
+            dur_us as f64,
+            &args,
+        );
+    }
 }

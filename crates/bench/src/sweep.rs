@@ -199,9 +199,25 @@ pub struct SweepEngine {
     requests: AtomicU64,
     memo_hits: AtomicU64,
     inflight_waits: AtomicU64,
-    /// Simulation wall-clock per cold job, in submission order of the
-    /// cold runs (memo hits don't append).
-    timings: Mutex<Vec<(ConfigKey, Duration)>>,
+    /// Engine construction time — the zero point of job-span starts.
+    epoch: Instant,
+    /// One span per cold simulation, in cold-run completion order
+    /// (memo hits don't append).
+    spans: Mutex<Vec<JobSpan>>,
+}
+
+/// Wall-clock span of one cold simulation, relative to the engine's
+/// construction — the harness-level track of the merged trace export.
+#[derive(Clone, Debug)]
+pub struct JobSpan {
+    /// The simulated point.
+    pub key: ConfigKey,
+    /// Start offset from engine construction.
+    pub start: Duration,
+    /// Simulation wall-clock.
+    pub wall: Duration,
+    /// OS thread that ran the simulation (worker threads are named).
+    pub thread: String,
 }
 
 /// A snapshot of the engine's request/memoization counters — the
@@ -258,7 +274,8 @@ impl SweepEngine {
             requests: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             inflight_waits: AtomicU64::new(0),
-            timings: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
         }
     }
 
@@ -294,7 +311,14 @@ impl SweepEngine {
     /// in cold-run completion order. Memo/in-flight hits don't appear —
     /// a key occurs at most once.
     pub fn job_timings(&self) -> Vec<(ConfigKey, Duration)> {
-        lock(&self.timings).clone()
+        lock(&self.spans).iter().map(|s| (s.key, s.wall)).collect()
+    }
+
+    /// Full spans of every cold simulation so far (start offset from
+    /// engine construction, duration, worker thread), in cold-run
+    /// completion order — the harness track of the merged trace export.
+    pub fn job_spans(&self) -> Vec<JobSpan> {
+        lock(&self.spans).clone()
     }
 
     /// The shared built system for one configuration.
@@ -316,6 +340,9 @@ impl SweepEngine {
     pub fn run(&self, config: SystemConfig, workload: Workload) -> Arc<RunReport> {
         let key = ConfigKey::new(config, workload);
         self.requests.fetch_add(1, Ordering::Relaxed);
+        // Progress hooks are process-global no-ops unless the CLI
+        // started a reporter; token 0 makes `job_done` a no-op too.
+        let progress = ule_obs::progress::job_started(&key.label());
         let shard = &self.shards[key.shard()];
         let flight = {
             let mut map = lock(shard);
@@ -323,6 +350,8 @@ impl SweepEngine {
                 Some(Slot::Done(r)) => {
                     self.memo_hits.fetch_add(1, Ordering::Relaxed);
                     ule_obs::obs_event!("sweep.memo_hit", job = key.label());
+                    ule_obs::progress::memo_hit();
+                    ule_obs::progress::job_done(progress);
                     return r.clone();
                 }
                 Some(Slot::InFlight(f)) => {
@@ -330,7 +359,9 @@ impl SweepEngine {
                     drop(map);
                     self.inflight_waits.fetch_add(1, Ordering::Relaxed);
                     ule_obs::obs_event!("sweep.inflight_wait", job = key.label());
-                    return f.wait();
+                    let report = f.wait();
+                    ule_obs::progress::job_done(progress);
+                    return report;
                 }
                 None => {
                     let f = InFlight::new();
@@ -353,7 +384,15 @@ impl SweepEngine {
         let report = Arc::new(sys.run_with(RunOptions::new(workload)));
         let wall = started.elapsed();
         self.simulations.fetch_add(1, Ordering::Relaxed);
-        lock(&self.timings).push((key, wall));
+        lock(&self.spans).push(JobSpan {
+            key,
+            start: started.duration_since(self.epoch),
+            wall,
+            thread: std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("{:?}", std::thread::current().id())),
+        });
         ule_obs::obs_event!(
             "sweep.job",
             job = key.label(),
@@ -363,6 +402,7 @@ impl SweepEngine {
         guard.armed = false; // infallible from here on
         lock(shard).insert(key, Slot::Done(report.clone()));
         flight.publish(FlightState::Ready(report.clone()));
+        ule_obs::progress::job_done(progress);
         report
     }
 
@@ -380,6 +420,7 @@ impl SweepEngine {
         batch_span
             .field("jobs", jobs.len())
             .field("workers", workers);
+        ule_obs::progress::add_total(jobs.len() as u64);
         let mut results: Vec<Option<Arc<RunReport>>> = vec![None; jobs.len()];
         if workers == 1 {
             for (slot, &(config, workload)) in results.iter_mut().zip(jobs) {
@@ -392,32 +433,35 @@ impl SweepEngine {
             std::thread::scope(|scope| {
                 let (next, slots) = (&next, &slots);
                 for worker in 0..workers {
-                    scope.spawn(move || {
-                        let spawned = Instant::now();
-                        let mut busy = Duration::ZERO;
-                        let mut processed = 0u64;
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(config, workload)) = jobs.get(i) else {
-                                break;
-                            };
-                            let t0 = Instant::now();
-                            let report = self.run(config, workload);
-                            busy += t0.elapsed();
-                            processed += 1;
-                            **lock(&slots[i]) = Some(report);
-                        }
-                        // Per-thread utilization: busy/alive ≈ 1 means
-                        // the pool width was the bottleneck, not memo
-                        // contention or in-flight waits.
-                        ule_obs::obs_event!(
-                            "sweep.worker",
-                            worker = worker,
-                            jobs = processed,
-                            busy_us = busy.as_micros() as u64,
-                            alive_us = spawned.elapsed().as_micros() as u64,
-                        );
-                    });
+                    let spawn = std::thread::Builder::new()
+                        .name(format!("sweep-{worker}"))
+                        .spawn_scoped(scope, move || {
+                            let spawned = Instant::now();
+                            let mut busy = Duration::ZERO;
+                            let mut processed = 0u64;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(config, workload)) = jobs.get(i) else {
+                                    break;
+                                };
+                                let t0 = Instant::now();
+                                let report = self.run(config, workload);
+                                busy += t0.elapsed();
+                                processed += 1;
+                                **lock(&slots[i]) = Some(report);
+                            }
+                            // Per-thread utilization: busy/alive ≈ 1 means
+                            // the pool width was the bottleneck, not memo
+                            // contention or in-flight waits.
+                            ule_obs::obs_event!(
+                                "sweep.worker",
+                                worker = worker,
+                                jobs = processed,
+                                busy_us = busy.as_micros() as u64,
+                                alive_us = spawned.elapsed().as_micros() as u64,
+                            );
+                        });
+                    spawn.expect("spawn sweep worker");
                 }
             });
         }

@@ -207,6 +207,12 @@ pub enum ProfileMode {
     /// Profile this run regardless of the flag — the report's `profile`
     /// is always `Some`.
     On,
+    /// Sampled profiling: stride-based attribution that rides the fast
+    /// engine instead of forcing the reference interpreter. The
+    /// report's `profile` is always `Some`, with exact totals, an
+    /// approximate per-routine split, and an empty call graph (see
+    /// `ule_pete::profile::SampledProfiler`).
+    Sampled,
     /// Never profile this run.
     Off,
 }
@@ -241,6 +247,12 @@ impl RunOptions {
     /// Forces per-routine profiling on for this run.
     pub fn profiled(mut self) -> Self {
         self.profile = ProfileMode::On;
+        self
+    }
+
+    /// Selects sampled profiling for this run (fast-tier eligible).
+    pub fn sampled(mut self) -> Self {
+        self.profile = ProfileMode::Sampled;
         self
     }
 
@@ -356,7 +368,7 @@ impl System {
         &self.suite
     }
 
-    fn machine(&self, profiled: bool) -> Machine {
+    fn machine(&self, profile: ProfileKind) -> Machine {
         let mut mc = match self.config.arch {
             Arch::Baseline => MachineConfig::baseline(),
             _ => MachineConfig::isa_ext(),
@@ -373,10 +385,13 @@ impl System {
             ))),
             _ => b,
         };
-        let instr = if profiled {
-            Instrumentation::profile(&self.suite.program.text_symbols())
-        } else {
-            Instrumentation::none()
+        let instr = match profile {
+            ProfileKind::None => Instrumentation::none(),
+            ProfileKind::Exact => Instrumentation::profile(&self.suite.program.text_symbols()),
+            ProfileKind::Sampled => Instrumentation::sampled_profile(
+                &self.suite.program.text_symbols(),
+                sample_stride(),
+            ),
         };
         b.instrumentation(instr).build()
     }
@@ -411,18 +426,19 @@ impl System {
     /// panics when the options force both profiling and the fast engine
     /// tier (the fast engine carries no attribution plumbing).
     pub fn run_with(&self, opts: RunOptions) -> RunReport {
-        let profiled = match opts.profile {
+        let profile = match opts.profile {
             // The global flag is read once per run so a report is
             // internally consistent even if the flag changes
             // concurrently.
-            ProfileMode::Auto => ule_obs::profiling_enabled(),
-            ProfileMode::On => true,
-            ProfileMode::Off => false,
+            ProfileMode::Auto if ule_obs::profiling_enabled() => ProfileKind::Exact,
+            ProfileMode::Auto | ProfileMode::Off => ProfileKind::None,
+            ProfileMode::On => ProfileKind::Exact,
+            ProfileMode::Sampled => ProfileKind::Sampled,
         };
-        self.run_inner(opts.workload, profiled, opts.tier)
+        self.run_inner(opts.workload, profile, opts.tier)
     }
 
-    fn run_inner(&self, workload: Workload, profiled: bool, tier: EngineTier) -> RunReport {
+    fn run_inner(&self, workload: Workload, profile: ProfileKind, tier: EngineTier) -> RunReport {
         let k = self.suite.k;
         let inp = self.inputs();
         let d_limbs = inp.keys.private().to_limbs(k);
@@ -430,12 +446,12 @@ impl System {
         let k_limbs = inp.nonce.to_limbs(k);
         let (qx, qy) = public_xy(&self.curve, &inp.keys.public(), k);
         let mut total = RunAccum::default();
-        if profiled {
+        if profile != ProfileKind::None {
             total.profile = Some(RoutineProfile::default());
         }
         match workload {
             Workload::Sign | Workload::SignVerify => {
-                let mut m = self.machine(profiled);
+                let mut m = self.machine(profile);
                 {
                     let _sp = ule_obs::span("sys.load");
                     write_buf(&mut m, &self.suite.program, "arg_e", &e_limbs);
@@ -453,7 +469,7 @@ impl System {
         }
         match workload {
             Workload::Verify | Workload::SignVerify => {
-                let mut m = self.machine(profiled);
+                let mut m = self.machine(profile);
                 {
                     let _sp = ule_obs::span("sys.load");
                     write_buf(&mut m, &self.suite.program, "arg_e", &e_limbs);
@@ -473,7 +489,7 @@ impl System {
             _ => {}
         }
         if workload == Workload::ScalarMul {
-            let mut m = self.machine(profiled);
+            let mut m = self.machine(profile);
             write_buf(&mut m, &self.suite.program, "arg_k", &k_limbs);
             self.sim_entry(&mut m, "main_scalar_mul", tier);
             let gx = read_buf(&m, &self.suite.program, "out_r", k);
@@ -482,7 +498,7 @@ impl System {
             total.add(&mut m, self);
         }
         if workload == Workload::FieldMul {
-            let mut m = self.machine(profiled);
+            let mut m = self.machine(profile);
             write_buf(&mut m, &self.suite.program, "arg_qx", &qx);
             write_buf(&mut m, &self.suite.program, "arg_qy", &qy);
             self.sim_entry(&mut m, "main_fmul", tier);
@@ -500,12 +516,49 @@ impl System {
             entry,
             ExecOptions::new(u64::MAX / 2).with_tier(tier),
         ) {
+            // Post-mortem: dump the flight recorder's event tail before
+            // the panic unwinds (a runaway entry is exactly the case
+            // the last-N-events ring exists for).
+            if matches!(e, ule_swlib::harness::RunError::CycleLimit { .. }) {
+                ule_obs::flight::note_incident("cycle_limit");
+            }
             panic!("{e}");
         }
         sp.field("entry", entry)
             .field("curve", self.config.curve.name())
             .field("cycles", m.cycles());
     }
+}
+
+/// The sampled profiler's stride in cycles:
+/// [`ule_pete::profile::DEFAULT_SAMPLE_STRIDE`] unless overridden by
+/// the `ULE_SAMPLE_STRIDE` environment variable (a positive integer;
+/// anything else warns once and falls back). Smaller strides tighten
+/// the per-routine split at proportionally more sampling work; totals
+/// are exact at any stride.
+fn sample_stride() -> u64 {
+    match std::env::var("ULE_SAMPLE_STRIDE") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                ule_obs::obs_warn_once!(
+                    "ULE_SAMPLE_STRIDE must be a positive integer; using the default",
+                    value = v.as_str(),
+                );
+                ule_pete::profile::DEFAULT_SAMPLE_STRIDE
+            }
+        },
+        Err(_) => ule_pete::profile::DEFAULT_SAMPLE_STRIDE,
+    }
+}
+
+/// Resolved per-run profiling choice ([`ProfileMode`] with `Auto`
+/// already folded against the global flag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProfileKind {
+    None,
+    Exact,
+    Sampled,
 }
 
 struct WorkloadInputs {
@@ -628,6 +681,37 @@ mod tests {
         assert!(r.cycles > 100_000);
         assert!(r.energy_uj() > 0.0);
         assert!(r.time_ms() > 0.0);
+    }
+
+    /// The memo invariant extends to sampled profiling: a sampled run's
+    /// report is bit-identical to an unprofiled one in every simulated
+    /// quantity, and the sampled profile's totals equal the headline
+    /// counters exactly (across the workload's merged entry points).
+    #[test]
+    fn sampled_profile_preserves_report_and_sums_exactly() {
+        let sys = System::new(SystemConfig::new(CurveId::P192, Arch::IsaExt));
+        let plain = sys.run_with(RunOptions::new(Workload::SignVerify));
+        let sampled = sys.run_with(RunOptions::new(Workload::SignVerify).sampled());
+        assert_eq!(plain.cycles, sampled.cycles);
+        assert_eq!(plain.counters, sampled.counters);
+        assert_eq!(plain.raw, sampled.raw);
+        assert_eq!(plain.activity, sampled.activity);
+        assert_eq!(plain.energy, sampled.energy);
+        let p = sampled.profile.as_ref().expect("sampled run sets profile");
+        assert_eq!(p.total_cycles(), sampled.cycles);
+        assert_eq!(p.total_instructions(), sampled.counters.instructions);
+        assert!(
+            p.calls.nodes.is_empty(),
+            "sampled profile has no call graph"
+        );
+        // Attributed energy conserves bit-for-bit, same as the exact
+        // profiler (the residual fix-up in `EnergyBreakdown::attribute`
+        // operates on exact totals).
+        let att = sampled.energy.attribute(&attr::routine_activities(p));
+        assert_eq!(
+            att.total_uj().to_bits(),
+            sampled.energy.total_uj().to_bits()
+        );
     }
 
     #[test]

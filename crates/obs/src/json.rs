@@ -267,6 +267,7 @@ pub fn parse(s: &str) -> Option<Json> {
     let mut p = Parser {
         b: s.as_bytes(),
         i: 0,
+        depth: 0,
     };
     p.ws();
     let v = p.value()?;
@@ -281,9 +282,16 @@ pub fn is_valid(s: &str) -> bool {
     parse(s).is_some()
 }
 
+/// Maximum container nesting depth [`parse`] accepts. The recursive-
+/// descent parser uses the call stack, so unbounded nesting in a
+/// hostile document (e.g. `[[[[…`) would overflow it; every document
+/// this workspace produces is a handful of levels deep.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -333,9 +341,14 @@ impl Parser<'_> {
         if !self.eat(b'{') {
             return None;
         }
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return None;
+        }
         self.ws();
         let mut members = Vec::new();
         if self.eat(b'}') {
+            self.depth -= 1;
             return Some(Json::Obj(members));
         }
         loop {
@@ -351,7 +364,10 @@ impl Parser<'_> {
             if self.eat(b',') {
                 continue;
             }
-            return self.eat(b'}').then_some(Json::Obj(members));
+            return self.eat(b'}').then(|| {
+                self.depth -= 1;
+                Json::Obj(members)
+            });
         }
     }
 
@@ -359,9 +375,14 @@ impl Parser<'_> {
         if !self.eat(b'[') {
             return None;
         }
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return None;
+        }
         self.ws();
         let mut items = Vec::new();
         if self.eat(b']') {
+            self.depth -= 1;
             return Some(Json::Arr(items));
         }
         loop {
@@ -370,7 +391,10 @@ impl Parser<'_> {
             if self.eat(b',') {
                 continue;
             }
-            return self.eat(b']').then_some(Json::Arr(items));
+            return self.eat(b']').then(|| {
+                self.depth -= 1;
+                Json::Arr(items)
+            });
         }
     }
 

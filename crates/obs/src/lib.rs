@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 
 pub mod flame;
+pub mod flight;
 pub mod json;
+pub mod progress;
 pub mod record;
 pub mod trace_events;
 
@@ -302,33 +304,56 @@ impl<W: std::io::Write + Send> JsonlFileSink<W> {
     }
 }
 
+/// The name of the calling OS thread, or its id when unnamed — the
+/// `thread` field of every serialized event line.
+pub(crate) fn current_thread_label() -> String {
+    std::thread::current()
+        .name()
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{:?}", std::thread::current().id()))
+}
+
+/// Serializes one event into the canonical JSONL line shape shared by
+/// [`JsonlFileSink`] and the flight recorder: `seq`, `t_us`, `thread`,
+/// `kind`, then the event's own fields.
+pub(crate) fn event_line(
+    seq: u64,
+    t_us: u64,
+    thread: &str,
+    kind: &str,
+    fields: &[(&str, Value)],
+) -> String {
+    let mut b = json::JsonBuf::new();
+    b.begin_object();
+    b.key("seq").value_u64(seq);
+    b.key("t_us").value_u64(t_us);
+    b.key("thread").value_str(thread);
+    b.key("kind").value_str(kind);
+    for (k, v) in fields {
+        b.key(k);
+        match v {
+            Value::U64(n) => b.value_u64(*n),
+            Value::I64(n) => b.value_i64(*n),
+            Value::F64(n) => b.value_f64(*n),
+            Value::Bool(x) => b.value_bool(*x),
+            Value::Str(s) => b.value_str(s),
+            Value::Raw(j) => b.value_raw(j),
+        };
+    }
+    b.end_object();
+    b.finish()
+}
+
 impl<W: std::io::Write + Send> EventSink for JsonlFileSink<W> {
     fn event(&mut self, kind: &str, fields: &[(&str, Value)]) {
-        let mut b = json::JsonBuf::new();
-        b.begin_object();
-        b.key("seq")
-            .value_u64(self.seq.fetch_add(1, Ordering::Relaxed));
-        b.key("t_us")
-            .value_u64(self.epoch.elapsed().as_micros() as u64);
-        let tname = std::thread::current()
-            .name()
-            .map(str::to_owned)
-            .unwrap_or_else(|| format!("{:?}", std::thread::current().id()));
-        b.key("thread").value_str(&tname);
-        b.key("kind").value_str(kind);
-        for (k, v) in fields {
-            b.key(k);
-            match v {
-                Value::U64(n) => b.value_u64(*n),
-                Value::I64(n) => b.value_i64(*n),
-                Value::F64(n) => b.value_f64(*n),
-                Value::Bool(x) => b.value_bool(*x),
-                Value::Str(s) => b.value_str(s),
-                Value::Raw(j) => b.value_raw(j),
-            };
-        }
-        b.end_object();
-        let _ = writeln!(self.out, "{}", b.finish());
+        let line = event_line(
+            self.seq.fetch_add(1, Ordering::Relaxed),
+            self.epoch.elapsed().as_micros() as u64,
+            &current_thread_label(),
+            kind,
+            fields,
+        );
+        let _ = writeln!(self.out, "{line}");
     }
 
     fn flush(&mut self) {

@@ -1,0 +1,276 @@
+//! Live harness telemetry: a process-global progress reporter that
+//! prints periodic heartbeat lines to stderr while a long campaign
+//! (sweep batch, exploration, verification) runs.
+//!
+//! Instrumented engines call the cheap hooks ([`job_started`],
+//! [`job_done`], [`memo_hit`], [`add_total`]); a background heartbeat
+//! thread renders one line every ~2 s:
+//!
+//! ```text
+//! repro all: 12/48 jobs, 3 memo hits | slowest in-flight P-521/baseline/sign_verify 14.2s | ETA 3m10s
+//! ```
+//!
+//! The reporter is opt-in ([`start`] is called by the CLI behind
+//! `--progress` or a TTY check) and all hooks are no-ops when inactive,
+//! so library code can call them unconditionally. ETA comes from the
+//! completed-job wall-clock history: observed throughput extrapolated
+//! over the remaining job count.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Heartbeat cadence.
+const TICK: Duration = Duration::from_millis(2000);
+
+struct State {
+    label: String,
+    started: Instant,
+    /// Known job count (grows via [`add_total`]); 0 until first add.
+    total: AtomicU64,
+    done: AtomicU64,
+    memo_hits: AtomicU64,
+    /// Completed-job wall times, µs (the ETA history).
+    walls: Mutex<Vec<u64>>,
+    /// In-flight jobs: token -> (key, start).
+    inflight: Mutex<BTreeMap<u64, (String, Instant)>>,
+    next_token: AtomicU64,
+    /// Heartbeat shutdown: flag + wakeup.
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The installed reporter, if any. A `Mutex<Option<Arc>>` rather than a
+/// `OnceLock` so a process can run several campaigns in sequence.
+static ACTIVE: Mutex<Option<Arc<State>>> = Mutex::new(None);
+
+fn active() -> Option<Arc<State>> {
+    ACTIVE.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// True iff a reporter is running (hooks will record).
+pub fn is_active() -> bool {
+    active().is_some()
+}
+
+/// Whether stderr is a terminal — the CLI's autodetect default for
+/// `--progress`.
+pub fn stderr_is_tty() -> bool {
+    use std::io::IsTerminal;
+    std::io::stderr().is_terminal()
+}
+
+/// Starts the reporter (replacing any previous one) and spawns the
+/// heartbeat thread. `label` prefixes every line (e.g. `"repro all"`).
+pub fn start(label: &str) {
+    let state = Arc::new(State {
+        label: label.to_owned(),
+        started: Instant::now(),
+        total: AtomicU64::new(0),
+        done: AtomicU64::new(0),
+        memo_hits: AtomicU64::new(0),
+        walls: Mutex::new(Vec::new()),
+        inflight: Mutex::new(BTreeMap::new()),
+        next_token: AtomicU64::new(1),
+        stop: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    {
+        let mut a = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(old) = a.replace(state.clone()) {
+            stop_state(&old);
+        }
+    }
+    let hb = state.clone();
+    std::thread::Builder::new()
+        .name("progress-heartbeat".into())
+        .spawn(move || heartbeat(hb))
+        .expect("spawn heartbeat thread");
+}
+
+/// Stops the reporter (if running) and prints a final summary line.
+pub fn finish() {
+    let state = ACTIVE.lock().unwrap_or_else(|p| p.into_inner()).take();
+    if let Some(state) = state {
+        stop_state(&state);
+        eprintln!("{}", render(&state, true));
+    }
+}
+
+fn stop_state(state: &State) {
+    *state.stop.lock().unwrap_or_else(|p| p.into_inner()) = true;
+    state.cv.notify_all();
+}
+
+/// Adds `n` jobs to the known total (batches announce their size).
+pub fn add_total(n: u64) {
+    if let Some(s) = active() {
+        s.total.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records a memo hit (a job answered from cache).
+pub fn memo_hit() {
+    if let Some(s) = active() {
+        s.memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Marks a job as in flight; pass the returned token to [`job_done`].
+/// Token 0 means "no reporter" and is accepted by `job_done` as a
+/// no-op, so callers need no conditional.
+pub fn job_started(key: &str) -> u64 {
+    match active() {
+        Some(s) => {
+            let token = s.next_token.fetch_add(1, Ordering::Relaxed);
+            s.inflight
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(token, (key.to_owned(), Instant::now()));
+            token
+        }
+        None => 0,
+    }
+}
+
+/// Completes an in-flight job, feeding its wall time into the ETA
+/// history.
+pub fn job_done(token: u64) {
+    if token == 0 {
+        return;
+    }
+    if let Some(s) = active() {
+        let entry = s
+            .inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&token);
+        if let Some((_, started)) = entry {
+            s.walls
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(started.elapsed().as_micros() as u64);
+        }
+        s.done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn heartbeat(state: Arc<State>) {
+    loop {
+        let stopped = {
+            let guard = state.stop.lock().unwrap_or_else(|p| p.into_inner());
+            let (guard, _) = state
+                .cv
+                .wait_timeout(guard, TICK)
+                .unwrap_or_else(|p| p.into_inner());
+            *guard
+        };
+        if stopped {
+            return;
+        }
+        eprintln!("{}", render(&state, false));
+    }
+}
+
+fn fmt_duration(secs: u64) -> String {
+    if secs >= 3600 {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+fn render(state: &State, final_line: bool) -> String {
+    let done = state.done.load(Ordering::Relaxed);
+    let total = state.total.load(Ordering::Relaxed);
+    let memo = state.memo_hits.load(Ordering::Relaxed);
+    let elapsed = state.started.elapsed();
+    let mut line = if total > 0 {
+        format!("{}: {done}/{total} jobs", state.label)
+    } else {
+        format!("{}: {done} jobs", state.label)
+    };
+    if memo > 0 {
+        line.push_str(&format!(", {memo} memo hits"));
+    }
+    if final_line {
+        line.push_str(&format!(" | done in {}", fmt_duration(elapsed.as_secs())));
+        return line;
+    }
+    // Slowest in-flight job (the one most likely to be the holdup).
+    {
+        let inflight = state.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((key, started)) = inflight
+            .values()
+            .max_by_key(|(_, started)| started.elapsed())
+        {
+            line.push_str(&format!(
+                " | slowest in-flight {key} {:.1}s",
+                started.elapsed().as_secs_f64()
+            ));
+        }
+    }
+    // ETA: observed completion rate over the remaining count. Only
+    // rendered once at least one job finished and the total is known.
+    if total > done && done > 0 {
+        let per_job = elapsed.as_secs_f64() / done as f64;
+        let eta = (per_job * (total - done) as f64) as u64;
+        line.push_str(&format!(" | ETA {}", fmt_duration(eta)));
+    }
+    line
+}
+
+/// Returns the heartbeat line the reporter would print right now —
+/// test and debugging support (`None` when inactive).
+pub fn snapshot() -> Option<String> {
+    active().map(|s| render(&s, false))
+}
+
+/// Process-wide guard used by tests to serialize progress sessions.
+pub fn test_mutex() -> &'static Mutex<()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counts_and_renders() {
+        let _g = test_mutex().lock().unwrap_or_else(|p| p.into_inner());
+        assert!(!is_active());
+        assert_eq!(job_started("x"), 0, "inactive hooks are no-ops");
+        job_done(0);
+
+        start("unit");
+        assert!(is_active());
+        add_total(4);
+        memo_hit();
+        let t1 = job_started("P-192/baseline/sign");
+        let t2 = job_started("P-521/baseline/sign");
+        assert_ne!(t1, 0);
+        job_done(t1);
+        let line = snapshot().unwrap();
+        assert!(line.starts_with("unit: 1/4 jobs"), "{line}");
+        assert!(line.contains("1 memo hits"), "{line}");
+        assert!(
+            line.contains("slowest in-flight P-521/baseline/sign"),
+            "{line}"
+        );
+        assert!(line.contains("ETA"), "{line}");
+        job_done(t2);
+        finish();
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn durations_format_humanely() {
+        assert_eq!(fmt_duration(5), "5s");
+        assert_eq!(fmt_duration(65), "1m05s");
+        assert_eq!(fmt_duration(3700), "1h01m");
+    }
+}

@@ -31,7 +31,7 @@
 use crate::cop::{CopStats, Coprocessor, NoCoprocessor};
 use crate::icache::{CacheConfig, CacheStats, ICache};
 use crate::mem::{MemStats, Ram, Rom};
-use crate::profile::{ActivitySlice, ControlEvent, PcProfiler, RoutineProfile};
+use crate::profile::{ActivitySlice, ControlEvent, PcProfiler, RoutineProfile, SampledProfiler};
 use crate::xlate::{
     self, AluKind, AluOp, BOp, BrBlock, BrCond, BranchOp, MemOp, Term, XOp, XTable,
 };
@@ -249,11 +249,13 @@ impl ExecOptions {
 
 /// What a machine observes about its own run — attached once, at build
 /// time, because it decides which engine [`EngineTier::Auto`] picks.
-/// Today that is the per-routine cycle profiler; a trace sink would
-/// slot in here the same way.
+/// Today that is the per-routine cycle profiler (exact, reference-only)
+/// or the sampled profiler (stride-based, runs on either tier); a
+/// trace sink would slot in here the same way.
 #[derive(Clone, Debug, Default)]
 pub struct Instrumentation {
     profile_symbols: Option<Vec<(u32, String)>>,
+    sampled: Option<(Vec<(u32, String)>, u64)>,
 }
 
 impl Instrumentation {
@@ -268,12 +270,28 @@ impl Instrumentation {
     pub fn profile(text_symbols: &[(u32, String)]) -> Self {
         Instrumentation {
             profile_symbols: Some(text_symbols.to_vec()),
+            sampled: None,
         }
     }
 
-    /// True when nothing is attached (the fast engine is eligible).
+    /// Stride-based sampled profiling over the same routine table —
+    /// attribution at block boundaries instead of per instruction, so
+    /// `Auto` still runs the **fast** engine. Totals are exact
+    /// (telescoping intervals); the per-routine split is approximate
+    /// with error bounded by the stride. See
+    /// [`SampledProfiler`](crate::profile::SampledProfiler).
+    pub fn sampled_profile(text_symbols: &[(u32, String)], stride: u64) -> Self {
+        Instrumentation {
+            profile_symbols: None,
+            sampled: Some((text_symbols.to_vec(), stride)),
+        }
+    }
+
+    /// True when nothing is attached. A sampled profiler does **not**
+    /// make the machine non-inert for tier selection — it rides the
+    /// fast engine — but it is still an attachment.
     pub fn is_inert(&self) -> bool {
-        self.profile_symbols.is_none()
+        self.profile_symbols.is_none() && self.sampled.is_none()
     }
 }
 
@@ -306,8 +324,16 @@ impl MachineBuilder<'_> {
         if let Some(cop) = self.cop {
             m.cop = cop;
         }
+        assert!(
+            !(self.instrumentation.profile_symbols.is_some()
+                && self.instrumentation.sampled.is_some()),
+            "attach either the exact profiler or the sampled profiler, not both"
+        );
         if let Some(syms) = self.instrumentation.profile_symbols {
             m.profiler = Some(Box::new(PcProfiler::new(&syms)));
+        }
+        if let Some((syms, stride)) = self.instrumentation.sampled {
+            m.sampler = Some(Box::new(SampledProfiler::new(&syms, stride)));
         }
         m
     }
@@ -349,6 +375,9 @@ pub struct Machine {
     /// branch per step. Boxed so the unprofiled machine's layout stays
     /// a single pointer wide here.
     profiler: Option<Box<PcProfiler>>,
+    /// Stride-based sampled profiler; unlike `profiler` it rides the
+    /// fast engine (checked once per dispatch, not per instruction).
+    sampler: Option<Box<SampledProfiler>>,
 }
 
 impl Machine {
@@ -388,6 +417,7 @@ impl Machine {
             last_load_dest: None,
             halted: None,
             profiler: None,
+            sampler: None,
         }
     }
 
@@ -402,10 +432,14 @@ impl Machine {
         }
     }
 
-    /// Detaches the profiler, returning the per-routine breakdown
-    /// accumulated so far (`None` if no profiler was attached).
+    /// Detaches the profiler (exact or sampled), returning the
+    /// per-routine breakdown accumulated so far (`None` if neither was
+    /// attached). A sampled profile carries an empty call graph.
     pub fn take_profile(&mut self) -> Option<RoutineProfile> {
-        self.profiler.take().map(|p| p.finish())
+        if let Some(p) = self.profiler.take() {
+            return Some(p.finish());
+        }
+        self.sampler.take().map(|s| s.finish())
     }
 
     /// The data RAM (for injecting operands and reading results).
@@ -503,10 +537,37 @@ impl Machine {
         }
     }
 
+    /// The reference-tier interpreter loop, bounded by `bound` cycles.
+    /// Both the uninstrumented and the sampled paths run this one
+    /// function, so sampling cannot perturb the loop it measures
+    /// (`inline(never)` keeps the compiler from re-specializing a copy
+    /// per call site).
+    #[inline(never)]
+    fn step_until(&mut self, bound: u64) {
+        while self.halted.is_none() && self.cycle < bound {
+            self.step();
+        }
+    }
+
     /// The instrumented reference interpreter.
     fn run_reference(&mut self, max_cycles: u64) -> RunExit {
-        while self.halted.is_none() && self.cycle < max_cycles {
-            self.step();
+        if let Some(mut s) = self.sampler.take() {
+            // Sampled profiling on the reference tier: the same
+            // boundary-sampling semantics as the fast engine, with a
+            // "block" being one instruction.
+            loop {
+                self.step_until(max_cycles.min(s.next_sample_at()));
+                if self.halted.is_some() || self.cycle >= max_cycles {
+                    break;
+                }
+                let act = self.activity_snapshot();
+                s.sample(self.pc, self.cycle, self.counters.instructions, &act);
+            }
+            let act = self.activity_snapshot();
+            s.flush(self.pc, self.cycle, self.counters.instructions, &act);
+            self.sampler = Some(s);
+        } else {
+            self.step_until(max_cycles);
         }
         match self.halted {
             Some(code) => RunExit::Halted { code },
@@ -515,8 +576,11 @@ impl Machine {
     }
 
     /// The fast engine: dispatches pre-translated (and, where legal,
-    /// fused) operations with no instrumentation plumbing. Timing and
-    /// counters are bit-identical to [`Machine::run_reference`].
+    /// fused) operations with no per-instruction instrumentation
+    /// plumbing. Timing and counters are bit-identical to
+    /// [`Machine::run_reference`]. An attached [`SampledProfiler`] is
+    /// consulted once per dispatch, at block boundaries, in a
+    /// dedicated loop so the common uninstrumented path pays nothing.
     fn run_fast(&mut self, max_cycles: u64) -> RunExit {
         if self.xops.is_none() {
             self.xops = Some(xlate::translate(&self.decoded));
@@ -524,8 +588,31 @@ impl Machine {
         // Move the table out for the duration of the loop so dispatch
         // needs no per-step Option check or re-borrow.
         let xt = self.xops.take().expect("translation table just built");
-        while self.halted.is_none() && self.cycle < max_cycles {
-            self.step_fast(&xt, max_cycles);
+        if let Some(mut s) = self.sampler.take() {
+            // Sampled profiling runs the *same* dispatch loop as the
+            // uninstrumented path ([`Machine::dispatch_fast_until`]),
+            // bounded by the next stride threshold instead of the run
+            // budget: the hot loop carries no extra state, and all
+            // sampling work happens between spans. Each interval is
+            // billed to the routine owning the PC at the first block
+            // boundary past the threshold; the activity snapshot is
+            // purely observational, so the run stays bit-identical to
+            // an unsampled one.
+            loop {
+                self.dispatch_fast_until(&xt, max_cycles.min(s.next_sample_at()), max_cycles);
+                if self.halted.is_some() || self.cycle >= max_cycles {
+                    break;
+                }
+                let act = self.activity_snapshot();
+                s.sample(self.pc, self.cycle, self.counters.instructions, &act);
+            }
+            // Flush the final partial interval so bucket totals equal
+            // the headline counters exactly.
+            let act = self.activity_snapshot();
+            s.flush(self.pc, self.cycle, self.counters.instructions, &act);
+            self.sampler = Some(s);
+        } else {
+            self.dispatch_fast_until(&xt, max_cycles, max_cycles);
         }
         self.xops = Some(xt);
         match self.halted {
@@ -595,6 +682,18 @@ impl Machine {
             if let Some(p) = self.profiler.as_mut() {
                 p.record(pc, self.cycle - cycle_at_issue, &delta, event);
             }
+        }
+    }
+
+    /// The fast-engine dispatch loop, bounded by `bound` cycles. Both
+    /// the uninstrumented and the sampled paths run this one function,
+    /// so sampling cannot perturb the loop it measures
+    /// (`inline(never)` keeps the compiler from re-specializing a copy
+    /// per call site).
+    #[inline(never)]
+    fn dispatch_fast_until(&mut self, xt: &XTable, bound: u64, max_cycles: u64) {
+        while self.halted.is_none() && self.cycle < bound {
+            self.step_fast(xt, max_cycles);
         }
     }
 
@@ -1961,5 +2060,122 @@ mod tests {
             profiled.run_with(ExecOptions::new(1000).with_tier(EngineTier::Fast));
         }));
         assert!(result.is_err(), "forcing Fast on a profiled machine panics");
+
+        // A sampled profiler does NOT force the reference engine: Auto
+        // still translates and runs fast, and the profile is present.
+        let mut sampled = Machine::builder(&p, MachineConfig::baseline())
+            .instrumentation(Instrumentation::sampled_profile(&p.text_symbols(), 64))
+            .build();
+        sampled.run_with(ExecOptions::new(1000));
+        assert!(
+            sampled.xops.is_some(),
+            "Auto on a sampled machine runs fast"
+        );
+        assert!(sampled.take_profile().is_some());
+    }
+
+    /// Builds a multi-routine program whose inner loops are long enough
+    /// that a small stride takes many samples.
+    fn sampled_fixture() -> ule_isa::asm::Program {
+        let mut a = Asm::new();
+        let buf = a.ram_alloc("buf", 4);
+        a.label("main");
+        a.li(Reg::T0, buf as i64);
+        a.jal("writer");
+        a.nop();
+        a.jal("reader");
+        a.nop();
+        a.brk(0);
+        a.label("writer");
+        a.li(Reg::T1, 40);
+        a.label("wloop");
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.sw(Reg::T1, 4, Reg::T0);
+        a.addiu(Reg::T1, Reg::T1, -1);
+        a.bne(Reg::T1, Reg::ZERO, "wloop");
+        a.nop();
+        a.jr(Reg::RA);
+        a.nop();
+        a.label("reader");
+        a.li(Reg::T1, 25);
+        a.label("rloop");
+        a.lw(Reg::T2, 0, Reg::T0);
+        a.lw(Reg::T3, 4, Reg::T0);
+        a.addu(Reg::T4, Reg::T2, Reg::T3);
+        a.addiu(Reg::T1, Reg::T1, -1);
+        a.bne(Reg::T1, Reg::ZERO, "rloop");
+        a.nop();
+        a.jr(Reg::RA);
+        a.nop();
+        a.link("main").unwrap()
+    }
+
+    /// Sampled profiling is purely observational: the run's counters,
+    /// architectural state, and memory statistics are bit-identical to
+    /// an uninstrumented fast run — and the sampled bucket totals equal
+    /// the headline counters exactly, on both tiers.
+    #[test]
+    fn sampled_profile_is_observational_and_exact() {
+        let p = sampled_fixture();
+        let mut plain = Machine::new(&p, MachineConfig::baseline());
+        let exit_plain = plain.run_with(ExecOptions::new(1_000_000).with_tier(EngineTier::Fast));
+
+        for tier in [EngineTier::Fast, EngineTier::Auto, EngineTier::Reference] {
+            let mut m = Machine::builder(&p, MachineConfig::baseline())
+                .instrumentation(Instrumentation::sampled_profile(&p.text_symbols(), 17))
+                .build();
+            let exit = m.run_with(ExecOptions::new(1_000_000).with_tier(tier));
+            assert_eq!(exit, exit_plain, "{tier:?}: exit diverges");
+            assert_tiers_equal(&m, &plain);
+            let counters = m.counters();
+            let prof = m.take_profile().expect("sampled profile present");
+            assert_eq!(prof.total_cycles(), counters.cycles, "{tier:?}");
+            assert_eq!(prof.total_instructions(), counters.instructions, "{tier:?}");
+            assert!(prof.calls.nodes.is_empty(), "sampled: no call graph");
+            // With a stride much shorter than the loops, both hot
+            // loop routines must show up.
+            assert!(prof.find("wloop").unwrap().cycles > 0, "{tier:?}");
+            assert!(prof.find("rloop").unwrap().cycles > 0, "{tier:?}");
+        }
+    }
+
+    /// Sampled-vs-exact agreement on the fixture: with a short stride
+    /// the two hot loops' cycle shares land near the reference
+    /// profiler's, and activity telescopes to the same raw totals.
+    #[test]
+    fn sampled_profile_tracks_reference_attribution() {
+        let p = sampled_fixture();
+        let mut reference = Machine::builder(&p, MachineConfig::baseline())
+            .instrumentation(Instrumentation::profile(&p.text_symbols()))
+            .build();
+        reference.run_with(ExecOptions::new(1_000_000));
+        let exact = reference.take_profile().unwrap();
+
+        let mut m = Machine::builder(&p, MachineConfig::baseline())
+            .instrumentation(Instrumentation::sampled_profile(&p.text_symbols(), 17))
+            .build();
+        m.run_with(ExecOptions::new(1_000_000));
+        let sampled = m.take_profile().unwrap();
+
+        // Same bucket table, same totals.
+        assert_eq!(exact.routines.len(), sampled.routines.len());
+        assert_eq!(exact.total_cycles(), sampled.total_cycles());
+        for name in ["wloop", "rloop"] {
+            let e = exact.find(name).unwrap().cycles as f64;
+            let s = sampled.find(name).unwrap().cycles as f64;
+            let rel = (e - s).abs() / e;
+            assert!(
+                rel < 0.25,
+                "{name}: sampled {s} vs exact {e} ({rel:.2} relative)"
+            );
+        }
+        let sum = |p: &RoutineProfile| {
+            let mut t = ActivitySlice::default();
+            for r in &p.routines {
+                t.accumulate(&r.activity);
+            }
+            t
+        };
+        assert_eq!(sum(&exact), sum(&sampled), "activity totals telescope");
     }
 }

@@ -446,7 +446,12 @@ pub fn run_case(
                     ck.field("out_r", exp.r.clone(), rd(&m, "out_r"));
                     ck.field("out_s", exp.s.clone(), rd(&m, "out_s"));
                 }
-                Err(_) => ck.hang(),
+                Err(_) => {
+                    // A hang is a cycle-limit incident: dump the flight
+                    // recorder tail (once per process) for triage.
+                    ule_obs::flight::note_incident("cycle_limit");
+                    ck.hang()
+                }
             }
         }
         {
@@ -500,7 +505,10 @@ pub fn run_case(
                         read_buf(&m, &suite.program, "out_ok", 1),
                     );
                 }
-                Err(_) => ck.hang(),
+                Err(_) => {
+                    ule_obs::flight::note_incident("cycle_limit");
+                    ck.hang()
+                }
             }
         }
     }

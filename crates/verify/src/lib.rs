@@ -195,9 +195,13 @@ pub fn run_campaign(campaign: &Campaign) -> Report {
             cases: 0,
             sim_runs: 0,
         };
+        ule_obs::progress::add_total(cases.len() as u64);
         for (case_index, case) in cases.iter().enumerate() {
             let tier = campaign.tier.for_case(case_index);
+            let progress =
+                ule_obs::progress::job_started(&format!("{}/case{case_index}", id.name()));
             let outcome = exec::run_case(&rig, case, &configs, tier, &mut fault_pending);
+            ule_obs::progress::job_done(progress);
             tally.cases += 1;
             tally.sim_runs += outcome.sim_runs;
             report.checks += outcome.checks;
