@@ -430,38 +430,64 @@ impl SweepEngine {
             let next = AtomicUsize::new(0);
             let slots: Vec<Mutex<&mut Option<Arc<RunReport>>>> =
                 results.iter_mut().map(Mutex::new).collect();
+            let worker_loop = |worker: usize| {
+                let spawned = Instant::now();
+                let mut busy = Duration::ZERO;
+                let mut processed = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(config, workload)) = jobs.get(i) else {
+                        break;
+                    };
+                    let t0 = Instant::now();
+                    let report = self.run(config, workload);
+                    busy += t0.elapsed();
+                    processed += 1;
+                    **lock(&slots[i]) = Some(report);
+                }
+                // Per-thread utilization: busy/alive ≈ 1 means
+                // the pool width was the bottleneck, not memo
+                // contention or in-flight waits.
+                ule_obs::obs_event!(
+                    "sweep.worker",
+                    worker = worker,
+                    jobs = processed,
+                    busy_us = busy.as_micros() as u64,
+                    alive_us = spawned.elapsed().as_micros() as u64,
+                );
+            };
             std::thread::scope(|scope| {
-                let (next, slots) = (&next, &slots);
+                let worker_loop = &worker_loop;
+                let mut spawned = 0usize;
                 for worker in 0..workers {
-                    let spawn = std::thread::Builder::new()
-                        .name(format!("sweep-{worker}"))
-                        .spawn_scoped(scope, move || {
-                            let spawned = Instant::now();
-                            let mut busy = Duration::ZERO;
-                            let mut processed = 0u64;
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(&(config, workload)) = jobs.get(i) else {
-                                    break;
-                                };
-                                let t0 = Instant::now();
-                                let report = self.run(config, workload);
-                                busy += t0.elapsed();
-                                processed += 1;
-                                **lock(&slots[i]) = Some(report);
-                            }
-                            // Per-thread utilization: busy/alive ≈ 1 means
-                            // the pool width was the bottleneck, not memo
-                            // contention or in-flight waits.
-                            ule_obs::obs_event!(
-                                "sweep.worker",
-                                worker = worker,
-                                jobs = processed,
-                                busy_us = busy.as_micros() as u64,
-                                alive_us = spawned.elapsed().as_micros() as u64,
+                    // A spawn failure (thread limit, resource exhaustion)
+                    // degrades the pool instead of panicking: already
+                    // spawned workers — or, with none, the caller thread
+                    // itself — drain the same atomic job queue, so every
+                    // slot is still filled and results are unchanged.
+                    let spawn = if ule_testkit::threads::spawn_blocked() {
+                        Err(std::io::Error::other("spawn blocked by test shim"))
+                    } else {
+                        std::thread::Builder::new()
+                            .name(format!("sweep-{worker}"))
+                            .spawn_scoped(scope, move || worker_loop(worker))
+                            .map(|_| ())
+                    };
+                    match spawn {
+                        Ok(()) => spawned += 1,
+                        Err(err) => {
+                            ule_obs::obs_warn_once!(
+                                "sweep worker spawn failed; continuing with fewer workers",
+                                requested = workers,
+                                spawned = spawned,
+                                error = err.to_string(),
                             );
-                        });
-                    spawn.expect("spawn sweep worker");
+                            break;
+                        }
+                    }
+                }
+                if spawned == 0 {
+                    worker_loop(0);
                 }
             });
         }

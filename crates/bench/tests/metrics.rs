@@ -86,6 +86,54 @@ fn metrics_schema_matches_golden() {
         actual.push('\n');
     }
 
+    // The service layer's record kinds (new in v4), pinned the same
+    // way so `serve_point`/`serve_summary`/`serve_frontier` key drift
+    // is caught here too.
+    let serve_runs = {
+        let reference = ule_serve::run_service(&ule_serve::ServeConfig {
+            curve: CurveId::P192,
+            requests: 8,
+            batch_size: 1,
+            shards: 1,
+            seed: 5,
+        });
+        let batched = ule_serve::run_service(&ule_serve::ServeConfig {
+            batch_size: 4,
+            ..reference.config
+        });
+        let scale = ule_serve::metrics::op_scale(&batched, &reference);
+        vec![(reference, 1.0), (batched, scale)]
+    };
+    let costs = ule_serve::metrics::SimCosts {
+        arch: "isa_ext".into(),
+        cycles: 400_000,
+        energy_uj: 30.0,
+        area_kge: 14.0,
+    };
+    let point = ule_serve::metrics::serve_point_record(&serve_runs[0].0, 1.0, &costs);
+    let summary = ule_serve::metrics::serve_summary_record(&serve_runs);
+    let (_, frontier_recs) =
+        ule_serve::metrics::frontier_records(std::slice::from_ref(&costs), &serve_runs);
+    let first_frontier = frontier_recs.first().expect("non-empty serve frontier");
+    for rec in [&point, &summary, first_frontier] {
+        let Some(Value::Str(kind)) = rec.get("record") else {
+            panic!("record without a kind");
+        };
+        assert_eq!(
+            rec.get("schema_version"),
+            Some(&Value::U64(SCHEMA_VERSION)),
+            "record {kind} carries the schema version"
+        );
+        let line = rec.to_json();
+        assert!(is_valid(&line), "invalid JSON: {line}");
+        actual.push_str(&format!("[{kind}]\n"));
+        for key in rec.keys() {
+            actual.push_str(key);
+            actual.push('\n');
+        }
+        actual.push('\n');
+    }
+
     // The one nested field: the key set of a v2 `profile` entry, pinned
     // from a real profiled run.
     let profiled = System::new(jobs[0].0).run_with(RunOptions::new(jobs[0].1).profiled());

@@ -164,6 +164,47 @@ fn workload_changes_key_but_config_reuses_system() {
 }
 
 #[test]
+fn blocked_worker_spawns_degrade_gracefully() {
+    let jobs: Vec<Job> = [CurveId::P192, CurveId::P256, CurveId::K163, CurveId::K233]
+        .iter()
+        .map(|&c| fieldmul(c, Arch::Baseline))
+        .collect();
+    let reference = SweepEngine::new().with_threads(1).run_batch(&jobs);
+
+    // Every spawn fails: the batch must fall back to inline execution
+    // on the caller thread (spawns happen on the calling thread, so the
+    // thread-local shim budget is visible to run_batch).
+    let engine = SweepEngine::new().with_threads(4);
+    let all_blocked = {
+        let _shim = ule_testkit::threads::fail_next_spawns(4);
+        engine.run_batch(&jobs)
+    };
+    assert_eq!(all_blocked.len(), jobs.len());
+    for (x, y) in all_blocked.iter().zip(&reference) {
+        assert_eq!(
+            x.as_ref(),
+            y.as_ref(),
+            "inline fallback must not change results"
+        );
+    }
+
+    // Thread limit hit partway through the fan-out: the workers that
+    // did spawn drain the whole queue.
+    let engine = SweepEngine::new().with_threads(4);
+    let partial = {
+        let _shim = ule_testkit::threads::fail_spawns_after(1, 3);
+        engine.run_batch(&jobs)
+    };
+    for (x, y) in partial.iter().zip(&reference) {
+        assert_eq!(
+            x.as_ref(),
+            y.as_ref(),
+            "degraded pool must not change results"
+        );
+    }
+}
+
+#[test]
 fn thread_count_overrides() {
     assert_eq!(SweepEngine::new().with_threads(3).threads(), 3);
     assert!(SweepEngine::new().threads() >= 1);

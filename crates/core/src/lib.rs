@@ -232,6 +232,11 @@ pub struct RunOptions {
     pub profile: ProfileMode,
     /// Execution-engine tier (default: fast when unprofiled).
     pub tier: EngineTier,
+    /// Sampled-profiler stride override for this run; `None` follows
+    /// `ULE_SAMPLE_STRIDE` / the built-in default. Lets A/B harnesses
+    /// (e.g. `repro overhead`) hold the profiler machinery constant
+    /// while varying only how often it fires.
+    pub sample_stride: Option<u64>,
 }
 
 impl RunOptions {
@@ -241,6 +246,7 @@ impl RunOptions {
             workload,
             profile: ProfileMode::default(),
             tier: EngineTier::default(),
+            sample_stride: None,
         }
     }
 
@@ -253,6 +259,17 @@ impl RunOptions {
     /// Selects sampled profiling for this run (fast-tier eligible).
     pub fn sampled(mut self) -> Self {
         self.profile = ProfileMode::Sampled;
+        self
+    }
+
+    /// Selects sampled profiling with an explicit stride (in cycles),
+    /// ignoring `ULE_SAMPLE_STRIDE`. Totals are exact at any stride; an
+    /// astronomically large stride yields a profiler that attaches but
+    /// never fires — the ballast arm of the overhead A/B measurement.
+    pub fn sampled_with_stride(mut self, stride: u64) -> Self {
+        assert!(stride > 0, "sample stride must be positive");
+        self.profile = ProfileMode::Sampled;
+        self.sample_stride = Some(stride);
         self
     }
 
@@ -388,10 +405,9 @@ impl System {
         let instr = match profile {
             ProfileKind::None => Instrumentation::none(),
             ProfileKind::Exact => Instrumentation::profile(&self.suite.program.text_symbols()),
-            ProfileKind::Sampled => Instrumentation::sampled_profile(
-                &self.suite.program.text_symbols(),
-                sample_stride(),
-            ),
+            ProfileKind::Sampled(stride) => {
+                Instrumentation::sampled_profile(&self.suite.program.text_symbols(), stride)
+            }
         };
         b.instrumentation(instr).build()
     }
@@ -433,7 +449,9 @@ impl System {
             ProfileMode::Auto if ule_obs::profiling_enabled() => ProfileKind::Exact,
             ProfileMode::Auto | ProfileMode::Off => ProfileKind::None,
             ProfileMode::On => ProfileKind::Exact,
-            ProfileMode::Sampled => ProfileKind::Sampled,
+            ProfileMode::Sampled => {
+                ProfileKind::Sampled(opts.sample_stride.unwrap_or_else(sample_stride))
+            }
         };
         self.run_inner(opts.workload, profile, opts.tier)
     }
@@ -558,7 +576,7 @@ fn sample_stride() -> u64 {
 enum ProfileKind {
     None,
     Exact,
-    Sampled,
+    Sampled(u64),
 }
 
 struct WorkloadInputs {
@@ -712,6 +730,22 @@ mod tests {
             att.total_uj().to_bits(),
             sampled.energy.total_uj().to_bits()
         );
+    }
+
+    /// A stride too large to ever fire still attaches the profiler
+    /// (identical allocation behaviour to a live one — the overhead
+    /// harness's ballast arm) and still reports exact totals.
+    #[test]
+    fn sampled_stride_override_never_fires_but_totals_exact() {
+        let sys = System::new(SystemConfig::new(CurveId::P192, Arch::IsaExt));
+        let plain = sys.run_with(RunOptions::new(Workload::Sign));
+        let ballast = sys.run_with(RunOptions::new(Workload::Sign).sampled_with_stride(1 << 40));
+        assert_eq!(plain.cycles, ballast.cycles);
+        assert_eq!(plain.counters, ballast.counters);
+        assert_eq!(plain.energy, ballast.energy);
+        let p = ballast.profile.as_ref().expect("profile present");
+        assert_eq!(p.total_cycles(), ballast.cycles);
+        assert_eq!(p.total_instructions(), ballast.counters.instructions);
     }
 
     #[test]

@@ -142,16 +142,30 @@ pub fn derive_scalar(curve: &Curve, seed: &[u8], label: &[u8]) -> Mp {
 /// computation the simulated software performs. Returns `None` if the
 /// nonce yields `r = 0` or `s = 0` (caller picks a new nonce).
 pub fn sign_with_nonce(curve: &Curve, d: &Mp, e: &Mp, k: &Mp) -> Option<Signature> {
+    sign_with_nonce_recoverable(curve, d, e, k).map(|(sig, _)| sig)
+}
+
+/// [`sign_with_nonce`], additionally returning the nonce point
+/// `R = k·G` the signer already computed. `R` is public (it is
+/// recoverable from the signature) and is the *hint* that lets a batch
+/// verifier replace each per-signature twin multiplication with one
+/// random-linear-combination check — see [`verify_batch_prehashed`].
+pub fn sign_with_nonce_recoverable(
+    curve: &Curve,
+    d: &Mp,
+    e: &Mp,
+    k: &Mp,
+) -> Option<(Signature, PublicKey)> {
     assert!(!k.is_zero() && k < curve.n(), "nonce out of range");
     let nf = curve.order_field();
-    let x_int = match curve.kind() {
+    let (x_int, point) = match curve.kind() {
         CurveKind::Prime(c) => {
             let p = scalar::mul_window(c, k, &c.generator());
-            c.x_as_integer(&p)?
+            (c.x_as_integer(&p)?, PublicKey::Prime(p))
         }
         CurveKind::Binary(c) => {
             let p = scalar::mul_window(c, k, &c.generator());
-            c.x_as_integer(&p)?
+            (c.x_as_integer(&p)?, PublicKey::Binary(p))
         }
     };
     let r = x_int.rem(curve.n());
@@ -168,7 +182,7 @@ pub fn sign_with_nonce(curve: &Curve, d: &Mp, e: &Mp, k: &Mp) -> Option<Signatur
     if s_el.is_zero() {
         return None;
     }
-    Some(Signature { r, s: s_el.to_mp() })
+    Some((Signature { r, s: s_el.to_mp() }, point))
 }
 
 /// Signs a message with a deterministic nonce derived from `nonce_seed`.
@@ -228,6 +242,229 @@ pub fn verify(curve: &Curve, public: &PublicKey, msg: &[u8], sig: &Signature) ->
 /// the order field (used when cross-checking simulator RAM contents).
 pub fn r_as_order_element(curve: &Curve, sig: &Signature) -> FpElement {
     curve.order_field().from_mp(&sig.r)
+}
+
+/// One signature in a batch-verification request: the prehashed message
+/// scalar, the signature, and optionally the signer's nonce point
+/// `R = k·G` (from [`sign_with_nonce_recoverable`]). With consistent
+/// hints on every in-range item, the whole batch collapses to a single
+/// random-linear-combination multi-scalar multiplication; without them
+/// the verifier falls back to per-signature checks over a shared
+/// [`scalar::TwinTables`] grid.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// The prehashed message scalar `e`.
+    pub e: Mp,
+    /// The signature under test.
+    pub sig: Signature,
+    /// The signer-provided nonce point `R = k·G`, if known.
+    pub hint: Option<PublicKey>,
+}
+
+/// Outcome of [`verify_batch_prehashed`].
+#[derive(Clone, Debug)]
+pub struct BatchVerdict {
+    /// Per-item accept/reject, in input order — the contract is
+    /// elementwise equality with [`verify_prehashed`].
+    pub ok: Vec<bool>,
+    /// True iff the random-linear-combination fast path proved the
+    /// whole batch in one multi-scalar multiplication (it can only ever
+    /// conclude *all-accept*; any failure falls back to per-item
+    /// verification to isolate the culprits).
+    pub rlc_accepted: bool,
+    /// Total host group-operation census, including shared precompute —
+    /// what the service layer's energy model scales by.
+    pub ops: scalar::OpCount,
+}
+
+/// Verifies a batch of signatures under one public key, accept/reject
+/// per item exactly as per-signature [`verify_prehashed`] would decide.
+///
+/// Strategy, fastest first:
+///
+/// 1. **Range rejects** (`r, s ∉ [1, n)`, wrong-family key) cost no
+///    group operations, exactly as in [`verify_prehashed`].
+/// 2. **Random linear combination.** If ≥ 2 items survive and every
+///    one carries a consistent `R` hint (on the right family and with
+///    `x(R) mod n = r`), draw deterministic 64-bit coefficients
+///    `z_i` from SHA-256 over `(seed, i, r_i, s_i)` (with `z_0 = 1`)
+///    and test `Σ zᵢ(u1ᵢ·G + u2ᵢ·Q − Rᵢ) = O` as one multi-scalar
+///    multiplication — per extra signature this adds only three short
+///    64-bit scalar terms instead of a full-width twin multiplication.
+///    Success accepts the whole batch; a forged batch passes with
+///    probability ≤ 2⁻⁶⁴ per random `seed` (see `DESIGN.md` §13).
+/// 3. **Fallback** — on any RLC failure or missing hint: per-item
+///    interleaved twin multiplication over a shared
+///    [`scalar::TwinTables`] grid, which is structurally the same
+///    check as [`verify_prehashed`] and therefore exact.
+pub fn verify_batch_prehashed(
+    curve: &Curve,
+    public: &PublicKey,
+    items: &[BatchItem],
+    seed: u64,
+) -> BatchVerdict {
+    match (curve.kind(), public) {
+        (CurveKind::Prime(c), PublicKey::Prime(q)) => verify_batch_family(
+            curve,
+            c,
+            &c.generator(),
+            q,
+            &|p| c.x_as_integer(p),
+            &|h| match h {
+                PublicKey::Prime(p) => Some(p),
+                PublicKey::Binary(_) => None,
+            },
+            items,
+            seed,
+        ),
+        (CurveKind::Binary(c), PublicKey::Binary(q)) => verify_batch_family(
+            curve,
+            c,
+            &c.generator(),
+            q,
+            &|p| c.x_as_integer(p),
+            &|h| match h {
+                PublicKey::Binary(p) => Some(p),
+                PublicKey::Prime(_) => None,
+            },
+            items,
+            seed,
+        ),
+        // Key from the wrong family: every item rejects, exactly as
+        // `verify_prehashed` does.
+        _ => BatchVerdict {
+            ok: vec![false; items.len()],
+            rlc_accepted: false,
+            ops: scalar::OpCount::default(),
+        },
+    }
+}
+
+/// Deterministic RLC coefficient for item `i`: a nonzero 64-bit scalar
+/// from SHA-256 over the batch seed, the item index, and the signature
+/// components (so a tampered component changes its own coefficient).
+fn rlc_coefficient(seed: u64, index: usize, sig: &Signature) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"ule-serve rlc");
+    h.update(&seed.to_be_bytes());
+    h.update(&(index as u64).to_be_bytes());
+    h.update(sig.r.to_hex().as_bytes());
+    h.update(sig.s.to_hex().as_bytes());
+    let digest = h.finalize();
+    let z = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+/// Family-generic batch verification body; see
+/// [`verify_batch_prehashed`] for the contract.
+#[allow(clippy::too_many_arguments)]
+fn verify_batch_family<C: scalar::GroupOps>(
+    curve: &Curve,
+    ops_curve: &C,
+    g: &C::Aff,
+    q: &C::Aff,
+    x_of: &dyn Fn(&C::Aff) -> Option<Mp>,
+    hint_of: &dyn Fn(&PublicKey) -> Option<&C::Aff>,
+    items: &[BatchItem],
+    seed: u64,
+) -> BatchVerdict {
+    let n = curve.n();
+    let nf = curve.order_field();
+    let mut ok = vec![false; items.len()];
+    let mut ops = scalar::OpCount::default();
+
+    // Stage 1: range rejects (no group operations), u1/u2 for the rest.
+    struct LiveItem {
+        idx: usize,
+        u1: Mp,
+        u2: Mp,
+    }
+    let mut live: Vec<LiveItem> = Vec::new();
+    for (idx, item) in items.iter().enumerate() {
+        let sig = &item.sig;
+        if sig.r.is_zero() || &sig.r >= n || sig.s.is_zero() || &sig.s >= n {
+            continue;
+        }
+        let w = nf.inv(&nf.from_mp(&sig.s)).expect("s nonzero mod prime n");
+        live.push(LiveItem {
+            idx,
+            u1: nf.mul(&nf.from_mp(&item.e), &w).to_mp(),
+            u2: nf.mul(&nf.from_mp(&sig.r), &w).to_mp(),
+        });
+    }
+
+    // Stage 2: the RLC fast path needs a consistent hint on every live
+    // item (a hint whose x-coordinate disagrees with `r` could make the
+    // combined sum reject a batch `verify_prehashed` accepts).
+    let hints: Option<Vec<&C::Aff>> = if live.len() >= 2 {
+        live.iter()
+            .map(|li| {
+                let item = &items[li.idx];
+                let h = item.hint.as_ref().and_then(hint_of)?;
+                let x = x_of(h)?;
+                if x.rem(n) == item.sig.r {
+                    Some(h)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    } else {
+        None
+    };
+    if let Some(hints) = hints {
+        let mut a = nf.zero(); // Σ zᵢ·u1ᵢ, coefficient of G
+        let mut b = nf.zero(); // Σ zᵢ·u2ᵢ, coefficient of Q
+        let mut terms: Vec<(Mp, C::Aff)> = Vec::with_capacity(live.len() + 2);
+        for (pos, (li, hint)) in live.iter().zip(&hints).enumerate() {
+            let z = if pos == 0 {
+                1
+            } else {
+                rlc_coefficient(seed, li.idx, &items[li.idx].sig)
+            };
+            a = nf.add(&a, &nf.mul_u64(&nf.from_mp(&li.u1), z));
+            b = nf.add(&b, &nf.mul_u64(&nf.from_mp(&li.u2), z));
+            // −zᵢ·Rᵢ, as the scalar n − zᵢ on the hint point.
+            terms.push((n.sub(&Mp::from_u64(z).rem(n)), (*hint).clone()));
+        }
+        terms.push((a.to_mp(), g.clone()));
+        terms.push((b.to_mp(), q.clone()));
+        let (sum, msm_ops) = scalar::msm_counted(ops_curve, &terms);
+        ops += msm_ops;
+        if sum == ops_curve.affine_infinity() {
+            for li in &live {
+                ok[li.idx] = true;
+            }
+            return BatchVerdict {
+                ok,
+                rlc_accepted: true,
+                ops,
+            };
+        }
+    }
+
+    // Stage 3: per-item verification over the shared joint grid —
+    // structurally the same computation as `verify_prehashed`, so the
+    // per-item verdicts are exact.
+    let tables = scalar::twin_tables(ops_curve, g, q);
+    ops += tables.precompute;
+    for li in &live {
+        let (point, c) = scalar::twin_mul_tabled(ops_curve, &li.u1, &li.u2, &tables);
+        ops += c;
+        ok[li.idx] = match x_of(&point) {
+            Some(x) => x.rem(n) == items[li.idx].sig.r,
+            None => false,
+        };
+    }
+    BatchVerdict {
+        ok,
+        rlc_accepted: false,
+        ops,
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +593,149 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Builds `count` signed batch items (with hints) for one curve.
+    fn batch_fixture(curve: &Curve, keys: &Keypair, count: usize) -> Vec<BatchItem> {
+        (0..count)
+            .map(|i| {
+                let e = hash_to_scalar(curve, format!("batch msg {i}").as_bytes());
+                let k = derive_scalar(curve, format!("batch nonce {i}").as_bytes(), b"nonce");
+                let (sig, r_point) =
+                    sign_with_nonce_recoverable(curve, keys.private(), &e, &k).expect("nonce ok");
+                BatchItem {
+                    e,
+                    sig,
+                    hint: Some(r_point),
+                }
+            })
+            .collect()
+    }
+
+    fn assert_batch_matches_single(
+        curve: &Curve,
+        public: &PublicKey,
+        items: &[BatchItem],
+        verdict: &BatchVerdict,
+    ) {
+        for (i, item) in items.iter().enumerate() {
+            let single = verify_prehashed(curve, public, &item.e, &item.sig);
+            assert_eq!(
+                verdict.ok[i], single,
+                "item {i}: batch said {}, verify_prehashed said {single}",
+                verdict.ok[i]
+            );
+        }
+    }
+
+    /// An all-valid hinted batch takes the RLC fast path and agrees
+    /// with per-signature verification on both families.
+    #[test]
+    fn batch_verify_all_valid_takes_rlc_path() {
+        for id in [CurveId::P192, CurveId::K163] {
+            let curve = id.curve();
+            let keys = Keypair::derive(&curve, b"batch signer");
+            let items = batch_fixture(&curve, &keys, 4);
+            let verdict = verify_batch_prehashed(&curve, &keys.public(), &items, 0x5eed);
+            assert!(verdict.rlc_accepted, "{id:?}: expected the RLC fast path");
+            assert!(verdict.ok.iter().all(|&b| b), "{id:?}");
+            assert_batch_matches_single(&curve, &keys.public(), &items, &verdict);
+        }
+    }
+
+    /// A mixed batch — valid, bit-flipped, and out-of-range items —
+    /// must fall back and agree elementwise with `verify_prehashed`.
+    #[test]
+    fn batch_verify_mixed_batch_is_exact() {
+        for id in [CurveId::P192, CurveId::K163] {
+            let curve = id.curve();
+            let keys = Keypair::derive(&curve, b"batch signer");
+            let mut items = batch_fixture(&curve, &keys, 6);
+            let n = curve.n();
+            items[1].sig.s = items[1].sig.s.add(&Mp::one()).rem(n); // tampered
+            items[2].sig.r = Mp::zero(); // range reject
+            items[3].sig.s = n.clone(); // range reject
+            items[4].sig.r = n.add(&Mp::one()); // range reject
+            let verdict = verify_batch_prehashed(&curve, &keys.public(), &items, 0x5eed);
+            assert!(
+                !verdict.rlc_accepted,
+                "{id:?}: a tampered batch must not RLC-accept"
+            );
+            assert!(verdict.ok[0] && verdict.ok[5], "{id:?}");
+            assert!(!verdict.ok[1] && !verdict.ok[2] && !verdict.ok[3] && !verdict.ok[4]);
+            assert_batch_matches_single(&curve, &keys.public(), &items, &verdict);
+        }
+    }
+
+    /// Hints are optional and untrusted: a hint-less batch and a batch
+    /// with an inconsistent hint both fall back to exact per-item
+    /// verification (a wrong hint must never change a verdict).
+    #[test]
+    fn batch_verify_without_or_with_bad_hints_is_exact() {
+        let curve = CurveId::P192.curve();
+        let keys = Keypair::derive(&curve, b"batch signer");
+        let mut items = batch_fixture(&curve, &keys, 3);
+        items[0].hint = None;
+        let verdict = verify_batch_prehashed(&curve, &keys.public(), &items, 1);
+        assert!(!verdict.rlc_accepted);
+        assert!(verdict.ok.iter().all(|&b| b));
+        assert_batch_matches_single(&curve, &keys.public(), &items, &verdict);
+
+        // Inconsistent hint: x(R) mod n != r.
+        let mut items = batch_fixture(&curve, &keys, 3);
+        items[1].hint = Some(keys.public());
+        let verdict = verify_batch_prehashed(&curve, &keys.public(), &items, 1);
+        assert!(!verdict.rlc_accepted);
+        assert!(verdict.ok.iter().all(|&b| b));
+        assert_batch_matches_single(&curve, &keys.public(), &items, &verdict);
+
+        // Singleton batches never take the RLC path.
+        let items = batch_fixture(&curve, &keys, 1);
+        let verdict = verify_batch_prehashed(&curve, &keys.public(), &items, 1);
+        assert!(!verdict.rlc_accepted);
+        assert!(verdict.ok[0]);
+    }
+
+    /// Wrong-family public key: every item rejects, with no group ops,
+    /// exactly as `verify_prehashed`.
+    #[test]
+    fn batch_verify_wrong_family_rejects_all() {
+        let prime = CurveId::P192.curve();
+        let binary_keys = Keypair::derive(&CurveId::K163.curve(), b"binary");
+        let keys = Keypair::derive(&prime, b"batch signer");
+        let items = batch_fixture(&prime, &keys, 2);
+        let verdict = verify_batch_prehashed(&prime, &binary_keys.public(), &items, 1);
+        assert!(verdict.ok.iter().all(|&b| !b));
+        assert_eq!(verdict.ops, scalar::OpCount::default());
+        assert_batch_matches_single(&prime, &binary_keys.public(), &items, &verdict);
+    }
+
+    /// The headline economics: at batch size 16 the RLC path must cost
+    /// well under half of 16 independent twin multiplications in
+    /// weighted group operations (the ≥1.5× throughput criterion is
+    /// checked end-to-end by `repro serve`; this pins the algorithmic
+    /// gain that produces it).
+    #[test]
+    fn batch_verify_ops_gain_at_batch_16() {
+        let curve = CurveId::P192.curve();
+        let keys = Keypair::derive(&curve, b"batch signer");
+        let items = batch_fixture(&curve, &keys, 16);
+        let batch = verify_batch_prehashed(&curve, &keys.public(), &items, 7);
+        assert!(batch.rlc_accepted);
+        let mut single = scalar::OpCount::default();
+        for item in &items {
+            let verdict =
+                verify_batch_prehashed(&curve, &keys.public(), std::slice::from_ref(item), 7);
+            assert!(verdict.ok[0]);
+            single += verdict.ops;
+        }
+        let weigh = |o: &scalar::OpCount| 8 * o.doubles + 11 * o.adds + 80 * o.inversions;
+        assert!(
+            2 * weigh(&batch.ops) < weigh(&single),
+            "batch {:?} vs 16 singles {:?}",
+            batch.ops,
+            single
+        );
     }
 
     /// A public key from the wrong curve family must be rejected, not

@@ -294,6 +294,183 @@ pub fn twin_mul<C: GroupOps>(curve: &C, u1: &Mp, p: &C::Aff, u2: &Mp, q: &C::Aff
     twin_mul_counted(curve, u1, p, u2, q).0
 }
 
+impl std::ops::AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: OpCount) {
+        self.doubles += rhs.doubles;
+        self.adds += rhs.adds;
+        self.inversions += rhs.inversions;
+    }
+}
+
+/// Affine + affine addition with full degenerate-case dispatch
+/// (infinity operands, `b = ±a`), normalized back to affine. The mixed
+/// primitives cannot express these cases, so every table-building path
+/// routes through here. Census convention matches [`twin_mul_counted`]'s
+/// precompute: an addition or doubling costs one group op plus one
+/// inversion (the affine normalization); infinity shortcuts are free.
+fn affine_add_counted<C: GroupOps>(
+    curve: &C,
+    a: &C::Aff,
+    b: &C::Aff,
+    count: &mut OpCount,
+) -> C::Aff {
+    let inf = curve.affine_infinity();
+    if *a == inf {
+        return b.clone();
+    }
+    if *b == inf {
+        return a.clone();
+    }
+    if *b == curve.neg_affine(a) {
+        return inf;
+    }
+    if *b == *a {
+        count.doubles += 1;
+        count.inversions += 1;
+        return curve.to_affine(&curve.double(&curve.from_affine(a)));
+    }
+    count.adds += 1;
+    count.inversions += 1;
+    curve.to_affine(&curve.add_affine(&curve.from_affine(a), b))
+}
+
+/// Joint precompute for interleaved (Straus–Shamir) twin multiplication:
+/// the 4×4 grid `i·P + j·Q` for `i, j ∈ [0, 4)`, shared across a batch
+/// of `(u1, u2)` pairs so its cost is amortized — the service-layer
+/// analogue of the per-verification `P+Q` precompute in
+/// [`twin_mul_counted`].
+pub struct TwinTables<C: GroupOps> {
+    /// `grid[i * 4 + j] = i·P + j·Q`; entry 0 is the identity.
+    grid: Vec<C::Aff>,
+    /// Census of building the grid (charge once per batch).
+    pub precompute: OpCount,
+}
+
+/// Builds the shared [`TwinTables`] grid for base points `(P, Q)`.
+/// Degenerate bases (`Q = ±P`, infinity) collapse grid entries to the
+/// identity; the scan skips those entries, so results stay correct.
+pub fn twin_tables<C: GroupOps>(curve: &C, p: &C::Aff, q: &C::Aff) -> TwinTables<C> {
+    let mut count = OpCount::default();
+    let inf = curve.affine_infinity();
+    let mut grid = vec![inf; 16];
+    for i in 0..4usize {
+        for j in 0..4usize {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            grid[i * 4 + j] = if j == 0 {
+                affine_add_counted(curve, &grid[(i - 1) * 4], p, &mut count)
+            } else {
+                affine_add_counted(curve, &grid[i * 4 + j - 1], q, &mut count)
+            };
+        }
+    }
+    TwinTables {
+        grid,
+        precompute: count,
+    }
+}
+
+/// Interleaved twin multiplication `u1·P + u2·Q` against a prebuilt
+/// [`TwinTables`] grid: both scalars are scanned two bits per iteration
+/// (2 doublings + at most one table addition), half the additions of
+/// the bit-at-a-time [`twin_mul_counted`] scan. Returns the result and
+/// the census of *this* multiplication (the caller charges
+/// [`TwinTables::precompute`] once per batch).
+pub fn twin_mul_tabled<C: GroupOps>(
+    curve: &C,
+    u1: &Mp,
+    u2: &Mp,
+    tables: &TwinTables<C>,
+) -> (C::Aff, OpCount) {
+    let mut count = OpCount::default();
+    let inf = curve.affine_infinity();
+    let bits = u1.bit_len().max(u2.bit_len());
+    let digits = bits.div_ceil(2);
+    let mut r = curve.identity();
+    for d in (0..digits).rev() {
+        r = curve.double(&r);
+        r = curve.double(&r);
+        count.doubles += 2;
+        let hi = 2 * d + 1;
+        let lo = 2 * d;
+        let i = ((u1.bit(hi) as usize) << 1) | u1.bit(lo) as usize;
+        let j = ((u2.bit(hi) as usize) << 1) | u2.bit(lo) as usize;
+        let entry = &tables.grid[i * 4 + j];
+        // Identity entries (digit pair zero, or a degenerate base
+        // collapsed `i·P + j·Q`): skip, as the mixed add cannot take an
+        // infinity operand.
+        if (i, j) != (0, 0) && *entry != inf {
+            r = curve.add_affine(&r, entry);
+            count.adds += 1;
+        }
+    }
+    count.inversions += 1;
+    (curve.to_affine(&r), count)
+}
+
+/// Batched twin multiplication: computes `u1·P + u2·Q` for every pair,
+/// building the joint [`TwinTables`] grid once. Returns the results in
+/// input order plus the *total* census including the shared precompute
+/// — the amortization the service layer's batch verification banks on.
+pub fn twin_mul_batch<C: GroupOps>(
+    curve: &C,
+    p: &C::Aff,
+    q: &C::Aff,
+    pairs: &[(Mp, Mp)],
+) -> (Vec<C::Aff>, OpCount) {
+    let tables = twin_tables(curve, p, q);
+    let mut count = tables.precompute;
+    let mut out = Vec::with_capacity(pairs.len());
+    for (u1, u2) in pairs {
+        let (r, c) = twin_mul_tabled(curve, u1, u2, &tables);
+        count += c;
+        out.push(r);
+    }
+    (out, count)
+}
+
+/// Straus interleaved multi-scalar multiplication `Σ kᵢ·Pᵢ` with
+/// per-point width-2 tables `[P, 2P, 3P]` and one shared doubling
+/// chain — the workhorse of random-linear-combination batch
+/// verification, where the term count is small (two fixed points plus
+/// one `R` hint per signature) but a naive sum of single
+/// multiplications would repeat the doubling chain per term.
+pub fn msm_counted<C: GroupOps>(curve: &C, terms: &[(Mp, C::Aff)]) -> (C::Aff, OpCount) {
+    let mut count = OpCount::default();
+    let inf = curve.affine_infinity();
+    let live: Vec<&(Mp, C::Aff)> = terms
+        .iter()
+        .filter(|(k, pt)| !k.is_zero() && *pt != inf)
+        .collect();
+    let mut tables: Vec<[C::Aff; 3]> = Vec::with_capacity(live.len());
+    for (_, pt) in &live {
+        let two = affine_add_counted(curve, pt, pt, &mut count);
+        let three = affine_add_counted(curve, &two, pt, &mut count);
+        tables.push([pt.clone(), two, three]);
+    }
+    let bits = live.iter().map(|(k, _)| k.bit_len()).max().unwrap_or(0);
+    let digits = bits.div_ceil(2);
+    let mut r = curve.identity();
+    for d in (0..digits).rev() {
+        r = curve.double(&r);
+        r = curve.double(&r);
+        count.doubles += 2;
+        for (table, (k, _)) in tables.iter().zip(&live) {
+            let digit = ((k.bit(2 * d + 1) as usize) << 1) | k.bit(2 * d) as usize;
+            if digit != 0 {
+                let entry = &table[digit - 1];
+                if *entry != inf {
+                    r = curve.add_affine(&r, entry);
+                    count.adds += 1;
+                }
+            }
+        }
+    }
+    count.inversions += 1;
+    (curve.to_affine(&r), count)
+}
+
 /// Lopez–Dahab **Montgomery ladder** (x-coordinate-only) scalar
 /// multiplication for binary curves — the algorithm the paper evaluated
 /// for Billie and found more costly than sliding windows (§4.1,
@@ -539,6 +716,127 @@ mod tests {
         let g = c.generator();
         let lhs = twin_mul(&c, &Mp::from_u64(3), &g, &Mp::one(), &g);
         assert_eq!(lhs, mul_window(&c, &Mp::from_u64(4), &g));
+    }
+
+    /// The batched interleaved scan must agree with two independent
+    /// single multiplications for every pair, on both families,
+    /// including degenerate bases `Q = ±P`.
+    #[test]
+    fn twin_batch_matches_separate() {
+        let pairs: Vec<(Mp, Mp)> = [
+            (3u64, 4u64),
+            (1, 1),
+            (100, 7),
+            (0, 9),
+            (9, 0),
+            (0, 0),
+            (255, 254),
+            (65535, 12345),
+        ]
+        .iter()
+        .map(|&(a, b)| (Mp::from_u64(a), Mp::from_u64(b)))
+        .collect();
+        let c = tiny_prime();
+        let g = c.generator();
+        for q in [
+            mul_binary(&c, &Mp::from_u64(5), &g),
+            g.clone(),
+            c.neg_affine(&g),
+        ] {
+            let (results, ops) = twin_mul_batch(&c, &g, &q, &pairs);
+            assert_eq!(results.len(), pairs.len());
+            for ((u1, u2), lhs) in pairs.iter().zip(&results) {
+                let rhs = c.affine_add(&mul_binary(&c, u1, &g), &mul_binary(&c, u2, &q));
+                assert_eq!(*lhs, rhs, "u1={u1} u2={u2}");
+            }
+            assert!(ops.doubles > 0 && ops.adds > 0);
+        }
+        let cb = tiny_binary();
+        let gb = cb.generator();
+        let qb = mul_binary(&cb, &Mp::from_u64(3), &gb);
+        let (results, _) = twin_mul_batch(&cb, &gb, &qb, &pairs);
+        for ((u1, u2), lhs) in pairs.iter().zip(&results) {
+            let rhs = cb.affine_add(&mul_binary(&cb, u1, &gb), &mul_binary(&cb, u2, &qb));
+            assert_eq!(*lhs, rhs, "u1={u1} u2={u2}");
+        }
+    }
+
+    /// Amortization: per verification, the two-bit tabled scan must
+    /// beat the bit-at-a-time `twin_mul_counted` on additions once the
+    /// grid cost is spread over a 16-element batch.
+    #[test]
+    fn twin_batch_amortizes_precompute() {
+        let c = tiny_prime();
+        let g = c.generator();
+        let q = mul_binary(&c, &Mp::from_u64(7), &g);
+        let k = Mp::from_u64(0xffff_ffff);
+        let pairs: Vec<(Mp, Mp)> = (0..16).map(|_| (k.clone(), k.clone())).collect();
+        let (_, batch) = twin_mul_batch(&c, &g, &q, &pairs);
+        let (_, single) = twin_mul_counted(&c, &k, &g, &k, &q);
+        let weigh = |o: &OpCount| 8 * o.doubles + 11 * o.adds + 80 * o.inversions;
+        assert!(
+            weigh(&batch) < 16 * weigh(&single),
+            "batched {batch:?} must beat 16 x {single:?}"
+        );
+    }
+
+    /// Straus MSM must match the sum of independent multiplications,
+    /// including zero scalars, infinity points, and the empty sum.
+    #[test]
+    fn msm_matches_separate() {
+        let c = tiny_prime();
+        let g = c.generator();
+        let p2 = mul_binary(&c, &Mp::from_u64(5), &g);
+        let p3 = mul_binary(&c, &Mp::from_u64(11), &g);
+        let terms = vec![
+            (Mp::from_u64(3), g.clone()),
+            (Mp::from_u64(0), p2.clone()),
+            (Mp::from_u64(97), p3.clone()),
+            (Mp::from_u64(41), c.affine_infinity()),
+            (Mp::from_u64(0xdead_beef), p2.clone()),
+        ];
+        let (lhs, ops) = msm_counted(&c, &terms);
+        let mut rhs = c.affine_infinity();
+        for (k, pt) in &terms {
+            rhs = c.affine_add(&rhs, &mul_binary(&c, k, pt));
+        }
+        assert_eq!(lhs, rhs);
+        assert!(ops.doubles > 0);
+        let (empty, _) = msm_counted::<PrimeCurve>(&c, &[]);
+        assert!(empty.is_infinity());
+
+        let cb = tiny_binary();
+        let gb = cb.generator();
+        let qb = mul_binary(&cb, &Mp::from_u64(9), &gb);
+        let terms2 = vec![
+            (Mp::from_u64(29), gb.clone()),
+            (Mp::from_u64(61), qb.clone()),
+            (Mp::from_u64(7), cb.neg_affine(&gb)),
+        ];
+        let (lhs2, _) = msm_counted(&cb, &terms2);
+        let mut rhs2 = cb.affine_infinity();
+        for (k, pt) in &terms2 {
+            rhs2 = cb.affine_add(&rhs2, &mul_binary(&cb, k, pt));
+        }
+        assert_eq!(lhs2, rhs2);
+    }
+
+    /// Exhaustive small-scalar sweep of the tabled scan against the
+    /// oracle: every `(u1, u2)` in a 17×17 grid, both families.
+    #[test]
+    fn twin_tabled_exhaustive_small_scalars() {
+        let c = tiny_prime();
+        let g = c.generator();
+        let q = mul_binary(&c, &Mp::from_u64(3), &g);
+        let tables = twin_tables(&c, &g, &q);
+        for u1 in 0u64..17 {
+            for u2 in 0u64..17 {
+                let (u1m, u2m) = (Mp::from_u64(u1), Mp::from_u64(u2));
+                let (lhs, _) = twin_mul_tabled(&c, &u1m, &u2m, &tables);
+                let rhs = c.affine_add(&mul_binary(&c, &u1m, &g), &mul_binary(&c, &u2m, &q));
+                assert_eq!(lhs, rhs, "u1={u1} u2={u2}");
+            }
+        }
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub fn stderr_is_tty() -> bool {
 
 /// Starts the reporter (replacing any previous one) and spawns the
 /// heartbeat thread. `label` prefixes every line (e.g. `"repro all"`).
+///
+/// Progress is telemetry, never correctness: if the heartbeat thread
+/// cannot be spawned (thread limit, resource exhaustion), the reporter
+/// is rolled back and the campaign runs without progress lines instead
+/// of panicking.
 pub fn start(label: &str) {
     let state = Arc::new(State {
         label: label.to_owned(),
@@ -83,10 +88,26 @@ pub fn start(label: &str) {
         }
     }
     let hb = state.clone();
-    std::thread::Builder::new()
-        .name("progress-heartbeat".into())
-        .spawn(move || heartbeat(hb))
-        .expect("spawn heartbeat thread");
+    let spawned = if ule_testkit::threads::spawn_blocked() {
+        Err(std::io::Error::other("spawn blocked by test shim"))
+    } else {
+        std::thread::Builder::new()
+            .name("progress-heartbeat".into())
+            .spawn(move || heartbeat(hb))
+    };
+    if let Err(err) = spawned {
+        crate::obs_warn_once!(
+            "progress heartbeat thread could not be spawned; progress reporting disabled",
+            error = err.to_string(),
+        );
+        // Uninstall the reporter we just published: without a heartbeat
+        // nothing would ever render it, and hooks would record into a
+        // state that never stops.
+        let mut a = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+        if a.as_ref().is_some_and(|s| Arc::ptr_eq(s, &state)) {
+            *a = None;
+        }
+    }
 }
 
 /// Stops the reporter (if running) and prints a final summary line.
@@ -201,17 +222,22 @@ fn render(state: &State, final_line: bool) -> String {
         return line;
     }
     // Slowest in-flight job (the one most likely to be the holdup).
-    {
+    // Elapsed is snapshotted exactly once per job under the lock: a
+    // second `started.elapsed()` call could print a duration belonging
+    // to a moment after the max was chosen (and the formatting below
+    // stays outside the mutex).
+    let slowest = {
         let inflight = state.inflight.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some((key, started)) = inflight
+        inflight
             .values()
-            .max_by_key(|(_, started)| started.elapsed())
-        {
-            line.push_str(&format!(
-                " | slowest in-flight {key} {:.1}s",
-                started.elapsed().as_secs_f64()
-            ));
-        }
+            .map(|(key, started)| (started.elapsed(), key.clone()))
+            .max_by_key(|(elapsed, _)| *elapsed)
+    };
+    if let Some((elapsed, key)) = slowest {
+        line.push_str(&format!(
+            " | slowest in-flight {key} {:.1}s",
+            elapsed.as_secs_f64()
+        ));
     }
     // ETA: observed completion rate over the remaining count. Only
     // rendered once at least one job finished and the total is known.
@@ -263,6 +289,28 @@ mod tests {
         );
         assert!(line.contains("ETA"), "{line}");
         job_done(t2);
+        finish();
+        assert!(!is_active());
+    }
+
+    /// A failed heartbeat spawn must disable progress (hooks become
+    /// no-ops) instead of panicking, and a later `start` must recover.
+    #[test]
+    fn blocked_heartbeat_spawn_disables_progress() {
+        let _g = test_mutex().lock().unwrap_or_else(|p| p.into_inner());
+        assert!(!is_active());
+        {
+            let _shim = ule_testkit::threads::fail_next_spawns(1);
+            start("blocked");
+        }
+        assert!(!is_active(), "reporter must be rolled back");
+        assert_eq!(job_started("x"), 0, "hooks are no-ops after rollback");
+        assert!(snapshot().is_none());
+        finish(); // must be a no-op, not a panic
+
+        // The shim budget is spent; progress recovers on the next start.
+        start("recovered");
+        assert!(is_active());
         finish();
         assert!(!is_active());
     }

@@ -20,7 +20,11 @@ use crate::Value;
 ///
 /// v3: `design_point` gains the `area_kge` objective, and the `ule-dse`
 /// explorer journal adds the `frontier` and `dse_summary` record kinds.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: the `ule-serve` service layer adds the `serve_point`,
+/// `serve_summary` and `serve_frontier` record kinds (batch size as a
+/// design-space axis, throughput and energy-per-request metrics).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One flat metrics record (one JSONL line).
 #[derive(Clone, Debug, PartialEq)]

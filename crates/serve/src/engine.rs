@@ -1,0 +1,207 @@
+//! The sharded verification engine: scoped-thread fan-out over shard
+//! queues, mirroring the `ule-bench` sweep engine's pool idiom —
+//! an atomic work index, per-slot mutexes, and graceful degradation
+//! when a worker thread cannot be spawned (already-spawned workers, or
+//! the caller thread itself, drain the same queue; results are
+//! identical either way).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use ule_curves::ecdsa::{self, BatchItem};
+use ule_curves::params::Curve;
+use ule_curves::scalar::OpCount;
+
+use crate::request::{Response, ShardPlan};
+
+/// One shard's verification results.
+#[derive(Clone, Debug)]
+pub struct ShardOutcome {
+    /// The shard index.
+    pub shard: usize,
+    /// Per-request responses, in arrival order.
+    pub responses: Vec<Response>,
+    /// Requests accepted.
+    pub accepted: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// Responses disagreeing with the generator's expectation.
+    pub mismatches: usize,
+    /// Batches processed.
+    pub batches: usize,
+    /// Batches proven whole by the RLC fast path.
+    pub rlc_batches: usize,
+    /// Batches that fell back to per-item verification.
+    pub fallback_batches: usize,
+    /// Host group-operation census for the shard.
+    pub ops: OpCount,
+}
+
+/// Verifies every shard's queue in `batch_size` chunks, fanning shards
+/// out across up to `plans.len()` worker threads. Verdicts and op
+/// censuses are a pure function of the plans and `seed`; only timing
+/// varies with the pool width.
+pub fn run_shards(
+    curve: &Curve,
+    plans: &[ShardPlan],
+    batch_size: usize,
+    seed: u64,
+) -> Vec<ShardOutcome> {
+    let workers = plans.len().max(1);
+    let mut results: Vec<Option<ShardOutcome>> = (0..plans.len()).map(|_| None).collect();
+    if workers == 1 {
+        if let Some((slot, plan)) = results.iter_mut().zip(plans).next() {
+            *slot = Some(process_shard(curve, plan, batch_size, seed));
+        }
+        return results.into_iter().flatten().collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut Option<ShardOutcome>>> = results.iter_mut().map(Mutex::new).collect();
+    let worker_loop = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(plan) = plans.get(i) else {
+            break;
+        };
+        let outcome = process_shard(curve, plan, batch_size, seed);
+        **slots[i].lock().expect("serve slot lock poisoned") = Some(outcome);
+    };
+    std::thread::scope(|scope| {
+        let worker_loop = &worker_loop;
+        let mut spawned = 0usize;
+        for worker in 0..workers {
+            // Same contract as the sweep engine: a spawn failure
+            // shrinks the pool instead of panicking, and with no pool
+            // at all the caller thread drains the queue itself.
+            let spawn = if ule_testkit::threads::spawn_blocked() {
+                Err(std::io::Error::other("spawn blocked by test shim"))
+            } else {
+                std::thread::Builder::new()
+                    .name(format!("serve-{worker}"))
+                    .spawn_scoped(scope, worker_loop)
+                    .map(|_| ())
+            };
+            match spawn {
+                Ok(()) => spawned += 1,
+                Err(err) => {
+                    ule_obs::obs_warn_once!(
+                        "serve shard spawn failed; continuing with fewer workers",
+                        requested = workers,
+                        spawned = spawned,
+                        error = err.to_string(),
+                    );
+                    break;
+                }
+            }
+        }
+        if spawned == 0 {
+            worker_loop();
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every shard slot filled"))
+        .collect()
+}
+
+/// Verifies one shard's queue in order, chunked into batches.
+fn process_shard(curve: &Curve, plan: &ShardPlan, batch_size: usize, seed: u64) -> ShardOutcome {
+    let batch_size = batch_size.max(1);
+    let public = plan.keys.public();
+    let mut out = ShardOutcome {
+        shard: plan.shard,
+        responses: Vec::with_capacity(plan.requests.len()),
+        accepted: 0,
+        rejected: 0,
+        mismatches: 0,
+        batches: 0,
+        rlc_batches: 0,
+        fallback_batches: 0,
+        ops: OpCount::default(),
+    };
+    for (chunk_index, chunk) in plan.requests.chunks(batch_size).enumerate() {
+        let items: Vec<BatchItem> = chunk.iter().map(|r| r.item.clone()).collect();
+        // Distinct RLC coin per (run, shard, batch): a forged batch
+        // that survived one draw would face fresh coefficients on any
+        // retry elsewhere.
+        let batch_seed = seed ^ ((plan.shard as u64) << 40) ^ ((chunk_index as u64) << 8) ^ 0x62a7;
+        let verdict = ecdsa::verify_batch_prehashed(curve, &public, &items, batch_seed);
+        out.batches += 1;
+        if verdict.rlc_accepted {
+            out.rlc_batches += 1;
+        } else {
+            out.fallback_batches += 1;
+        }
+        out.ops += verdict.ops;
+        for (request, ok) in chunk.iter().zip(&verdict.ok) {
+            if *ok {
+                out.accepted += 1;
+            } else {
+                out.rejected += 1;
+            }
+            if *ok != request.expect_ok {
+                out.mismatches += 1;
+            }
+            out.responses.push(Response {
+                id: request.id,
+                ok: *ok,
+                expect_ok: request.expect_ok,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::plan_shards;
+    use crate::ServeConfig;
+    use ule_curves::params::CurveId;
+
+    #[test]
+    fn sharded_run_matches_sequential_processing() {
+        let curve = CurveId::P192.curve();
+        let cfg = ServeConfig {
+            curve: CurveId::P192,
+            requests: 40,
+            batch_size: 4,
+            shards: 4,
+            seed: 11,
+        };
+        let plans = plan_shards(&curve, &cfg);
+        let pooled = run_shards(&curve, &plans, cfg.batch_size, cfg.seed);
+        let sequential: Vec<ShardOutcome> = plans
+            .iter()
+            .map(|p| process_shard(&curve, p, cfg.batch_size, cfg.seed))
+            .collect();
+        for (a, b) in pooled.iter().zip(&sequential) {
+            assert_eq!(a.shard, b.shard);
+            assert_eq!(a.accepted, b.accepted);
+            assert_eq!(a.ops, b.ops);
+            assert_eq!(a.responses.len(), b.responses.len());
+            for (ra, rb) in a.responses.iter().zip(&b.responses) {
+                assert_eq!((ra.id, ra.ok), (rb.id, rb.ok));
+            }
+        }
+    }
+
+    #[test]
+    fn responses_preserve_arrival_order_per_shard() {
+        let curve = CurveId::K163.curve();
+        let cfg = ServeConfig {
+            curve: CurveId::K163,
+            requests: 30,
+            batch_size: 7, // deliberately not a divisor: last batch ragged
+            shards: 2,
+            seed: 3,
+        };
+        let plans = plan_shards(&curve, &cfg);
+        let outcomes = run_shards(&curve, &plans, cfg.batch_size, cfg.seed);
+        for (plan, outcome) in plans.iter().zip(&outcomes) {
+            assert_eq!(outcome.mismatches, 0);
+            let want: Vec<u64> = plan.requests.iter().map(|r| r.id).collect();
+            let got: Vec<u64> = outcome.responses.iter().map(|r| r.id).collect();
+            assert_eq!(want, got);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Seeded arrival generation: the service front-end's request queues.
+//!
+//! Traffic is planned, not streamed: `plan_shards` derives every
+//! request of the run from the seed up front, so the expected verdict
+//! of each item is known at generation time and the engine can check
+//! the batch verifier against it request-by-request. The mix mirrors
+//! what a verification front-end actually sees — mostly valid
+//! signatures with nonce-point hints, a trickle of tampered and
+//! out-of-range ones, and some hint-less clients — with the invalid
+//! fraction low enough that most full batches stay on the RLC fast
+//! path.
+
+use crate::ServeConfig;
+use ule_curves::ecdsa::{self, BatchItem, Keypair};
+use ule_curves::params::Curve;
+use ule_mpmath::mp::Mp;
+
+/// What the generator did to a request before enqueueing it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RequestKind {
+    /// A well-formed signature with the signer's `R = k·G` hint.
+    Valid,
+    /// A well-formed signature whose client sent no hint (forces the
+    /// whole batch onto the exact fallback path).
+    HintlessValid,
+    /// A valid signature with one bit of `s` flipped.
+    TamperedSig,
+    /// `r` or `s` outside `[1, n)` — the zero-cost reject path.
+    RangeReject,
+}
+
+/// One queued verification request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Monotone id, unique across shards.
+    pub id: u64,
+    /// The batch-verification payload.
+    pub item: BatchItem,
+    /// The verdict `verify_prehashed` must produce — known at
+    /// generation time because the generator made the item.
+    pub expect_ok: bool,
+    /// How the item was generated.
+    pub kind: RequestKind,
+}
+
+/// One queued verification response.
+#[derive(Clone, Copy, Debug)]
+pub struct Response {
+    /// The request's id.
+    pub id: u64,
+    /// The batch verifier's verdict.
+    pub ok: bool,
+    /// The generator's expected verdict.
+    pub expect_ok: bool,
+}
+
+/// One shard's keypair and request queue.
+#[derive(Debug)]
+pub struct ShardPlan {
+    /// The shard index.
+    pub shard: usize,
+    /// The shard's signing key (one key per shard: a batch verifies
+    /// under a single public key).
+    pub keys: Keypair,
+    /// The shard's queue, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+/// splitmix64 — the repository's stock tiny deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Plans the full run: derives per-shard keypairs and queues from the
+/// seed, distributing `cfg.requests` round-robin across shards.
+pub fn plan_shards(curve: &Curve, cfg: &ServeConfig) -> Vec<ShardPlan> {
+    let shards = cfg.shards.max(1);
+    let mut plans: Vec<ShardPlan> = (0..shards)
+        .map(|shard| {
+            let key_seed = [
+                b"ule-serve shard key".as_slice(),
+                &cfg.seed.to_be_bytes(),
+                &(shard as u64).to_be_bytes(),
+            ]
+            .concat();
+            ShardPlan {
+                shard,
+                keys: Keypair::derive(curve, &key_seed),
+                requests: Vec::new(),
+            }
+        })
+        .collect();
+
+    let mut rng = cfg.seed ^ 0x7365_7276_655f_6d69; // "serve_mi"
+    let kinds = plan_kinds(cfg.requests, &mut rng);
+    for id in 0..cfg.requests as u64 {
+        let shard = (id as usize) % shards;
+        let request = generate(curve, &plans[shard].keys, id, kinds[id as usize], &mut rng);
+        plans[shard].requests.push(request);
+    }
+    plans
+}
+
+/// Stratified kind plan: every 64-request window carries *exactly* one
+/// tampered, one range-reject and one hint-less item at seeded
+/// positions (windows shorter than 4 stay all-valid). Rare enough that
+/// most full batches stay on the RLC fast path, but guaranteed — even
+/// a small seeded run exercises the reject, fallback and hint-less
+/// paths.
+fn plan_kinds(requests: usize, rng: &mut u64) -> Vec<RequestKind> {
+    let mut kinds = vec![RequestKind::Valid; requests];
+    let mut w = 0;
+    while w < requests {
+        let len = (requests - w).min(64);
+        if len >= 4 {
+            let specials = [
+                RequestKind::TamperedSig,
+                RequestKind::RangeReject,
+                RequestKind::HintlessValid,
+            ];
+            let mut picked: Vec<usize> = Vec::with_capacity(specials.len());
+            for kind in specials {
+                loop {
+                    let off = (splitmix64(rng) % len as u64) as usize;
+                    if !picked.contains(&off) {
+                        picked.push(off);
+                        kinds[w + off] = kind;
+                        break;
+                    }
+                }
+            }
+        }
+        w += len;
+    }
+    kinds
+}
+
+fn generate(curve: &Curve, keys: &Keypair, id: u64, kind: RequestKind, rng: &mut u64) -> Request {
+    let n = curve.n();
+    let e = ecdsa::hash_to_scalar(curve, format!("serve request {id}").as_bytes());
+    // Sign with a deterministic nonce, keeping the signer's nonce
+    // point as the batch hint.
+    let (sig, hint) = {
+        let mut attempt = 0u64;
+        loop {
+            let nonce_seed = [
+                b"ule-serve nonce".as_slice(),
+                &id.to_be_bytes(),
+                &attempt.to_be_bytes(),
+            ]
+            .concat();
+            let k = ecdsa::derive_scalar(curve, &nonce_seed, b"nonce");
+            if let Some(pair) = ecdsa::sign_with_nonce_recoverable(curve, keys.private(), &e, &k) {
+                break pair;
+            }
+            attempt += 1;
+        }
+    };
+
+    let (item, expect_ok) = match kind {
+        RequestKind::TamperedSig => {
+            let bit = splitmix64(rng) % sig.s.bit_len().max(1) as u64;
+            let flipped = flip_bit(&sig.s, bit as usize);
+            let sig = ecdsa::Signature {
+                r: sig.r,
+                s: flipped,
+            };
+            // Flipping a bit can push s out of range; either way the
+            // verdict is reject: for a fixed (e, r, d) the only
+            // accepted values are s and its negation n - s, and a
+            // single bit flip reaches neither (the tests pin this
+            // against `verify_prehashed` for the seeded corpus).
+            let item = BatchItem {
+                e,
+                sig,
+                hint: Some(hint),
+            };
+            (item, false)
+        }
+        RequestKind::RangeReject => {
+            let bad = match splitmix64(rng) % 3 {
+                0 => Mp::zero(),
+                1 => n.clone(),
+                _ => n.add(&Mp::one()),
+            };
+            let sig = if splitmix64(rng).is_multiple_of(2) {
+                ecdsa::Signature { r: bad, s: sig.s }
+            } else {
+                ecdsa::Signature { r: sig.r, s: bad }
+            };
+            let item = BatchItem {
+                e,
+                sig,
+                hint: Some(hint),
+            };
+            (item, false)
+        }
+        RequestKind::HintlessValid => {
+            let item = BatchItem { e, sig, hint: None };
+            (item, true)
+        }
+        RequestKind::Valid => {
+            let item = BatchItem {
+                e,
+                sig,
+                hint: Some(hint),
+            };
+            (item, true)
+        }
+    };
+    Request {
+        id,
+        item,
+        expect_ok,
+        kind,
+    }
+}
+
+fn flip_bit(v: &Mp, bit: usize) -> Mp {
+    let limb = bit / 32;
+    let mut limbs = v.to_limbs((limb + 1).max(v.bit_len().div_ceil(32)));
+    limbs[limb] ^= 1 << (bit % 32);
+    Mp::from_limbs(&limbs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_curves::params::CurveId;
+
+    #[test]
+    fn plans_are_deterministic_and_expectations_match_single_verify() {
+        let curve = CurveId::P192.curve();
+        let cfg = ServeConfig {
+            curve: CurveId::P192,
+            requests: 96,
+            batch_size: 8,
+            shards: 3,
+            seed: 42,
+        };
+        let a = plan_shards(&curve, &cfg);
+        let b = plan_shards(&curve, &cfg);
+        assert_eq!(a.len(), 3);
+        let mut kinds = std::collections::HashMap::new();
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.requests.len(), 32);
+            for (ra, rb) in pa.requests.iter().zip(&pb.requests) {
+                assert_eq!(ra.id, rb.id);
+                assert_eq!(ra.item.sig, rb.item.sig);
+                assert_eq!(ra.kind, rb.kind);
+                *kinds.entry(ra.kind).or_insert(0usize) += 1;
+                let single =
+                    ecdsa::verify_prehashed(&curve, &pa.keys.public(), &ra.item.e, &ra.item.sig);
+                assert_eq!(
+                    single, ra.expect_ok,
+                    "request {} ({:?}): generator expectation wrong",
+                    ra.id, ra.kind
+                );
+            }
+        }
+        assert!(kinds.contains_key(&RequestKind::Valid));
+        assert!(
+            kinds.len() >= 3,
+            "96 draws should hit several kinds: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let v = Mp::from_u64(0b1010);
+        assert_eq!(flip_bit(&v, 0).low_u64(), 0b1011);
+        assert_eq!(flip_bit(&v, 3).low_u64(), 0b0010);
+        assert!(flip_bit(&v, 70).bit(70));
+    }
+}

@@ -76,6 +76,70 @@ impl Rng {
     }
 }
 
+/// A thread-limit shim: lets tests make the next N thread spawns on the
+/// *current* thread fail, so graceful-degradation paths (a sweep falling
+/// back to fewer workers, a heartbeat spawn being skipped) are testable
+/// without exhausting real OS limits.
+///
+/// Spawn sites consult [`threads::spawn_blocked`] immediately before
+/// calling `std::thread::Builder::spawn*`; the budget is thread-local,
+/// so parallel tests cannot poison each other (every instrumented spawn
+/// site spawns from its caller's thread).
+pub mod threads {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// `(pass_remaining, fail_remaining)`: let that many spawns
+        /// through, then fail that many.
+        static PLAN: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    }
+
+    /// Resets the calling thread's spawn-failure plan on drop, so a
+    /// panicking test cannot leak blocks into later tests on the same
+    /// pooled test thread.
+    pub struct SpawnFailGuard(());
+
+    impl Drop for SpawnFailGuard {
+        fn drop(&mut self) {
+            PLAN.with(|p| p.set((0, 0)));
+        }
+    }
+
+    /// Makes the next `n` [`spawn_blocked`] queries on this thread
+    /// answer `true` (i.e. the next `n` instrumented spawns fail).
+    #[must_use = "dropping the guard clears the budget immediately"]
+    pub fn fail_next_spawns(n: u64) -> SpawnFailGuard {
+        fail_spawns_after(0, n)
+    }
+
+    /// Lets `skip` instrumented spawns through, then fails the next
+    /// `n` — models a thread limit hit partway through a fan-out.
+    #[must_use = "dropping the guard clears the budget immediately"]
+    pub fn fail_spawns_after(skip: u64, n: u64) -> SpawnFailGuard {
+        PLAN.with(|p| p.set((skip, n)));
+        SpawnFailGuard(())
+    }
+
+    /// Consumes one step of the spawn-failure plan; `true` means the
+    /// caller must treat its spawn as failed. Always `false` outside
+    /// tests (the plan is only ever set by [`fail_next_spawns`] /
+    /// [`fail_spawns_after`]).
+    pub fn spawn_blocked() -> bool {
+        PLAN.with(|p| {
+            let (skip, fail) = p.get();
+            if skip > 0 {
+                p.set((skip - 1, fail));
+                false
+            } else if fail > 0 {
+                p.set((0, fail - 1));
+                true
+            } else {
+                false
+            }
+        })
+    }
+}
+
 /// Times `f` over `iters` iterations and prints mean ns/iteration —
 /// the workspace's replacement for the criterion harness. Returns the
 /// mean so callers can assert coarse bounds if they want to.
@@ -115,6 +179,29 @@ mod tests {
         };
         assert_eq!(a, b);
         assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn spawn_shim_budget_is_thread_local_and_resets() {
+        assert!(!threads::spawn_blocked(), "no budget by default");
+        {
+            let _g = threads::fail_next_spawns(2);
+            assert!(threads::spawn_blocked());
+            // Another thread is unaffected by this thread's budget.
+            std::thread::scope(|s| {
+                s.spawn(|| assert!(!threads::spawn_blocked()));
+            });
+            assert!(threads::spawn_blocked());
+            assert!(!threads::spawn_blocked(), "budget exhausted");
+        }
+        let _g = threads::fail_next_spawns(5);
+        drop(threads::fail_next_spawns(0));
+        assert!(!threads::spawn_blocked(), "guard drop clears the budget");
+
+        let _g = threads::fail_spawns_after(1, 1);
+        assert!(!threads::spawn_blocked(), "first spawn passes");
+        assert!(threads::spawn_blocked(), "second spawn fails");
+        assert!(!threads::spawn_blocked(), "plan exhausted");
     }
 
     #[test]

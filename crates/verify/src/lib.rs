@@ -30,6 +30,7 @@
 //! - `main_scalar_mul` is never fed `k = 0` (its first window must
 //!   fire; `fig7_14` pins its raw cycle count, so it carries no guard).
 
+pub mod batch_oracle;
 pub mod corpus;
 pub mod exec;
 pub mod shrink;
@@ -38,6 +39,7 @@ use std::fmt::Write as _;
 
 use ule_curves::params::CurveId;
 
+pub use batch_oracle::{run_batch_oracle, BatchOracleConfig, BatchOracleReport};
 pub use corpus::{Case, CaseSelector};
 pub use exec::{ConfigKind, CurveRig, Divergence, TierPolicy};
 pub use shrink::ShrunkDivergence;
