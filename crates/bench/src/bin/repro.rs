@@ -89,6 +89,7 @@ fn print_help() {
     println!("       repro serve [serve-options]");
     println!("       repro check [--flame PATH] [--trace-events PATH] [--journal PATH]");
     println!("                   [--flight-dump PATH] [--serve PATH [--serve-min-gain G]]");
+    println!("                   [--sla PATH [--max-p99 CYCLES]]");
     println!("       repro overhead [overhead-options]");
     println!("       repro selftest-flight    (panics on purpose; the armed flight");
     println!("                                recorder must dump first — CI self-test)");
@@ -175,10 +176,25 @@ fn print_help() {
     println!("  --arch A            arch whose simulated verify cost anchors the energy");
     println!("                      projection in serve_point records (default isa_ext);");
     println!("                      the serve_frontier always spans the family's archs");
+    println!("  --arrival-rate R    offered load in units of single-verify service time:");
+    println!("                      the mean inter-arrival gap on the virtual clock is");
+    println!("                      cycles_per_verify / R (default 0.25 — un-congested,");
+    println!("                      so latencies are shard-count-invariant; R > shard");
+    println!("                      count saturates the fleet and grows the p99 tail)");
     println!("  --metrics-out PATH  write serve_point/serve_summary/serve_frontier JSONL");
     println!("                      (validate with `repro check --serve PATH`); a gain");
     println!("                      summary line is appended to BENCH_history.jsonl");
     println!("                      next to PATH either way");
+    println!("  --sla-out PATH      write serve_latency (fleet + per-shard mergeable");
+    println!("                      latency histograms) and sla_summary (p99 x energy,");
+    println!("                      queue depth, utilization) JSONL — fully virtual-time,");
+    println!("                      byte-identical across reruns and worker degradation;");
+    println!("                      validate with `repro check --sla PATH`");
+    println!("  --trace-events PATH write the virtual request timeline as Chrome trace-");
+    println!("                      event JSON: one process per (curve, batch size) run,");
+    println!("                      one track per shard, one slice per executed batch");
+    println!("                      (args: queued requests, service/wait cycles; 1 cycle");
+    println!("                      rendered as 1 us — load in Perfetto)");
     println!();
     println!("overhead-options (sampled-profiler wall-clock A/B against an identically");
     println!("                  allocated never-firing ballast sampler; hard-gated in CI):");
@@ -322,6 +338,8 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
     let mut flight_dump: Option<PathBuf> = None;
     let mut serve: Option<PathBuf> = None;
     let mut serve_min_gain: Option<f64> = None;
+    let mut sla: Option<PathBuf> = None;
+    let mut max_p99: Option<u64> = None;
     let args_v: Vec<String> = args.collect();
     let mut i = 0;
     while i < args_v.len() {
@@ -338,6 +356,15 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
             "--journal" => journal = Some(take(&mut i, "--journal")),
             "--flight-dump" => flight_dump = Some(take(&mut i, "--flight-dump")),
             "--serve" => serve = Some(take(&mut i, "--serve")),
+            "--sla" => sla = Some(take(&mut i, "--sla")),
+            "--max-p99" => {
+                i += 1;
+                let v = args_v.get(i).cloned().unwrap_or_default();
+                max_p99 = Some(v.parse::<u64>().ok().filter(|c| *c > 0).unwrap_or_else(|| {
+                    eprintln!("--max-p99 expects a positive cycle count");
+                    std::process::exit(2);
+                }));
+            }
             "--serve-min-gain" => {
                 i += 1;
                 let v = args_v.get(i).cloned().unwrap_or_default();
@@ -360,10 +387,12 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
         && journal.is_none()
         && flight_dump.is_none()
         && serve.is_none()
+        && sla.is_none()
     {
         eprintln!(
             "usage: repro check [--flame PATH] [--trace-events PATH] [--journal PATH] \
-             [--flight-dump PATH] [--serve PATH [--serve-min-gain G]]"
+             [--flight-dump PATH] [--serve PATH [--serve-min-gain G]] \
+             [--sla PATH [--max-p99 CYCLES]]"
         );
         std::process::exit(2);
     }
@@ -444,6 +473,22 @@ fn run_check(args: impl Iterator<Item = String>) -> ! {
             }
             Err(e) => {
                 eprintln!("{}: INVALID serve journal: {e}", p.display());
+                failed = true;
+            }
+        }
+    }
+    if let Some(p) = &sla {
+        match ule_serve::metrics::validate_sla(&read(p), max_p99) {
+            Ok(stats) => println!(
+                "{}: {} runs, {} latency records, {} SLA summaries, worst p99 {} cycles",
+                p.display(),
+                stats.runs,
+                stats.latency_records,
+                stats.summaries,
+                stats.max_p99
+            ),
+            Err(e) => {
+                eprintln!("{}: INVALID SLA journal: {e}", p.display());
                 failed = true;
             }
         }
@@ -714,11 +759,13 @@ fn run_overhead(args: impl Iterator<Item = String>) -> ! {
 }
 
 /// `repro serve`: the batched signing/verification service model.
-/// Generates seeded traffic per curve, runs it through the sharded
-/// `ule-serve` engine at every requested batch size, projects energy
-/// per request from simulated per-verification costs, and emits
-/// `serve_point`/`serve_summary`/`serve_frontier` records (schema v4).
-/// Exit 1 iff any batch verdict disagreed with `verify_prehashed`.
+/// Generates seeded traffic per curve, replays it on the virtual clock
+/// through the sharded `ule-serve` engine at every requested batch
+/// size, projects energy per request from simulated per-verification
+/// costs, and emits `serve_point`/`serve_summary`/`serve_frontier`
+/// records plus — behind `--sla-out` — `serve_latency`/`sla_summary`
+/// latency records (schema v5). Exit 1 iff any batch verdict disagreed
+/// with `verify_prehashed`.
 fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
     let mut curves: Vec<ule_curves::params::CurveId> = Vec::new();
     let mut batch_sizes: Vec<usize> = Vec::new();
@@ -726,7 +773,10 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
     let mut requests = 256usize;
     let mut seed = ule_verify::parse_seed("0xULE");
     let mut arch = Arch::IsaExt;
+    let mut arrival_rate = 0.25f64;
     let mut metrics_path: Option<PathBuf> = None;
+    let mut sla_path: Option<PathBuf> = None;
+    let mut trace_events_path: Option<PathBuf> = None;
     let args_v: Vec<String> = args.collect();
     let mut i = 0;
     while i < args_v.len() {
@@ -788,7 +838,22 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
                     std::process::exit(2);
                 });
             }
+            "--arrival-rate" => {
+                let v = take(&mut i, "--arrival-rate");
+                arrival_rate = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--arrival-rate expects a positive number");
+                        std::process::exit(2);
+                    });
+            }
             "--metrics-out" => metrics_path = Some(PathBuf::from(take(&mut i, "--metrics-out"))),
+            "--sla-out" => sla_path = Some(PathBuf::from(take(&mut i, "--sla-out"))),
+            "--trace-events" => {
+                trace_events_path = Some(PathBuf::from(take(&mut i, "--trace-events")))
+            }
             other => {
                 eprintln!("unknown serve option {other:?}");
                 std::process::exit(2);
@@ -844,6 +909,9 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
                 .collect()
         };
     let mut registry = ule_obs::record::MetricsRegistry::new();
+    let mut sla_registry = ule_obs::record::MetricsRegistry::new();
+    let mut trace_buf = ule_obs::trace_events::TraceEventsBuf::new();
+    let mut trace_pid = 0u64;
     let mut mismatches_total = 0usize;
     let mut history_gains: Vec<String> = Vec::new();
     for &curve in &curves {
@@ -879,6 +947,10 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
                 batch_size: batch,
                 shards,
                 seed,
+                arrival_rate,
+                // The virtual clock is anchored to the requested arch's
+                // simulated per-verification cycle cost.
+                cycles_per_verify: point_costs.cycles,
             };
             let outcome = ule_serve::run_service(&cfg);
             let scale = ule_serve::metrics::op_scale(
@@ -888,17 +960,51 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
             mismatches_total += outcome.mismatches;
             println!(
                 "  batch {batch:>3}: {:>9.1} sig/s, op_scale {scale:.3}, rlc {}/{} batches, \
-                 {:.2} uJ/Mreq",
+                 {:.2} uJ/Mreq, p99 {} cycles",
                 outcome.signatures_per_sec(),
                 outcome.rlc_batches,
                 outcome.batches,
                 ule_serve::metrics::energy_uj_per_million_requests(&point_costs, scale),
+                outcome.telemetry.fleet_hist.percentile(99.0),
             );
             registry.push(ule_serve::metrics::serve_point_record(
                 &outcome,
                 scale,
                 &point_costs,
             ));
+            for record in ule_serve::metrics::serve_latency_records(&outcome) {
+                sla_registry.push(record);
+            }
+            sla_registry.push(ule_serve::metrics::sla_summary_record(
+                &outcome,
+                scale,
+                &point_costs,
+            ));
+            if trace_events_path.is_some() {
+                // One Perfetto process per (curve, batch size) run, one
+                // track per shard, one slice per executed batch; 1
+                // virtual cycle rendered as 1 µs. The per-slice
+                // `queued` args sum to the run's request count.
+                trace_pid += 1;
+                trace_buf.process_name(trace_pid, &format!("serve {} batch {batch}", curve.name()));
+                for s in 0..shards {
+                    trace_buf.thread_name(trace_pid, s as u64 + 1, &format!("shard {s}"));
+                }
+                for t in &outcome.telemetry.traces {
+                    trace_buf.complete(
+                        trace_pid,
+                        t.shard as u64 + 1,
+                        &format!("batch {}", t.index),
+                        t.start_cycles as f64,
+                        t.service_cycles as f64,
+                        &[
+                            ("queued", t.items as u64),
+                            ("service_cycles", t.service_cycles),
+                            ("wait_cycles", t.start_cycles - t.ready_cycles),
+                        ],
+                    );
+                }
+            }
             runs.push((outcome, scale));
         }
         let summary = ule_serve::metrics::serve_summary_record(&runs);
@@ -916,8 +1022,14 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
             gain_sps.unwrap_or(0.0),
             gain_ops.unwrap_or(0.0),
         );
+        // p99 of the largest-batch run: the latency the gain is
+        // bought at (absent in pre-v5 history lines).
+        let p99 = runs
+            .last()
+            .map(|(o, _)| o.telemetry.fleet_hist.percentile(99.0))
+            .unwrap_or(0);
         history_gains.push(format!(
-            "{{\"curve\":\"{}\",\"gain_sps\":{:.4},\"gain_ops\":{:.4}}}",
+            "{{\"curve\":\"{}\",\"gain_sps\":{:.4},\"gain_ops\":{:.4},\"p99_latency_cycles\":{p99}}}",
             curve.name(),
             gain_sps.unwrap_or(0.0),
             gain_ops.unwrap_or(0.0)
@@ -932,6 +1044,14 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
     if let Some(path) = &metrics_path {
         write_or_die(path, &registry.to_jsonl(), "serve metrics");
     }
+    if let Some(path) = &sla_path {
+        // Every field in the SLA journal is virtual-time: the file is
+        // byte-identical across reruns (CI pins this with `cmp`).
+        write_or_die(path, &sla_registry.to_jsonl(), "SLA records");
+    }
+    if let Some(path) = &trace_events_path {
+        write_or_die(path, &trace_buf.finish(), "serve trace events");
+    }
     // One-line gain summary appended to BENCH_history.jsonl (next to
     // --metrics-out when given): the batching-gain trajectory across
     // PRs, mirroring the bench sweep's history line.
@@ -940,7 +1060,7 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
         .map(|p| p.with_file_name("BENCH_history.jsonl"))
         .unwrap_or_else(|| PathBuf::from("BENCH_history.jsonl"));
     let line = format!(
-        "{{\"schema_version\":{},\"serve_requests\":{requests},\"serve_batch_max\":{},\"serve_gains\":[{}]}}",
+        "{{\"schema_version\":{},\"serve_requests\":{requests},\"serve_batch_max\":{},\"arrival_rate\":{arrival_rate},\"serve_gains\":[{}]}}",
         ule_obs::record::SCHEMA_VERSION,
         batch_sizes.last().unwrap(),
         history_gains.join(",")

@@ -86,16 +86,17 @@ fn metrics_schema_matches_golden() {
         actual.push('\n');
     }
 
-    // The service layer's record kinds (new in v4), pinned the same
-    // way so `serve_point`/`serve_summary`/`serve_frontier` key drift
-    // is caught here too.
+    // The service layer's record kinds (v4, plus the v5 latency/SLA
+    // kinds), pinned the same way so `serve_point`/`serve_summary`/
+    // `serve_frontier`/`serve_latency`/`sla_summary` key drift is
+    // caught here too.
     let serve_runs = {
         let reference = ule_serve::run_service(&ule_serve::ServeConfig {
-            curve: CurveId::P192,
             requests: 8,
             batch_size: 1,
             shards: 1,
             seed: 5,
+            ..ule_serve::ServeConfig::new(CurveId::P192)
         });
         let batched = ule_serve::run_service(&ule_serve::ServeConfig {
             batch_size: 4,
@@ -115,7 +116,12 @@ fn metrics_schema_matches_golden() {
     let (_, frontier_recs) =
         ule_serve::metrics::frontier_records(std::slice::from_ref(&costs), &serve_runs);
     let first_frontier = frontier_recs.first().expect("non-empty serve frontier");
-    for rec in [&point, &summary, first_frontier] {
+    // Fleet and per-shard serve_latency records share one key set, so
+    // pinning the fleet record (always first) pins both.
+    let latency_recs = ule_serve::metrics::serve_latency_records(&serve_runs[0].0);
+    let latency = latency_recs.first().expect("fleet latency record");
+    let sla = ule_serve::metrics::sla_summary_record(&serve_runs[0].0, 1.0, &costs);
+    for rec in [&point, &summary, first_frontier, latency, &sla] {
         let Some(Value::Str(kind)) = rec.get("record") else {
             panic!("record without a kind");
         };

@@ -1,0 +1,382 @@
+//! Mergeable log-linear latency histograms (HDR-histogram style).
+//!
+//! [`LatencyHist`] counts `u64` samples (simulated cycles, wall µs —
+//! any non-negative integer magnitude) into buckets whose boundaries
+//! are a pure function of the value: below [`LatencyHist::SUB_BUCKETS`]
+//! every value has its own bucket; above, each power-of-two octave is
+//! split into `SUB_BUCKETS` equal sub-buckets, so the relative bucket
+//! width — and therefore the worst-case quantile error — is bounded by
+//! `1 / SUB_BUCKETS` (≈3.1%). There is no configuration, no dynamic
+//! range parameter, and no float anywhere in the data path, so two
+//! histograms built anywhere (different shards, different runs,
+//! different machines) are always structurally compatible:
+//! [`LatencyHist::merge`] is exact bucket-wise addition, associative
+//! and commutative, which lets per-shard histograms combine into fleet
+//! totals independent of shard count or thread schedule.
+//!
+//! Percentile queries are *exact-count*: `percentile(p)` finds the
+//! smallest bucket whose cumulative count reaches `ceil(p/100 · n)`
+//! and returns that bucket's lower bound — a value `v` with
+//! `v ≤ true p-quantile < v · (1 + 1/SUB_BUCKETS)`.
+//!
+//! Serialization is a sparse `[[index,count],...]` array through the
+//! repository's hand-rolled [`JsonBuf`], sized by occupancy rather
+//! than by range.
+
+use crate::json::JsonBuf;
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS`
+/// buckets (values below `2^SUB_BITS` are counted exactly).
+pub const SUB_BITS: u32 = 5;
+
+/// Highest bucket index any `u64` value can map to.
+const MAX_INDEX: usize = ((64 - SUB_BITS as usize + 1) * (1 << SUB_BITS)) - 1;
+
+/// A mergeable log-linear histogram of `u64` samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHist {
+    /// Dense bucket counts, trimmed to the highest occupied index.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    /// Exact extrema (`min` is meaningless while `total == 0`).
+    min: u64,
+    max: u64,
+}
+
+/// Number of sub-buckets per octave (`2^SUB_BITS`).
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Bucket index of a value — deterministic, total over `u64`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+    let octave = (h - SUB_BITS + 1) as u64;
+    (octave * SUB + ((v >> (h - SUB_BITS)) - SUB)) as usize
+}
+
+/// Lower bound of a bucket — the value `percentile` reports; the
+/// bucket covers `[lower_bound, lower_bound + width)` where
+/// `width = max(1, lower_bound / SUB)`.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let octave = index >> SUB_BITS;
+    let sub = index & (SUB - 1);
+    (SUB + sub) << (octave - 1)
+}
+
+impl LatencyHist {
+    /// Number of exact (width-1) buckets at the bottom of the range.
+    pub const SUB_BUCKETS: u64 = SUB;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(v);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        if self.total == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.total += n;
+        self.sum += v as u128 * n as u128;
+    }
+
+    /// Adds every bucket of `other` into `self` — exact, associative
+    /// and commutative (shard histograms merge into the same fleet
+    /// histogram in any order).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        if other.total == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        if self.total == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Exact-count percentile: the lower bound of the smallest bucket
+    /// whose cumulative count reaches `ceil(p/100 · count)` (clamped to
+    /// at least one sample). Returns 0 for an empty histogram. The
+    /// returned value `v` under-approximates the true quantile by at
+    /// most one bucket width: `v ≤ q_p < v · (1 + 1/SUB_BUCKETS)`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(idx);
+            }
+        }
+        // Unreachable while counts/total agree; fall back to max.
+        self.max
+    }
+
+    /// Occupied buckets as `(index, count)` pairs, index-ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Sparse JSON form: `[[index,count],...]`, index-ascending.
+    pub fn buckets_json(&self) -> String {
+        let mut buf = JsonBuf::new();
+        buf.begin_array();
+        for (idx, c) in self.nonzero_buckets() {
+            buf.begin_array()
+                .value_u64(idx as u64)
+                .value_u64(c)
+                .end_array();
+        }
+        buf.end_array();
+        buf.finish()
+    }
+
+    /// Rebuilds a histogram from sparse `(index, count)` pairs, as
+    /// serialized by [`Self::buckets_json`] — the consumer-side inverse
+    /// used by the `repro check --sla` validator. `min`/`max`/`sum` are
+    /// reconstructed from bucket lower bounds (exact for width-1
+    /// buckets, bucket-floor otherwise), so percentile queries —
+    /// defined on bucket lower bounds — round-trip exactly.
+    /// Returns `None` on an out-of-range index.
+    pub fn from_sparse(pairs: &[(u64, u64)]) -> Option<Self> {
+        let mut h = LatencyHist::new();
+        for &(idx, c) in pairs {
+            if idx as usize > MAX_INDEX {
+                return None;
+            }
+            h.record_n(bucket_lower_bound(idx as usize), c);
+        }
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// splitmix64 — the repository's stock deterministic generator.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn indexing_is_monotone_and_inverts_to_the_bucket_floor() {
+        let mut prev = 0usize;
+        for v in 0u64..4096 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index must be monotone at {v}");
+            prev = idx;
+            let lo = bucket_lower_bound(idx);
+            assert!(lo <= v, "lower bound {lo} must not exceed {v}");
+            assert_eq!(bucket_index(lo), idx, "floor stays in its bucket");
+        }
+        // Exact range: one value per bucket below SUB.
+        for v in 0..SUB {
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+        }
+        // Relative error bound: width / lower <= 1/SUB.
+        for shift in SUB_BITS..63 {
+            let v = (1u64 << shift) + (1 << (shift - 1)); // mid-octave
+            let idx = bucket_index(v);
+            let lo = bucket_lower_bound(idx);
+            let width = bucket_lower_bound(idx + 1) - lo;
+            assert!(
+                width as f64 / lo as f64 <= 1.0 / SUB as f64 + 1e-12,
+                "bucket at {v}: width {width}, lower {lo}"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), MAX_INDEX);
+    }
+
+    #[test]
+    fn records_count_sum_and_extrema() {
+        let mut h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), None);
+        h.record(7);
+        assert_eq!((h.count(), h.min(), h.max()), (1, Some(7), Some(7)));
+        // Single sample: every percentile is that sample's bucket.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 7);
+        }
+        h.record_n(100, 3);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 307);
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 76.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut rng = 0x1157u64;
+        let mut parts: Vec<LatencyHist> = Vec::new();
+        for _ in 0..4 {
+            let mut h = LatencyHist::new();
+            for _ in 0..200 {
+                let magnitude = splitmix64(&mut rng) % 40; // spread octaves
+                h.record(splitmix64(&mut rng) >> magnitude.min(63));
+            }
+            parts.push(h);
+        }
+        // Left fold vs right fold vs shuffled fold: identical.
+        let fold = |order: &[usize]| {
+            let mut acc = LatencyHist::new();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let a = fold(&[0, 1, 2, 3]);
+        let b = fold(&[3, 2, 1, 0]);
+        let c = fold(&[2, 0, 3, 1]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        // (p0+p1)+(p2+p3) == ((p0+p1)+p2)+p3.
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        let mut right = parts[2].clone();
+        right.merge(&parts[3]);
+        let mut pairwise = left.clone();
+        pairwise.merge(&right);
+        assert_eq!(pairwise, a);
+        // Merging an empty histogram is the identity.
+        let mut with_empty = a.clone();
+        with_empty.merge(&LatencyHist::new());
+        assert_eq!(with_empty, a);
+    }
+
+    #[test]
+    fn percentiles_bound_the_true_quantile_from_below() {
+        let mut rng = 0xabcdu64;
+        let mut values: Vec<u64> = (0..500).map(|_| splitmix64(&mut rng) % 1_000_000).collect();
+        let mut h = LatencyHist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for p in [1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
+            let true_q = values[rank.clamp(1, values.len()) - 1];
+            let got = h.percentile(p);
+            assert!(
+                got <= true_q,
+                "p{p}: histogram answer {got} must lower-bound {true_q}"
+            );
+            // ...and by no more than one bucket: the true quantile lies
+            // inside the reported bucket.
+            assert_eq!(
+                bucket_index(got),
+                bucket_index(true_q),
+                "p{p}: {true_q} must fall in the reported bucket of {got}"
+            );
+            assert!(h.percentile(p) <= h.max().unwrap());
+        }
+        assert!(h.percentile(50.0) <= h.percentile(95.0));
+        assert!(h.percentile(95.0) <= h.percentile(99.0));
+        assert!(h.percentile(99.0) <= h.percentile(99.9));
+    }
+
+    #[test]
+    fn sparse_json_round_trips_through_from_sparse() {
+        let mut h = LatencyHist::new();
+        for v in [0, 1, 31, 32, 33, 1000, 1 << 40] {
+            h.record_n(v, 2);
+        }
+        let json = h.buckets_json();
+        assert!(crate::json::is_valid(&json), "{json}");
+        let doc = crate::json::parse(&json).unwrap();
+        let pairs: Vec<(u64, u64)> = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|pair| {
+                let a = pair.as_array().unwrap();
+                (a[0].as_u64().unwrap(), a[1].as_u64().unwrap())
+            })
+            .collect();
+        let back = LatencyHist::from_sparse(&pairs).unwrap();
+        assert_eq!(back.count(), h.count());
+        for p in [50.0, 95.0, 99.0, 99.9] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+        assert_eq!(back.buckets_json(), json);
+        assert!(LatencyHist::from_sparse(&[(u64::MAX, 1)]).is_none());
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod flame;
 pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod progress;
 pub mod record;

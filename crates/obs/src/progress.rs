@@ -191,6 +191,7 @@ fn heartbeat(state: Arc<State>) {
             return;
         }
         eprintln!("{}", render(&state, false));
+        emit_heartbeat(&state);
     }
 }
 
@@ -239,14 +240,54 @@ fn render(state: &State, final_line: bool) -> String {
             elapsed.as_secs_f64()
         ));
     }
-    // ETA: observed completion rate over the remaining count. Only
-    // rendered once at least one job finished and the total is known.
-    if total > done && done > 0 {
-        let per_job = elapsed.as_secs_f64() / done as f64;
-        let eta = (per_job * (total - done) as f64) as u64;
+    // ETA: observed completion rate over the remaining count; omitted
+    // entirely when there is no rate signal yet.
+    if let Some(eta) = eta_seconds(total, done, memo, elapsed) {
         line.push_str(&format!(" | ETA {}", fmt_duration(eta)));
     }
     line
+}
+
+/// Extrapolates the remaining wall time from the observed completion
+/// rate, or `None` when no honest estimate exists: the total is unknown
+/// (0), nothing finished yet, everything already finished — or every
+/// completion so far was a memo hit, whose ~0-cost walls would
+/// extrapolate an "ETA 0s" for work that has not actually been timed.
+fn eta_seconds(total: u64, done: u64, memo_hits: u64, elapsed: Duration) -> Option<u64> {
+    if total == 0 || done == 0 || done >= total {
+        return None;
+    }
+    let paid = done.saturating_sub(memo_hits);
+    if paid == 0 {
+        return None;
+    }
+    let per_job = elapsed.as_secs_f64() / paid as f64;
+    Some((per_job * (total - done) as f64) as u64)
+}
+
+/// Emits one `progress.heartbeat` telemetry event mirroring the stderr
+/// line; `eta_seconds` is JSON `null` while no estimate exists.
+fn emit_heartbeat(state: &State) {
+    if !crate::enabled() {
+        return;
+    }
+    let done = state.done.load(Ordering::Relaxed);
+    let total = state.total.load(Ordering::Relaxed);
+    let memo = state.memo_hits.load(Ordering::Relaxed);
+    let eta = match eta_seconds(total, done, memo, state.started.elapsed()) {
+        Some(secs) => crate::Value::U64(secs),
+        None => crate::Value::Raw("null".into()),
+    };
+    crate::emit(
+        "progress.heartbeat",
+        &[
+            ("label", crate::Value::Str(state.label.clone())),
+            ("jobs_done", crate::Value::U64(done)),
+            ("jobs_total", crate::Value::U64(total)),
+            ("memo_hits", crate::Value::U64(memo)),
+            ("eta_seconds", eta),
+        ],
+    );
 }
 
 /// Returns the heartbeat line the reporter would print right now —
@@ -280,6 +321,8 @@ mod tests {
         let t2 = job_started("P-521/baseline/sign");
         assert_ne!(t1, 0);
         job_done(t1);
+        // One completion, and it was the memo hit: no rate signal yet,
+        // so the line must not hallucinate an ETA.
         let line = snapshot().unwrap();
         assert!(line.starts_with("unit: 1/4 jobs"), "{line}");
         assert!(line.contains("1 memo hits"), "{line}");
@@ -287,10 +330,31 @@ mod tests {
             line.contains("slowest in-flight P-521/baseline/sign"),
             "{line}"
         );
+        assert!(!line.contains("ETA"), "{line}");
+        // A second, genuinely timed completion unlocks the estimate.
+        let t3 = job_started("P-256/baseline/sign");
+        job_done(t3);
+        let line = snapshot().unwrap();
+        assert!(line.starts_with("unit: 2/4 jobs"), "{line}");
         assert!(line.contains("ETA"), "{line}");
         job_done(t2);
         finish();
         assert!(!is_active());
+    }
+
+    /// The ETA guard: no estimate without a total, without completions,
+    /// after completion, or when every completion was a memo hit (whose
+    /// ~0-cost walls would extrapolate a bogus "ETA 0s").
+    #[test]
+    fn eta_needs_a_rate_signal() {
+        let minute = Duration::from_secs(60);
+        assert_eq!(eta_seconds(0, 0, 0, minute), None, "unknown total");
+        assert_eq!(eta_seconds(0, 3, 0, minute), None, "total never announced");
+        assert_eq!(eta_seconds(8, 0, 0, minute), None, "nothing finished");
+        assert_eq!(eta_seconds(8, 8, 0, minute), None, "already finished");
+        assert_eq!(eta_seconds(8, 4, 4, minute), None, "memo hits only");
+        // 60 s over 2 paid jobs -> 30 s/job -> 4 remaining -> 120 s.
+        assert_eq!(eta_seconds(8, 4, 2, minute), Some(120));
     }
 
     /// A failed heartbeat spawn must disable progress (hooks become

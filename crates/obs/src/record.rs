@@ -24,7 +24,12 @@ use crate::Value;
 /// v4: the `ule-serve` service layer adds the `serve_point`,
 /// `serve_summary` and `serve_frontier` record kinds (batch size as a
 /// design-space axis, throughput and energy-per-request metrics).
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: virtual-time request observability — the `serve_latency`
+/// (mergeable log-linear latency histogram, fleet + per-shard scopes)
+/// and `sla_summary` (p99 × energy, queue depth, per-shard
+/// utilization) record kinds, validated by `repro check --sla`.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One flat metrics record (one JSONL line).
 #[derive(Clone, Debug, PartialEq)]

@@ -1,0 +1,63 @@
+//! Golden-file pin of a serialized histogram record.
+//!
+//! A seeded `LatencyHist` is rendered into a `Record` (the same
+//! field layout `ule-serve`'s `serve_latency` records use) and the
+//! exact JSONL line is pinned. Any drift in bucket boundaries, the
+//! percentile rank rule, or the sparse serialization shows up as a
+//! byte diff here. Regenerate with `ULE_UPDATE_GOLDEN=1 cargo test
+//! -p ule-obs --test golden_hist`.
+
+use ule_obs::hist::LatencyHist;
+use ule_obs::json::is_valid;
+use ule_obs::record::Record;
+use ule_obs::Value;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn seeded_histogram_record_matches_golden() {
+    let mut h = LatencyHist::new();
+    let mut rng = 0x1a7e_c0de_u64;
+    for _ in 0..300 {
+        // Latency-shaped values: a busy body around 10^4–10^6 with a
+        // long tail, spanning several octaves.
+        let octave = splitmix64(&mut rng) % 24;
+        h.record(1_000 + (splitmix64(&mut rng) & ((1 << (octave + 10)) - 1)));
+    }
+    let mut r = Record::new("latency_hist_golden");
+    r.push("count", h.count())
+        .push("min_cycles", h.min().unwrap_or(0))
+        .push("max_cycles", h.max().unwrap_or(0))
+        .push("sum_cycles", u64::try_from(h.sum()).unwrap_or(u64::MAX))
+        .push("mean_cycles", h.mean())
+        .push("p50_cycles", h.percentile(50.0))
+        .push("p95_cycles", h.percentile(95.0))
+        .push("p99_cycles", h.percentile(99.0))
+        .push("p999_cycles", h.percentile(99.9))
+        .push("hist_sub_bits", u64::from(ule_obs::hist::SUB_BITS))
+        .push("hist_buckets", Value::Raw(h.buckets_json()));
+    let line = r.to_json();
+    assert!(is_valid(&line), "{line}");
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/latency_hist.jsonl");
+    let actual = format!("{line}\n");
+    if std::env::var_os("ULE_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .expect("golden histogram record (regenerate with ULE_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        actual, expected,
+        "histogram serialization drifted: bucket scheme, percentile \
+         rule or record layout changed — if intentional, regenerate \
+         with ULE_UPDATE_GOLDEN=1 cargo test -p ule-obs --test golden_hist"
+    );
+}

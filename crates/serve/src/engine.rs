@@ -1,24 +1,32 @@
 //! The sharded verification engine: scoped-thread fan-out over shard
-//! queues, mirroring the `ule-bench` sweep engine's pool idiom —
+//! batch queues, mirroring the `ule-bench` sweep engine's pool idiom —
 //! an atomic work index, per-slot mutexes, and graceful degradation
 //! when a worker thread cannot be spawned (already-spawned workers, or
 //! the caller thread itself, drain the same queue; results are
 //! identical either way).
+//!
+//! Each shard also advances its own *virtual clock* (see
+//! [`crate::vtime`]): batches start at `max(shard_clock, ready)` and
+//! finish `service_cycles` later, so every latency figure is computed
+//! from the plan, never from the host's wall clock — worker-thread
+//! degradation cannot perturb a single histogram bucket.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use ule_curves::ecdsa::{self, BatchItem};
 use ule_curves::params::Curve;
 use ule_curves::scalar::OpCount;
+use ule_obs::hist::LatencyHist;
 
 use crate::request::{Response, ShardPlan};
+use crate::vtime::{BatchTrace, CostModel};
 
 /// One shard's verification results.
 #[derive(Clone, Debug)]
 pub struct ShardOutcome {
     /// The shard index.
     pub shard: usize,
-    /// Per-request responses, in arrival order.
+    /// Per-request responses, in batch order.
     pub responses: Vec<Response>,
     /// Requests accepted.
     pub accepted: usize,
@@ -34,23 +42,29 @@ pub struct ShardOutcome {
     pub fallback_batches: usize,
     /// Host group-operation census for the shard.
     pub ops: OpCount,
+    /// Latency histogram of the shard's requests (virtual cycles).
+    pub hist: LatencyHist,
+    /// The shard's executed batches on the virtual timeline.
+    pub traces: Vec<BatchTrace>,
+    /// Virtual cycles the shard spent verifying.
+    pub busy_cycles: u64,
 }
 
-/// Verifies every shard's queue in `batch_size` chunks, fanning shards
-/// out across up to `plans.len()` worker threads. Verdicts and op
-/// censuses are a pure function of the plans and `seed`; only timing
-/// varies with the pool width.
+/// Verifies every shard's batch queue, fanning shards out across up to
+/// `plans.len()` worker threads. Verdicts, op censuses and the whole
+/// virtual timeline are a pure function of the plans, `seed` and
+/// `model`; only wall-clock timing varies with the pool width.
 pub fn run_shards(
     curve: &Curve,
     plans: &[ShardPlan],
-    batch_size: usize,
     seed: u64,
+    model: &CostModel,
 ) -> Vec<ShardOutcome> {
     let workers = plans.len().max(1);
     let mut results: Vec<Option<ShardOutcome>> = (0..plans.len()).map(|_| None).collect();
     if workers == 1 {
         if let Some((slot, plan)) = results.iter_mut().zip(plans).next() {
-            *slot = Some(process_shard(curve, plan, batch_size, seed));
+            *slot = Some(process_shard(curve, plan, seed, model));
         }
         return results.into_iter().flatten().collect();
     }
@@ -62,7 +76,7 @@ pub fn run_shards(
         let Some(plan) = plans.get(i) else {
             break;
         };
-        let outcome = process_shard(curve, plan, batch_size, seed);
+        let outcome = process_shard(curve, plan, seed, model);
         **slots[i].lock().expect("serve slot lock poisoned") = Some(outcome);
     };
     std::thread::scope(|scope| {
@@ -103,13 +117,12 @@ pub fn run_shards(
         .collect()
 }
 
-/// Verifies one shard's queue in order, chunked into batches.
-fn process_shard(curve: &Curve, plan: &ShardPlan, batch_size: usize, seed: u64) -> ShardOutcome {
-    let batch_size = batch_size.max(1);
-    let public = plan.keys.public();
+/// Verifies one shard's batches in global-index order, advancing the
+/// shard's virtual clock as it goes.
+fn process_shard(curve: &Curve, plan: &ShardPlan, seed: u64, model: &CostModel) -> ShardOutcome {
     let mut out = ShardOutcome {
         shard: plan.shard,
-        responses: Vec::with_capacity(plan.requests.len()),
+        responses: Vec::with_capacity(plan.requests()),
         accepted: 0,
         rejected: 0,
         mismatches: 0,
@@ -117,13 +130,19 @@ fn process_shard(curve: &Curve, plan: &ShardPlan, batch_size: usize, seed: u64) 
         rlc_batches: 0,
         fallback_batches: 0,
         ops: OpCount::default(),
+        hist: LatencyHist::new(),
+        traces: Vec::with_capacity(plan.batches.len()),
+        busy_cycles: 0,
     };
-    for (chunk_index, chunk) in plan.requests.chunks(batch_size).enumerate() {
-        let items: Vec<BatchItem> = chunk.iter().map(|r| r.item.clone()).collect();
-        // Distinct RLC coin per (run, shard, batch): a forged batch
+    let mut clock = 0u64;
+    for batch in &plan.batches {
+        let public = batch.keys.public();
+        let items: Vec<BatchItem> = batch.requests.iter().map(|r| r.item.clone()).collect();
+        // Distinct RLC coin per (run, global batch): a forged batch
         // that survived one draw would face fresh coefficients on any
-        // retry elsewhere.
-        let batch_seed = seed ^ ((plan.shard as u64) << 40) ^ ((chunk_index as u64) << 8) ^ 0x62a7;
+        // retry. Keyed on the *global* index, not the shard, so the
+        // verdict stream is shard-count-invariant.
+        let batch_seed = seed ^ ((batch.index as u64) << 8) ^ 0x62a7;
         let verdict = ecdsa::verify_batch_prehashed(curve, &public, &items, batch_seed);
         out.batches += 1;
         if verdict.rlc_accepted {
@@ -131,8 +150,30 @@ fn process_shard(curve: &Curve, plan: &ShardPlan, batch_size: usize, seed: u64) 
         } else {
             out.fallback_batches += 1;
         }
+        let service = model.service_cycles(crate::metrics::weighted_ops(&verdict.ops));
         out.ops += verdict.ops;
-        for (request, ok) in chunk.iter().zip(&verdict.ok) {
+        // Virtual timeline: the batch is ready once its last request
+        // arrived; the shard picks it up as soon as it is idle.
+        let ready = batch
+            .requests
+            .iter()
+            .map(|r| r.arrival_cycles)
+            .max()
+            .unwrap_or(0);
+        let start = clock.max(ready);
+        let end = start + service;
+        clock = end;
+        out.busy_cycles += service;
+        out.traces.push(BatchTrace {
+            index: batch.index,
+            shard: plan.shard,
+            items: batch.requests.len(),
+            ready_cycles: ready,
+            start_cycles: start,
+            end_cycles: end,
+            service_cycles: service,
+        });
+        for (request, ok) in batch.requests.iter().zip(&verdict.ok) {
             if *ok {
                 out.accepted += 1;
             } else {
@@ -141,10 +182,13 @@ fn process_shard(curve: &Curve, plan: &ShardPlan, batch_size: usize, seed: u64) 
             if *ok != request.expect_ok {
                 out.mismatches += 1;
             }
+            out.hist.record(end - request.arrival_cycles);
             out.responses.push(Response {
                 id: request.id,
                 ok: *ok,
                 expect_ok: request.expect_ok,
+                arrival_cycles: request.arrival_cycles,
+                done_cycles: end,
             });
         }
     }
@@ -158,50 +202,82 @@ mod tests {
     use crate::ServeConfig;
     use ule_curves::params::CurveId;
 
+    fn model(curve: CurveId, cfg: &ServeConfig) -> CostModel {
+        CostModel::for_curve(&curve.curve(), cfg.cycles_per_verify)
+    }
+
     #[test]
     fn sharded_run_matches_sequential_processing() {
         let curve = CurveId::P192.curve();
         let cfg = ServeConfig {
-            curve: CurveId::P192,
             requests: 40,
             batch_size: 4,
             shards: 4,
             seed: 11,
+            ..ServeConfig::new(CurveId::P192)
         };
+        let m = model(CurveId::P192, &cfg);
         let plans = plan_shards(&curve, &cfg);
-        let pooled = run_shards(&curve, &plans, cfg.batch_size, cfg.seed);
+        let pooled = run_shards(&curve, &plans, cfg.seed, &m);
         let sequential: Vec<ShardOutcome> = plans
             .iter()
-            .map(|p| process_shard(&curve, p, cfg.batch_size, cfg.seed))
+            .map(|p| process_shard(&curve, p, cfg.seed, &m))
             .collect();
         for (a, b) in pooled.iter().zip(&sequential) {
             assert_eq!(a.shard, b.shard);
             assert_eq!(a.accepted, b.accepted);
             assert_eq!(a.ops, b.ops);
+            assert_eq!(a.hist, b.hist, "virtual timing must not see the pool");
+            assert_eq!(a.traces, b.traces);
             assert_eq!(a.responses.len(), b.responses.len());
             for (ra, rb) in a.responses.iter().zip(&b.responses) {
-                assert_eq!((ra.id, ra.ok), (rb.id, rb.ok));
+                assert_eq!(
+                    (ra.id, ra.ok, ra.done_cycles),
+                    (rb.id, rb.ok, rb.done_cycles)
+                );
             }
         }
     }
 
     #[test]
-    fn responses_preserve_arrival_order_per_shard() {
+    fn responses_preserve_batch_order_and_time_moves_forward() {
         let curve = CurveId::K163.curve();
         let cfg = ServeConfig {
-            curve: CurveId::K163,
             requests: 30,
-            batch_size: 7, // deliberately not a divisor: last batch ragged
+            batch_size: 7, // deliberately not a divisor: ragged batches
             shards: 2,
             seed: 3,
+            ..ServeConfig::new(CurveId::K163)
         };
         let plans = plan_shards(&curve, &cfg);
-        let outcomes = run_shards(&curve, &plans, cfg.batch_size, cfg.seed);
+        let outcomes = run_shards(&curve, &plans, cfg.seed, &model(CurveId::K163, &cfg));
         for (plan, outcome) in plans.iter().zip(&outcomes) {
             assert_eq!(outcome.mismatches, 0);
-            let want: Vec<u64> = plan.requests.iter().map(|r| r.id).collect();
+            let want: Vec<u64> = plan
+                .batches
+                .iter()
+                .flat_map(|b| b.requests.iter().map(|r| r.id))
+                .collect();
             let got: Vec<u64> = outcome.responses.iter().map(|r| r.id).collect();
             assert_eq!(want, got);
+            for r in &outcome.responses {
+                assert!(
+                    r.done_cycles > r.arrival_cycles,
+                    "request {} answered before it arrived",
+                    r.id
+                );
+            }
+            let mut prev_end = 0u64;
+            for t in &outcome.traces {
+                assert!(t.start_cycles >= t.ready_cycles);
+                assert!(
+                    t.start_cycles >= prev_end,
+                    "shard served two batches at once"
+                );
+                assert_eq!(t.end_cycles - t.start_cycles, t.service_cycles);
+                prev_end = t.end_cycles;
+            }
+            assert_eq!(outcome.hist.count(), outcome.responses.len() as u64);
         }
     }
 }

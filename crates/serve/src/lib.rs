@@ -4,27 +4,35 @@
 //! The paper sizes single devices; this crate asks the dual question:
 //! given one simulated design point (cycles/energy/area per
 //! verification from `ule-core`), what does a *server* front-end that
-//! batches incoming signatures buy in throughput and energy per
-//! request? The answer feeds the batch-size axis into the `ule-dse`
-//! Pareto frontier.
+//! batches incoming signatures buy in throughput, energy per request
+//! — and, since requests now arrive on a virtual clock, *latency*?
+//! The answer feeds the batch-size axis into the `ule-dse` Pareto
+//! frontier and the p99-latency × energy SLA records.
 //!
 //! Layout:
 //!
 //! * [`request`] — seeded arrival generation: typed [`request::Request`]
-//!   queues with a deterministic valid/tampered/reject-path mix, sharded
-//!   by key.
+//!   queues with a deterministic valid/tampered/reject-path mix, keys
+//!   per 64-request window, arrival timestamps, and a global batch
+//!   sequence dealt round-robin across shards.
 //! * [`engine`] — the sharded worker pool (same scoped-thread fan-out
 //!   and graceful spawn-failure degradation as the `ule-bench` sweep
-//!   engine) driving `ule_curves::ecdsa::verify_batch_prehashed`.
-//! * [`metrics`] — `serve_point` / `serve_summary` / `serve_frontier`
-//!   records (schema v4), the host op-cost energy scaling, and the
-//!   journal validator behind `repro check --serve`.
+//!   engine) driving `ule_curves::ecdsa::verify_batch_prehashed` and
+//!   advancing each shard's virtual clock.
+//! * [`vtime`] — the virtual-time cost model and fleet telemetry
+//!   (latency histograms, queue depth, per-shard utilization).
+//! * [`metrics`] — `serve_point` / `serve_summary` / `serve_frontier` /
+//!   `serve_latency` / `sla_summary` records (schema v5), the host
+//!   op-cost energy scaling, and the journal validators behind
+//!   `repro check --serve` and `repro check --sla`.
 //!
 //! Determinism contract: every field of every record except the two
 //! wall-clock ones (`signatures_per_sec`, `wall_ms`) is a pure function
-//! of `(curve, seed, requests, shards, batch_size)` — verdicts, op
-//! censuses, scaling factors and frontiers are bit-for-bit reproducible
-//! across thread counts and spawn failures (see `DESIGN.md` §13).
+//! of `(curve, seed, requests, shards, batch_size, arrival_rate,
+//! cycles_per_verify)` — verdicts, op censuses, scaling factors,
+//! frontiers, latency histograms and queue telemetry are bit-for-bit
+//! reproducible across thread counts and spawn failures (see
+//! `DESIGN.md` §13–§14).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +40,7 @@
 pub mod engine;
 pub mod metrics;
 pub mod request;
+pub mod vtime;
 
 use std::time::Duration;
 use ule_curves::params::CurveId;
@@ -40,21 +49,33 @@ use ule_curves::scalar::OpCount;
 /// One service-model run: the traffic shape and the batching policy.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// The curve every shard signs and verifies on.
+    /// The curve every window signs and verifies on.
     pub curve: CurveId,
     /// Total requests across all shards.
     pub requests: usize,
-    /// Verification batch size (1 = per-signature verification).
+    /// Verification batch size (1 = per-signature verification;
+    /// capped at [`request::KEY_WINDOW`], a batch has one key).
     pub batch_size: usize,
-    /// Worker shards, each with its own keypair and request queue.
+    /// Worker shards; batch `g` executes on shard `g % shards`.
     pub shards: usize,
     /// Seed for traffic generation and RLC coefficients.
     pub seed: u64,
+    /// Offered load in units of single-verify service time: the mean
+    /// inter-arrival gap is `cycles_per_verify / arrival_rate` virtual
+    /// cycles. The 0.25 default keeps every shard ahead of its queue,
+    /// so latencies are shard-count-invariant (see `DESIGN.md` §14).
+    pub arrival_rate: f64,
+    /// Simulated cycles of one unbatched verification — the virtual
+    /// clock's anchor. The CLI fills this from the `ule-core`
+    /// simulator; the library default (1M cycles) keeps unit tests
+    /// simulator-free.
+    pub cycles_per_verify: u64,
 }
 
 impl ServeConfig {
     /// A service run with the given curve and defaults elsewhere
-    /// (256 requests, batch size 16, 4 shards, seed 7).
+    /// (256 requests, batch size 16, 4 shards, seed 7, arrival rate
+    /// 0.25, 1M cycles per verification).
     pub fn new(curve: CurveId) -> Self {
         ServeConfig {
             curve,
@@ -62,6 +83,8 @@ impl ServeConfig {
             batch_size: 16,
             shards: 4,
             seed: 7,
+            arrival_rate: 0.25,
+            cycles_per_verify: 1_000_000,
         }
     }
 }
@@ -87,6 +110,9 @@ pub struct ServeOutcome {
     pub fallback_batches: usize,
     /// Total host group-operation census across all batches.
     pub ops: OpCount,
+    /// Virtual-time telemetry: latency histograms (per shard + fleet),
+    /// batch traces, queue depth and per-shard utilization.
+    pub telemetry: vtime::Telemetry,
     /// Wall-clock time spent verifying (generation excluded).
     pub wall: Duration,
 }
@@ -103,15 +129,18 @@ impl ServeOutcome {
     }
 }
 
-/// Runs the full service model: plans sharded traffic from the seed,
-/// fans the shards out across workers, and aggregates the outcome.
+/// Runs the full service model: plans the global batch sequence from
+/// the seed, fans the shards out across workers, and aggregates
+/// verdicts and virtual-time telemetry.
 pub fn run_service(cfg: &ServeConfig) -> ServeOutcome {
     let curve = cfg.curve.curve();
     let plans = request::plan_shards(&curve, cfg);
+    let model = vtime::CostModel::for_curve(&curve, cfg.cycles_per_verify);
     let t0 = std::time::Instant::now();
-    let shard_outcomes = engine::run_shards(&curve, &plans, cfg.batch_size, cfg.seed);
+    let shard_outcomes = engine::run_shards(&curve, &plans, cfg.seed, &model);
     let wall = t0.elapsed();
 
+    let telemetry = vtime::aggregate(&shard_outcomes);
     let mut out = ServeOutcome {
         config: *cfg,
         accepted: 0,
@@ -121,6 +150,7 @@ pub fn run_service(cfg: &ServeConfig) -> ServeOutcome {
         rlc_batches: 0,
         fallback_batches: 0,
         ops: OpCount::default(),
+        telemetry,
         wall,
     };
     for s in &shard_outcomes {
@@ -141,11 +171,11 @@ mod tests {
 
     fn small(curve: CurveId, batch: usize) -> ServeConfig {
         ServeConfig {
-            curve,
             requests: 48,
             batch_size: batch,
             shards: 3,
             seed: 0x5e7e,
+            ..ServeConfig::new(curve)
         }
     }
 
@@ -163,6 +193,14 @@ mod tests {
             assert_eq!(a.rlc_batches, b.rlc_batches);
             assert!(a.rlc_batches > 0, "some all-valid batch should take RLC");
             assert!(a.fallback_batches > 0, "tampered batches must fall back");
+            assert_eq!(a.telemetry.fleet_hist, b.telemetry.fleet_hist);
+            assert_eq!(a.telemetry.traces, b.telemetry.traces);
+            assert_eq!(a.telemetry.queue_depth_max, b.telemetry.queue_depth_max);
+            assert_eq!(
+                a.telemetry.fleet_hist.count(),
+                cfg.requests as u64,
+                "every request gets exactly one latency sample"
+            );
         }
     }
 
@@ -199,5 +237,87 @@ mod tests {
         assert_eq!(reference.rejected, degraded.rejected);
         assert_eq!(reference.ops, degraded.ops);
         assert_eq!(reference.rlc_batches, degraded.rlc_batches);
+        assert_eq!(
+            reference.telemetry.fleet_hist, degraded.telemetry.fleet_hist,
+            "virtual-time latency must not see worker degradation"
+        );
+        assert_eq!(reference.telemetry.traces, degraded.telemetry.traces);
+        assert_eq!(
+            reference.telemetry.utilization,
+            degraded.telemetry.utilization
+        );
+    }
+
+    /// The acceptance property behind the CI `sla` job: at the
+    /// un-congested default arrival rate, the merged latency histogram
+    /// is identical across shard counts — sharding re-partitions the
+    /// same virtual timeline instead of changing it.
+    #[test]
+    fn merged_latency_is_shard_count_invariant_when_uncongested() {
+        // Batch size 1 is the tightest case: whole-verification service
+        // times against single-request gaps — the arrival floor in
+        // `plan_arrivals` is what keeps even a 1-shard fleet ahead.
+        for batch in [1usize, 8] {
+            let base = ServeConfig {
+                requests: 96,
+                batch_size: batch,
+                seed: 0xa11ce,
+                ..ServeConfig::new(CurveId::P192)
+            };
+            let two = run_service(&ServeConfig { shards: 2, ..base });
+            let four = run_service(&ServeConfig { shards: 4, ..base });
+            assert_eq!(two.telemetry.fleet_hist, four.telemetry.fleet_hist);
+            assert_eq!(
+                two.telemetry.queue_depth_max,
+                four.telemetry.queue_depth_max
+            );
+            assert_eq!(two.telemetry.horizon_cycles, four.telemetry.horizon_cycles);
+            // No batch ever waited on a busy shard.
+            for t in &two.telemetry.traces {
+                assert_eq!(t.start_cycles, t.ready_cycles, "batch {} queued", t.index);
+            }
+            assert_eq!(two.telemetry.shard_hists.len(), 2);
+            assert_eq!(four.telemetry.shard_hists.len(), 4);
+        }
+    }
+
+    /// Pushing the arrival rate past the fleet's capacity must surface
+    /// as server-queue waits and a fatter latency tail — the load knob
+    /// actually models load.
+    #[test]
+    fn congestion_raises_latency() {
+        // Brisk but under capacity: at very slow rates the batch-
+        // assembly wait (filling 8 slots) dominates latency, so the
+        // fair congestion baseline is a rate where batches fill
+        // quickly yet no shard falls behind.
+        let relaxed = ServeConfig {
+            requests: 128,
+            batch_size: 8,
+            shards: 2,
+            seed: 0xbeef,
+            arrival_rate: 1.0,
+            ..ServeConfig::new(CurveId::P192)
+        };
+        let slammed = ServeConfig {
+            arrival_rate: 64.0,
+            ..relaxed
+        };
+        let a = run_service(&relaxed);
+        let b = run_service(&slammed);
+        let queued = b
+            .telemetry
+            .traces
+            .iter()
+            .filter(|t| t.start_cycles > t.ready_cycles)
+            .count();
+        assert!(queued > 0, "overload must produce server-queue waits");
+        assert!(
+            b.telemetry.fleet_hist.percentile(99.0) > a.telemetry.fleet_hist.percentile(99.0),
+            "p99 must grow under overload"
+        );
+        assert!(b.telemetry.queue_depth_max > a.telemetry.queue_depth_max);
+        // Verdicts and op censuses never depend on the arrival rate.
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.ops, b.ops);
     }
 }

@@ -1,7 +1,9 @@
 //! Service-layer metrics: host op-cost weighting, the batch-size →
 //! energy scaling model, `serve_point` / `serve_summary` /
-//! `serve_frontier` records (schema v4), the batch-size Pareto axis,
-//! and the journal validator behind `repro check --serve`.
+//! `serve_frontier` records, the virtual-time `serve_latency` /
+//! `sla_summary` records (schema v5), the batch-size Pareto axis, and
+//! the journal validators behind `repro check --serve` and
+//! `repro check --sla`.
 //!
 //! The energy model is a *scaling* model, not a second simulator: the
 //! cycle/energy/area of one verification come from the `ule-core`
@@ -13,8 +15,10 @@
 
 use ule_curves::scalar::OpCount;
 use ule_dse::pareto::{Objectives, ParetoFront};
-use ule_obs::json::{self, Json};
+use ule_obs::hist::LatencyHist;
+use ule_obs::json::{self, Json, JsonBuf};
 use ule_obs::record::Record;
+use ule_obs::Value;
 
 use crate::ServeOutcome;
 
@@ -193,6 +197,93 @@ pub fn frontier_records(
     (front, records)
 }
 
+/// Pushes one histogram's fields into a record under the fixed
+/// `serve_latency` layout (count, extrema, mean, exact-count
+/// percentiles, bucket scheme, sparse buckets).
+fn push_hist_fields(r: &mut Record, hist: &LatencyHist) {
+    r.push("count", hist.count())
+        .push("min_cycles", hist.min().unwrap_or(0))
+        .push("max_cycles", hist.max().unwrap_or(0))
+        .push("sum_cycles", u64::try_from(hist.sum()).unwrap_or(u64::MAX))
+        .push("mean_cycles", hist.mean())
+        .push("p50_cycles", hist.percentile(50.0))
+        .push("p95_cycles", hist.percentile(95.0))
+        .push("p99_cycles", hist.percentile(99.0))
+        .push("p999_cycles", hist.percentile(99.9))
+        .push("hist_sub_bits", u64::from(ule_obs::hist::SUB_BITS))
+        .push("hist_buckets", Value::Raw(hist.buckets_json()));
+}
+
+fn push_config_fields(r: &mut Record, outcome: &ServeOutcome) {
+    let cfg = &outcome.config;
+    r.push("curve", cfg.curve.name())
+        .push("batch_size", cfg.batch_size as u64)
+        .push("shards", cfg.shards as u64)
+        .push("requests", cfg.requests as u64)
+        .push("seed", cfg.seed)
+        .push("arrival_rate", cfg.arrival_rate)
+        .push("cycles_per_verify", cfg.cycles_per_verify);
+}
+
+/// The `serve_latency` records of one run: the fleet histogram first
+/// (`scope:"fleet"`, `shard:-1`), then one record per shard. Every
+/// field is a pure function of the config — no wall clock anywhere —
+/// so the lines are byte-identical across reruns, and `repro check
+/// --sla` re-merges the shard histograms to pin them against the
+/// fleet one.
+pub fn serve_latency_records(outcome: &ServeOutcome) -> Vec<Record> {
+    let mut records = Vec::with_capacity(1 + outcome.telemetry.shard_hists.len());
+    let mut fleet = Record::new("serve_latency");
+    push_config_fields(&mut fleet, outcome);
+    fleet.push("scope", "fleet").push("shard", -1i64);
+    push_hist_fields(&mut fleet, &outcome.telemetry.fleet_hist);
+    records.push(fleet);
+    for (shard, hist) in outcome.telemetry.shard_hists.iter().enumerate() {
+        let mut r = Record::new("serve_latency");
+        push_config_fields(&mut r, outcome);
+        r.push("scope", "shard").push("shard", shard as i64);
+        push_hist_fields(&mut r, hist);
+        records.push(r);
+    }
+    records
+}
+
+/// The `sla_summary` record: the fleet-level service-level figures of
+/// one run — exact-count latency percentiles, queue-depth telemetry,
+/// per-shard utilization, and the p99-latency × energy product that
+/// ranks design points for ROADMAP item 5.
+pub fn sla_summary_record(outcome: &ServeOutcome, scale: f64, costs: &SimCosts) -> Record {
+    let t = &outcome.telemetry;
+    let p99 = t.fleet_hist.percentile(99.0);
+    let energy_per_million = energy_uj_per_million_requests(costs, scale);
+    let mut util = JsonBuf::new();
+    util.begin_array();
+    for u in &t.utilization {
+        util.value_f64(*u);
+    }
+    util.end_array();
+    let mut r = Record::new("sla_summary");
+    push_config_fields(&mut r, outcome);
+    r.push("arch", costs.arch.as_str())
+        .push("accepted", outcome.accepted as u64)
+        .push("rejected", outcome.rejected as u64)
+        .push("mean_latency_cycles", t.fleet_hist.mean())
+        .push("p50_latency_cycles", t.fleet_hist.percentile(50.0))
+        .push("p95_latency_cycles", t.fleet_hist.percentile(95.0))
+        .push("p99_latency_cycles", p99)
+        .push("p999_latency_cycles", t.fleet_hist.percentile(99.9))
+        .push("queue_depth_max", t.queue_depth_max)
+        .push("queue_depth_mean", t.queue_depth_mean)
+        .push("horizon_cycles", t.horizon_cycles)
+        .push("shard_utilization", Value::Raw(util.finish()))
+        .push("op_scale", scale)
+        .push("energy_uj_per_million_requests", energy_per_million)
+        // The SLA figure of merit: cycles-to-p99 × energy-per-Mreq.
+        // Smaller is better on both axes, so smaller products dominate.
+        .push("p99_energy_product", p99 as f64 * energy_per_million);
+    r
+}
+
 /// What `validate_serve` found in a journal.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServeCheck {
@@ -304,6 +395,263 @@ pub fn validate_serve(text: &str, min_gain_ops: Option<f64>) -> Result<ServeChec
     Ok(check)
 }
 
+/// What `validate_sla` found in a journal.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SlaCheck {
+    /// `serve_latency` records seen.
+    pub latency_records: usize,
+    /// `sla_summary` records seen.
+    pub summaries: usize,
+    /// Runs (fleet histogram + its shard histograms) cross-checked.
+    pub runs: usize,
+    /// Largest fleet p99 across summaries.
+    pub max_p99: u64,
+}
+
+/// One parsed `serve_latency` line held for cross-checking.
+struct LatencyLine {
+    line: usize,
+    shard: i64,
+    shards: u64,
+    count: u64,
+    hist: LatencyHist,
+    percentiles: [(f64, u64); 4],
+    min: u64,
+    max: u64,
+}
+
+fn parse_sparse_hist(doc: &Json, ctx: &str) -> Result<LatencyHist, String> {
+    let pairs = doc
+        .get("hist_buckets")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing hist_buckets array"))?;
+    let mut sparse = Vec::with_capacity(pairs.len());
+    for (i, pair) in pairs.iter().enumerate() {
+        let p = pair
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{ctx}: bucket {i} is not an [index,count] pair"))?;
+        let idx = p[0]
+            .as_u64()
+            .ok_or_else(|| format!("{ctx}: bucket {i} index not an integer"))?;
+        let count = p[1]
+            .as_u64()
+            .ok_or_else(|| format!("{ctx}: bucket {i} count not an integer"))?;
+        sparse.push((idx, count));
+    }
+    LatencyHist::from_sparse(&sparse).ok_or_else(|| format!("{ctx}: bucket index out of range"))
+}
+
+/// Validates an SLA journal (JSONL text): well-formed `serve_latency`
+/// and `sla_summary` records, exact-count percentiles that recompute
+/// from the serialized buckets, monotone percentile ladders, shard
+/// histograms that merge into the fleet histogram bucket-for-bucket,
+/// fleet totals equal to `accepted + rejected`, and — when `max_p99`
+/// is given — every summary's fleet p99 at or below it.
+pub fn validate_sla(text: &str, max_p99: Option<u64>) -> Result<SlaCheck, String> {
+    let mut check = SlaCheck::default();
+    // One run = one (curve, batch_size, shards, requests, seed,
+    // arrival_rate) combination; keyed on the serialized fields.
+    let mut runs: std::collections::BTreeMap<String, Vec<LatencyLine>> =
+        std::collections::BTreeMap::new();
+    let mut summaries: Vec<(String, usize, u64, u64, u64)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).ok_or_else(|| format!("line {n}: not valid JSON"))?;
+        let kind = doc.get("record").and_then(Json::as_str).unwrap_or("");
+        let ctx = format!("line {n} ({kind})");
+        let run_key = |doc: &Json| -> Result<String, String> {
+            let mut key = String::new();
+            for field in ["curve", "batch_size", "shards", "requests", "seed"] {
+                let v = doc
+                    .get(field)
+                    .ok_or_else(|| format!("{ctx}: missing key {field:?}"))?;
+                key.push_str(&format!(
+                    "{}|",
+                    v.as_str()
+                        .map(str::to_owned)
+                        .or_else(|| v.as_f64().map(|f| f.to_string()))
+                        .ok_or_else(|| format!("{ctx}: unreadable key {field:?}"))?
+                ));
+            }
+            Ok(key)
+        };
+        match kind {
+            "serve_latency" => {
+                let scope = doc
+                    .get("scope")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{ctx}: missing scope"))?;
+                let shard = match scope {
+                    "fleet" => -1i64,
+                    "shard" => doc
+                        .get("shard")
+                        .and_then(Json::as_f64)
+                        .filter(|s| *s >= 0.0)
+                        .ok_or_else(|| format!("{ctx}: shard scope without shard index"))?
+                        as i64,
+                    other => return Err(format!("{ctx}: unknown scope {other:?}")),
+                };
+                let hist = parse_sparse_hist(&doc, &ctx)?;
+                let entry = LatencyLine {
+                    line: n,
+                    shard,
+                    shards: require_u64(&doc, &ctx, "shards")?,
+                    count: require_u64(&doc, &ctx, "count")?,
+                    hist,
+                    percentiles: [
+                        (50.0, require_u64(&doc, &ctx, "p50_cycles")?),
+                        (95.0, require_u64(&doc, &ctx, "p95_cycles")?),
+                        (99.0, require_u64(&doc, &ctx, "p99_cycles")?),
+                        (99.9, require_u64(&doc, &ctx, "p999_cycles")?),
+                    ],
+                    min: require_u64(&doc, &ctx, "min_cycles")?,
+                    max: require_u64(&doc, &ctx, "max_cycles")?,
+                };
+                if entry.hist.count() != entry.count {
+                    return Err(format!(
+                        "{ctx}: serialized buckets sum to {} but count says {}",
+                        entry.hist.count(),
+                        entry.count
+                    ));
+                }
+                if entry.min > entry.max {
+                    return Err(format!("{ctx}: min above max"));
+                }
+                // Percentiles are bucket lower bounds, so the ladder
+                // starts at 0 (p50 may sit below the exact min when
+                // both land in one bucket) but must end under max.
+                let mut prev = 0u64;
+                for (p, v) in entry.percentiles {
+                    if v < prev {
+                        return Err(format!("{ctx}: percentile ladder not monotone at p{p}"));
+                    }
+                    let recomputed = entry.hist.percentile(p);
+                    if recomputed != v {
+                        return Err(format!(
+                            "{ctx}: p{p} = {v} but the buckets say {recomputed}"
+                        ));
+                    }
+                    prev = v;
+                }
+                if entry.max < prev {
+                    return Err(format!("{ctx}: max below p999"));
+                }
+                runs.entry(run_key(&doc)?).or_default().push(entry);
+                check.latency_records += 1;
+            }
+            "sla_summary" => {
+                let accepted = require_u64(&doc, &ctx, "accepted")?;
+                let rejected = require_u64(&doc, &ctx, "rejected")?;
+                let p99 = require_u64(&doc, &ctx, "p99_latency_cycles")?;
+                let depth_max = require_u64(&doc, &ctx, "queue_depth_max")?;
+                let depth_mean = require_f64(&doc, &ctx, "queue_depth_mean")?;
+                if depth_mean > depth_max as f64 {
+                    return Err(format!("{ctx}: mean queue depth exceeds the max"));
+                }
+                let shards = require_u64(&doc, &ctx, "shards")?;
+                let util = doc
+                    .get("shard_utilization")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| format!("{ctx}: missing shard_utilization array"))?;
+                if util.len() as u64 != shards {
+                    return Err(format!(
+                        "{ctx}: {} utilization entries for {shards} shards",
+                        util.len()
+                    ));
+                }
+                for (s, u) in util.iter().enumerate() {
+                    let u = u
+                        .as_f64()
+                        .ok_or_else(|| format!("{ctx}: non-numeric utilization"))?;
+                    if !(0.0..=1.0).contains(&u) {
+                        return Err(format!("{ctx}: shard {s} utilization {u} outside [0,1]"));
+                    }
+                }
+                if let Some(ceiling) = max_p99 {
+                    if p99 > ceiling {
+                        return Err(format!(
+                            "{ctx}: fleet p99 {p99} cycles above the {ceiling}-cycle ceiling"
+                        ));
+                    }
+                }
+                check.max_p99 = check.max_p99.max(p99);
+                summaries.push((run_key(&doc)?, n, accepted, rejected, p99));
+                check.summaries += 1;
+            }
+            _ => {} // foreign record kinds are fine in a shared journal
+        }
+    }
+
+    // Cross-checks within each run: the fleet histogram must be the
+    // exact bucket-wise merge of the shard histograms.
+    for (key, lines) in &runs {
+        let fleet: Vec<&LatencyLine> = lines.iter().filter(|l| l.shard < 0).collect();
+        let [fleet] = fleet[..] else {
+            return Err(format!(
+                "run {key:?}: expected exactly one fleet serve_latency record, found {}",
+                fleet.len()
+            ));
+        };
+        let shard_lines: Vec<&LatencyLine> = lines.iter().filter(|l| l.shard >= 0).collect();
+        if shard_lines.len() as u64 != fleet.shards {
+            return Err(format!(
+                "run {key:?}: {} shard histograms for {} shards",
+                shard_lines.len(),
+                fleet.shards
+            ));
+        }
+        let mut merged = LatencyHist::new();
+        for l in &shard_lines {
+            merged.merge(&l.hist);
+        }
+        if merged != fleet.hist {
+            return Err(format!(
+                "run {key:?}: shard histograms do not merge into the fleet histogram \
+                 (line {})",
+                fleet.line
+            ));
+        }
+        if merged.count() != fleet.count {
+            return Err(format!(
+                "run {key:?}: shard counts do not sum to the fleet count"
+            ));
+        }
+        check.runs += 1;
+    }
+    for (key, n, accepted, rejected, p99) in &summaries {
+        let Some(lines) = runs.get(key) else {
+            return Err(format!(
+                "line {n} (sla_summary): no serve_latency records for this run"
+            ));
+        };
+        let fleet = lines.iter().find(|l| l.shard < 0).expect("checked above");
+        if accepted + rejected != fleet.count {
+            return Err(format!(
+                "line {n} (sla_summary): accepted + rejected = {} but the fleet \
+                 histogram holds {} samples",
+                accepted + rejected,
+                fleet.count
+            ));
+        }
+        if *p99 != fleet.hist.percentile(99.0) {
+            return Err(format!(
+                "line {n} (sla_summary): p99 disagrees with the fleet histogram"
+            ));
+        }
+    }
+    if check.runs == 0 {
+        return Err("no serve_latency records found".into());
+    }
+    if check.summaries == 0 {
+        return Err("no sla_summary record found".into());
+    }
+    Ok(check)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,11 +678,11 @@ mod tests {
     fn sweep(curve: CurveId) -> Vec<(crate::ServeOutcome, f64)> {
         let mut runs = Vec::new();
         let reference = run_service(&ServeConfig {
-            curve,
             requests: 32,
             batch_size: 1,
             shards: 2,
             seed: 9,
+            ..ServeConfig::new(curve)
         });
         for batch in [1usize, 4, 16] {
             let outcome = if batch == 1 {
@@ -414,5 +762,107 @@ mod tests {
         assert!(validate_serve(&tampered, None).is_err());
         assert!(validate_serve("", None).is_err());
         assert!(validate_serve("{\"record\":\"serve_point\"}\n", None).is_err());
+    }
+
+    fn sla_journal(outcome: &crate::ServeOutcome) -> String {
+        let mut text = String::new();
+        for r in serve_latency_records(outcome) {
+            text.push_str(&r.to_json());
+            text.push('\n');
+        }
+        text.push_str(&sla_summary_record(outcome, 1.0, &costs()[0]).to_json());
+        text.push('\n');
+        text
+    }
+
+    #[test]
+    fn sla_journal_validates_and_recomputes_from_buckets() {
+        let outcome = run_service(&ServeConfig {
+            requests: 48,
+            batch_size: 8,
+            shards: 3,
+            seed: 9,
+            ..ServeConfig::new(CurveId::P192)
+        });
+        let text = sla_journal(&outcome);
+        let check = validate_sla(&text, None).expect("sla journal validates");
+        assert_eq!(check.runs, 1);
+        assert_eq!(check.latency_records, 1 + 3); // fleet + one per shard
+        assert_eq!(check.summaries, 1);
+        assert_eq!(check.max_p99, outcome.telemetry.fleet_hist.percentile(99.0));
+        // The ceiling gate works in both directions.
+        assert!(validate_sla(&text, Some(check.max_p99)).is_ok());
+        assert!(validate_sla(&text, Some(check.max_p99 - 1)).is_err());
+        // Rerun determinism: the serialized journal is byte-identical.
+        let outcome2 = run_service(&outcome.config);
+        assert_eq!(text, sla_journal(&outcome2));
+    }
+
+    #[test]
+    fn sla_validator_rejects_tampered_journals() {
+        let outcome = run_service(&ServeConfig {
+            requests: 32,
+            batch_size: 4,
+            shards: 2,
+            seed: 5,
+            ..ServeConfig::new(CurveId::K163)
+        });
+        let good = sla_journal(&outcome);
+        assert!(validate_sla(&good, None).is_ok());
+
+        // A dropped shard histogram breaks the merge identity.
+        let missing_shard: String = good
+            .lines()
+            .filter(|l| !l.contains("\"scope\":\"shard\",\"shard\":1"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate_sla(&missing_shard, None).is_err());
+
+        // An inflated count disagrees with the serialized buckets.
+        let count = format!("\"count\":{}", outcome.telemetry.fleet_hist.count());
+        let wrong = format!("\"count\":{}", outcome.telemetry.fleet_hist.count() + 1);
+        let tampered = good.replacen(&count, &wrong, 1);
+        assert!(validate_sla(&tampered, None).is_err());
+
+        // A journal with latency records but no summary is incomplete.
+        let no_summary: String = good
+            .lines()
+            .filter(|l| !l.contains("\"record\":\"sla_summary\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate_sla(&no_summary, None).is_err());
+        assert!(validate_sla("", None).is_err());
+    }
+
+    #[test]
+    fn sla_summary_prices_latency_against_energy() {
+        let outcome = run_service(&ServeConfig {
+            requests: 32,
+            batch_size: 8,
+            shards: 2,
+            seed: 7,
+            ..ServeConfig::new(CurveId::P192)
+        });
+        let r = sla_summary_record(&outcome, 0.5, &costs()[0]).to_json();
+        let doc = json::parse(&r).expect("record parses");
+        let p99 = doc
+            .get("p99_latency_cycles")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let energy = doc
+            .get("energy_uj_per_million_requests")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let product = doc
+            .get("p99_energy_product")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(p99, outcome.telemetry.fleet_hist.percentile(99.0));
+        assert!((product - p99 as f64 * energy).abs() < 1e-6 * product.abs().max(1.0));
+        let util = doc
+            .get("shard_utilization")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(util.len(), 2);
     }
 }

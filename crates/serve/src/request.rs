@@ -1,19 +1,38 @@
 //! Seeded arrival generation: the service front-end's request queues.
 //!
 //! Traffic is planned, not streamed: `plan_shards` derives every
-//! request of the run from the seed up front, so the expected verdict
-//! of each item is known at generation time and the engine can check
-//! the batch verifier against it request-by-request. The mix mirrors
-//! what a verification front-end actually sees — mostly valid
-//! signatures with nonce-point hints, a trickle of tampered and
-//! out-of-range ones, and some hint-less clients — with the invalid
-//! fraction low enough that most full batches stay on the RLC fast
-//! path.
+//! request of the run from the seed up front — payload, expected
+//! verdict *and arrival timestamp in simulated cycles* — so the engine
+//! can check the batch verifier request-by-request and replay the
+//! whole run on a virtual clock. The mix mirrors what a verification
+//! front-end actually sees — mostly valid signatures with nonce-point
+//! hints, a trickle of tampered and out-of-range ones, and some
+//! hint-less clients — with the invalid fraction low enough that most
+//! full batches stay on the RLC fast path.
+//!
+//! # Sharding is an execution policy, not a traffic property
+//!
+//! Keys are derived per [`KEY_WINDOW`]-request *window* (the same
+//! window the kind stratification uses), batches are cut inside
+//! windows (so every batch verifies under a single key), and batch `g`
+//! executes on shard `g mod shards`. Payloads, verdicts, op censuses
+//! and batch composition are therefore pure functions of
+//! `(curve, seed, requests, batch_size)` — changing `--shards` only
+//! re-partitions the same batches across workers, which is what makes
+//! merged per-shard latency histograms shard-count-invariant (see
+//! `DESIGN.md` §14).
 
 use crate::ServeConfig;
 use ule_curves::ecdsa::{self, BatchItem, Keypair};
 use ule_curves::params::Curve;
 use ule_mpmath::mp::Mp;
+
+/// Requests per key window: each window of consecutive request ids
+/// signs under one derived keypair and carries exactly one of each
+/// special request kind. Batches never straddle a window boundary, so
+/// `batch_size` is effectively capped here (a batch verifies under a
+/// single public key).
+pub const KEY_WINDOW: usize = 64;
 
 /// What the generator did to a request before enqueueing it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -32,8 +51,10 @@ pub enum RequestKind {
 /// One queued verification request.
 #[derive(Clone, Debug)]
 pub struct Request {
-    /// Monotone id, unique across shards.
+    /// Monotone id, unique across the run.
     pub id: u64,
+    /// Arrival timestamp on the virtual clock, simulated cycles.
+    pub arrival_cycles: u64,
     /// The batch-verification payload.
     pub item: BatchItem,
     /// The verdict `verify_prehashed` must produce — known at
@@ -52,18 +73,39 @@ pub struct Response {
     pub ok: bool,
     /// The generator's expected verdict.
     pub expect_ok: bool,
+    /// When the request arrived, virtual cycles.
+    pub arrival_cycles: u64,
+    /// When its batch finished verifying, virtual cycles
+    /// (`done - arrival` is the request's latency).
+    pub done_cycles: u64,
 }
 
-/// One shard's keypair and request queue.
+/// One planned verification batch: consecutive requests of one key
+/// window, verified together under that window's key.
+#[derive(Debug)]
+pub struct BatchPlan {
+    /// Global batch index (assignment: shard = `index % shards`).
+    pub index: usize,
+    /// The window keypair the batch verifies under.
+    pub keys: Keypair,
+    /// The batch's requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+/// One shard's slice of the global batch sequence.
 #[derive(Debug)]
 pub struct ShardPlan {
     /// The shard index.
     pub shard: usize,
-    /// The shard's signing key (one key per shard: a batch verifies
-    /// under a single public key).
-    pub keys: Keypair,
-    /// The shard's queue, in arrival order.
-    pub requests: Vec<Request>,
+    /// The shard's batches, in global-index order.
+    pub batches: Vec<BatchPlan>,
+}
+
+impl ShardPlan {
+    /// Requests across all of the shard's batches.
+    pub fn requests(&self) -> usize {
+        self.batches.iter().map(|b| b.requests.len()).sum()
+    }
 }
 
 /// splitmix64 — the repository's stock tiny deterministic generator.
@@ -75,32 +117,96 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Plans the full run: derives per-shard keypairs and queues from the
-/// seed, distributing `cfg.requests` round-robin across shards.
+/// Mean inter-arrival gap in virtual cycles. `arrival_rate` is offered
+/// load in units of single-verify service time — `R = 0.25` means one
+/// request every four unbatched verifications' worth of cycles, so the
+/// fleet is un-congested at the defaults and latency stays a pure
+/// function of the global plan (see `DESIGN.md` §14).
+pub fn mean_arrival_gap(cfg: &ServeConfig) -> u64 {
+    let rate = if cfg.arrival_rate.is_finite() && cfg.arrival_rate > 0.0 {
+        cfg.arrival_rate
+    } else {
+        1.0
+    };
+    let gap = (cfg.cycles_per_verify.max(1) as f64 / rate).round();
+    (gap as u64).clamp(1, 1 << 56)
+}
+
+/// Seeded arrival timestamps: cumulative inter-arrival gaps drawn
+/// uniformly from `[mean/2 + 1, mean/2 + mean]` (integer arithmetic,
+/// own RNG stream, so the arrival process never perturbs payload
+/// generation). The `mean/2` floor bounds burstiness: at the default
+/// 0.25 rate every gap is at least two verifications' worth of cycles,
+/// which makes the no-server-queue regime (and hence shard-count
+/// invariance of every latency) a *guarantee*, not a coin flip — a
+/// floorless distribution occasionally packs arrivals tighter than
+/// the service time and a 2-shard fleet queues where a 4-shard one
+/// does not.
+fn plan_arrivals(cfg: &ServeConfig) -> Vec<u64> {
+    let mean = mean_arrival_gap(cfg);
+    let mut rng = cfg.seed ^ 0x6172_7269_7661_6c21; // "arrival!"
+    let mut t = 0u64;
+    (0..cfg.requests)
+        .map(|_| {
+            t += mean / 2 + 1 + splitmix64(&mut rng) % mean;
+            t
+        })
+        .collect()
+}
+
+/// The window keypair: one key per [`KEY_WINDOW`] consecutive ids.
+fn window_keys(curve: &Curve, seed: u64, window: usize) -> Keypair {
+    let key_seed = [
+        b"ule-serve window key".as_slice(),
+        &seed.to_be_bytes(),
+        &(window as u64).to_be_bytes(),
+    ]
+    .concat();
+    Keypair::derive(curve, &key_seed)
+}
+
+/// Plans the full run: window keys, stratified kinds, seeded arrival
+/// timestamps, and the global batch sequence dealt round-robin across
+/// shards (`shard = batch_index % shards`).
 pub fn plan_shards(curve: &Curve, cfg: &ServeConfig) -> Vec<ShardPlan> {
     let shards = cfg.shards.max(1);
+    let batch_size = cfg.batch_size.clamp(1, KEY_WINDOW);
     let mut plans: Vec<ShardPlan> = (0..shards)
-        .map(|shard| {
-            let key_seed = [
-                b"ule-serve shard key".as_slice(),
-                &cfg.seed.to_be_bytes(),
-                &(shard as u64).to_be_bytes(),
-            ]
-            .concat();
-            ShardPlan {
-                shard,
-                keys: Keypair::derive(curve, &key_seed),
-                requests: Vec::new(),
-            }
+        .map(|shard| ShardPlan {
+            shard,
+            batches: Vec::new(),
         })
         .collect();
 
     let mut rng = cfg.seed ^ 0x7365_7276_655f_6d69; // "serve_mi"
     let kinds = plan_kinds(cfg.requests, &mut rng);
-    for id in 0..cfg.requests as u64 {
-        let shard = (id as usize) % shards;
-        let request = generate(curve, &plans[shard].keys, id, kinds[id as usize], &mut rng);
-        plans[shard].requests.push(request);
+    let arrivals = plan_arrivals(cfg);
+
+    let mut id = 0u64;
+    let mut global = 0usize;
+    let mut window = 0usize;
+    while (id as usize) < cfg.requests {
+        let remaining_in_window = (cfg.requests - id as usize).min(KEY_WINDOW);
+        let keys = window_keys(curve, cfg.seed, window);
+        let mut off = 0usize;
+        while off < remaining_in_window {
+            let len = (remaining_in_window - off).min(batch_size);
+            let mut requests = Vec::with_capacity(len);
+            for _ in 0..len {
+                let mut request = generate(curve, &keys, id, kinds[id as usize], &mut rng);
+                request.arrival_cycles = arrivals[id as usize];
+                requests.push(request);
+                id += 1;
+            }
+            plans[global % shards].batches.push(BatchPlan {
+                index: global,
+                keys: keys.clone(),
+                requests,
+            });
+            global += 1;
+            off += len;
+        }
+        window += 1;
     }
     plans
 }
@@ -115,7 +221,7 @@ fn plan_kinds(requests: usize, rng: &mut u64) -> Vec<RequestKind> {
     let mut kinds = vec![RequestKind::Valid; requests];
     let mut w = 0;
     while w < requests {
-        let len = (requests - w).min(64);
+        let len = (requests - w).min(KEY_WINDOW);
         if len >= 4 {
             let specials = [
                 RequestKind::TamperedSig,
@@ -214,6 +320,7 @@ fn generate(curve: &Curve, keys: &Keypair, id: u64, kind: RequestKind, rng: &mut
     };
     Request {
         id,
+        arrival_cycles: 0,
         item,
         expect_ok,
         kind,
@@ -232,41 +339,147 @@ mod tests {
     use super::*;
     use ule_curves::params::CurveId;
 
+    fn cfg(requests: usize, batch: usize, shards: usize) -> ServeConfig {
+        ServeConfig {
+            requests,
+            batch_size: batch,
+            shards,
+            seed: 42,
+            ..ServeConfig::new(CurveId::P192)
+        }
+    }
+
     #[test]
     fn plans_are_deterministic_and_expectations_match_single_verify() {
         let curve = CurveId::P192.curve();
-        let cfg = ServeConfig {
-            curve: CurveId::P192,
-            requests: 96,
-            batch_size: 8,
-            shards: 3,
-            seed: 42,
-        };
+        let cfg = cfg(96, 8, 3);
         let a = plan_shards(&curve, &cfg);
         let b = plan_shards(&curve, &cfg);
         assert_eq!(a.len(), 3);
         let mut kinds = std::collections::HashMap::new();
+        let mut seen = 0usize;
         for (pa, pb) in a.iter().zip(&b) {
-            assert_eq!(pa.requests.len(), 32);
-            for (ra, rb) in pa.requests.iter().zip(&pb.requests) {
-                assert_eq!(ra.id, rb.id);
-                assert_eq!(ra.item.sig, rb.item.sig);
-                assert_eq!(ra.kind, rb.kind);
-                *kinds.entry(ra.kind).or_insert(0usize) += 1;
-                let single =
-                    ecdsa::verify_prehashed(&curve, &pa.keys.public(), &ra.item.e, &ra.item.sig);
-                assert_eq!(
-                    single, ra.expect_ok,
-                    "request {} ({:?}): generator expectation wrong",
-                    ra.id, ra.kind
-                );
+            assert_eq!(pa.batches.len(), pb.batches.len());
+            for (ba, bb) in pa.batches.iter().zip(&pb.batches) {
+                assert_eq!(ba.index % cfg.shards, pa.shard, "round-robin assignment");
+                for (ra, rb) in ba.requests.iter().zip(&bb.requests) {
+                    assert_eq!(ra.id, rb.id);
+                    assert_eq!(ra.item.sig, rb.item.sig);
+                    assert_eq!(ra.kind, rb.kind);
+                    assert_eq!(ra.arrival_cycles, rb.arrival_cycles);
+                    assert!(ra.arrival_cycles > 0, "arrivals start after cycle 0");
+                    *kinds.entry(ra.kind).or_insert(0usize) += 1;
+                    seen += 1;
+                    let single = ecdsa::verify_prehashed(
+                        &curve,
+                        &ba.keys.public(),
+                        &ra.item.e,
+                        &ra.item.sig,
+                    );
+                    assert_eq!(
+                        single, ra.expect_ok,
+                        "request {} ({:?}): generator expectation wrong",
+                        ra.id, ra.kind
+                    );
+                }
             }
         }
+        assert_eq!(seen, 96);
         assert!(kinds.contains_key(&RequestKind::Valid));
         assert!(
             kinds.len() >= 3,
             "96 draws should hit several kinds: {kinds:?}"
         );
+    }
+
+    #[test]
+    fn traffic_is_shard_and_batch_size_invariant() {
+        let curve = CurveId::P192.curve();
+        let flatten = |plans: &[ShardPlan]| -> Vec<(u64, u64, bool)> {
+            let mut all: Vec<(usize, u64, u64, bool)> = plans
+                .iter()
+                .flat_map(|p| p.batches.iter())
+                .flat_map(|b| {
+                    b.requests
+                        .iter()
+                        .map(move |r| (b.index, r.id, r.arrival_cycles, r.expect_ok))
+                })
+                .collect();
+            all.sort_unstable();
+            all.into_iter().map(|(_, id, t, ok)| (id, t, ok)).collect()
+        };
+        // Shard count re-partitions the very same batches: ids,
+        // arrivals and expectations are identical.
+        let two = plan_shards(&curve, &cfg(80, 8, 2));
+        let five = plan_shards(&curve, &cfg(80, 8, 5));
+        assert_eq!(flatten(&two), flatten(&five));
+        let batches = |plans: &[ShardPlan]| -> Vec<(usize, Vec<u64>)> {
+            let mut b: Vec<(usize, Vec<u64>)> = plans
+                .iter()
+                .flat_map(|p| p.batches.iter())
+                .map(|b| (b.index, b.requests.iter().map(|r| r.id).collect()))
+                .collect();
+            b.sort();
+            b
+        };
+        assert_eq!(batches(&two), batches(&five), "identical batch cuts");
+        // Batch size changes the cuts but not the traffic.
+        let wide = plan_shards(&curve, &cfg(80, 64, 2));
+        assert_eq!(flatten(&two), flatten(&wide));
+    }
+
+    #[test]
+    fn batches_never_straddle_a_key_window() {
+        let curve = CurveId::K163.curve();
+        // 7 does not divide 64: ragged batches at every window edge.
+        let plans = plan_shards(&curve, &cfg(150, 7, 3));
+        let mut total = 0usize;
+        for plan in &plans {
+            for batch in &plan.batches {
+                let first = batch.requests.first().unwrap().id as usize;
+                let last = batch.requests.last().unwrap().id as usize;
+                assert_eq!(
+                    first / KEY_WINDOW,
+                    last / KEY_WINDOW,
+                    "batch {} spans windows",
+                    batch.index
+                );
+                assert!(batch.requests.len() <= 7);
+                total += batch.requests.len();
+            }
+        }
+        assert_eq!(total, 150);
+    }
+
+    #[test]
+    fn arrival_rate_scales_gaps_without_touching_payloads() {
+        let curve = CurveId::P192.curve();
+        let slow = cfg(32, 8, 2);
+        let fast = ServeConfig {
+            arrival_rate: slow.arrival_rate * 16.0,
+            ..slow
+        };
+        let a = plan_shards(&curve, &slow);
+        let b = plan_shards(&curve, &fast);
+        assert!(mean_arrival_gap(&slow) >= 15 * mean_arrival_gap(&fast));
+        let last = |plans: &[ShardPlan]| {
+            plans
+                .iter()
+                .flat_map(|p| p.batches.iter())
+                .flat_map(|b| b.requests.iter())
+                .map(|r| r.arrival_cycles)
+                .max()
+                .unwrap()
+        };
+        assert!(last(&a) > 8 * last(&b), "higher rate compresses arrivals");
+        for (pa, pb) in a.iter().zip(&b) {
+            for (ba, bb) in pa.batches.iter().zip(&pb.batches) {
+                for (ra, rb) in ba.requests.iter().zip(&bb.requests) {
+                    assert_eq!(ra.item.sig, rb.item.sig, "payloads must not change");
+                    assert_eq!(ra.expect_ok, rb.expect_ok);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! The virtual clock: deterministic request-lifecycle timing.
+//!
+//! Nothing here reads a wall clock. Every request's lifecycle —
+//! arrival → batch-assembly wait → (possibly) server-queue wait →
+//! verify-complete — is replayed on a cycle-granular virtual timeline
+//! whose only inputs are the seeded plan and a [`CostModel`] anchored
+//! to the `ule-core` simulator:
+//!
+//! * a batch is *ready* when its last request has arrived
+//!   (batch-assembly wait);
+//! * its shard starts it at `max(shard_clock, ready)` (server-queue
+//!   wait — zero while the shard keeps up);
+//! * service time scales the simulator's single-verification cycle
+//!   cost by the batch's share of weighted host group operations:
+//!   `service = cycles_per_verify · W_batch / W_unit` (u128 integer
+//!   arithmetic, so identical on every platform).
+//!
+//! Because the batch sequence is shard-count-invariant (see
+//! [`crate::request`]), per-request latencies are a pure function of
+//! `(curve, seed, requests, shards, batch_size, arrival_rate)`; when
+//! no batch ever waits on a busy shard they are independent of the
+//! shard count entirely — the property the CI `sla` job pins.
+
+use ule_curves::ecdsa::{self, BatchItem, Keypair};
+use ule_curves::params::Curve;
+use ule_obs::hist::LatencyHist;
+
+use crate::engine::ShardOutcome;
+
+/// Scales weighted host group operations into virtual cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Simulated cycles of one unbatched verification (from the
+    /// `ule-core` simulator for the anchor arch; library default when
+    /// no simulator is attached).
+    pub cycles_per_verify: u64,
+    /// Weighted host ops of one nominal single-item verification on
+    /// the same curve — the denominator that makes the scaling
+    /// dimensionless.
+    pub unit_weighted_ops: u64,
+}
+
+impl CostModel {
+    /// Builds the model for a curve: runs one nominal hinted
+    /// verification through the batch verifier (a single-item batch
+    /// takes the exact path, no RLC) and takes its weighted op census
+    /// as the unit. Pure function of the curve.
+    pub fn for_curve(curve: &Curve, cycles_per_verify: u64) -> CostModel {
+        let keys = Keypair::derive(curve, b"ule-serve unit verify");
+        let e = ecdsa::hash_to_scalar(curve, b"ule-serve unit message");
+        let (sig, hint) = {
+            let mut attempt = 0u64;
+            loop {
+                let nonce_seed =
+                    [b"ule-serve unit nonce".as_slice(), &attempt.to_be_bytes()].concat();
+                let k = ecdsa::derive_scalar(curve, &nonce_seed, b"nonce");
+                if let Some(pair) =
+                    ecdsa::sign_with_nonce_recoverable(curve, keys.private(), &e, &k)
+                {
+                    break pair;
+                }
+                attempt += 1;
+            }
+        };
+        let item = BatchItem {
+            e,
+            sig,
+            hint: Some(hint),
+        };
+        let verdict = ecdsa::verify_batch_prehashed(curve, &keys.public(), &[item], 0);
+        CostModel {
+            cycles_per_verify: cycles_per_verify.max(1),
+            unit_weighted_ops: crate::metrics::weighted_ops(&verdict.ops).max(1),
+        }
+    }
+
+    /// Virtual service cycles of a batch with the given weighted op
+    /// census (at least 1 cycle, u128 intermediate — never overflows,
+    /// never rounds differently across platforms).
+    pub fn service_cycles(&self, batch_weighted_ops: u64) -> u64 {
+        let scaled = (self.cycles_per_verify as u128 * batch_weighted_ops as u128)
+            / self.unit_weighted_ops as u128;
+        u64::try_from(scaled).unwrap_or(u64::MAX).max(1)
+    }
+}
+
+/// One executed batch on the virtual timeline (the Perfetto slice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchTrace {
+    /// Global batch index.
+    pub index: usize,
+    /// Shard that executed it.
+    pub shard: usize,
+    /// Requests in the batch.
+    pub items: usize,
+    /// When the last request of the batch had arrived.
+    pub ready_cycles: u64,
+    /// When the shard began verifying (`start - ready` is the
+    /// server-queue wait; zero while the shard keeps up).
+    pub start_cycles: u64,
+    /// When the verdicts were produced.
+    pub end_cycles: u64,
+    /// Virtual verification time (`end - start`).
+    pub service_cycles: u64,
+}
+
+/// Fleet-level virtual-time telemetry aggregated over shard outcomes.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    /// Merged latency histogram across all shards.
+    pub fleet_hist: LatencyHist,
+    /// Per-shard latency histograms, shard-index order (merging these
+    /// reproduces `fleet_hist` exactly — pinned by `repro check --sla`).
+    pub shard_hists: Vec<LatencyHist>,
+    /// Every executed batch, global-index order.
+    pub traces: Vec<BatchTrace>,
+    /// Peak number of requests arrived but not yet answered.
+    pub queue_depth_max: u64,
+    /// Time-weighted mean queue depth over `[0, horizon_cycles]`.
+    pub queue_depth_mean: f64,
+    /// Per-shard busy fraction of the horizon, shard-index order.
+    pub utilization: Vec<f64>,
+    /// End of the run on the virtual clock (last batch completion).
+    pub horizon_cycles: u64,
+}
+
+/// Aggregates shard outcomes into fleet telemetry: merges histograms,
+/// splices batch traces back into global order, and replays the
+/// arrival/completion event stream for queue-depth telemetry.
+pub fn aggregate(shards: &[ShardOutcome]) -> Telemetry {
+    let mut fleet_hist = LatencyHist::new();
+    let mut shard_hists = Vec::with_capacity(shards.len());
+    let mut traces: Vec<BatchTrace> = Vec::new();
+    for s in shards {
+        fleet_hist.merge(&s.hist);
+        shard_hists.push(s.hist.clone());
+        traces.extend_from_slice(&s.traces);
+    }
+    traces.sort_unstable_by_key(|t| t.index);
+    let horizon_cycles = traces.iter().map(|t| t.end_cycles).max().unwrap_or(0);
+
+    // Queue depth: +1 at every arrival, -1 at every completion, with
+    // completions applied first on ties (a slot frees before the
+    // next arrival lands on the same cycle).
+    let mut events: Vec<(u64, i64)> = Vec::new();
+    for s in shards {
+        for r in &s.responses {
+            events.push((r.arrival_cycles, 1));
+            events.push((r.done_cycles, -1));
+        }
+    }
+    events.sort_unstable();
+    let mut depth = 0i64;
+    let mut max_depth = 0i64;
+    let mut weighted: u128 = 0;
+    let mut prev_t = 0u64;
+    for (t, delta) in events {
+        weighted += depth.max(0) as u128 * (t - prev_t) as u128;
+        prev_t = t;
+        depth += delta;
+        max_depth = max_depth.max(depth);
+    }
+    let queue_depth_mean = if horizon_cycles > 0 {
+        weighted as f64 / horizon_cycles as f64
+    } else {
+        0.0
+    };
+
+    let utilization = shards
+        .iter()
+        .map(|s| {
+            if horizon_cycles > 0 {
+                s.busy_cycles as f64 / horizon_cycles as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    Telemetry {
+        fleet_hist,
+        shard_hists,
+        traces,
+        queue_depth_max: max_depth.max(0) as u64,
+        queue_depth_mean,
+        utilization,
+        horizon_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_curves::params::CurveId;
+
+    #[test]
+    fn cost_model_is_deterministic_and_scales_linearly() {
+        let curve = CurveId::P192.curve();
+        let a = CostModel::for_curve(&curve, 1_000_000);
+        let b = CostModel::for_curve(&curve, 1_000_000);
+        assert_eq!(a.unit_weighted_ops, b.unit_weighted_ops);
+        assert!(a.unit_weighted_ops > 0);
+        // One unit of weighted ops costs exactly one verification.
+        assert_eq!(a.service_cycles(a.unit_weighted_ops), 1_000_000);
+        assert_eq!(a.service_cycles(a.unit_weighted_ops * 3), 3_000_000);
+        assert_eq!(a.service_cycles(0), 1, "service is never instantaneous");
+        // The unit census is curve-specific, not a global constant.
+        let k = CostModel::for_curve(&CurveId::K163.curve(), 1_000_000);
+        assert_ne!(a.unit_weighted_ops, k.unit_weighted_ops);
+    }
+}
