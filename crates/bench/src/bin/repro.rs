@@ -152,8 +152,9 @@ fn print_help() {
     println!("profile-options (single-point per-routine energy attribution):");
     println!("  --curve NAME        curve (default P-256)");
     println!("  --arch A            baseline | isa_ext | monte | billie (default isa_ext)");
-    println!("  --workload W        sign | verify | sign_verify | scalar_mul | field_mul");
-    println!("                      (default sign)");
+    println!("  --workload W        sign | verify | sign_verify | scalar_mul | field_mul |");
+    println!("                      xdh | handshake (default sign; xdh/handshake need an");
+    println!("                      RFC 7748 curve: X25519 or X448)");
     println!("  --tier T            reference (default): exact per-instruction profiler");
     println!("                      with full call graph; fast: sampled profiler on the");
     println!("                      fast engine (exact totals, approximate per-routine");
@@ -244,6 +245,8 @@ fn parse_workload(s: &str) -> Option<Workload> {
         "sign_verify" | "sign-verify" => Some(Workload::SignVerify),
         "scalar_mul" | "scalar-mul" => Some(Workload::ScalarMul),
         "field_mul" | "field-mul" => Some(Workload::FieldMul),
+        "xdh" => Some(Workload::Xdh),
+        "handshake" => Some(Workload::Handshake),
         _ => None,
     }
 }
@@ -600,6 +603,10 @@ fn run_profile(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
         );
         std::process::exit(2);
     }
+    if let Err(e) = ule_core::validate_workload(curve, arch, workload) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     obs.install();
     let config = SystemConfig::new(curve, arch);
     let label = ConfigKey::new(config, workload).label();
@@ -721,6 +728,10 @@ fn run_overhead(args: impl Iterator<Item = String>) -> ! {
         }
         i += 1;
     }
+    if let Err(e) = ule_core::validate_workload(curve, arch, workload) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let config = SystemConfig::new(curve, arch);
     let label = ConfigKey::new(config, workload).label();
     let system = System::new(config);
@@ -791,7 +802,11 @@ fn run_serve(args: impl Iterator<Item = String>, obs: ObsOptions) -> ! {
             "--curve" => {
                 let v = take(&mut i, "--curve");
                 match ule_verify::parse_curve(&v) {
-                    Some(c) => curves.push(c),
+                    Some(c) if !c.is_mont() => curves.push(c),
+                    Some(_) => {
+                        eprintln!("serve is an ECDSA service model; {v} carries no signatures");
+                        std::process::exit(2);
+                    }
                     None => {
                         eprintln!("unknown curve {v:?}");
                         std::process::exit(2);

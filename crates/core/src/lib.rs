@@ -169,7 +169,8 @@ impl SystemConfig {
     }
 }
 
-/// The simulated ECDSA workloads.
+/// The simulated workloads: the ECDSA suite of the paper plus the
+/// RFC 7748 ladder workloads of the X25519/X448 subsystem.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// One signature (a single scalar multiplication + protocol math).
@@ -183,6 +184,15 @@ pub enum Workload {
     ScalarMul,
     /// One field multiplication (micro-benchmark).
     FieldMul,
+    /// One X25519/X448 shared-secret computation (a full Montgomery
+    /// ladder). Requires an RFC 7748 curve.
+    Xdh,
+    /// A DTLS-style handshake flight: one ECDHE key agreement on the X
+    /// curve plus an ECDSA signature *and* verification on the
+    /// equivalent-security prime curve ([`CurveId::security_pair`]),
+    /// both on the same architecture — the modern analogue of the
+    /// paper's Sign+Verify headline metric.
+    Handshake,
 }
 
 impl Workload {
@@ -194,8 +204,99 @@ impl Workload {
             Workload::SignVerify => "Sign+Verify",
             Workload::ScalarMul => "kG",
             Workload::FieldMul => "field mul",
+            Workload::Xdh => "XDH",
+            Workload::Handshake => "Handshake",
         }
     }
+
+    /// True for the workloads that drive the Montgomery-ladder program
+    /// image (and therefore need an RFC 7748 curve).
+    pub fn is_ladder(self) -> bool {
+        matches!(self, Workload::Xdh | Workload::Handshake)
+    }
+}
+
+/// Why a `(curve, arch, workload)` triple cannot be simulated.
+///
+/// This is **the** validity rule: [`System::run_with`] rejects invalid
+/// triples with it before building any machine, and
+/// [`space::SpaceSpec::enumerate`] uses the same predicate (via
+/// [`supports`]) to drop the pairings from a lattice — no call path
+/// reaches the panic inside `build_suite` any more.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// An ECDSA workload was asked of an RFC 7748 (x-only) curve, which
+    /// carries no Weierstrass point arithmetic or signature layer.
+    EcdsaOnLadderCurve {
+        /// The offending curve.
+        curve: CurveId,
+        /// The requested workload.
+        workload: Workload,
+    },
+    /// A ladder workload was asked of an ECDSA curve.
+    LadderOnEcdsaCurve {
+        /// The offending curve.
+        curve: CurveId,
+        /// The requested workload.
+        workload: Workload,
+    },
+    /// The architecture cannot run the curve's field at all (Monte is a
+    /// GF(p) accelerator, Billie a GF(2^m) one).
+    ArchCurveMismatch {
+        /// The architecture.
+        arch: Arch,
+        /// The curve.
+        curve: CurveId,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::EcdsaOnLadderCurve { curve, workload } => write!(
+                f,
+                "workload {:?} needs an ECDSA curve; {} is an RFC 7748 ladder curve \
+                 (use Workload::Xdh or Workload::Handshake)",
+                workload,
+                curve.name()
+            ),
+            WorkloadError::LadderOnEcdsaCurve { curve, workload } => write!(
+                f,
+                "workload {:?} needs an RFC 7748 curve (X25519/X448), not {}",
+                workload,
+                curve.name()
+            ),
+            WorkloadError::ArchCurveMismatch { arch, curve } => write!(
+                f,
+                "{arch:?} cannot run {}: Monte accelerates GF(p), Billie GF(2^m)",
+                curve.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// The one-place `(curve, arch, workload)` validity check.
+pub fn validate_workload(
+    curve: CurveId,
+    arch: Arch,
+    workload: Workload,
+) -> Result<(), WorkloadError> {
+    if !space::arch_supports_curve(arch, curve) {
+        return Err(WorkloadError::ArchCurveMismatch { arch, curve });
+    }
+    match (workload.is_ladder(), curve.is_mont()) {
+        (true, false) => Err(WorkloadError::LadderOnEcdsaCurve { curve, workload }),
+        (false, true) => Err(WorkloadError::EcdsaOnLadderCurve { curve, workload }),
+        _ => Ok(()),
+    }
+}
+
+/// Whether the triple is simulable (the boolean face of
+/// [`validate_workload`], for lattice filtering).
+pub fn supports(curve: CurveId, arch: Arch, workload: Workload) -> bool {
+    validate_workload(curve, arch, workload).is_ok()
 }
 
 /// Whether a run collects the per-routine cycle profile.
@@ -457,16 +558,88 @@ impl System {
     }
 
     fn run_inner(&self, workload: Workload, profile: ProfileKind, tier: EngineTier) -> RunReport {
+        if let Err(e) = validate_workload(self.config.curve, self.config.arch, workload) {
+            panic!("{e}");
+        }
+        let mut total = RunAccum::default();
+        if profile != ProfileKind::None {
+            total.profile = Some(RoutineProfile::default());
+        }
+        if workload.is_ladder() {
+            self.accum_xdh(profile, tier, &mut total);
+            if workload == Workload::Handshake {
+                // The certifying signature rides the equivalent-security
+                // prime curve on the *same* architecture; its counters
+                // merge into this report so the handshake is one design
+                // point. The companion runs a different program image,
+                // so its profile accumulates separately (sign + verify
+                // share one routine table) and is then absorbed under a
+                // `<curve>:` namespace.
+                let pair = self.config.curve.security_pair();
+                let companion = System::new(SystemConfig {
+                    curve: pair,
+                    ..self.config
+                });
+                let mut side = RunAccum::default();
+                companion.accum_ecdsa(Workload::SignVerify, profile, tier, &mut side);
+                total.counters.accumulate(&side.counters);
+                total.raw.accumulate(&side.raw);
+                if let Some(p) = side.profile {
+                    total
+                        .profile
+                        .get_or_insert_with(RoutineProfile::default)
+                        .absorb(&p, &format!("{}:", pair.name()));
+                }
+            }
+            return total.finish(self);
+        }
+        self.accum_ecdsa(workload, profile, tier, &mut total);
+        total.finish(self)
+    }
+
+    /// One full Montgomery ladder (`main_xdh`) with deterministic
+    /// handshake inputs, checked bit-for-bit against the host ladder.
+    fn accum_xdh(&self, profile: ProfileKind, tier: EngineTier, total: &mut RunAccum) {
+        let k = self.suite.k;
+        let mc = self.curve.mont();
+        // Our static key and the peer's ephemeral key: raw (unclamped)
+        // scalars, deterministic so every configuration agrees on the
+        // exact operation. The peer's public u is itself a host ladder
+        // from the base point — a real ECDHE pairing, so the simulated
+        // shared secret can be cross-checked end to end.
+        let raw_a = xdh_raw_scalar(k, 0xA11C_E000);
+        let raw_b = xdh_raw_scalar(k, 0xB0B0_0000);
+        let peer_u = mc.ladder(&mc.clamp(&limb_bytes(&raw_b)), mc.base_u());
+        let shared = mc.ladder(&mc.clamp(&limb_bytes(&raw_a)), &peer_u);
+        let mut m = self.machine(profile);
+        {
+            let _sp = ule_obs::span("sys.load");
+            write_buf(&mut m, &self.suite.program, "arg_k", &raw_a);
+            write_buf(&mut m, &self.suite.program, "arg_qx", peer_u.limbs());
+        }
+        self.sim_entry(&mut m, "main_xdh", tier);
+        assert_eq!(
+            read_buf(&m, &self.suite.program, "out_r", k),
+            shared.limbs(),
+            "simulated shared secret mismatch"
+        );
+        total.add(&mut m, self);
+    }
+
+    /// The ECDSA workload paths, accumulating into `total`.
+    fn accum_ecdsa(
+        &self,
+        workload: Workload,
+        profile: ProfileKind,
+        tier: EngineTier,
+        total: &mut RunAccum,
+    ) {
         let k = self.suite.k;
         let inp = self.inputs();
         let d_limbs = inp.keys.private().to_limbs(k);
         let e_limbs = inp.e.to_limbs(k);
         let k_limbs = inp.nonce.to_limbs(k);
         let (qx, qy) = public_xy(&self.curve, &inp.keys.public(), k);
-        let mut total = RunAccum::default();
-        if profile != ProfileKind::None {
-            total.profile = Some(RoutineProfile::default());
-        }
         match workload {
             Workload::Sign | Workload::SignVerify => {
                 let mut m = self.machine(profile);
@@ -522,7 +695,6 @@ impl System {
             self.sim_entry(&mut m, "main_fmul", tier);
             total.add(&mut m, self);
         }
-        total.finish(self)
     }
 
     /// Runs one program entry point, wrapped in a `sys.sim` span.
@@ -586,6 +758,29 @@ struct WorkloadInputs {
     sig: ecdsa::Signature,
 }
 
+/// Deterministic raw (unclamped) ladder scalar: `k` limbs expanded from
+/// a fixed seed with splitmix64, so every configuration — and every
+/// session — agrees on the exact key-agreement operation. The kernel and
+/// the host clamp the same raw bits.
+fn xdh_raw_scalar(k: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed;
+    (0..k)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as u32
+        })
+        .collect()
+}
+
+/// Little-endian byte encoding of a limb buffer (the RFC 7748 wire form
+/// the host clamp consumes).
+fn limb_bytes(limbs: &[u32]) -> Vec<u8> {
+    limbs.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
 fn public_xy(_curve: &Curve, public: &PublicKey, k: usize) -> (Vec<u32>, Vec<u32>) {
     match public {
         PublicKey::Prime(AffinePoint::Point { x, y }) => (x.limbs().to_vec(), y.limbs().to_vec()),
@@ -606,6 +801,7 @@ fn host_mul_g(curve: &Curve, s: &Mp, k: usize) -> (Vec<u32>, Vec<u32>) {
             AffinePoint2m::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
             AffinePoint2m::Infinity => (vec![0; k], vec![0; k]),
         },
+        CurveKind::Mont(_) => unreachable!("ECDSA workloads are validated off ladder curves"),
     }
 }
 
@@ -746,6 +942,79 @@ mod tests {
         let p = ballast.profile.as_ref().expect("profile present");
         assert_eq!(p.total_cycles(), ballast.cycles);
         assert_eq!(p.total_instructions(), ballast.counters.instructions);
+    }
+
+    #[test]
+    fn xdh_and_handshake_run_on_the_ladder_curves() {
+        for curve in [CurveId::X25519, CurveId::X448] {
+            for arch in [Arch::Baseline, Arch::Monte] {
+                let sys = System::new(SystemConfig::new(curve, arch));
+                let x = sys.run_with(RunOptions::new(Workload::Xdh));
+                assert!(x.cycles > 100_000, "{curve:?} {arch:?}");
+                assert!(x.energy_uj() > 0.0);
+                let h = sys.run_with(RunOptions::new(Workload::Handshake));
+                assert!(
+                    h.cycles > x.cycles,
+                    "{curve:?} {arch:?}: the handshake adds the certifying ECDSA flight"
+                );
+                assert!(h.energy_uj() > x.energy_uj());
+            }
+        }
+    }
+
+    #[test]
+    fn monte_accelerates_the_ladder() {
+        let base = System::new(SystemConfig::new(CurveId::X25519, Arch::Baseline))
+            .run_with(RunOptions::new(Workload::Xdh));
+        let monte = System::new(SystemConfig::new(CurveId::X25519, Arch::Monte))
+            .run_with(RunOptions::new(Workload::Xdh));
+        assert!(
+            monte.cycles * 4 < base.cycles,
+            "monte {} !<< base {}",
+            monte.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn workload_validity_is_a_typed_error() {
+        assert_eq!(
+            validate_workload(CurveId::X25519, Arch::Baseline, Workload::Sign),
+            Err(WorkloadError::EcdsaOnLadderCurve {
+                curve: CurveId::X25519,
+                workload: Workload::Sign,
+            })
+        );
+        assert_eq!(
+            validate_workload(CurveId::P192, Arch::Baseline, Workload::Xdh),
+            Err(WorkloadError::LadderOnEcdsaCurve {
+                curve: CurveId::P192,
+                workload: Workload::Xdh,
+            })
+        );
+        assert_eq!(
+            validate_workload(CurveId::X25519, Arch::Billie, Workload::Xdh),
+            Err(WorkloadError::ArchCurveMismatch {
+                arch: Arch::Billie,
+                curve: CurveId::X25519,
+            })
+        );
+        assert_eq!(
+            validate_workload(CurveId::K163, Arch::Billie, Workload::Handshake),
+            Err(WorkloadError::LadderOnEcdsaCurve {
+                curve: CurveId::K163,
+                workload: Workload::Handshake,
+            })
+        );
+        assert!(validate_workload(CurveId::X448, Arch::Monte, Workload::Handshake).is_ok());
+        assert!(validate_workload(CurveId::X25519, Arch::IsaExt, Workload::Xdh).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "RFC 7748 ladder curve")]
+    fn ecdsa_on_a_ladder_curve_panics_with_the_typed_message() {
+        System::new(SystemConfig::new(CurveId::X25519, Arch::Baseline))
+            .run_with(RunOptions::new(Workload::SignVerify));
     }
 
     #[test]

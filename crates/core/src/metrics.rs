@@ -56,6 +56,8 @@ pub fn workload_key(w: Workload) -> &'static str {
         Workload::SignVerify => "sign_verify",
         Workload::ScalarMul => "scalar_mul",
         Workload::FieldMul => "field_mul",
+        Workload::Xdh => "xdh",
+        Workload::Handshake => "handshake",
     }
 }
 

@@ -6,8 +6,9 @@
 //! applies the per-architecture validity rules (a Billie digit width
 //! only distinguishes Billie points, Monte front-end knobs only Monte
 //! points, gating only accelerator points), drops unsupported
-//! arch/curve pairings (Monte accelerates prime fields only, Billie
-//! binary fields only — the builder panics on a mismatch), and returns
+//! `(curve, arch, workload)` triples via [`crate::supports`] (Monte
+//! accelerates prime fields only, Billie binary fields only, ladder
+//! workloads need the RFC 7748 curves and vice versa), and returns
 //! the deduplicated lattice in a *canonical order*. That order is load-bearing: the
 //! explorer's Pareto tie-breaking and its provable pruning rules both
 //! key off a point's index in the enumerated lattice, which is a pure
@@ -242,7 +243,7 @@ impl SpaceSpec {
                             for &mult_variant in &self.mult_variants {
                                 for &gating in &self.gatings {
                                     for &billie_sram_rf in &self.billie_sram_rf {
-                                        if !arch_supports_curve(arch, curve) {
+                                        if !crate::supports(curve, arch, self.workload) {
                                             continue;
                                         }
                                         let cfg = canonicalize(SystemConfig {

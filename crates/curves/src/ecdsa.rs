@@ -54,6 +54,7 @@ impl Keypair {
         let public = match curve.kind() {
             CurveKind::Prime(c) => PublicKey::Prime(scalar::mul_window(c, &d, &c.generator())),
             CurveKind::Binary(c) => PublicKey::Binary(scalar::mul_window(c, &d, &c.generator())),
+            CurveKind::Mont(c) => panic!("{}: ECDSA needs a Weierstraß curve", c.id().name()),
         };
         Keypair { d, public }
     }
@@ -167,6 +168,7 @@ pub fn sign_with_nonce_recoverable(
             let p = scalar::mul_window(c, k, &c.generator());
             (c.x_as_integer(&p)?, PublicKey::Binary(p))
         }
+        CurveKind::Mont(c) => panic!("{}: ECDSA needs a Weierstraß curve", c.id().name()),
     };
     let r = x_int.rem(curve.n());
     if r.is_zero() {

@@ -37,6 +37,7 @@
 
 pub mod binary;
 pub mod ecdsa;
+pub mod montgomery;
 pub mod params;
 pub mod prime;
 pub mod scalar;

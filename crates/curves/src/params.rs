@@ -14,12 +14,14 @@
 //! interval, and `n·G = ∞`.
 
 use crate::binary::BinaryCurve;
+use crate::montgomery::MontCurve;
 use crate::prime::PrimeCurve;
 use crate::scalar;
 use ule_mpmath::f2m::BinaryField;
 use ule_mpmath::fp::PrimeField;
 use ule_mpmath::mp::Mp;
 use ule_mpmath::nist::{NistBinary, NistPrime};
+use ule_mpmath::xprime::XPrime;
 
 /// How a parameter set was obtained.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,7 +33,8 @@ pub enum Provenance {
     Derived,
 }
 
-/// Identifier for the ten curves of the study.
+/// Identifier for the ten curves of the study, plus the two RFC 7748
+/// Montgomery curves of the ladder subsystem.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum CurveId {
@@ -45,6 +48,8 @@ pub enum CurveId {
     K283,
     K409,
     K571,
+    X25519,
+    X448,
 }
 
 impl CurveId {
@@ -80,6 +85,11 @@ impl CurveId {
         CurveId::K571,
     ];
 
+    /// The two RFC 7748 Montgomery-ladder curves. Deliberately *not*
+    /// part of [`CurveId::ALL`]: the study's ECDSA corpus iterates
+    /// `ALL`, and the X-curves support only the ladder workloads.
+    pub const XCURVES: [CurveId; 2] = [CurveId::X25519, CurveId::X448];
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -93,6 +103,8 @@ impl CurveId {
             CurveId::K283 => "K-283",
             CurveId::K409 => "K-409",
             CurveId::K571 => "K-571",
+            CurveId::X25519 => "X25519",
+            CurveId::X448 => "X448",
         }
     }
 
@@ -109,6 +121,8 @@ impl CurveId {
             CurveId::K283 => 283,
             CurveId::K409 => 409,
             CurveId::K571 => 571,
+            CurveId::X25519 => 255,
+            CurveId::X448 => 448,
         }
     }
 
@@ -120,8 +134,15 @@ impl CurveId {
         )
     }
 
-    /// The binary curve of equivalent security paired with a prime curve
-    /// (and vice versa) in Fig 7.7/7.9.
+    /// True for the RFC 7748 Montgomery (x-only ladder) curves.
+    pub fn is_mont(self) -> bool {
+        matches!(self, CurveId::X25519 | CurveId::X448)
+    }
+
+    /// The curve of equivalent security this curve is paired with:
+    /// prime ↔ binary per Fig 7.7/7.9, and Montgomery → prime for the
+    /// handshake composition (an X25519 key agreement is certified with
+    /// a ~128-bit ECDSA signature, i.e. P-256; X448 with P-521).
     pub fn security_pair(self) -> CurveId {
         match self {
             CurveId::P192 => CurveId::K163,
@@ -134,6 +155,21 @@ impl CurveId {
             CurveId::K283 => CurveId::P256,
             CurveId::K409 => CurveId::P384,
             CurveId::K571 => CurveId::P521,
+            CurveId::X25519 => CurveId::P256,
+            CurveId::X448 => CurveId::P521,
+        }
+    }
+
+    /// The RFC 7748 ladder prime underlying a Montgomery curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-Montgomery curves.
+    pub fn xprime(self) -> XPrime {
+        match self {
+            CurveId::X25519 => XPrime::P25519,
+            CurveId::X448 => XPrime::P448,
+            _ => panic!("{} is not a Montgomery curve", self.name()),
         }
     }
 
@@ -186,6 +222,8 @@ pub enum CurveKind {
     Prime(PrimeCurve),
     /// A binary-field Koblitz curve.
     Binary(BinaryCurve),
+    /// An RFC 7748 Montgomery curve (x-only ladder).
+    Mont(MontCurve),
 }
 
 /// A fully-constructed curve: group structure plus the protocol-arithmetic
@@ -205,8 +243,39 @@ impl Curve {
     pub fn new(id: CurveId) -> Self {
         if id.is_binary() {
             Self::new_koblitz(id)
+        } else if id.is_mont() {
+            Self::new_mont(id)
         } else {
             Self::new_prime(id)
+        }
+    }
+
+    fn new_mont(id: CurveId) -> Self {
+        let curve = MontCurve::new(id.xprime());
+        // RFC 7748 subgroup orders: ℓ = 2^252 + δ for curve25519 and
+        // ℓ = 2^446 − δ' for curve448; embedded as hex like the NIST
+        // constants, self-validated (probable prime + Hasse) below.
+        let (n_hex, h) = match id {
+            CurveId::X25519 => (
+                "1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed",
+                8u64,
+            ),
+            CurveId::X448 => (
+                "3fffffffffffffffffffffffffffffffffffffffffffffffffffffff\
+                 7cca23e9c44edb49aed63690216cc2728dc58f552378c292ab5844f3",
+                4u64,
+            ),
+            _ => unreachable!("only X-curves reach new_mont"),
+        };
+        let n = Mp::from_hex(n_hex).expect("static hex");
+        let order_field = PrimeField::new(&format!("{} order", id.name()), &n);
+        Curve {
+            id,
+            kind: CurveKind::Mont(curve),
+            n,
+            cofactor: h,
+            order_field,
+            provenance: Provenance::Nist,
         }
     }
 
@@ -302,6 +371,7 @@ impl Curve {
         match &self.kind {
             CurveKind::Prime(c) => c,
             CurveKind::Binary(_) => panic!("{} is a binary curve", self.id.name()),
+            CurveKind::Mont(_) => panic!("{} is a Montgomery curve", self.id.name()),
         }
     }
 
@@ -314,6 +384,19 @@ impl Curve {
         match &self.kind {
             CurveKind::Binary(c) => c,
             CurveKind::Prime(_) => panic!("{} is a prime curve", self.id.name()),
+            CurveKind::Mont(_) => panic!("{} is a Montgomery curve", self.id.name()),
+        }
+    }
+
+    /// The Montgomery-curve implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-Montgomery curves.
+    pub fn mont(&self) -> &MontCurve {
+        match &self.kind {
+            CurveKind::Mont(c) => c,
+            _ => panic!("{} is not a Montgomery curve", self.id.name()),
         }
     }
 
@@ -357,6 +440,7 @@ impl Curve {
         let q = match &self.kind {
             CurveKind::Prime(c) => c.field().modulus().clone(),
             CurveKind::Binary(c) => Mp::one().shl(c.field().m()),
+            CurveKind::Mont(c) => c.prime().modulus(),
         };
         let hn = self.n.mul(&Mp::from_u64(self.cofactor));
         let q_plus_1 = q.add(&Mp::one());
@@ -389,6 +473,25 @@ impl Curve {
                 let ng = scalar::mul_window(c, &self.n, &g);
                 if !ng.is_infinity() {
                     return Err(format!("{id}: n*G != infinity"));
+                }
+            }
+            CurveKind::Mont(c) => {
+                // x-only ladder: "n·G = ∞" is not directly expressible
+                // (clamping fixes the scalar's top bit), so validate the
+                // base abscissa (quadratic-residue check) and that the
+                // subgroup has the claimed order: ladder(ℓ + clamped
+                // lift) returns to the base u for a scalar ≡ 1 (mod ℓ)
+                // in the clamped range.
+                if !c.u_on_curve(c.base_u()) {
+                    return Err(format!("{id}: base u not on curve"));
+                }
+                // k = 4ℓ + 1 ≡ 1 (mod ℓ) still fits the fixed ladder
+                // width on both curves (4ℓ < 2^255 and < 2^448), so
+                // ladder(k, base) must return the base u.
+                let k = self.n.mul(&Mp::from_u64(4)).add(&Mp::one());
+                let back = c.ladder(&k, c.base_u());
+                if back != *c.base_u() {
+                    return Err(format!("{id}: (4n+1)*G != G on the ladder"));
                 }
             }
         }
@@ -552,5 +655,29 @@ mod tests {
     fn prime_accessor_panics_on_binary() {
         let c = CurveId::K163.curve();
         let _ = c.prime();
+    }
+
+    #[test]
+    fn x_curves_validate() {
+        for id in CurveId::XCURVES {
+            let c = id.curve();
+            c.validate().unwrap_or_else(|e| panic!("{e}"));
+            assert!(id.is_mont() && !id.is_binary());
+            assert_eq!(c.order_field().modulus(), c.n());
+            assert!(c.n().is_probable_prime(8));
+        }
+        assert_eq!(CurveId::X25519.curve().cofactor(), 8);
+        assert_eq!(CurveId::X448.curve().cofactor(), 4);
+        assert_eq!(CurveId::X25519.security_pair(), CurveId::P256);
+        assert_eq!(CurveId::X448.security_pair(), CurveId::P521);
+        // The study's ALL corpus stays the ten ECDSA curves.
+        assert!(!CurveId::ALL.contains(&CurveId::X25519));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Montgomery curve")]
+    fn mont_accessor_panics_on_prime() {
+        let c = CurveId::P192.curve();
+        let _ = c.mont();
     }
 }

@@ -8,6 +8,10 @@
 //!   variants (which greedy prunes analytically);
 //! * `monte-gating` — P-192 Monte front-end ablations (§7.7) crossed
 //!   with the idle-gating strategies;
+//! * `handshake` — the RFC 7748 ladder curves (X25519/X448) running the
+//!   DTLS-style ECDHE + ECDSA handshake workload on every prime-field
+//!   architecture, so ladder design points land on the same frontier as
+//!   the ECDSA studies;
 //! * `smoke` — a seconds-fast CI space over the baseline/ISA-ext cores.
 //!
 //! A space file is a JSON object with `name`, `workload`, and an
@@ -24,7 +28,7 @@ use ule_pete::icache::CacheConfig;
 use ule_swlib::builder::Arch;
 
 /// Names of the built-in spaces, in presentation order.
-pub const BUILTIN_NAMES: [&str; 3] = ["billie-digit", "monte-gating", "smoke"];
+pub const BUILTIN_NAMES: [&str; 4] = ["billie-digit", "monte-gating", "handshake", "smoke"];
 
 /// Looks up a built-in space by name.
 pub fn builtin(name: &str) -> Option<SpaceSpec> {
@@ -64,6 +68,12 @@ pub fn builtin(name: &str) -> Option<SpaceSpec> {
                     Gating::Power,
                 ])),
         ),
+        "handshake" => Some(
+            SpaceSpec::new("handshake", Workload::Handshake)
+                .axis(Axis::Curves(vec![CurveId::X25519, CurveId::X448]))
+                .axis(Axis::Archs(vec![Arch::Baseline, Arch::IsaExt, Arch::Monte]))
+                .axis(Axis::Gatings(vec![Gating::Clock, Gating::None])),
+        ),
         "smoke" => Some(
             SpaceSpec::new("smoke", Workload::FieldMul)
                 .axis(Axis::Curves(vec![CurveId::P192]))
@@ -86,6 +96,8 @@ pub(crate) fn parse_workload(s: &str) -> Result<Workload, String> {
         "sign_verify" => Workload::SignVerify,
         "scalar_mul" => Workload::ScalarMul,
         "field_mul" => Workload::FieldMul,
+        "xdh" => Workload::Xdh,
+        "handshake" => Workload::Handshake,
         other => return Err(format!("unknown workload {other:?}")),
     })
 }
@@ -93,6 +105,7 @@ pub(crate) fn parse_workload(s: &str) -> Result<Workload, String> {
 pub(crate) fn parse_curve(s: &str) -> Result<CurveId, String> {
     CurveId::ALL
         .into_iter()
+        .chain(CurveId::XCURVES)
         .find(|c| c.name() == s)
         .ok_or_else(|| format!("unknown curve {s:?}"))
 }
@@ -294,8 +307,23 @@ mod tests {
             builtin("monte-gating").unwrap().enumerate().unwrap().len(),
             9
         );
+        // 2 X-curves × (baseline + isa-ext collapsing the gating knob,
+        // Monte keeping both gatings).
+        assert_eq!(builtin("handshake").unwrap().enumerate().unwrap().len(), 8);
         // 2 cores × 2 cache options × 3 variants.
         assert_eq!(builtin("smoke").unwrap().enumerate().unwrap().len(), 12);
+    }
+
+    #[test]
+    fn handshake_space_points_are_valid_ladder_points() {
+        let points = builtin("handshake").unwrap().enumerate().unwrap();
+        assert!(points.iter().all(|c| c.curve.is_mont()));
+        assert!(points
+            .iter()
+            .all(|c| ule_core::supports(c.curve, c.arch, Workload::Handshake)));
+        // Both curves are represented.
+        assert!(points.iter().any(|c| c.curve == CurveId::X25519));
+        assert!(points.iter().any(|c| c.curve == CurveId::X448));
     }
 
     #[test]

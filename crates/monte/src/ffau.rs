@@ -60,6 +60,12 @@ pub struct Ffau {
     result: Vec<u64>,
     /// The CIOS quotient constant `n0' = -n^{-1} mod 2^w` (control reg).
     n0_prime: u64,
+    /// Special-form fold extension (control regs 3–5): the constant
+    /// multiplier `c`, the fold multiplier `δ`, and the limb offset of
+    /// the second injection point (0 = single-offset prime).
+    fold_c: u64,
+    fold_delta: u64,
+    fold_offset: u64,
     stats: FfauStats,
 }
 
@@ -82,6 +88,9 @@ impl Ffau {
             n: Vec::new(),
             result: Vec::new(),
             n0_prime: 0,
+            fold_c: 0,
+            fold_delta: 0,
+            fold_offset: 0,
             stats: FfauStats::default(),
         }
     }
@@ -99,6 +108,22 @@ impl Ffau {
     /// Sets the quotient constant (preloaded via `ctc2`, §5.4.2.1).
     pub fn set_n0_prime(&mut self, n0: u64) {
         self.n0_prime = n0 & self.mask();
+    }
+
+    /// Sets the special-form constant multiplier `c` (control reg 3).
+    pub fn set_fold_c(&mut self, c: u64) {
+        self.fold_c = c;
+    }
+
+    /// Sets the special-form fold multiplier `δ` (control reg 4).
+    pub fn set_fold_delta(&mut self, delta: u64) {
+        self.fold_delta = delta;
+    }
+
+    /// Sets the limb offset of the second fold injection point
+    /// (control reg 5; 0 for a single-offset prime like 2^255−19).
+    pub fn set_fold_offset(&mut self, offset: u64) {
+        self.fold_offset = offset;
     }
 
     /// Loads operand A (w-bit limbs).
@@ -215,6 +240,67 @@ impl Ffau {
         self.stats.ucode_reads += cycles;
         // 3 operand reads + 1 result write per inner-loop cycle.
         self.stats.scratch_accesses += 4 * (2 * kk * kk);
+        self.stats.operations += 1;
+        cycles
+    }
+
+    /// Closed-form cycle count of the special-form constant multiply
+    /// for `k` limbs at pipeline latency `p`: one multiply pass, two
+    /// fold rounds (each one carry-propagation pass per injection
+    /// point), and the two-step final correction.
+    pub fn cmul_cycles(k: u64, p: u64, second_offset: u64) -> u64 {
+        let single = 3 * k + 3 * p + 44;
+        if second_offset == 0 {
+            single
+        } else {
+            single + 2 * (k - second_offset + p + 2)
+        }
+    }
+
+    /// Executes one special-form constant multiplication over operand A:
+    /// `result = A * c mod N`, using the fold congruence configured via
+    /// [`Ffau::set_fold_c`] / [`Ffau::set_fold_delta`] /
+    /// [`Ffau::set_fold_offset`] instead of a CIOS pass — the microcode
+    /// extension for the X25519/X448 primes. Runs the actual
+    /// [`crate::ucode::assemble_cmul_fold`] microprogram, so the model
+    /// and the microcode cannot drift. Returns the cycle count
+    /// (`O(k)` versus CIOS's `O(k²)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus or fold constants are not loaded, or on a
+    /// datapath narrower than 32 bits (the `a24` constants need 17
+    /// bits, and the overflow word must fit one limb).
+    pub fn cmul(&mut self) -> u64 {
+        let k = self.n.len();
+        assert!(k > 0, "modulus not loaded");
+        assert_eq!(self.a.len(), k, "operand A width mismatch");
+        assert!(self.width >= 32, "fold constant exceeds the datapath word");
+        assert!(self.fold_c != 0, "fold constants not loaded");
+        let mut eng = crate::ucode::MicroEngine::new(
+            self.width,
+            crate::ucode::assemble_cmul_fold(self.fold_offset != 0),
+        );
+        eng.set_const(0, k as u64);
+        eng.set_const(2, self.fold_c);
+        eng.set_const(3, self.fold_delta);
+        eng.set_const(4, self.fold_offset);
+        let b = self.a.clone(); // operand B is unused by the program
+        let (result, cycles) = eng.run(&self.a, &b, &self.n, 0);
+        self.result = result;
+        debug_assert_eq!(
+            cycles,
+            Self::cmul_cycles(k as u64, self.pipeline_latency, self.fold_offset)
+        );
+        self.stats.busy_cycles += cycles;
+        self.stats.ucode_reads += cycles;
+        // One multiply pass + two propagation passes per injection.
+        let rows = if self.fold_offset == 0 {
+            3 * k as u64
+        } else {
+            3 * k as u64 + 2 * (k as u64 - self.fold_offset)
+        };
+        self.stats.scratch_accesses += 4 * rows;
         self.stats.operations += 1;
         cycles
     }

@@ -54,6 +54,9 @@ pub struct Monte {
     config: MonteConfig,
     /// Element width in 32-bit words (control register 0).
     k: usize,
+    /// Operation mode (control register 2): when set, `cop2mul` runs the
+    /// special-form constant-multiply microprogram instead of CIOS.
+    fold_mode: bool,
     /// Completion cycles of queued commands (for queue back-pressure).
     inflight: VecDeque<u64>,
     /// When the DMA engine frees up.
@@ -85,6 +88,7 @@ impl Monte {
             ffau: Ffau::new(32),
             config,
             k: 0,
+            fold_mode: false,
             inflight: VecDeque::new(),
             dma_free_at: 0,
             ffau_free_at: 0,
@@ -188,6 +192,10 @@ impl Coprocessor for Monte {
                 match rd {
                     0 => self.k = rt_value as usize,
                     1 => self.ffau.set_n0_prime(rt_value as u64),
+                    2 => self.fold_mode = rt_value != 0,
+                    3 => self.ffau.set_fold_c(rt_value as u64),
+                    4 => self.ffau.set_fold_delta(rt_value as u64),
+                    5 => self.ffau.set_fold_offset(rt_value as u64),
                     _ => {} // unused control registers
                 }
             }
@@ -211,6 +219,7 @@ impl Coprocessor for Monte {
             }
             Instr::Cop2Mul | Instr::Cop2Add | Instr::Cop2Sub => {
                 let dur = match instr {
+                    Instr::Cop2Mul if self.fold_mode => self.ffau.cmul(),
                     Instr::Cop2Mul => self.ffau.montmul(),
                     Instr::Cop2Add => self.ffau.modadd(),
                     _ => self.ffau.modsub(),

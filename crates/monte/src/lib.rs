@@ -30,4 +30,4 @@ pub mod ucode;
 
 pub use ffau::{Ffau, FfauStats};
 pub use frontend::{Monte, MonteConfig};
-pub use ucode::{assemble_addsub, assemble_cios, MicroEngine};
+pub use ucode::{assemble_addsub, assemble_cios, assemble_cmul_fold, MicroEngine};

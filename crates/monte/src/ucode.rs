@@ -100,6 +100,19 @@ pub enum Action {
         /// The preceding operation was a subtraction.
         sub: bool,
     },
+    /// Constant-multiply row: `(C,S) = a[j] * c + C`, where `c` is the
+    /// small constant in constant-RAM slot 2 (the X25519/X448 ladder
+    /// coefficient `a24` — the special-form extension).
+    CMulRow,
+    /// Latch the overflow word: `m = t[k]; t[k] = 0` (the quantity the
+    /// special-form congruence folds back into the low words).
+    LatchTop,
+    /// `C = m * δ`, with the fold multiplier `δ` in constant-RAM slot 3
+    /// (`2^(w·k) mod p` for 2^255−19 is 38; for 2^448−2^224−1 the fold
+    /// is two unit injections, so `δ = 1`).
+    InjectC,
+    /// Carry-propagation row: `(C,S) = t[j] + C`.
+    CarryAddRow,
 }
 
 /// One microcode word.
@@ -253,6 +266,102 @@ pub fn assemble_addsub(sub: bool) -> Vec<Micro> {
             ..Default::default()
         },
     ]
+}
+
+/// Assembles the special-form constant-multiply microprogram for the
+/// X25519/X448 primes: `result = A * c mod p`, reducing with the fold
+/// congruence of the prime instead of a full CIOS pass.
+///
+/// The constant RAM supplies everything prime-specific — slot 2 holds
+/// the multiplier `c` (the ladder coefficient `a24`), slot 3 the fold
+/// multiplier `δ` (38 for 2^255−19, 1 for 2^448−2^224−1), and, when
+/// `dual_offset` is set, slot 4 the limb offset of the second injection
+/// point (2^448 ≡ 2^224 + 1, so the overflow word is added at limb
+/// `224/w` as well as limb 0). As with CIOS, reloading constant RAM is
+/// all it takes to retarget the microcode.
+///
+/// Structure: one constant-multiply pass (`a·c` is at most `c·2^(w·k)`,
+/// so the overflow is a single word), then **two** fold rounds — the
+/// first reduces the overflow of the multiply, the second the possible
+/// carry-out of the first — then the standard two-step conditional
+/// correction (the folded value is below `2^(w·k) + 2^224 ≤ 2p + δ`,
+/// never more than two subtractions of `p`).
+pub fn assemble_cmul_fold(dual_offset: bool) -> Vec<Micro> {
+    let mut prog = vec![
+        Micro {
+            action: Action::Nop,
+            idx_j: IdxCtl::Clear,
+            ..Default::default()
+        },
+        Micro {
+            action: Action::CMulRow,
+            idx_j: IdxCtl::Inc,
+            seq: Seq::LoopTo {
+                target: 1,
+                idx: LoopIdx::J,
+                bound: 0,
+            },
+            ..Default::default()
+        },
+        Micro {
+            action: Action::CarryFold,
+            ..Default::default()
+        },
+    ];
+    for _round in 0..2 {
+        prog.push(Micro {
+            action: Action::LatchTop,
+            ..Default::default()
+        });
+        // Injection at limb 0 (always), then optionally at the high
+        // offset: clear / load the index, stall on the `m·δ` product,
+        // propagate.
+        let offsets: &[IdxCtl] = if dual_offset {
+            &[IdxCtl::Clear, IdxCtl::LoadConst(4)]
+        } else {
+            &[IdxCtl::Clear]
+        };
+        for &idx_j in offsets {
+            prog.push(Micro {
+                action: Action::InjectC,
+                idx_j,
+                ..Default::default()
+            });
+            prog.push(Micro {
+                action: Action::Stall,
+                ..Default::default()
+            });
+            let target = prog.len() as u8;
+            prog.push(Micro {
+                action: Action::CarryAddRow,
+                idx_j: IdxCtl::Inc,
+                seq: Seq::LoopTo {
+                    target,
+                    idx: LoopIdx::J,
+                    bound: 0,
+                },
+                ..Default::default()
+            });
+            prog.push(Micro {
+                action: Action::CarryFold,
+                ..Default::default()
+            });
+        }
+    }
+    prog.push(Micro {
+        action: Action::Stall,
+        ..Default::default()
+    });
+    prog.push(Micro {
+        action: Action::Correct,
+        ..Default::default()
+    });
+    prog.push(Micro {
+        action: Action::Correct,
+        seq: Seq::End,
+        ..Default::default()
+    });
+    prog
 }
 
 /// The microcoded control unit driving the FFAU datapath.
@@ -502,6 +611,24 @@ impl MicroEngine {
                 }
                 st.out_carry = 0;
             }
+            Action::CMulRow => {
+                let c = self.consts[2] as u128;
+                let cs = (a[j] as u128) * c + st.carry;
+                st.t[j] = cs & mask;
+                st.carry = cs >> w;
+            }
+            Action::LatchTop => {
+                st.m = st.t[k];
+                st.t[k] = 0;
+            }
+            Action::InjectC => {
+                st.carry = st.m * self.consts[3] as u128;
+            }
+            Action::CarryAddRow => {
+                let cs = st.t[j] + st.carry;
+                st.t[j] = cs & mask;
+                st.carry = cs >> w;
+            }
         }
     }
 }
@@ -522,6 +649,71 @@ mod tests {
     fn cios_microprogram_fits_the_store() {
         assert!(assemble_cios().len() <= UCODE_ENTRIES);
         assert!(assemble_cios().len() + 2 * assemble_addsub(false).len() <= UCODE_ENTRIES);
+    }
+
+    #[test]
+    fn cmul_fold_fits_alongside_the_full_suite() {
+        // The point of the extension: the ladder's constant multiply
+        // coexists with CIOS and add/sub in the one 64-entry store.
+        let full = assemble_cios().len()
+            + 2 * assemble_addsub(false).len()
+            + assemble_cmul_fold(true).len();
+        assert!(full <= UCODE_ENTRIES, "{full} entries");
+    }
+
+    #[test]
+    fn cmul_fold_matches_the_special_form_reduction() {
+        use ule_mpmath::xprime::XPrime;
+        for (xp, cs, delta, off) in [
+            (XPrime::P25519, [121_665u64, 19, 2], 38u64, 0u64),
+            (XPrime::P448, [39_081, 1, 2], 1, 7),
+        ] {
+            let p = xp.modulus();
+            let k = xp.limbs();
+            let mut eng = MicroEngine::new(32, assemble_cmul_fold(off != 0));
+            eng.set_const(0, k as u64);
+            eng.set_const(3, delta);
+            eng.set_const(4, off);
+            // Deterministic operand sweep: edge values plus an LCG fill.
+            let mut cases = vec![
+                Mp::zero(),
+                Mp::one(),
+                p.sub(&Mp::one()),
+                Mp::one().shl(32 * k).sub(&Mp::one()), // all-ones limbs
+            ];
+            let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+            for _ in 0..24 {
+                let mut limbs = vec![0u32; k];
+                for l in limbs.iter_mut() {
+                    x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    *l = (x >> 32) as u32;
+                }
+                cases.push(Mp::from_limbs(&limbs).rem(&p));
+            }
+            for c in cs {
+                eng.set_const(2, c);
+                for a in &cases {
+                    let al = limbs64(a, k);
+                    let (result, cycles) = eng.run(&al, &al, &limbs64(&p, k), 0);
+                    let expect = xp.reduce(&a.mul(&Mp::from_u64(c)));
+                    assert_eq!(
+                        result,
+                        limbs64(&expect, k),
+                        "{} * {c} mod {}",
+                        a.to_hex(),
+                        xp.name()
+                    );
+                    assert_eq!(
+                        cycles,
+                        Ffau::cmul_cycles(k as u64, 3, off),
+                        "{}: fold cycle count must match the closed form",
+                        xp.name()
+                    );
+                }
+            }
+            // The win over a full CIOS pass is the point (O(k) vs O(k²)).
+            assert!(Ffau::cmul_cycles(k as u64, 3, off) < Ffau::montmul_cycles(k as u64, 3) / 2);
+        }
     }
 
     #[test]

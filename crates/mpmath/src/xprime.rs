@@ -1,0 +1,241 @@
+//! The RFC 7748 special-form primes: 2^255 − 19 and 2^448 − 2^224 − 1.
+//!
+//! The paper's design space covers the NIST generalized-Mersenne primes
+//! only ([`crate::nist`]); the Montgomery-ladder subsystem adds the two
+//! curve25519/curve448 base fields. Both are *crandall / solinas* style
+//! primes with one-term congruences that make reduction even cheaper
+//! than the NIST folds on a 32-bit datapath:
+//!
+//! * `p = 2^255 − 19` gives `2^255 ≡ 19 (mod p)`, so any excess above
+//!   bit 255 folds back in multiplied by the small constant 19,
+//! * `p = 2^448 − 2^224 − 1` gives `2^448 ≡ 2^224 + 1 (mod p)`, so the
+//!   high half folds back as a shift-and-add (no multiplication at
+//!   all — the "golden-ratio" prime structure).
+//!
+//! As in [`crate::nist`], the moduli are **constructed from their
+//! defining formulas** rather than embedded as hex blobs. The
+//! special-form reductions here are the host reference the simulated
+//! kernels and the Monte microcode are differentially tested against;
+//! they are themselves cross-checked against generic division
+//! ([`Mp::rem`]) and the generic fold tables ([`crate::fp::PrimeField`])
+//! in the unit tests.
+
+use crate::mp::Mp;
+
+/// The two RFC 7748 ladder primes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum XPrime {
+    /// `2^255 - 19` (curve25519, RFC 7748 §4.1).
+    P25519,
+    /// `2^448 - 2^224 - 1` (curve448, RFC 7748 §4.2).
+    P448,
+}
+
+impl XPrime {
+    /// Both primes in increasing key-size order.
+    pub const ALL: [XPrime; 2] = [XPrime::P25519, XPrime::P448];
+
+    /// Field size in bits (255, 448).
+    pub fn bits(self) -> usize {
+        match self {
+            XPrime::P25519 => 255,
+            XPrime::P448 => 448,
+        }
+    }
+
+    /// Number of 32-bit limbs per field element (`k = ceil(n/w)`).
+    pub fn limbs(self) -> usize {
+        self.bits().div_ceil(32)
+    }
+
+    /// The modulus, built from its defining formula.
+    pub fn modulus(self) -> Mp {
+        let one = Mp::one();
+        let pow = |e: usize| Mp::one().shl(e);
+        match self {
+            XPrime::P25519 => pow(255).sub(&Mp::from_u64(19)),
+            XPrime::P448 => pow(448).sub(&pow(224)).sub(&one),
+        }
+    }
+
+    /// Human-readable name, e.g. `"p25519"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            XPrime::P25519 => "p25519",
+            XPrime::P448 => "p448",
+        }
+    }
+
+    /// The Montgomery curve's `(A − 2) / 4` ladder constant
+    /// (RFC 7748 §5): 121665 for curve25519, 39081 for curve448.
+    pub fn a24(self) -> u64 {
+        match self {
+            XPrime::P25519 => 121_665,
+            XPrime::P448 => 39_081,
+        }
+    }
+
+    /// The limb-aligned fold multiplier `δ` for a 32-bit datapath:
+    /// `2^(32·k) ≡ δ·2^(32·off₂) + … (mod p)` — concretely
+    /// `2^256 ≡ 38` for 2^255−19, and `2^448 ≡ 2^224 + 1` for
+    /// 2^448−2^224−1 (two unit injections, see
+    /// [`XPrime::fold_second_offset`]).
+    pub fn fold_delta(self) -> u64 {
+        match self {
+            XPrime::P25519 => 38,
+            XPrime::P448 => 1,
+        }
+    }
+
+    /// Limb offset (32-bit words) of the second fold injection point:
+    /// 0 for 2^255−19 (single injection at limb 0), `224/32 = 7` for
+    /// 2^448−2^224−1.
+    pub fn fold_second_offset(self) -> u64 {
+        match self {
+            XPrime::P25519 => 0,
+            XPrime::P448 => 7,
+        }
+    }
+
+    /// Special-form reduction: folds `x` (any size, typically a 2k-limb
+    /// product) down to `x mod p` using the one-term congruence instead
+    /// of division.
+    ///
+    /// For `2^255 − 19` each pass replaces the part above bit 255 with
+    /// itself times 19; for `2^448 − 2^224 − 1` each pass replaces the
+    /// part above bit 448 with `hi·2^224 + hi`. Each pass removes
+    /// essentially all excess bits (19 < 2^5, the shift-add adds one
+    /// bit), so a double-width product needs two passes plus at most
+    /// one conditional subtraction.
+    pub fn reduce(self, x: &Mp) -> Mp {
+        let p = self.modulus();
+        let bits = self.bits();
+        let mut v = x.clone();
+        while v.bit_len() > bits {
+            let hi = v.shr(bits);
+            let lo = v.sub(&hi.shl(bits));
+            let folded = match self {
+                // 2^255 ≡ 19
+                XPrime::P25519 => hi.mul(&Mp::from_u64(19)),
+                // 2^448 ≡ 2^224 + 1
+                XPrime::P448 => hi.shl(224).add(&hi),
+            };
+            v = lo.add(&folded);
+        }
+        while v >= p {
+            v = v.sub(&p);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::PrimeField;
+    use ule_testkit::Rng;
+
+    #[test]
+    fn moduli_have_expected_bit_lengths_and_are_prime() {
+        for p in XPrime::ALL {
+            let m = p.modulus();
+            assert_eq!(m.bit_len(), p.bits(), "{}", p.name());
+            assert!(m.is_probable_prime(8), "{} not prime?!", p.name());
+        }
+    }
+
+    #[test]
+    fn p25519_matches_published_hex() {
+        assert_eq!(
+            XPrime::P25519.modulus().to_hex(),
+            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed"
+        );
+    }
+
+    #[test]
+    fn p448_matches_published_hex() {
+        assert_eq!(
+            XPrime::P448.modulus().to_hex(),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffe\
+             ffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+        );
+    }
+
+    #[test]
+    fn limb_counts() {
+        assert_eq!(XPrime::P25519.limbs(), 8);
+        assert_eq!(XPrime::P448.limbs(), 14);
+    }
+
+    #[test]
+    fn fold_parameters_match_the_limb_aligned_congruence() {
+        // 2^(32·k) ≡ δ + δ·2^(32·off₂) (mod p) — the form the Monte
+        // microcode extension injects the overflow word back with.
+        for p in XPrime::ALL {
+            let m = p.modulus();
+            let expect = Mp::one().shl(32 * p.limbs()).rem(&m);
+            let delta = Mp::from_u64(p.fold_delta());
+            let mut folded = delta.clone();
+            if p.fold_second_offset() != 0 {
+                folded = folded.add(&delta.shl(32 * p.fold_second_offset() as usize));
+            }
+            assert_eq!(folded.to_hex(), expect.to_hex(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn special_form_reduce_matches_division() {
+        let mut rng = Rng::new(0x7748);
+        for p in XPrime::ALL {
+            let m = p.modulus();
+            let k = p.limbs();
+            for _ in 0..64 {
+                // A full double-width product, the worst case the field
+                // multiplication feeds the reduction.
+                let limbs: Vec<u32> = (0..2 * k).map(|_| rng.next_u64() as u32).collect();
+                let x = Mp::from_limbs(&limbs);
+                assert_eq!(p.reduce(&x), x.rem(&m), "{}", p.name());
+            }
+            // Edge cases: 0, 1, p-1, p, p+1, 2p, and the all-ones
+            // double-width value.
+            let one = Mp::one();
+            for e in [
+                Mp::zero(),
+                one.clone(),
+                m.sub(&one),
+                m.clone(),
+                m.add(&one),
+                m.add(&m),
+                Mp::one().shl(64 * k).sub(&one),
+            ] {
+                assert_eq!(p.reduce(&e), e.rem(&m), "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn special_form_reduce_matches_generic_fold_tables() {
+        // The generic congruency-folding reducer used by the simulated
+        // software (PrimeField::reduce_wide) must agree with the
+        // special forms on exact double-width inputs.
+        let mut rng = Rng::new(0x448);
+        for p in XPrime::ALL {
+            let field = PrimeField::new(p.name(), &p.modulus());
+            let k = p.limbs();
+            for _ in 0..32 {
+                let limbs: Vec<u32> = (0..2 * k).map(|_| rng.next_u64() as u32).collect();
+                let wide = Mp::from_limbs(&limbs);
+                let got = field.reduce_wide(&limbs).to_mp();
+                assert_eq!(got, p.reduce(&wide), "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn a24_constants() {
+        // (486662 - 2) / 4 and (156326 - 2) / 4 — the curve A
+        // coefficients of RFC 7748.
+        assert_eq!(XPrime::P25519.a24(), (486_662 - 2) / 4);
+        assert_eq!(XPrime::P448.a24(), (156_326 - 2) / 4);
+    }
+}

@@ -351,6 +351,37 @@ impl RoutineProfile {
         }
         self.calls.merge(&other.calls);
     }
+
+    /// Accumulates a profile taken over a *different* program image
+    /// (e.g. the handshake's companion ECDSA program riding next to the
+    /// ladder program). Foreign buckets are appended under
+    /// `{prefix}{name}` so same-named routines from the two images stay
+    /// distinct, and the foreign call tree is appended with its routine
+    /// indices rebased onto the combined table. Bucket totals keep
+    /// summing to the combined headline counters; the ascending-address
+    /// bucket order holds only within each image (the two address
+    /// spaces are unrelated), so an absorbed profile must not be fed
+    /// back into [`RoutineProfile::merge`].
+    pub fn absorb(&mut self, other: &RoutineProfile, prefix: &str) {
+        let routine_base = self.routines.len() as u32;
+        self.routines
+            .extend(other.routines.iter().map(|r| RoutineCycles {
+                name: format!("{prefix}{}", r.name),
+                ..r.clone()
+            }));
+        let node_base = self.calls.nodes.len() as u32;
+        self.calls
+            .nodes
+            .extend(other.calls.nodes.iter().map(|n| CallNode {
+                parent: if n.parent == ROOT {
+                    ROOT
+                } else {
+                    n.parent + node_base
+                },
+                routine: n.routine + routine_base,
+                ..n.clone()
+            }));
+    }
 }
 
 /// Default *mean* sampling stride for [`SampledProfiler`], in cycles

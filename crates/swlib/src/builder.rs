@@ -22,6 +22,7 @@ use crate::fp::{self, EeaBufs};
 use crate::gen::Gen;
 use crate::monte_glue;
 use crate::point::{self, Family, PointBufs, PointCfg};
+use crate::xdh;
 use ule_curves::params::{Curve, CurveId, CurveKind};
 use ule_isa::asm::Program;
 use ule_isa::reg::Reg;
@@ -78,6 +79,11 @@ pub struct Suite {
 /// generated program fails to link (a builder bug).
 pub fn build_suite(curve: &Curve, arch: Arch) -> Suite {
     let id = curve.id();
+    if id.is_mont() {
+        // The X25519/X448 Montgomery-ladder suite is a separate program
+        // image (entry `main_xdh`, no ECDSA protocol layer).
+        return build_xdh_suite(curve, arch);
+    }
     match (arch, id.is_binary()) {
         (Arch::Monte, true) => panic!("Monte accelerates prime fields only"),
         (Arch::Billie, false) => panic!("Billie accelerates binary fields only"),
@@ -86,6 +92,7 @@ pub fn build_suite(curve: &Curve, arch: Arch) -> Suite {
     let k = match curve.kind() {
         CurveKind::Prime(c) => c.field().k(),
         CurveKind::Binary(c) => c.field().k(),
+        CurveKind::Mont(_) => unreachable!("handled above"),
     };
     let kn = curve.n().bit_len().div_ceil(32);
     assert_eq!(k, kn, "the study's curves all have k == kn");
@@ -160,6 +167,7 @@ pub fn build_suite(curve: &Curve, arch: Arch) -> Suite {
         CurveKind::Binary(c) => Family::Binary {
             a_is_one: !c.a().is_zero(),
         },
+        CurveKind::Mont(_) => unreachable!("handled above"),
     };
     let cfg = PointCfg {
         family,
@@ -175,6 +183,7 @@ pub fn build_suite(curve: &Curve, arch: Arch) -> Suite {
     let mont_p = match curve.kind() {
         CurveKind::Prime(c) => Some(Montgomery::new(c.field().modulus())),
         CurveKind::Binary(_) => None,
+        CurveKind::Mont(_) => unreachable!("handled above"),
     };
     match (arch, curve.kind()) {
         (Arch::Baseline, CurveKind::Prime(c)) => {
@@ -290,6 +299,206 @@ pub fn build_suite(curve: &Curve, arch: Arch) -> Suite {
         curve_id: id,
         k,
         kn,
+    }
+}
+
+/// Builds the Montgomery-ladder (X25519/X448) program image: entry
+/// `main_xdh` computes the RFC 7748 shared secret from the raw scalar in
+/// `arg_k` and the reduced peer `u`-coordinate in `arg_qx` into `out_r`,
+/// plus the usual field micro-entries for differential testing.
+///
+/// # Panics
+///
+/// Panics when paired with Billie (the X primes live in GF(p)) or if the
+/// generated program fails to link.
+fn build_xdh_suite(curve: &Curve, arch: Arch) -> Suite {
+    let id = curve.id();
+    assert!(
+        arch != Arch::Billie,
+        "Billie accelerates binary fields only"
+    );
+    let mc = curve.mont();
+    let f = mc.field();
+    let k = f.k();
+    let kn = curve.n().bit_len().div_ceil(32);
+
+    let mut g = Gen::new();
+
+    // ---- RAM layout -------------------------------------------------
+    let kw = k as u32;
+    let bufs = xdh::XdhBufs {
+        arg_k: g.a.ram_alloc("arg_k", kw),
+        arg_qx: g.a.ram_alloc("arg_qx", kw),
+        arg_qy: g.a.ram_alloc("arg_qy", kw),
+        out_r: g.a.ram_alloc("out_r", kw),
+        xk: g.a.ram_alloc("xdh_k", kw),
+        x1: g.a.ram_alloc("xdh_x1", kw),
+        x2: g.a.ram_alloc("xdh_x2", kw),
+        z2: g.a.ram_alloc("xdh_z2", kw),
+        x3: g.a.ram_alloc("xdh_x3", kw),
+        z3: g.a.ram_alloc("xdh_z3", kw),
+        t: [
+            g.a.ram_alloc("xdh_t1", kw),
+            g.a.ram_alloc("xdh_t2", kw),
+            g.a.ram_alloc("xdh_t3", kw),
+            g.a.ram_alloc("xdh_t4", kw),
+            g.a.ram_alloc("xdh_t5", kw),
+            g.a.ram_alloc("xdh_t6", kw),
+            g.a.ram_alloc("xdh_t7", kw),
+            g.a.ram_alloc("xdh_t8", kw),
+        ],
+    };
+    let wide = g.a.ram_alloc("wide", 2 * kw + 2);
+    let cfg = xdh::XdhCfg {
+        k,
+        bits: mc.ladder_bits(),
+        bufs,
+    };
+
+    // ---- entry points (micro entries; `main_xdh` comes with the suite)
+    emit_xdh_entries(&mut g, &bufs);
+
+    // ---- architecture bindings --------------------------------------
+    let mont_p = Montgomery::new(f.modulus());
+    match arch {
+        Arch::Baseline | Arch::IsaExt => {
+            let acc = g.a.ram_alloc("fred_acc", kw + 2);
+            let eea = EeaBufs {
+                u: g.a.ram_alloc("eea_u", kw + 1),
+                v: g.a.ram_alloc("eea_v", kw + 1),
+                x1: g.a.ram_alloc("eea_x1", kw + 1),
+                x2: g.a.ram_alloc("eea_x2", kw + 1),
+            };
+            fp::emit_fadd(&mut g, "fadd", k, "const_p");
+            fp::emit_fsub(&mut g, "fsub", k, "const_p");
+            if arch == Arch::IsaExt {
+                fp::emit_fmul_ps_ext(&mut g, "fmul", k, wide, "fred");
+                fp::emit_fsqr_ps_ext(&mut g, "fsqr", k, wide, "fred");
+            } else {
+                fp::emit_fmul_os(&mut g, "fmul", k, wide, "fred");
+                // fsqr = fmul(a, a)
+                g.a.label("fsqr");
+                g.a.j("fmul");
+                g.a.mov(Reg::A2, Reg::A1); // delay slot
+            }
+            fp::emit_fred(&mut g, "fred", f, acc, "const_p");
+            fp::emit_eea_inv(&mut g, "eea_int", k, eea);
+            emit_prime_finv_binding(&mut g);
+            emit_noop_sync(&mut g);
+            emit_plain_domain(&mut g);
+            // a24 multiply: a plain field multiply by the ROM constant.
+            g.a.label("fmula24");
+            g.a.la(Reg::A2, "const_a24");
+            g.a.j("fmul");
+            g.a.nop();
+            g.a.label("arch_init");
+            g.a.ret();
+        }
+        Arch::Monte => {
+            let monte_n = g.a.ram_alloc("monte_n", kw);
+            let fermat_r = g.a.ram_alloc("fermat_r", kw);
+            let fermat_b = g.a.ram_alloc("fermat_b", kw);
+            let xp = mc.prime();
+            monte_glue::emit_monte_init_with(
+                &mut g,
+                k,
+                mont_p.n0_prime(),
+                monte_n,
+                &monte_glue::MONTE_XDH_RAM_CONSTANTS,
+                Some((
+                    xp.a24() as u32,
+                    xp.fold_delta() as u32,
+                    xp.fold_second_offset() as u32,
+                )),
+            );
+            monte_glue::emit_monte_field_ops(&mut g);
+            monte_glue::emit_monte_fmula24(&mut g);
+            let pm2 = f.modulus().sub(&Mp::from_u64(2));
+            monte_glue::emit_monte_finv(&mut g, pm2.bit_len(), fermat_r, fermat_b);
+        }
+        Arch::Billie => unreachable!("rejected above"),
+    }
+
+    // Shared helpers and the ladder itself.
+    emit_fisz(&mut g, k);
+    fp::emit_fcopy(&mut g, "fcopy", k);
+    xdh::emit_xdh_suite(&mut g, &cfg);
+
+    // ---- constants --------------------------------------------------
+    let p = f.modulus();
+    g.a.data_label("const_p");
+    g.a.words(&p.to_limbs(k));
+    if arch == Arch::Monte {
+        for (ram, _) in monte_glue::MONTE_XDH_RAM_CONSTANTS {
+            g.a.ram_alloc(ram, kw);
+        }
+        g.a.data_label("rom_one");
+        g.a.words(&mont_p.to_mont(&Mp::one().to_limbs(k)));
+        g.a.data_label("rom_zero");
+        g.a.words(&vec![0u32; k]);
+        g.a.data_label("rom_r2p");
+        g.a.words(mont_p.r2());
+        g.a.data_label("rom_intone");
+        g.a.words(&Mp::one().to_limbs(k));
+        g.a.data_label("const_pm2");
+        g.a.words(&p.sub(&Mp::from_u64(2)).to_limbs(k));
+    } else {
+        g.a.data_label("const_one");
+        g.a.words(&Mp::one().to_limbs(k));
+        g.a.data_label("const_zero");
+        g.a.words(&vec![0u32; k]);
+        g.a.data_label("const_a24");
+        g.a.words(&Mp::from_u64(mc.prime().a24()).to_limbs(k));
+    }
+
+    let program = g.a.link("main_xdh").expect("xdh suite must link");
+    Suite {
+        program,
+        arch,
+        curve_id: id,
+        k,
+        kn,
+    }
+}
+
+/// The field micro-entries of the XDH image (same labels and marshalling
+/// as the ECDSA suites, so the differential fuzzer drives both kinds of
+/// image identically).
+fn emit_xdh_entries(g: &mut Gen, b: &xdh::XdhBufs) {
+    let ft = b.t;
+    let (aq_x, aq_y, out_r) = (b.arg_qx, b.arg_qy, b.out_r);
+    for (entry, op, binary_op) in [
+        ("main_fmul", "fmul", true),
+        ("main_fadd", "fadd", true),
+        ("main_fsub", "fsub", true),
+        ("main_fsqr", "fsqr", false),
+        ("main_finv", "finv", false),
+    ] {
+        g.a.label(entry);
+        g.a.jal("arch_init");
+        g.a.nop();
+        g.a.li(Reg::A0, ft[0] as i64);
+        g.a.li(Reg::A1, aq_x as i64);
+        g.a.jal("fin");
+        g.a.nop();
+        if binary_op {
+            g.a.li(Reg::A0, ft[1] as i64);
+            g.a.li(Reg::A1, aq_y as i64);
+            g.a.jal("fin");
+            g.a.nop();
+        }
+        g.a.li(Reg::A0, ft[2] as i64);
+        g.a.li(Reg::A1, ft[0] as i64);
+        if binary_op {
+            g.a.li(Reg::A2, ft[1] as i64);
+        }
+        g.a.jal(op);
+        g.a.nop();
+        g.a.li(Reg::A0, out_r as i64);
+        g.a.li(Reg::A1, ft[2] as i64);
+        g.a.jal("fout");
+        g.a.nop();
+        g.a.brk(0);
     }
 }
 
@@ -620,6 +829,7 @@ fn emit_constants(
             g.a.data_label("spread_tbl");
             g.a.words(&f2m::spread_table_words());
         }
+        CurveKind::Mont(_) => unreachable!("the XDH suite emits its own constants"),
     }
     if !in_domain {
         g.a.data_label("const_zero");

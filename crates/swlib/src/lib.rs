@@ -17,6 +17,11 @@
 //! * [`Arch::Billie`] — binary-field scalar multiplication living in
 //!   Billie's register file (§5.5).
 //!
+//! For the X25519/X448 workloads the [`xdh`] module emits the RFC 7748
+//! Montgomery-ladder suite against the same field-routine bindings, so
+//! one ladder-step skeleton serves every architecture and both special
+//! primes.
+//!
 //! Every routine is differentially tested against the `ule-mpmath` /
 //! `ule-curves` host reference on the simulator.
 
@@ -31,5 +36,6 @@ pub mod gen;
 pub mod harness;
 pub mod monte_glue;
 pub mod point;
+pub mod xdh;
 
 pub use builder::{build_suite, Arch, Suite};

@@ -34,6 +34,16 @@ const RA: Reg = Reg::RA;
 pub const CTRL_K: u8 = 0;
 /// Control register holding `n0'`.
 pub const CTRL_N0: u8 = 1;
+/// Operation mode: nonzero routes `cop2mul` to the special-form
+/// constant-multiply microprogram (the X25519/X448 fold extension).
+pub const CTRL_FOLD_MODE: u8 = 2;
+/// The fold constant multiplier `c` (the ladder coefficient `a24`).
+pub const CTRL_FOLD_C: u8 = 3;
+/// The fold multiplier `δ` (38 for 2^255−19, 1 for 2^448−2^224−1).
+pub const CTRL_FOLD_DELTA: u8 = 4;
+/// Limb offset of the second fold injection point (0 = none, 7 for
+/// 2^448−2^224−1).
+pub const CTRL_FOLD_OFF: u8 = 5;
 
 /// The constants a Monte program must have resident in shared RAM
 /// (Monte's DMA reaches only the dual-port RAM, §5.4): each pair is
@@ -49,10 +59,35 @@ pub const MONTE_RAM_CONSTANTS: [(&str, &str); 6] = [
     ("const_int_one", "rom_intone"),
 ];
 
+/// The RAM-resident constants of the Montgomery-ladder (XDH) suite: no
+/// generator point (the base `u` arrives as an argument), otherwise the
+/// same domain machinery.
+pub const MONTE_XDH_RAM_CONSTANTS: [(&str, &str); 4] = [
+    ("const_one", "rom_one"),
+    ("const_zero", "rom_zero"),
+    ("const_r2p", "rom_r2p"),
+    ("const_int_one", "rom_intone"),
+];
+
 /// Emits `arch_init` for Monte: configure the control registers, copy the
 /// field modulus and the RAM-resident constants out of ROM, and DMA the
 /// modulus into Monte's N buffer.
 pub fn emit_monte_init(g: &mut Gen, k: usize, n0_prime: u32, monte_n_buf: u32) {
+    emit_monte_init_with(g, k, n0_prime, monte_n_buf, &MONTE_RAM_CONSTANTS, None);
+}
+
+/// [`emit_monte_init`] with an explicit RAM-constant list and optional
+/// special-form fold parameters `(c, δ, second_offset)` for the
+/// X25519/X448 extension (preloaded once; `fmula24` only toggles the
+/// mode register per call).
+pub fn emit_monte_init_with(
+    g: &mut Gen,
+    k: usize,
+    n0_prime: u32,
+    monte_n_buf: u32,
+    ram_constants: &[(&str, &str)],
+    fold: Option<(u32, u32, u32)>,
+) {
     g.a.label("arch_init");
     g.a.addiu(Reg::SP, Reg::SP, -8);
     g.a.sw(RA, 4, Reg::SP);
@@ -60,6 +95,14 @@ pub fn emit_monte_init(g: &mut Gen, k: usize, n0_prime: u32, monte_n_buf: u32) {
     g.a.ctc2(T0, CTRL_K);
     g.a.li(T0, n0_prime as i64);
     g.a.ctc2(T0, CTRL_N0);
+    if let Some((c, delta, off)) = fold {
+        g.a.li(T0, c as i64);
+        g.a.ctc2(T0, CTRL_FOLD_C);
+        g.a.li(T0, delta as i64);
+        g.a.ctc2(T0, CTRL_FOLD_DELTA);
+        g.a.li(T0, off as i64);
+        g.a.ctc2(T0, CTRL_FOLD_OFF);
+    }
     // Copy p from ROM into shared RAM, then load it into Monte.
     g.a.li(A0, monte_n_buf as i64);
     g.a.la(A1, "const_p");
@@ -69,7 +112,7 @@ pub fn emit_monte_init(g: &mut Gen, k: usize, n0_prime: u32, monte_n_buf: u32) {
     g.a.cop2ldn(T0);
     g.a.cop2sync();
     // Populate the RAM-resident constants.
-    for (ram, rom) in MONTE_RAM_CONSTANTS {
+    for &(ram, rom) in ram_constants {
         g.a.la(A0, ram);
         g.a.la(A1, rom);
         g.a.jal("fcopy");
@@ -77,6 +120,23 @@ pub fn emit_monte_init(g: &mut Gen, k: usize, n0_prime: u32, monte_n_buf: u32) {
     }
     g.a.lw(RA, 4, Reg::SP);
     g.a.addiu(Reg::SP, Reg::SP, 8);
+    g.a.ret();
+}
+
+/// Emits the `fmula24` binding for Monte: multiply by the preloaded
+/// ladder constant through the special-form fold microprogram — `O(k)`
+/// cycles instead of a full `O(k²)` CIOS pass. Flips the mode register
+/// around a single `cop2mul`, so the surrounding command stream still
+/// queues and forwards normally.
+pub fn emit_monte_fmula24(g: &mut Gen) {
+    g.a.label("fmula24");
+    g.a.li(T0, 1);
+    g.a.ctc2(T0, CTRL_FOLD_MODE);
+    g.a.cop2lda(A1);
+    g.a.cop2mul();
+    g.a.cop2st(A0);
+    g.a.li(T0, 0);
+    g.a.ctc2(T0, CTRL_FOLD_MODE);
     g.a.ret();
 }
 

@@ -1,0 +1,321 @@
+//! RFC 7748 Montgomery-ladder codegen (`main_xdh`).
+//!
+//! One ladder-step skeleton, written against the *bound field-routine
+//! labels* (`fmul`/`fsqr`/`fadd`/`fsub`/`finv`/`fin`/`fout`/`fsync`),
+//! serves every supported configuration: the builder binds those labels
+//! to the baseline software routines, the ISA-extended ones, or Monte
+//! COP2 command sequences — the same parameterization trick as
+//! [`crate::point`], so the two field forms (2^255−19 and
+//! 2^448−2^224−1) share all of the ladder code and differ only in the
+//! emitted constants and widths.
+//!
+//! Kernel contract (mirrored bit-for-bit by
+//! `ule_curves::montgomery::MontCurve`):
+//!
+//! * `arg_k` holds the **raw** scalar; `xdh_clamp` applies the RFC 7748
+//!   clamp in place of the host's byte-level clamp (same bits, word
+//!   ops), so the ladder's iteration count is a build-time constant
+//!   (255 / 448) anchored at the forced top bit;
+//! * `arg_qx` holds the peer's `u`-coordinate already decoded and
+//!   reduced mod p (byte-level masking is host-side marshalling);
+//! * `cswap` is a branch-free masked XOR swap
+//!   (`mask = 0 − bit; t = mask & (a[i] ^ b[i])`), executed every
+//!   iteration regardless of the bit — the constant-pattern contract;
+//! * the result is `x2 · z2^(p−2)`; a low-order peer point collapses
+//!   `z2` to zero and the kernel writes the all-zero secret (checked
+//!   via `fisz`, which synchronizes with the accelerator), which the
+//!   protocol layer rejects — the EEA-based `finv` binding is never fed
+//!   zero.
+
+use crate::gen::{emit_zero_words, Gen};
+use ule_isa::reg::Reg;
+
+const A0: Reg = Reg::A0;
+const A1: Reg = Reg::A1;
+const A2: Reg = Reg::A2;
+const V0: Reg = Reg::V0;
+const T0: Reg = Reg::T0;
+const T1: Reg = Reg::T1;
+const T2: Reg = Reg::T2;
+const T3: Reg = Reg::T3;
+const T4: Reg = Reg::T4;
+const T5: Reg = Reg::T5;
+const T9: Reg = Reg::T9;
+const S0: Reg = Reg::S0;
+const S1: Reg = Reg::S1;
+const S2: Reg = Reg::S2;
+const ZERO: Reg = Reg::ZERO;
+
+/// RAM buffers of the ladder suite (allocated by the builder).
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs)]
+pub struct XdhBufs {
+    /// Raw scalar argument (k words, little-endian).
+    pub arg_k: u32,
+    /// Peer `u`-coordinate argument (reduced mod p).
+    pub arg_qx: u32,
+    /// Second field-operand argument (micro entries only).
+    pub arg_qy: u32,
+    /// Shared-secret output.
+    pub out_r: u32,
+    /// Clamped scalar.
+    pub xk: u32,
+    /// Ladder state: the fixed `u` plus the two running points.
+    pub x1: u32,
+    pub x2: u32,
+    pub z2: u32,
+    pub x3: u32,
+    pub z3: u32,
+    /// Field temporaries for the ladder step.
+    pub t: [u32; 8],
+}
+
+/// Everything the ladder codegen needs.
+#[derive(Clone, Copy, Debug)]
+pub struct XdhCfg {
+    /// Field element width in words (8 / 14).
+    pub k: usize,
+    /// Ladder iteration count == prime bit length (255 / 448).
+    pub bits: usize,
+    /// The buffers.
+    pub bufs: XdhBufs,
+}
+
+/// Emits argument setup plus `jal routine; nop` (the [`crate::point`]
+/// calling idiom: `a0` = destination, `a1`/`a2` = sources).
+fn fcall(g: &mut Gen, routine: &str, args: &[(Reg, u32)]) {
+    for &(reg, addr) in args {
+        g.a.li(reg, addr as i64);
+    }
+    g.a.jal(routine);
+    g.a.nop();
+}
+
+fn mul(g: &mut Gen, dst: u32, s1: u32, s2: u32) {
+    fcall(g, "fmul", &[(A0, dst), (A1, s1), (A2, s2)]);
+}
+fn sqr(g: &mut Gen, dst: u32, s1: u32) {
+    fcall(g, "fsqr", &[(A0, dst), (A1, s1)]);
+}
+fn add(g: &mut Gen, dst: u32, s1: u32, s2: u32) {
+    fcall(g, "fadd", &[(A0, dst), (A1, s1), (A2, s2)]);
+}
+fn sub(g: &mut Gen, dst: u32, s1: u32, s2: u32) {
+    fcall(g, "fsub", &[(A0, dst), (A1, s1), (A2, s2)]);
+}
+fn copy(g: &mut Gen, dst: u32, s1: u32) {
+    fcall(g, "fcopy", &[(A0, dst), (A1, s1)]);
+}
+
+/// Emits `cswap`: branch-free conditional swap of two k-word buffers.
+///
+/// `a0` = first buffer, `a1` = second, `a2` = the swap bit (0 or 1).
+/// `mask = 0 − bit` is all-ones or all-zero; every word of both buffers
+/// is read, XOR-masked, and written back regardless of the bit, so the
+/// memory-access pattern is independent of the scalar. Leaf routine;
+/// clobbers `t0..t5`, `t9`.
+pub fn emit_cswap(g: &mut Gen, label: &str, k: usize) {
+    let loop_l = g.sym("cswap_l");
+    g.a.label(label);
+    g.a.subu(T5, ZERO, A2);
+    g.a.mov(T3, A0);
+    g.a.mov(T4, A1);
+    g.a.li(T9, k as i64);
+    g.a.label(&loop_l);
+    g.a.lw(T0, 0, T3);
+    g.a.lw(T1, 0, T4);
+    g.a.xor(T2, T0, T1);
+    g.a.and(T2, T2, T5);
+    g.a.xor(T0, T0, T2);
+    g.a.xor(T1, T1, T2);
+    g.a.sw(T0, 0, T3);
+    g.a.sw(T1, 0, T4);
+    g.a.addiu(T3, T3, 4);
+    g.a.addiu(T4, T4, 4);
+    g.a.addiu(T9, T9, -1);
+    g.a.bne(T9, ZERO, &loop_l);
+    g.a.nop();
+    g.a.ret();
+}
+
+/// Emits `xdh_clamp`: copy `arg_k` into `xk`, then apply the RFC 7748
+/// clamp with word operations — X25519 clears the 3 low bits and bit
+/// 255 and sets bit 254; X448 clears the 2 low bits and sets bit 447.
+fn emit_clamp(g: &mut Gen, cfg: &XdhCfg) {
+    let b = &cfg.bufs;
+    let frame = {
+        g.a.label("xdh_clamp");
+        g.prologue(&[])
+    };
+    copy(g, b.xk, b.arg_k);
+    g.a.li(T4, b.xk as i64);
+    // Low word: clear the cofactor bits.
+    let low_clear = if cfg.bits == 255 { 3 } else { 2 };
+    g.a.lw(T0, 0, T4);
+    g.a.srl(T0, T0, low_clear);
+    g.a.sll(T0, T0, low_clear);
+    g.a.sw(T0, 0, T4);
+    // Top word: force the fixed ladder anchor bit.
+    let top_off = (4 * (cfg.k - 1)) as i16;
+    g.a.lw(T0, top_off, T4);
+    if cfg.bits == 255 {
+        // clear bit 31 of word 7, set bit 30.
+        g.a.sll(T0, T0, 1);
+        g.a.srl(T0, T0, 1);
+        g.a.lui(T1, 0x4000);
+    } else {
+        // set bit 31 of word 13.
+        g.a.lui(T1, 0x8000);
+    }
+    g.a.or(T0, T0, T1);
+    g.a.sw(T0, top_off, T4);
+    g.epilogue(&[], frame);
+}
+
+/// Emits `xdh_step`: one RFC 7748 ladder step over the bound field
+/// routines — 5 mul + 4 sqr + the `a24` constant multiplication +
+/// 4 add + 4 sub, the same fixed pattern every iteration.
+fn emit_step(g: &mut Gen, cfg: &XdhCfg) {
+    let b = cfg.bufs;
+    let [t1, t2, t3, t4, t5, t6, t7, t8] = b.t;
+    let frame = {
+        g.a.label("xdh_step");
+        g.prologue(&[])
+    };
+    add(g, t1, b.x2, b.z2); // A  = x2 + z2
+    sub(g, t2, b.x2, b.z2); // B  = x2 - z2
+    sqr(g, t3, t1); //          AA = A^2
+    sqr(g, t4, t2); //          BB = B^2
+    mul(g, b.x2, t3, t4); //    x2 = AA * BB
+    sub(g, t5, t3, t4); //      E  = AA - BB
+    add(g, t6, b.x3, b.z3); //  C  = x3 + z3
+    sub(g, t7, b.x3, b.z3); //  D  = x3 - z3
+    mul(g, t7, t7, t1); //      DA = D * A
+    mul(g, t6, t6, t2); //      CB = C * B
+    add(g, t8, t7, t6); //      DA + CB
+    sqr(g, b.x3, t8); //        x3 = (DA + CB)^2
+    sub(g, t8, t7, t6); //      DA - CB
+    sqr(g, t8, t8); //          (DA - CB)^2
+    mul(g, b.z3, b.x1, t8); //  z3 = x1 * (DA - CB)^2
+
+    // z2 = E * (AA + a24 * E); the a24 multiply goes through the
+    // arch-bound `fmula24` (Monte's special-form fold microprogram, or
+    // a plain `fmul` by `const_a24` on the software tiers).
+    fcall(g, "fmula24", &[(A0, t8), (A1, t5)]);
+    // dst must alias the FIRST operand (fadd copies a over dst before
+    // adding b), so t8 += AA is written t8 = t8 + t3.
+    add(g, t8, t8, t3);
+    mul(g, b.z2, t5, t8);
+    g.epilogue(&[], frame);
+}
+
+/// Emits `xdh_ladder`: the fixed-iteration ladder driver. Processes
+/// scalar bits `bits−1 .. 0`, maintaining the RFC swap variable so each
+/// iteration performs exactly one pair of cswaps and one ladder step;
+/// ends with the final cswap pair.
+fn emit_ladder(g: &mut Gen, cfg: &XdhCfg) {
+    let b = cfg.bufs;
+    let saved = [S0, S1, S2];
+    let loop_l = g.sym("xdh_bit");
+    g.a.label("xdh_ladder");
+    let frame = g.prologue(&saved);
+    g.a.li(S0, (cfg.bits - 1) as i64);
+    g.a.li(S1, 0);
+    g.a.label(&loop_l);
+    // kt = bit S0 of the clamped scalar.
+    g.a.srl(T0, S0, 5);
+    g.a.sll(T0, T0, 2);
+    g.a.li(T1, b.xk as i64);
+    g.a.addu(T0, T0, T1);
+    g.a.lw(T0, 0, T0);
+    g.a.andi(T1, S0, 31);
+    g.a.srlv(T0, T0, T1);
+    g.a.andi(S2, T0, 1);
+    // swap ^= kt; cswap both point pairs; swap = kt.
+    g.a.xor(S1, S1, S2);
+    // Pete reads accelerator-written state: drain Monte first.
+    g.a.jal("fsync");
+    g.a.nop();
+    g.a.li(A0, b.x2 as i64);
+    g.a.li(A1, b.x3 as i64);
+    g.a.mov(A2, S1);
+    g.a.jal("cswap");
+    g.a.nop();
+    g.a.li(A0, b.z2 as i64);
+    g.a.li(A1, b.z3 as i64);
+    g.a.mov(A2, S1);
+    g.a.jal("cswap");
+    g.a.nop();
+    g.a.mov(S1, S2);
+    g.a.jal("xdh_step");
+    g.a.nop();
+    g.a.addiu(S0, S0, -1);
+    g.a.bgez(S0, &loop_l);
+    g.a.nop();
+    // Final conditional swap.
+    g.a.jal("fsync");
+    g.a.nop();
+    g.a.li(A0, b.x2 as i64);
+    g.a.li(A1, b.x3 as i64);
+    g.a.mov(A2, S1);
+    g.a.jal("cswap");
+    g.a.nop();
+    g.a.li(A0, b.z2 as i64);
+    g.a.li(A1, b.z3 as i64);
+    g.a.mov(A2, S1);
+    g.a.jal("cswap");
+    g.a.nop();
+    g.epilogue(&saved, frame);
+}
+
+/// Emits the complete ladder suite: `cswap`, `xdh_clamp`, `xdh_step`,
+/// `xdh_ladder`, and the `main_xdh` entry (arch init, clamp, ladder,
+/// final inversion, output).
+pub fn emit_xdh_suite(g: &mut Gen, cfg: &XdhCfg) {
+    let b = cfg.bufs;
+    let zero_out = g.sym("xdh_zero");
+    let done = g.sym("xdh_done");
+    g.a.label("main_xdh");
+    g.a.jal("arch_init");
+    g.a.nop();
+    g.a.jal("xdh_clamp");
+    g.a.nop();
+    // x1 = fin(arg_qx); (x2,z2) = (1,0); (x3,z3) = (x1,1) — all in the
+    // active domain (const_one is the Montgomery-domain one on Monte).
+    fcall(g, "fin", &[(A0, b.x1), (A1, b.arg_qx)]);
+    copy(g, b.x3, b.x1);
+    fcall(g, "fcopy", &[(A0, b.x2)]);
+    g.a.la(A1, "const_one");
+    g.a.jal("fcopy");
+    g.a.nop();
+    fcall(g, "fcopy", &[(A0, b.z2)]);
+    g.a.la(A1, "const_zero");
+    g.a.jal("fcopy");
+    g.a.nop();
+    fcall(g, "fcopy", &[(A0, b.z3)]);
+    g.a.la(A1, "const_one");
+    g.a.jal("fcopy");
+    g.a.nop();
+    g.a.jal("xdh_ladder");
+    g.a.nop();
+    // Low-order peer point: z2 == 0, emit the all-zero secret (the
+    // protocol layer rejects it) without feeding zero to finv.
+    fcall(g, "fisz", &[(A0, b.z2)]);
+    g.a.bne(V0, ZERO, &zero_out);
+    g.a.nop();
+    fcall(g, "finv", &[(A0, b.t[0]), (A1, b.z2)]);
+    mul(g, b.t[1], b.x2, b.t[0]);
+    fcall(g, "fout", &[(A0, b.out_r), (A1, b.t[1])]);
+    g.a.b(&done);
+    g.a.nop();
+    g.a.label(&zero_out);
+    g.a.li(T0, b.out_r as i64);
+    emit_zero_words(g, T0, cfg.k);
+    g.a.label(&done);
+    g.a.brk(0);
+
+    emit_cswap(g, "cswap", cfg.k);
+    emit_clamp(g, cfg);
+    emit_step(g, cfg);
+    emit_ladder(g, cfg);
+}

@@ -63,6 +63,7 @@ fn host_double(curve: &Curve, x: &[u32], y: &[u32], k: usize) -> (Vec<u32>, Vec<
             let d = c.affine_double(&p);
             binary_xy(&d, k)
         }
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 
@@ -85,6 +86,7 @@ fn host_add(
             let q = AffinePoint2m::new(c.field().from_limbs(x2), c.field().from_limbs(y2));
             binary_xy(&c.affine_add(&p, &q), k)
         }
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 
@@ -92,6 +94,7 @@ fn generator_xy(curve: &Curve, k: usize) -> (Vec<u32>, Vec<u32>) {
     match curve.kind() {
         CurveKind::Prime(c) => prime_xy(curve, &c.generator(), k),
         CurveKind::Binary(c) => binary_xy(&c.generator(), k),
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 
@@ -99,6 +102,7 @@ fn host_mul_g(curve: &Curve, s: &Mp, k: usize) -> (Vec<u32>, Vec<u32>) {
     match curve.kind() {
         CurveKind::Prime(c) => prime_xy(curve, &scalar::mul_window(c, s, &c.generator()), k),
         CurveKind::Binary(c) => binary_xy(&scalar::mul_window(c, s, &c.generator()), k),
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 
@@ -117,6 +121,7 @@ fn point_double_and_add_match_host() {
         let k = match curve.kind() {
             CurveKind::Prime(c) => c.field().k(),
             CurveKind::Binary(c) => c.field().k(),
+            CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
         };
         let (gx, gy) = generator_xy(&curve, k);
         // 3G as the second operand (distinct from G).
@@ -154,6 +159,7 @@ fn scalar_mul_matches_host() {
         let k = match curve.kind() {
             CurveKind::Prime(c) => c.field().k(),
             CurveKind::Binary(c) => c.field().k(),
+            CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
         };
         // A full-width scalar.
         let s = ecdsa::derive_scalar(&curve, b"scalar-mul diff", b"k");
@@ -177,6 +183,7 @@ fn twin_mul_matches_host() {
         let k = match curve.kind() {
             CurveKind::Prime(c) => c.field().k(),
             CurveKind::Binary(c) => c.field().k(),
+            CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
         };
         let u1 = ecdsa::derive_scalar(&curve, b"twin u1", b"k");
         let u2 = ecdsa::derive_scalar(&curve, b"twin u2", b"k");
@@ -196,6 +203,7 @@ fn twin_mul_matches_host() {
                 let q = AffinePoint2m::new(c.field().from_limbs(&qx), c.field().from_limbs(&qy));
                 binary_xy(&scalar::twin_mul(c, &u1, &c.generator(), &u2, &q), k)
             }
+            CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
         };
         for arch in archs_for(id) {
             let suite = build_suite(&curve, arch);
@@ -223,6 +231,7 @@ fn ecdsa_sign_verify_match_host() {
         let k = match curve.kind() {
             CurveKind::Prime(c) => c.field().k(),
             CurveKind::Binary(c) => c.field().k(),
+            CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
         };
         let keys = Keypair::derive(&curve, b"simulated signer");
         let e = ecdsa::hash_to_scalar(&curve, b"message for the target");

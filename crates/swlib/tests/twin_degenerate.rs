@@ -37,6 +37,7 @@ fn field_words(curve: &Curve) -> usize {
     match curve.kind() {
         CurveKind::Prime(c) => c.field().k(),
         CurveKind::Binary(c) => c.field().k(),
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 
@@ -74,6 +75,7 @@ fn host_twin(curve: &Curve, u1: &Mp, u2: &Mp, qx: &[u32], qy: &[u32]) -> (Vec<u3
             let q = AffinePoint2m::new(c.field().from_limbs(qx), c.field().from_limbs(qy));
             binary_xy(&scalar::twin_mul(c, u1, &c.generator(), u2, &q), k)
         }
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 
@@ -83,6 +85,7 @@ fn host_mul_g(curve: &Curve, d: &Mp) -> (Vec<u32>, Vec<u32>) {
     match curve.kind() {
         CurveKind::Prime(c) => prime_xy(&scalar::mul_window(c, d, &c.generator()), k),
         CurveKind::Binary(c) => binary_xy(&scalar::mul_window(c, d, &c.generator()), k),
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 

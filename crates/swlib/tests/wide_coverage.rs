@@ -33,6 +33,7 @@ fn curve_k(curve: &ule_curves::params::Curve) -> usize {
     match curve.kind() {
         CurveKind::Prime(c) => c.field().k(),
         CurveKind::Binary(c) => c.field().k(),
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 
@@ -46,6 +47,7 @@ fn host_mul_g(curve: &ule_curves::params::Curve, s: &Mp, k: usize) -> Vec<u32> {
             AffinePoint2m::Point { x, .. } => x.limbs().to_vec(),
             AffinePoint2m::Infinity => vec![0; k],
         },
+        CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
     }
 }
 
@@ -158,6 +160,7 @@ fn field_ops_every_curve_and_architecture() {
                         f.inv(&ea).unwrap().limbs().to_vec(),
                     )
                 }
+                CurveKind::Mont(_) => unreachable!("ECDSA coverage only"),
             };
         for arch in archs(id) {
             let suite = build_suite(&curve, arch);

@@ -64,7 +64,7 @@ impl CaseSelector {
         }
     }
 
-    fn matches(&self, label: &str) -> bool {
+    pub(crate) fn matches(&self, label: &str) -> bool {
         match self {
             CaseSelector::Random(i) => label == format!("random:{i}"),
             CaseSelector::Edge(name) => label == format!("edge:{name}"),
@@ -74,8 +74,9 @@ impl CaseSelector {
 }
 
 /// Deterministic per-case RNG: campaign seed, curve, and label are
-/// folded together, then splitmix64 scrambles.
-fn case_rng(seed: u64, id: CurveId, label: &str) -> Rng {
+/// folded together, then splitmix64 scrambles. Shared with the ladder
+/// corpus so both families replay from `(seed, curve, label)` alone.
+pub(crate) fn case_rng(seed: u64, id: CurveId, label: &str) -> Rng {
     let mut h = seed ^ ((id as u64).wrapping_add(1) << 40);
     for &b in label.as_bytes() {
         h = h.rotate_left(8) ^ b as u64 ^ h.wrapping_mul(0x9e37_79b9_7f4a_7c15);

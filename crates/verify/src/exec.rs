@@ -13,6 +13,28 @@ use ule_swlib::builder::{build_suite, Arch, Suite};
 use ule_swlib::harness::{read_buf, run_entry, write_buf, DEFAULT_MAX_CYCLES};
 
 use crate::corpus::Case;
+use crate::ladder::LadderCase;
+
+/// A corpus case of either family: the ECDSA sign/verify corpus or the
+/// RFC 7748 ladder corpus. Divergences carry this so one shrinker /
+/// report pipeline serves both paths.
+#[derive(Clone, Debug)]
+pub enum AnyCase {
+    /// An ECDSA sign/verify case.
+    Ecdsa(Case),
+    /// A Montgomery-ladder shared-secret case.
+    Ladder(LadderCase),
+}
+
+impl AnyCase {
+    /// The replay label (`random:3`, `edge:u=0`, …).
+    pub fn label(&self) -> &str {
+        match self {
+            AnyCase::Ecdsa(c) => &c.label,
+            AnyCase::Ladder(c) => &c.label,
+        }
+    }
+}
 
 /// One simulated configuration. The instruction cache is
 /// microarchitectural: the `*Icache` rows must produce bit-identical
@@ -217,6 +239,7 @@ impl CurveRig {
                 AffinePoint2m::Infinity => (vec![0; k], vec![0; k]),
                 AffinePoint2m::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
             },
+            CurveKind::Mont(_) => unreachable!("ladder curves use the ladder corpus"),
         }
     }
 
@@ -239,6 +262,7 @@ impl CurveRig {
                     AffinePoint2m::Point { x, y } => (x.limbs().to_vec(), y.limbs().to_vec()),
                 }
             }
+            CurveKind::Mont(_) => unreachable!("ladder curves use the ladder corpus"),
         }
     }
 
@@ -248,6 +272,7 @@ impl CurveRig {
         match self.curve.kind() {
             CurveKind::Prime(c) => c.x_as_integer(&scalar::mul_window(c, d, &c.generator())),
             CurveKind::Binary(c) => c.x_as_integer(&scalar::mul_window(c, d, &c.generator())),
+            CurveKind::Mont(_) => unreachable!("ladder curves use the ladder corpus"),
         }
     }
 }
@@ -345,7 +370,7 @@ pub struct Divergence {
     /// Simulator contents.
     pub sim: Vec<u32>,
     /// The full offending case (the shrinker replays it).
-    pub case: Case,
+    pub case: AnyCase,
 }
 
 /// Outcome of one case across its configurations.
@@ -392,7 +417,7 @@ impl Checker<'_> {
             tier: self.tier,
             host,
             sim,
-            case: self.case.clone(),
+            case: AnyCase::Ecdsa(self.case.clone()),
         });
     }
 }
@@ -570,7 +595,7 @@ pub fn tier_ab_check(rig: &CurveRig, case: &Case, cfg: ConfigKind) -> CaseOutcom
             tier: EngineTier::Fast,
             host: enc(m_ref),
             sim: enc(m_fast),
-            case: case.clone(),
+            case: AnyCase::Ecdsa(case.clone()),
         });
     }
     out

@@ -29,10 +29,18 @@
 //!   the range are re-rolled,
 //! - `main_scalar_mul` is never fed `k = 0` (its first window must
 //!   fire; `fig7_14` pins its raw cycle count, so it carries no guard).
+//!
+//! The two RFC 7748 curves (X25519/X448) run the ladder corpus instead
+//! (see [`ladder`]): `main_xdh` shared secrets are cross-checked
+//! against the host [`ule_curves::montgomery::MontCurve`] ladder on
+//! every prime-field configuration, with the same seeded replay labels
+//! and one-line reproducers. The ladder accepts every input, so the
+//! negative corpus does not apply there.
 
 pub mod batch_oracle;
 pub mod corpus;
 pub mod exec;
+pub mod ladder;
 pub mod shrink;
 
 use std::fmt::Write as _;
@@ -41,7 +49,8 @@ use ule_curves::params::CurveId;
 
 pub use batch_oracle::{run_batch_oracle, BatchOracleConfig, BatchOracleReport};
 pub use corpus::{Case, CaseSelector};
-pub use exec::{ConfigKind, CurveRig, Divergence, TierPolicy};
+pub use exec::{AnyCase, ConfigKind, CurveRig, Divergence, TierPolicy};
+pub use ladder::LadderCase;
 pub use shrink::ShrunkDivergence;
 
 /// One campaign: corpus size, scope, and fault-injection switches.
@@ -51,7 +60,8 @@ pub struct Campaign {
     pub seed: u64,
     /// Random cases per curve before per-curve cost tiering.
     pub iters: usize,
-    /// Curves to cover (default: all ten).
+    /// Curves to cover (default: the ten ECDSA study curves plus the
+    /// two RFC 7748 ladder curves, which run the ladder corpus).
     pub curves: Vec<CurveId>,
     /// Include the deterministic adversarial edge corpus.
     pub edge: bool,
@@ -70,12 +80,14 @@ pub struct Campaign {
 }
 
 impl Campaign {
-    /// A fresh campaign over all ten curves with the full corpus.
+    /// A fresh campaign over all twelve curves with the full corpus.
     pub fn new(seed: u64, iters: usize) -> Campaign {
+        let mut curves = CurveId::ALL.to_vec();
+        curves.extend(CurveId::XCURVES);
         Campaign {
             seed,
             iters,
-            curves: CurveId::ALL.to_vec(),
+            curves,
             edge: true,
             negative: true,
             inject_fault: false,
@@ -184,26 +196,15 @@ pub fn run_campaign(campaign: &Campaign) -> Report {
                 report.configs.push(label);
             }
         }
-        let cases = corpus::build_corpus(
-            &rig,
-            campaign.seed,
-            tiered_iters(id, campaign.iters),
-            campaign.edge,
-            campaign.negative,
-            campaign.only_case.as_ref(),
-        );
         let mut tally = CurveTally {
             curve: id,
             cases: 0,
             sim_runs: 0,
         };
-        ule_obs::progress::add_total(cases.len() as u64);
-        for (case_index, case) in cases.iter().enumerate() {
-            let tier = campaign.tier.for_case(case_index);
-            let progress =
-                ule_obs::progress::job_started(&format!("{}/case{case_index}", id.name()));
-            let outcome = exec::run_case(&rig, case, &configs, tier, &mut fault_pending);
-            ule_obs::progress::job_done(progress);
+        let record = |outcome: exec::CaseOutcome,
+                      tally: &mut CurveTally,
+                      report: &mut Report,
+                      raw: &mut Vec<Divergence>| {
             tally.cases += 1;
             tally.sim_runs += outcome.sim_runs;
             report.checks += outcome.checks;
@@ -217,16 +218,56 @@ pub fn run_campaign(campaign: &Campaign) -> Report {
                 );
             }
             raw.extend(outcome.divergences);
-        }
-        // Engine-tier A/B spot check on the cheap curves: one case per
-        // curve runs `main_verify` on BOTH tiers and every counter is
-        // compared — the bit-exactness contract, checked in-fuzzer.
-        if id.bits() <= 233 && campaign.only_config.is_none() {
-            if let Some(case) = cases.first() {
-                let outcome = exec::tier_ab_check(&rig, case, ConfigKind::Baseline);
-                tally.sim_runs += outcome.sim_runs;
-                report.checks += outcome.checks;
-                raw.extend(outcome.divergences);
+        };
+        if id.is_mont() {
+            // The RFC 7748 curves run the ladder corpus: one entry
+            // (`main_xdh`), cross-checked against the host ladder.
+            let cases = ladder::build_ladder_corpus(
+                &rig,
+                campaign.seed,
+                tiered_iters(id, campaign.iters),
+                campaign.edge,
+                campaign.only_case.as_ref(),
+            );
+            ule_obs::progress::add_total(cases.len() as u64);
+            for (case_index, case) in cases.iter().enumerate() {
+                let tier = campaign.tier.for_case(case_index);
+                let progress =
+                    ule_obs::progress::job_started(&format!("{}/case{case_index}", id.name()));
+                let outcome =
+                    ladder::run_ladder_case(&rig, case, &configs, tier, &mut fault_pending);
+                ule_obs::progress::job_done(progress);
+                record(outcome, &mut tally, &mut report, &mut raw);
+            }
+        } else {
+            let cases = corpus::build_corpus(
+                &rig,
+                campaign.seed,
+                tiered_iters(id, campaign.iters),
+                campaign.edge,
+                campaign.negative,
+                campaign.only_case.as_ref(),
+            );
+            ule_obs::progress::add_total(cases.len() as u64);
+            for (case_index, case) in cases.iter().enumerate() {
+                let tier = campaign.tier.for_case(case_index);
+                let progress =
+                    ule_obs::progress::job_started(&format!("{}/case{case_index}", id.name()));
+                let outcome = exec::run_case(&rig, case, &configs, tier, &mut fault_pending);
+                ule_obs::progress::job_done(progress);
+                record(outcome, &mut tally, &mut report, &mut raw);
+            }
+            // Engine-tier A/B spot check on the cheap curves: one case
+            // per curve runs `main_verify` on BOTH tiers and every
+            // counter is compared — the bit-exactness contract, checked
+            // in-fuzzer.
+            if id.bits() <= 233 && campaign.only_config.is_none() {
+                if let Some(case) = cases.first() {
+                    let outcome = exec::tier_ab_check(&rig, case, ConfigKind::Baseline);
+                    tally.sim_runs += outcome.sim_runs;
+                    report.checks += outcome.checks;
+                    raw.extend(outcome.divergences);
+                }
             }
         }
         report.cases += tally.cases;
@@ -253,7 +294,8 @@ pub fn run_campaign(campaign: &Campaign) -> Report {
     report
 }
 
-/// Parses a curve name as the CLI accepts it: `P-192`, `p192`, `K571`…
+/// Parses a curve name as the CLI accepts it: `P-192`, `p192`, `K571`,
+/// `x25519`…
 pub fn parse_curve(s: &str) -> Option<CurveId> {
     let norm: String = s
         .chars()
@@ -262,6 +304,7 @@ pub fn parse_curve(s: &str) -> Option<CurveId> {
         .to_ascii_uppercase();
     CurveId::ALL
         .into_iter()
+        .chain(CurveId::XCURVES)
         .find(|id| id.name().replace('-', "") == norm)
 }
 
@@ -303,16 +346,61 @@ mod tests {
     fn curve_parsing() {
         assert_eq!(parse_curve("P-192"), Some(CurveId::P192));
         assert_eq!(parse_curve("k571"), Some(CurveId::K571));
-        assert_eq!(parse_curve("x25519"), None);
+        assert_eq!(parse_curve("x25519"), Some(CurveId::X25519));
+        assert_eq!(parse_curve("X-448"), Some(CurveId::X448));
+        assert_eq!(parse_curve("x12345"), None);
     }
 
     #[test]
     fn tiering_always_covers() {
-        for id in CurveId::ALL {
+        for id in CurveId::ALL.into_iter().chain(CurveId::XCURVES) {
             assert!(tiered_iters(id, 1) >= 1);
             assert!(tiered_iters(id, 64) >= 2);
         }
         assert_eq!(tiered_iters(CurveId::P192, 64), 64);
         assert_eq!(tiered_iters(CurveId::K571, 64), 2);
+        assert_eq!(tiered_iters(CurveId::X25519, 64), 16);
+        assert_eq!(tiered_iters(CurveId::X448, 64), 2);
+    }
+
+    #[test]
+    fn default_campaign_covers_the_ladder_curves() {
+        let c = Campaign::new(1, 4);
+        assert!(c.curves.contains(&CurveId::X25519));
+        assert!(c.curves.contains(&CurveId::X448));
+        assert_eq!(c.curves.len(), 12);
+    }
+
+    #[test]
+    fn ladder_campaign_replay_is_clean() {
+        let mut c = Campaign::new(parse_seed("0xULE"), 1);
+        c.curves = vec![CurveId::X25519];
+        c.edge = false;
+        c.negative = false;
+        c.only_case = Some(CaseSelector::Random(0));
+        c.only_config = Some(ConfigKind::Coproc);
+        let report = run_campaign(&c);
+        assert_eq!(report.cases, 1);
+        assert_eq!(report.sim_runs, 1);
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+        assert_eq!(report.configs, vec!["monte"]);
+    }
+
+    #[test]
+    fn ladder_fault_injection_is_caught() {
+        let mut c = Campaign::new(parse_seed("0xULE"), 1);
+        c.curves = vec![CurveId::X25519];
+        c.edge = false;
+        c.negative = false;
+        c.only_case = Some(CaseSelector::Random(0));
+        c.only_config = Some(ConfigKind::Coproc);
+        c.inject_fault = true;
+        let report = run_campaign(&c);
+        assert_eq!(report.divergences.len(), 1);
+        let s = &report.divergences[0];
+        assert_eq!(s.original.entry, "main_xdh");
+        assert_eq!(s.original.field, "out_r");
+        assert!(s.reproducer.contains("--curve X25519"));
+        assert!(s.reproducer.contains("--case random:0"));
     }
 }

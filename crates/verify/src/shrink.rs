@@ -7,7 +7,8 @@ use ule_pete::cpu::{EngineTier, ExecOptions};
 use ule_swlib::harness::{read_buf, run_entry, write_buf, DEFAULT_MAX_CYCLES};
 
 use crate::corpus::Case;
-use crate::exec::{self, ConfigKind, CurveRig, Divergence};
+use crate::exec::{self, AnyCase, ConfigKind, CurveRig, Divergence};
+use crate::ladder;
 
 /// A divergence reduced to its minimal reproduction.
 #[derive(Clone, Debug)]
@@ -29,7 +30,7 @@ impl ShrunkDivergence {
             "{} {} case {}: first seen at {}/{} field {}, shrunk to {}/{}",
             self.original.curve.name(),
             self.original.config.label(self.original.curve.is_binary()),
-            self.original.case.label,
+            self.original.case.label(),
             self.original.entry,
             self.original.config.label(self.original.curve.is_binary()),
             self.original.field,
@@ -130,40 +131,54 @@ pub fn shrink(rig: &CurveRig, d: &Divergence, seed: u64) -> ShrunkDivergence {
     // tier-specific bug shrinks instead of vanishing.
     let tier = d.tier;
     let mut found: Option<(&'static str, ConfigKind)> = None;
-    if d.entry == "main_verify" {
-        let exp = exec::host_verify(rig, &d.case);
-        'outer: for &cfg in &configs {
-            for (entry, hit) in [
-                (
-                    "main_scalar_mul",
-                    scalar_mul_diverges(rig, cfg, tier, &exp.u1),
-                ),
-                (
-                    "main_twin_mul",
-                    twin_mul_diverges(rig, cfg, tier, &exp.u1, &exp.u2, &d.case),
-                ),
-            ] {
-                if hit {
-                    found = Some((entry, cfg));
-                    break 'outer;
+    match &d.case {
+        AnyCase::Ladder(case) => {
+            // The ladder suite has a single entry, so shrinking is pure
+            // configuration minimization.
+            for &cfg in &configs {
+                if ladder::ladder_diverges(rig, cfg, tier, case) {
+                    found = Some(("main_xdh", cfg));
+                    break;
                 }
             }
         }
-    } else if d.entry == "main_sign" {
-        'outer: for &cfg in &configs {
-            if scalar_mul_diverges(rig, cfg, tier, &d.case.nonce) {
-                found = Some(("main_scalar_mul", cfg));
-                break 'outer;
+        AnyCase::Ecdsa(case) => {
+            if d.entry == "main_verify" {
+                let exp = exec::host_verify(rig, case);
+                'outer: for &cfg in &configs {
+                    for (entry, hit) in [
+                        (
+                            "main_scalar_mul",
+                            scalar_mul_diverges(rig, cfg, tier, &exp.u1),
+                        ),
+                        (
+                            "main_twin_mul",
+                            twin_mul_diverges(rig, cfg, tier, &exp.u1, &exp.u2, case),
+                        ),
+                    ] {
+                        if hit {
+                            found = Some((entry, cfg));
+                            break 'outer;
+                        }
+                    }
+                }
+            } else if d.entry == "main_sign" {
+                'outer: for &cfg in &configs {
+                    if scalar_mul_diverges(rig, cfg, tier, &case.nonce) {
+                        found = Some(("main_scalar_mul", cfg));
+                        break 'outer;
+                    }
+                }
             }
-        }
-    }
-    // No narrower entry reproduces: minimize the configuration of the
-    // original entry instead.
-    if found.is_none() {
-        for &cfg in &configs {
-            if cfg != d.config && full_entry_diverges(rig, cfg, tier, d.entry, &d.case) {
-                found = Some((d.entry, cfg));
-                break;
+            // No narrower entry reproduces: minimize the configuration
+            // of the original entry instead.
+            if found.is_none() {
+                for &cfg in &configs {
+                    if cfg != d.config && full_entry_diverges(rig, cfg, tier, d.entry, case) {
+                        found = Some((d.entry, cfg));
+                        break;
+                    }
+                }
             }
         }
     }
@@ -176,7 +191,7 @@ pub fn shrink(rig: &CurveRig, d: &Divergence, seed: u64) -> ShrunkDivergence {
         "repro verify --seed {:#018x} --curve {} --case {} --config {} --tier {} --iters 1",
         seed,
         rig.id.name(),
-        d.case.label,
+        d.case.label(),
         config.label(binary),
         tier_label,
     );
